@@ -1,0 +1,97 @@
+#ifndef C4CAM_BENCH_BENCHUTILS_H
+#define C4CAM_BENCH_BENCHUTILS_H
+
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Simulated latency/energy are deterministic functions of the workload
+ * and architecture, so each bench executes a reduced query batch and
+ * scales the latency/energy to the paper's full query count (power and
+ * all ratios are unaffected by the scaling). Wall-clock measurement is
+ * only meaningful for the compiler itself (see compiler_throughput).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/Hdc.h"
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "sim/Timing.h"
+
+namespace c4cam::bench {
+
+/** One measured configuration, scaled to @p scaled_queries. */
+struct Measurement
+{
+    sim::PerfReport perf;        ///< raw (reduced-batch) report
+    double scale = 1.0;          ///< query-count scale factor
+
+    double latencyMs() const
+    {
+        return perf.queryLatencyNs * scale * 1e-6;
+    }
+    double latencyNsPerQuery(std::int64_t queries) const
+    {
+        return perf.queryLatencyNs / double(queries);
+    }
+    double energyUj() const { return perf.queryEnergyPj * scale * 1e-6; }
+    double energyPjPerQuery(std::int64_t queries) const
+    {
+        return perf.queryEnergyPj / double(queries);
+    }
+    double powerMw() const { return perf.avgPowerMw(); }
+    double edpNJs() const
+    {
+        return (perf.queryEnergyPj * scale * 1e-3) *
+               (perf.queryLatencyNs * scale * 1e-9);
+    }
+};
+
+/** Compile the HDC dot kernel for @p spec and run @p workload. */
+inline Measurement
+runHdcOnCam(const arch::ArchSpec &spec, const apps::HdcWorkload &workload,
+            std::size_t run_queries, double scaled_queries)
+{
+    std::vector<std::vector<float>> queries(
+        workload.queryHvs.begin(),
+        workload.queryHvs.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(run_queries, workload.queryHvs.size())));
+
+    core::CompilerOptions options;
+    options.spec = spec;
+    core::Compiler compiler(options);
+    const std::string source =
+        workload.bits == 1
+            ? apps::dotSimilaritySource(
+                  static_cast<std::int64_t>(queries.size()),
+                  workload.numClasses, workload.dimensions, 1)
+            : apps::knnEuclideanSource(
+                  static_cast<std::int64_t>(queries.size()),
+                  workload.numClasses, workload.dimensions, 1);
+    core::CompiledKernel kernel = compiler.compileTorchScript(source);
+    core::ExecutionResult result =
+        kernel.run({rt::Buffer::fromMatrix(queries),
+                    rt::Buffer::fromMatrix(workload.classHvs)});
+
+    Measurement m;
+    m.perf = result.perf;
+    m.scale = scaled_queries / double(queries.size());
+    return m;
+}
+
+/** printf a separator line of the given width. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace c4cam::bench
+
+#endif // C4CAM_BENCH_BENCHUTILS_H

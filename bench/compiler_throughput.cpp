@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Compiler-throughput microbenchmarks (google-benchmark).
+ *
+ * Not a paper figure: wall-clock cost of the C4CAM pipeline itself
+ * (frontend, per-pass lowering, full compile) across kernel and
+ * architecture sizes. Simulated accelerator metrics are deterministic,
+ * so the reproduction benches print tables instead; this binary is
+ * where real time is measured.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Parser.h"
+#include "ir/Pass.h"
+#include "passes/CamMapping.h"
+#include "passes/CimFuseOps.h"
+#include "passes/CimSimilarityMatching.h"
+#include "passes/TorchToCim.h"
+
+using namespace c4cam;
+
+namespace {
+
+void
+BM_Frontend(benchmark::State &state)
+{
+    std::string source =
+        apps::dotSimilaritySource(16, 10, state.range(0), 1);
+    for (auto _ : state) {
+        ir::Context ctx;
+        dialects::loadAllDialects(ctx);
+        ir::Module module = frontend::parseTorchScriptModule(ctx, source);
+        benchmark::DoNotOptimize(&module);
+    }
+}
+BENCHMARK(BM_Frontend)->Arg(1024)->Arg(8192);
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    std::string source =
+        apps::dotSimilaritySource(16, 10, state.range(0), 1);
+    core::CompilerOptions options;
+    options.spec =
+        arch::ArchSpec::dseSetup(32, arch::OptTarget::Base);
+    for (auto _ : state) {
+        core::Compiler compiler(options);
+        core::CompiledKernel kernel =
+            compiler.compileTorchScript(source);
+        benchmark::DoNotOptimize(&kernel);
+    }
+    state.SetLabel("tiles=" + std::to_string(state.range(0) / 32));
+}
+BENCHMARK(BM_FullPipeline)->Arg(1024)->Arg(8192);
+
+void
+BM_CamMapDensity(benchmark::State &state)
+{
+    // Density mapping statically unrolls batches: heavier IR.
+    std::string source =
+        apps::dotSimilaritySource(16, 10, 8192, 1);
+    core::CompilerOptions options;
+    options.spec = arch::ArchSpec::dseSetup(
+        static_cast<int>(state.range(0)), arch::OptTarget::Density);
+    for (auto _ : state) {
+        core::Compiler compiler(options);
+        core::CompiledKernel kernel =
+            compiler.compileTorchScript(source);
+        benchmark::DoNotOptimize(&kernel);
+    }
+}
+BENCHMARK(BM_CamMapDensity)->Arg(32)->Arg(256);
+
+void
+BM_PrintParseRoundTrip(benchmark::State &state)
+{
+    core::CompilerOptions options;
+    options.spec = arch::ArchSpec::dseSetup(32, arch::OptTarget::Base);
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(16, 10, 1024, 1));
+    std::string text = kernel.module().str();
+    for (auto _ : state) {
+        ir::Context ctx;
+        dialects::loadAllDialects(ctx);
+        ir::Module module = ir::parseModule(ctx, text);
+        std::string again = module.str();
+        benchmark::DoNotOptimize(again.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_PrintParseRoundTrip);
+
+void
+BM_Simulation(benchmark::State &state)
+{
+    // Simulator throughput: searches per second at 32x32.
+    core::CompilerOptions options;
+    options.spec = arch::ArchSpec::dseSetup(32, arch::OptTarget::Base);
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(4, 10, 1024, 1));
+    auto queries = rt::Buffer::alloc(rt::DType::F32, {4, 1024});
+    auto stored = rt::Buffer::alloc(rt::DType::F32, {10, 1024});
+    std::int64_t searches = 0;
+    for (auto _ : state) {
+        core::ExecutionResult result = kernel.run({queries, stored});
+        searches += result.perf.searches;
+        benchmark::DoNotOptimize(&result);
+    }
+    state.counters["searches/s"] = benchmark::Counter(
+        static_cast<double>(searches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 8 (a, b, c): design-space exploration over subarray sizes
+ * 16..256 with fixed 4/4/8 hierarchy for the four built-in targets
+ * (cam-base, cam-density, cam-power, cam-density+power), HDC on
+ * MNIST with 8k dimensions.
+ *
+ * Paper shapes:
+ *  - energy (uJ, log scale): density saves energy at small sizes
+ *    (~0.6x base for 16..64) but exceeds base at 128/256 (1.4x/5.1x);
+ *  - latency (ms): power costs ~2x (32) to 4.86x (256) over base;
+ *    density costs up to ~23x at 256; power+density up to ~121x;
+ *  - power (mW): cam-power 0.57x base at 16 down to 0.20x at 256;
+ *    power+density 23.4% down to 4.2% of base.
+ */
+
+#include <cstdio>
+
+#include "BenchUtils.h"
+#include "apps/Datasets.h"
+
+using namespace c4cam;
+using namespace c4cam::bench;
+
+int
+main()
+{
+    const int kRunQueries = 6;
+    const double kScaledQueries = 10000.0; // full MNIST test set
+    const int kDims = 8192;
+    const int sizes[] = {16, 32, 64, 128, 256};
+    const arch::OptTarget targets[] = {
+        arch::OptTarget::Base, arch::OptTarget::Density,
+        arch::OptTarget::Power, arch::OptTarget::PowerDensity};
+    const char *names[] = {"cam-base", "cam-density", "cam-power",
+                           "cam-density+power"};
+
+    std::printf("Figure 8: impact of subarray size and C4CAM "
+                "optimizations (HDC/MNIST, %d dims, %.0f queries)\n\n",
+                kDims, kScaledQueries);
+
+    apps::Dataset dataset = apps::makeMnistLike(10, kRunQueries);
+    apps::HdcWorkload workload =
+        apps::encodeHdc(dataset, kDims, 1, kRunQueries);
+
+    Measurement m[4][5];
+    for (int t = 0; t < 4; ++t)
+        for (int s = 0; s < 5; ++s)
+            m[t][s] = runHdcOnCam(
+                arch::ArchSpec::dseSetup(sizes[s], targets[t]), workload,
+                kRunQueries, kScaledQueries);
+
+    auto table = [&](const char *title, auto metric) {
+        std::printf("%s\n", title);
+        std::printf("%-20s", "subarray size");
+        for (int n : sizes)
+            std::printf(" %8dx%-3d", n, n);
+        std::printf("\n");
+        rule();
+        for (int t = 0; t < 4; ++t) {
+            std::printf("%-20s", names[t]);
+            for (int s = 0; s < 5; ++s)
+                std::printf(" %12.4g", metric(m[t][s]));
+            std::printf("\n");
+        }
+        std::printf("\n");
+    };
+
+    table("Fig 8a: energy (uJ)",
+          [](const Measurement &x) { return x.energyUj(); });
+    table("Fig 8b: latency (ms)",
+          [](const Measurement &x) { return x.latencyMs(); });
+    table("Fig 8c: power (mW)",
+          [](const Measurement &x) { return x.powerMw(); });
+
+    std::printf("key ratios vs cam-base (paper expectations in "
+                "brackets):\n");
+    std::printf("  power@16   cam-power: %.2fx [0.57x]\n",
+                m[2][0].powerMw() / m[0][0].powerMw());
+    std::printf("  power@256  cam-power: %.2fx [0.20x]\n",
+                m[2][4].powerMw() / m[0][4].powerMw());
+    std::printf("  latency@32 cam-power: %.2fx [~2x]\n",
+                m[2][1].latencyMs() / m[0][1].latencyMs());
+    std::printf("  latency@256 cam-power: %.2fx [4.86x]\n",
+                m[2][4].latencyMs() / m[0][4].latencyMs());
+    std::printf("  latency@256 cam-density: %.2fx [~23x]\n",
+                m[1][4].latencyMs() / m[0][4].latencyMs());
+    std::printf("  latency@256 power+density: %.2fx [~121x]\n",
+                m[3][4].latencyMs() / m[0][4].latencyMs());
+    std::printf("  power@16   power+density: %.1f%% of base [23.4%%]\n",
+                100.0 * m[3][0].powerMw() / m[0][0].powerMw());
+    std::printf("  power@256  power+density: %.1f%% of base [4.2%%]\n",
+                100.0 * m[3][4].powerMw() / m[0][4].powerMw());
+    std::printf("  energy@16..64 cam-density: %.2fx / %.2fx / %.2fx of "
+                "base [~0.6x]\n",
+                m[1][0].energyUj() / m[0][0].energyUj(),
+                m[1][1].energyUj() / m[0][1].energyUj(),
+                m[1][2].energyUj() / m[0][2].energyUj());
+    std::printf("  energy@128,256 cam-density: %.2fx, %.2fx of base "
+                "[1.4x, 5.1x]\n",
+                m[1][3].energyUj() / m[0][3].energyUj(),
+                m[1][4].energyUj() / m[0][4].energyUj());
+    return 0;
+}

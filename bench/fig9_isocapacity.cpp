@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 9 (a, b): iso-capacity analysis -- each array holds 2^16
+ * cells; the subarray size varies from 16x16 (256 subarrays/array) to
+ * 256x256 (1 subarray/array); 4 arrays/mat and 4 mats/bank as before.
+ *
+ * Paper shapes:
+ *  - latency rises moderately with subarray size (58us -> 150us for
+ *    the paper's query stream) because the ML discharge slows with
+ *    column count while the cell count per array is constant;
+ *  - iso-base energy is nearly constant across sizes; density configs
+ *    average ~1.75x energy improvement except at 128/256;
+ *  - density/power+density cut power substantially.
+ */
+
+#include <cstdio>
+
+#include "BenchUtils.h"
+#include "apps/Datasets.h"
+
+using namespace c4cam;
+using namespace c4cam::bench;
+
+int
+main()
+{
+    const int kRunQueries = 6;
+    const double kScaledQueries = 10000.0;
+    const int kDims = 8192;
+    const int sizes[] = {16, 32, 64, 128, 256};
+    const arch::OptTarget targets[] = {arch::OptTarget::Base,
+                                       arch::OptTarget::Density,
+                                       arch::OptTarget::PowerDensity};
+    const char *names[] = {"iso-base", "iso-density",
+                           "iso-density+power"};
+
+    std::printf("Figure 9: iso-capacity analysis (2^16 TCAM cells per "
+                "array; HDC/MNIST %d dims)\n\n",
+                kDims);
+
+    apps::Dataset dataset = apps::makeMnistLike(10, kRunQueries);
+    apps::HdcWorkload workload =
+        apps::encodeHdc(dataset, kDims, 1, kRunQueries);
+
+    Measurement m[3][5];
+    for (int t = 0; t < 3; ++t)
+        for (int s = 0; s < 5; ++s)
+            m[t][s] = runHdcOnCam(
+                arch::ArchSpec::isoCapacitySetup(sizes[s], targets[t]),
+                workload, kRunQueries, kScaledQueries);
+
+    auto table = [&](const char *title, auto metric) {
+        std::printf("%s\n", title);
+        std::printf("%-20s", "subarray size");
+        for (int n : sizes)
+            std::printf(" %8dx%-3d", n, n);
+        std::printf("\n");
+        rule();
+        for (int t = 0; t < 3; ++t) {
+            std::printf("%-20s", names[t]);
+            for (int s = 0; s < 5; ++s)
+                std::printf(" %12.4g", metric(m[t][s]));
+            std::printf("\n");
+        }
+        std::printf("\n");
+    };
+
+    table("Fig 9a: latency (ms)",
+          [](const Measurement &x) { return x.latencyMs(); });
+    table("Fig 9b: power (mW)",
+          [](const Measurement &x) { return x.powerMw(); });
+    table("(aux) energy (uJ)",
+          [](const Measurement &x) { return x.energyUj(); });
+
+    std::printf("iso-base latency growth 16->256: %.2fx "
+                "(paper: 150us/58us = 2.6x)\n",
+                m[0][4].latencyMs() / m[0][0].latencyMs());
+    std::printf("iso-base energy flatness (max/min): %.2fx "
+                "(paper: nearly constant)\n",
+                [&] {
+                    double lo = 1e30;
+                    double hi = 0.0;
+                    for (int s = 0; s < 5; ++s) {
+                        lo = std::min(lo, m[0][s].energyUj());
+                        hi = std::max(hi, m[0][s].energyUj());
+                    }
+                    return hi / lo;
+                }());
+    double gain = 0.0;
+    for (int s = 0; s < 3; ++s) // 16..64, as in the paper's caveat
+        gain += m[0][s].energyUj() / m[1][s].energyUj();
+    std::printf("iso-density energy improvement @16..64 (avg): %.2fx "
+                "(paper: ~1.75x avg)\n",
+                gain / 3.0);
+    std::printf("iso-density+power power cut @16: %.1f%% of base\n",
+                100.0 * m[2][0].powerMw() / m[0][0].powerMw());
+    return 0;
+}

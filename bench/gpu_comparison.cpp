@@ -1,0 +1,87 @@
+/**
+ * @file
+ * §IV-B GPU comparison: end-to-end HDC/MNIST on the CAM system vs the
+ * (modeled) NVIDIA Quadro RTX 6000.
+ *
+ * Paper: 48x execution-time improvement (within 5% of the manual
+ * design's ratio) and 46.8x energy improvement -- nearly the same
+ * because CAM arrays contribute minimally to the CIM *system* energy,
+ * which is dominated by the host (so system power is GPU-like while
+ * time shrinks 48x).
+ */
+
+#include <cstdio>
+
+#include "BenchUtils.h"
+#include "apps/Datasets.h"
+#include "apps/GpuModel.h"
+#include "apps/ManualBaseline.h"
+
+using namespace c4cam;
+using namespace c4cam::bench;
+
+int
+main()
+{
+    const int kRunQueries = 6;
+    const double kScaledQueries = 10000.0; // MNIST test set
+    const int kDims = 8192;
+    const int kClasses = 10;
+
+    std::printf("GPU comparison (paper §IV-B): HDC/MNIST, %d dims, "
+                "%.0f queries, int32 GPU kernels\n\n",
+                kDims, kScaledQueries);
+
+    apps::Dataset dataset = apps::makeMnistLike(10, kRunQueries);
+    apps::HdcWorkload workload =
+        apps::encodeHdc(dataset, kDims, 1, kRunQueries);
+
+    // CAM system: the validation configuration (32x32).
+    arch::ArchSpec spec = arch::ArchSpec::validationSetup(32, 1);
+    Measurement cam =
+        runHdcOnCam(spec, workload, kRunQueries, kScaledQueries);
+    apps::ManualRunResult manual =
+        apps::runManualHdc(workload, spec, kRunQueries);
+    double manual_latency_ns = manual.perf.queryLatencyNs *
+                               (kScaledQueries / kRunQueries);
+
+    // GPU model.
+    apps::GpuModel gpu;
+    apps::GpuEstimate est = gpu.similarityKernel(
+        static_cast<std::int64_t>(kScaledQueries), kClasses, kDims);
+
+    double cam_latency_ns = cam.perf.queryLatencyNs * cam.scale;
+    // System-level CIM energy: host power accompanies the CAM arrays.
+    double cam_system_energy_pj =
+        cam.perf.queryEnergyPj * cam.scale +
+        apps::GpuModel::cimSystemPowerW() * cam_latency_ns * 1e3;
+
+    double speedup = est.latencyNs / cam_latency_ns;
+    double manual_speedup = est.latencyNs / manual_latency_ns;
+    double energy_gain = est.energyPj / cam_system_energy_pj;
+
+    std::printf("%-34s %14s %14s\n", "", "GPU (modeled)", "CAM system");
+    rule(64);
+    std::printf("%-34s %14.3f %14.3f\n", "end-to-end time (ms)",
+                est.latencyNs * 1e-6, cam_latency_ns * 1e-6);
+    std::printf("%-34s %14.3f %14.3f\n", "energy (mJ)",
+                est.energyPj * 1e-9, cam_system_energy_pj * 1e-9);
+    std::printf("%-34s %14.1f %14.3f\n", "avg power (W)", est.avgPowerW,
+                cam_system_energy_pj / cam_latency_ns * 1e-3);
+    std::printf("\n");
+    std::printf("execution-time improvement: %.1fx (paper: 48x)\n",
+                speedup);
+    std::printf("  via manual design:        %.1fx (paper: within 5%% "
+                "of C4CAM)\n",
+                manual_speedup);
+    std::printf("  C4CAM vs manual delta:    %.1f%%\n",
+                100.0 * std::abs(speedup - manual_speedup) /
+                    manual_speedup);
+    std::printf("energy improvement:         %.1fx (paper: 46.8x)\n",
+                energy_gain);
+    std::printf("CAM-array share of system energy: %.2f%% "
+                "(paper: \"CAMs contribute minimally\")\n",
+                100.0 * cam.perf.queryEnergyPj * cam.scale /
+                    cam_system_energy_pj);
+    return 0;
+}

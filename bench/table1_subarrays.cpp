@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table I: number of subarrays used to implement HDC (10 classes x
+ * 8192 dims) for subarray sizes 16..256, cam-based vs cam-density.
+ *
+ * Paper values:
+ *   cam-based   512 / 256 / 128 / 64 / 32
+ *   cam-density 512 /  86 /  22 /  6 /  2
+ */
+
+#include <cstdio>
+
+#include "BenchUtils.h"
+#include "passes/CamMapping.h"
+
+using namespace c4cam;
+using namespace c4cam::bench;
+
+int
+main()
+{
+    const std::int64_t classes = 10;
+    const std::int64_t dims = 8192;
+    const int sizes[] = {16, 32, 64, 128, 256};
+    const std::int64_t paper_based[] = {512, 256, 128, 64, 32};
+    const std::int64_t paper_density[] = {512, 86, 22, 6, 2};
+
+    std::printf("Table I: number of subarrays used to implement HDC\n");
+    std::printf("(%lld classes x %lld dims)\n\n",
+                static_cast<long long>(classes),
+                static_cast<long long>(dims));
+    std::printf("%-14s", "config");
+    for (int n : sizes)
+        std::printf(" %7dx%-3d", n, n);
+    std::printf("\n");
+    rule();
+
+    bool all_match = true;
+    auto print_row = [&](const char *name, arch::OptTarget target,
+                         const std::int64_t *expected) {
+        std::printf("%-14s", name);
+        for (int i = 0; i < 5; ++i) {
+            arch::ArchSpec spec = arch::ArchSpec::dseSetup(sizes[i],
+                                                           target);
+            auto plan = passes::MappingPlan::compute(spec, 10000,
+                                                     classes, dims);
+            std::printf(" %11lld",
+                        static_cast<long long>(plan.physicalSubarrays));
+            if (plan.physicalSubarrays != expected[i])
+                all_match = false;
+        }
+        std::printf("\n");
+        std::printf("%-14s", "  (paper)");
+        for (int i = 0; i < 5; ++i)
+            std::printf(" %11lld", static_cast<long long>(expected[i]));
+        std::printf("\n");
+    };
+
+    print_row("cam-based", arch::OptTarget::Base, paper_based);
+    print_row("cam-density", arch::OptTarget::Density, paper_density);
+
+    std::printf("\n%s\n", all_match
+                              ? "all entries match the paper exactly"
+                              : "MISMATCH against the paper values");
+    return all_match ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Two-stage recommender pipeline on CAM banks (paper §II-C).
+ *
+ * The paper motivates the bank level with iMARS-style recommender
+ * systems: "RecSys can profit from CAMs in both filtering and ranking
+ * stages, where each stage executes different tasks on different banks
+ * in parallel."
+ *
+ * Stage 1 (filtering): match the user's binary category profile
+ * against item category signatures (hamming similarity, top-M recall).
+ * Stage 2 (ranking): rank the recalled items by embedding similarity
+ * (dot product, top-k).
+ *
+ * Both stages are compiled with C4CAM onto separate CAM devices
+ * (= separate bank groups). Because the stages serve different queries
+ * concurrently, steady-state pipeline latency is the max of the two
+ * stage latencies rather than their sum.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+
+namespace {
+
+std::vector<std::vector<float>>
+randomSigns(std::size_t rows, std::size_t dims, Rng &rng)
+{
+    std::vector<std::vector<float>> out(rows, std::vector<float>(dims));
+    for (auto &row : out)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t kItems = 64;     // catalog size
+    const std::int64_t kCategories = 256;
+    const std::int64_t kEmbedding = 512;
+    const std::int64_t kUsers = 8;
+    const std::int64_t kRecall = 8;     // stage-1 top-M
+    const std::int64_t kTopK = 3;       // stage-2 top-k
+
+    Rng rng(2024);
+
+    // Cluster-structured catalog: items belong to genres; categories
+    // and embeddings both derive from the genre prototype (with item-
+    // level noise), so category recall is informative for ranking.
+    const std::int64_t kGenres = 8;
+    auto genre_cats = randomSigns(kGenres, kCategories, rng);
+    auto genre_embeds = randomSigns(kGenres, kEmbedding, rng);
+    auto perturb = [&](const std::vector<float> &proto, double flip) {
+        std::vector<float> v = proto;
+        for (auto &x : v)
+            if (rng.nextBool(flip))
+                x = -x;
+        return v;
+    };
+    std::vector<std::vector<float>> categories;
+    std::vector<std::vector<float>> embeddings;
+    for (std::int64_t i = 0; i < kItems; ++i) {
+        auto g = static_cast<std::size_t>(i % kGenres);
+        categories.push_back(perturb(genre_cats[g], 0.10));
+        embeddings.push_back(perturb(genre_embeds[g], 0.25));
+    }
+    // Users favor one genre each.
+    std::vector<std::vector<float>> user_prefs;
+    std::vector<std::vector<float>> user_embeds;
+    for (std::int64_t u = 0; u < kUsers; ++u) {
+        auto g = static_cast<std::size_t>(u % kGenres);
+        user_prefs.push_back(perturb(genre_cats[g], 0.05));
+        user_embeds.push_back(perturb(genre_embeds[g], 0.15));
+    }
+
+    std::printf("RecSys on CAM banks: %lld items, %lld users "
+                "(filter top-%lld by category, rank top-%lld by "
+                "embedding)\n\n",
+                (long long)kItems, (long long)kUsers, (long long)kRecall,
+                (long long)kTopK);
+
+    // Stage 1: category filtering on its own device/banks.
+    core::CompilerOptions filter_options;
+    filter_options.spec =
+        arch::ArchSpec::dseSetup(32, arch::OptTarget::Base);
+    core::Compiler filter_compiler(filter_options);
+    core::CompiledKernel filter = filter_compiler.compileTorchScript(
+        apps::dotSimilaritySource(kUsers, kItems, kCategories, kRecall));
+    core::ExecutionResult recall =
+        filter.run({rt::Buffer::fromMatrix(user_prefs),
+                    rt::Buffer::fromMatrix(categories)});
+
+    // Stage 2: embedding ranking of the recalled items, per user, on a
+    // second device. The stored set is the per-user recalled slice.
+    double ranking_latency = 0.0;
+    double ranking_energy = 0.0;
+    std::vector<std::vector<int>> recommendations;
+    for (std::int64_t u = 0; u < kUsers; ++u) {
+        std::vector<std::vector<float>> shortlist;
+        std::vector<int> shortlist_ids;
+        for (std::int64_t m = 0; m < kRecall; ++m) {
+            int item = static_cast<int>(
+                recall.outputs[1].asBuffer()->atInt({u, m}));
+            shortlist.push_back(
+                embeddings[static_cast<std::size_t>(item)]);
+            shortlist_ids.push_back(item);
+        }
+        core::CompilerOptions rank_options;
+        rank_options.spec =
+            arch::ArchSpec::dseSetup(32, arch::OptTarget::Base);
+        core::Compiler rank_compiler(rank_options);
+        core::CompiledKernel ranker = rank_compiler.compileTorchScript(
+            apps::dotSimilaritySource(1, kRecall, kEmbedding, kTopK));
+        core::ExecutionResult ranked = ranker.run(
+            {rt::Buffer::fromMatrix({user_embeds[
+                 static_cast<std::size_t>(u)]}),
+             rt::Buffer::fromMatrix(shortlist)});
+        ranking_latency += ranked.perf.queryLatencyNs;
+        ranking_energy += ranked.perf.queryEnergyPj;
+
+        std::vector<int> recs;
+        for (std::int64_t k = 0; k < kTopK; ++k)
+            recs.push_back(shortlist_ids[static_cast<std::size_t>(
+                ranked.outputs[1].asBuffer()->atInt({0, k}))]);
+        recommendations.push_back(recs);
+    }
+
+    // Host reference for the full (unfiltered) ranking, to gauge
+    // recall quality of the two-stage pipeline.
+    int top1_hits = 0;
+    for (std::int64_t u = 0; u < kUsers; ++u) {
+        double best = -1e18;
+        int best_item = -1;
+        for (std::int64_t i = 0; i < kItems; ++i) {
+            double dot = 0.0;
+            for (std::int64_t d = 0; d < kEmbedding; ++d)
+                dot += double(user_embeds[u][d]) * embeddings[i][d];
+            if (dot > best) {
+                best = dot;
+                best_item = static_cast<int>(i);
+            }
+        }
+        const auto &recs = recommendations[static_cast<std::size_t>(u)];
+        top1_hits += std::find(recs.begin(), recs.end(), best_item) !=
+                     recs.end();
+    }
+
+    double filter_latency = recall.perf.queryLatencyNs;
+    double sequential = filter_latency + ranking_latency;
+    double pipelined = std::max(filter_latency, ranking_latency);
+
+    std::printf("stage latencies (all %lld users):\n",
+                (long long)kUsers);
+    std::printf("  filtering: %8.1f ns on %lld subarrays\n",
+                filter_latency,
+                (long long)recall.perf.subarraysUsed);
+    std::printf("  ranking:   %8.1f ns\n", ranking_latency);
+    std::printf("end-to-end: sequential %.1f ns, bank-parallel "
+                "pipeline %.1f ns (%.2fx)\n",
+                sequential, pipelined, sequential / pipelined);
+    std::printf("global top-1 item captured in recommendations for "
+                "%d/%lld users\n",
+                top1_hits, (long long)kUsers);
+    return 0;
+}

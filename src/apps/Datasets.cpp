@@ -1,0 +1,75 @@
+#include "apps/Datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+namespace c4cam::apps {
+
+namespace {
+
+/** Class prototypes + noise, in [0, 1]. */
+Dataset
+makePrototypeDataset(int num_classes, int feature_dim, int train_total,
+                     int test_total, double noise, std::uint64_t seed)
+{
+    C4CAM_CHECK(num_classes >= 2 && feature_dim > 0,
+                "dataset needs >= 2 classes and positive dims");
+    Rng rng(seed);
+    std::vector<std::vector<float>> prototypes(
+        static_cast<std::size_t>(num_classes),
+        std::vector<float>(static_cast<std::size_t>(feature_dim)));
+    for (auto &proto : prototypes)
+        for (auto &v : proto)
+            v = static_cast<float>(rng.nextDouble());
+
+    Dataset ds;
+    ds.numClasses = num_classes;
+    ds.featureDim = feature_dim;
+
+    auto sample = [&](int cls) {
+        std::vector<float> x(static_cast<std::size_t>(feature_dim));
+        for (int i = 0; i < feature_dim; ++i) {
+            double v = prototypes[static_cast<std::size_t>(cls)]
+                                 [static_cast<std::size_t>(i)] +
+                       noise * rng.nextGaussian();
+            x[static_cast<std::size_t>(i)] =
+                static_cast<float>(std::clamp(v, 0.0, 1.0));
+        }
+        return x;
+    };
+
+    for (int i = 0; i < train_total; ++i) {
+        int cls = i % num_classes;
+        ds.trainX.push_back(sample(cls));
+        ds.trainY.push_back(cls);
+    }
+    for (int i = 0; i < test_total; ++i) {
+        int cls = i % num_classes;
+        ds.testX.push_back(sample(cls));
+        ds.testY.push_back(cls);
+    }
+    return ds;
+}
+
+} // namespace
+
+Dataset
+makeMnistLike(int train_per_class, int test_total, double noise,
+              std::uint64_t seed)
+{
+    return makePrototypeDataset(10, 28 * 28, train_per_class * 10,
+                                test_total, noise, seed);
+}
+
+Dataset
+makePneumoniaLike(int train_total, int test_total, int feature_dim,
+                  double noise, std::uint64_t seed)
+{
+    return makePrototypeDataset(2, feature_dim, train_total, test_total,
+                                noise, seed);
+}
+
+} // namespace c4cam::apps

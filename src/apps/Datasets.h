@@ -1,0 +1,50 @@
+#ifndef C4CAM_APPS_DATASETS_H
+#define C4CAM_APPS_DATASETS_H
+
+/**
+ * @file
+ * Deterministic synthetic datasets standing in for MNIST and the chest
+ * X-ray Pneumonia dataset (paper §IV-A3).
+ *
+ * The paper uses the datasets only to (a) size the CAM (rows, columns,
+ * banks) and (b) check that application accuracy matches software.
+ * Synthetic class-prototype data with additive noise preserves both
+ * roles: identical shapes, controllable separability, fixed seeds.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace c4cam::apps {
+
+/** A labeled dense-feature dataset split into train and test. */
+struct Dataset
+{
+    int numClasses = 0;
+    int featureDim = 0;
+    std::vector<std::vector<float>> trainX;
+    std::vector<int> trainY;
+    std::vector<std::vector<float>> testX;
+    std::vector<int> testY;
+};
+
+/**
+ * MNIST-like: 10 classes of 28x28 images (784 features in [0, 1]).
+ * @param train_per_class training samples per class
+ * @param test_total      total test samples (balanced round-robin)
+ * @param noise           additive noise amplitude (0.25 default)
+ */
+Dataset makeMnistLike(int train_per_class, int test_total,
+                      double noise = 0.25, std::uint64_t seed = 7);
+
+/**
+ * Pneumonia-like: 2 classes with the dataset's real split sizes by
+ * default (5216 train / 624 test) and @p feature_dim features.
+ */
+Dataset makePneumoniaLike(int train_total = 5216, int test_total = 624,
+                          int feature_dim = 1024, double noise = 0.35,
+                          std::uint64_t seed = 11);
+
+} // namespace c4cam::apps
+
+#endif // C4CAM_APPS_DATASETS_H

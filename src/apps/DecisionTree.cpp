@@ -1,0 +1,300 @@
+#include "apps/DecisionTree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "sim/CamDevice.h"
+#include "support/Error.h"
+
+namespace c4cam::apps {
+
+namespace {
+
+/** Gini impurity of a label multiset. */
+double
+gini(const std::vector<int> &labels, const std::vector<int> &index,
+     int num_classes)
+{
+    if (index.empty())
+        return 0.0;
+    std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+    for (int i : index)
+        counts[static_cast<std::size_t>(
+            labels[static_cast<std::size_t>(i)])]++;
+    double impurity = 1.0;
+    for (int c : counts) {
+        double p = double(c) / double(index.size());
+        impurity -= p * p;
+    }
+    return impurity;
+}
+
+int
+majorityLabel(const std::vector<int> &labels,
+              const std::vector<int> &index, int num_classes)
+{
+    std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+    for (int i : index)
+        counts[static_cast<std::size_t>(
+            labels[static_cast<std::size_t>(i)])]++;
+    return static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+} // namespace
+
+DecisionTree
+DecisionTree::fit(const Dataset &dataset, int max_depth)
+{
+    C4CAM_CHECK(!dataset.trainX.empty(), "cannot fit a tree on no data");
+    DecisionTree tree;
+    tree.featureDim_ = dataset.featureDim;
+
+    std::vector<int> all(dataset.trainX.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<int>(i);
+
+    // Recursive greedy growth.
+    std::function<std::unique_ptr<Node>(const std::vector<int> &, int)>
+        grow = [&](const std::vector<int> &index,
+                   int depth) -> std::unique_ptr<Node> {
+        auto node = std::make_unique<Node>();
+        node->label =
+            majorityLabel(dataset.trainY, index, dataset.numClasses);
+        double parent_gini =
+            gini(dataset.trainY, index, dataset.numClasses);
+        if (depth >= max_depth || parent_gini == 0.0 ||
+            index.size() < 4)
+            return node;
+
+        // Best midpoint split over a feature subsample (stride keeps
+        // fitting fast on high-dimensional data).
+        int best_feature = -1;
+        float best_threshold = 0.0f;
+        double best_score = parent_gini;
+        int stride = std::max(1, dataset.featureDim / 64);
+        for (int f = 0; f < dataset.featureDim; f += stride) {
+            float lo = std::numeric_limits<float>::infinity();
+            float hi = -lo;
+            for (int i : index) {
+                float v = dataset
+                              .trainX[static_cast<std::size_t>(i)]
+                                     [static_cast<std::size_t>(f)];
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            if (hi <= lo)
+                continue;
+            float threshold = 0.5f * (lo + hi);
+            std::vector<int> left;
+            std::vector<int> right;
+            for (int i : index) {
+                float v = dataset
+                              .trainX[static_cast<std::size_t>(i)]
+                                     [static_cast<std::size_t>(f)];
+                (v <= threshold ? left : right).push_back(i);
+            }
+            if (left.empty() || right.empty())
+                continue;
+            double score =
+                (gini(dataset.trainY, left, dataset.numClasses) *
+                     double(left.size()) +
+                 gini(dataset.trainY, right, dataset.numClasses) *
+                     double(right.size())) /
+                double(index.size());
+            if (score + 1e-9 < best_score) {
+                best_score = score;
+                best_feature = f;
+                best_threshold = threshold;
+            }
+        }
+        if (best_feature < 0)
+            return node;
+
+        std::vector<int> left;
+        std::vector<int> right;
+        for (int i : index) {
+            float v = dataset.trainX[static_cast<std::size_t>(i)]
+                                    [static_cast<std::size_t>(
+                                        best_feature)];
+            (v <= best_threshold ? left : right).push_back(i);
+        }
+        node->feature = best_feature;
+        node->threshold = best_threshold;
+        node->left = grow(left, depth + 1);
+        node->right = grow(right, depth + 1);
+        return node;
+    };
+
+    tree.root_ = grow(all, 0);
+    return tree;
+}
+
+int
+DecisionTree::predict(const std::vector<float> &x) const
+{
+    const Node *node = root_.get();
+    while (node->feature >= 0) {
+        node = x[static_cast<std::size_t>(node->feature)] <=
+                       node->threshold
+                   ? node->left.get()
+                   : node->right.get();
+    }
+    return node->label;
+}
+
+std::vector<DecisionTree::LeafBox>
+DecisionTree::leafBoxes() const
+{
+    std::vector<LeafBox> boxes;
+    LeafBox box;
+    box.lo.assign(static_cast<std::size_t>(featureDim_), 0.0f);
+    box.hi.assign(static_cast<std::size_t>(featureDim_), 1.0f);
+    box.dontCare.assign(static_cast<std::size_t>(featureDim_), true);
+
+    std::function<void(const Node *, LeafBox &)> walk =
+        [&](const Node *node, LeafBox &current) {
+            if (node->feature < 0) {
+                LeafBox leaf = current;
+                leaf.label = node->label;
+                boxes.push_back(leaf);
+                return;
+            }
+            auto f = static_cast<std::size_t>(node->feature);
+            float saved_hi = current.hi[f];
+            float saved_lo = current.lo[f];
+            bool saved_dc = current.dontCare[f];
+
+            current.dontCare[f] = false;
+            current.hi[f] = std::min(current.hi[f], node->threshold);
+            walk(node->left.get(), current);
+            current.hi[f] = saved_hi;
+
+            current.dontCare[f] = false;
+            current.lo[f] = std::max(saved_lo, node->threshold);
+            walk(node->right.get(), current);
+            current.lo[f] = saved_lo;
+            current.dontCare[f] = saved_dc;
+        };
+    walk(root_.get(), box);
+    return boxes;
+}
+
+int
+DecisionTree::numLeaves() const
+{
+    std::function<int(const Node *)> count = [&](const Node *node) {
+        if (node->feature < 0)
+            return 1;
+        return count(node->left.get()) + count(node->right.get());
+    };
+    return count(root_.get());
+}
+
+AcamTreeRunResult
+runTreeOnAcam(const DecisionTree &tree, const arch::ArchSpec &spec,
+              const std::vector<std::vector<float>> &samples)
+{
+    C4CAM_CHECK(spec.camType == arch::CamDeviceType::Acam,
+                "decision trees require an ACAM device");
+    C4CAM_CHECK(tree.featureDim() <= spec.cols,
+                "tree feature dim " << tree.featureDim()
+                << " exceeds subarray width " << spec.cols);
+
+    std::vector<DecisionTree::LeafBox> boxes = tree.leafBoxes();
+    sim::CamDevice device(spec);
+
+    // Pack leaves row-major into as many subarrays as needed.
+    struct Placement
+    {
+        sim::Handle handle;
+        int firstLeaf;
+        int count;
+    };
+    std::vector<Placement> placements;
+    int placed = 0;
+    sim::Handle bank = device.allocBank(spec.rows, spec.cols);
+    sim::Handle mat = device.allocMat(bank);
+    sim::Handle array = device.allocArray(mat);
+    int subs_in_array = 0;
+    int mats_in_bank = 1;
+    int arrays_in_mat = 1;
+    while (placed < static_cast<int>(boxes.size())) {
+        if (subs_in_array == spec.subarraysPerArray) {
+            if (arrays_in_mat == spec.arraysPerMat) {
+                if (mats_in_bank == spec.matsPerBank) {
+                    bank = device.allocBank(spec.rows, spec.cols);
+                    mats_in_bank = 0;
+                }
+                mat = device.allocMat(bank);
+                ++mats_in_bank;
+                arrays_in_mat = 0;
+            }
+            array = device.allocArray(mat);
+            ++arrays_in_mat;
+            subs_in_array = 0;
+        }
+        sim::Handle sub = device.allocSubarray(array);
+        ++subs_in_array;
+        int count = std::min<int>(spec.rows,
+                                  static_cast<int>(boxes.size()) -
+                                      placed);
+        std::vector<std::vector<sim::CamCell>> cells(
+            static_cast<std::size_t>(count),
+            std::vector<sim::CamCell>(
+                static_cast<std::size_t>(tree.featureDim())));
+        for (int r = 0; r < count; ++r) {
+            const auto &box = boxes[static_cast<std::size_t>(placed + r)];
+            for (int f = 0; f < tree.featureDim(); ++f) {
+                auto fi = static_cast<std::size_t>(f);
+                sim::CamCell cell;
+                if (!box.dontCare[fi]) {
+                    cell.lo = box.lo[fi];
+                    cell.hi = box.hi[fi];
+                    cell.wildcard = false;
+                }
+                cells[static_cast<std::size_t>(r)][fi] = cell;
+            }
+        }
+        device.writeRanges(sub, cells, 0);
+        placements.push_back({sub, placed, count});
+        placed += count;
+    }
+
+    // Inference: one exact-match search per sample across all
+    // subarrays in parallel; the single matching row is the leaf.
+    AcamTreeRunResult result;
+    auto &timing = device.timing();
+    timing.beginScope(/*parallel=*/false);
+    for (const auto &sample : samples) {
+        timing.beginScope(/*parallel=*/true);
+        int label = -1;
+        for (const Placement &p : placements) {
+            timing.beginScope(/*parallel=*/false);
+            device.search(p.handle, sample, arch::SearchKind::Exact,
+                          false, 0, p.count);
+            const sim::SearchResult &sr = device.read(p.handle);
+            // Boundary samples (x == threshold) can match both sibling
+            // boxes; leaves are stored left-first, so the first match
+            // reproduces the software tree's <=-goes-left rule.
+            if (label < 0 && !sr.matchedRows.empty()) {
+                label = boxes[static_cast<std::size_t>(
+                                  p.firstLeaf + sr.matchedRows.front())]
+                            .label;
+            }
+            timing.endScope();
+        }
+        timing.endScope();
+        device.postMerge(static_cast<int>(placements.size()));
+        C4CAM_ASSERT(label >= 0,
+                     "sample fell outside every leaf box (tree bug)");
+        result.predictions.push_back(label);
+    }
+    timing.endScope();
+    result.perf = device.report();
+    return result;
+}
+
+} // namespace c4cam::apps

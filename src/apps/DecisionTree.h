@@ -1,0 +1,91 @@
+#ifndef C4CAM_APPS_DECISIONTREE_H
+#define C4CAM_APPS_DECISIONTREE_H
+
+/**
+ * @file
+ * Decision-tree inference on analog CAMs (extension).
+ *
+ * The paper cites DT2CAM [25] as the one prior CAM mapping tool and
+ * positions C4CAM as the generalization. This module implements the
+ * decision-tree use case on our ACAM substrate: every root-to-leaf
+ * path becomes one ACAM row whose cells store the feature intervals
+ * implied by the path's threshold tests; inference is a single
+ * exact-match search (a sample falls inside exactly one leaf box).
+ *
+ * Exercises the parts of the stack the similarity kernels do not:
+ * analog range cells, wildcard (don't-care) features and exact-match
+ * sensing.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/Datasets.h"
+#include "arch/ArchSpec.h"
+#include "sim/Timing.h"
+
+namespace c4cam::apps {
+
+/** An axis-aligned decision tree trained with midpoint splits. */
+class DecisionTree
+{
+  public:
+    /**
+     * Greedily grow a tree on @p dataset (gini impurity, midpoint
+     * thresholds) up to @p max_depth.
+     */
+    static DecisionTree fit(const Dataset &dataset, int max_depth);
+
+    /** Class prediction for one sample (software reference). */
+    int predict(const std::vector<float> &x) const;
+
+    /** One root-to-leaf path flattened into per-feature intervals. */
+    struct LeafBox
+    {
+        std::vector<float> lo;       ///< per-feature lower bound
+        std::vector<float> hi;       ///< per-feature upper bound
+        std::vector<bool> dontCare;  ///< feature untested on this path
+        int label;
+    };
+
+    /** All leaves as interval boxes (the ACAM row contents). */
+    std::vector<LeafBox> leafBoxes() const;
+
+    int numLeaves() const;
+    int featureDim() const { return featureDim_; }
+
+  private:
+    struct Node
+    {
+        int feature = -1; ///< -1: leaf
+        float threshold = 0.0f;
+        int label = 0;
+        std::unique_ptr<Node> left;  ///< x[feature] <= threshold
+        std::unique_ptr<Node> right; ///< x[feature] >  threshold
+    };
+
+    std::unique_ptr<Node> root_;
+    int featureDim_ = 0;
+};
+
+/** Result of running a tree on the ACAM simulator. */
+struct AcamTreeRunResult
+{
+    sim::PerfReport perf;
+    std::vector<int> predictions;
+};
+
+/**
+ * Map @p tree onto ACAM subarrays of @p spec (one leaf per row,
+ * row-major packing across subarrays) and classify @p samples with
+ * exact-match range searches.
+ */
+AcamTreeRunResult runTreeOnAcam(const DecisionTree &tree,
+                                const arch::ArchSpec &spec,
+                                const std::vector<std::vector<float>>
+                                    &samples);
+
+} // namespace c4cam::apps
+
+#endif // C4CAM_APPS_DECISIONTREE_H

@@ -1,0 +1,26 @@
+#include "apps/GpuModel.h"
+
+namespace c4cam::apps {
+
+GpuEstimate
+GpuModel::similarityKernel(std::int64_t queries, std::int64_t rows,
+                           std::int64_t dims) const
+{
+    // Memory-bound estimate: each query re-streams the stored matrix
+    // (rows x dims x 4B int32); scores (queries x rows) are swept once
+    // more by the top-k kernel.
+    double matrix_bytes = double(queries) * rows * dims * 4.0;
+    double score_bytes = double(queries) * rows * 4.0 * topkBytesFactor_;
+    double total_bytes = matrix_bytes + score_bytes;
+    double transfer_ns = total_bytes / (bandwidthGBps_ * 1e9) * 1e9;
+    double launch_ns = launchOverheadUs_ * 1000.0 * 2.0; // gemm + topk
+
+    GpuEstimate est;
+    est.latencyNs = transfer_ns + launch_ns;
+    est.avgPowerW = avgPowerW_;
+    // W * ns = 1e-9 J = pJ * 1e3 -> energyPj = W * ns * 1e3.
+    est.energyPj = est.avgPowerW * est.latencyNs * 1e3;
+    return est;
+}
+
+} // namespace c4cam::apps

@@ -1,0 +1,165 @@
+#include "apps/Hdc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+namespace c4cam::apps {
+
+namespace {
+
+/** Dense +-1 random projection matrix (D x F), generated once. */
+class Projector
+{
+  public:
+    Projector(int dimensions, int features, std::uint64_t seed)
+        : dimensions_(dimensions), features_(features),
+          signs_(static_cast<std::size_t>(dimensions) * features)
+    {
+        Rng rng(seed);
+        for (auto &s : signs_)
+            s = rng.nextBool() ? 1 : -1;
+    }
+
+    std::vector<float>
+    operator()(const std::vector<float> &x) const
+    {
+        std::vector<float> out(static_cast<std::size_t>(dimensions_));
+        const std::int8_t *row = signs_.data();
+        for (int d = 0; d < dimensions_; ++d, row += features_) {
+            float acc = 0.0f;
+            for (int f = 0; f < features_; ++f)
+                acc += row[f] * x[static_cast<std::size_t>(f)];
+            out[static_cast<std::size_t>(d)] = acc;
+        }
+        return out;
+    }
+
+  private:
+    int dimensions_;
+    int features_;
+    std::vector<std::int8_t> signs_;
+};
+
+/** Quantize bundle sums into the cell alphabet. */
+std::vector<float>
+quantizeHv(const std::vector<double> &sums, int bits, double scale)
+{
+    std::vector<float> out(sums.size());
+    if (bits == 1) {
+        for (std::size_t i = 0; i < sums.size(); ++i)
+            out[i] = sums[i] >= 0.0 ? 1.0f : -1.0f;
+        return out;
+    }
+    // 2-bit: 4 levels spread over +-scale.
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+        double norm = std::clamp(sums[i] / (scale + 1e-9), -1.0, 1.0);
+        int level = static_cast<int>(std::lround((norm + 1.0) * 1.5));
+        out[i] = static_cast<float>(std::clamp(level, 0, 3));
+    }
+    return out;
+}
+
+} // namespace
+
+HdcWorkload
+encodeHdc(const Dataset &dataset, int dimensions, int bits,
+          int max_queries, std::uint64_t seed)
+{
+    C4CAM_CHECK(bits == 1 || bits == 2, "HDC supports 1 or 2 bits");
+    HdcWorkload workload;
+    workload.dimensions = dimensions;
+    workload.bits = bits;
+    workload.numClasses = dataset.numClasses;
+
+    Projector project(dimensions, dataset.featureDim, seed);
+
+    // Bundle training projections per class.
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(dataset.numClasses),
+        std::vector<double>(static_cast<std::size_t>(dimensions), 0.0));
+    std::vector<int> counts(static_cast<std::size_t>(dataset.numClasses),
+                            0);
+    for (std::size_t i = 0; i < dataset.trainX.size(); ++i) {
+        std::vector<float> hv = project(dataset.trainX[i]);
+        auto cls = static_cast<std::size_t>(dataset.trainY[i]);
+        for (int d = 0; d < dimensions; ++d)
+            sums[cls][static_cast<std::size_t>(d)] +=
+                hv[static_cast<std::size_t>(d)] >= 0.0f ? 1.0 : -1.0;
+        counts[cls]++;
+    }
+    for (int cls = 0; cls < dataset.numClasses; ++cls) {
+        double scale = std::max(1, counts[static_cast<std::size_t>(cls)]);
+        workload.classHvs.push_back(quantizeHv(
+            sums[static_cast<std::size_t>(cls)], bits, scale));
+    }
+
+    // Encode queries.
+    std::size_t limit = max_queries > 0
+                            ? std::min<std::size_t>(
+                                  dataset.testX.size(),
+                                  static_cast<std::size_t>(max_queries))
+                            : dataset.testX.size();
+    for (std::size_t i = 0; i < limit; ++i) {
+        std::vector<float> hv = project(dataset.testX[i]);
+        std::vector<double> as_sum(hv.begin(), hv.end());
+        // Queries quantize with their own magnitude scale.
+        double scale = 0.0;
+        for (double v : as_sum)
+            scale = std::max(scale, std::abs(v));
+        workload.queryHvs.push_back(quantizeHv(as_sum, bits, scale));
+        workload.labels.push_back(dataset.testY[i]);
+    }
+    return workload;
+}
+
+std::vector<int>
+HdcWorkload::hostPredictions() const
+{
+    std::vector<int> predictions;
+    predictions.reserve(queryHvs.size());
+    for (const auto &query : queryHvs) {
+        int best_cls = 0;
+        double best_score = bits == 1
+                                ? -std::numeric_limits<double>::infinity()
+                                : std::numeric_limits<double>::infinity();
+        for (std::size_t cls = 0; cls < classHvs.size(); ++cls) {
+            double score = 0.0;
+            for (std::size_t d = 0; d < query.size(); ++d) {
+                if (bits == 1) {
+                    score += double(query[d]) * classHvs[cls][d];
+                } else {
+                    double diff = double(query[d]) - classHvs[cls][d];
+                    score += diff * diff;
+                }
+            }
+            bool better = bits == 1 ? score > best_score
+                                    : score < best_score;
+            if (better) {
+                best_score = score;
+                best_cls = static_cast<int>(cls);
+            }
+        }
+        predictions.push_back(best_cls);
+    }
+    return predictions;
+}
+
+double
+HdcWorkload::accuracy(const std::vector<int> &predictions) const
+{
+    C4CAM_CHECK(predictions.size() == labels.size(),
+                "prediction/label count mismatch");
+    if (labels.empty())
+        return 0.0;
+    int correct = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        if (predictions[i] == labels[i])
+            ++correct;
+    return double(correct) / double(labels.size());
+}
+
+} // namespace c4cam::apps

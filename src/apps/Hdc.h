@@ -1,0 +1,58 @@
+#ifndef C4CAM_APPS_HDC_H
+#define C4CAM_APPS_HDC_H
+
+/**
+ * @file
+ * Hyperdimensional computing (HDC) workload (paper §IV-A3).
+ *
+ * Random-projection encoder: features are projected onto D-dimensional
+ * hypervectors; class hypervectors are bundled (elementwise majority /
+ * averaged then quantized). Inference finds the class hypervector most
+ * similar to the query hypervector -- the paper's running example for
+ * dot-product similarity on CAMs.
+ *
+ * Binary mode (1 bit/cell, TCAM): elements in {-1, +1}; dot similarity
+ * on the host is order-equivalent to Hamming distance on the CAM bits.
+ * Multi-bit mode (2 bits/cell, MCAM): elements in {0..3}; Euclidean
+ * distance on both paths.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/Datasets.h"
+
+namespace c4cam::apps {
+
+/** An encoded HDC problem instance. */
+struct HdcWorkload
+{
+    int dimensions = 0;   ///< hypervector length D
+    int bits = 1;         ///< 1 (binary) or 2 (multi-bit)
+    int numClasses = 0;
+    /** Class hypervectors (numClasses x D). */
+    std::vector<std::vector<float>> classHvs;
+    /** Encoded test queries (Q x D). */
+    std::vector<std::vector<float>> queryHvs;
+    /** Ground-truth labels per query. */
+    std::vector<int> labels;
+
+    /** Host-reference prediction per query (dot / euclidean). */
+    std::vector<int> hostPredictions() const;
+
+    /** Accuracy of @p predictions against the labels. */
+    double accuracy(const std::vector<int> &predictions) const;
+};
+
+/**
+ * Encode @p dataset into an HDC workload.
+ * @param dimensions hypervector length (paper: 8k for MNIST)
+ * @param bits       1 = binary {-1,+1}; 2 = multi-bit {0..3}
+ * @param max_queries cap on encoded test queries (0 = all)
+ */
+HdcWorkload encodeHdc(const Dataset &dataset, int dimensions, int bits,
+                      int max_queries = 0, std::uint64_t seed = 23);
+
+} // namespace c4cam::apps
+
+#endif // C4CAM_APPS_HDC_H

@@ -1,0 +1,116 @@
+#include "apps/Knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/Error.h"
+
+namespace c4cam::apps {
+
+namespace {
+
+std::vector<float>
+quantizeRow(const std::vector<float> &x, int bits)
+{
+    int levels = 1 << bits;
+    std::vector<float> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        int level = static_cast<int>(
+            std::lround(std::clamp(double(x[i]), 0.0, 1.0) *
+                        (levels - 1)));
+        out[i] = static_cast<float>(level);
+    }
+    return out;
+}
+
+} // namespace
+
+KnnWorkload
+makeKnn(const Dataset &dataset, int bits, int k, int max_queries)
+{
+    C4CAM_CHECK(bits == 1 || bits == 2, "KNN supports 1 or 2 bits");
+    C4CAM_CHECK(k >= 1, "KNN requires k >= 1");
+    KnnWorkload workload;
+    workload.featureDim = dataset.featureDim;
+    workload.bits = bits;
+    workload.k = k;
+    workload.numClasses = dataset.numClasses;
+
+    for (const auto &x : dataset.trainX)
+        workload.stored.push_back(quantizeRow(x, bits));
+    workload.storedLabels = dataset.trainY;
+
+    std::size_t limit = max_queries > 0
+                            ? std::min<std::size_t>(
+                                  dataset.testX.size(),
+                                  static_cast<std::size_t>(max_queries))
+                            : dataset.testX.size();
+    for (std::size_t i = 0; i < limit; ++i) {
+        workload.queries.push_back(quantizeRow(dataset.testX[i], bits));
+        workload.labels.push_back(dataset.testY[i]);
+    }
+    return workload;
+}
+
+std::vector<std::vector<int>>
+KnnWorkload::hostNeighbors() const
+{
+    std::vector<std::vector<int>> result;
+    result.reserve(queries.size());
+    for (const auto &query : queries) {
+        std::vector<double> dist(stored.size(), 0.0);
+        for (std::size_t n = 0; n < stored.size(); ++n) {
+            double acc = 0.0;
+            for (std::size_t d = 0; d < query.size(); ++d) {
+                double diff = double(query[d]) - stored[n][d];
+                acc += diff * diff;
+            }
+            dist[n] = acc;
+        }
+        std::vector<int> order(stored.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](int a, int b) {
+                             return dist[static_cast<std::size_t>(a)] <
+                                    dist[static_cast<std::size_t>(b)];
+                         });
+        order.resize(static_cast<std::size_t>(k));
+        result.push_back(order);
+    }
+    return result;
+}
+
+std::vector<int>
+KnnWorkload::classify(
+    const std::vector<std::vector<int>> &neighbors) const
+{
+    std::vector<int> predictions;
+    predictions.reserve(neighbors.size());
+    for (const auto &nbrs : neighbors) {
+        std::vector<int> votes(static_cast<std::size_t>(numClasses), 0);
+        for (int idx : nbrs)
+            votes[static_cast<std::size_t>(
+                storedLabels[static_cast<std::size_t>(idx)])]++;
+        predictions.push_back(static_cast<int>(
+            std::max_element(votes.begin(), votes.end()) -
+            votes.begin()));
+    }
+    return predictions;
+}
+
+double
+KnnWorkload::accuracy(const std::vector<int> &predictions) const
+{
+    C4CAM_CHECK(predictions.size() == labels.size(),
+                "prediction/label count mismatch");
+    if (labels.empty())
+        return 0.0;
+    int correct = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        if (predictions[i] == labels[i])
+            ++correct;
+    return double(correct) / double(labels.size());
+}
+
+} // namespace c4cam::apps

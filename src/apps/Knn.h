@@ -1,0 +1,56 @@
+#ifndef C4CAM_APPS_KNN_H
+#define C4CAM_APPS_KNN_H
+
+/**
+ * @file
+ * K-nearest-neighbors workload (paper §IV-A3, Table II).
+ *
+ * Every training sample is stored as one CAM row (quantized to the cell
+ * alphabet); classification takes a majority vote over the labels of the
+ * k rows with the smallest distance. The paper evaluates KNN on the
+ * Pneumonia chest X-ray dataset, whose sheer size requires many banks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/Datasets.h"
+
+namespace c4cam::apps {
+
+/** A quantized KNN problem instance. */
+struct KnnWorkload
+{
+    int featureDim = 0;
+    int bits = 1;  ///< quantization levels = 2^bits
+    int k = 5;
+    int numClasses = 0;
+    /** Stored rows (N x D), quantized levels. */
+    std::vector<std::vector<float>> stored;
+    /** Labels of the stored rows. */
+    std::vector<int> storedLabels;
+    /** Query rows (Q x D), quantized levels. */
+    std::vector<std::vector<float>> queries;
+    std::vector<int> labels;
+
+    /** Host-reference (euclidean) neighbor indices per query (Q x k). */
+    std::vector<std::vector<int>> hostNeighbors() const;
+
+    /** Majority-vote predictions from neighbor indices. */
+    std::vector<int> classify(
+        const std::vector<std::vector<int>> &neighbors) const;
+
+    double accuracy(const std::vector<int> &predictions) const;
+};
+
+/**
+ * Quantize @p dataset into a KNN workload.
+ * @param bits 1 -> binary levels {0,1}; 2 -> levels {0..3}
+ * @param max_queries cap on queries (0 = all)
+ */
+KnnWorkload makeKnn(const Dataset &dataset, int bits, int k,
+                    int max_queries = 0);
+
+} // namespace c4cam::apps
+
+#endif // C4CAM_APPS_KNN_H

@@ -1,0 +1,144 @@
+#include "apps/ManualBaseline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/CamDevice.h"
+#include "support/Error.h"
+
+namespace c4cam::apps {
+
+ManualRunResult
+runManualHdc(const HdcWorkload &workload, const arch::ArchSpec &spec,
+             int max_queries)
+{
+    sim::CamDevice device(spec);
+    auto &timing = device.timing();
+
+    int num_classes = workload.numClasses;
+    int dims = workload.dimensions;
+    int cols = spec.cols;
+    C4CAM_CHECK(num_classes <= spec.rows,
+                "manual HDC mapping stores one class per row");
+
+    // One column tile per subarray, packed in hierarchy order.
+    int col_tiles = (dims + cols - 1) / cols;
+    int per_bank = static_cast<int>(spec.subarraysPerBank());
+    int banks = (col_tiles + per_bank - 1) / per_bank;
+
+    struct Placement
+    {
+        sim::Handle handle;
+        int colOffset;
+        int colCount;
+    };
+    std::vector<Placement> placements;
+
+    // Setup: allocate the hierarchy and program class hypervectors.
+    for (int b = 0; b < banks; ++b) {
+        sim::Handle bank = device.allocBank(spec.rows, spec.cols);
+        for (int m = 0; m < spec.matsPerBank; ++m) {
+            int mat_first =
+                ((b * spec.matsPerBank + m) * spec.arraysPerMat) *
+                spec.subarraysPerArray;
+            if (mat_first >= col_tiles)
+                break;
+            sim::Handle mat = device.allocMat(bank);
+            for (int a = 0; a < spec.arraysPerMat; ++a) {
+                int array_first =
+                    ((b * spec.matsPerBank + m) * spec.arraysPerMat + a) *
+                    spec.subarraysPerArray;
+                if (array_first >= col_tiles)
+                    break;
+                sim::Handle array = device.allocArray(mat);
+                for (int s = 0; s < spec.subarraysPerArray; ++s) {
+                    int tile = array_first + s;
+                    if (tile >= col_tiles)
+                        break;
+                    sim::Handle sub = device.allocSubarray(array);
+                    int off = tile * cols;
+                    int width = std::min(cols, dims - off);
+                    std::vector<std::vector<float>> data(
+                        static_cast<std::size_t>(num_classes));
+                    for (int c = 0; c < num_classes; ++c)
+                        data[static_cast<std::size_t>(c)].assign(
+                            workload.classHvs[static_cast<std::size_t>(c)]
+                                    .begin() + off,
+                            workload.classHvs[static_cast<std::size_t>(c)]
+                                    .begin() + off + width);
+                    device.writeValue(sub, data, 0);
+                    placements.push_back({sub, off, width});
+                }
+            }
+        }
+    }
+
+    bool euclidean = workload.bits != 1;
+
+    ManualRunResult result;
+    std::size_t query_count =
+        max_queries > 0 ? std::min<std::size_t>(
+                              workload.queryHvs.size(),
+                              static_cast<std::size_t>(max_queries))
+                        : workload.queryHvs.size();
+
+    // Query phase: queries are sequential; the whole hierarchy searches
+    // in parallel; the manual design merges once per array.
+    timing.beginScope(/*parallel=*/false); // query stream
+    for (std::size_t qi = 0; qi < query_count; ++qi) {
+        const std::vector<float> &query = workload.queryHvs[qi];
+        std::vector<double> dist(static_cast<std::size_t>(num_classes),
+                                 0.0);
+        timing.beginScope(/*parallel=*/true); // banks+all below
+        int subs_per_array = spec.subarraysPerArray;
+        for (std::size_t p = 0; p < placements.size();
+             p += static_cast<std::size_t>(subs_per_array)) {
+            // One array's worth of subarrays.
+            timing.beginScope(/*parallel=*/false);
+            timing.beginScope(/*parallel=*/true);
+            std::size_t end = std::min(
+                placements.size(),
+                p + static_cast<std::size_t>(subs_per_array));
+            for (std::size_t i = p; i < end; ++i) {
+                const Placement &pl = placements[i];
+                std::vector<float> slice(
+                    query.begin() + pl.colOffset,
+                    query.begin() + pl.colOffset + pl.colCount);
+                timing.beginScope(/*parallel=*/false);
+                device.search(pl.handle, slice, arch::SearchKind::Best,
+                              euclidean, 0, num_classes);
+                const sim::SearchResult &sr = device.read(pl.handle);
+                for (std::size_t r = 0; r < sr.values.size(); ++r)
+                    dist[static_cast<std::size_t>(sr.indices[r])] +=
+                        sr.values[r];
+                timing.endScope();
+            }
+            timing.endScope();
+            // [22]-style: one hardwired reduction tree per array whose
+            // width follows the subarray count (differential inputs),
+            // plus the analog accumulation capacitors it charges.
+            device.postMerge(2 * subs_per_array);
+            timing.post(0.0, 0.08 * subs_per_array);
+            timing.endScope();
+        }
+        timing.endScope();
+        // Global class selection (winner-take-all across arrays).
+        device.postMerge(num_classes);
+
+        int best = 0;
+        double best_val = std::numeric_limits<double>::infinity();
+        for (int c = 0; c < num_classes; ++c) {
+            if (dist[static_cast<std::size_t>(c)] < best_val) {
+                best_val = dist[static_cast<std::size_t>(c)];
+                best = c;
+            }
+        }
+        result.predictions.push_back(best);
+    }
+    timing.endScope();
+
+    result.perf = device.report();
+    return result;
+}
+
+} // namespace c4cam::apps

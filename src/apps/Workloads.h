@@ -1,0 +1,56 @@
+#ifndef C4CAM_APPS_WORKLOADS_H
+#define C4CAM_APPS_WORKLOADS_H
+
+/**
+ * @file
+ * TorchScript kernel sources for the benchmark workloads -- the same
+ * high-level programs a PyTorch user would hand to C4CAM (Fig. 4a).
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace c4cam::apps {
+
+/**
+ * HDC dot-similarity kernel (paper Fig. 4a): queries x class-HV matrix,
+ * top-k by dot product.
+ */
+inline std::string
+dotSimilaritySource(std::int64_t queries, std::int64_t rows,
+                    std::int64_t dims, std::int64_t k)
+{
+    std::ostringstream oss;
+    oss << "def forward(input: Tensor[" << queries << ", " << dims
+        << "], weight: Tensor[" << rows << ", " << dims << "]):\n"
+        << "    others = self.weight.transpose(-2, -1)\n"
+        << "    matmul = torch.matmul(input, others)\n"
+        << "    values, indices = torch.ops.aten.topk(matmul, " << k
+        << ", -1, largest=True)\n"
+        << "    return values, indices\n";
+    return oss.str();
+}
+
+/**
+ * KNN euclidean kernel: dist = norm(query - stored), top-k smallest
+ * (the EuclNormPattern of Algorithm 1).
+ */
+inline std::string
+knnEuclideanSource(std::int64_t queries, std::int64_t rows,
+                   std::int64_t dims, std::int64_t k)
+{
+    std::ostringstream oss;
+    oss << "def forward(x: Tensor[" << queries << ", " << dims
+        << "], train: Tensor[" << rows << ", " << dims << "]):\n"
+        << "    diff = torch.sub(x, train)\n"
+        << "    dist = torch.norm(diff, p=2)\n"
+        << "    knn, idx = torch.topk(dist, " << k
+        << ", largest=False)\n"
+        << "    return knn, idx\n";
+    return oss.str();
+}
+
+} // namespace c4cam::apps
+
+#endif // C4CAM_APPS_WORKLOADS_H

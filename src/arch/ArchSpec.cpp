@@ -1,0 +1,221 @@
+#include "arch/ArchSpec.h"
+
+#include "support/Error.h"
+
+namespace c4cam::arch {
+
+const char *
+toString(CamDeviceType type)
+{
+    switch (type) {
+      case CamDeviceType::Tcam: return "tcam";
+      case CamDeviceType::Mcam: return "mcam";
+      case CamDeviceType::Acam: return "acam";
+    }
+    return "?";
+}
+
+const char *
+toString(AccessMode mode)
+{
+    return mode == AccessMode::Parallel ? "parallel" : "sequential";
+}
+
+const char *
+toString(OptTarget target)
+{
+    switch (target) {
+      case OptTarget::Base: return "base";
+      case OptTarget::Latency: return "latency";
+      case OptTarget::Power: return "power";
+      case OptTarget::Density: return "density";
+      case OptTarget::PowerDensity: return "power+density";
+    }
+    return "?";
+}
+
+CamDeviceType
+camDeviceTypeFromString(const std::string &s)
+{
+    if (s == "tcam")
+        return CamDeviceType::Tcam;
+    if (s == "mcam")
+        return CamDeviceType::Mcam;
+    if (s == "acam")
+        return CamDeviceType::Acam;
+    C4CAM_USER_ERROR("unknown CAM device type '" << s
+                     << "' (expected tcam/mcam/acam)");
+}
+
+AccessMode
+accessModeFromString(const std::string &s)
+{
+    if (s == "parallel")
+        return AccessMode::Parallel;
+    if (s == "sequential")
+        return AccessMode::Sequential;
+    C4CAM_USER_ERROR("unknown access mode '" << s
+                     << "' (expected parallel/sequential)");
+}
+
+OptTarget
+optTargetFromString(const std::string &s)
+{
+    if (s == "base")
+        return OptTarget::Base;
+    if (s == "latency")
+        return OptTarget::Latency;
+    if (s == "power")
+        return OptTarget::Power;
+    if (s == "density")
+        return OptTarget::Density;
+    if (s == "power+density" || s == "power_density")
+        return OptTarget::PowerDensity;
+    C4CAM_USER_ERROR("unknown optimization target '" << s << "'");
+}
+
+void
+ArchSpec::validate() const
+{
+    C4CAM_CHECK(rows > 0 && cols > 0, "subarray dims must be positive");
+    C4CAM_CHECK(subarraysPerArray > 0 && arraysPerMat > 0 &&
+                    matsPerBank > 0,
+                "hierarchy fan-outs must be positive");
+    C4CAM_CHECK(numBanks >= 0, "numBanks must be >= 0 (0 = auto)");
+    C4CAM_CHECK(bitsPerCell == 1 || bitsPerCell == 2,
+                "bitsPerCell must be 1 or 2");
+    C4CAM_CHECK(maxActiveSubarrays >= 0 &&
+                    maxActiveSubarrays <= subarraysPerArray,
+                "maxActiveSubarrays must be in [0, subarraysPerArray]");
+    if (camType == CamDeviceType::Tcam)
+        C4CAM_CHECK(bitsPerCell == 1, "TCAM cells store 1 bit");
+}
+
+ArchSpec
+ArchSpec::fromJson(const JsonValue &json)
+{
+    ArchSpec spec;
+    spec.camType =
+        camDeviceTypeFromString(json.getString("cam_type", "tcam"));
+    spec.bitsPerCell =
+        static_cast<int>(json.getInt("bits_per_cell",
+                                     spec.camType == CamDeviceType::Mcam
+                                         ? 2 : 1));
+    spec.processNode = static_cast<int>(json.getInt("process_node", 45));
+    spec.wordWidth = static_cast<int>(json.getInt("word_width", 64));
+    spec.rows = static_cast<int>(json.getInt("rows_per_subarray", 32));
+    spec.cols = static_cast<int>(json.getInt("cols_per_subarray", 32));
+    spec.subarraysPerArray =
+        static_cast<int>(json.getInt("subarrays_per_array", 8));
+    spec.arraysPerMat = static_cast<int>(json.getInt("arrays_per_mat", 4));
+    spec.matsPerBank = static_cast<int>(json.getInt("mats_per_bank", 4));
+    spec.numBanks = static_cast<int>(json.getInt("num_banks", 0));
+    spec.subarrayMode =
+        accessModeFromString(json.getString("subarray_mode", "parallel"));
+    spec.arrayMode =
+        accessModeFromString(json.getString("array_mode", "parallel"));
+    spec.matMode =
+        accessModeFromString(json.getString("mat_mode", "parallel"));
+    spec.bankMode =
+        accessModeFromString(json.getString("bank_mode", "parallel"));
+    spec.target = optTargetFromString(json.getString("target", "base"));
+    spec.maxActiveSubarrays =
+        static_cast<int>(json.getInt("max_active_subarrays", 0));
+    spec.selectiveSearch = json.getBool("selective_search", false);
+
+    // Optimization targets imply their knobs unless explicitly set.
+    if (spec.target == OptTarget::Power ||
+        spec.target == OptTarget::PowerDensity) {
+        if (spec.maxActiveSubarrays == 0)
+            spec.maxActiveSubarrays = 1;
+    }
+    if (spec.target == OptTarget::Density ||
+        spec.target == OptTarget::PowerDensity) {
+        spec.selectiveSearch = true;
+    }
+
+    spec.validate();
+    return spec;
+}
+
+ArchSpec
+ArchSpec::fromFile(const std::string &path)
+{
+    return fromJson(parseJsonFile(path));
+}
+
+JsonValue
+ArchSpec::toJson() const
+{
+    JsonValue json = JsonValue::makeObject();
+    json.set("cam_type", JsonValue(std::string(toString(camType))));
+    json.set("bits_per_cell", JsonValue(double(bitsPerCell)));
+    json.set("process_node", JsonValue(double(processNode)));
+    json.set("word_width", JsonValue(double(wordWidth)));
+    json.set("rows_per_subarray", JsonValue(double(rows)));
+    json.set("cols_per_subarray", JsonValue(double(cols)));
+    json.set("subarrays_per_array", JsonValue(double(subarraysPerArray)));
+    json.set("arrays_per_mat", JsonValue(double(arraysPerMat)));
+    json.set("mats_per_bank", JsonValue(double(matsPerBank)));
+    json.set("num_banks", JsonValue(double(numBanks)));
+    json.set("subarray_mode",
+             JsonValue(std::string(toString(subarrayMode))));
+    json.set("array_mode", JsonValue(std::string(toString(arrayMode))));
+    json.set("mat_mode", JsonValue(std::string(toString(matMode))));
+    json.set("bank_mode", JsonValue(std::string(toString(bankMode))));
+    json.set("target", JsonValue(std::string(toString(target))));
+    json.set("max_active_subarrays",
+             JsonValue(double(maxActiveSubarrays)));
+    json.set("selective_search", JsonValue(selectiveSearch));
+    return json;
+}
+
+ArchSpec
+ArchSpec::validationSetup(int cols, int bits_per_cell)
+{
+    ArchSpec spec;
+    spec.camType = bits_per_cell == 1 ? CamDeviceType::Tcam
+                                      : CamDeviceType::Mcam;
+    spec.bitsPerCell = bits_per_cell;
+    spec.rows = 32;
+    spec.cols = cols;
+    spec.subarraysPerArray = 8;
+    spec.arraysPerMat = 4;
+    spec.matsPerBank = 4;
+    spec.numBanks = 0;
+    spec.validate();
+    return spec;
+}
+
+ArchSpec
+ArchSpec::dseSetup(int n, OptTarget target)
+{
+    ArchSpec spec;
+    spec.rows = n;
+    spec.cols = n;
+    spec.subarraysPerArray = 8;
+    spec.arraysPerMat = 4;
+    spec.matsPerBank = 4;
+    spec.numBanks = 0;
+    spec.target = target;
+    if (target == OptTarget::Power || target == OptTarget::PowerDensity)
+        spec.maxActiveSubarrays = 1;
+    if (target == OptTarget::Density || target == OptTarget::PowerDensity)
+        spec.selectiveSearch = true;
+    spec.validate();
+    return spec;
+}
+
+ArchSpec
+ArchSpec::isoCapacitySetup(int n, OptTarget target)
+{
+    ArchSpec spec = dseSetup(n, target);
+    std::int64_t cells = std::int64_t(1) << 16;
+    spec.subarraysPerArray = static_cast<int>(cells / (n * std::int64_t(n)));
+    C4CAM_CHECK(spec.subarraysPerArray >= 1,
+                "iso-capacity subarray larger than the array budget");
+    spec.validate();
+    return spec;
+}
+
+} // namespace c4cam::arch

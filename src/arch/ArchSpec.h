@@ -1,0 +1,148 @@
+#ifndef C4CAM_ARCH_ARCHSPEC_H
+#define C4CAM_ARCH_ARCHSPEC_H
+
+/**
+ * @file
+ * Architecture specification for CAM accelerators (paper §II-C, §III-B).
+ *
+ * Describes the four-level hierarchy (banks -> mats -> arrays ->
+ * subarrays), the subarray geometry, per-level access modes, the CAM
+ * device type and the compiler optimization target. Loaded from a JSON
+ * file or built programmatically; presets mirror the paper's setups.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "support/Json.h"
+
+namespace c4cam::arch {
+
+/** CAM device families (paper §I). */
+enum class CamDeviceType {
+    Tcam, ///< ternary CAM, binary cells + don't-care
+    Mcam, ///< multi-bit CAM (2 bits/cell here, as in the 2Fe-FET design)
+    Acam, ///< analog CAM storing [lo, hi] ranges per cell
+};
+
+/** Whether sibling units at one hierarchy level operate concurrently. */
+enum class AccessMode { Parallel, Sequential };
+
+/** Built-in optimization targets (paper §III-B, §IV-C). */
+enum class OptTarget {
+    Base,         ///< cam-base: fully parallel, no extra optimization
+    Latency,      ///< maximize parallel array utilization
+    Power,        ///< cam-power: limit concurrently active subarrays
+    Density,      ///< cam-density: selective-search row packing
+    PowerDensity, ///< cam-power+density: both of the above
+};
+
+const char *toString(CamDeviceType type);
+const char *toString(AccessMode mode);
+const char *toString(OptTarget target);
+
+CamDeviceType camDeviceTypeFromString(const std::string &s);
+AccessMode accessModeFromString(const std::string &s);
+OptTarget optTargetFromString(const std::string &s);
+
+/**
+ * Full description of one CAM accelerator configuration.
+ */
+struct ArchSpec
+{
+    /// @name Device
+    /// @{
+    CamDeviceType camType = CamDeviceType::Tcam;
+    int bitsPerCell = 1;      ///< 1 (binary/TCAM) or 2 (multi-bit/MCAM)
+    int processNode = 45;     ///< technology node in nm
+    int wordWidth = 64;       ///< host interface width (bits)
+    /// @}
+
+    /// @name Hierarchy geometry
+    /// @{
+    int rows = 32;            ///< rows per subarray
+    int cols = 32;            ///< columns (cells per row) per subarray
+    int subarraysPerArray = 8;
+    int arraysPerMat = 4;
+    int matsPerBank = 4;
+    int numBanks = 0;         ///< 0 = allocate as many banks as needed
+    /// @}
+
+    /// @name Access modes per level
+    /// @{
+    AccessMode subarrayMode = AccessMode::Parallel;
+    AccessMode arrayMode = AccessMode::Parallel;
+    AccessMode matMode = AccessMode::Parallel;
+    AccessMode bankMode = AccessMode::Parallel;
+    /// @}
+
+    /// @name Optimization knobs
+    /// @{
+    OptTarget target = OptTarget::Base;
+    /** Max subarrays active at once inside an array; 0 = all. */
+    int maxActiveSubarrays = 0;
+    /** Enable selective row search (multi-batch packing) [27]. */
+    bool selectiveSearch = false;
+    /// @}
+
+    /// @name Derived quantities
+    /// @{
+    std::int64_t cellsPerSubarray() const
+    {
+        return static_cast<std::int64_t>(rows) * cols;
+    }
+    std::int64_t subarraysPerBank() const
+    {
+        return static_cast<std::int64_t>(subarraysPerArray) * arraysPerMat *
+               matsPerBank;
+    }
+    /** Columns covered by one fully-used bank when tiling horizontally. */
+    std::int64_t colsPerBank() const { return subarraysPerBank() * cols; }
+    std::int64_t colsPerMat() const
+    {
+        return static_cast<std::int64_t>(subarraysPerArray) * arraysPerMat *
+               cols;
+    }
+    std::int64_t colsPerArray() const
+    {
+        return static_cast<std::int64_t>(subarraysPerArray) * cols;
+    }
+    /// @}
+
+    /** Raise CompilerError when the spec is inconsistent. */
+    void validate() const;
+
+    /// @name Serialization
+    /// @{
+    static ArchSpec fromJson(const JsonValue &json);
+    static ArchSpec fromFile(const std::string &path);
+    JsonValue toJson() const;
+    /// @}
+
+    /// @name Paper presets
+    /// @{
+    /**
+     * The validation setup of §IV-B / [22]: 4 mats/bank, 4 arrays/mat,
+     * 8 subarrays/array, 32-row subarrays with @p cols columns.
+     */
+    static ArchSpec validationSetup(int cols, int bits_per_cell);
+
+    /**
+     * The DSE setup of §IV-C1: square subarrays of size @p n with the
+     * same 4/4/8 hierarchy and the given optimization target.
+     */
+    static ArchSpec dseSetup(int n, OptTarget target);
+
+    /**
+     * Iso-capacity setup of §IV-C2: square subarrays of size @p n with
+     * subarraysPerArray chosen so each array holds 2^16 cells.
+     */
+    static ArchSpec isoCapacitySetup(int n, OptTarget target);
+    /// @}
+
+    bool operator==(const ArchSpec &other) const = default;
+};
+
+} // namespace c4cam::arch
+
+#endif // C4CAM_ARCH_ARCHSPEC_H

@@ -1,0 +1,99 @@
+#include "arch/TechModel.h"
+
+#include <cmath>
+
+#include "support/Error.h"
+
+namespace c4cam::arch {
+
+TechModel::TechModel(CamDeviceType type, int bits_per_cell)
+    : type_(type), bits_(bits_per_cell)
+{
+    C4CAM_CHECK(bits_ == 1 || bits_ == 2, "bits per cell must be 1 or 2");
+    if (type_ == CamDeviceType::Tcam)
+        C4CAM_CHECK(bits_ == 1, "TCAM stores one bit per cell");
+}
+
+TechModel
+TechModel::forSpec(const ArchSpec &spec)
+{
+    return TechModel(spec.camType, spec.bitsPerCell);
+}
+
+double
+TechModel::searchLatencyNs(int cols) const
+{
+    C4CAM_ASSERT(cols > 0, "searchLatencyNs: cols must be positive");
+    double ns = searchBaseNs_ + searchPerColNs_ * cols;
+    if (bits_ == 2)
+        ns *= mbLatencyFactor_;
+    return ns;
+}
+
+double
+TechModel::senseLatencyNs(SearchKind kind) const
+{
+    double ns = 0.0;
+    switch (kind) {
+      case SearchKind::Exact: ns = senseExactNs_; break;
+      case SearchKind::Range: ns = senseRangeNs_; break;
+      case SearchKind::Best: ns = senseBestNs_; break;
+    }
+    if (bits_ == 2)
+        ns *= mbLatencyFactor_;
+    return ns;
+}
+
+double
+TechModel::mergeLatencyNs(int level_fanout) const
+{
+    if (level_fanout <= 1)
+        return 0.0;
+    // Tree reduction across the level's children.
+    return mergeBaseNs_ * std::ceil(std::log2(double(level_fanout)));
+}
+
+SearchEnergyBreakdown
+TechModel::searchEnergyBreakdown(int precharged_rows, int sensed_rows,
+                                 int cols, SearchKind kind) const
+{
+    C4CAM_ASSERT(precharged_rows >= 0 && sensed_rows >= 0 && cols > 0,
+                 "searchEnergyPj: bad geometry");
+    C4CAM_ASSERT(sensed_rows <= precharged_rows,
+                 "cannot sense rows that were not precharged");
+    double cell = cellSearchPj_;
+    double sa = senseAmpPj_;
+    double drv = driverPj_;
+    if (bits_ == 2) {
+        cell *= mbCellEnergyFactor_;
+        sa *= mbSenseEnergyFactor_;
+        drv *= mbDriverEnergyFactor_;
+    }
+    // Best-match sensing (ADC / winner-take-all) costs extra per row.
+    double sense_factor = kind == SearchKind::Best ? 1.6
+                          : kind == SearchKind::Range ? 1.2
+                                                      : 1.0;
+    SearchEnergyBreakdown split;
+    split.cellPj = double(precharged_rows) * cols * cell;
+    split.sensePj = double(sensed_rows) * sa * sense_factor;
+    split.driverPj = double(cols) * drv;
+    return split;
+}
+
+double
+TechModel::searchEnergyPj(int precharged_rows, int sensed_rows, int cols,
+                          SearchKind kind) const
+{
+    return searchEnergyBreakdown(precharged_rows, sensed_rows, cols, kind)
+        .total();
+}
+
+double
+TechModel::mergeEnergyPj(int level_fanout) const
+{
+    if (level_fanout <= 1)
+        return 0.0;
+    return mergePjPerChild_ * level_fanout;
+}
+
+} // namespace c4cam::arch

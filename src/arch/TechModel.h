@@ -1,0 +1,167 @@
+#ifndef C4CAM_ARCH_TECHMODEL_H
+#define C4CAM_ARCH_TECHMODEL_H
+
+/**
+ * @file
+ * Technology model for 2FeFET CAM arrays at the 45 nm node.
+ *
+ * Stand-in for Eva-CAM [29]: closed-form latency/energy expressions per
+ * CAM primitive, anchored to the numbers the paper reports:
+ *  - search latency 860 ps for 16x16 subarrays and 7.5 ns for 256x256
+ *    (paper §IV-A1); modeled as an affine function of the column count
+ *    since the match line discharges more slowly for larger columns;
+ *  - per-query energies in the hundreds of pJ for the 32xC validation
+ *    arrays (paper Fig. 7b), decomposed into per-cell search energy,
+ *    per-row sense-amplifier energy and per-column driver energy;
+ *  - multi-bit (MCAM) cells cost more energy and latency than binary
+ *    cells because of the higher ML and data line voltages (Fig. 7).
+ *
+ * All latencies are in nanoseconds, energies in picojoules.
+ */
+
+#include "arch/ArchSpec.h"
+
+namespace c4cam::arch {
+
+/** Search kinds at the device level (mirrors the cam dialect). */
+enum class SearchKind { Exact, Best, Range };
+
+/** Per-component split of one search cycle's energy (pJ). */
+struct SearchEnergyBreakdown
+{
+    double cellPj = 0.0;   ///< ML precharge/discharge across the cells
+    double sensePj = 0.0;  ///< sense amplifiers on the sensed rows
+    double driverPj = 0.0; ///< data-line drivers across the columns
+
+    double total() const { return cellPj + sensePj + driverPj; }
+};
+
+/**
+ * Latency/energy model for one CAM technology configuration.
+ */
+class TechModel
+{
+  public:
+    /** Model for the given device type and bits/cell. */
+    explicit TechModel(CamDeviceType type = CamDeviceType::Tcam,
+                       int bits_per_cell = 1);
+
+    /** Convenience: model matching an architecture spec. */
+    static TechModel forSpec(const ArchSpec &spec);
+
+    /// @name Search timing
+    /// @{
+    /**
+     * Match-line search latency for one subarray with @p cols columns.
+     * Affine in the column count; anchored at (16 -> 0.86 ns) and
+     * (256 -> 7.5 ns) for binary cells.
+     */
+    double searchLatencyNs(int cols) const;
+
+    /** Sense + encode latency after the MLs settle. */
+    double senseLatencyNs(SearchKind kind) const;
+
+    /** Query broadcast/driver latency per search issue. */
+    double queryDriveLatencyNs() const { return queryDriveNs_; }
+
+    /** Result-merging latency contributed by one hierarchy level. */
+    double mergeLatencyNs(int level_fanout) const;
+    /// @}
+
+    /// @name Search energy
+    /// @{
+    /**
+     * Energy of one search cycle on a subarray with @p cols columns.
+     *
+     * @param precharged_rows rows whose match lines precharge and
+     *        discharge this cycle (the full subarray in ordinary
+     *        operation; selective-search cycles also precharge every
+     *        ML -- the selection happens at the sensing stage);
+     * @param sensed_rows rows whose sense amplifiers fire (the row
+     *        window under selective search [27], all rows otherwise).
+     */
+    double searchEnergyPj(int precharged_rows, int sensed_rows, int cols,
+                          SearchKind kind) const;
+
+    /** Component split of searchEnergyPj (same parameters). */
+    SearchEnergyBreakdown searchEnergyBreakdown(int precharged_rows,
+                                                int sensed_rows, int cols,
+                                                SearchKind kind) const;
+
+    /** Convenience: full-subarray search (all rows sensed). */
+    double
+    searchEnergyPj(int rows, int cols, SearchKind kind) const
+    {
+        return searchEnergyPj(rows, rows, cols, kind);
+    }
+
+    /** Per-cell component of the search energy. */
+    double cellSearchEnergyPj() const { return cellSearchPj_; }
+
+    /** Sense-amplifier energy per active row per search. */
+    double senseAmpEnergyPj() const { return senseAmpPj_; }
+
+    /** Driver energy per column per search issue. */
+    double driverEnergyPj() const { return driverPj_; }
+
+    /** Energy of merging partial results across @p fanout children. */
+    double mergeEnergyPj(int level_fanout) const;
+    /// @}
+
+    /// @name Write path
+    /// @{
+    /** Program latency for one row (FeFET program pulse). */
+    double writeLatencyNsPerRow() const { return writeNsPerRow_; }
+
+    /** Program energy per cell. */
+    double writeEnergyPjPerCell() const { return writePjPerCell_; }
+    /// @}
+
+    /// @name Static leakage / peripheral idle power
+    /// @{
+    /** Idle power per allocated subarray (mW), counted while a kernel
+     *  occupies the device. Small compared to dynamic power. */
+    double idlePowerMwPerSubarray() const { return idleMwPerSub_; }
+    /// @}
+
+    CamDeviceType deviceType() const { return type_; }
+    int bitsPerCell() const { return bits_; }
+
+  private:
+    CamDeviceType type_;
+    int bits_;
+
+    // Calibration constants (see file comment). Binary-cell baselines,
+    // scaled by the multi-bit factors below when bits_ == 2.
+    // Per-search costs are kept lean: in sequential (power-capped)
+    // operation the drive and sense stages pipeline with the next ML
+    // evaluation, so most of the per-query overhead sits in the
+    // merge/reduction tree below.
+    double searchBaseNs_ = 0.417333;   ///< affine intercept
+    double searchPerColNs_ = 0.0276667; ///< affine slope per column
+    double senseExactNs_ = 0.15;
+    double senseRangeNs_ = 0.25;
+    double senseBestNs_ = 0.40;        ///< winner-take-all circuit
+    double queryDriveNs_ = 0.30;
+    double mergeBaseNs_ = 0.50;
+
+    double cellSearchPj_ = 0.00050;    ///< ~0.5 fJ/cell/search
+    double senseAmpPj_ = 0.0110;       ///< per row sense amplifier
+    double driverPj_ = 0.0020;         ///< per column driver
+    double mergePjPerChild_ = 0.020;
+
+    double writeNsPerRow_ = 10.0;      ///< FeFET program pulse
+    double writePjPerCell_ = 0.0500;
+
+    double idleMwPerSub_ = 0.00050;
+
+    // Multi-bit penalty factors (higher ML/data-line voltages).
+    double mbLatencyFactor_ = 1.30;
+    double mbCellEnergyFactor_ = 1.35;
+    double mbSenseEnergyFactor_ = 1.30;
+    double mbDriverEnergyFactor_ = 1.50;
+};
+
+} // namespace c4cam::arch
+
+#endif // C4CAM_ARCH_TECHMODEL_H

@@ -1,0 +1,131 @@
+#include "core/Compiler.h"
+
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Verifier.h"
+#include "passes/CamMapping.h"
+#include "passes/Canonicalize.h"
+#include "passes/CimFuseOps.h"
+#include "passes/CimPartition.h"
+#include "passes/CimSimilarityMatching.h"
+#include "passes/CimToLoops.h"
+#include "passes/TorchToCim.h"
+#include "runtime/Interpreter.h"
+#include "support/Error.h"
+
+namespace c4cam::core {
+
+CompiledKernel::CompiledKernel(std::shared_ptr<ir::Context> ctx,
+                               ir::Module module, CompilerOptions options,
+                               passes::MappingPlan plan)
+    : ctx_(std::move(ctx)), module_(std::move(module)),
+      options_(std::move(options)), plan_(plan)
+{
+    auto funcs = module_.functions();
+    C4CAM_CHECK(!funcs.empty(), "compiled module has no functions");
+    entry_ = funcs.front()->strAttr("sym_name");
+}
+
+ExecutionResult
+CompiledKernel::run(const std::vector<rt::BufferPtr> &args)
+{
+    ExecutionResult result;
+    std::vector<rt::RtValue> rt_args;
+    rt_args.reserve(args.size());
+    for (const rt::BufferPtr &arg : args)
+        rt_args.emplace_back(arg);
+
+    if (options_.hostOnly) {
+        rt::Interpreter interpreter(module_, nullptr);
+        result.outputs = interpreter.callFunction(entry_, rt_args);
+        return result;
+    }
+
+    sim::CamDevice device(options_.spec);
+    rt::Interpreter interpreter(module_, &device);
+    result.outputs = interpreter.callFunction(entry_, rt_args);
+    result.perf = device.report();
+    return result;
+}
+
+Compiler::Compiler(CompilerOptions options) : options_(std::move(options))
+{
+    options_.spec.validate();
+}
+
+void
+Compiler::buildPipeline(ir::PassManager &pm) const
+{
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    if (options_.hostOnly) {
+        if (options_.lowerToLoops)
+            pm.add<passes::CimToLoopsPass>();
+        else
+            pm.add<passes::CimPartitionPass>(options_.spec);
+    } else {
+        pm.add<passes::CamMappingPass>(options_.spec);
+    }
+    pm.add<passes::CanonicalizePass>();
+}
+
+CompiledKernel
+Compiler::compileTorchScript(const std::string &source)
+{
+    auto ctx = std::make_shared<ir::Context>();
+    dialects::loadAllDialects(*ctx);
+    ir::Module module = frontend::parseTorchScriptModule(*ctx, source);
+    return compileModule(std::move(ctx), std::move(module));
+}
+
+CompiledKernel
+Compiler::compileModule(std::shared_ptr<ir::Context> ctx,
+                        ir::Module module)
+{
+    ir::verifyModule(module);
+
+    ir::PassManager pm;
+    pm.enableTiming(options_.timePasses);
+    buildPipeline(pm);
+
+    std::vector<std::pair<std::string, std::string>> dumps;
+    if (options_.dumpIntermediates) {
+        pm.setAfterPassCallback(
+            [&dumps](const std::string &pass, ir::Module &m) {
+                dumps.emplace_back(pass, m.str());
+            });
+    }
+
+    // Grab the mapping plan out of the cam-map pass before pm owns it.
+    // (buildPipeline added it last for the device path.)
+    pm.run(module);
+
+    passes::MappingPlan plan;
+    if (!options_.hostOnly) {
+        // Recompute the plan from the kernel shapes for reporting; the
+        // pass computed the same values during mapping.
+        // The entry function signature carries (query, stored) shapes.
+        auto funcs = module.functions();
+        C4CAM_CHECK(!funcs.empty(), "module lost its functions");
+        ir::Block *body = &funcs.front()->region(0).front();
+        if (body->numArguments() >= 2) {
+            ir::Type query_t = body->argument(0)->type();
+            ir::Type stored_t = body->argument(1)->type();
+            if (query_t.isTensor() && stored_t.isTensor() &&
+                query_t.rank() == 2 && stored_t.rank() == 2) {
+                plan = passes::MappingPlan::compute(
+                    options_.spec, query_t.shape()[0],
+                    stored_t.shape()[0], stored_t.shape()[1]);
+            }
+        }
+    }
+
+    CompiledKernel kernel(std::move(ctx), std::move(module), options_,
+                          plan);
+    kernel.dumps_ = std::move(dumps);
+    kernel.timings_ = pm.timings();
+    return kernel;
+}
+
+} // namespace c4cam::core

@@ -1,0 +1,133 @@
+#ifndef C4CAM_CORE_COMPILER_H
+#define C4CAM_CORE_COMPILER_H
+
+/**
+ * @file
+ * C4CAM public API: compile TorchScript to CAM-mapped IR and execute it
+ * on the CAM simulator.
+ *
+ * Typical use:
+ * @code
+ *   arch::ArchSpec spec = arch::ArchSpec::dseSetup(32,
+ *                                                  arch::OptTarget::Base);
+ *   core::Compiler compiler({spec});
+ *   core::CompiledKernel kernel = compiler.compileTorchScript(source);
+ *   core::ExecutionResult result = kernel.run({queries, stored});
+ *   // result.outputs, result.perf.queryLatencyNs, ...
+ * @endcode
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/ArchSpec.h"
+#include "ir/IR.h"
+#include "ir/Pass.h"
+#include "passes/CamMapping.h"
+#include "runtime/Buffer.h"
+#include "sim/Timing.h"
+
+namespace c4cam::core {
+
+/** Compiler configuration. */
+struct CompilerOptions
+{
+    arch::ArchSpec spec;
+    /** Stop lowering at the cim level (host execution path). */
+    bool hostOnly = false;
+    /** With hostOnly: lower all the way to scf loops (Fig. 3's
+     *  "loops" pipeline) instead of the partitioned cim form. */
+    bool lowerToLoops = false;
+    /** Collect per-pass wall-clock timings. */
+    bool timePasses = false;
+    /** Dump IR after every pass (collected in CompiledKernel::dumps). */
+    bool dumpIntermediates = false;
+};
+
+/** Outcome of executing a compiled kernel. */
+struct ExecutionResult
+{
+    std::vector<rt::RtValue> outputs;
+    sim::PerfReport perf;
+};
+
+/**
+ * A compiled kernel: owns the context and the lowered module.
+ */
+class CompiledKernel
+{
+  public:
+    CompiledKernel(std::shared_ptr<ir::Context> ctx, ir::Module module,
+                   CompilerOptions options, passes::MappingPlan plan);
+
+    /** The lowered module (cam level, or cim level when hostOnly). */
+    ir::Module &module() { return module_; }
+
+    /** Static mapping summary (subarray/bank counts etc.). */
+    const passes::MappingPlan &plan() const { return plan_; }
+
+    /** Name of the kernel function. */
+    const std::string &entryPoint() const { return entry_; }
+
+    /**
+     * Execute with fresh simulator state.
+     * @param args one tensor per function parameter.
+     */
+    ExecutionResult run(const std::vector<rt::BufferPtr> &args);
+
+    /** IR snapshots per pass (when dumpIntermediates was set). */
+    const std::vector<std::pair<std::string, std::string>> &dumps() const
+    {
+        return dumps_;
+    }
+
+    /** Per-pass timings (when timePasses was set). */
+    const std::vector<ir::PassManager::Timing> &passTimings() const
+    {
+        return timings_;
+    }
+
+  private:
+    friend class Compiler;
+
+    std::shared_ptr<ir::Context> ctx_;
+    ir::Module module_;
+    CompilerOptions options_;
+    passes::MappingPlan plan_;
+    std::string entry_;
+    std::vector<std::pair<std::string, std::string>> dumps_;
+    std::vector<ir::PassManager::Timing> timings_;
+};
+
+/**
+ * End-to-end C4CAM compiler driver (Fig. 3 of the paper).
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(CompilerOptions options);
+
+    const CompilerOptions &options() const { return options_; }
+
+    /** Compile TorchScript source through the full pipeline. */
+    CompiledKernel compileTorchScript(const std::string &source);
+
+    /** Compile an already-imported torch-level module. */
+    CompiledKernel compileModule(std::shared_ptr<ir::Context> ctx,
+                                 ir::Module module);
+
+    /**
+     * Build the standard pass pipeline into @p pm
+     * (torch-to-cim, cim-fuse-ops, cim-similarity-match, then either
+     * cim-partition for host execution or cam-map for the device).
+     */
+    void buildPipeline(ir::PassManager &pm) const;
+
+  private:
+    CompilerOptions options_;
+};
+
+} // namespace c4cam::core
+
+#endif // C4CAM_CORE_COMPILER_H

@@ -1,0 +1,79 @@
+#ifndef C4CAM_CORE_DSEEXPLORER_H
+#define C4CAM_CORE_DSEEXPLORER_H
+
+/**
+ * @file
+ * Design-space exploration driver.
+ *
+ * The paper's headline workflow (§IV-C): "the automation provided by
+ * C4CAM allows for quick exploration of different software and
+ * hardware implementations ... without any application recoding
+ * effort". This driver sweeps architecture candidates for one kernel,
+ * runs each on the simulator, and reports the latency/power/energy
+ * Pareto frontier.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/ArchSpec.h"
+#include "core/Compiler.h"
+
+namespace c4cam::core {
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    arch::ArchSpec spec;
+    sim::PerfReport perf;
+    bool paretoOptimal = false; ///< on the latency/power frontier
+
+    double latencyNs() const { return perf.queryLatencyNs; }
+    double powerMw() const { return perf.avgPowerMw(); }
+    double energyPj() const { return perf.queryEnergyPj; }
+};
+
+/** Result of one exploration sweep. */
+struct DseResult
+{
+    std::vector<DsePoint> points;
+
+    /** Points on the latency/power Pareto frontier, fastest first. */
+    std::vector<DsePoint> frontier() const;
+
+    /** Fastest point (min latency). */
+    const DsePoint &bestLatency() const;
+
+    /** Most frugal point (min average power). */
+    const DsePoint &bestPower() const;
+
+    /** Min energy-delay-product point. */
+    const DsePoint &bestEdp() const;
+
+    /** Render a fixed-width summary table. */
+    std::string table() const;
+};
+
+/**
+ * Compiles @p source once per candidate spec and executes it with
+ * @p args on a fresh simulator.
+ */
+class DseExplorer
+{
+  public:
+    /** Sweep explicit candidates. */
+    DseResult explore(const std::string &source,
+                      const std::vector<arch::ArchSpec> &candidates,
+                      const std::vector<rt::BufferPtr> &args) const;
+
+    /**
+     * Standard paper sweep: subarray sizes {16..256} x the four
+     * optimization targets (20 candidates, §IV-C1).
+     */
+    static std::vector<arch::ArchSpec> standardCandidates();
+};
+
+} // namespace c4cam::core
+
+#endif // C4CAM_CORE_DSEEXPLORER_H

@@ -1,0 +1,36 @@
+#ifndef C4CAM_DIALECTS_ALLDIALECTS_H
+#define C4CAM_DIALECTS_ALLDIALECTS_H
+
+/**
+ * @file
+ * Convenience loader for every dialect in the C4CAM stack.
+ */
+
+#include "dialects/BuiltinDialect.h"
+#include "dialects/cam/CamDialect.h"
+#include "dialects/cim/CimDialect.h"
+#include "dialects/crossbar/CrossbarDialect.h"
+#include "dialects/std/StdDialects.h"
+#include "dialects/torch/TorchDialect.h"
+
+namespace c4cam::dialects {
+
+/** Load builtin + arith/scf/memref/tensor + torch + cim + cam. */
+inline void
+loadAllDialects(ir::Context &ctx)
+{
+    ctx.loadDialect<BuiltinDialect>();
+    ctx.loadDialect<ArithDialect>();
+    ctx.loadDialect<ScfDialect>();
+    ctx.loadDialect<MemRefDialect>();
+    ctx.loadDialect<TensorDialect>();
+    ctx.loadDialect<BufferizationDialect>();
+    ctx.loadDialect<TorchDialect>();
+    ctx.loadDialect<CimDialect>();
+    ctx.loadDialect<CamDialect>();
+    ctx.loadDialect<CrossbarDialect>();
+}
+
+} // namespace c4cam::dialects
+
+#endif // C4CAM_DIALECTS_ALLDIALECTS_H

@@ -1,0 +1,63 @@
+#include "dialects/BuiltinDialect.h"
+
+#include "support/Error.h"
+
+namespace c4cam::dialects {
+
+using namespace ir;
+
+void
+BuiltinDialect::initialize(Context &ctx)
+{
+    {
+        OpInfo info;
+        info.name = kModuleOpName;
+        info.maxOperands = 0;
+        info.numResults = 0;
+        info.numRegions = 1;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = kFuncOpName;
+        info.maxOperands = 0;
+        info.numResults = 0;
+        info.numRegions = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->hasAttr("sym_name"),
+                        "func.func requires a sym_name attribute");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = kReturnOpName;
+        info.numResults = 0;
+        info.isTerminator = true;
+        ctx.registerOp(std::move(info));
+    }
+}
+
+Operation *
+createFunction(Module &module, const std::string &name,
+               const std::vector<Type> &arg_types)
+{
+    OpBuilder builder(module.context());
+    builder.setInsertionPointToEnd(module.body());
+    Operation *func = builder.create(
+        kFuncOpName, {}, {}, {{"sym_name", Attribute(name)}}, 1);
+    Block &entry = func->region(0).addBlock();
+    for (Type t : arg_types)
+        entry.addArgument(t);
+    return func;
+}
+
+Block *
+funcBody(Operation *func)
+{
+    C4CAM_ASSERT(func->name() == kFuncOpName,
+                 "funcBody on non-func op '" << func->name() << "'");
+    return &func->region(0).front();
+}
+
+} // namespace c4cam::dialects

@@ -1,0 +1,36 @@
+#ifndef C4CAM_DIALECTS_BUILTINDIALECT_H
+#define C4CAM_DIALECTS_BUILTINDIALECT_H
+
+/**
+ * @file
+ * Builtin structural ops: builtin.module, func.func, func.return.
+ */
+
+#include "ir/Builder.h"
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+namespace c4cam::dialects {
+
+/** Registers builtin.module / func.func / func.return. */
+class BuiltinDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "builtin"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+/**
+ * Create `func.func @name` with entry-block arguments of @p arg_types,
+ * inserted at the end of @p module's body.
+ * @return the function op; its entry block is ready for insertion.
+ */
+ir::Operation *createFunction(ir::Module &module, const std::string &name,
+                              const std::vector<ir::Type> &arg_types);
+
+/** The entry block of a func.func. */
+ir::Block *funcBody(ir::Operation *func);
+
+} // namespace c4cam::dialects
+
+#endif // C4CAM_DIALECTS_BUILTINDIALECT_H

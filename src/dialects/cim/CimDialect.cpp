@@ -1,0 +1,164 @@
+#include "dialects/cim/CimDialect.h"
+
+#include "support/Error.h"
+
+namespace c4cam::dialects {
+
+using namespace ir;
+
+void
+CimDialect::initialize(Context &ctx)
+{
+    {
+        OpInfo info;
+        info.name = cim::kAcquire;
+        info.maxOperands = 0;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->result(0)->type().isIndex(),
+                        "cim.acquire returns an index handle");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = cim::kExecute;
+        info.minOperands = 1; // device handle + captures
+        info.numResults = -1;
+        info.numRegions = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->operand(0)->type().isIndex(),
+                        "cim.execute operand #0 must be the device handle");
+            C4CAM_CHECK(op->region(0).numBlocks() == 1,
+                        "cim.execute requires a single body block");
+            Block &body = op->region(0).front();
+            C4CAM_CHECK(!body.empty() &&
+                            body.back()->name() == cim::kYield,
+                        "cim.execute body must end with cim.yield");
+            C4CAM_CHECK(body.back()->numOperands() == op->numResults(),
+                        "cim.yield operand count must match cim.execute "
+                        "results");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = cim::kRelease;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 0;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = cim::kYield;
+        info.numResults = 0;
+        info.isTerminator = true;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = cim::kTranspose;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 1;
+        ctx.registerOp(std::move(info));
+    }
+    for (const char *name : {cim::kMatmul, cim::kSub}) {
+        OpInfo info;
+        info.name = name;
+        info.minOperands = 2;
+        info.maxOperands = 2;
+        info.numResults = 1;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // cim.div supports the 3-operand cosine form div(v4, v2, v1).
+        OpInfo info;
+        info.name = cim::kDiv;
+        info.minOperands = 2;
+        info.maxOperands = 3;
+        info.numResults = 1;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = cim::kNorm;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 1;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // cim.topk %t, %k : values, indices
+        OpInfo info;
+        info.name = cim::kTopk;
+        info.minOperands = 1;
+        info.maxOperands = 2;
+        info.numResults = 2;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // cim.similarity {metric} %stored, %query, %k -> values, indices
+        OpInfo info;
+        info.name = cim::kSimilarity;
+        info.minOperands = 2;
+        info.maxOperands = 3;
+        info.numResults = 2;
+        info.verify = [](Operation *op) {
+            std::string metric = op->strAttrOr("metric", "");
+            C4CAM_CHECK(metric == cim::kMetricDot ||
+                            metric == cim::kMetricEucl ||
+                            metric == cim::kMetricCos,
+                        "cim.similarity metric must be dot/eucl/cos, got '"
+                        << metric << "'");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // cim.merge_partial {what, kind, direction} %handle, %acc, %partial
+        OpInfo info;
+        info.name = cim::kMergePartial;
+        info.minOperands = 3;
+        info.maxOperands = 3;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            std::string dir = op->strAttrOr("direction", "horizontal");
+            C4CAM_CHECK(dir == "horizontal" || dir == "vertical",
+                        "merge_partial direction must be "
+                        "horizontal/vertical");
+        };
+        ctx.registerOp(std::move(info));
+    }
+}
+
+namespace cim {
+
+Operation *
+createAcquireExecuteRelease(OpBuilder &builder,
+                            const std::vector<Value *> &captures,
+                            const std::vector<Type> &result_types)
+{
+    Value *handle =
+        builder.create(kAcquire, {}, {builder.context().indexType()})
+            ->result(0);
+    std::vector<Value *> operands = {handle};
+    operands.insert(operands.end(), captures.begin(), captures.end());
+    Operation *execute =
+        builder.create(kExecute, operands, result_types, {}, 1);
+    execute->region(0).addBlock();
+    builder.create(kRelease, {handle}, {});
+    return execute;
+}
+
+Block *
+executeBody(Operation *execute)
+{
+    C4CAM_ASSERT(execute->name() == kExecute,
+                 "executeBody on '" << execute->name() << "'");
+    return &execute->region(0).front();
+}
+
+} // namespace cim
+
+} // namespace c4cam::dialects

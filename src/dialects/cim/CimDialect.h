@@ -1,0 +1,64 @@
+#ifndef C4CAM_DIALECTS_CIM_CIMDIALECT_H
+#define C4CAM_DIALECTS_CIM_CIMDIALECT_H
+
+/**
+ * @file
+ * The cim dialect: device-agnostic compute-in-memory abstraction.
+ *
+ * Extends the CINM programming model (acquire / execute / release) with
+ * the analyses C4CAM needs for CAM devices: similarity ops and partial-
+ * result merging (paper §III-D1). `cim.execute` carries a region whose
+ * body runs on the acquired device; `cim.yield` terminates it.
+ */
+
+#include "ir/Builder.h"
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+namespace c4cam::dialects {
+
+/** Registers the cim.* operations. */
+class CimDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "cim"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+namespace cim {
+
+inline constexpr const char *kAcquire = "cim.acquire";
+inline constexpr const char *kExecute = "cim.execute";
+inline constexpr const char *kRelease = "cim.release";
+inline constexpr const char *kYield = "cim.yield";
+inline constexpr const char *kTranspose = "cim.transpose";
+inline constexpr const char *kMatmul = "cim.matmul";
+inline constexpr const char *kSub = "cim.sub";
+inline constexpr const char *kDiv = "cim.div";
+inline constexpr const char *kNorm = "cim.norm";
+inline constexpr const char *kTopk = "cim.topk";
+inline constexpr const char *kSimilarity = "cim.similarity";
+inline constexpr const char *kMergePartial = "cim.merge_partial";
+
+/** Similarity metrics supported by cim.similarity (attr "metric"). */
+inline constexpr const char *kMetricDot = "dot";
+inline constexpr const char *kMetricEucl = "eucl";
+inline constexpr const char *kMetricCos = "cos";
+
+/**
+ * Build `%h = cim.acquire`, `%r = cim.execute(%h, captures...)` with an
+ * empty body block, and `cim.release %h` after it.
+ * @return the execute op (its body is still empty; add ops + cim.yield).
+ */
+ir::Operation *createAcquireExecuteRelease(
+    ir::OpBuilder &builder, const std::vector<ir::Value *> &captures,
+    const std::vector<ir::Type> &result_types);
+
+/** Body block of a cim.execute op. */
+ir::Block *executeBody(ir::Operation *execute);
+
+} // namespace cim
+
+} // namespace c4cam::dialects
+
+#endif // C4CAM_DIALECTS_CIM_CIMDIALECT_H

@@ -1,0 +1,74 @@
+#include "dialects/crossbar/CrossbarDialect.h"
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace c4cam::dialects {
+
+using namespace ir;
+
+namespace crossbar {
+
+Type
+tileIdType(Context &ctx)
+{
+    return ctx.opaqueType("crossbar", "tile_id");
+}
+
+} // namespace crossbar
+
+void
+CrossbarDialect::initialize(Context &ctx)
+{
+    {
+        OpInfo info;
+        info.name = crossbar::kAllocTile;
+        info.minOperands = 2;
+        info.maxOperands = 2;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->operand(0)->type().isIndex() &&
+                            op->operand(1)->type().isIndex(),
+                        "crossbar.alloc_tile takes (rows, cols)");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = crossbar::kProgramMatrix;
+        info.minOperands = 2;
+        info.maxOperands = 2;
+        info.numResults = 0;
+        info.verify = [](Operation *op) {
+            Type t = op->operand(0)->type();
+            C4CAM_CHECK(t.isOpaque() && t.opaqueName() == "tile_id",
+                        "program_matrix operand #0 must be a tile");
+            C4CAM_CHECK(op->operand(1)->type().isMemRef(),
+                        "program_matrix weights must be a memref");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = crossbar::kMvm;
+        info.minOperands = 2;
+        info.maxOperands = 2;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            Type t = op->operand(0)->type();
+            C4CAM_CHECK(t.isOpaque() && t.opaqueName() == "tile_id",
+                        "mvm operand #0 must be a tile");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = crossbar::kRelease;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 0;
+        ctx.registerOp(std::move(info));
+    }
+}
+
+} // namespace c4cam::dialects

@@ -1,0 +1,50 @@
+#ifndef C4CAM_DIALECTS_CROSSBAR_CROSSBARDIALECT_H
+#define C4CAM_DIALECTS_CROSSBAR_CROSSBARDIALECT_H
+
+/**
+ * @file
+ * The crossbar dialect: the sibling device abstraction Fig. 3 places
+ * next to `cam` ("crossbar: memristive crossbar arrays").
+ *
+ * C4CAM's cim abstraction is device-agnostic; execution blocks that
+ * contain arithmetic (rather than search) kernels would lower to this
+ * dialect in a crossbar-equipped system. The ops model the standard
+ * analog-MVM programming interface: program a conductance matrix, then
+ * drive input voltages and sample the bit-line currents. Included to
+ * demonstrate the retargetability seam; a crossbar timing/energy
+ * backend is out of scope for this reproduction (the paper's
+ * evaluation never exercises one either).
+ */
+
+#include "ir/Context.h"
+
+namespace c4cam::dialects {
+
+/**
+ * Registers the crossbar.* ops:
+ *  - crossbar.alloc_tile %rows, %cols -> !crossbar.tile_id
+ *  - crossbar.program_matrix %tile, %weights : (tile, memref) -> ()
+ *  - crossbar.mvm %tile, %input -> memref   (analog matrix-vector mul)
+ *  - crossbar.release %tile
+ */
+class CrossbarDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "crossbar"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+namespace crossbar {
+
+inline constexpr const char *kAllocTile = "crossbar.alloc_tile";
+inline constexpr const char *kProgramMatrix = "crossbar.program_matrix";
+inline constexpr const char *kMvm = "crossbar.mvm";
+inline constexpr const char *kRelease = "crossbar.release";
+
+ir::Type tileIdType(ir::Context &ctx);
+
+} // namespace crossbar
+
+} // namespace c4cam::dialects
+
+#endif // C4CAM_DIALECTS_CROSSBAR_CROSSBARDIALECT_H

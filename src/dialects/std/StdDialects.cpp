@@ -1,0 +1,260 @@
+#include "dialects/std/StdDialects.h"
+
+#include "support/Error.h"
+
+namespace c4cam::dialects {
+
+using namespace ir;
+
+namespace {
+
+/** Register a simple fixed-arity op. */
+void
+simpleOp(Context &ctx, const std::string &name, int operands, int results,
+         bool terminator = false)
+{
+    OpInfo info;
+    info.name = name;
+    info.minOperands = operands;
+    info.maxOperands = operands;
+    info.numResults = results;
+    info.isTerminator = terminator;
+    ctx.registerOp(std::move(info));
+}
+
+} // namespace
+
+void
+ArithDialect::initialize(Context &ctx)
+{
+    {
+        OpInfo info;
+        info.name = "arith.constant";
+        info.maxOperands = 0;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->hasAttr("value"),
+                        "arith.constant requires a value attribute");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    // Integer/index arithmetic.
+    for (const char *name : {"arith.addi", "arith.subi", "arith.muli",
+                             "arith.divsi", "arith.remsi", "arith.minsi",
+                             "arith.maxsi"})
+        simpleOp(ctx, name, 2, 1);
+    // Floating-point arithmetic.
+    for (const char *name :
+         {"arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+          "arith.minimumf", "arith.maximumf"})
+        simpleOp(ctx, name, 2, 1);
+    {
+        OpInfo info;
+        info.name = "arith.cmpi";
+        info.minOperands = 2;
+        info.maxOperands = 2;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->hasAttr("predicate"),
+                        "arith.cmpi requires a predicate attribute");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    simpleOp(ctx, "arith.cmpf", 2, 1);
+    simpleOp(ctx, "arith.select", 3, 1);
+    simpleOp(ctx, "arith.index_cast", 1, 1);
+    simpleOp(ctx, "arith.sitofp", 1, 1);
+    simpleOp(ctx, "arith.fptosi", 1, 1);
+    // Transcendentals live in the math dialect upstream; registered
+    // here alongside arith for simplicity.
+    simpleOp(ctx, "math.sqrt", 1, 1);
+}
+
+void
+ScfDialect::initialize(Context &ctx)
+{
+    {
+        // scf.for %iv = %lb to %ub step %step iter_args(...)
+        OpInfo info;
+        info.name = "scf.for";
+        info.minOperands = 3;
+        info.numResults = -1;
+        info.numRegions = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->region(0).numBlocks() == 1,
+                        "scf.for requires exactly one body block");
+            Block &body = op->region(0).front();
+            C4CAM_CHECK(body.numArguments() >= 1,
+                        "scf.for body needs an induction variable argument");
+            C4CAM_CHECK(body.numArguments() == op->numOperands() - 3 + 1,
+                        "scf.for iter_args/block-arg mismatch");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = "scf.parallel";
+        info.minOperands = 3;
+        info.maxOperands = 3;
+        info.numResults = 0;
+        info.numRegions = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->region(0).numBlocks() == 1,
+                        "scf.parallel requires exactly one body block");
+            C4CAM_CHECK(op->region(0).front().numArguments() == 1,
+                        "scf.parallel body takes exactly the induction var");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // scf.if %cond { ... } (then-only form, no results)
+        OpInfo info;
+        info.name = "scf.if";
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 0;
+        info.numRegions = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->operand(0)->type().isI1(),
+                        "scf.if condition must be i1");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = "scf.yield";
+        info.numResults = 0;
+        info.isTerminator = true;
+        ctx.registerOp(std::move(info));
+    }
+}
+
+void
+MemRefDialect::initialize(Context &ctx)
+{
+    {
+        OpInfo info;
+        info.name = "memref.alloc";
+        info.maxOperands = 0;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->result(0)->type().isMemRef(),
+                        "memref.alloc must return a memref");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    simpleOp(ctx, "memref.dealloc", 1, 0);
+    simpleOp(ctx, "memref.copy", 2, 0);
+    {
+        // memref.subview %src with static offsets/sizes attrs; dynamic
+        // offsets are trailing index operands substituted for the -1
+        // entries of static_offsets.
+        OpInfo info;
+        info.name = "memref.subview";
+        info.minOperands = 1;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->hasAttr("static_offsets") &&
+                            op->hasAttr("static_sizes"),
+                        "memref.subview requires static_offsets and "
+                        "static_sizes attributes");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // memref.load %base[%indices...]
+        OpInfo info;
+        info.name = "memref.load";
+        info.minOperands = 1;
+        info.numResults = 1;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // memref.store %value, %base[%indices...]
+        OpInfo info;
+        info.name = "memref.store";
+        info.minOperands = 2;
+        info.numResults = 0;
+        ctx.registerOp(std::move(info));
+    }
+}
+
+void
+TensorDialect::initialize(Context &ctx)
+{
+    {
+        // tensor.extract_slice %src [dynamic offsets...]
+        // attrs: static_offsets, static_sizes, static_strides (-1 = dynamic)
+        OpInfo info;
+        info.name = "tensor.extract_slice";
+        info.minOperands = 1;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            C4CAM_CHECK(op->hasAttr("static_offsets") &&
+                            op->hasAttr("static_sizes"),
+                        "tensor.extract_slice requires static_offsets and "
+                        "static_sizes attributes");
+            C4CAM_CHECK(op->operand(0)->type().isTensor(),
+                        "tensor.extract_slice source must be a tensor");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        OpInfo info;
+        info.name = "tensor.empty";
+        info.maxOperands = 0;
+        info.numResults = 1;
+        ctx.registerOp(std::move(info));
+    }
+    simpleOp(ctx, "tensor.insert_slice", 2, 1);
+}
+
+void
+BufferizationDialect::initialize(Context &ctx)
+{
+    simpleOp(ctx, "bufferization.to_memref", 1, 1);
+    simpleOp(ctx, "bufferization.to_tensor", 1, 1);
+}
+
+namespace scf {
+
+Operation *
+createFor(OpBuilder &builder, Value *lb, Value *ub, Value *step)
+{
+    Operation *loop =
+        builder.create("scf.for", {lb, ub, step}, {}, {}, 1);
+    Block &body = loop->region(0).addBlock();
+    body.addArgument(builder.context().indexType());
+    return loop;
+}
+
+Operation *
+createParallel(OpBuilder &builder, Value *lb, Value *ub, Value *step,
+               const std::string &level)
+{
+    Operation *loop = builder.create(
+        "scf.parallel", {lb, ub, step},
+        {}, {{"level", Attribute(level)}}, 1);
+    Block &body = loop->region(0).addBlock();
+    body.addArgument(builder.context().indexType());
+    return loop;
+}
+
+Block *
+loopBody(Operation *loop)
+{
+    C4CAM_ASSERT(loop->name() == "scf.for" ||
+                     loop->name() == "scf.parallel",
+                 "loopBody on non-loop op '" << loop->name() << "'");
+    return &loop->region(0).front();
+}
+
+Value *
+inductionVar(Operation *loop)
+{
+    return loopBody(loop)->argument(0);
+}
+
+} // namespace scf
+
+} // namespace c4cam::dialects

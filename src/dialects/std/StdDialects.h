@@ -1,0 +1,87 @@
+#ifndef C4CAM_DIALECTS_STD_STDDIALECTS_H
+#define C4CAM_DIALECTS_STD_STDDIALECTS_H
+
+/**
+ * @file
+ * Standard support dialects: arith, scf, memref, tensor, bufferization.
+ *
+ * These are the target-independent dialects the C4CAM pipeline lowers
+ * into: loops (scf), scalar arithmetic (arith), buffers (memref) and
+ * tensor slicing (tensor).
+ */
+
+#include "ir/Builder.h"
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+namespace c4cam::dialects {
+
+/** arith.constant and scalar arithmetic ops. */
+class ArithDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "arith"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+/** scf.for / scf.parallel / scf.yield structured control flow. */
+class ScfDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "scf"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+/** memref.alloc / memref.copy / memref.subview buffers. */
+class MemRefDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "memref"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+/** tensor.extract_slice and friends. */
+class TensorDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "tensor"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+/** bufferization.to_memref / to_tensor materializations. */
+class BufferizationDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "bufferization"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+namespace scf {
+
+/**
+ * Create `scf.for %iv = %lb to %ub step %step` with an empty single-block
+ * body (the induction variable is the block argument).
+ * @return the loop op; use loopBody() to fill it.
+ */
+ir::Operation *createFor(ir::OpBuilder &builder, ir::Value *lb,
+                         ir::Value *ub, ir::Value *step);
+
+/**
+ * Create `scf.parallel` over one dimension with a level tag used by the
+ * CAM mapping ("bank", "mat", "array", "subarray").
+ */
+ir::Operation *createParallel(ir::OpBuilder &builder, ir::Value *lb,
+                              ir::Value *ub, ir::Value *step,
+                              const std::string &level);
+
+/** Body block of an scf.for / scf.parallel. */
+ir::Block *loopBody(ir::Operation *loop);
+
+/** Induction variable of an scf.for / scf.parallel. */
+ir::Value *inductionVar(ir::Operation *loop);
+
+} // namespace scf
+
+} // namespace c4cam::dialects
+
+#endif // C4CAM_DIALECTS_STD_STDDIALECTS_H

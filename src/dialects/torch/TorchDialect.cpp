@@ -1,0 +1,80 @@
+#include "dialects/torch/TorchDialect.h"
+
+#include "support/Error.h"
+
+namespace c4cam::dialects {
+
+using namespace ir;
+
+namespace {
+
+void
+requireTensorOperands(Operation *op)
+{
+    for (std::size_t i = 0; i < op->numOperands(); ++i)
+        C4CAM_CHECK(op->operand(i)->type().isTensor(),
+                    "'" << op->name() << "' operand #" << i
+                    << " must be a tensor, got "
+                    << op->operand(i)->type().str());
+}
+
+} // namespace
+
+void
+TorchDialect::initialize(Context &ctx)
+{
+    {
+        OpInfo info;
+        info.name = torch::kTranspose;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            requireTensorOperands(op);
+            C4CAM_CHECK(op->hasAttr("dim0") && op->hasAttr("dim1"),
+                        "transpose requires dim0/dim1 attributes");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    for (const char *name : {torch::kMm, torch::kMatmul, torch::kSub,
+                             torch::kDiv}) {
+        OpInfo info;
+        info.name = name;
+        info.minOperands = 2;
+        info.maxOperands = 2;
+        info.numResults = 1;
+        info.verify = requireTensorOperands;
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // Frontend extension (§III-C): vector norm along a dimension.
+        OpInfo info;
+        info.name = torch::kNorm;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 1;
+        info.verify = [](Operation *op) {
+            requireTensorOperands(op);
+            C4CAM_CHECK(op->intAttrOr("p", 2) == 2 ||
+                            op->intAttrOr("p", 2) == 1,
+                        "norm only supports p in {1, 2}");
+        };
+        ctx.registerOp(std::move(info));
+    }
+    {
+        // Frontend extension (§III-C): top-k along a dimension.
+        OpInfo info;
+        info.name = torch::kTopk;
+        info.minOperands = 1;
+        info.maxOperands = 1;
+        info.numResults = 2;
+        info.verify = [](Operation *op) {
+            requireTensorOperands(op);
+            C4CAM_CHECK(op->hasAttr("k"), "topk requires a k attribute");
+            C4CAM_CHECK(op->intAttr("k") >= 1, "topk k must be >= 1");
+        };
+        ctx.registerOp(std::move(info));
+    }
+}
+
+} // namespace c4cam::dialects

@@ -1,0 +1,50 @@
+#ifndef C4CAM_DIALECTS_TORCH_TORCHDIALECT_H
+#define C4CAM_DIALECTS_TORCH_TORCHDIALECT_H
+
+/**
+ * @file
+ * The torch dialect: the ATen-level entry point of the C4CAM pipeline.
+ *
+ * Mirrors the subset of torch-mlir the paper consumes, extended (as in
+ * §III-C of the paper) with the search primitives `norm` and `topk` that
+ * the stock frontend lacks.
+ */
+
+#include "ir/Builder.h"
+#include "ir/Context.h"
+#include "ir/IR.h"
+
+namespace c4cam::dialects {
+
+/**
+ * Registers the torch.aten.* ops used by search workloads:
+ *  - torch.aten.transpose.int  (tensor) {dim0, dim1} -> tensor
+ *  - torch.aten.mm / matmul    (a, b) -> tensor
+ *  - torch.aten.sub            (a, b) -> tensor (broadcasting)
+ *  - torch.aten.div            (a, b) -> tensor
+ *  - torch.aten.norm           (t) {p, dim} -> tensor     [frontend ext.]
+ *  - torch.aten.topk           (t) {k, dim, largest} -> values, indices
+ */
+class TorchDialect : public ir::Dialect
+{
+  public:
+    std::string name() const override { return "torch"; }
+    void initialize(ir::Context &ctx) override;
+};
+
+namespace torch {
+
+/** Op-name constants used by the conversions. */
+inline constexpr const char *kTranspose = "torch.aten.transpose.int";
+inline constexpr const char *kMm = "torch.aten.mm";
+inline constexpr const char *kMatmul = "torch.aten.matmul";
+inline constexpr const char *kSub = "torch.aten.sub";
+inline constexpr const char *kDiv = "torch.aten.div";
+inline constexpr const char *kNorm = "torch.aten.norm";
+inline constexpr const char *kTopk = "torch.aten.topk";
+
+} // namespace torch
+
+} // namespace c4cam::dialects
+
+#endif // C4CAM_DIALECTS_TORCH_TORCHDIALECT_H

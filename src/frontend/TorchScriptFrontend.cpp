@@ -1,0 +1,591 @@
+#include "frontend/TorchScriptFrontend.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dialects/BuiltinDialect.h"
+#include "dialects/torch/TorchDialect.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+namespace c4cam::frontend {
+
+using namespace ir;
+namespace torchd = c4cam::dialects::torch;
+
+namespace {
+
+/** A parsed actual argument: positional or keyword. */
+struct CallArg
+{
+    std::string keyword;     ///< empty for positional
+    Value *value = nullptr;  ///< tensor argument
+    std::optional<std::int64_t> literal; ///< integer/bool literal
+};
+
+/**
+ * Line-oriented recursive-descent parser for the TorchScript subset.
+ */
+class Parser
+{
+  public:
+    Parser(Module &module, const std::string &source)
+        : module_(module), builder_(module.context()), source_(source)
+    {}
+
+    Operation *
+    run()
+    {
+        lines_ = splitString(source_, '\n');
+        parseHeader();
+        for (; lineNo_ < lines_.size(); ++lineNo_) {
+            line_ = trimString(stripComment(lines_[lineNo_]));
+            if (line_.empty())
+                continue;
+            pos_ = 0;
+            parseStatement();
+            if (returned_)
+                break;
+        }
+        C4CAM_CHECK(returned_, "function '" << funcName_
+                    << "' has no return statement");
+        return func_;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        C4CAM_USER_ERROR("TorchScript line " << (lineNo_ + 1) << ": "
+                         << what);
+    }
+
+    static std::string
+    stripComment(const std::string &s)
+    {
+        auto pos = s.find('#');
+        return pos == std::string::npos ? s : s.substr(0, pos);
+    }
+
+    //
+    // Character helpers over the current line.
+    //
+
+    void
+    skipSpaces()
+    {
+        while (pos_ < line_.size() &&
+               std::isspace(static_cast<unsigned char>(line_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    tryConsume(const std::string &tok)
+    {
+        skipSpaces();
+        if (line_.compare(pos_, tok.size(), tok) == 0) {
+            pos_ += tok.size();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(const std::string &tok)
+    {
+        if (!tryConsume(tok))
+            fail("expected '" + tok + "' in '" + line_ + "'");
+    }
+
+    bool
+    peekChar(char c)
+    {
+        skipSpaces();
+        return pos_ < line_.size() && line_[pos_] == c;
+    }
+
+    bool
+    atLineEnd()
+    {
+        skipSpaces();
+        return pos_ >= line_.size();
+    }
+
+    std::string
+    parseIdent()
+    {
+        skipSpaces();
+        std::string out;
+        while (pos_ < line_.size() &&
+               (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+                line_[pos_] == '_')) {
+            out += line_[pos_++];
+        }
+        if (out.empty())
+            fail("expected identifier in '" + line_ + "'");
+        return out;
+    }
+
+    std::int64_t
+    parseIntLiteral()
+    {
+        skipSpaces();
+        std::size_t start = pos_;
+        if (pos_ < line_.size() && line_[pos_] == '-')
+            ++pos_;
+        while (pos_ < line_.size() &&
+               std::isdigit(static_cast<unsigned char>(line_[pos_])))
+            ++pos_;
+        if (start == pos_)
+            fail("expected integer literal");
+        return std::stoll(line_.substr(start, pos_ - start));
+    }
+
+    //
+    // Header: def name(arg: Tensor[a, b], ...) [-> ...] :
+    //
+
+    void
+    parseHeader()
+    {
+        // Find the "def" line.
+        for (; lineNo_ < lines_.size(); ++lineNo_) {
+            line_ = trimString(stripComment(lines_[lineNo_]));
+            if (!line_.empty())
+                break;
+        }
+        C4CAM_CHECK(lineNo_ < lines_.size(), "empty TorchScript source");
+        pos_ = 0;
+        expect("def");
+        funcName_ = parseIdent();
+        expect("(");
+
+        std::vector<std::string> arg_names;
+        std::vector<Type> arg_types;
+        skipSpaces();
+        if (!tryConsume(")")) {
+            while (true) {
+                std::string name = parseIdent();
+                if (name == "self") {
+                    // Method receiver: ignored.
+                } else {
+                    expect(":");
+                    arg_names.push_back(name);
+                    arg_types.push_back(parseTensorAnnotation());
+                }
+                skipSpaces();
+                if (tryConsume(")"))
+                    break;
+                expect(",");
+            }
+        }
+        // Ignore an optional "-> ..." result annotation.
+        // (the colon may follow it or come directly)
+
+        func_ = dialects::createFunction(module_, funcName_, arg_types);
+        Block *body = dialects::funcBody(func_);
+        builder_.setInsertionPointToEnd(body);
+        for (std::size_t i = 0; i < arg_names.size(); ++i)
+            scope_[arg_names[i]] = body->argument(i);
+        ++lineNo_;
+    }
+
+    /** Tensor[a, b] or Tensor (requires explicit dims for params). */
+    Type
+    parseTensorAnnotation()
+    {
+        expect("Tensor");
+        Context &ctx = module_.context();
+        std::vector<std::int64_t> shape;
+        if (tryConsume("[")) {
+            while (true) {
+                shape.push_back(parseIntLiteral());
+                skipSpaces();
+                if (tryConsume("]"))
+                    break;
+                expect(",");
+            }
+        } else {
+            fail("parameter tensors need explicit shapes: Tensor[a, b]");
+        }
+        return ctx.tensorType(shape, ctx.f32());
+    }
+
+    //
+    // Statements
+    //
+
+    void
+    parseStatement()
+    {
+        if (tryConsume("return")) {
+            std::vector<Value *> results;
+            if (!atLineEnd()) {
+                while (true) {
+                    results.push_back(parseExpr());
+                    if (!tryConsume(","))
+                        break;
+                }
+            }
+            builder_.create(kReturnOpName, results, {});
+            returned_ = true;
+            return;
+        }
+        // Assignment: name [, name] = expr
+        std::string first = parseIdent();
+        if (tryConsume(",")) {
+            std::string second = parseIdent();
+            expect("=");
+            Operation *op = parseCallExpr();
+            C4CAM_CHECK(op && op->numResults() == 2,
+                        "destructuring assignment requires a 2-result op "
+                        "(topk)");
+            scope_[first] = op->result(0);
+            scope_[second] = op->result(1);
+            return;
+        }
+        expect("=");
+        scope_[first] = parseExpr();
+    }
+
+    //
+    // Expressions
+    //
+
+    /** expr := unary (('-' | '/') unary)* */
+    Value *
+    parseExpr()
+    {
+        Value *lhs = parseUnary();
+        while (true) {
+            skipSpaces();
+            if (peekChar('-') && !peekDigitAfter('-')) {
+                ++pos_;
+                Value *rhs = parseUnary();
+                lhs = createBinary(torchd::kSub, lhs, rhs);
+            } else if (peekChar('/')) {
+                ++pos_;
+                Value *rhs = parseUnary();
+                lhs = createBinary(torchd::kDiv, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        return lhs;
+    }
+
+    bool
+    peekDigitAfter(char c)
+    {
+        skipSpaces();
+        if (pos_ >= line_.size() || line_[pos_] != c)
+            return false;
+        std::size_t next = pos_ + 1;
+        return next < line_.size() &&
+               std::isdigit(static_cast<unsigned char>(line_[next]));
+    }
+
+    Value *
+    parseUnary()
+    {
+        skipSpaces();
+        if (tryConsume("(")) {
+            Value *inner = parseExpr();
+            expect(")");
+            return parsePostfix(inner);
+        }
+        Operation *call = tryParseCall();
+        if (call) {
+            C4CAM_CHECK(call->numResults() == 1,
+                        "multi-result call used as a single value");
+            return parsePostfix(call->result(0));
+        }
+        // Variable or self.attr reference.
+        std::string name = parseIdent();
+        if (name == "self") {
+            expect(".");
+            name = parseIdent();
+        }
+        auto it = scope_.find(name);
+        if (it == scope_.end())
+            fail("use of undefined variable '" + name + "'");
+        return parsePostfix(it->second);
+    }
+
+    /** Method-call postfix: x.transpose(a, b), x.norm(...). */
+    Value *
+    parsePostfix(Value *value)
+    {
+        while (peekChar('.')) {
+            ++pos_;
+            std::string method = parseIdent();
+            expect("(");
+            std::vector<CallArg> args = parseCallArgs();
+            Operation *op = buildTorchOp(method, value, args);
+            C4CAM_CHECK(op->numResults() == 1,
+                        "method '" << method << "' used as single value");
+            value = op->result(0);
+        }
+        return value;
+    }
+
+    /** Try parsing torch.xxx(...) / torch.ops.aten.xxx(...). */
+    Operation *
+    tryParseCall()
+    {
+        std::size_t save = pos_;
+        skipSpaces();
+        if (line_.compare(pos_, 6, "torch.") != 0)
+            return nullptr;
+        pos_ += 6;
+        // optional ops.aten. prefix
+        if (line_.compare(pos_, 9, "ops.aten.") == 0)
+            pos_ += 9;
+        std::string fn = parseIdent();
+        if (!tryConsume("(")) {
+            pos_ = save;
+            return nullptr;
+        }
+        std::vector<CallArg> args = parseCallArgs();
+        C4CAM_CHECK(!args.empty() && args[0].value,
+                    "torch." << fn << " needs a tensor first argument");
+        Value *self = args[0].value;
+        args.erase(args.begin());
+        return buildTorchOp(fn, self, args);
+    }
+
+    Operation *
+    parseCallExpr()
+    {
+        Operation *op = tryParseCall();
+        if (op)
+            return op;
+        // x.method(...) with 2 results (topk destructuring).
+        std::string name = parseIdent();
+        if (name == "self") {
+            expect(".");
+            name = parseIdent();
+        }
+        auto it = scope_.find(name);
+        if (it == scope_.end())
+            fail("use of undefined variable '" + name + "'");
+        Value *value = it->second;
+        expect(".");
+        std::string method = parseIdent();
+        expect("(");
+        std::vector<CallArg> args = parseCallArgs();
+        return buildTorchOp(method, value, args);
+    }
+
+    /** Parse up to ')' a list of positional/keyword args. */
+    std::vector<CallArg>
+    parseCallArgs()
+    {
+        std::vector<CallArg> args;
+        skipSpaces();
+        if (tryConsume(")"))
+            return args;
+        while (true) {
+            CallArg arg;
+            skipSpaces();
+            // keyword= ?
+            std::size_t save = pos_;
+            if (std::isalpha(static_cast<unsigned char>(line_[pos_]))) {
+                std::string ident = parseIdent();
+                if (tryConsume("=") && !peekChar('=')) {
+                    arg.keyword = ident;
+                } else {
+                    pos_ = save;
+                }
+            }
+            skipSpaces();
+            if (pos_ < line_.size() &&
+                (std::isdigit(static_cast<unsigned char>(line_[pos_])) ||
+                 (line_[pos_] == '-' && peekDigitAfter('-')))) {
+                arg.literal = parseIntLiteral();
+            } else if (tryConsume("True")) {
+                arg.literal = 1;
+            } else if (tryConsume("False")) {
+                arg.literal = 0;
+            } else if (tryConsume("None")) {
+                arg.literal = std::nullopt; // ignored placeholder
+                arg.keyword = arg.keyword.empty() ? "_none" : arg.keyword;
+            } else {
+                arg.value = parseExpr();
+            }
+            args.push_back(arg);
+            skipSpaces();
+            if (tryConsume(")"))
+                break;
+            expect(",");
+        }
+        return args;
+    }
+
+    Value *
+    createBinary(const std::string &op_name, Value *lhs, Value *rhs)
+    {
+        Type result = inferBinaryType(op_name, lhs->type(), rhs->type());
+        return builder_.create(op_name, {lhs, rhs}, {result})->result(0);
+    }
+
+    Type
+    inferBinaryType(const std::string &op_name, Type a, Type b)
+    {
+        Context &ctx = module_.context();
+        if (op_name == torchd::kSub && a.shape() != b.shape()) {
+            // KNN broadcast: QxD - NxD -> QxNxD.
+            C4CAM_CHECK(a.rank() == 2 && b.rank() == 2 &&
+                            a.shape()[1] == b.shape()[1],
+                        "cannot broadcast sub of " << a.str() << " and "
+                        << b.str());
+            return ctx.tensorType({a.shape()[0], b.shape()[0],
+                                   a.shape()[1]},
+                                  ctx.f32());
+        }
+        return a;
+    }
+
+    /** Map a TorchScript call to a torch dialect op with shape infer. */
+    Operation *
+    buildTorchOp(const std::string &fn, Value *self,
+                 const std::vector<CallArg> &args)
+    {
+        Context &ctx = module_.context();
+        Type self_type = self->type();
+
+        auto positional = [&](std::size_t i) -> const CallArg * {
+            std::size_t seen = 0;
+            for (const auto &a : args) {
+                if (!a.keyword.empty())
+                    continue;
+                if (seen == i)
+                    return &a;
+                ++seen;
+            }
+            return nullptr;
+        };
+        auto keyword = [&](const std::string &kw) -> const CallArg * {
+            for (const auto &a : args)
+                if (a.keyword == kw)
+                    return &a;
+            return nullptr;
+        };
+
+        if (fn == "transpose") {
+            const CallArg *d0 = positional(0);
+            const CallArg *d1 = positional(1);
+            C4CAM_CHECK(d0 && d1 && d0->literal && d1->literal,
+                        "transpose requires two integer dims");
+            C4CAM_CHECK(self_type.rank() == 2,
+                        "transpose supports rank-2 tensors");
+            Type out = ctx.tensorType(
+                {self_type.shape()[1], self_type.shape()[0]}, ctx.f32());
+            return builder_.create(torchd::kTranspose, {self}, {out},
+                                   {{"dim0", Attribute(*d0->literal)},
+                                    {"dim1", Attribute(*d1->literal)}});
+        }
+        if (fn == "matmul" || fn == "mm") {
+            const CallArg *other = positional(0);
+            C4CAM_CHECK(other && other->value,
+                        fn << " requires a tensor argument");
+            Type b = other->value->type();
+            C4CAM_CHECK(self_type.rank() == 2 && b.rank() == 2 &&
+                            self_type.shape()[1] == b.shape()[0],
+                        fn << ": incompatible shapes " << self_type.str()
+                        << " x " << b.str());
+            Type out = ctx.tensorType(
+                {self_type.shape()[0], b.shape()[1]}, ctx.f32());
+            return builder_.create(
+                fn == "mm" ? torchd::kMm : torchd::kMatmul,
+                {self, other->value}, {out});
+        }
+        if (fn == "sub") {
+            const CallArg *other = positional(0);
+            C4CAM_CHECK(other && other->value,
+                        "sub requires a tensor argument");
+            return createBinary(torchd::kSub, self, other->value)
+                ->definingOp();
+        }
+        if (fn == "div") {
+            const CallArg *other = positional(0);
+            C4CAM_CHECK(other && other->value,
+                        "div requires a tensor argument");
+            return createBinary(torchd::kDiv, self, other->value)
+                ->definingOp();
+        }
+        if (fn == "norm") {
+            std::int64_t p = 2;
+            if (const CallArg *arg = positional(0); arg && arg->literal)
+                p = *arg->literal;
+            if (const CallArg *arg = keyword("p"); arg && arg->literal)
+                p = *arg->literal;
+            std::vector<std::int64_t> shape(self_type.shape().begin(),
+                                            self_type.shape().end() - 1);
+            if (shape.empty())
+                shape.push_back(1);
+            Type out = ctx.tensorType(shape, ctx.f32());
+            return builder_.create(torchd::kNorm, {self}, {out},
+                                   {{"p", Attribute(p)},
+                                    {"dim", Attribute(std::int64_t(-1))}});
+        }
+        if (fn == "topk") {
+            const CallArg *karg = positional(0);
+            C4CAM_CHECK(karg && karg->literal,
+                        "topk requires an integer k");
+            std::int64_t k = *karg->literal;
+            bool largest = true;
+            if (const CallArg *arg = keyword("largest");
+                arg && arg->literal)
+                largest = *arg->literal != 0;
+            else if (const CallArg *arg2 = positional(2);
+                     arg2 && arg2->literal)
+                largest = *arg2->literal != 0;
+            std::vector<std::int64_t> shape(self_type.shape());
+            C4CAM_CHECK(!shape.empty(), "topk on a scalar");
+            shape.back() = k;
+            Type vals = ctx.tensorType(shape, ctx.f32());
+            Type idxs = ctx.tensorType(shape, ctx.f32());
+            return builder_.create(
+                torchd::kTopk, {self}, {vals, idxs},
+                {{"k", Attribute(k)},
+                 {"dim", Attribute(std::int64_t(-1))},
+                 {"largest", Attribute(largest)}});
+        }
+        fail("unsupported torch function '" + fn + "'");
+    }
+
+    Module &module_;
+    OpBuilder builder_;
+    const std::string &source_;
+    std::vector<std::string> lines_;
+    std::size_t lineNo_ = 0;
+    std::string line_;
+    std::size_t pos_ = 0;
+
+    std::string funcName_;
+    Operation *func_ = nullptr;
+    std::map<std::string, Value *> scope_;
+    bool returned_ = false;
+};
+
+} // namespace
+
+Operation *
+importTorchScript(Module &module, const std::string &source)
+{
+    return Parser(module, source).run();
+}
+
+Module
+parseTorchScriptModule(Context &ctx, const std::string &source)
+{
+    Module module(ctx);
+    importTorchScript(module, source);
+    return module;
+}
+
+} // namespace c4cam::frontend

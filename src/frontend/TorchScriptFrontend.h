@@ -1,0 +1,46 @@
+#ifndef C4CAM_FRONTEND_TORCHSCRIPTFRONTEND_H
+#define C4CAM_FRONTEND_TORCHSCRIPTFRONTEND_H
+
+/**
+ * @file
+ * TorchScript-subset frontend: Python-like source -> torch IR.
+ *
+ * Stand-in for the PyTorch MLIR converter of §III-C. It accepts the
+ * TorchScript patterns the paper compiles (similarity kernels built from
+ * transpose / matmul / mm / sub / div / norm / topk) and emits the torch
+ * dialect. As in the paper, the frontend is extended with the `norm` and
+ * `topk` search primitives.
+ *
+ * Input shapes come from parameter annotations (our stand-in for
+ * trace-time shape propagation):
+ *
+ *   def forward(input: Tensor[10, 8192], weight: Tensor[10, 8192]):
+ *       others = weight.transpose(-2, -1)
+ *       scores = torch.matmul(input, others)
+ *       values, indices = torch.topk(scores, 1, largest=False)
+ *       return indices
+ *
+ * `self.name` references are treated as parameters named `name`.
+ */
+
+#include <string>
+
+#include "ir/IR.h"
+
+namespace c4cam::frontend {
+
+/**
+ * Parse @p source and append a func.func to @p module.
+ * Raises CompilerError with line info on unsupported constructs.
+ * @return the created function op.
+ */
+ir::Operation *importTorchScript(ir::Module &module,
+                                 const std::string &source);
+
+/** Convenience: parse into a fresh module (dialects must be loaded). */
+ir::Module parseTorchScriptModule(ir::Context &ctx,
+                                  const std::string &source);
+
+} // namespace c4cam::frontend
+
+#endif // C4CAM_FRONTEND_TORCHSCRIPTFRONTEND_H

@@ -1,0 +1,110 @@
+#include "ir/Attribute.h"
+
+#include <sstream>
+
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+bool
+Attribute::asBool() const
+{
+    C4CAM_ASSERT(isBool(), "attribute is not a bool: " << str());
+    return std::get<bool>(value_);
+}
+
+std::int64_t
+Attribute::asInt() const
+{
+    C4CAM_ASSERT(isInt(), "attribute is not an int: " << str());
+    return std::get<std::int64_t>(value_);
+}
+
+double
+Attribute::asFloat() const
+{
+    if (isInt())
+        return static_cast<double>(std::get<std::int64_t>(value_));
+    C4CAM_ASSERT(isFloat(), "attribute is not a float: " << str());
+    return std::get<double>(value_);
+}
+
+const std::string &
+Attribute::asString() const
+{
+    C4CAM_ASSERT(isString(), "attribute is not a string: " << str());
+    return std::get<std::string>(value_);
+}
+
+Type
+Attribute::asType() const
+{
+    C4CAM_ASSERT(isType(), "attribute is not a type: " << str());
+    return std::get<Type>(value_);
+}
+
+const std::vector<Attribute> &
+Attribute::asArray() const
+{
+    C4CAM_ASSERT(isArray(), "attribute is not an array: " << str());
+    return std::get<std::vector<Attribute>>(value_);
+}
+
+std::vector<std::int64_t>
+Attribute::asIntArray() const
+{
+    std::vector<std::int64_t> out;
+    for (const Attribute &a : asArray())
+        out.push_back(a.asInt());
+    return out;
+}
+
+bool
+Attribute::operator==(const Attribute &other) const
+{
+    return value_ == other.value_;
+}
+
+std::string
+Attribute::str() const
+{
+    std::ostringstream oss;
+    if (isUnit()) {
+        oss << "unit";
+    } else if (isBool()) {
+        oss << (asBool() ? "true" : "false");
+    } else if (isInt()) {
+        oss << asInt();
+    } else if (isFloat()) {
+        oss << std::get<double>(value_);
+        // Ensure floats round-trip as floats, not ints.
+        if (oss.str().find('.') == std::string::npos &&
+            oss.str().find('e') == std::string::npos &&
+            oss.str().find("inf") == std::string::npos &&
+            oss.str().find("nan") == std::string::npos) {
+            oss << ".0";
+        }
+    } else if (isString()) {
+        oss << '"';
+        for (char c : asString()) {
+            if (c == '"' || c == '\\')
+                oss << '\\';
+            oss << c;
+        }
+        oss << '"';
+    } else if (isType()) {
+        oss << asType().str();
+    } else if (isArray()) {
+        oss << "[";
+        const auto &elems = asArray();
+        for (std::size_t i = 0; i < elems.size(); ++i) {
+            if (i)
+                oss << ", ";
+            oss << elems[i].str();
+        }
+        oss << "]";
+    }
+    return oss.str();
+}
+
+} // namespace c4cam::ir

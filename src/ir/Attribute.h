@@ -1,0 +1,74 @@
+#ifndef C4CAM_IR_ATTRIBUTE_H
+#define C4CAM_IR_ATTRIBUTE_H
+
+/**
+ * @file
+ * Compile-time constants attached to operations.
+ *
+ * Attributes carry static information on ops (tile sizes, search kinds,
+ * symbol names...). They are small value types: copying an Attribute
+ * copies its payload.
+ */
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/Type.h"
+
+namespace c4cam::ir {
+
+/** A unit/int/float/string/type/array compile-time value. */
+class Attribute
+{
+  public:
+    /** Unit attribute (presence-only flag). */
+    Attribute() : value_(std::monostate{}) {}
+
+    explicit Attribute(bool b) : value_(b) {}
+    explicit Attribute(std::int64_t i) : value_(i) {}
+    explicit Attribute(int i) : value_(static_cast<std::int64_t>(i)) {}
+    explicit Attribute(double d) : value_(d) {}
+    explicit Attribute(std::string s) : value_(std::move(s)) {}
+    explicit Attribute(const char *s) : value_(std::string(s)) {}
+    explicit Attribute(Type t) : value_(t) {}
+    explicit Attribute(std::vector<Attribute> elems)
+        : value_(std::move(elems))
+    {}
+
+    bool isUnit() const { return std::holds_alternative<std::monostate>(value_); }
+    bool isBool() const { return std::holds_alternative<bool>(value_); }
+    bool isInt() const { return std::holds_alternative<std::int64_t>(value_); }
+    bool isFloat() const { return std::holds_alternative<double>(value_); }
+    bool isString() const { return std::holds_alternative<std::string>(value_); }
+    bool isType() const { return std::holds_alternative<Type>(value_); }
+    bool isArray() const
+    {
+        return std::holds_alternative<std::vector<Attribute>>(value_);
+    }
+
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asFloat() const;
+    const std::string &asString() const;
+    Type asType() const;
+    const std::vector<Attribute> &asArray() const;
+
+    /** Convenience: array attribute as a vector of ints. */
+    std::vector<std::int64_t> asIntArray() const;
+
+    bool operator==(const Attribute &other) const;
+
+    /** MLIR-like rendering, e.g. `3 : i64`, `"knn"`, `[1, 2]`. */
+    std::string str() const;
+
+  private:
+    std::variant<std::monostate, bool, std::int64_t, double, std::string,
+                 Type, std::vector<Attribute>>
+        value_;
+};
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_ATTRIBUTE_H

@@ -1,0 +1,51 @@
+#include "ir/Builder.h"
+
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+Operation *
+OpBuilder::create(const std::string &name,
+                  const std::vector<Value *> &operands,
+                  const std::vector<Type> &result_types,
+                  Operation::AttrMap attrs, int num_regions)
+{
+    C4CAM_ASSERT(block_, "OpBuilder has no insertion block");
+    auto op = Operation::create(*ctx_, name, operands, result_types,
+                                std::move(attrs), num_regions);
+    return block_->insertBefore(anchor_, std::move(op));
+}
+
+Value *
+OpBuilder::constantIndex(std::int64_t value)
+{
+    Operation *op = create("arith.constant", {}, {ctx_->indexType()},
+                           {{"value", Attribute(value)}});
+    return op->result(0);
+}
+
+Value *
+OpBuilder::constantInt(std::int64_t value)
+{
+    Operation *op = create("arith.constant", {}, {ctx_->i64()},
+                           {{"value", Attribute(value)}});
+    return op->result(0);
+}
+
+Value *
+OpBuilder::constantFloat(double value)
+{
+    Operation *op = create("arith.constant", {}, {ctx_->f32()},
+                           {{"value", Attribute(value)}});
+    return op->result(0);
+}
+
+Value *
+OpBuilder::constantBool(bool value)
+{
+    Operation *op = create("arith.constant", {}, {ctx_->i1()},
+                           {{"value", Attribute(value)}});
+    return op->result(0);
+}
+
+} // namespace c4cam::ir

@@ -1,0 +1,90 @@
+#ifndef C4CAM_IR_BUILDER_H
+#define C4CAM_IR_BUILDER_H
+
+/**
+ * @file
+ * Insertion-point-based op construction, mirroring mlir::OpBuilder.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/IR.h"
+
+namespace c4cam::ir {
+
+/**
+ * Creates operations at a movable insertion point inside a block.
+ */
+class OpBuilder
+{
+  public:
+    explicit OpBuilder(Context &ctx) : ctx_(&ctx) {}
+
+    Context &context() const { return *ctx_; }
+
+    /// @name Insertion point management
+    /// @{
+    void
+    setInsertionPointToEnd(Block *block)
+    {
+        block_ = block;
+        anchor_ = nullptr;
+    }
+
+    void
+    setInsertionPointToStart(Block *block)
+    {
+        block_ = block;
+        anchor_ = block->empty() ? nullptr : block->front();
+    }
+
+    /** Insert before @p op from now on. */
+    void
+    setInsertionPoint(Operation *op)
+    {
+        block_ = op->parentBlock();
+        anchor_ = op;
+    }
+
+    /** Insert after @p op from now on. */
+    void
+    setInsertionPointAfter(Operation *op)
+    {
+        block_ = op->parentBlock();
+        anchor_ = op->nextOp();
+    }
+
+    Block *insertionBlock() const { return block_; }
+    /// @}
+
+    /**
+     * Create an op at the insertion point.
+     * @param num_regions regions are created empty; callers add blocks.
+     */
+    Operation *
+    create(const std::string &name, const std::vector<Value *> &operands,
+           const std::vector<Type> &result_types,
+           Operation::AttrMap attrs = {}, int num_regions = 0);
+
+    /// @name Common constant helpers (arith dialect)
+    /// @{
+    /** Materialize `arith.constant {value} : index`. */
+    Value *constantIndex(std::int64_t value);
+    /** Materialize an i64 constant. */
+    Value *constantInt(std::int64_t value);
+    /** Materialize an f32 constant. */
+    Value *constantFloat(double value);
+    /** Materialize an i1 constant. */
+    Value *constantBool(bool value);
+    /// @}
+
+  private:
+    Context *ctx_;
+    Block *block_ = nullptr;
+    Operation *anchor_ = nullptr; ///< Insert before this op (or append).
+};
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_BUILDER_H

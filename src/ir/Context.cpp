@@ -1,0 +1,180 @@
+#include "ir/Context.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+namespace c4cam::ir {
+
+namespace {
+
+/** Canonical interning key: the printed form is unique per type. */
+std::string
+typeKey(const detail::TypeStorage &s)
+{
+    std::ostringstream oss;
+    oss << static_cast<int>(s.kind);
+    for (std::int64_t d : s.shape)
+        oss << ':' << d;
+    oss << '|' << static_cast<const void *>(s.element);
+    oss << '|' << s.dialect << '.' << s.name;
+    return oss.str();
+}
+
+} // namespace
+
+Context::Context()
+{
+    auto scalar = [&](TypeKind k) {
+        detail::TypeStorage s;
+        s.kind = k;
+        return intern(std::move(s));
+    };
+    f32_ = scalar(TypeKind::F32);
+    f64_ = scalar(TypeKind::F64);
+    i1_ = scalar(TypeKind::I1);
+    i32_ = scalar(TypeKind::I32);
+    i64_ = scalar(TypeKind::I64);
+    index_ = scalar(TypeKind::Index);
+}
+
+Context::~Context() = default;
+
+Type
+Context::intern(detail::TypeStorage storage)
+{
+    std::string key = typeKey(storage);
+    auto it = typePool_.find(key);
+    if (it == typePool_.end()) {
+        auto owned = std::make_unique<detail::TypeStorage>(std::move(storage));
+        it = typePool_.emplace(key, std::move(owned)).first;
+    }
+    return Type(it->second.get());
+}
+
+Type
+Context::tensorType(const std::vector<std::int64_t> &shape, Type element)
+{
+    C4CAM_ASSERT(element.isScalar(),
+                 "tensor element must be scalar, got " << element.str());
+    for (std::int64_t d : shape)
+        C4CAM_CHECK(d >= 0, "tensor dimension must be non-negative: " << d);
+    detail::TypeStorage s;
+    s.kind = TypeKind::Tensor;
+    s.shape = shape;
+    s.element = element.impl_;
+    return intern(std::move(s));
+}
+
+Type
+Context::memrefType(const std::vector<std::int64_t> &shape, Type element)
+{
+    C4CAM_ASSERT(element.isScalar(),
+                 "memref element must be scalar, got " << element.str());
+    detail::TypeStorage s;
+    s.kind = TypeKind::MemRef;
+    s.shape = shape;
+    s.element = element.impl_;
+    return intern(std::move(s));
+}
+
+Type
+Context::opaqueType(const std::string &dialect, const std::string &name)
+{
+    detail::TypeStorage s;
+    s.kind = TypeKind::Opaque;
+    s.dialect = dialect;
+    s.name = name;
+    return intern(std::move(s));
+}
+
+Type
+Context::parseType(const std::string &raw)
+{
+    std::string text = trimString(raw);
+    if (text == "f32")
+        return f32();
+    if (text == "f64")
+        return f64();
+    if (text == "i1")
+        return i1();
+    if (text == "i32")
+        return i32();
+    if (text == "i64")
+        return i64();
+    if (text == "index")
+        return indexType();
+    if (startsWith(text, "!")) {
+        auto parts = splitString(text.substr(1), '.');
+        C4CAM_CHECK(parts.size() == 2 && !parts[0].empty() &&
+                        !parts[1].empty(),
+                    "malformed dialect type '" << text << "'");
+        return opaqueType(parts[0], parts[1]);
+    }
+    bool tensor = startsWith(text, "tensor<");
+    bool memref = startsWith(text, "memref<");
+    if (tensor || memref) {
+        C4CAM_CHECK(text.back() == '>', "malformed shaped type '" << text
+                    << "'");
+        std::string inner =
+            text.substr(7, text.size() - 8); // strip prefix + '>'
+        // Consume leading `<int>x` dimensions; the remainder is the element
+        // type (which may itself contain 'x', e.g. "index").
+        std::vector<std::int64_t> shape;
+        std::size_t pos = 0;
+        while (pos < inner.size() &&
+               std::isdigit(static_cast<unsigned char>(inner[pos]))) {
+            std::size_t end = pos;
+            while (end < inner.size() &&
+                   std::isdigit(static_cast<unsigned char>(inner[end])))
+                ++end;
+            if (end >= inner.size() || inner[end] != 'x')
+                break; // digits not followed by 'x': part of element type
+            shape.push_back(std::stoll(inner.substr(pos, end - pos)));
+            pos = end + 1;
+        }
+        C4CAM_CHECK(pos < inner.size(), "missing element type in '" << text
+                    << "'");
+        Type element = parseType(inner.substr(pos));
+        return tensor ? tensorType(shape, element)
+                      : memrefType(shape, element);
+    }
+    C4CAM_USER_ERROR("cannot parse type '" << text << "'");
+}
+
+void
+Context::registerOp(OpInfo info)
+{
+    C4CAM_ASSERT(!info.name.empty(), "op name must not be empty");
+    C4CAM_ASSERT(!ops_.count(info.name),
+                 "duplicate op registration: " << info.name);
+    std::string name = info.name;
+    ops_.emplace(std::move(name), std::move(info));
+}
+
+const OpInfo *
+Context::lookupOp(const std::string &name) const
+{
+    auto it = ops_.find(name);
+    return it == ops_.end() ? nullptr : &it->second;
+}
+
+bool
+Context::isDialectLoaded(const std::string &name) const
+{
+    return dialects_.count(name) > 0;
+}
+
+std::vector<std::string>
+Context::registeredOps() const
+{
+    std::vector<std::string> names;
+    names.reserve(ops_.size());
+    for (const auto &[name, info] : ops_)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace c4cam::ir

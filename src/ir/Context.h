@@ -1,0 +1,126 @@
+#ifndef C4CAM_IR_CONTEXT_H
+#define C4CAM_IR_CONTEXT_H
+
+/**
+ * @file
+ * The IR context: type interning, dialect and op registries.
+ *
+ * One Context outlives every IR object created with it (modules, types,
+ * attributes). Dialects register their operations (OpInfo) on load; the
+ * verifier consults the registry to validate modules.
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Type.h"
+
+namespace c4cam::ir {
+
+class Context;
+class Operation;
+
+/** Static description of an op kind, registered by its dialect. */
+struct OpInfo
+{
+    std::string name;            ///< Fully qualified, e.g. "cam.search".
+    int minOperands = 0;
+    int maxOperands = -1;        ///< -1: unbounded.
+    int numResults = -1;         ///< -1: variadic.
+    int numRegions = 0;
+    bool isTerminator = false;
+    /** Extra structural checks; throws CompilerError on violation. */
+    std::function<void(Operation *)> verify;
+};
+
+/** Base class for dialects (torch, cim, cam, scf, ...). */
+class Dialect
+{
+  public:
+    virtual ~Dialect() = default;
+
+    /** Namespace prefix of the dialect's ops ("cam" in "cam.search"). */
+    virtual std::string name() const = 0;
+
+    /** Register the dialect's ops and types into @p ctx. */
+    virtual void initialize(Context &ctx) = 0;
+};
+
+/**
+ * Owner of interned types and the dialect/op registries.
+ */
+class Context
+{
+  public:
+    Context();
+    ~Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    /// @name Built-in type factories
+    /// @{
+    Type f32() { return f32_; }
+    Type f64() { return f64_; }
+    Type i1() { return i1_; }
+    Type i32() { return i32_; }
+    Type i64() { return i64_; }
+    Type indexType() { return index_; }
+    /// @}
+
+    /** Interned tensor type with @p shape and @p element type. */
+    Type tensorType(const std::vector<std::int64_t> &shape, Type element);
+
+    /** Interned memref type with @p shape and @p element type. */
+    Type memrefType(const std::vector<std::int64_t> &shape, Type element);
+
+    /** Interned dialect type, printed as !dialect.name. */
+    Type opaqueType(const std::string &dialect, const std::string &name);
+
+    /** Parse a type from its textual form; raises CompilerError. */
+    Type parseType(const std::string &text);
+
+    /** Register one op kind. Re-registration with same name is an error. */
+    void registerOp(OpInfo info);
+
+    /** @return the registered info for @p name, or nullptr. */
+    const OpInfo *lookupOp(const std::string &name) const;
+
+    /** Load a dialect once; subsequent loads of the same name are no-ops. */
+    template <typename DialectT>
+    void
+    loadDialect()
+    {
+        auto d = std::make_unique<DialectT>();
+        if (dialects_.count(d->name()))
+            return;
+        Dialect *raw = d.get();
+        dialects_.emplace(d->name(), std::move(d));
+        raw->initialize(*this);
+    }
+
+    /** @return true when a dialect with @p name has been loaded. */
+    bool isDialectLoaded(const std::string &name) const;
+
+    /** Names of all registered ops (for tooling/tests). */
+    std::vector<std::string> registeredOps() const;
+
+  private:
+    Type intern(detail::TypeStorage storage);
+
+    std::unordered_map<std::string,
+                       std::unique_ptr<detail::TypeStorage>>
+        typePool_;
+    std::unordered_map<std::string, OpInfo> ops_;
+    std::map<std::string, std::unique_ptr<Dialect>> dialects_;
+
+    Type f32_, f64_, i1_, i32_, i64_, index_;
+};
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_CONTEXT_H

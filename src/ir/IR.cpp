@@ -1,0 +1,505 @@
+#include "ir/IR.h"
+
+#include <algorithm>
+
+#include "ir/Printer.h"
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+//
+// Value
+//
+
+void
+Value::replaceAllUsesWith(Value *other)
+{
+    C4CAM_ASSERT(other, "replaceAllUsesWith(null)");
+    C4CAM_ASSERT(other != this, "self-replacement");
+    // set() mutates uses_, so iterate over a snapshot.
+    std::vector<OpOperand *> snapshot = uses_;
+    for (OpOperand *use : snapshot)
+        use->set(other);
+}
+
+//
+// OpOperand
+//
+
+void
+OpOperand::set(Value *value)
+{
+    if (value_ == value)
+        return;
+    if (value_) {
+        auto &uses = value_->uses_;
+        uses.erase(std::remove(uses.begin(), uses.end(), this), uses.end());
+    }
+    value_ = value;
+    if (value_)
+        value_->uses_.push_back(this);
+}
+
+OpOperand::~OpOperand()
+{
+    set(nullptr);
+}
+
+//
+// Operation
+//
+
+Operation::Operation(Context &ctx, std::string name)
+    : ctx_(&ctx), name_(std::move(name))
+{}
+
+Operation::~Operation()
+{
+    // Regions (and the ops inside them) must go before this op's results,
+    // since nested ops may reference them.
+    regions_.clear();
+    operands_.clear();
+    for (auto &r : results_)
+        C4CAM_ASSERT(!r->hasUses(),
+                     "destroying op '" << name_ << "' with live uses");
+}
+
+std::unique_ptr<Operation>
+Operation::create(Context &ctx, const std::string &name,
+                  const std::vector<Value *> &operands,
+                  const std::vector<Type> &result_types, AttrMap attrs,
+                  int num_regions)
+{
+    std::unique_ptr<Operation> op(new Operation(ctx, name));
+    for (Value *v : operands) {
+        C4CAM_ASSERT(v, "null operand while creating op '" << name << "'");
+        op->operands_.push_back(
+            std::unique_ptr<OpOperand>(new OpOperand(op.get(), v)));
+    }
+    unsigned idx = 0;
+    for (Type t : result_types) {
+        C4CAM_ASSERT(t, "null result type while creating '" << name << "'");
+        op->results_.push_back(std::unique_ptr<Value>(
+            new Value(t, op.get(), nullptr, idx++)));
+    }
+    op->attrs_ = std::move(attrs);
+    for (int i = 0; i < num_regions; ++i)
+        op->addRegion();
+    return op;
+}
+
+std::string
+Operation::dialect() const
+{
+    auto pos = name_.find('.');
+    return pos == std::string::npos ? std::string() : name_.substr(0, pos);
+}
+
+Value *
+Operation::operand(std::size_t i) const
+{
+    C4CAM_ASSERT(i < operands_.size(), "operand index " << i
+                 << " out of range for '" << name_ << "'");
+    return operands_[i]->get();
+}
+
+void
+Operation::setOperand(std::size_t i, Value *value)
+{
+    C4CAM_ASSERT(i < operands_.size(), "operand index " << i
+                 << " out of range for '" << name_ << "'");
+    operands_[i]->set(value);
+}
+
+void
+Operation::appendOperand(Value *value)
+{
+    C4CAM_ASSERT(value, "appendOperand(null)");
+    operands_.push_back(
+        std::unique_ptr<OpOperand>(new OpOperand(this, value)));
+}
+
+void
+Operation::eraseOperand(std::size_t i)
+{
+    C4CAM_ASSERT(i < operands_.size(), "operand index " << i
+                 << " out of range for '" << name_ << "'");
+    operands_.erase(operands_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+std::vector<Value *>
+Operation::operandValues() const
+{
+    std::vector<Value *> out;
+    out.reserve(operands_.size());
+    for (const auto &o : operands_)
+        out.push_back(o->get());
+    return out;
+}
+
+Value *
+Operation::result(std::size_t i) const
+{
+    C4CAM_ASSERT(i < results_.size(), "result index " << i
+                 << " out of range for '" << name_ << "'");
+    return results_[i].get();
+}
+
+const Attribute &
+Operation::attr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    C4CAM_ASSERT(it != attrs_.end(),
+                 "op '" << name_ << "' has no attribute '" << key << "'");
+    return it->second;
+}
+
+const Attribute *
+Operation::findAttr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? nullptr : &it->second;
+}
+
+void
+Operation::setAttr(const std::string &key, Attribute value)
+{
+    attrs_[key] = std::move(value);
+}
+
+void
+Operation::removeAttr(const std::string &key)
+{
+    attrs_.erase(key);
+}
+
+std::int64_t
+Operation::intAttr(const std::string &key) const
+{
+    return attr(key).asInt();
+}
+
+std::int64_t
+Operation::intAttrOr(const std::string &key, std::int64_t dflt) const
+{
+    const Attribute *a = findAttr(key);
+    return a ? a->asInt() : dflt;
+}
+
+std::string
+Operation::strAttr(const std::string &key) const
+{
+    return attr(key).asString();
+}
+
+std::string
+Operation::strAttrOr(const std::string &key, const std::string &dflt) const
+{
+    const Attribute *a = findAttr(key);
+    return a ? a->asString() : dflt;
+}
+
+bool
+Operation::boolAttrOr(const std::string &key, bool dflt) const
+{
+    const Attribute *a = findAttr(key);
+    if (!a)
+        return dflt;
+    return a->isUnit() ? true : a->asBool();
+}
+
+Region &
+Operation::region(std::size_t i) const
+{
+    C4CAM_ASSERT(i < regions_.size(), "region index " << i
+                 << " out of range for '" << name_ << "'");
+    return *regions_[i];
+}
+
+Region &
+Operation::addRegion()
+{
+    regions_.push_back(std::make_unique<Region>(this));
+    return *regions_.back();
+}
+
+Operation *
+Operation::parentOp() const
+{
+    return parent_ ? parent_->parentOp() : nullptr;
+}
+
+Operation *
+Operation::nextOp() const
+{
+    C4CAM_ASSERT(parent_, "nextOp() on detached op");
+    auto it = self_;
+    ++it;
+    return it == parent_->ops_.end() ? nullptr : it->get();
+}
+
+Operation *
+Operation::prevOp() const
+{
+    C4CAM_ASSERT(parent_, "prevOp() on detached op");
+    if (self_ == parent_->ops_.begin())
+        return nullptr;
+    auto it = self_;
+    --it;
+    return it->get();
+}
+
+void
+Operation::erase()
+{
+    C4CAM_ASSERT(parent_, "erase() on detached op");
+    for (auto &r : results_)
+        C4CAM_ASSERT(!r->hasUses(),
+                     "erasing op '" << name_ << "' whose results have uses");
+    Block *block = parent_;
+    auto it = self_;
+    parent_ = nullptr;
+    block->ops_.erase(it); // destroys *this
+}
+
+void
+Operation::dropAllReferences()
+{
+    for (auto &o : operands_)
+        o->set(nullptr);
+    for (auto &region : regions_)
+        for (auto &block : region->blocks())
+            for (auto &op : block->operations())
+                op->dropAllReferences();
+}
+
+void
+Operation::moveBefore(Operation *other)
+{
+    C4CAM_ASSERT(parent_ && other->parent_,
+                 "moveBefore requires both ops attached");
+    Block *src = parent_;
+    std::unique_ptr<Operation> owned = src->take(this);
+    other->parent_->insertBefore(other, std::move(owned));
+}
+
+void
+Operation::walk(const std::function<void(Operation *)> &fn)
+{
+    fn(this);
+    for (auto &region : regions_) {
+        for (auto &block : region->blocks()) {
+            // Snapshot: fn may erase/insert ops.
+            for (Operation *op : block->opVector())
+                op->walk(fn);
+        }
+    }
+}
+
+void
+Operation::walkPostOrder(const std::function<void(Operation *)> &fn)
+{
+    for (auto &region : regions_) {
+        for (auto &block : region->blocks()) {
+            for (Operation *op : block->opVector())
+                op->walkPostOrder(fn);
+        }
+    }
+    fn(this);
+}
+
+std::string
+Operation::str() const
+{
+    return printOperation(const_cast<Operation *>(this));
+}
+
+//
+// Block
+//
+
+Block::~Block()
+{
+    // Destroy ops in reverse order so uses die before defs; this keeps the
+    // "no live uses" destructor assertion meaningful.
+    while (!ops_.empty()) {
+        ops_.back()->dropAllReferences();
+        ops_.back()->parent_ = nullptr;
+        ops_.pop_back();
+    }
+}
+
+Value *
+Block::addArgument(Type type)
+{
+    args_.push_back(std::unique_ptr<Value>(
+        new Value(type, nullptr, this, static_cast<unsigned>(args_.size()))));
+    return args_.back().get();
+}
+
+Value *
+Block::argument(std::size_t i) const
+{
+    C4CAM_ASSERT(i < args_.size(), "block argument index out of range");
+    return args_[i].get();
+}
+
+Operation *
+Block::front() const
+{
+    C4CAM_ASSERT(!ops_.empty(), "front() on empty block");
+    return ops_.front().get();
+}
+
+Operation *
+Block::back() const
+{
+    C4CAM_ASSERT(!ops_.empty(), "back() on empty block");
+    return ops_.back().get();
+}
+
+Operation *
+Block::append(std::unique_ptr<Operation> op)
+{
+    return insertBefore(nullptr, std::move(op));
+}
+
+Operation *
+Block::insertBefore(Operation *anchor, std::unique_ptr<Operation> op)
+{
+    C4CAM_ASSERT(op, "inserting null op");
+    C4CAM_ASSERT(!op->parent_, "op is already attached to a block");
+    Operation *raw = op.get();
+    OpList::iterator pos = ops_.end();
+    if (anchor) {
+        C4CAM_ASSERT(anchor->parent_ == this,
+                     "insertBefore anchor is in a different block");
+        pos = anchor->self_;
+    }
+    auto it = ops_.insert(pos, std::move(op));
+    raw->parent_ = this;
+    raw->self_ = it;
+    return raw;
+}
+
+std::unique_ptr<Operation>
+Block::take(Operation *op)
+{
+    C4CAM_ASSERT(op && op->parent_ == this, "take() of op not in this block");
+    auto it = op->self_;
+    std::unique_ptr<Operation> owned = std::move(*it);
+    ops_.erase(it);
+    owned->parent_ = nullptr;
+    return owned;
+}
+
+std::vector<Operation *>
+Block::opVector() const
+{
+    std::vector<Operation *> out;
+    out.reserve(ops_.size());
+    for (const auto &op : ops_)
+        out.push_back(op.get());
+    return out;
+}
+
+Operation *
+Block::parentOp() const
+{
+    return parent_ ? parent_->parentOp() : nullptr;
+}
+
+//
+// Region
+//
+
+Block &
+Region::entryBlock()
+{
+    if (blocks_.empty())
+        addBlock();
+    return *blocks_.front();
+}
+
+Block &
+Region::front() const
+{
+    C4CAM_ASSERT(!blocks_.empty(), "front() on empty region");
+    return *blocks_.front();
+}
+
+Block &
+Region::block(std::size_t i) const
+{
+    C4CAM_ASSERT(i < blocks_.size(), "block index out of range");
+    return *blocks_[i];
+}
+
+Block &
+Region::addBlock()
+{
+    blocks_.push_back(std::make_unique<Block>());
+    blocks_.back()->parent_ = this;
+    return *blocks_.back();
+}
+
+//
+// Module
+//
+
+Module::Module(Context &ctx) : ctx_(&ctx)
+{
+    op_ = Operation::create(ctx, kModuleOpName, {}, {}, {}, 1);
+    op_->region(0).addBlock();
+}
+
+Module::Module(Context &ctx, std::unique_ptr<Operation> op)
+    : ctx_(&ctx), op_(std::move(op))
+{
+    C4CAM_ASSERT(op_ && op_->name() == kModuleOpName,
+                 "Module must wrap a builtin.module op");
+    C4CAM_ASSERT(op_->numRegions() == 1 && op_->region(0).numBlocks() == 1,
+                 "builtin.module must have a single-block region");
+}
+
+Block *
+Module::body() const
+{
+    return &op_->region(0).front();
+}
+
+Operation *
+Module::lookupFunction(const std::string &name) const
+{
+    for (Operation *op : body()->opVector()) {
+        if (op->name() == kFuncOpName &&
+            op->strAttrOr("sym_name", "") == name) {
+            return op;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<Operation *>
+Module::functions() const
+{
+    std::vector<Operation *> out;
+    for (Operation *op : body()->opVector())
+        if (op->name() == kFuncOpName)
+            out.push_back(op);
+    return out;
+}
+
+void
+Module::walk(const std::function<void(Operation *)> &fn) const
+{
+    op_->walk(fn);
+}
+
+std::string
+Module::str() const
+{
+    return op_->str();
+}
+
+} // namespace c4cam::ir

@@ -1,0 +1,358 @@
+#ifndef C4CAM_IR_IR_H
+#define C4CAM_IR_IR_H
+
+/**
+ * @file
+ * Core IR structures: Value, OpOperand, Operation, Block, Region, Module.
+ *
+ * The object graph mirrors MLIR's:
+ *   Module -> Operation("builtin.module") -> Region -> Block -> Operation*
+ * Operations own their result Values and their Regions; Blocks own their
+ * argument Values and their Operations. SSA use-def chains are maintained
+ * through OpOperand so replace-all-uses and safe erasure are O(uses).
+ */
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/Attribute.h"
+#include "ir/Context.h"
+#include "ir/Type.h"
+
+namespace c4cam::ir {
+
+class Block;
+class OpOperand;
+class Operation;
+class Region;
+
+/**
+ * An SSA value: either an operation result or a block argument.
+ * Values are owned by their defining Operation or Block and have stable
+ * addresses for their entire lifetime.
+ */
+class Value
+{
+  public:
+    Type type() const { return type_; }
+
+    /** Defining op; nullptr for block arguments. */
+    Operation *definingOp() const { return defOp_; }
+
+    /** Owning block for block arguments; nullptr for op results. */
+    Block *owningBlock() const { return defBlock_; }
+
+    bool isBlockArgument() const { return defBlock_ != nullptr; }
+
+    /** Result index, or argument index for block arguments. */
+    unsigned index() const { return index_; }
+
+    /** All operand slots currently referencing this value. */
+    const std::vector<OpOperand *> &uses() const { return uses_; }
+
+    bool hasUses() const { return !uses_.empty(); }
+
+    /** Redirect every use of this value to @p other. */
+    void replaceAllUsesWith(Value *other);
+
+  private:
+    friend class Block;
+    friend class OpOperand;
+    friend class Operation;
+
+    Value(Type type, Operation *def_op, Block *def_block, unsigned index)
+        : type_(type), defOp_(def_op), defBlock_(def_block), index_(index)
+    {}
+
+    Type type_;
+    Operation *defOp_;
+    Block *defBlock_;
+    unsigned index_;
+    std::vector<OpOperand *> uses_;
+};
+
+/** One operand slot of an operation; keeps the use-def chain coherent. */
+class OpOperand
+{
+  public:
+    Operation *owner() const { return owner_; }
+    Value *get() const { return value_; }
+
+    /** Point this slot at @p value, updating both use lists. */
+    void set(Value *value);
+
+    ~OpOperand();
+
+  private:
+    friend class Operation;
+
+    OpOperand(Operation *owner, Value *value) : owner_(owner)
+    {
+        set(value);
+    }
+
+    Operation *owner_;
+    Value *value_ = nullptr;
+};
+
+/**
+ * A generic operation: name + operands + results + attributes + regions.
+ * All dialect ops are instances of this class distinguished by name,
+ * exactly like MLIR's generic Operation.
+ */
+class Operation
+{
+  public:
+    using AttrMap = std::map<std::string, Attribute>;
+
+    /** Create a detached operation (not yet inserted in a block). */
+    static std::unique_ptr<Operation>
+    create(Context &ctx, const std::string &name,
+           const std::vector<Value *> &operands,
+           const std::vector<Type> &result_types, AttrMap attrs = {},
+           int num_regions = 0);
+
+    ~Operation();
+
+    Operation(const Operation &) = delete;
+    Operation &operator=(const Operation &) = delete;
+
+    Context &context() const { return *ctx_; }
+    const std::string &name() const { return name_; }
+
+    /** Dialect prefix of the op name ("cam" for "cam.search"). */
+    std::string dialect() const;
+
+    /// @name Operands
+    /// @{
+    std::size_t numOperands() const { return operands_.size(); }
+    Value *operand(std::size_t i) const;
+    void setOperand(std::size_t i, Value *value);
+    void appendOperand(Value *value);
+    void eraseOperand(std::size_t i);
+    std::vector<Value *> operandValues() const;
+    /// @}
+
+    /// @name Results
+    /// @{
+    std::size_t numResults() const { return results_.size(); }
+    Value *result(std::size_t i = 0) const;
+    /// @}
+
+    /// @name Attributes
+    /// @{
+    bool hasAttr(const std::string &key) const { return attrs_.count(key); }
+    /** @return the attribute or asserts when missing. */
+    const Attribute &attr(const std::string &key) const;
+    /** @return the attribute or nullptr when missing. */
+    const Attribute *findAttr(const std::string &key) const;
+    void setAttr(const std::string &key, Attribute value);
+    void removeAttr(const std::string &key);
+    const AttrMap &attrs() const { return attrs_; }
+
+    std::int64_t intAttr(const std::string &key) const;
+    std::int64_t intAttrOr(const std::string &key, std::int64_t dflt) const;
+    std::string strAttr(const std::string &key) const;
+    std::string strAttrOr(const std::string &key,
+                          const std::string &dflt) const;
+    bool boolAttrOr(const std::string &key, bool dflt) const;
+    /// @}
+
+    /// @name Regions
+    /// @{
+    std::size_t numRegions() const { return regions_.size(); }
+    Region &region(std::size_t i = 0) const;
+    Region &addRegion();
+    /// @}
+
+    /// @name Position in the IR
+    /// @{
+    Block *parentBlock() const { return parent_; }
+    Operation *parentOp() const;
+
+    /** Next/previous op in the parent block; nullptr at the ends. */
+    Operation *nextOp() const;
+    Operation *prevOp() const;
+
+    /**
+     * Unlink from the parent block and destroy. Results must be unused;
+     * use dropAllReferences()/replaceAllUsesWith first when needed.
+     */
+    void erase();
+
+    /** Clear all operand references (use lists are updated). */
+    void dropAllReferences();
+
+    /** Move this op so it appears just before @p other in other's block. */
+    void moveBefore(Operation *other);
+    /// @}
+
+    /** Preorder walk over this op and every nested op. */
+    void walk(const std::function<void(Operation *)> &fn);
+
+    /** Postorder walk (nested ops first). */
+    void walkPostOrder(const std::function<void(Operation *)> &fn);
+
+    /** Render this operation (and nested regions) as text. */
+    std::string str() const;
+
+  private:
+    friend class Block;
+
+    Operation(Context &ctx, std::string name);
+
+    Context *ctx_;
+    std::string name_;
+    std::vector<std::unique_ptr<OpOperand>> operands_;
+    std::vector<std::unique_ptr<Value>> results_;
+    AttrMap attrs_;
+    std::vector<std::unique_ptr<Region>> regions_;
+
+    Block *parent_ = nullptr;
+    std::list<std::unique_ptr<Operation>>::iterator self_;
+};
+
+/**
+ * A straight-line sequence of operations with typed block arguments.
+ */
+class Block
+{
+  public:
+    using OpList = std::list<std::unique_ptr<Operation>>;
+
+    Block() = default;
+    ~Block();
+
+    Block(const Block &) = delete;
+    Block &operator=(const Block &) = delete;
+
+    /// @name Arguments
+    /// @{
+    Value *addArgument(Type type);
+    std::size_t numArguments() const { return args_.size(); }
+    Value *argument(std::size_t i) const;
+    /// @}
+
+    /// @name Operations
+    /// @{
+    OpList &operations() { return ops_; }
+    const OpList &operations() const { return ops_; }
+    bool empty() const { return ops_.empty(); }
+    std::size_t size() const { return ops_.size(); }
+    Operation *front() const;
+    Operation *back() const;
+
+    /** Append @p op and take ownership. @return the raw pointer. */
+    Operation *append(std::unique_ptr<Operation> op);
+
+    /** Insert @p op before @p anchor (or append when anchor is null). */
+    Operation *insertBefore(Operation *anchor, std::unique_ptr<Operation> op);
+
+    /** Unlink @p op from this block without destroying it. */
+    std::unique_ptr<Operation> take(Operation *op);
+
+    /** Ops in insertion order as raw pointers (stable snapshot). */
+    std::vector<Operation *> opVector() const;
+    /// @}
+
+    Region *parentRegion() const { return parent_; }
+    Operation *parentOp() const;
+
+  private:
+    friend class Operation;
+    friend class Region;
+
+    std::vector<std::unique_ptr<Value>> args_;
+    OpList ops_;
+    Region *parent_ = nullptr;
+};
+
+/**
+ * A list of blocks owned by an operation.
+ */
+class Region
+{
+  public:
+    explicit Region(Operation *owner) : owner_(owner) {}
+
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+    Operation *parentOp() const { return owner_; }
+
+    bool empty() const { return blocks_.empty(); }
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** First block, creating it when the region is empty. */
+    Block &entryBlock();
+
+    /** First block; asserts the region is non-empty. */
+    Block &front() const;
+
+    Block &block(std::size_t i) const;
+
+    Block &addBlock();
+
+    const std::vector<std::unique_ptr<Block>> &blocks() const
+    {
+        return blocks_;
+    }
+
+  private:
+    Operation *owner_;
+    std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+/**
+ * Convenience owner of a top-level "builtin.module" operation.
+ */
+class Module
+{
+  public:
+    explicit Module(Context &ctx);
+
+    /** Adopt an existing builtin.module op (e.g. from the parser). */
+    Module(Context &ctx, std::unique_ptr<Operation> op);
+
+    Module(Module &&) = default;
+    Module &operator=(Module &&) = default;
+
+    Context &context() const { return *ctx_; }
+
+    /** The underlying builtin.module operation. */
+    Operation *op() const { return op_.get(); }
+
+    /** The single body block of the module. */
+    Block *body() const;
+
+    /** Find a func.func with the given sym_name; nullptr when absent. */
+    Operation *lookupFunction(const std::string &name) const;
+
+    /** All func.func ops in the module body. */
+    std::vector<Operation *> functions() const;
+
+    /** Preorder walk over every op in the module. */
+    void walk(const std::function<void(Operation *)> &fn) const;
+
+    /** Textual form of the whole module. */
+    std::string str() const;
+
+  private:
+    Context *ctx_;
+    std::unique_ptr<Operation> op_;
+};
+
+/** Name of the module op every Module wraps. */
+inline constexpr const char *kModuleOpName = "builtin.module";
+/** Name of the function op. */
+inline constexpr const char *kFuncOpName = "func.func";
+/** Name of the function terminator. */
+inline constexpr const char *kReturnOpName = "func.return";
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_IR_H

@@ -1,0 +1,581 @@
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+namespace {
+
+/**
+ * Character-level recursive-descent parser for the generic op syntax.
+ * Types are scanned as raw character runs (they contain no spaces) and
+ * delegated to Context::parseType.
+ */
+class IRParser
+{
+  public:
+    IRParser(Context &ctx, const std::string &text)
+        : ctx_(ctx), text_(text)
+    {}
+
+    std::unique_ptr<Operation>
+    parseTopLevel()
+    {
+        skipWs();
+        auto op = parseOp(nullptr);
+        skipWs();
+        C4CAM_CHECK(pos_ >= text_.size(),
+                    "line " << line_ << ": trailing input after top-level op");
+        return op;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        C4CAM_USER_ERROR("IR parse error at line " << line_ << ": " << what);
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek()
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        char c = peek();
+        ++pos_;
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                next();
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (!atEnd() && text_[pos_] != '\n')
+                    next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (!atEnd() && text_[pos_] == c) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    tryConsume(const std::string &tok)
+    {
+        skipWs();
+        if (text_.compare(pos_, tok.size(), tok) == 0) {
+            for (std::size_t i = 0; i < tok.size(); ++i)
+                next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (atEnd() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        next();
+    }
+
+    std::string
+    parseIdent()
+    {
+        skipWs();
+        std::string out;
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '.') {
+                out += next();
+            } else {
+                break;
+            }
+        }
+        if (out.empty())
+            fail("expected identifier");
+        return out;
+    }
+
+    std::string
+    parseValueName()
+    {
+        expect('%');
+        return "%" + parseIdent();
+    }
+
+    std::string
+    parseQuotedString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                break;
+            if (c == '\\')
+                c = next();
+            out += c;
+        }
+        return out;
+    }
+
+    /** Scan a type as a raw run of non-space chars (respecting <...>). */
+    Type
+    parseTypeToken()
+    {
+        skipWs();
+        std::string raw;
+        int angle = 0;
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (c == '<')
+                ++angle;
+            if (c == '>')
+                --angle;
+            bool delim = (c == ',' || c == ')' || c == '(' || c == '{' ||
+                          c == '}' || c == ']' ||
+                          std::isspace(static_cast<unsigned char>(c)));
+            if (angle <= 0 && delim && c != '>')
+                break;
+            raw += next();
+            if (angle == 0 && c == '>')
+                break;
+        }
+        if (raw.empty())
+            fail("expected type");
+        return ctx_.parseType(raw);
+    }
+
+    Value *
+    lookupValue(const std::string &name)
+    {
+        auto it = values_.find(name);
+        if (it == values_.end())
+            fail("use of undefined value " + name);
+        return it->second;
+    }
+
+    Attribute
+    parseAttrValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '"')
+            return Attribute(parseQuotedString());
+        if (c == '[') {
+            next();
+            std::vector<Attribute> elems;
+            skipWs();
+            if (tryConsume(']'))
+                return Attribute(std::move(elems));
+            while (true) {
+                elems.push_back(parseAttrValue());
+                skipWs();
+                if (tryConsume(']'))
+                    break;
+                expect(',');
+            }
+            return Attribute(std::move(elems));
+        }
+        if (tryConsume("true"))
+            return Attribute(true);
+        if (tryConsume("false"))
+            return Attribute(false);
+        if (tryConsume("unit"))
+            return Attribute();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            // Number: integer unless it contains '.', 'e', or 'E'.
+            std::string raw;
+            if (c == '-')
+                raw += next();
+            bool is_float = false;
+            while (!atEnd()) {
+                char d = text_[pos_];
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    raw += next();
+                } else if (d == '.' || d == 'e' || d == 'E' || d == '+' ||
+                           (d == '-' && !raw.empty() &&
+                            (raw.back() == 'e' || raw.back() == 'E'))) {
+                    is_float = true;
+                    raw += next();
+                } else {
+                    break;
+                }
+            }
+            try {
+                if (is_float)
+                    return Attribute(std::stod(raw));
+                return Attribute(static_cast<std::int64_t>(std::stoll(raw)));
+            } catch (const std::exception &) {
+                fail("bad number literal '" + raw + "'");
+            }
+        }
+        // Fall back to a type attribute (f32, tensor<...>, !cam.bank_id).
+        return Attribute(parseTypeToken());
+    }
+
+    Operation::AttrMap
+    parseAttrDict()
+    {
+        Operation::AttrMap attrs;
+        expect('{');
+        skipWs();
+        if (tryConsume('}'))
+            return attrs;
+        while (true) {
+            std::string key = parseIdent();
+            skipWs();
+            if (tryConsume('=')) {
+                attrs[key] = parseAttrValue();
+            } else {
+                attrs[key] = Attribute(); // unit attribute
+            }
+            skipWs();
+            if (tryConsume('}'))
+                break;
+            expect(',');
+        }
+        return attrs;
+    }
+
+    /**
+     * Parse one operation and append it to @p block (when non-null).
+     */
+    std::unique_ptr<Operation>
+    parseOp(Block *block)
+    {
+        skipWs();
+        // Optional result list.
+        std::vector<std::string> result_names;
+        std::size_t save_pos = pos_;
+        int save_line = line_;
+        if (peek() == '%') {
+            while (true) {
+                result_names.push_back(parseValueName());
+                skipWs();
+                if (tryConsume(','))
+                    continue;
+                break;
+            }
+            skipWs();
+            if (!tryConsume('=')) {
+                // Not a result list after all; rewind (shouldn't happen in
+                // well-formed generic IR).
+                pos_ = save_pos;
+                line_ = save_line;
+                result_names.clear();
+            }
+        }
+
+        std::string op_name = parseQuotedString();
+
+        // Operand list.
+        expect('(');
+        std::vector<std::string> operand_names;
+        skipWs();
+        if (!tryConsume(')')) {
+            while (true) {
+                operand_names.push_back(parseValueName());
+                skipWs();
+                if (tryConsume(')'))
+                    break;
+                expect(',');
+            }
+        }
+
+        // Optional region list: " ({...}, {...})".
+        std::vector<std::size_t> region_marks;
+        bool has_regions = false;
+        skipWs();
+        std::size_t paren_pos = pos_;
+        int paren_line = line_;
+        if (!atEnd() && peek() == '(') {
+            next();
+            skipWs();
+            if (!atEnd() && peek() == '{') {
+                has_regions = true;
+            } else {
+                pos_ = paren_pos;
+                line_ = paren_line;
+            }
+        }
+
+        // Build the op skeleton now (operands resolved, no results yet:
+        // results need types that come later, so we stage everything).
+        std::vector<Value *> operands;
+        operands.reserve(operand_names.size());
+        for (const auto &name : operand_names)
+            operands.push_back(lookupValue(name));
+
+        // We must create the op before parsing regions so nested blocks
+        // can be attached; results are added after the type signature, so
+        // instead we parse regions into a detached holder op later. To
+        // keep it simple, stage region text parsing after reading types
+        // is not possible (values inside regions may capture outer
+        // values, which is fine, but region parsing must happen in the
+        // current scope). So: create op with empty results, parse
+        // regions, then recreate with results? Instead we parse regions
+        // into the op created with placeholder results: we create the op
+        // AFTER regions only if it has none. For ops with regions we
+        // create first with zero results, then attach results in place.
+        std::unique_ptr<Operation> op;
+        if (has_regions) {
+            op = Operation::create(ctx_, op_name, operands, {}, {}, 0);
+            while (true) {
+                Region &region = op->addRegion();
+                parseRegion(region);
+                skipWs();
+                if (tryConsume(','))
+                    continue;
+                expect(')');
+                break;
+            }
+        }
+
+        // Optional attribute dict.
+        Operation::AttrMap attrs;
+        skipWs();
+        if (!atEnd() && peek() == '{')
+            attrs = parseAttrDict();
+
+        // Type signature.
+        expect(':');
+        expect('(');
+        std::vector<Type> operand_types;
+        skipWs();
+        if (!tryConsume(')')) {
+            while (true) {
+                operand_types.push_back(parseTypeToken());
+                skipWs();
+                if (tryConsume(')'))
+                    break;
+                expect(',');
+            }
+        }
+        skipWs();
+        if (!tryConsume("->"))
+            fail("expected '->' in op type signature");
+        std::vector<Type> result_types;
+        skipWs();
+        if (tryConsume('(')) {
+            skipWs();
+            if (!tryConsume(')')) {
+                while (true) {
+                    result_types.push_back(parseTypeToken());
+                    skipWs();
+                    if (tryConsume(')'))
+                        break;
+                    expect(',');
+                }
+            }
+        } else {
+            result_types.push_back(parseTypeToken());
+        }
+
+        C4CAM_CHECK(operand_types.size() == operands.size(),
+                    "line " << line_ << ": op '" << op_name << "' lists "
+                    << operands.size() << " operands but "
+                    << operand_types.size() << " operand types");
+        for (std::size_t i = 0; i < operands.size(); ++i) {
+            C4CAM_CHECK(operands[i]->type() == operand_types[i],
+                        "line " << line_ << ": operand #" << i << " of '"
+                        << op_name << "' has type "
+                        << operands[i]->type().str() << " but signature says "
+                        << operand_types[i].str());
+        }
+        C4CAM_CHECK(result_names.size() == result_types.size(),
+                    "line " << line_ << ": op '" << op_name << "' defines "
+                    << result_names.size() << " results but signature lists "
+                    << result_types.size());
+
+        if (!op) {
+            op = Operation::create(ctx_, op_name, operands, result_types,
+                                   std::move(attrs), 0);
+        } else {
+            // Attach results/attrs to the already-created region op via a
+            // fresh op that steals the regions (results are immutable
+            // after creation by design).
+            auto fresh = Operation::create(ctx_, op_name, operands,
+                                           result_types, std::move(attrs), 0);
+            stealRegions(*op, *fresh);
+            op = std::move(fresh);
+        }
+
+        for (std::size_t i = 0; i < result_names.size(); ++i) {
+            const std::string &name = result_names[i];
+            C4CAM_CHECK(!values_.count(name),
+                        "line " << line_ << ": redefinition of " << name);
+            values_[name] = op->result(i);
+        }
+
+        if (block)
+            return op; // caller appends
+        return op;
+    }
+
+    /** Move all regions of @p from into @p to (same op name/arity). */
+    static void
+    stealRegions(Operation &from, Operation &to)
+    {
+        for (std::size_t r = 0; r < from.numRegions(); ++r) {
+            Region &src = from.region(r);
+            Region &dst = to.addRegion();
+            while (src.numBlocks() > 0) {
+                // Move blocks by splicing ops; block arguments are
+                // re-created and uses rewired.
+                Block &sb = src.block(0);
+                Block &db = dst.addBlock();
+                for (std::size_t a = 0; a < sb.numArguments(); ++a) {
+                    Value *old_arg = sb.argument(a);
+                    Value *new_arg = db.addArgument(old_arg->type());
+                    old_arg->replaceAllUsesWith(new_arg);
+                }
+                while (!sb.empty())
+                    db.append(sb.take(sb.front()));
+                removeFirstBlock(src);
+            }
+        }
+    }
+
+    static void removeFirstBlock(Region &region);
+
+    void
+    parseRegion(Region &region)
+    {
+        expect('{');
+        // One or more blocks; a block header is optional for a single
+        // argument-less entry block. An empty region body denotes one
+        // empty block (that is how the printer renders it).
+        bool first_block = true;
+        while (true) {
+            skipWs();
+            if (tryConsume('}')) {
+                if (region.numBlocks() == 0)
+                    region.addBlock();
+                break;
+            }
+            Block *block = nullptr;
+            if (peek() == '^') {
+                next();
+                parseIdent(); // block label (positional; name ignored)
+                block = &region.addBlock();
+                skipWs();
+                if (tryConsume('(')) {
+                    while (true) {
+                        std::string arg_name = parseValueName();
+                        expect(':');
+                        Type type = parseTypeToken();
+                        Value *arg = block->addArgument(type);
+                        C4CAM_CHECK(!values_.count(arg_name),
+                                    "line " << line_ << ": redefinition of "
+                                    << arg_name);
+                        values_[arg_name] = arg;
+                        skipWs();
+                        if (tryConsume(')'))
+                            break;
+                        expect(',');
+                    }
+                }
+                expect(':');
+            } else {
+                C4CAM_CHECK(first_block,
+                            "line " << line_
+                            << ": expected block header '^bbN:'");
+                block = &region.addBlock();
+            }
+            first_block = false;
+            // Ops until '}' or next '^'.
+            while (true) {
+                skipWs();
+                if (atEnd())
+                    fail("unterminated region");
+                char c = peek();
+                if (c == '}') {
+                    next();
+                    return parseRegionTail(region);
+                }
+                if (c == '^')
+                    break; // next block
+                block->append(parseOp(block));
+            }
+        }
+    }
+
+    /** Hook for after-region cleanup; nothing to do currently. */
+    void
+    parseRegionTail(Region &)
+    {}
+
+    Context &ctx_;
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    std::map<std::string, Value *> values_;
+};
+
+void
+IRParser::removeFirstBlock(Region &region)
+{
+    // Blocks are owned by the region in declaration order; removing the
+    // first one is only used by stealRegions where the block is empty.
+    auto &blocks = const_cast<std::vector<std::unique_ptr<Block>> &>(
+        region.blocks());
+    C4CAM_ASSERT(!blocks.empty() && blocks.front()->empty(),
+                 "removeFirstBlock on non-empty block");
+    blocks.erase(blocks.begin());
+}
+
+} // namespace
+
+std::unique_ptr<Operation>
+parseOperation(Context &ctx, const std::string &text)
+{
+    return IRParser(ctx, text).parseTopLevel();
+}
+
+Module
+parseModule(Context &ctx, const std::string &text)
+{
+    auto op = parseOperation(ctx, text);
+    C4CAM_CHECK(op->name() == kModuleOpName,
+                "top-level op must be builtin.module, got '" << op->name()
+                << "'");
+    return Module(ctx, std::move(op));
+}
+
+} // namespace c4cam::ir

@@ -1,0 +1,31 @@
+#ifndef C4CAM_IR_PARSER_H
+#define C4CAM_IR_PARSER_H
+
+/**
+ * @file
+ * Parser for the generic-operation syntax emitted by the Printer.
+ *
+ * Together with printOperation this gives lossless IR round-trips, which
+ * the test suite uses as a property check on every pipeline stage.
+ */
+
+#include <memory>
+#include <string>
+
+#include "ir/IR.h"
+
+namespace c4cam::ir {
+
+/**
+ * Parse a single top-level operation (typically "builtin.module").
+ * Raises CompilerError with a line number on malformed input.
+ */
+std::unique_ptr<Operation> parseOperation(Context &ctx,
+                                          const std::string &text);
+
+/** Parse a whole module; the top op must be builtin.module. */
+Module parseModule(Context &ctx, const std::string &text);
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_PARSER_H

@@ -1,0 +1,40 @@
+#include "ir/Pass.h"
+
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+void
+PassManager::run(Module &module)
+{
+    timings_.clear();
+    for (auto &pass : passes_) {
+        auto start = std::chrono::steady_clock::now();
+        try {
+            pass->run(module);
+        } catch (const CompilerError &err) {
+            C4CAM_USER_ERROR("pass '" << pass->name() << "' failed: "
+                             << err.what());
+        }
+        if (timing_) {
+            auto end = std::chrono::steady_clock::now();
+            double ms = std::chrono::duration<double, std::milli>(
+                            end - start)
+                            .count();
+            timings_.push_back({pass->name(), ms});
+        }
+        if (verify_) {
+            try {
+                verifyModule(module);
+            } catch (const CompilerError &err) {
+                C4CAM_USER_ERROR("IR invalid after pass '" << pass->name()
+                                 << "': " << err.what());
+            }
+        }
+        if (afterPass_)
+            afterPass_(pass->name(), module);
+    }
+}
+
+} // namespace c4cam::ir

@@ -1,0 +1,106 @@
+#ifndef C4CAM_IR_PASS_H
+#define C4CAM_IR_PASS_H
+
+/**
+ * @file
+ * Pass and PassManager: sequential module-level transformations with
+ * optional inter-pass verification, timing, and IR dumping.
+ */
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/IR.h"
+
+namespace c4cam::ir {
+
+/** A module-level transformation. Throws CompilerError on failure. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name used in diagnostics and timing reports. */
+    virtual std::string name() const = 0;
+
+    /** Transform @p module in place. */
+    virtual void run(Module &module) = 0;
+};
+
+/** Wrap a plain function as a Pass. */
+class LambdaPass : public Pass
+{
+  public:
+    LambdaPass(std::string name, std::function<void(Module &)> fn)
+        : name_(std::move(name)), fn_(std::move(fn))
+    {}
+
+    std::string name() const override { return name_; }
+    void run(Module &module) override { fn_(module); }
+
+  private:
+    std::string name_;
+    std::function<void(Module &)> fn_;
+};
+
+/**
+ * Runs a pipeline of passes over a module.
+ */
+class PassManager
+{
+  public:
+    /** Wall-clock cost of one executed pass. */
+    struct Timing
+    {
+        std::string pass;
+        double millis;
+    };
+
+    /** Observes pass boundaries; used for IR dumping and tests. */
+    using Callback = std::function<void(const std::string &pass_name,
+                                        Module &module)>;
+
+    void
+    addPass(std::unique_ptr<Pass> pass)
+    {
+        passes_.push_back(std::move(pass));
+    }
+
+    template <typename PassT, typename... Args>
+    void
+    add(Args &&...args)
+    {
+        passes_.push_back(std::make_unique<PassT>(
+            std::forward<Args>(args)...));
+    }
+
+    /** Verify the module after every pass (default on). */
+    void enableVerifier(bool on) { verify_ = on; }
+
+    /** Record per-pass wall-clock timings. */
+    void enableTiming(bool on) { timing_ = on; }
+
+    /** Invoke @p cb after every pass (e.g. to dump IR). */
+    void setAfterPassCallback(Callback cb) { afterPass_ = std::move(cb); }
+
+    /** Run all passes in order. Exceptions carry the failing pass name. */
+    void run(Module &module);
+
+    const std::vector<Timing> &timings() const { return timings_; }
+
+    std::size_t size() const { return passes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    std::vector<Timing> timings_;
+    Callback afterPass_;
+    bool verify_ = true;
+    bool timing_ = false;
+};
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_PASS_H

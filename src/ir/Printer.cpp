@@ -1,0 +1,151 @@
+#include "ir/Printer.h"
+
+#include <map>
+#include <sstream>
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+namespace {
+
+/** Stateful printer: assigns %N names in definition order. */
+class Printer
+{
+  public:
+    std::string
+    print(Operation *op)
+    {
+        printOp(op, 0);
+        return oss_.str();
+    }
+
+  private:
+    std::string
+    nameOf(Value *v)
+    {
+        auto it = names_.find(v);
+        if (it != names_.end())
+            return it->second;
+        std::string name = "%" + std::to_string(nextId_++);
+        names_.emplace(v, name);
+        return name;
+    }
+
+    void
+    indent(int depth)
+    {
+        for (int i = 0; i < depth; ++i)
+            oss_ << "  ";
+    }
+
+    void
+    printOp(Operation *op, int depth)
+    {
+        indent(depth);
+        if (op->numResults() > 0) {
+            for (std::size_t i = 0; i < op->numResults(); ++i) {
+                if (i)
+                    oss_ << ", ";
+                oss_ << nameOf(op->result(i));
+            }
+            oss_ << " = ";
+        }
+        oss_ << '"' << op->name() << "\"(";
+        for (std::size_t i = 0; i < op->numOperands(); ++i) {
+            if (i)
+                oss_ << ", ";
+            Value *v = op->operand(i);
+            oss_ << (v ? nameOf(v) : "<<null>>");
+        }
+        oss_ << ")";
+
+        if (op->numRegions() > 0) {
+            oss_ << " (";
+            for (std::size_t r = 0; r < op->numRegions(); ++r) {
+                if (r)
+                    oss_ << ", ";
+                printRegion(op->region(r), depth);
+            }
+            oss_ << ")";
+        }
+
+        if (!op->attrs().empty()) {
+            oss_ << " {";
+            bool first = true;
+            for (const auto &[key, value] : op->attrs()) {
+                if (!first)
+                    oss_ << ", ";
+                oss_ << key;
+                if (!value.isUnit())
+                    oss_ << " = " << value.str();
+                first = false;
+            }
+            oss_ << "}";
+        }
+
+        oss_ << " : (";
+        for (std::size_t i = 0; i < op->numOperands(); ++i) {
+            if (i)
+                oss_ << ", ";
+            oss_ << op->operand(i)->type().str();
+        }
+        oss_ << ") -> ";
+        if (op->numResults() == 1) {
+            oss_ << op->result(0)->type().str();
+        } else {
+            oss_ << "(";
+            for (std::size_t i = 0; i < op->numResults(); ++i) {
+                if (i)
+                    oss_ << ", ";
+                oss_ << op->result(i)->type().str();
+            }
+            oss_ << ")";
+        }
+        oss_ << "\n";
+    }
+
+    void
+    printRegion(Region &region, int depth)
+    {
+        oss_ << "{\n";
+        for (std::size_t b = 0; b < region.numBlocks(); ++b) {
+            Block &block = region.block(b);
+            if (block.numArguments() > 0 || region.numBlocks() > 1) {
+                indent(depth);
+                oss_ << "^bb" << b;
+                if (block.numArguments() > 0) {
+                    oss_ << "(";
+                    for (std::size_t i = 0; i < block.numArguments(); ++i) {
+                        if (i)
+                            oss_ << ", ";
+                        Value *arg = block.argument(i);
+                        oss_ << nameOf(arg) << ": " << arg->type().str();
+                    }
+                    oss_ << ")";
+                }
+                oss_ << ":\n";
+            }
+            for (Operation *op : block.opVector())
+                printOp(op, depth + 1);
+        }
+        indent(depth);
+        oss_ << "}";
+    }
+
+    std::ostringstream oss_;
+    std::map<Value *, std::string> names_;
+    int nextId_ = 0;
+};
+
+} // namespace
+
+std::string
+printOperation(Operation *op)
+{
+    C4CAM_ASSERT(op, "printOperation(null)");
+    return Printer().print(op);
+}
+
+} // namespace c4cam::ir

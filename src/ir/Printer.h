@@ -1,0 +1,24 @@
+#ifndef C4CAM_IR_PRINTER_H
+#define C4CAM_IR_PRINTER_H
+
+/**
+ * @file
+ * Textual rendering of IR in MLIR's generic-operation syntax.
+ *
+ * The printed form round-trips through the Parser:
+ *   %1, %2 = "cam.read"(%0) {kind = "exact"} :
+ *       (!cam.subarray_id) -> (memref<10x1xf32>, memref<10x1xf32>)
+ */
+
+#include <string>
+
+namespace c4cam::ir {
+
+class Operation;
+
+/** Print @p op and all nested regions; values get stable %N names. */
+std::string printOperation(Operation *op);
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_PRINTER_H

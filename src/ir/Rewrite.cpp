@@ -1,0 +1,81 @@
+#include "ir/Rewrite.h"
+
+#include <algorithm>
+
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+void
+PatternRewriter::replaceOp(Operation *op,
+                           const std::vector<Value *> &replacements)
+{
+    C4CAM_ASSERT(op->numResults() == replacements.size(),
+                 "replaceOp: op '" << op->name() << "' has "
+                 << op->numResults() << " results, got "
+                 << replacements.size() << " replacements");
+    for (std::size_t i = 0; i < replacements.size(); ++i)
+        op->result(i)->replaceAllUsesWith(replacements[i]);
+    eraseOp(op);
+}
+
+void
+PatternRewriter::eraseOp(Operation *op)
+{
+    // Record every nested op as erased too: the driver's worklist may
+    // still hold pointers into the op's regions.
+    op->walk([this](Operation *nested) { erased_.insert(nested); });
+    op->dropAllReferences();
+    op->erase();
+}
+
+bool
+applyPatternsGreedily(Operation *root, const RewritePatternSet &patterns,
+                      int max_iterations)
+{
+    // Sort pattern pointers by decreasing benefit, stable for determinism.
+    std::vector<const RewritePattern *> sorted;
+    for (const auto &p : patterns.patterns())
+        sorted.push_back(p.get());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const RewritePattern *a, const RewritePattern *b) {
+                         return a->benefit() > b->benefit();
+                     });
+
+    PatternRewriter rewriter(root->context());
+    bool any_change = false;
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        rewriter.resetErased();
+
+        // Snapshot the op list; rewrites may add/remove ops.
+        std::vector<Operation *> worklist;
+        root->walk([&](Operation *op) {
+            if (op != root)
+                worklist.push_back(op);
+        });
+
+        for (Operation *op : worklist) {
+            if (rewriter.wasErased(op))
+                continue;
+            for (const RewritePattern *pattern : sorted) {
+                if (!pattern->rootName().empty() &&
+                    pattern->rootName() != op->name())
+                    continue;
+                rewriter.setInsertionPoint(op);
+                if (pattern->matchAndRewrite(op, rewriter)) {
+                    changed = true;
+                    any_change = true;
+                    break; // op may be gone; move to next worklist entry
+                }
+            }
+            if (rewriter.wasErased(op))
+                continue;
+        }
+        if (!changed)
+            break;
+    }
+    return any_change;
+}
+
+} // namespace c4cam::ir

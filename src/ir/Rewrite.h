@@ -1,0 +1,113 @@
+#ifndef C4CAM_IR_REWRITE_H
+#define C4CAM_IR_REWRITE_H
+
+/**
+ * @file
+ * Declarative IR rewriting: RewritePattern + a greedy fixpoint driver,
+ * mirroring MLIR's applyPatternsAndFoldGreedily.
+ */
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+namespace c4cam::ir {
+
+/**
+ * OpBuilder that also tracks op replacement/erasure so the greedy driver
+ * can keep its worklist coherent.
+ */
+class PatternRewriter : public OpBuilder
+{
+  public:
+    explicit PatternRewriter(Context &ctx) : OpBuilder(ctx) {}
+
+    /**
+     * Replace all results of @p op with @p replacements and erase it.
+     * The replacement count must equal the result count.
+     */
+    void replaceOp(Operation *op, const std::vector<Value *> &replacements);
+
+    /** Erase @p op (results must be unused). */
+    void eraseOp(Operation *op);
+
+    /** @return true when @p op was erased during this driver round. */
+    bool wasErased(Operation *op) const { return erased_.count(op) > 0; }
+
+    /** Clear the erased set (driver-internal, per round). */
+    void resetErased() { erased_.clear(); }
+
+  private:
+    std::set<Operation *> erased_;
+};
+
+/**
+ * A single rewrite rule on one op kind (or any op when rootName empty).
+ */
+class RewritePattern
+{
+  public:
+    explicit RewritePattern(std::string root_name, int benefit = 1)
+        : rootName_(std::move(root_name)), benefit_(benefit)
+    {}
+
+    virtual ~RewritePattern() = default;
+
+    const std::string &rootName() const { return rootName_; }
+    int benefit() const { return benefit_; }
+
+    /**
+     * Try to match @p op and rewrite it through @p rewriter.
+     * @return true when the IR was changed.
+     */
+    virtual bool matchAndRewrite(Operation *op,
+                                 PatternRewriter &rewriter) const = 0;
+
+  private:
+    std::string rootName_;
+    int benefit_;
+};
+
+/** An owning list of patterns; higher benefit patterns run first. */
+class RewritePatternSet
+{
+  public:
+    void
+    add(std::unique_ptr<RewritePattern> pattern)
+    {
+        patterns_.push_back(std::move(pattern));
+    }
+
+    template <typename PatternT, typename... Args>
+    void
+    insert(Args &&...args)
+    {
+        patterns_.push_back(
+            std::make_unique<PatternT>(std::forward<Args>(args)...));
+    }
+
+    const std::vector<std::unique_ptr<RewritePattern>> &patterns() const
+    {
+        return patterns_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<RewritePattern>> patterns_;
+};
+
+/**
+ * Apply @p patterns greedily to every op nested under @p root until a
+ * fixpoint (no pattern matches) or @p max_iterations rounds.
+ *
+ * @return true when any rewrite fired.
+ */
+bool applyPatternsGreedily(Operation *root, const RewritePatternSet &patterns,
+                           int max_iterations = 64);
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_REWRITE_H

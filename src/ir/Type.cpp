@@ -1,0 +1,79 @@
+#include "ir/Type.h"
+
+#include <sstream>
+
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+TypeKind
+Type::kind() const
+{
+    C4CAM_ASSERT(impl_, "kind() on null type");
+    return impl_->kind;
+}
+
+const std::vector<std::int64_t> &
+Type::shape() const
+{
+    C4CAM_ASSERT(isShaped(), "shape() on non-shaped type " << str());
+    return impl_->shape;
+}
+
+std::int64_t
+Type::numElements() const
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : shape())
+        n *= d;
+    return n;
+}
+
+Type
+Type::elementType() const
+{
+    C4CAM_ASSERT(isShaped(), "elementType() on non-shaped type");
+    return Type(impl_->element);
+}
+
+const std::string &
+Type::opaqueDialect() const
+{
+    C4CAM_ASSERT(isOpaque(), "opaqueDialect() on non-opaque type");
+    return impl_->dialect;
+}
+
+const std::string &
+Type::opaqueName() const
+{
+    C4CAM_ASSERT(isOpaque(), "opaqueName() on non-opaque type");
+    return impl_->name;
+}
+
+std::string
+Type::str() const
+{
+    if (!impl_)
+        return "<<null type>>";
+    switch (impl_->kind) {
+      case TypeKind::F32: return "f32";
+      case TypeKind::F64: return "f64";
+      case TypeKind::I1: return "i1";
+      case TypeKind::I32: return "i32";
+      case TypeKind::I64: return "i64";
+      case TypeKind::Index: return "index";
+      case TypeKind::Opaque: return "!" + impl_->dialect + "." + impl_->name;
+      case TypeKind::Tensor:
+      case TypeKind::MemRef: {
+        std::ostringstream oss;
+        oss << (impl_->kind == TypeKind::Tensor ? "tensor<" : "memref<");
+        for (std::int64_t d : impl_->shape)
+            oss << d << "x";
+        oss << Type(impl_->element).str() << ">";
+        return oss.str();
+      }
+    }
+    return "<<invalid>>";
+}
+
+} // namespace c4cam::ir

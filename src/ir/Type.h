@@ -1,0 +1,124 @@
+#ifndef C4CAM_IR_TYPE_H
+#define C4CAM_IR_TYPE_H
+
+/**
+ * @file
+ * Value types for the C4CAM IR.
+ *
+ * Types are immutable and interned in the Context (as in MLIR): two types
+ * with the same structure compare equal by pointer. A Type is a cheap
+ * value-semantics handle onto the interned storage.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c4cam::ir {
+
+class Context;
+
+/** Discriminator for the built-in type hierarchy. */
+enum class TypeKind {
+    F32,     ///< 32-bit float scalar
+    F64,     ///< 64-bit float scalar
+    I1,      ///< boolean
+    I32,     ///< 32-bit signless integer
+    I64,     ///< 64-bit signless integer
+    Index,   ///< target-width index (loop counters, device handles)
+    Tensor,  ///< immutable shaped value, e.g. tensor<10x8192xf32>
+    MemRef,  ///< mutable buffer, e.g. memref<10x32xf32>
+    Opaque,  ///< dialect type, e.g. !cam.bank_id
+};
+
+namespace detail {
+
+/** Interned type payload; owned by the Context. */
+struct TypeStorage
+{
+    TypeKind kind;
+    std::vector<std::int64_t> shape;   ///< Tensor/MemRef only.
+    const TypeStorage *element = nullptr;
+    std::string dialect;               ///< Opaque only.
+    std::string name;                  ///< Opaque only.
+};
+
+} // namespace detail
+
+/**
+ * Handle to an interned type. Default-constructed handles are null; all
+ * other handles are created through the Context factory methods.
+ */
+class Type
+{
+  public:
+    Type() = default;
+
+    /** @return true when this handle refers to a type. */
+    explicit operator bool() const { return impl_ != nullptr; }
+
+    bool operator==(const Type &other) const { return impl_ == other.impl_; }
+    bool operator!=(const Type &other) const { return impl_ != other.impl_; }
+
+    TypeKind kind() const;
+
+    bool isF32() const { return impl_ && kind() == TypeKind::F32; }
+    bool isF64() const { return impl_ && kind() == TypeKind::F64; }
+    bool isI1() const { return impl_ && kind() == TypeKind::I1; }
+    bool isI32() const { return impl_ && kind() == TypeKind::I32; }
+    bool isI64() const { return impl_ && kind() == TypeKind::I64; }
+    bool isIndex() const { return impl_ && kind() == TypeKind::Index; }
+    bool isTensor() const { return impl_ && kind() == TypeKind::Tensor; }
+    bool isMemRef() const { return impl_ && kind() == TypeKind::MemRef; }
+    bool isOpaque() const { return impl_ && kind() == TypeKind::Opaque; }
+    bool isShaped() const { return isTensor() || isMemRef(); }
+    bool isScalar() const { return impl_ && !isShaped() && !isOpaque(); }
+    bool isInteger() const { return isI1() || isI32() || isI64(); }
+    bool isFloat() const { return isF32() || isF64(); }
+
+    /** Shape of a Tensor/MemRef type. Asserts on other kinds. */
+    const std::vector<std::int64_t> &shape() const;
+
+    /** Rank of a Tensor/MemRef type. */
+    std::size_t rank() const { return shape().size(); }
+
+    /** Total element count of a Tensor/MemRef type. */
+    std::int64_t numElements() const;
+
+    /** Element type of a Tensor/MemRef type. */
+    Type elementType() const;
+
+    /** Dialect prefix of an Opaque type ("cam" in !cam.bank_id). */
+    const std::string &opaqueDialect() const;
+
+    /** Name of an Opaque type ("bank_id" in !cam.bank_id). */
+    const std::string &opaqueName() const;
+
+    /** MLIR-style rendering, e.g. "tensor<10x8192xf32>". */
+    std::string str() const;
+
+    /** Stable identity of the interned storage (hashing/dedup). */
+    const void *opaqueId() const { return impl_; }
+
+  private:
+    friend class Context;
+    friend struct TypeHash;
+
+    explicit Type(const detail::TypeStorage *impl) : impl_(impl) {}
+
+    const detail::TypeStorage *impl_ = nullptr;
+};
+
+/** Hash functor so Type can key unordered containers. */
+struct TypeHash
+{
+    std::size_t
+    operator()(const Type &t) const
+    {
+        return std::hash<const void *>()(t.impl_);
+    }
+};
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_TYPE_H

@@ -1,0 +1,66 @@
+#include "ir/Verifier.h"
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+namespace {
+
+void
+verifySingleOp(Operation *op)
+{
+    Context &ctx = op->context();
+    const OpInfo *info = ctx.lookupOp(op->name());
+    C4CAM_CHECK(info, "unregistered operation '" << op->name()
+                << "' (is its dialect loaded?)");
+
+    int num_operands = static_cast<int>(op->numOperands());
+    C4CAM_CHECK(num_operands >= info->minOperands,
+                "op '" << op->name() << "' expects at least "
+                << info->minOperands << " operands, got " << num_operands);
+    if (info->maxOperands >= 0) {
+        C4CAM_CHECK(num_operands <= info->maxOperands,
+                    "op '" << op->name() << "' expects at most "
+                    << info->maxOperands << " operands, got "
+                    << num_operands);
+    }
+    if (info->numResults >= 0) {
+        C4CAM_CHECK(static_cast<int>(op->numResults()) == info->numResults,
+                    "op '" << op->name() << "' expects " << info->numResults
+                    << " results, got " << op->numResults());
+    }
+    C4CAM_CHECK(static_cast<int>(op->numRegions()) == info->numRegions,
+                "op '" << op->name() << "' expects " << info->numRegions
+                << " regions, got " << op->numRegions());
+
+    for (std::size_t i = 0; i < op->numOperands(); ++i)
+        C4CAM_CHECK(op->operand(i) != nullptr,
+                    "op '" << op->name() << "' has null operand #" << i);
+
+    // Terminator placement: a terminator must be the last op of its block.
+    if (info->isTerminator && op->parentBlock()) {
+        C4CAM_CHECK(op->parentBlock()->back() == op,
+                    "terminator '" << op->name()
+                    << "' is not the last op of its block");
+    }
+
+    if (info->verify)
+        info->verify(op);
+}
+
+} // namespace
+
+void
+verifyOp(Operation *op)
+{
+    op->walk([](Operation *nested) { verifySingleOp(nested); });
+}
+
+void
+verifyModule(const Module &module)
+{
+    verifyOp(module.op());
+}
+
+} // namespace c4cam::ir

@@ -1,0 +1,28 @@
+#ifndef C4CAM_IR_VERIFIER_H
+#define C4CAM_IR_VERIFIER_H
+
+/**
+ * @file
+ * Structural verification of modules against the op registry.
+ */
+
+#include <string>
+
+namespace c4cam::ir {
+
+class Module;
+class Operation;
+
+/**
+ * Verify @p module: every op must be registered, respect its operand /
+ * result / region arity, have non-null operands, and pass its dialect
+ * verifier. Raises CompilerError describing the first violation.
+ */
+void verifyModule(const Module &module);
+
+/** Verify a single op subtree (same checks as verifyModule). */
+void verifyOp(Operation *op);
+
+} // namespace c4cam::ir
+
+#endif // C4CAM_IR_VERIFIER_H

@@ -1,0 +1,76 @@
+#ifndef C4CAM_PASSES_CAMMAPPING_H
+#define C4CAM_PASSES_CAMMAPPING_H
+
+/**
+ * @file
+ * cim-to-cam conversion + cam-map (paper §III-D2, Fig. 6).
+ *
+ * Rewrites a fused cim.similarity kernel into the device-level program:
+ *
+ *  1. setup loops that walk the hierarchy (banks -> mats -> arrays ->
+ *     subarrays), allocate units (cam.alloc_*) and program the stored
+ *     data tiles (cam.write_value), with bufferization of the captured
+ *     tensors;
+ *  2. a per-query loop whose hierarchy loop nest issues cam.search /
+ *     cam.read and accumulates partial distances with
+ *     cam.merge_partial_subarray, followed by a final top-k.
+ *
+ * Optimization targets (paper §IV-C1):
+ *  - base/latency: every level uses scf.parallel;
+ *  - power: at most maxActiveSubarrays subarrays of an array are active
+ *    at a time (the subarray loop becomes sequential / chunked);
+ *  - density: selective search [27] packs floor(rows/batch) data batches
+ *    per subarray, searched in that many sequential cycles.
+ *
+ * Note on staging: the paper partitions at cim level and maps at cam
+ * level; here the tiling is re-derived inside cam-map because the
+ * tile -> (bank, mat, array, subarray, batch) assignment must be
+ * computed jointly with the hierarchy walk. The standalone cim-partition
+ * pass implements the paper's Fig. 5d form for the host/loops path.
+ */
+
+#include "arch/ArchSpec.h"
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Static mapping summary computed by cam-map (also used by Table I). */
+struct MappingPlan
+{
+    std::int64_t queries = 0;      ///< Q
+    std::int64_t storedRows = 0;   ///< N
+    std::int64_t featureDim = 0;   ///< D
+    std::int64_t rowTiles = 0;     ///< ceil(N / rows)
+    std::int64_t colTiles = 0;     ///< ceil(D / cols)
+    std::int64_t batchRows = 0;    ///< rows per packed batch
+    std::int64_t batchesPerSubarray = 1;
+    std::int64_t logicalTiles = 0; ///< rowTiles * colTiles
+    std::int64_t physicalSubarrays = 0;
+    std::int64_t banks = 0;
+
+    /** Compute the plan for a (N x D) kernel on @p spec. */
+    static MappingPlan compute(const arch::ArchSpec &spec,
+                               std::int64_t queries, std::int64_t n,
+                               std::int64_t d);
+};
+
+/** Lowers fused cim.similarity kernels to the mapped cam form. */
+class CamMappingPass : public ir::Pass
+{
+  public:
+    explicit CamMappingPass(arch::ArchSpec spec) : spec_(std::move(spec)) {}
+
+    std::string name() const override { return "cam-map"; }
+    void run(ir::Module &module) override;
+
+    /** Plan of the last mapped kernel (for reporting/tests). */
+    const MappingPlan &plan() const { return plan_; }
+
+  private:
+    arch::ArchSpec spec_;
+    MappingPlan plan_;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CAMMAPPING_H

@@ -1,0 +1,76 @@
+#include "passes/CamOptimization.h"
+
+#include "dialects/std/StdDialects.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+namespace scfd = c4cam::dialects::scf;
+
+namespace {
+
+/**
+ * Swap a loop op between scf.parallel and scf.for, moving its body.
+ * @return the replacement loop.
+ */
+Operation *
+convertLoop(Operation *loop, bool to_parallel)
+{
+    OpBuilder builder(loop->context());
+    builder.setInsertionPoint(loop);
+    Value *lb = loop->operand(0);
+    Value *ub = loop->operand(1);
+    Value *step = loop->operand(2);
+    std::string level = loop->strAttrOr("level", "");
+    Operation *replacement =
+        to_parallel ? scfd::createParallel(builder, lb, ub, step, level)
+                    : scfd::createFor(builder, lb, ub, step);
+    if (!to_parallel && !level.empty())
+        replacement->setAttr("level", Attribute(level));
+
+    Block *old_body = scfd::loopBody(loop);
+    Block *new_body = scfd::loopBody(replacement);
+    old_body->argument(0)->replaceAllUsesWith(new_body->argument(0));
+    while (!old_body->empty())
+        new_body->append(old_body->take(old_body->front()));
+
+    loop->dropAllReferences();
+    loop->erase();
+    return replacement;
+}
+
+int
+convertLevelLoops(Module &module, const std::string &from_op,
+                  const std::string &level, bool to_parallel)
+{
+    std::vector<Operation *> targets;
+    module.walk([&](Operation *op) {
+        if (op->name() == from_op && op->strAttrOr("level", "") == level)
+            targets.push_back(op);
+    });
+    for (Operation *op : targets)
+        convertLoop(op, to_parallel);
+    return static_cast<int>(targets.size());
+}
+
+} // namespace
+
+void
+CamPowerOptPass::run(Module &module)
+{
+    converted_ = convertLevelLoops(module, "scf.parallel", "subarray",
+                                   /*to_parallel=*/false);
+}
+
+void
+CamLatencyOptPass::run(Module &module)
+{
+    converted_ = 0;
+    for (const char *level : {"bank", "mat", "array", "subarray"})
+        converted_ += convertLevelLoops(module, "scf.for", level,
+                                        /*to_parallel=*/true);
+}
+
+} // namespace c4cam::passes

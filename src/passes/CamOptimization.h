@@ -1,0 +1,50 @@
+#ifndef C4CAM_PASSES_CAMOPTIMIZATION_H
+#define C4CAM_PASSES_CAMOPTIMIZATION_H
+
+/**
+ * @file
+ * Post-mapping cam-level optimizations (paper §III-D2 "Built-in
+ * optimizations").
+ *
+ * These passes retarget an already-mapped module without recompiling
+ * from the frontend:
+ *  - CamPowerOptPass: serialize the subarray-level loop so at most one
+ *    subarray per array is active at a time (cam-power);
+ *  - CamLatencyOptPass: parallelize every hierarchy loop (cam-base /
+ *    latency-optimal).
+ */
+
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Converts subarray-level scf.parallel loops into sequential scf.for. */
+class CamPowerOptPass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "cam-power-opt"; }
+    void run(ir::Module &module) override;
+
+    /** Loops converted in the last run. */
+    int converted() const { return converted_; }
+
+  private:
+    int converted_ = 0;
+};
+
+/** Converts hierarchy-level scf.for loops back into scf.parallel. */
+class CamLatencyOptPass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "cam-latency-opt"; }
+    void run(ir::Module &module) override;
+
+    int converted() const { return converted_; }
+
+  private:
+    int converted_ = 0;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CAMOPTIMIZATION_H

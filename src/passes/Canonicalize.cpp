@@ -1,0 +1,276 @@
+#include "passes/Canonicalize.h"
+
+#include <map>
+#include <set>
+
+#include "ir/Builder.h"
+#include "ir/Rewrite.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+
+bool
+isPure(const std::string &op_name)
+{
+    // Pure value computations; everything else (cam/cim device calls,
+    // memref mutation, control flow, terminators) is conservatively
+    // treated as effectful.
+    static const std::set<std::string> pure = {
+        "arith.constant",  "arith.addi",     "arith.subi",
+        "arith.muli",      "arith.divsi",    "arith.remsi",
+        "arith.minsi",     "arith.maxsi",    "arith.addf",
+        "arith.subf",      "arith.mulf",     "arith.divf",
+        "arith.minimumf",  "arith.maximumf", "arith.cmpi",
+        "arith.cmpf",      "arith.select",   "arith.index_cast",
+        "arith.sitofp",    "arith.fptosi",   "tensor.extract_slice",
+        "tensor.empty",    "memref.subview",
+        "bufferization.to_memref", "bufferization.to_tensor",
+    };
+    return pure.count(op_name) > 0;
+}
+
+namespace {
+
+/** Constant integer value of @p v, when defined by arith.constant. */
+bool
+constantInt(Value *v, std::int64_t &out)
+{
+    Operation *def = v->definingOp();
+    if (!def || def->name() != "arith.constant")
+        return false;
+    const Attribute &attr = def->attr("value");
+    if (!attr.isInt())
+        return false;
+    out = attr.asInt();
+    return true;
+}
+
+/** Fold integer arithmetic over two constants. */
+class FoldIntBinary : public RewritePattern
+{
+  public:
+    FoldIntBinary() : RewritePattern("", /*benefit=*/2) {}
+
+    bool
+    matchAndRewrite(Operation *op, PatternRewriter &rewriter) const override
+    {
+        const std::string &name = op->name();
+        if (!startsWith(name, "arith.") || op->numOperands() != 2 ||
+            op->numResults() != 1)
+            return false;
+        std::int64_t lhs = 0;
+        std::int64_t rhs = 0;
+        if (!constantInt(op->operand(0), lhs) ||
+            !constantInt(op->operand(1), rhs))
+            return false;
+
+        std::int64_t folded = 0;
+        if (name == "arith.addi")
+            folded = lhs + rhs;
+        else if (name == "arith.subi")
+            folded = lhs - rhs;
+        else if (name == "arith.muli")
+            folded = lhs * rhs;
+        else if (name == "arith.divsi" && rhs != 0)
+            folded = lhs / rhs;
+        else if (name == "arith.remsi" && rhs != 0)
+            folded = lhs % rhs;
+        else if (name == "arith.minsi")
+            folded = std::min(lhs, rhs);
+        else if (name == "arith.maxsi")
+            folded = std::max(lhs, rhs);
+        else
+            return false;
+
+        Operation *constant = rewriter.create(
+            "arith.constant", {}, {op->result(0)->type()},
+            {{"value", Attribute(folded)}});
+        rewriter.replaceOp(op, {constant->result(0)});
+        return true;
+    }
+};
+
+/** Fold arith.cmpi over two constants. */
+class FoldCmpi : public RewritePattern
+{
+  public:
+    FoldCmpi() : RewritePattern("arith.cmpi", /*benefit=*/2) {}
+
+    bool
+    matchAndRewrite(Operation *op, PatternRewriter &rewriter) const override
+    {
+        std::int64_t lhs = 0;
+        std::int64_t rhs = 0;
+        if (!constantInt(op->operand(0), lhs) ||
+            !constantInt(op->operand(1), rhs))
+            return false;
+        std::string pred = op->strAttr("predicate");
+        bool result = false;
+        if (pred == "eq")
+            result = lhs == rhs;
+        else if (pred == "ne")
+            result = lhs != rhs;
+        else if (pred == "slt")
+            result = lhs < rhs;
+        else if (pred == "sle")
+            result = lhs <= rhs;
+        else if (pred == "sgt")
+            result = lhs > rhs;
+        else if (pred == "sge")
+            result = lhs >= rhs;
+        else
+            return false;
+        Operation *constant = rewriter.create(
+            "arith.constant", {}, {op->result(0)->type()},
+            {{"value", Attribute(result)}});
+        rewriter.replaceOp(op, {constant->result(0)});
+        return true;
+    }
+};
+
+/** x + 0, x - 0, x * 1, x * 0, 0 + x, 1 * x identities. */
+class AlgebraicIdentity : public RewritePattern
+{
+  public:
+    AlgebraicIdentity() : RewritePattern("", /*benefit=*/1) {}
+
+    bool
+    matchAndRewrite(Operation *op, PatternRewriter &rewriter) const override
+    {
+        const std::string &name = op->name();
+        if (op->numOperands() != 2 || op->numResults() != 1)
+            return false;
+        std::int64_t lhs = 0;
+        std::int64_t rhs = 0;
+        bool lhs_const = constantInt(op->operand(0), lhs);
+        bool rhs_const = constantInt(op->operand(1), rhs);
+
+        if (name == "arith.addi") {
+            if (rhs_const && rhs == 0) {
+                rewriter.replaceOp(op, {op->operand(0)});
+                return true;
+            }
+            if (lhs_const && lhs == 0) {
+                rewriter.replaceOp(op, {op->operand(1)});
+                return true;
+            }
+        } else if (name == "arith.subi") {
+            if (rhs_const && rhs == 0) {
+                rewriter.replaceOp(op, {op->operand(0)});
+                return true;
+            }
+        } else if (name == "arith.muli") {
+            if (rhs_const && rhs == 1) {
+                rewriter.replaceOp(op, {op->operand(0)});
+                return true;
+            }
+            if (lhs_const && lhs == 1) {
+                rewriter.replaceOp(op, {op->operand(1)});
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/** Remove scf.if with a constant-false condition; inline nothing. */
+class FoldDeadIf : public RewritePattern
+{
+  public:
+    FoldDeadIf() : RewritePattern("scf.if", /*benefit=*/3) {}
+
+    bool
+    matchAndRewrite(Operation *op, PatternRewriter &rewriter) const override
+    {
+        Operation *def = op->operand(0)->definingOp();
+        if (!def || def->name() != "arith.constant")
+            return false;
+        const Attribute &value = def->attr("value");
+        bool cond = value.isBool() ? value.asBool() : value.asInt() != 0;
+        if (cond)
+            return false; // constant-true: keeping the guard is harmless
+        rewriter.eraseOp(op);
+        return true;
+    }
+};
+
+/** De-duplicate identical arith.constant ops within one block. */
+int
+dedupConstants(Block &block)
+{
+    int removed = 0;
+    std::map<std::pair<std::string, const void *>, Value *> seen;
+    for (Operation *op : block.opVector()) {
+        for (std::size_t r = 0; r < op->numRegions(); ++r)
+            for (auto &nested : op->region(r).blocks())
+                removed += dedupConstants(*nested);
+        if (op->name() != "arith.constant")
+            continue;
+        // Key on value text + result type identity.
+        auto key = std::make_pair(op->attr("value").str(),
+                                  op->result(0)->type().opaqueId());
+        auto it = seen.find(key);
+        if (it == seen.end()) {
+            seen.emplace(key, op->result(0));
+        } else {
+            op->result(0)->replaceAllUsesWith(it->second);
+            op->erase();
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+/** Erase pure ops whose results are all unused; iterate to fixpoint. */
+int
+eliminateDeadCode(Operation *root)
+{
+    int removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<Operation *> dead;
+        root->walkPostOrder([&](Operation *op) {
+            if (op == root || !isPure(op->name()))
+                return;
+            for (std::size_t i = 0; i < op->numResults(); ++i)
+                if (op->result(i)->hasUses())
+                    return;
+            dead.push_back(op);
+        });
+        for (Operation *op : dead) {
+            // Post-order walk may list an op nested in another dead op
+            // that was already erased; guard via parent pointer.
+            if (!op->parentBlock())
+                continue;
+            op->dropAllReferences();
+            op->erase();
+            ++removed;
+            changed = true;
+        }
+    }
+    return removed;
+}
+
+} // namespace
+
+void
+CanonicalizePass::run(Module &module)
+{
+    removed_ = 0;
+
+    RewritePatternSet patterns;
+    patterns.insert<FoldIntBinary>();
+    patterns.insert<FoldCmpi>();
+    patterns.insert<AlgebraicIdentity>();
+    patterns.insert<FoldDeadIf>();
+    applyPatternsGreedily(module.op(), patterns);
+
+    removed_ += dedupConstants(*module.body());
+    removed_ += eliminateDeadCode(module.op());
+}
+
+} // namespace c4cam::passes

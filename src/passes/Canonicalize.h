@@ -1,0 +1,41 @@
+#ifndef C4CAM_PASSES_CANONICALIZE_H
+#define C4CAM_PASSES_CANONICALIZE_H
+
+/**
+ * @file
+ * Canonicalization: constant folding, algebraic simplification, common
+ * constant de-duplication and dead-code elimination.
+ *
+ * Runs as a cleanup after the structural lowerings; keeps generated
+ * modules (especially the density-unrolled cam mappings) small before
+ * interpretation.
+ */
+
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/**
+ * Folds arith expressions over constants, de-duplicates identical
+ * arith.constant ops per block, and erases side-effect-free ops whose
+ * results are unused.
+ */
+class CanonicalizePass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "canonicalize"; }
+    void run(ir::Module &module) override;
+
+    /** Ops removed (folded or DCE'd) in the last run. */
+    int removed() const { return removed_; }
+
+  private:
+    int removed_ = 0;
+};
+
+/** @return true when @p op_name has no observable side effects. */
+bool isPure(const std::string &op_name);
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CANONICALIZE_H

@@ -1,0 +1,175 @@
+#include "passes/CimFuseOps.h"
+
+#include <map>
+#include <set>
+
+#include "dialects/cim/CimDialect.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+namespace cimd = c4cam::dialects::cim;
+
+namespace {
+
+struct ExecGroup
+{
+    Operation *acquire;
+    Operation *execute;
+    Operation *release;
+};
+
+/** Collect (acquire, execute, release) groups in program order. */
+std::vector<ExecGroup>
+collectGroups(Block &body)
+{
+    std::vector<ExecGroup> groups;
+    for (Operation *op : body.opVector()) {
+        if (op->name() != cimd::kExecute)
+            continue;
+        Value *handle = op->operand(0);
+        Operation *acquire = handle->definingOp();
+        C4CAM_CHECK(acquire && acquire->name() == cimd::kAcquire,
+                    "cim.execute handle does not come from cim.acquire");
+        Operation *release = nullptr;
+        for (OpOperand *use : handle->uses()) {
+            if (use->owner()->name() == cimd::kRelease)
+                release = use->owner();
+        }
+        C4CAM_CHECK(release, "cim.execute device is never released");
+        groups.push_back({acquire, op, release});
+    }
+    return groups;
+}
+
+void
+fuseFunction(Context &ctx, Block &body)
+{
+    std::vector<ExecGroup> groups = collectGroups(body);
+    if (groups.size() < 2)
+        return;
+
+    // Map old execute results to the values yielded inside their body,
+    // so cross-execute dataflow becomes direct SSA flow after inlining.
+    std::map<Value *, Value *> result_to_yielded;
+    for (const ExecGroup &group : groups) {
+        Operation *yield = cimd::executeBody(group.execute)->back();
+        for (std::size_t i = 0; i < group.execute->numResults(); ++i)
+            result_to_yielded[group.execute->result(i)] =
+                yield->operand(i);
+    }
+
+    // Fused results: old execute results that are used outside the fused
+    // bodies (and outside the release ops we are deleting).
+    std::set<Operation *> fused_ops;
+    for (const ExecGroup &group : groups) {
+        fused_ops.insert(group.acquire);
+        fused_ops.insert(group.execute);
+        fused_ops.insert(group.release);
+        for (Operation *op : cimd::executeBody(group.execute)->opVector())
+            fused_ops.insert(op);
+    }
+
+    std::vector<Value *> outer_results;   // old execute results
+    std::vector<Type> result_types;
+    for (const ExecGroup &group : groups) {
+        for (std::size_t i = 0; i < group.execute->numResults(); ++i) {
+            Value *result = group.execute->result(i);
+            bool used_outside = false;
+            for (OpOperand *use : result->uses())
+                if (!fused_ops.count(use->owner()))
+                    used_outside = true;
+            if (used_outside) {
+                outer_results.push_back(result);
+                result_types.push_back(result->type());
+            }
+        }
+    }
+
+    // Captured operands: every non-handle operand of the old executes
+    // that is not itself a fused execute result.
+    std::vector<Value *> captures;
+    std::set<Value *> seen;
+    for (const ExecGroup &group : groups) {
+        for (std::size_t i = 1; i < group.execute->numOperands(); ++i) {
+            Value *operand = group.execute->operand(i);
+            if (result_to_yielded.count(operand))
+                continue;
+            if (seen.insert(operand).second)
+                captures.push_back(operand);
+        }
+    }
+
+    // Build the fused group before the first old acquire.
+    OpBuilder builder(ctx);
+    builder.setInsertionPoint(groups.front().acquire);
+    Operation *fused =
+        cimd::createAcquireExecuteRelease(builder, captures, result_types);
+    Block *fused_body = cimd::executeBody(fused);
+
+    // Inline bodies in order (dropping their yields).
+    for (const ExecGroup &group : groups) {
+        Block *old_body = cimd::executeBody(group.execute);
+        std::vector<Operation *> ops = old_body->opVector();
+        for (Operation *op : ops) {
+            if (op->name() == cimd::kYield) {
+                op->dropAllReferences();
+                op->erase();
+                continue;
+            }
+            fused_body->append(old_body->take(op));
+        }
+    }
+
+    // Rewire: old execute results -> internal yielded values (for uses
+    // inside the fused body) and -> fused execute results (outside).
+    std::vector<Value *> yield_values;
+    for (std::size_t i = 0; i < outer_results.size(); ++i)
+        yield_values.push_back(result_to_yielded.at(outer_results[i]));
+
+    for (const ExecGroup &group : groups) {
+        for (std::size_t i = 0; i < group.execute->numResults(); ++i) {
+            Value *result = group.execute->result(i);
+            result->replaceAllUsesWith(result_to_yielded.at(result));
+        }
+    }
+    for (std::size_t i = 0; i < outer_results.size(); ++i) {
+        // outer_results entries were rewired to the yielded value; now
+        // redirect the *outside* uses to the fused execute results.
+        Value *yielded = yield_values[i];
+        std::vector<OpOperand *> uses = yielded->uses();
+        for (OpOperand *use : uses) {
+            Operation *owner = use->owner();
+            bool inside = owner->parentBlock() == fused_body;
+            if (!inside)
+                use->set(fused->result(i));
+        }
+    }
+
+    OpBuilder yield_builder(ctx);
+    yield_builder.setInsertionPointToEnd(fused_body);
+    yield_builder.create(cimd::kYield, yield_values, {});
+
+    // Delete the old shells.
+    for (const ExecGroup &group : groups) {
+        group.release->dropAllReferences();
+        group.release->erase();
+        group.execute->dropAllReferences();
+        group.execute->erase();
+        group.acquire->dropAllReferences();
+        group.acquire->erase();
+    }
+}
+
+} // namespace
+
+void
+CimFuseOpsPass::run(Module &module)
+{
+    for (Operation *func : module.functions())
+        fuseFunction(module.context(), func->region(0).front());
+}
+
+} // namespace c4cam::passes

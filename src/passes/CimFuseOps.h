@@ -1,0 +1,28 @@
+#ifndef C4CAM_PASSES_CIMFUSEOPS_H
+#define C4CAM_PASSES_CIMFUSEOPS_H
+
+/**
+ * @file
+ * cim-fuse-ops (paper §III-D1, Fig. 5b).
+ *
+ * Fuses chains of per-op cim.execute blocks in a function into a single
+ * execute block so the similarity analysis can see the whole kernel.
+ * Values that only flow between fused bodies become internal; values
+ * used outside remain yielded.
+ */
+
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Fuses all cim.execute groups of each function into one. */
+class CimFuseOpsPass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "cim-fuse-ops"; }
+    void run(ir::Module &module) override;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CIMFUSEOPS_H

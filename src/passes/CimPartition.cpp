@@ -1,0 +1,189 @@
+#include "passes/CimPartition.h"
+
+#include "dialects/cim/CimDialect.h"
+#include "dialects/std/StdDialects.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+namespace cimd = c4cam::dialects::cim;
+namespace scfd = c4cam::dialects::scf;
+
+namespace {
+
+/** Fused similarity group: acquire + execute{similarity} + release. */
+struct SimilarityGroup
+{
+    Operation *acquire;
+    Operation *execute;
+    Operation *release;
+    Operation *similarity;
+};
+
+std::vector<SimilarityGroup>
+collectGroups(Module &module)
+{
+    std::vector<SimilarityGroup> groups;
+    for (Operation *func : module.functions()) {
+        for (Operation *op : func->region(0).front().opVector()) {
+            if (op->name() != cimd::kExecute)
+                continue;
+            std::vector<Operation *> body;
+            for (Operation *inner :
+                 cimd::executeBody(op)->opVector())
+                if (inner->name() != cimd::kYield)
+                    body.push_back(inner);
+            if (body.size() != 1 ||
+                body[0]->name() != cimd::kSimilarity)
+                continue;
+            if (body[0]->boolAttrOr("partial", false))
+                continue; // already partitioned
+            Operation *acquire = op->operand(0)->definingOp();
+            Operation *release = nullptr;
+            for (OpOperand *use : op->operand(0)->uses())
+                if (use->owner()->name() == cimd::kRelease)
+                    release = use->owner();
+            C4CAM_CHECK(acquire && release,
+                        "similarity execute without acquire/release");
+            groups.push_back({acquire, op, release, body[0]});
+        }
+    }
+    return groups;
+}
+
+void
+partitionGroup(Context &ctx, const arch::ArchSpec &spec,
+               SimilarityGroup group)
+{
+    Operation *similarity = group.similarity;
+    std::string metric = similarity->strAttr("metric");
+    C4CAM_CHECK(metric != cimd::kMetricCos,
+                "cim-partition: cosine similarity is not tileable "
+                "(normalization is not additive); run it unpartitioned");
+
+    Value *stored = similarity->operand(0);
+    Value *query = similarity->operand(1);
+    Type stored_t = stored->type();
+    Type query_t = query->type();
+    std::int64_t n = stored_t.shape()[0];
+    std::int64_t d = stored_t.shape()[1];
+    std::int64_t q = query_t.shape()[0];
+    std::int64_t tile = spec.cols;
+    C4CAM_CHECK(query_t.shape()[1] == d,
+                "similarity operands disagree on feature dim");
+    if (tile >= d) {
+        return; // fits in one subarray row: nothing to do
+    }
+    C4CAM_CHECK(d % tile == 0,
+                "cim-partition requires the feature dim (" << d
+                << ") to be divisible by the subarray width (" << tile
+                << ")");
+
+    std::int64_t k = similarity->intAttrOr("k", 1);
+    bool largest = similarity->boolAttrOr(
+        "largest", metric == cimd::kMetricDot);
+
+    OpBuilder builder(ctx);
+    builder.setInsertionPoint(group.acquire);
+
+    Type acc_t = ctx.tensorType({q, n}, ctx.f32());
+    Value *acc_init =
+        builder.create("tensor.empty", {}, {acc_t})->result(0);
+    Value *lb = builder.constantIndex(0);
+    Value *ub = builder.constantIndex(d);
+    Value *step = builder.constantIndex(tile);
+
+    // scf.for %j = 0 to d step tile iter_args(%acc = %acc_init)
+    Operation *loop = builder.create("scf.for", {lb, ub, step, acc_init},
+                                     {acc_t}, {}, 1);
+    Block &body = loop->region(0).addBlock();
+    Value *iv = body.addArgument(ctx.indexType());
+    Value *acc = body.addArgument(acc_t);
+
+    OpBuilder body_builder(ctx);
+    body_builder.setInsertionPointToEnd(&body);
+
+    auto slice = [&](Value *src, std::int64_t rows) -> Value * {
+        Type slice_t = ctx.tensorType({rows, tile}, ctx.f32());
+        return body_builder
+            .create("tensor.extract_slice", {src, iv}, {slice_t},
+                    {{"static_offsets",
+                      Attribute(std::vector<Attribute>{
+                          Attribute(std::int64_t(0)),
+                          Attribute(std::int64_t(-1))})},
+                     {"static_sizes",
+                      Attribute(std::vector<Attribute>{
+                          Attribute(rows), Attribute(tile)})},
+                     {"static_strides",
+                      Attribute(std::vector<Attribute>{
+                          Attribute(std::int64_t(1)),
+                          Attribute(std::int64_t(1))})}})
+            ->result(0);
+    };
+    Value *query_slice = slice(query, q);
+    Value *stored_slice = slice(stored, n);
+
+    // Partial similarity on the slices inside its own execute group.
+    Operation *execute = cimd::createAcquireExecuteRelease(
+        body_builder, {query_slice, stored_slice}, {acc_t, acc_t});
+    OpBuilder exec_builder(ctx);
+    exec_builder.setInsertionPointToEnd(cimd::executeBody(execute));
+    Operation *partial = exec_builder.create(
+        cimd::kSimilarity, {stored_slice, query_slice}, {acc_t, acc_t},
+        {{"metric", Attribute(metric)}, {"partial", Attribute()}});
+    exec_builder.create(cimd::kYield,
+                        {partial->result(0), partial->result(1)}, {});
+
+    // Accumulate: merge_partial(handle, acc, partial) -> new acc.
+    // The merge op sits between execute and release, like Fig. 5d.
+    Value *handle = execute->operand(0);
+    body_builder.setInsertionPoint(
+        cimd::executeBody(execute)->parentOp()->nextOp());
+    Operation *merge = body_builder.create(
+        cimd::kMergePartial, {handle, acc, execute->result(0)}, {acc_t},
+        {{"what", Attribute("values")},
+         {"kind", Attribute("similarity " + metric)},
+         {"direction", Attribute("horizontal")}});
+    body_builder.setInsertionPointToEnd(&body);
+    body_builder.create("scf.yield", {merge->result(0)}, {});
+
+    // Final top-k on the accumulated scores.
+    builder.setInsertionPointAfter(loop);
+    std::vector<Type> result_types = {similarity->result(0)->type(),
+                                      similarity->result(1)->type()};
+    Operation *topk = builder.create(
+        cimd::kTopk, {loop->result(0)}, result_types,
+        {{"k", Attribute(k)}, {"largest", Attribute(largest)}});
+
+    // Rewire the old group's outside uses and erase it. The execute may
+    // yield any subset of the similarity results (e.g. only indices), so
+    // map each result through the old yield's operands.
+    Operation *old_yield = cimd::executeBody(group.execute)->back();
+    for (std::size_t i = 0; i < group.execute->numResults(); ++i) {
+        Value *yielded = old_yield->operand(i);
+        std::size_t sim_idx = yielded->index();
+        C4CAM_ASSERT(yielded->definingOp() == similarity,
+                     "fused execute must yield similarity results");
+        group.execute->result(i)->replaceAllUsesWith(
+            topk->result(sim_idx));
+    }
+    group.release->dropAllReferences();
+    group.release->erase();
+    group.execute->dropAllReferences();
+    group.execute->erase();
+    group.acquire->dropAllReferences();
+    group.acquire->erase();
+}
+
+} // namespace
+
+void
+CimPartitionPass::run(Module &module)
+{
+    for (SimilarityGroup &group : collectGroups(module))
+        partitionGroup(module.context(), spec_, group);
+}
+
+} // namespace c4cam::passes

@@ -1,0 +1,38 @@
+#ifndef C4CAM_PASSES_CIMPARTITION_H
+#define C4CAM_PASSES_CIMPARTITION_H
+
+/**
+ * @file
+ * Compulsory partitioning (paper §III-D1, Fig. 5d).
+ *
+ * Kernels usually exceed one processing element (a CAM subarray), so the
+ * cim-level similarity is tiled along the feature dimension into
+ * device-compatible column slices. Each slice computes a partial
+ * similarity; cim.merge_partial accumulates them; one final cim.topk
+ * produces the kernel result. Tiling is hardware-agnostic -- only the
+ * subarray column count is consumed from the spec; hierarchy placement
+ * happens later in cam-map.
+ */
+
+#include "arch/ArchSpec.h"
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Tiles cim.similarity ops to the subarray width of @p spec. */
+class CimPartitionPass : public ir::Pass
+{
+  public:
+    explicit CimPartitionPass(arch::ArchSpec spec) : spec_(std::move(spec))
+    {}
+
+    std::string name() const override { return "cim-partition"; }
+    void run(ir::Module &module) override;
+
+  private:
+    arch::ArchSpec spec_;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CIMPARTITION_H

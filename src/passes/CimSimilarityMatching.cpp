@@ -1,0 +1,172 @@
+#include "passes/CimSimilarityMatching.h"
+
+#include <vector>
+
+#include "dialects/cim/CimDialect.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+namespace cimd = c4cam::dialects::cim;
+
+namespace {
+
+/** Non-yield body ops of an execute block, in order. */
+std::vector<Operation *>
+bodyOps(Operation *execute)
+{
+    std::vector<Operation *> ops;
+    for (Operation *op : cimd::executeBody(execute)->opVector())
+        if (op->name() != cimd::kYield)
+            ops.push_back(op);
+    return ops;
+}
+
+/** DotProdSimPattern: transpose(stored)->v1, matmul(query, v1)->v2,
+ *  topk(v2). */
+bool
+matchDotProduct(const std::vector<Operation *> &ops, Value *&stored,
+                Value *&query, Operation *&topk)
+{
+    if (ops.size() != 3 || ops[0]->name() != cimd::kTranspose ||
+        ops[1]->name() != cimd::kMatmul || ops[2]->name() != cimd::kTopk)
+        return false;
+    if (ops[1]->operand(1) != ops[0]->result(0))
+        return false;
+    if (ops[2]->operand(0) != ops[1]->result(0))
+        return false;
+    stored = ops[0]->operand(0);
+    query = ops[1]->operand(0);
+    topk = ops[2];
+    return true;
+}
+
+/** EuclNormPattern: sub(query, stored)->v1, norm(v1)->v2, topk(v2). */
+bool
+matchEuclNorm(const std::vector<Operation *> &ops, Value *&stored,
+              Value *&query, Operation *&topk)
+{
+    if (ops.size() != 3 || ops[0]->name() != cimd::kSub ||
+        ops[1]->name() != cimd::kNorm || ops[2]->name() != cimd::kTopk)
+        return false;
+    if (ops[1]->operand(0) != ops[0]->result(0))
+        return false;
+    if (ops[2]->operand(0) != ops[1]->result(0))
+        return false;
+    query = ops[0]->operand(0);
+    stored = ops[0]->operand(1);
+    topk = ops[2];
+    return true;
+}
+
+/** CosSimPattern: norm(query)->v1, norm(stored)->v2,
+ *  transpose(stored)->v3, matmul(query, v3)->v4, div(v4, v1, v2). */
+bool
+matchCosine(const std::vector<Operation *> &ops, Value *&stored,
+            Value *&query, Operation *&div)
+{
+    if (ops.size() != 5 || ops[0]->name() != cimd::kNorm ||
+        ops[1]->name() != cimd::kNorm ||
+        ops[2]->name() != cimd::kTranspose ||
+        ops[3]->name() != cimd::kMatmul || ops[4]->name() != cimd::kDiv)
+        return false;
+    if (ops[4]->numOperands() != 3)
+        return false;
+    if (ops[3]->operand(1) != ops[2]->result(0))
+        return false;
+    if (ops[4]->operand(0) != ops[3]->result(0))
+        return false;
+    // div(m, |q|, |s|): norms must match the matmul operands.
+    if (ops[4]->operand(1) != ops[0]->result(0) ||
+        ops[4]->operand(2) != ops[1]->result(0))
+        return false;
+    if (ops[0]->operand(0) != ops[3]->operand(0) ||
+        ops[1]->operand(0) != ops[2]->operand(0))
+        return false;
+    query = ops[3]->operand(0);
+    stored = ops[2]->operand(0);
+    div = ops[4];
+    return true;
+}
+
+/** Rewrite one matching execute body to cim.similarity. */
+bool
+rewriteExecute(Context &ctx, Operation *execute)
+{
+    std::vector<Operation *> ops = bodyOps(execute);
+    Value *stored = nullptr;
+    Value *query = nullptr;
+    Operation *tail = nullptr;
+    std::string metric;
+
+    if (matchDotProduct(ops, stored, query, tail)) {
+        metric = cimd::kMetricDot;
+    } else if (matchEuclNorm(ops, stored, query, tail)) {
+        metric = cimd::kMetricEucl;
+    } else if (matchCosine(ops, stored, query, tail)) {
+        metric = cimd::kMetricCos;
+    } else {
+        return false;
+    }
+
+    Block *body = cimd::executeBody(execute);
+    Operation *yield = body->back();
+    bool has_topk = tail->name() == cimd::kTopk;
+
+    Operation::AttrMap attrs;
+    attrs["metric"] = Attribute(metric);
+    if (has_topk) {
+        attrs["k"] = Attribute(tail->intAttrOr("k", 1));
+        attrs["largest"] = Attribute(
+            tail->boolAttrOr("largest", metric != cimd::kMetricEucl));
+    } else {
+        // Cosine without top-k: produce the full score matrix.
+        attrs["partial"] = Attribute();
+    }
+
+    std::vector<Type> result_types;
+    for (std::size_t i = 0; i < tail->numResults(); ++i)
+        result_types.push_back(tail->result(i)->type());
+    if (result_types.size() == 1) {
+        // cim.similarity always has (values, indices) results; indices
+        // mirror the values shape for the partial form.
+        result_types.push_back(result_types[0]);
+    }
+
+    OpBuilder builder(ctx);
+    builder.setInsertionPoint(ops.front());
+    Operation *similarity = builder.create(
+        cimd::kSimilarity, {stored, query}, result_types, attrs);
+
+    // Redirect the yield (and anything else) off the old tail results.
+    for (std::size_t i = 0; i < tail->numResults(); ++i)
+        tail->result(i)->replaceAllUsesWith(similarity->result(i));
+
+    // Erase the matched ops back-to-front (uses before defs).
+    (void)yield;
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        (*it)->dropAllReferences();
+        (*it)->erase();
+    }
+    return true;
+}
+
+} // namespace
+
+void
+CimSimilarityMatchingPass::run(Module &module)
+{
+    rewritten_ = 0;
+    std::vector<Operation *> executes;
+    module.walk([&](Operation *op) {
+        if (op->name() == cimd::kExecute)
+            executes.push_back(op);
+    });
+    for (Operation *execute : executes)
+        if (rewriteExecute(module.context(), execute))
+            ++rewritten_;
+}
+
+} // namespace c4cam::passes

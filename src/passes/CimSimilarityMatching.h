@@ -1,0 +1,37 @@
+#ifndef C4CAM_PASSES_CIMSIMILARITYMATCHING_H
+#define C4CAM_PASSES_CIMSIMILARITYMATCHING_H
+
+/**
+ * @file
+ * Similarity pattern matching (paper Algorithm 1, Fig. 5c).
+ *
+ * Inspects each cim.execute body and, when its op list and dataflow
+ * match one of the known similarity patterns, replaces the body with a
+ * single cim.similarity op:
+ *
+ *  - DotProdSimPattern : transpose -> matmul -> topk      (metric dot)
+ *  - EuclNormPattern   : sub -> norm -> topk              (metric eucl)
+ *  - CosSimPattern     : norm, norm, transpose, matmul, div (metric cos)
+ */
+
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Rewrites matching execute bodies to cim.similarity. */
+class CimSimilarityMatchingPass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "cim-similarity-match"; }
+    void run(ir::Module &module) override;
+
+    /** Number of execute blocks rewritten in the last run. */
+    int rewritten() const { return rewritten_; }
+
+  private:
+    int rewritten_ = 0;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CIMSIMILARITYMATCHING_H

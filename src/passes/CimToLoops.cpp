@@ -1,0 +1,179 @@
+#include "passes/CimToLoops.h"
+
+#include "dialects/cim/CimDialect.h"
+#include "dialects/std/StdDialects.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+namespace cimd = c4cam::dialects::cim;
+namespace scfd = c4cam::dialects::scf;
+
+namespace {
+
+struct Kernel
+{
+    Operation *acquire;
+    Operation *execute;
+    Operation *release;
+    Operation *similarity;
+};
+
+std::vector<Kernel>
+collectKernels(Module &module)
+{
+    std::vector<Kernel> kernels;
+    for (Operation *func : module.functions()) {
+        for (Operation *op : func->region(0).front().opVector()) {
+            if (op->name() != cimd::kExecute)
+                continue;
+            std::vector<Operation *> body;
+            for (Operation *inner : cimd::executeBody(op)->opVector())
+                if (inner->name() != cimd::kYield)
+                    body.push_back(inner);
+            if (body.size() != 1 || body[0]->name() != cimd::kSimilarity)
+                continue;
+            Operation *acquire = op->operand(0)->definingOp();
+            Operation *release = nullptr;
+            for (OpOperand *use : op->operand(0)->uses())
+                if (use->owner()->name() == cimd::kRelease)
+                    release = use->owner();
+            C4CAM_CHECK(acquire && release,
+                        "similarity execute without acquire/release");
+            kernels.push_back({acquire, op, release, body[0]});
+        }
+    }
+    return kernels;
+}
+
+void
+lowerKernel(Context &ctx, Kernel kernel)
+{
+    Operation *similarity = kernel.similarity;
+    std::string metric = similarity->strAttr("metric");
+    C4CAM_CHECK(metric == cimd::kMetricDot ||
+                    metric == cimd::kMetricEucl,
+                "cim-to-loops supports dot/eucl similarity, got '"
+                << metric << "'");
+
+    Value *stored = similarity->operand(0);
+    Value *query = similarity->operand(1);
+    std::int64_t n = stored->type().shape()[0];
+    std::int64_t d = stored->type().shape()[1];
+    std::int64_t q = query->type().shape()[0];
+    std::int64_t k = similarity->intAttrOr("k", 1);
+    bool largest = similarity->boolAttrOr(
+        "largest", metric == cimd::kMetricDot);
+
+    OpBuilder b(ctx);
+    b.setInsertionPoint(kernel.acquire);
+
+    Type f32 = ctx.f32();
+    Value *qmem = b.create("bufferization.to_memref", {query},
+                           {ctx.memrefType({q, d}, f32)})
+                      ->result(0);
+    Value *smem = b.create("bufferization.to_memref", {stored},
+                           {ctx.memrefType({n, d}, f32)})
+                      ->result(0);
+    Value *scores = b.create("memref.alloc", {},
+                             {ctx.memrefType({q, n}, f32)})
+                        ->result(0);
+
+    Value *c0 = b.constantIndex(0);
+    Value *c1 = b.constantIndex(1);
+    Value *cq = b.constantIndex(q);
+    Value *cn = b.constantIndex(n);
+    Value *cd = b.constantIndex(d);
+
+    // for qi in 0..Q { for ni in 0..N { acc over D } }
+    Operation *q_loop = scfd::createFor(b, c0, cq, c1);
+    OpBuilder qb(ctx);
+    qb.setInsertionPointToEnd(scfd::loopBody(q_loop));
+    Value *qi = scfd::inductionVar(q_loop);
+
+    Operation *n_loop = scfd::createFor(qb, c0, cn, c1);
+    OpBuilder nb(ctx);
+    nb.setInsertionPointToEnd(scfd::loopBody(n_loop));
+    Value *ni = scfd::inductionVar(n_loop);
+
+    Value *zero = nb.constantFloat(0.0);
+    Operation *d_loop =
+        nb.create("scf.for", {c0, cd, c1, zero}, {f32}, {}, 1);
+    Block &d_body = d_loop->region(0).addBlock();
+    Value *di = d_body.addArgument(ctx.indexType());
+    Value *acc = d_body.addArgument(f32);
+    OpBuilder db(ctx);
+    db.setInsertionPointToEnd(&d_body);
+
+    Value *qv = db.create("memref.load", {qmem, qi, di}, {f32})
+                    ->result(0);
+    Value *sv = db.create("memref.load", {smem, ni, di}, {f32})
+                    ->result(0);
+    Value *contrib = nullptr;
+    if (metric == cimd::kMetricDot) {
+        contrib = db.create("arith.mulf", {qv, sv}, {f32})->result(0);
+    } else {
+        Value *diff = db.create("arith.subf", {qv, sv}, {f32})
+                          ->result(0);
+        contrib =
+            db.create("arith.mulf", {diff, diff}, {f32})->result(0);
+    }
+    Value *next =
+        db.create("arith.addf", {acc, contrib}, {f32})->result(0);
+    db.create("scf.yield", {next}, {});
+
+    Value *score = d_loop->result(0);
+    if (metric == cimd::kMetricEucl) {
+        // Match torch.norm semantics so the values (not only the
+        // indices) agree with the torch-level reference.
+        score = nb.create("math.sqrt", {score}, {f32})->result(0);
+    }
+    nb.create("memref.store", {score, scores, qi, ni}, {});
+
+    // Final top-k on the host score matrix.
+    b.setInsertionPointAfter(q_loop);
+    Operation *topk = b.create(
+        cimd::kTopk, {scores},
+        {ctx.memrefType({q, k}, f32), ctx.memrefType({q, k}, ctx.i64())},
+        {{"k", Attribute(k)}, {"largest", Attribute(largest)}});
+    Value *values_tensor =
+        b.create("bufferization.to_tensor", {topk->result(0)},
+                 {ctx.tensorType({q, k}, f32)})
+            ->result(0);
+    Value *indices_tensor =
+        b.create("bufferization.to_tensor", {topk->result(1)},
+                 {ctx.tensorType({q, k}, f32)})
+            ->result(0);
+
+    Operation *old_yield = cimd::executeBody(kernel.execute)->back();
+    for (std::size_t i = 0; i < kernel.execute->numResults(); ++i) {
+        Value *yielded = old_yield->operand(i);
+        C4CAM_ASSERT(yielded->definingOp() == similarity,
+                     "lowered execute must yield similarity results");
+        Value *replacement = yielded->index() == 0 ? values_tensor
+                                                   : indices_tensor;
+        kernel.execute->result(i)->replaceAllUsesWith(replacement);
+    }
+    kernel.release->dropAllReferences();
+    kernel.release->erase();
+    kernel.execute->dropAllReferences();
+    kernel.execute->erase();
+    kernel.acquire->dropAllReferences();
+    kernel.acquire->erase();
+}
+
+} // namespace
+
+void
+CimToLoopsPass::run(Module &module)
+{
+    lowered_ = 0;
+    for (Kernel &kernel : collectKernels(module)) {
+        lowerKernel(module.context(), kernel);
+        ++lowered_;
+    }
+}
+
+} // namespace c4cam::passes

@@ -1,0 +1,36 @@
+#ifndef C4CAM_PASSES_CIMTOLOOPS_H
+#define C4CAM_PASSES_CIMTOLOOPS_H
+
+/**
+ * @file
+ * cim-to-loops: the host fallback path of Fig. 3 ("loops: lower to
+ * loops, and optimize").
+ *
+ * Lowers a fused cim.similarity kernel into plain scf loop nests over
+ * memrefs with scalar arith -- no cim/cam ops remain except the final
+ * top-k selection. Execution blocks that are not offloaded to a CIM
+ * accelerator follow this pipeline to LLVM in the paper; here the
+ * loop form runs on the interpreter's scalar ops.
+ */
+
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Lowers fused cim.similarity kernels to scf/arith/memref loops. */
+class CimToLoopsPass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "cim-to-loops"; }
+    void run(ir::Module &module) override;
+
+    /** Kernels lowered in the last run. */
+    int lowered() const { return lowered_; }
+
+  private:
+    int lowered_ = 0;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_CIMTOLOOPS_H

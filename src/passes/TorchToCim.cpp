@@ -1,0 +1,75 @@
+#include "passes/TorchToCim.h"
+
+#include <map>
+
+#include "dialects/cim/CimDialect.h"
+#include "dialects/torch/TorchDialect.h"
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+namespace c4cam::passes {
+
+using namespace ir;
+namespace cimd = c4cam::dialects::cim;
+namespace torchd = c4cam::dialects::torch;
+
+namespace {
+
+/** torch.aten op name -> cim op name. */
+const std::map<std::string, std::string> &
+conversionTable()
+{
+    static const std::map<std::string, std::string> table = {
+        {torchd::kTranspose, cimd::kTranspose},
+        {torchd::kMm, cimd::kMatmul},
+        {torchd::kMatmul, cimd::kMatmul},
+        {torchd::kSub, cimd::kSub},
+        {torchd::kDiv, cimd::kDiv},
+        {torchd::kNorm, cimd::kNorm},
+        {torchd::kTopk, cimd::kTopk},
+    };
+    return table;
+}
+
+} // namespace
+
+void
+TorchToCimPass::run(Module &module)
+{
+    OpBuilder builder(module.context());
+    // Snapshot: we rewrite while iterating.
+    std::vector<Operation *> torch_ops;
+    for (Operation *func : module.functions())
+        for (Operation *op : func->region(0).front().opVector())
+            if (conversionTable().count(op->name()))
+                torch_ops.push_back(op);
+
+    for (Operation *op : torch_ops) {
+        const std::string &cim_name = conversionTable().at(op->name());
+        builder.setInsertionPoint(op);
+
+        std::vector<Type> result_types;
+        for (std::size_t i = 0; i < op->numResults(); ++i)
+            result_types.push_back(op->result(i)->type());
+
+        Operation *execute = cimd::createAcquireExecuteRelease(
+            builder, op->operandValues(), result_types);
+
+        // Body: the cim twin of the torch op, capturing the same outer
+        // SSA values, then cim.yield.
+        OpBuilder body_builder(module.context());
+        body_builder.setInsertionPointToEnd(cimd::executeBody(execute));
+        Operation *cim_op = body_builder.create(
+            cim_name, op->operandValues(), result_types, op->attrs());
+        std::vector<Value *> yields;
+        for (std::size_t i = 0; i < cim_op->numResults(); ++i)
+            yields.push_back(cim_op->result(i));
+        body_builder.create(cimd::kYield, yields, {});
+
+        for (std::size_t i = 0; i < op->numResults(); ++i)
+            op->result(i)->replaceAllUsesWith(execute->result(i));
+        op->erase();
+    }
+}
+
+} // namespace c4cam::passes

@@ -1,0 +1,28 @@
+#ifndef C4CAM_PASSES_TORCHTOCIM_H
+#define C4CAM_PASSES_TORCHTOCIM_H
+
+/**
+ * @file
+ * torch-to-cim conversion (paper §III-D, Fig. 5a).
+ *
+ * Each supported torch.aten op is wrapped in its own
+ * cim.acquire / cim.execute / cim.release group with the equivalent cim
+ * op inside, reflecting the CINM-style programming model: at this stage
+ * every op could run on a separate (non-)CIM device.
+ */
+
+#include "ir/Pass.h"
+
+namespace c4cam::passes {
+
+/** Lowers torch.aten.* ops into per-op cim.execute blocks. */
+class TorchToCimPass : public ir::Pass
+{
+  public:
+    std::string name() const override { return "torch-to-cim"; }
+    void run(ir::Module &module) override;
+};
+
+} // namespace c4cam::passes
+
+#endif // C4CAM_PASSES_TORCHTOCIM_H

@@ -1,0 +1,201 @@
+#include "runtime/Buffer.h"
+
+#include <functional>
+#include <sstream>
+
+namespace c4cam::rt {
+
+std::shared_ptr<Buffer>
+Buffer::alloc(DType dtype, std::vector<std::int64_t> shape)
+{
+    auto buf = std::shared_ptr<Buffer>(new Buffer());
+    buf->dtype_ = dtype;
+    buf->shape_ = std::move(shape);
+    buf->strides_.assign(buf->shape_.size(), 1);
+    for (int i = static_cast<int>(buf->shape_.size()) - 2; i >= 0; --i)
+        buf->strides_[i] = buf->strides_[i + 1] * buf->shape_[i + 1];
+    buf->storage_ = std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(buf->numElements()), 0.0);
+    return buf;
+}
+
+std::shared_ptr<Buffer>
+Buffer::fromMatrix(const std::vector<std::vector<float>> &rows)
+{
+    C4CAM_CHECK(!rows.empty(), "fromMatrix: empty data");
+    auto buf = alloc(DType::F32,
+                     {static_cast<std::int64_t>(rows.size()),
+                      static_cast<std::int64_t>(rows[0].size())});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        C4CAM_CHECK(rows[r].size() == rows[0].size(),
+                    "fromMatrix: ragged rows");
+        for (std::size_t c = 0; c < rows[r].size(); ++c)
+            buf->set({static_cast<std::int64_t>(r),
+                      static_cast<std::int64_t>(c)},
+                     rows[r][c]);
+    }
+    return buf;
+}
+
+std::int64_t
+Buffer::linearIndex(const std::vector<std::int64_t> &index) const
+{
+    C4CAM_ASSERT(index.size() == shape_.size(),
+                 "index rank " << index.size() << " != buffer rank "
+                 << shape_.size());
+    std::int64_t linear = offset_;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+        C4CAM_ASSERT(index[i] >= 0 && index[i] < shape_[i],
+                     "index " << index[i] << " out of bounds for dim " << i
+                     << " with extent " << shape_[i]);
+        linear += index[i] * strides_[i];
+    }
+    return linear;
+}
+
+double
+Buffer::at(const std::vector<std::int64_t> &index) const
+{
+    return (*storage_)[static_cast<std::size_t>(linearIndex(index))];
+}
+
+void
+Buffer::set(const std::vector<std::int64_t> &index, double value)
+{
+    (*storage_)[static_cast<std::size_t>(linearIndex(index))] = value;
+}
+
+std::int64_t
+Buffer::atInt(const std::vector<std::int64_t> &index) const
+{
+    return static_cast<std::int64_t>(at(index));
+}
+
+void
+Buffer::setInt(const std::vector<std::int64_t> &index, std::int64_t value)
+{
+    set(index, static_cast<double>(value));
+}
+
+std::shared_ptr<Buffer>
+Buffer::subview(const std::vector<std::int64_t> &offsets,
+                const std::vector<std::int64_t> &sizes) const
+{
+    C4CAM_ASSERT(offsets.size() == shape_.size() &&
+                     sizes.size() == shape_.size(),
+                 "subview rank mismatch");
+    auto view = std::shared_ptr<Buffer>(new Buffer());
+    view->dtype_ = dtype_;
+    view->shape_ = sizes;
+    view->strides_ = strides_;
+    view->offset_ = offset_;
+    view->storage_ = storage_;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        C4CAM_ASSERT(offsets[i] >= 0 && sizes[i] >= 0 &&
+                         offsets[i] + sizes[i] <= shape_[i],
+                     "subview window [" << offsets[i] << ", "
+                     << offsets[i] + sizes[i] << ") outside dim " << i
+                     << " extent " << shape_[i]);
+        view->offset_ += offsets[i] * strides_[i];
+    }
+    return view;
+}
+
+namespace {
+
+void
+forEachIndex(const std::vector<std::int64_t> &shape,
+             const std::function<void(const std::vector<std::int64_t> &)>
+                 &fn)
+{
+    std::vector<std::int64_t> index(shape.size(), 0);
+    while (true) {
+        fn(index);
+        int dim = static_cast<int>(shape.size()) - 1;
+        while (dim >= 0) {
+            if (++index[static_cast<std::size_t>(dim)] <
+                shape[static_cast<std::size_t>(dim)])
+                break;
+            index[static_cast<std::size_t>(dim)] = 0;
+            --dim;
+        }
+        if (dim < 0)
+            break;
+    }
+}
+
+} // namespace
+
+void
+Buffer::copyFrom(const Buffer &src)
+{
+    C4CAM_ASSERT(shape_ == src.shape(), "copyFrom shape mismatch");
+    if (numElements() == 0)
+        return;
+    forEachIndex(shape_, [&](const std::vector<std::int64_t> &index) {
+        set(index, src.at(index));
+    });
+}
+
+void
+Buffer::fill(double value)
+{
+    if (numElements() == 0)
+        return;
+    forEachIndex(shape_, [&](const std::vector<std::int64_t> &index) {
+        set(index, value);
+    });
+}
+
+std::vector<double>
+Buffer::toVector() const
+{
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(numElements()));
+    if (numElements() == 0)
+        return out;
+    forEachIndex(shape_, [&](const std::vector<std::int64_t> &index) {
+        out.push_back(at(index));
+    });
+    return out;
+}
+
+std::vector<std::vector<float>>
+Buffer::toMatrix() const
+{
+    C4CAM_ASSERT(rank() == 2, "toMatrix requires a rank-2 buffer, got rank "
+                 << rank());
+    std::vector<std::vector<float>> out(
+        static_cast<std::size_t>(shape_[0]),
+        std::vector<float>(static_cast<std::size_t>(shape_[1])));
+    for (std::int64_t r = 0; r < shape_[0]; ++r)
+        for (std::int64_t c = 0; c < shape_[1]; ++c)
+            out[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+                static_cast<float>(at({r, c}));
+    return out;
+}
+
+std::string
+Buffer::str() const
+{
+    std::ostringstream oss;
+    oss << (dtype_ == DType::F32 ? "f32" : "i64") << "[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            oss << "x";
+        oss << shape_[i];
+    }
+    oss << "]{";
+    auto flat = toVector();
+    for (std::size_t i = 0; i < flat.size() && i < 8; ++i) {
+        if (i)
+            oss << ", ";
+        oss << flat[i];
+    }
+    if (flat.size() > 8)
+        oss << ", ...";
+    oss << "}";
+    return oss.str();
+}
+
+} // namespace c4cam::rt

@@ -1,0 +1,145 @@
+#ifndef C4CAM_RUNTIME_BUFFER_H
+#define C4CAM_RUNTIME_BUFFER_H
+
+/**
+ * @file
+ * Runtime data values: strided buffers (memrefs/tensors) and scalars.
+ *
+ * A Buffer is a view (shape + strides + offset) onto shared storage, so
+ * memref.subview / tensor.extract_slice are O(1) aliases, exactly like
+ * MLIR's memref descriptors.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/Error.h"
+
+namespace c4cam::rt {
+
+/** Element type of a buffer. */
+enum class DType { F32, I64 };
+
+/**
+ * A strided view onto shared dense storage.
+ */
+class Buffer
+{
+  public:
+    /** Allocate a zero-initialized buffer with row-major layout. */
+    static std::shared_ptr<Buffer> alloc(DType dtype,
+                                         std::vector<std::int64_t> shape);
+
+    /** Allocate a rank-2 f32 buffer from nested init data. */
+    static std::shared_ptr<Buffer>
+    fromMatrix(const std::vector<std::vector<float>> &rows);
+
+    DType dtype() const { return dtype_; }
+    const std::vector<std::int64_t> &shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+
+    std::int64_t
+    numElements() const
+    {
+        std::int64_t n = 1;
+        for (auto d : shape_)
+            n *= d;
+        return n;
+    }
+
+    /** Element read as double (converts I64 transparently). */
+    double at(const std::vector<std::int64_t> &index) const;
+
+    /** Element write from double. */
+    void set(const std::vector<std::int64_t> &index, double value);
+
+    /** Integer element accessors. */
+    std::int64_t atInt(const std::vector<std::int64_t> &index) const;
+    void setInt(const std::vector<std::int64_t> &index, std::int64_t value);
+
+    /**
+     * Create an O(1) sub-view: @p offsets/@p sizes per dimension
+     * (strides stay those of this view).
+     */
+    std::shared_ptr<Buffer> subview(const std::vector<std::int64_t> &offsets,
+                                    const std::vector<std::int64_t> &sizes)
+        const;
+
+    /** Deep-copy @p src into this view (shapes must match). */
+    void copyFrom(const Buffer &src);
+
+    /** Fill every element with @p value. */
+    void fill(double value);
+
+    /** Flatten this view into a dense row-major vector of doubles. */
+    std::vector<double> toVector() const;
+
+    /** Rank-2 view flattened into rows of floats (for CAM writes). */
+    std::vector<std::vector<float>> toMatrix() const;
+
+    /** Short debug rendering: dtype, shape and first elements. */
+    std::string str() const;
+
+  private:
+    Buffer() = default;
+
+    std::int64_t linearIndex(const std::vector<std::int64_t> &index) const;
+
+    DType dtype_ = DType::F32;
+    std::vector<std::int64_t> shape_;
+    std::vector<std::int64_t> strides_;
+    std::int64_t offset_ = 0;
+    std::shared_ptr<std::vector<double>> storage_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+/**
+ * Any value an interpreter register can hold: an integer (covers index /
+ * i1 / i64 / device handles), a float, or a buffer.
+ */
+class RtValue
+{
+  public:
+    RtValue() : v_(std::int64_t(0)) {}
+    explicit RtValue(std::int64_t i) : v_(i) {}
+    explicit RtValue(double d) : v_(d) {}
+    explicit RtValue(BufferPtr b) : v_(std::move(b)) {}
+
+    bool isInt() const { return std::holds_alternative<std::int64_t>(v_); }
+    bool isFloat() const { return std::holds_alternative<double>(v_); }
+    bool isBuffer() const { return std::holds_alternative<BufferPtr>(v_); }
+
+    std::int64_t
+    asInt() const
+    {
+        C4CAM_ASSERT(isInt(), "runtime value is not an integer");
+        return std::get<std::int64_t>(v_);
+    }
+
+    double
+    asFloat() const
+    {
+        if (isInt())
+            return static_cast<double>(std::get<std::int64_t>(v_));
+        C4CAM_ASSERT(isFloat(), "runtime value is not a float");
+        return std::get<double>(v_);
+    }
+
+    const BufferPtr &
+    asBuffer() const
+    {
+        C4CAM_ASSERT(isBuffer(), "runtime value is not a buffer");
+        return std::get<BufferPtr>(v_);
+    }
+
+  private:
+    std::variant<std::int64_t, double, BufferPtr> v_;
+};
+
+} // namespace c4cam::rt
+
+#endif // C4CAM_RUNTIME_BUFFER_H

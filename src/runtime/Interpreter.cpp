@@ -1,0 +1,918 @@
+#include "runtime/Interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "dialects/cam/CamDialect.h"
+#include "dialects/cim/CimDialect.h"
+#include "dialects/torch/TorchDialect.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+namespace c4cam::rt {
+
+using namespace ir;
+namespace camd = c4cam::dialects::cam;
+namespace cimd = c4cam::dialects::cim;
+namespace torchd = c4cam::dialects::torch;
+
+Interpreter::Interpreter(Module &module, sim::CamDevice *device)
+    : module_(module), device_(device)
+{}
+
+RtValue
+Interpreter::get(Value *value) const
+{
+    auto it = env_.find(value);
+    C4CAM_ASSERT(it != env_.end(), "use of unevaluated SSA value");
+    return it->second;
+}
+
+void
+Interpreter::set(Value *value, RtValue rt_value)
+{
+    env_[value] = std::move(rt_value);
+}
+
+std::vector<RtValue>
+Interpreter::callFunction(const std::string &name,
+                          const std::vector<RtValue> &args)
+{
+    Operation *func = module_.lookupFunction(name);
+    C4CAM_CHECK(func, "no function named '" << name << "' in module");
+    Block *body = &func->region(0).front();
+    C4CAM_CHECK(body->numArguments() == args.size(),
+                "function '" << name << "' takes " << body->numArguments()
+                << " arguments, got " << args.size());
+    for (std::size_t i = 0; i < args.size(); ++i)
+        set(body->argument(i), args[i]);
+    return runBlock(*body);
+}
+
+std::vector<RtValue>
+Interpreter::runBlock(Block &block)
+{
+    for (Operation *op : block.opVector()) {
+        const std::string &name = op->name();
+        if (name == kReturnOpName || name == "scf.yield" ||
+            name == cimd::kYield) {
+            std::vector<RtValue> results;
+            for (std::size_t i = 0; i < op->numOperands(); ++i)
+                results.push_back(get(op->operand(i)));
+            return results;
+        }
+        runOp(op);
+    }
+    return {};
+}
+
+void
+Interpreter::runOp(Operation *op)
+{
+    std::string dialect = op->dialect();
+    if (dialect == "arith" || dialect == "math") {
+        runArith(op);
+    } else if (dialect == "scf") {
+        runScf(op);
+    } else if (dialect == "memref") {
+        runMemRef(op);
+    } else if (dialect == "tensor" || dialect == "bufferization") {
+        runTensorOp(op);
+    } else if (dialect == "torch") {
+        runTorch(op);
+    } else if (dialect == "cim") {
+        runCim(op);
+    } else if (dialect == "cam") {
+        runCam(op);
+    } else {
+        C4CAM_USER_ERROR("interpreter: unsupported op '" << op->name()
+                         << "'");
+    }
+}
+
+//
+// arith
+//
+
+void
+Interpreter::runArith(Operation *op)
+{
+    const std::string &name = op->name();
+    if (name == "arith.constant") {
+        const Attribute &value = op->attr("value");
+        if (value.isInt())
+            set(op->result(0), RtValue(value.asInt()));
+        else if (value.isBool())
+            set(op->result(0), RtValue(std::int64_t(value.asBool())));
+        else
+            set(op->result(0), RtValue(value.asFloat()));
+        return;
+    }
+    if (name == "arith.index_cast" || name == "arith.fptosi") {
+        set(op->result(0),
+            RtValue(static_cast<std::int64_t>(get(op->operand(0))
+                                                   .asFloat())));
+        return;
+    }
+    if (name == "arith.sitofp") {
+        set(op->result(0), RtValue(get(op->operand(0)).asFloat()));
+        return;
+    }
+    if (name == "math.sqrt") {
+        set(op->result(0),
+            RtValue(std::sqrt(get(op->operand(0)).asFloat())));
+        return;
+    }
+    if (name == "arith.select") {
+        bool cond = get(op->operand(0)).asInt() != 0;
+        set(op->result(0), get(op->operand(cond ? 1 : 2)));
+        return;
+    }
+    if (name == "arith.cmpi") {
+        std::int64_t a = get(op->operand(0)).asInt();
+        std::int64_t b = get(op->operand(1)).asInt();
+        std::string pred = op->strAttr("predicate");
+        bool r = false;
+        if (pred == "eq")
+            r = a == b;
+        else if (pred == "ne")
+            r = a != b;
+        else if (pred == "slt")
+            r = a < b;
+        else if (pred == "sle")
+            r = a <= b;
+        else if (pred == "sgt")
+            r = a > b;
+        else if (pred == "sge")
+            r = a >= b;
+        else
+            C4CAM_USER_ERROR("unknown cmpi predicate '" << pred << "'");
+        set(op->result(0), RtValue(std::int64_t(r)));
+        return;
+    }
+    if (name == "arith.cmpf") {
+        double a = get(op->operand(0)).asFloat();
+        double b = get(op->operand(1)).asFloat();
+        std::string pred = op->strAttrOr("predicate", "olt");
+        bool r = false;
+        if (pred == "olt")
+            r = a < b;
+        else if (pred == "ole")
+            r = a <= b;
+        else if (pred == "ogt")
+            r = a > b;
+        else if (pred == "oge")
+            r = a >= b;
+        else if (pred == "oeq")
+            r = a == b;
+        else
+            C4CAM_USER_ERROR("unknown cmpf predicate '" << pred << "'");
+        set(op->result(0), RtValue(std::int64_t(r)));
+        return;
+    }
+
+    // Integer binary ops.
+    auto ibin = [&](auto fn) {
+        std::int64_t a = get(op->operand(0)).asInt();
+        std::int64_t b = get(op->operand(1)).asInt();
+        set(op->result(0), RtValue(std::int64_t(fn(a, b))));
+    };
+    auto fbin = [&](auto fn) {
+        double a = get(op->operand(0)).asFloat();
+        double b = get(op->operand(1)).asFloat();
+        set(op->result(0), RtValue(double(fn(a, b))));
+    };
+    if (name == "arith.addi")
+        return ibin([](auto a, auto b) { return a + b; });
+    if (name == "arith.subi")
+        return ibin([](auto a, auto b) { return a - b; });
+    if (name == "arith.muli")
+        return ibin([](auto a, auto b) { return a * b; });
+    if (name == "arith.divsi")
+        return ibin([](auto a, auto b) {
+            C4CAM_CHECK(b != 0, "division by zero in arith.divsi");
+            return a / b;
+        });
+    if (name == "arith.remsi")
+        return ibin([](auto a, auto b) {
+            C4CAM_CHECK(b != 0, "division by zero in arith.remsi");
+            return a % b;
+        });
+    if (name == "arith.minsi")
+        return ibin([](auto a, auto b) { return std::min(a, b); });
+    if (name == "arith.maxsi")
+        return ibin([](auto a, auto b) { return std::max(a, b); });
+    if (name == "arith.addf")
+        return fbin([](auto a, auto b) { return a + b; });
+    if (name == "arith.subf")
+        return fbin([](auto a, auto b) { return a - b; });
+    if (name == "arith.mulf")
+        return fbin([](auto a, auto b) { return a * b; });
+    if (name == "arith.divf")
+        return fbin([](auto a, auto b) { return a / b; });
+    if (name == "arith.minimumf")
+        return fbin([](auto a, auto b) { return std::min(a, b); });
+    if (name == "arith.maximumf")
+        return fbin([](auto a, auto b) { return std::max(a, b); });
+    C4CAM_USER_ERROR("interpreter: unsupported arith op '" << name << "'");
+}
+
+//
+// scf
+//
+
+void
+Interpreter::runScf(Operation *op)
+{
+    const std::string &name = op->name();
+    if (name == "scf.for") {
+        std::int64_t lb = get(op->operand(0)).asInt();
+        std::int64_t ub = get(op->operand(1)).asInt();
+        std::int64_t step = get(op->operand(2)).asInt();
+        C4CAM_CHECK(step > 0, "scf.for requires a positive step");
+        Block &body = op->region(0).front();
+        std::size_t num_iters = op->numOperands() - 3;
+
+        std::vector<RtValue> carried;
+        for (std::size_t i = 0; i < num_iters; ++i)
+            carried.push_back(get(op->operand(3 + i)));
+
+        if (device_)
+            device_->timing().beginScope(/*parallel=*/false);
+        for (std::int64_t iv = lb; iv < ub; iv += step) {
+            set(body.argument(0), RtValue(iv));
+            for (std::size_t i = 0; i < num_iters; ++i)
+                set(body.argument(1 + i), carried[i]);
+            std::vector<RtValue> yielded = runBlock(body);
+            C4CAM_CHECK(yielded.size() == num_iters,
+                        "scf.for yield arity mismatch");
+            carried = std::move(yielded);
+        }
+        if (device_)
+            device_->timing().endScope();
+        for (std::size_t i = 0; i < num_iters; ++i)
+            set(op->result(i), carried[i]);
+        return;
+    }
+    if (name == "scf.parallel") {
+        std::int64_t lb = get(op->operand(0)).asInt();
+        std::int64_t ub = get(op->operand(1)).asInt();
+        std::int64_t step = get(op->operand(2)).asInt();
+        C4CAM_CHECK(step > 0, "scf.parallel requires a positive step");
+        Block &body = op->region(0).front();
+        if (device_)
+            device_->timing().beginScope(/*parallel=*/true);
+        for (std::int64_t iv = lb; iv < ub; iv += step) {
+            set(body.argument(0), RtValue(iv));
+            if (device_)
+                device_->timing().beginScope(/*parallel=*/false);
+            runBlock(body);
+            if (device_)
+                device_->timing().endScope();
+        }
+        if (device_)
+            device_->timing().endScope();
+        return;
+    }
+    if (name == "scf.if") {
+        bool cond = get(op->operand(0)).asInt() != 0;
+        if (cond)
+            runBlock(op->region(0).front());
+        return;
+    }
+    C4CAM_USER_ERROR("interpreter: unsupported scf op '" << name << "'");
+}
+
+//
+// memref
+//
+
+void
+Interpreter::resolveSlice(Operation *op, std::vector<std::int64_t> &offsets,
+                          std::vector<std::int64_t> &sizes)
+{
+    offsets = op->attr("static_offsets").asIntArray();
+    sizes = op->attr("static_sizes").asIntArray();
+    // Dynamic entries (-1) consume trailing index operands: first the
+    // dynamic offsets in order, then the dynamic sizes.
+    std::size_t operand_idx = 1;
+    for (auto &offset : offsets) {
+        if (offset == -1) {
+            C4CAM_CHECK(operand_idx < op->numOperands(),
+                        "missing dynamic offset operand");
+            offset = get(op->operand(operand_idx++)).asInt();
+        }
+    }
+    for (auto &size : sizes) {
+        if (size == -1) {
+            C4CAM_CHECK(operand_idx < op->numOperands(),
+                        "missing dynamic size operand");
+            size = get(op->operand(operand_idx++)).asInt();
+        }
+    }
+}
+
+void
+Interpreter::runMemRef(Operation *op)
+{
+    const std::string &name = op->name();
+    if (name == "memref.alloc") {
+        Type t = op->result(0)->type();
+        DType dtype = t.elementType().isInteger() || t.elementType().isIndex()
+                          ? DType::I64
+                          : DType::F32;
+        set(op->result(0), RtValue(Buffer::alloc(dtype, t.shape())));
+        return;
+    }
+    if (name == "memref.dealloc") {
+        return; // storage is reference-counted
+    }
+    if (name == "memref.copy") {
+        BufferPtr src = get(op->operand(0)).asBuffer();
+        BufferPtr dst = get(op->operand(1)).asBuffer();
+        C4CAM_CHECK(src->numElements() == dst->numElements(),
+                    "memref.copy size mismatch: " << src->numElements()
+                    << " vs " << dst->numElements());
+        // Element-count preserving copy; shapes may differ (e.g. 1xN
+        // row views vs N vectors).
+        std::vector<double> flat = src->toVector();
+        std::size_t i = 0;
+        std::vector<std::int64_t> index(dst->rank(), 0);
+        std::function<void(std::size_t)> walk = [&](std::size_t dim) {
+            if (dim == dst->rank()) {
+                dst->set(index, flat[i++]);
+                return;
+            }
+            for (std::int64_t d = 0; d < dst->shape()[dim]; ++d) {
+                index[dim] = d;
+                walk(dim + 1);
+            }
+        };
+        if (dst->numElements() > 0)
+            walk(0);
+        return;
+    }
+    if (name == "memref.subview") {
+        std::vector<std::int64_t> offsets;
+        std::vector<std::int64_t> sizes;
+        resolveSlice(op, offsets, sizes);
+        BufferPtr src = get(op->operand(0)).asBuffer();
+        set(op->result(0), RtValue(src->subview(offsets, sizes)));
+        return;
+    }
+    if (name == "memref.load") {
+        BufferPtr src = get(op->operand(0)).asBuffer();
+        std::vector<std::int64_t> index;
+        for (std::size_t i = 1; i < op->numOperands(); ++i)
+            index.push_back(get(op->operand(i)).asInt());
+        if (op->result(0)->type().isFloat())
+            set(op->result(0), RtValue(src->at(index)));
+        else
+            set(op->result(0), RtValue(src->atInt(index)));
+        return;
+    }
+    if (name == "memref.store") {
+        RtValue value = get(op->operand(0));
+        BufferPtr dst = get(op->operand(1)).asBuffer();
+        std::vector<std::int64_t> index;
+        for (std::size_t i = 2; i < op->numOperands(); ++i)
+            index.push_back(get(op->operand(i)).asInt());
+        dst->set(index, value.asFloat());
+        return;
+    }
+    C4CAM_USER_ERROR("interpreter: unsupported memref op '" << name << "'");
+}
+
+//
+// tensor + bufferization
+//
+
+void
+Interpreter::runTensorOp(Operation *op)
+{
+    const std::string &name = op->name();
+    if (name == "tensor.extract_slice") {
+        std::vector<std::int64_t> offsets;
+        std::vector<std::int64_t> sizes;
+        resolveSlice(op, offsets, sizes);
+        BufferPtr src = get(op->operand(0)).asBuffer();
+        set(op->result(0), RtValue(src->subview(offsets, sizes)));
+        return;
+    }
+    if (name == "tensor.empty") {
+        Type t = op->result(0)->type();
+        set(op->result(0), RtValue(Buffer::alloc(DType::F32, t.shape())));
+        return;
+    }
+    if (name == "bufferization.to_memref" ||
+        name == "bufferization.to_tensor") {
+        set(op->result(0), get(op->operand(0)));
+        return;
+    }
+    C4CAM_USER_ERROR("interpreter: unsupported tensor op '" << name << "'");
+}
+
+//
+// Host tensor kernels
+//
+
+BufferPtr
+Interpreter::transpose2d(const BufferPtr &in)
+{
+    C4CAM_CHECK(in->rank() == 2, "transpose requires a rank-2 tensor");
+    auto out = Buffer::alloc(in->dtype(), {in->shape()[1], in->shape()[0]});
+    for (std::int64_t i = 0; i < in->shape()[0]; ++i)
+        for (std::int64_t j = 0; j < in->shape()[1]; ++j)
+            out->set({j, i}, in->at({i, j}));
+    return out;
+}
+
+BufferPtr
+Interpreter::matmul(const BufferPtr &a, const BufferPtr &b)
+{
+    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2,
+                "matmul requires rank-2 tensors");
+    C4CAM_CHECK(a->shape()[1] == b->shape()[0],
+                "matmul inner dims mismatch: " << a->shape()[1] << " vs "
+                << b->shape()[0]);
+    auto out = Buffer::alloc(DType::F32, {a->shape()[0], b->shape()[1]});
+    for (std::int64_t i = 0; i < a->shape()[0]; ++i) {
+        for (std::int64_t j = 0; j < b->shape()[1]; ++j) {
+            double acc = 0.0;
+            for (std::int64_t k = 0; k < a->shape()[1]; ++k)
+                acc += a->at({i, k}) * b->at({k, j});
+            out->set({i, j}, acc);
+        }
+    }
+    return out;
+}
+
+BufferPtr
+Interpreter::subBroadcast(const BufferPtr &a, const BufferPtr &b)
+{
+    if (a->shape() == b->shape()) {
+        auto out = Buffer::alloc(DType::F32, a->shape());
+        std::vector<double> av = a->toVector();
+        std::vector<double> bv = b->toVector();
+        std::vector<std::int64_t> index(a->rank(), 0);
+        for (std::int64_t i = 0; i < a->numElements(); ++i) {
+            // Row-major iteration matches toVector order.
+            std::int64_t rem = i;
+            for (int d = static_cast<int>(a->rank()) - 1; d >= 0; --d) {
+                index[static_cast<std::size_t>(d)] =
+                    rem % a->shape()[static_cast<std::size_t>(d)];
+                rem /= a->shape()[static_cast<std::size_t>(d)];
+            }
+            out->set(index, av[static_cast<std::size_t>(i)] -
+                                bv[static_cast<std::size_t>(i)]);
+        }
+        return out;
+    }
+    // KNN broadcast: (QxD) - (NxD) -> QxNxD.
+    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2 &&
+                    a->shape()[1] == b->shape()[1],
+                "sub broadcast requires QxD and NxD operands");
+    std::int64_t q_count = a->shape()[0];
+    std::int64_t n_count = b->shape()[0];
+    std::int64_t depth = a->shape()[1];
+    auto out = Buffer::alloc(DType::F32, {q_count, n_count, depth});
+    for (std::int64_t q = 0; q < q_count; ++q)
+        for (std::int64_t n = 0; n < n_count; ++n)
+            for (std::int64_t d = 0; d < depth; ++d)
+                out->set({q, n, d}, a->at({q, d}) - b->at({n, d}));
+    return out;
+}
+
+BufferPtr
+Interpreter::normLastDim(const BufferPtr &in, int p)
+{
+    C4CAM_CHECK(in->rank() >= 1, "norm requires rank >= 1");
+    std::vector<std::int64_t> out_shape(in->shape().begin(),
+                                        in->shape().end() - 1);
+    if (out_shape.empty())
+        out_shape.push_back(1);
+    auto out = Buffer::alloc(DType::F32, out_shape);
+    std::int64_t inner = in->shape().back();
+    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
+    std::vector<double> flat = in->toVector();
+    std::vector<std::int64_t> index(out->rank(), 0);
+    for (std::int64_t o = 0; o < outer; ++o) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < inner; ++i) {
+            double v = flat[static_cast<std::size_t>(o * inner + i)];
+            acc += p == 1 ? std::abs(v) : v * v;
+        }
+        double result = p == 1 ? acc : std::sqrt(acc);
+        std::int64_t rem = o;
+        for (int d = static_cast<int>(out->rank()) - 1; d >= 0; --d) {
+            index[static_cast<std::size_t>(d)] =
+                rem % out->shape()[static_cast<std::size_t>(d)];
+            rem /= out->shape()[static_cast<std::size_t>(d)];
+        }
+        out->set(index, result);
+    }
+    return out;
+}
+
+std::pair<BufferPtr, BufferPtr>
+Interpreter::topk(const BufferPtr &in, std::int64_t k, bool largest)
+{
+    C4CAM_CHECK(k >= 1, "topk requires k >= 1");
+    std::int64_t inner = in->rank() >= 1 ? in->shape().back() : 1;
+    C4CAM_CHECK(k <= inner, "topk k=" << k << " exceeds dimension size "
+                << inner);
+    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
+
+    std::vector<std::int64_t> out_shape(in->shape().begin(),
+                                        in->shape().end() - 1);
+    out_shape.push_back(k);
+    auto values = Buffer::alloc(DType::F32, out_shape);
+    auto indices = Buffer::alloc(DType::I64, out_shape);
+
+    std::vector<double> flat = in->toVector();
+    std::vector<std::int64_t> order(static_cast<std::size_t>(inner));
+    std::vector<std::int64_t> index(out_shape.size(), 0);
+    for (std::int64_t o = 0; o < outer; ++o) {
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::int64_t a, std::int64_t b) {
+                             double va = flat[static_cast<std::size_t>(
+                                 o * inner + a)];
+                             double vb = flat[static_cast<std::size_t>(
+                                 o * inner + b)];
+                             return largest ? va > vb : va < vb;
+                         });
+        for (std::int64_t j = 0; j < k; ++j) {
+            std::int64_t rem = o;
+            for (int d = static_cast<int>(out_shape.size()) - 2; d >= 0;
+                 --d) {
+                index[static_cast<std::size_t>(d)] =
+                    rem % out_shape[static_cast<std::size_t>(d)];
+                rem /= out_shape[static_cast<std::size_t>(d)];
+            }
+            index.back() = j;
+            values->set(index, flat[static_cast<std::size_t>(
+                                   o * inner + order[static_cast<
+                                       std::size_t>(j)])]);
+            indices->setInt(index, order[static_cast<std::size_t>(j)]);
+        }
+    }
+    return {values, indices};
+}
+
+//
+// torch
+//
+
+void
+Interpreter::runTorch(Operation *op)
+{
+    const std::string &name = op->name();
+    if (name == torchd::kTranspose) {
+        set(op->result(0),
+            RtValue(transpose2d(get(op->operand(0)).asBuffer())));
+        return;
+    }
+    if (name == torchd::kMm || name == torchd::kMatmul) {
+        set(op->result(0), RtValue(matmul(get(op->operand(0)).asBuffer(),
+                                          get(op->operand(1)).asBuffer())));
+        return;
+    }
+    if (name == torchd::kSub) {
+        set(op->result(0),
+            RtValue(subBroadcast(get(op->operand(0)).asBuffer(),
+                                 get(op->operand(1)).asBuffer())));
+        return;
+    }
+    if (name == torchd::kDiv) {
+        BufferPtr a = get(op->operand(0)).asBuffer();
+        BufferPtr b = get(op->operand(1)).asBuffer();
+        C4CAM_CHECK(a->numElements() == b->numElements(),
+                    "torch.aten.div shape mismatch");
+        auto out = Buffer::alloc(DType::F32, a->shape());
+        std::vector<double> av = a->toVector();
+        std::vector<double> bv = b->toVector();
+        std::vector<std::int64_t> index(a->rank(), 0);
+        for (std::int64_t i = 0; i < a->numElements(); ++i) {
+            std::int64_t rem = i;
+            for (int d = static_cast<int>(a->rank()) - 1; d >= 0; --d) {
+                index[static_cast<std::size_t>(d)] =
+                    rem % a->shape()[static_cast<std::size_t>(d)];
+                rem /= a->shape()[static_cast<std::size_t>(d)];
+            }
+            out->set(index, av[static_cast<std::size_t>(i)] /
+                                bv[static_cast<std::size_t>(i)]);
+        }
+        set(op->result(0), RtValue(out));
+        return;
+    }
+    if (name == torchd::kNorm) {
+        int p = static_cast<int>(op->intAttrOr("p", 2));
+        set(op->result(0),
+            RtValue(normLastDim(get(op->operand(0)).asBuffer(), p)));
+        return;
+    }
+    if (name == torchd::kTopk) {
+        auto [values, indices] =
+            topk(get(op->operand(0)).asBuffer(), op->intAttr("k"),
+                 op->boolAttrOr("largest", true));
+        set(op->result(0), RtValue(values));
+        set(op->result(1), RtValue(indices));
+        return;
+    }
+    C4CAM_USER_ERROR("interpreter: unsupported torch op '" << name << "'");
+}
+
+//
+// cim
+//
+
+void
+Interpreter::runCim(Operation *op)
+{
+    const std::string &name = op->name();
+    if (name == cimd::kAcquire) {
+        set(op->result(0), RtValue(nextCimHandle_++));
+        return;
+    }
+    if (name == cimd::kRelease) {
+        return;
+    }
+    if (name == cimd::kExecute) {
+        // The body uses captured outer SSA values directly.
+        std::vector<RtValue> yielded = runBlock(op->region(0).front());
+        C4CAM_CHECK(yielded.size() == op->numResults(),
+                    "cim.execute yield arity mismatch");
+        for (std::size_t i = 0; i < yielded.size(); ++i)
+            set(op->result(i), yielded[i]);
+        return;
+    }
+    if (name == cimd::kTranspose) {
+        set(op->result(0),
+            RtValue(transpose2d(get(op->operand(0)).asBuffer())));
+        return;
+    }
+    if (name == cimd::kMatmul) {
+        set(op->result(0), RtValue(matmul(get(op->operand(0)).asBuffer(),
+                                          get(op->operand(1)).asBuffer())));
+        return;
+    }
+    if (name == cimd::kSub) {
+        set(op->result(0),
+            RtValue(subBroadcast(get(op->operand(0)).asBuffer(),
+                                 get(op->operand(1)).asBuffer())));
+        return;
+    }
+    if (name == cimd::kNorm) {
+        int p = static_cast<int>(op->intAttrOr("p", 2));
+        set(op->result(0),
+            RtValue(normLastDim(get(op->operand(0)).asBuffer(), p)));
+        return;
+    }
+    if (name == cimd::kDiv) {
+        // 2-operand: elementwise; 3-operand (cosine): m / (qn x sn).
+        BufferPtr m = get(op->operand(0)).asBuffer();
+        if (op->numOperands() == 2) {
+            BufferPtr b = get(op->operand(1)).asBuffer();
+            auto out = Buffer::alloc(DType::F32, m->shape());
+            std::vector<double> av = m->toVector();
+            std::vector<double> bv = b->toVector();
+            C4CAM_CHECK(av.size() == bv.size(), "cim.div shape mismatch");
+            std::vector<std::int64_t> index(m->rank(), 0);
+            for (std::int64_t i = 0; i < m->numElements(); ++i) {
+                std::int64_t rem = i;
+                for (int d = static_cast<int>(m->rank()) - 1; d >= 0; --d) {
+                    index[static_cast<std::size_t>(d)] =
+                        rem % m->shape()[static_cast<std::size_t>(d)];
+                    rem /= m->shape()[static_cast<std::size_t>(d)];
+                }
+                out->set(index, av[static_cast<std::size_t>(i)] /
+                                    bv[static_cast<std::size_t>(i)]);
+            }
+            set(op->result(0), RtValue(out));
+            return;
+        }
+        BufferPtr qn = get(op->operand(1)).asBuffer();
+        BufferPtr sn = get(op->operand(2)).asBuffer();
+        C4CAM_CHECK(m->rank() == 2, "cim.div cosine form requires QxN");
+        auto out = Buffer::alloc(DType::F32, m->shape());
+        std::vector<double> qv = qn->toVector();
+        std::vector<double> sv = sn->toVector();
+        for (std::int64_t q = 0; q < m->shape()[0]; ++q)
+            for (std::int64_t n = 0; n < m->shape()[1]; ++n)
+                out->set({q, n},
+                         m->at({q, n}) /
+                             (qv[static_cast<std::size_t>(q)] *
+                              sv[static_cast<std::size_t>(n)] + 1e-12));
+        set(op->result(0), RtValue(out));
+        return;
+    }
+    if (name == cimd::kTopk) {
+        std::int64_t k = op->numOperands() >= 2
+                             ? get(op->operand(1)).asInt()
+                             : op->intAttr("k");
+        bool largest = op->boolAttrOr("largest", false);
+        auto [values, indices] =
+            topk(get(op->operand(0)).asBuffer(), k, largest);
+        set(op->result(0), RtValue(values));
+        set(op->result(1), RtValue(indices));
+        if (device_) {
+            std::int64_t inner = get(op->operand(0)).asBuffer()
+                                     ->shape().back();
+            device_->postMerge(static_cast<int>(inner));
+        }
+        return;
+    }
+    if (name == cimd::kSimilarity) {
+        BufferPtr stored = get(op->operand(0)).asBuffer();
+        BufferPtr query = get(op->operand(1)).asBuffer();
+        std::string metric = op->strAttr("metric");
+        bool partial = op->boolAttrOr("partial", false);
+
+        // Scores: QxN matrix of dot products or (squared) distances.
+        BufferPtr scores;
+        bool largest = false;
+        if (metric == cimd::kMetricDot) {
+            scores = matmul(query, transpose2d(stored));
+            largest = true;
+        } else if (metric == cimd::kMetricEucl) {
+            scores = normLastDim(subBroadcast(query, stored), 2);
+            largest = false;
+        } else { // cosine
+            BufferPtr dots = matmul(query, transpose2d(stored));
+            BufferPtr qn = normLastDim(query, 2);
+            BufferPtr sn = normLastDim(stored, 2);
+            scores = Buffer::alloc(DType::F32, dots->shape());
+            for (std::int64_t q = 0; q < dots->shape()[0]; ++q)
+                for (std::int64_t n = 0; n < dots->shape()[1]; ++n)
+                    scores->set({q, n},
+                                dots->at({q, n}) /
+                                    (qn->at({q}) * sn->at({n}) + 1e-12));
+            largest = true;
+        }
+        if (partial) {
+            // Partial similarities: raw score matrix, indices are row ids.
+            auto indices = Buffer::alloc(DType::I64, scores->shape());
+            for (std::int64_t q = 0; q < scores->shape()[0]; ++q)
+                for (std::int64_t n = 0; n < scores->shape()[1]; ++n)
+                    indices->setInt({q, n}, n);
+            set(op->result(0), RtValue(scores));
+            set(op->result(1), RtValue(indices));
+            return;
+        }
+        std::int64_t k = op->numOperands() >= 3
+                             ? get(op->operand(2)).asInt()
+                             : op->intAttrOr("k", 1);
+        auto [values, indices] = topk(scores, k, largest);
+        set(op->result(0), RtValue(values));
+        set(op->result(1), RtValue(indices));
+        return;
+    }
+    if (name == cimd::kMergePartial) {
+        // (handle, acc, partial) -> acc + partial, elementwise.
+        BufferPtr acc = get(op->operand(1)).asBuffer();
+        BufferPtr partial = get(op->operand(2)).asBuffer();
+        C4CAM_CHECK(acc->numElements() == partial->numElements(),
+                    "cim.merge_partial size mismatch");
+        auto out = Buffer::alloc(DType::F32, acc->shape());
+        std::vector<double> av = acc->toVector();
+        std::vector<double> pv = partial->toVector();
+        std::vector<std::int64_t> index(out->rank(), 0);
+        for (std::int64_t i = 0; i < out->numElements(); ++i) {
+            std::int64_t rem = i;
+            for (int d = static_cast<int>(out->rank()) - 1; d >= 0; --d) {
+                index[static_cast<std::size_t>(d)] =
+                    rem % out->shape()[static_cast<std::size_t>(d)];
+                rem /= out->shape()[static_cast<std::size_t>(d)];
+            }
+            out->set(index, av[static_cast<std::size_t>(i)] +
+                                pv[static_cast<std::size_t>(i)]);
+        }
+        set(op->result(0), RtValue(out));
+        return;
+    }
+    C4CAM_USER_ERROR("interpreter: unsupported cim op '" << name << "'");
+}
+
+//
+// cam
+//
+
+void
+Interpreter::runCam(Operation *op)
+{
+    C4CAM_CHECK(device_, "cam ops require an attached CAM simulator");
+    const std::string &name = op->name();
+    if (name == camd::kAllocBank) {
+        std::int64_t rows = get(op->operand(0)).asInt();
+        std::int64_t cols = get(op->operand(1)).asInt();
+        set(op->result(0),
+            RtValue(device_->allocBank(static_cast<int>(rows),
+                                       static_cast<int>(cols))));
+        return;
+    }
+    if (name == camd::kAllocMat) {
+        set(op->result(0),
+            RtValue(device_->allocMat(get(op->operand(0)).asInt())));
+        return;
+    }
+    if (name == camd::kAllocArray) {
+        set(op->result(0),
+            RtValue(device_->allocArray(get(op->operand(0)).asInt())));
+        return;
+    }
+    if (name == camd::kAllocSubarray) {
+        set(op->result(0),
+            RtValue(device_->allocSubarray(get(op->operand(0)).asInt())));
+        return;
+    }
+    if (name == camd::kGetSubarray) {
+        set(op->result(0),
+            RtValue(device_->subarrayAt(get(op->operand(0)).asInt(),
+                                        get(op->operand(1)).asInt(),
+                                        get(op->operand(2)).asInt(),
+                                        get(op->operand(3)).asInt())));
+        return;
+    }
+    if (name == camd::kWriteValue) {
+        sim::Handle sub = get(op->operand(0)).asInt();
+        BufferPtr data = get(op->operand(1)).asBuffer();
+        int row_offset =
+            static_cast<int>(op->intAttrOr("row_offset", 0));
+        device_->writeValue(sub, data->toMatrix(), row_offset);
+        return;
+    }
+    if (name == camd::kSearch) {
+        sim::Handle sub = get(op->operand(0)).asInt();
+        BufferPtr query = get(op->operand(1)).asBuffer();
+        std::string kind_str = op->strAttr("kind");
+        arch::SearchKind kind = kind_str == camd::kKindExact
+                                    ? arch::SearchKind::Exact
+                                : kind_str == camd::kKindBest
+                                    ? arch::SearchKind::Best
+                                    : arch::SearchKind::Range;
+        bool euclidean = op->strAttr("metric") == camd::kMetricEucl;
+        double threshold = 0.0;
+        if (const Attribute *thr = op->findAttr("threshold"))
+            threshold = thr->asFloat();
+        int row_begin = static_cast<int>(op->intAttrOr("row_begin", -1));
+        int row_end = static_cast<int>(op->intAttrOr("row_end", -1));
+        if (op->numOperands() >= 4) {
+            row_begin = static_cast<int>(get(op->operand(2)).asInt());
+            row_end = static_cast<int>(get(op->operand(3)).asInt());
+        }
+        bool selective = op->boolAttrOr("selective", false);
+        std::vector<double> qv = query->toVector();
+        std::vector<float> qf(qv.begin(), qv.end());
+        device_->search(sub, qf, kind, euclidean, row_begin, row_end,
+                        threshold, selective);
+        return;
+    }
+    if (name == camd::kRead) {
+        sim::Handle sub = get(op->operand(0)).asInt();
+        const sim::SearchResult &result = device_->read(sub);
+        std::int64_t n = static_cast<std::int64_t>(result.values.size());
+        auto values = Buffer::alloc(DType::F32, {n});
+        auto indices = Buffer::alloc(DType::I64, {n});
+        for (std::int64_t i = 0; i < n; ++i) {
+            values->set({i}, result.values[static_cast<std::size_t>(i)]);
+            indices->setInt({i},
+                            result.indices[static_cast<std::size_t>(i)]);
+        }
+        set(op->result(0), RtValue(values));
+        set(op->result(1), RtValue(indices));
+        return;
+    }
+    if (name == camd::kMergePartialSubarray) {
+        // (sub, acc, partial): acc += partial, flattened elementwise.
+        BufferPtr acc = get(op->operand(1)).asBuffer();
+        BufferPtr partial = get(op->operand(2)).asBuffer();
+        C4CAM_CHECK(acc->numElements() == partial->numElements(),
+                    "cam.merge_partial_subarray size mismatch: "
+                    << acc->numElements() << " vs "
+                    << partial->numElements());
+        std::vector<double> pv = partial->toVector();
+        std::size_t i = 0;
+        std::vector<std::int64_t> index(acc->rank(), 0);
+        std::function<void(std::size_t)> walk = [&](std::size_t dim) {
+            if (dim == acc->rank()) {
+                acc->set(index, acc->at(index) + pv[i++]);
+                return;
+            }
+            for (std::int64_t d = 0; d < acc->shape()[dim]; ++d) {
+                index[dim] = d;
+                walk(dim + 1);
+            }
+        };
+        if (acc->numElements() > 0)
+            walk(0);
+        device_->postMerge(static_cast<int>(acc->numElements()));
+        set(op->result(0), get(op->operand(1)));
+        return;
+    }
+    C4CAM_USER_ERROR("interpreter: unsupported cam op '" << name << "'");
+}
+
+} // namespace c4cam::rt

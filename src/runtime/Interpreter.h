@@ -1,0 +1,97 @@
+#ifndef C4CAM_RUNTIME_INTERPRETER_H
+#define C4CAM_RUNTIME_INTERPRETER_H
+
+/**
+ * @file
+ * Reference executor for C4CAM IR at every abstraction level.
+ *
+ * - torch/cim tensor ops run on the host (functional reference, used for
+ *   validation -- this doubles as the paper's "lower to loops" path);
+ * - scf/arith/memref ops implement the lowered control structure;
+ * - cam ops dispatch into the CamDevice simulator, which accounts
+ *   latency/energy through scope-based timing driven by the loop
+ *   structure (scf.parallel opens a parallel scope, scf.for a
+ *   sequential one).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/IR.h"
+#include "runtime/Buffer.h"
+#include "sim/CamDevice.h"
+
+namespace c4cam::rt {
+
+/**
+ * Interprets one module; optionally attached to a CAM simulator.
+ */
+class Interpreter
+{
+  public:
+    /**
+     * @param module  the IR to execute (any pipeline stage)
+     * @param device  CAM simulator backing cam.* ops; may be nullptr
+     *                when the module contains no cam ops.
+     */
+    explicit Interpreter(ir::Module &module,
+                         sim::CamDevice *device = nullptr);
+
+    /**
+     * Execute function @p name with @p args (one RtValue per entry-block
+     * argument). @return the values of func.return.
+     */
+    std::vector<RtValue> callFunction(const std::string &name,
+                                      const std::vector<RtValue> &args);
+
+    sim::CamDevice *device() const { return device_; }
+
+  private:
+    RtValue get(ir::Value *value) const;
+    void set(ir::Value *value, RtValue rt_value);
+
+    /**
+     * Run all ops of @p block. @return the operands of the terminator
+     * (func.return / scf.yield / cim.yield) or empty.
+     */
+    std::vector<RtValue> runBlock(ir::Block &block);
+
+    void runOp(ir::Operation *op);
+
+    /// @name Dialect-specific handlers
+    /// @{
+    void runArith(ir::Operation *op);
+    void runScf(ir::Operation *op);
+    void runMemRef(ir::Operation *op);
+    void runTensorOp(ir::Operation *op);
+    void runTorch(ir::Operation *op);
+    void runCim(ir::Operation *op);
+    void runCam(ir::Operation *op);
+    /// @}
+
+    /// @name Host tensor kernels shared by torch and cim handlers
+    /// @{
+    BufferPtr transpose2d(const BufferPtr &in);
+    BufferPtr matmul(const BufferPtr &a, const BufferPtr &b);
+    BufferPtr subBroadcast(const BufferPtr &a, const BufferPtr &b);
+    BufferPtr normLastDim(const BufferPtr &in, int p);
+    /** Top-k along the last dim. @return {values, indices}. */
+    std::pair<BufferPtr, BufferPtr> topk(const BufferPtr &in,
+                                         std::int64_t k, bool largest);
+    /// @}
+
+    /** Resolve static+dynamic offset/size lists of slicing ops. */
+    void resolveSlice(ir::Operation *op,
+                      std::vector<std::int64_t> &offsets,
+                      std::vector<std::int64_t> &sizes);
+
+    ir::Module &module_;
+    sim::CamDevice *device_;
+    std::map<ir::Value *, RtValue> env_;
+    std::int64_t nextCimHandle_ = 1;
+};
+
+} // namespace c4cam::rt
+
+#endif // C4CAM_RUNTIME_INTERPRETER_H

@@ -1,0 +1,264 @@
+#include "sim/CamDevice.h"
+
+#include "support/Error.h"
+
+namespace c4cam::sim {
+
+CamDevice::CamDevice(const arch::ArchSpec &spec)
+    : spec_(spec), tech_(arch::TechModel::forSpec(spec))
+{
+    spec_.validate();
+}
+
+Handle
+CamDevice::newHandle(HandleInfo info)
+{
+    handles_.push_back(info);
+    return static_cast<Handle>(handles_.size() - 1);
+}
+
+const CamDevice::HandleInfo &
+CamDevice::info(Handle handle, HandleKind expected) const
+{
+    C4CAM_CHECK(handle >= 0 &&
+                    handle < static_cast<Handle>(handles_.size()),
+                "invalid CAM handle " << handle);
+    const HandleInfo &hi = handles_[static_cast<std::size_t>(handle)];
+    C4CAM_CHECK(hi.kind == expected, "CAM handle " << handle
+                << " has the wrong hierarchy level");
+    return hi;
+}
+
+Handle
+CamDevice::allocBank(int rows, int cols)
+{
+    C4CAM_CHECK(rows == spec_.rows && cols == spec_.cols,
+                "alloc_bank geometry " << rows << "x" << cols
+                << " does not match the architecture spec " << spec_.rows
+                << "x" << spec_.cols);
+    if (spec_.numBanks > 0) {
+        C4CAM_CHECK(static_cast<int>(banks_.size()) < spec_.numBanks,
+                    "bank allocation exceeds the configured "
+                    << spec_.numBanks << " banks");
+    }
+    Bank bank;
+    bank.rows = rows;
+    bank.cols = cols;
+    banks_.push_back(std::move(bank));
+    HandleInfo hi;
+    hi.kind = HandleKind::Bank;
+    hi.bank = banks_.size() - 1;
+    return newHandle(hi);
+}
+
+Handle
+CamDevice::allocMat(Handle bank_handle)
+{
+    const HandleInfo bh = info(bank_handle, HandleKind::Bank); // by value: newHandle() reallocates handles_
+    Bank &bank = banks_[bh.bank];
+    C4CAM_CHECK(static_cast<int>(bank.mats.size()) < spec_.matsPerBank,
+                "mat allocation exceeds " << spec_.matsPerBank
+                << " mats per bank");
+    bank.mats.emplace_back();
+    HandleInfo hi;
+    hi.kind = HandleKind::Mat;
+    hi.bank = bh.bank;
+    hi.mat = bank.mats.size() - 1;
+    return newHandle(hi);
+}
+
+Handle
+CamDevice::allocArray(Handle mat_handle)
+{
+    const HandleInfo mh = info(mat_handle, HandleKind::Mat);
+    Mat &mat = banks_[mh.bank].mats[mh.mat];
+    C4CAM_CHECK(static_cast<int>(mat.arrays.size()) < spec_.arraysPerMat,
+                "array allocation exceeds " << spec_.arraysPerMat
+                << " arrays per mat");
+    mat.arrays.emplace_back();
+    HandleInfo hi;
+    hi.kind = HandleKind::Array;
+    hi.bank = mh.bank;
+    hi.mat = mh.mat;
+    hi.array = mat.arrays.size() - 1;
+    return newHandle(hi);
+}
+
+Handle
+CamDevice::allocSubarray(Handle array_handle)
+{
+    const HandleInfo ah = info(array_handle, HandleKind::Array);
+    ArrayUnit &array = banks_[ah.bank].mats[ah.mat].arrays[ah.array];
+    C4CAM_CHECK(static_cast<int>(array.subarrays.size()) <
+                    spec_.subarraysPerArray,
+                "subarray allocation exceeds " << spec_.subarraysPerArray
+                << " subarrays per array");
+    HandleInfo hi;
+    hi.kind = HandleKind::Subarray;
+    hi.bank = ah.bank;
+    hi.mat = ah.mat;
+    hi.array = ah.array;
+    hi.sub = array.subarrays.size();
+    Handle handle = newHandle(hi);
+    array.subarrays.push_back(handle);
+    storage_.emplace(handle, std::make_unique<CamSubarray>(
+                                 banks_[ah.bank].rows, banks_[ah.bank].cols,
+                                 spec_.camType, spec_.bitsPerCell));
+    ++subarrayCount_;
+    return handle;
+}
+
+Handle
+CamDevice::subarrayAt(std::int64_t bank, std::int64_t mat,
+                      std::int64_t array, std::int64_t sub) const
+{
+    C4CAM_CHECK(bank >= 0 && bank < static_cast<std::int64_t>(banks_.size()),
+                "subarrayAt: bank " << bank << " not allocated");
+    const Bank &b = banks_[static_cast<std::size_t>(bank)];
+    C4CAM_CHECK(mat >= 0 && mat < static_cast<std::int64_t>(b.mats.size()),
+                "subarrayAt: mat " << mat << " not allocated in bank "
+                << bank);
+    const Mat &m = b.mats[static_cast<std::size_t>(mat)];
+    C4CAM_CHECK(array >= 0 &&
+                    array < static_cast<std::int64_t>(m.arrays.size()),
+                "subarrayAt: array " << array << " not allocated");
+    const ArrayUnit &a = m.arrays[static_cast<std::size_t>(array)];
+    C4CAM_CHECK(sub >= 0 &&
+                    sub < static_cast<std::int64_t>(a.subarrays.size()),
+                "subarrayAt: subarray " << sub << " not allocated");
+    return a.subarrays[static_cast<std::size_t>(sub)];
+}
+
+CamSubarray &
+CamDevice::subarray(Handle handle)
+{
+    info(handle, HandleKind::Subarray);
+    return *storage_.at(handle);
+}
+
+void
+CamDevice::writeValue(Handle subarray_handle,
+                      const std::vector<std::vector<float>> &data,
+                      int row_offset)
+{
+    CamSubarray &sub = subarray(subarray_handle);
+    bool first_write = sub.writtenRows() == 0;
+    sub.write(data, row_offset);
+    if (first_write && sub.writtenRows() > 0)
+        ++writtenSubarrays_;
+    ++writes_;
+
+    // Rows are programmed sequentially; energy scales with cells written.
+    double rows = static_cast<double>(data.size());
+    double cells = 0.0;
+    for (const auto &row : data)
+        cells += static_cast<double>(row.size());
+    TimingEngine::Phase saved = timing_.phase();
+    timing_.setPhase(TimingEngine::Phase::Setup);
+    timing_.post(rows * tech_.writeLatencyNsPerRow() * spec_.bitsPerCell,
+                 cells * tech_.writeEnergyPjPerCell() * spec_.bitsPerCell);
+    timing_.setPhase(saved);
+}
+
+void
+CamDevice::writeRanges(Handle subarray_handle,
+                       const std::vector<std::vector<CamCell>> &cells,
+                       int row_offset)
+{
+    CamSubarray &sub = subarray(subarray_handle);
+    bool first_write = sub.writtenRows() == 0;
+    sub.writeRanges(cells, row_offset);
+    if (first_write && sub.writtenRows() > 0)
+        ++writtenSubarrays_;
+    ++writes_;
+
+    double rows = static_cast<double>(cells.size());
+    double cell_count = 0.0;
+    for (const auto &row : cells)
+        cell_count += static_cast<double>(row.size());
+    TimingEngine::Phase saved = timing_.phase();
+    timing_.setPhase(TimingEngine::Phase::Setup);
+    // Analog ranges need two program pulses per cell (lo and hi).
+    timing_.post(rows * tech_.writeLatencyNsPerRow() * 2.0,
+                 cell_count * tech_.writeEnergyPjPerCell() * 2.0);
+    timing_.setPhase(saved);
+}
+
+void
+CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
+                  arch::SearchKind kind, bool euclidean, int row_begin,
+                  int row_end, double threshold, bool selective)
+{
+    CamSubarray &sub = subarray(subarray_handle);
+    if (row_begin < 0)
+        row_begin = 0;
+    if (row_end < 0)
+        row_end = sub.rows();
+
+    lastResult_[subarray_handle] =
+        sub.search(query, kind, euclidean, row_begin, row_end, threshold);
+    ++searches_;
+
+    // Every ML precharges each cycle; selective search confines the
+    // sensing stage (and read-out) to the row window.
+    int sensed_rows = selective ? row_end - row_begin : sub.rows();
+    double latency = tech_.queryDriveLatencyNs() +
+                     tech_.searchLatencyNs(sub.cols()) +
+                     tech_.senseLatencyNs(kind);
+    arch::SearchEnergyBreakdown split = tech_.searchEnergyBreakdown(
+        sub.rows(), sensed_rows, sub.cols(), kind);
+    cellEnergy_ += split.cellPj;
+    senseEnergy_ += split.sensePj;
+    driveEnergy_ += split.driverPj;
+    timing_.setPhase(TimingEngine::Phase::Query);
+    timing_.post(latency, split.total());
+}
+
+const SearchResult &
+CamDevice::read(Handle subarray_handle) const
+{
+    auto it = lastResult_.find(subarray_handle);
+    C4CAM_CHECK(it != lastResult_.end(),
+                "cam.read before any search on subarray "
+                << subarray_handle);
+    return it->second;
+}
+
+void
+CamDevice::postMerge(int fanout)
+{
+    timing_.setPhase(TimingEngine::Phase::Query);
+    mergeEnergy_ += tech_.mergeEnergyPj(fanout);
+    timing_.post(tech_.mergeLatencyNs(fanout), tech_.mergeEnergyPj(fanout));
+}
+
+void
+CamDevice::postQueryTransfer(std::int64_t elements)
+{
+    // Host-side query staging: word-width limited transfer at ~1 GHz.
+    double words = static_cast<double>(elements) * 32.0 / spec_.wordWidth;
+    timing_.setPhase(TimingEngine::Phase::Query);
+    timing_.post(0.001 * words, 0.0005 * words);
+}
+
+PerfReport
+CamDevice::report() const
+{
+    PerfReport report;
+    report.setupLatencyNs = timing_.setupCost().latencyNs;
+    report.setupEnergyPj = timing_.setupCost().energyPj;
+    report.queryLatencyNs = timing_.queryCost().latencyNs;
+    report.queryEnergyPj = timing_.queryCost().energyPj;
+    report.cellEnergyPj = cellEnergy_;
+    report.senseEnergyPj = senseEnergy_;
+    report.driveEnergyPj = driveEnergy_;
+    report.mergeEnergyPj = mergeEnergy_;
+    report.searches = searches_;
+    report.writes = writes_;
+    report.subarraysUsed = writtenSubarrays_;
+    report.subarraysAllocated = subarrayCount_;
+    report.banksUsed = static_cast<std::int64_t>(banks_.size());
+    return report;
+}
+
+} // namespace c4cam::sim

@@ -1,0 +1,167 @@
+#ifndef C4CAM_SIM_CAMDEVICE_H
+#define C4CAM_SIM_CAMDEVICE_H
+
+/**
+ * @file
+ * Hierarchical CAM accelerator: banks -> mats -> arrays -> subarrays.
+ *
+ * This is the simulation backend the lowered cam dialect calls into
+ * (paper §III-D2 "the cam operations are mapped to function calls of a
+ * CAM simulator"). It combines the functional CamSubarray model with the
+ * TechModel cost model and the scope-based TimingEngine.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/ArchSpec.h"
+#include "arch/TechModel.h"
+#include "sim/CamSubarray.h"
+#include "sim/Timing.h"
+
+namespace c4cam::sim {
+
+/** Opaque handle to an allocated hierarchy unit. */
+using Handle = std::int64_t;
+
+/**
+ * The CAM accelerator instance for one ArchSpec.
+ */
+class CamDevice
+{
+  public:
+    explicit CamDevice(const arch::ArchSpec &spec);
+
+    const arch::ArchSpec &spec() const { return spec_; }
+    const arch::TechModel &tech() const { return tech_; }
+
+    /// @name Allocation (mirrors cam.alloc_*)
+    /// @{
+    /** Allocate a bank of subarrays with @p rows x @p cols geometry. */
+    Handle allocBank(int rows, int cols);
+    Handle allocMat(Handle bank);
+    Handle allocArray(Handle mat);
+    Handle allocSubarray(Handle array);
+    /// @}
+
+    /// @name Data path (mirrors cam.write_value / search / read)
+    /// @{
+    /**
+     * Program @p data into @p subarray starting at @p row_offset.
+     * Accounted as setup cost.
+     */
+    void writeValue(Handle subarray,
+                    const std::vector<std::vector<float>> &data,
+                    int row_offset = 0);
+
+    /**
+     * Program analog acceptance ranges (ACAM) into @p subarray.
+     * Accounted as setup cost (two program pulses per cell: lo and
+     * hi levels).
+     */
+    void writeRanges(Handle subarray,
+                     const std::vector<std::vector<CamCell>> &cells,
+                     int row_offset = 0);
+
+    /**
+     * Search @p query on @p subarray. Only rows in
+     * [row_begin, row_end) are sensed/read out; negative bounds mean
+     * the full subarray. With @p selective set (selective search [27])
+     * the sense-amplifier energy is confined to the window; without it
+     * the whole subarray senses. Accounted as query cost.
+     */
+    void search(Handle subarray, const std::vector<float> &query,
+                arch::SearchKind kind, bool euclidean, int row_begin = -1,
+                int row_end = -1, double threshold = 0.0,
+                bool selective = false);
+
+    /** Read back the results of the last search on @p subarray. */
+    const SearchResult &read(Handle subarray) const;
+    /// @}
+
+    /// @name Timing scopes (driven by the loop structure)
+    /// @{
+    TimingEngine &timing() { return timing_; }
+
+    /** Post the cost of merging partial results across @p fanout units. */
+    void postMerge(int fanout);
+
+    /** Post host<->device query transfer cost for @p elements values. */
+    void postQueryTransfer(std::int64_t elements);
+    /// @}
+
+    /** Snapshot of all counters and accumulated costs. */
+    PerfReport report() const;
+
+    /// @name Introspection
+    /// @{
+    std::int64_t numBanks() const
+    {
+        return static_cast<std::int64_t>(banks_.size());
+    }
+    std::int64_t numAllocatedSubarrays() const { return subarrayCount_; }
+    CamSubarray &subarray(Handle handle);
+
+    /**
+     * Handle of the subarray at hierarchy coordinates
+     * (bank, mat, array, subarray); it must have been allocated.
+     */
+    Handle subarrayAt(std::int64_t bank, std::int64_t mat,
+                      std::int64_t array, std::int64_t sub) const;
+    /// @}
+
+  private:
+    struct ArrayUnit
+    {
+        std::vector<Handle> subarrays;
+    };
+    struct Mat
+    {
+        std::vector<ArrayUnit> arrays;
+    };
+    struct Bank
+    {
+        int rows;
+        int cols;
+        std::vector<Mat> mats;
+    };
+
+    enum class HandleKind { Bank, Mat, Array, Subarray };
+
+    struct HandleInfo
+    {
+        HandleKind kind;
+        std::size_t bank;
+        std::size_t mat = 0;
+        std::size_t array = 0;
+        std::size_t sub = 0;
+    };
+
+    Handle newHandle(HandleInfo info);
+    const HandleInfo &info(Handle handle, HandleKind expected) const;
+
+    arch::ArchSpec spec_;
+    arch::TechModel tech_;
+    TimingEngine timing_;
+
+    std::vector<Bank> banks_;
+    std::vector<HandleInfo> handles_;
+    std::map<Handle, std::unique_ptr<CamSubarray>> storage_;
+    std::map<Handle, SearchResult> lastResult_;
+
+    std::int64_t subarrayCount_ = 0;
+    std::int64_t writtenSubarrays_ = 0;
+    std::int64_t searches_ = 0;
+    std::int64_t writes_ = 0;
+
+    double cellEnergy_ = 0.0;
+    double senseEnergy_ = 0.0;
+    double driveEnergy_ = 0.0;
+    double mergeEnergy_ = 0.0;
+};
+
+} // namespace c4cam::sim
+
+#endif // C4CAM_SIM_CAMDEVICE_H

@@ -1,0 +1,126 @@
+#include "sim/CamSubarray.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/Error.h"
+
+namespace c4cam::sim {
+
+CamSubarray::CamSubarray(int rows, int cols, arch::CamDeviceType type,
+                         int bits_per_cell)
+    : rows_(rows), cols_(cols), type_(type), bits_(bits_per_cell)
+{
+    C4CAM_CHECK(rows > 0 && cols > 0, "subarray dims must be positive");
+    cells_.assign(rows_, std::vector<CamCell>(cols_));
+}
+
+float
+CamSubarray::quantize(float v) const
+{
+    if (type_ == arch::CamDeviceType::Acam)
+        return v; // analog cells store continuous levels
+    int levels = 1 << bits_;
+    float q = std::round(v);
+    q = std::clamp(q, 0.0f, float(levels - 1));
+    return q;
+}
+
+void
+CamSubarray::write(const std::vector<std::vector<float>> &data,
+                   int row_offset)
+{
+    C4CAM_CHECK(row_offset >= 0 &&
+                    row_offset + static_cast<int>(data.size()) <= rows_,
+                "write exceeds subarray rows: offset " << row_offset
+                << " + " << data.size() << " > " << rows_);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        C4CAM_CHECK(static_cast<int>(data[r].size()) <= cols_,
+                    "write exceeds subarray columns: " << data[r].size()
+                    << " > " << cols_);
+        for (std::size_t c = 0; c < data[r].size(); ++c) {
+            CamCell &cell = cells_[row_offset + r][c];
+            float v = data[r][c];
+            if (std::isnan(v)) {
+                cell = CamCell{}; // don't care
+            } else {
+                float q = quantize(v);
+                cell.lo = q;
+                cell.hi = q;
+                cell.wildcard = false;
+            }
+        }
+    }
+    writtenRows_ = std::max(writtenRows_,
+                            row_offset + static_cast<int>(data.size()));
+}
+
+void
+CamSubarray::writeRanges(const std::vector<std::vector<CamCell>> &cells,
+                         int row_offset)
+{
+    C4CAM_CHECK(type_ == arch::CamDeviceType::Acam,
+                "range programming requires an ACAM device");
+    C4CAM_CHECK(row_offset >= 0 &&
+                    row_offset + static_cast<int>(cells.size()) <= rows_,
+                "writeRanges exceeds subarray rows");
+    for (std::size_t r = 0; r < cells.size(); ++r)
+        for (std::size_t c = 0; c < cells[r].size() &&
+                                static_cast<int>(c) < cols_; ++c)
+            cells_[row_offset + r][c] = cells[r][c];
+    writtenRows_ = std::max(writtenRows_,
+                            row_offset + static_cast<int>(cells.size()));
+}
+
+SearchResult
+CamSubarray::search(const std::vector<float> &query, arch::SearchKind kind,
+                    bool euclidean, int row_begin, int row_end,
+                    double threshold) const
+{
+    C4CAM_CHECK(row_begin >= 0 && row_end <= rows_ && row_begin <= row_end,
+                "search row window [" << row_begin << ", " << row_end
+                << ") outside subarray with " << rows_ << " rows");
+    C4CAM_CHECK(static_cast<int>(query.size()) <= cols_,
+                "query wider than subarray: " << query.size() << " > "
+                << cols_);
+
+    SearchResult result;
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = row_begin; r < row_end; ++r) {
+        double dist = 0.0;
+        for (std::size_t c = 0; c < query.size(); ++c) {
+            const CamCell &cell = cells_[r][c];
+            float q = quantize(query[c]);
+            if (euclidean) {
+                double d = cell.distanceTo(q);
+                dist += d * d;
+            } else {
+                dist += cell.matches(q) ? 0.0 : 1.0;
+            }
+        }
+        result.values.push_back(static_cast<float>(dist));
+        result.indices.push_back(r);
+        best = std::min(best, dist);
+    }
+
+    for (std::size_t i = 0; i < result.values.size(); ++i) {
+        double d = result.values[i];
+        bool matched = false;
+        switch (kind) {
+          case arch::SearchKind::Exact:
+            matched = d == 0.0;
+            break;
+          case arch::SearchKind::Range:
+            matched = d <= threshold;
+            break;
+          case arch::SearchKind::Best:
+            matched = d == best;
+            break;
+        }
+        if (matched)
+            result.matchedRows.push_back(result.indices[i]);
+    }
+    return result;
+}
+
+} // namespace c4cam::sim

@@ -1,0 +1,96 @@
+#include "sim/Timing.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/Error.h"
+
+namespace c4cam::sim {
+
+void
+TimingEngine::beginScope(bool parallel)
+{
+    Scope scope;
+    scope.parallel = parallel;
+    scope.phase = phase_;
+    scopes_.push_back(scope);
+}
+
+void
+TimingEngine::fold(Scope &parent, const Scope &child)
+{
+    if (parent.parallel) {
+        parent.queryAcc.latencyNs =
+            std::max(parent.queryAcc.latencyNs, child.queryAcc.latencyNs);
+        parent.setupAcc.latencyNs =
+            std::max(parent.setupAcc.latencyNs, child.setupAcc.latencyNs);
+    } else {
+        parent.queryAcc.latencyNs += child.queryAcc.latencyNs;
+        parent.setupAcc.latencyNs += child.setupAcc.latencyNs;
+    }
+    parent.queryAcc.energyPj += child.queryAcc.energyPj;
+    parent.setupAcc.energyPj += child.setupAcc.energyPj;
+}
+
+void
+TimingEngine::endScope()
+{
+    C4CAM_ASSERT(!scopes_.empty(), "endScope with no open scope");
+    Scope child = scopes_.back();
+    scopes_.pop_back();
+    if (scopes_.empty()) {
+        queryTotal_.latencyNs += child.queryAcc.latencyNs;
+        queryTotal_.energyPj += child.queryAcc.energyPj;
+        setupTotal_.latencyNs += child.setupAcc.latencyNs;
+        setupTotal_.energyPj += child.setupAcc.energyPj;
+    } else {
+        fold(scopes_.back(), child);
+    }
+}
+
+void
+TimingEngine::post(double latency_ns, double energy_pj)
+{
+    C4CAM_ASSERT(latency_ns >= 0.0 && energy_pj >= 0.0,
+                 "negative cost posted");
+    Cost *acc = nullptr;
+    if (scopes_.empty()) {
+        // Top-level leaf cost: accumulate sequentially into the totals.
+        acc = phase_ == Phase::Query ? &queryTotal_ : &setupTotal_;
+        acc->latencyNs += latency_ns;
+        acc->energyPj += energy_pj;
+        return;
+    }
+    Scope &scope = scopes_.back();
+    acc = phase_ == Phase::Query ? &scope.queryAcc : &scope.setupAcc;
+    if (scope.parallel) {
+        // A leaf inside a parallel scope behaves like one child.
+        acc->latencyNs = std::max(acc->latencyNs, latency_ns);
+    } else {
+        acc->latencyNs += latency_ns;
+    }
+    acc->energyPj += energy_pj;
+}
+
+void
+TimingEngine::reset()
+{
+    scopes_.clear();
+    queryTotal_ = Cost{};
+    setupTotal_ = Cost{};
+    phase_ = Phase::Query;
+}
+
+std::string
+PerfReport::str() const
+{
+    std::ostringstream oss;
+    oss << "query: " << queryLatencyNs << " ns, " << queryEnergyPj
+        << " pJ, " << avgPowerMw() << " mW | setup: " << setupLatencyNs
+        << " ns, " << setupEnergyPj << " pJ | searches: " << searches
+        << ", writes: " << writes << ", subarrays: " << subarraysUsed << "/"
+        << subarraysAllocated << ", banks: " << banksUsed;
+    return oss.str();
+}
+
+} // namespace c4cam::sim

@@ -1,0 +1,135 @@
+#ifndef C4CAM_SIM_TIMING_H
+#define C4CAM_SIM_TIMING_H
+
+/**
+ * @file
+ * Scope-based timing/energy accounting for the CAM simulator.
+ *
+ * Hierarchy levels contribute nested scopes. A parallel scope finishes in
+ * the time of its slowest child (max); a sequential scope in the sum of
+ * its children. Energy always sums. This reproduces the latency/power
+ * behaviour of the paper's hierarchy (parallel vs sequential access
+ * modes, selective-search cycles, power-capped subarray activation)
+ * without event-driven simulation.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c4cam::sim {
+
+/** Accumulated cost of one scope (latency in ns, energy in pJ). */
+struct Cost
+{
+    double latencyNs = 0.0;
+    double energyPj = 0.0;
+};
+
+/**
+ * Stack of parallel/sequential scopes with two accounting phases:
+ * Setup (one-time data writes) and Query (search traffic).
+ */
+class TimingEngine
+{
+  public:
+    enum class Phase { Setup, Query };
+
+    /** Switch accounting phases; affects subsequent post() calls. */
+    void setPhase(Phase phase) { phase_ = phase; }
+    Phase phase() const { return phase_; }
+
+    /** Open a scope; children combine with max (parallel) or sum. */
+    void beginScope(bool parallel);
+
+    /** Close the innermost scope, folding its cost into the parent. */
+    void endScope();
+
+    /** Record a leaf cost in the current scope and phase. */
+    void post(double latency_ns, double energy_pj);
+
+    /** Depth of the scope stack (0 at top level). */
+    std::size_t depth() const { return scopes_.size(); }
+
+    /// @name Totals (valid when all scopes are closed)
+    /// @{
+    const Cost &queryCost() const { return queryTotal_; }
+    const Cost &setupCost() const { return setupTotal_; }
+    /// @}
+
+    /** Reset all accumulated state. */
+    void reset();
+
+  private:
+    struct Scope
+    {
+        bool parallel;
+        Phase phase;
+        // For parallel scopes latency is the running max of children;
+        // for sequential scopes the running sum.
+        Cost queryAcc;
+        Cost setupAcc;
+    };
+
+    void fold(Scope &parent, const Scope &child);
+
+    std::vector<Scope> scopes_;
+    Cost queryTotal_;
+    Cost setupTotal_;
+    Phase phase_ = Phase::Query;
+};
+
+/**
+ * End-to-end performance summary of one compiled kernel execution.
+ */
+struct PerfReport
+{
+    double setupLatencyNs = 0.0;
+    double setupEnergyPj = 0.0;
+    double queryLatencyNs = 0.0;
+    double queryEnergyPj = 0.0;
+
+    /// @name Query-energy breakdown (sums to queryEnergyPj)
+    /// @{
+    double cellEnergyPj = 0.0;   ///< ML precharge across cells
+    double senseEnergyPj = 0.0;  ///< sense amplifiers
+    double driveEnergyPj = 0.0;  ///< data-line drivers
+    double mergeEnergyPj = 0.0;  ///< reduction trees / peripherals
+    /// @}
+
+    std::int64_t searches = 0;
+    std::int64_t writes = 0;
+    std::int64_t subarraysUsed = 0;
+    std::int64_t banksUsed = 0;
+    std::int64_t subarraysAllocated = 0;
+
+    /** Average query-phase power; pJ/ns is numerically mW. */
+    double
+    avgPowerMw() const
+    {
+        return queryLatencyNs > 0.0 ? queryEnergyPj / queryLatencyNs : 0.0;
+    }
+
+    /** Energy-delay product in nJ*s. */
+    double
+    edpNanoJouleSeconds() const
+    {
+        return (queryEnergyPj * 1e-3) * (queryLatencyNs * 1e-9);
+    }
+
+    /** Fraction of allocated subarrays that were actually written. */
+    double
+    utilization() const
+    {
+        return subarraysAllocated > 0
+                   ? double(subarraysUsed) / double(subarraysAllocated)
+                   : 0.0;
+    }
+
+    /** One-line human-readable summary. */
+    std::string str() const;
+};
+
+} // namespace c4cam::sim
+
+#endif // C4CAM_SIM_TIMING_H

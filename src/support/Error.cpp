@@ -1,0 +1,21 @@
+#include "support/Error.h"
+
+namespace c4cam {
+namespace detail {
+
+void
+throwCompilerError(const std::string &msg)
+{
+    throw CompilerError(msg);
+}
+
+void
+throwInternalError(const std::string &msg, const char *file, int line)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": internal error: " << msg;
+    throw InternalError(oss.str());
+}
+
+} // namespace detail
+} // namespace c4cam

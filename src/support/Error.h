@@ -1,0 +1,77 @@
+#ifndef C4CAM_SUPPORT_ERROR_H
+#define C4CAM_SUPPORT_ERROR_H
+
+/**
+ * @file
+ * Error-handling primitives shared by the whole compiler.
+ *
+ * Two failure classes, following the gem5 fatal/panic split:
+ *  - CompilerError: the *user's* fault (malformed input program, invalid
+ *    architecture specification, unsupported op). Reported with a message
+ *    and recoverable by the embedding application.
+ *  - InternalError: a C4CAM bug (broken invariant). Raised by
+ *    C4CAM_ASSERT and never expected in correct runs.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace c4cam {
+
+/** Error caused by invalid user input (program or configuration). */
+class CompilerError : public std::runtime_error
+{
+  public:
+    explicit CompilerError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Error caused by a violated internal invariant (a C4CAM bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+[[noreturn]] void throwCompilerError(const std::string &msg);
+[[noreturn]] void throwInternalError(const std::string &msg, const char *file,
+                                     int line);
+
+} // namespace detail
+
+} // namespace c4cam
+
+/** Raise a CompilerError with an ostream-style message. */
+#define C4CAM_USER_ERROR(msg_expr)                                           \
+    do {                                                                     \
+        std::ostringstream c4cam_oss_;                                       \
+        c4cam_oss_ << msg_expr;                                              \
+        ::c4cam::detail::throwCompilerError(c4cam_oss_.str());               \
+    } while (0)
+
+/** Assert an internal invariant; violation is a C4CAM bug. */
+#define C4CAM_ASSERT(cond, msg_expr)                                         \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream c4cam_oss_;                                   \
+            c4cam_oss_ << "assertion `" #cond "` failed: " << msg_expr;      \
+            ::c4cam::detail::throwInternalError(c4cam_oss_.str(), __FILE__,  \
+                                                __LINE__);                   \
+        }                                                                    \
+    } while (0)
+
+/** Validate user-provided input; violation is the user's fault. */
+#define C4CAM_CHECK(cond, msg_expr)                                          \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            C4CAM_USER_ERROR(msg_expr);                                      \
+        }                                                                    \
+    } while (0)
+
+#endif // C4CAM_SUPPORT_ERROR_H

@@ -1,0 +1,440 @@
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/Error.h"
+
+namespace c4cam {
+
+bool
+JsonValue::asBool() const
+{
+    C4CAM_CHECK(isBool(), "JSON value is not a boolean");
+    return boolVal_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    C4CAM_CHECK(isNumber(), "JSON value is not a number");
+    return numVal_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    double d = asNumber();
+    C4CAM_CHECK(std::floor(d) == d, "JSON number " << d
+                << " is not an integer");
+    return static_cast<std::int64_t>(d);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    C4CAM_CHECK(isString(), "JSON value is not a string");
+    return strVal_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    C4CAM_CHECK(isArray(), "JSON value is not an array");
+    return arr_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    C4CAM_CHECK(isObject(), "JSON value is not an object");
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::int64_t
+JsonValue::getInt(const std::string &key, std::int64_t dflt) const
+{
+    const JsonValue *v = find(key);
+    return v ? v->asInt() : dflt;
+}
+
+double
+JsonValue::getNumber(const std::string &key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v ? v->asNumber() : dflt;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool dflt) const
+{
+    const JsonValue *v = find(key);
+    return v ? v->asBool() : dflt;
+}
+
+std::string
+JsonValue::getString(const std::string &key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v ? v->asString() : dflt;
+}
+
+void
+JsonValue::append(JsonValue v)
+{
+    C4CAM_ASSERT(isArray(), "append on non-array JSON value");
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    C4CAM_ASSERT(isObject(), "set on non-object JSON value");
+    obj_[key] = std::move(v);
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+JsonValue::dumpImpl(std::string &out, int indent, int depth) const
+{
+    std::string pad(static_cast<size_t>(indent) * (depth + 1), ' ');
+    std::string padEnd(static_cast<size_t>(indent) * depth, ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolVal_ ? "true" : "false";
+        break;
+      case Kind::Number: {
+        std::ostringstream oss;
+        if (std::floor(numVal_) == numVal_ &&
+            std::abs(numVal_) < 1e15) {
+            oss << static_cast<std::int64_t>(numVal_);
+        } else {
+            oss << numVal_;
+        }
+        out += oss.str();
+        break;
+      }
+      case Kind::String:
+        escapeString(out, strVal_);
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto &v : arr_) {
+            if (!first)
+                out += ',';
+            out += nl;
+            out += pad;
+            v.dumpImpl(out, indent, depth + 1);
+            first = false;
+        }
+        if (!arr_.empty()) {
+            out += nl;
+            out += padEnd;
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : obj_) {
+            if (!first)
+                out += ',';
+            out += nl;
+            out += pad;
+            escapeString(out, k);
+            out += indent > 0 ? ": " : ":";
+            v.dumpImpl(out, indent, depth + 1);
+            first = false;
+        }
+        if (!obj_.empty()) {
+            out += nl;
+            out += padEnd;
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpImpl(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser with line tracking for diagnostics. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        skipWs();
+        JsonValue v = parseValue();
+        skipWs();
+        C4CAM_CHECK(pos_ == text_.size(),
+                    "trailing characters after JSON document at line "
+                    << line_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        C4CAM_USER_ERROR("JSON parse error at line " << line_ << ": "
+                         << what);
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        char c = peek();
+        pos_++;
+        if (c == '\n')
+            line_++;
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                next();
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() + "'");
+        next();
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue(parseString());
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            parseKeyword("null");
+            return JsonValue();
+        }
+        return parseNumber();
+    }
+
+    void
+    parseKeyword(const std::string &kw)
+    {
+        for (char c : kw) {
+            if (peek() != c)
+                fail("invalid keyword, expected '" + kw + "'");
+            next();
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        if (peek() == 't') {
+            parseKeyword("true");
+            return JsonValue(true);
+        }
+        parseKeyword("false");
+        return JsonValue(false);
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                char e = next();
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  default: fail("unsupported escape sequence");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            next();
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            next();
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        try {
+            size_t used = 0;
+            double d = std::stod(tok, &used);
+            if (used != tok.size())
+                fail("invalid number '" + tok + "'");
+            return JsonValue(d);
+        } catch (const std::exception &) {
+            fail("invalid number '" + tok + "'");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::makeArray();
+        skipWs();
+        if (peek() == ']') {
+            next();
+            return arr;
+        }
+        while (true) {
+            skipWs();
+            arr.append(parseValue());
+            skipWs();
+            char c = next();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+        return arr;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::makeObject();
+        skipWs();
+        if (peek() == '}') {
+            next();
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            obj.set(key, parseValue());
+            skipWs();
+            char c = next();
+            if (c == '}')
+                break;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+        return obj;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    C4CAM_CHECK(in.good(), "cannot open JSON file '" << path << "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parseJson(oss.str());
+}
+
+} // namespace c4cam

@@ -1,0 +1,89 @@
+#ifndef C4CAM_SUPPORT_JSON_H
+#define C4CAM_SUPPORT_JSON_H
+
+/**
+ * @file
+ * Minimal JSON value and parser used for architecture specifications.
+ *
+ * Supports the JSON subset needed by C4CAM configs: objects, arrays,
+ * strings, numbers, booleans and null, plus `//` line comments as an
+ * extension (specs are hand-written files).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c4cam {
+
+/** A parsed JSON value (object/array/string/number/bool/null). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+    explicit JsonValue(bool b) : kind_(Kind::Bool), boolVal_(b) {}
+    explicit JsonValue(double d) : kind_(Kind::Number), numVal_(d) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), strVal_(std::move(s))
+    {}
+
+    static JsonValue makeArray() { JsonValue v; v.kind_ = Kind::Array; return v; }
+    static JsonValue makeObject() { JsonValue v; v.kind_ = Kind::Object; return v; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; raise CompilerError on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member lookup; @return nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member lookup with a fallback for scalars. */
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    double getNumber(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    /** Mutators used when building configs programmatically. */
+    void append(JsonValue v);
+    void set(const std::string &key, JsonValue v);
+
+    /** Serialize back to JSON text (stable member order). */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpImpl(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool boolVal_ = false;
+    double numVal_ = 0.0;
+    std::string strVal_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/** Parse JSON text; raises CompilerError with line info on bad input. */
+JsonValue parseJson(const std::string &text);
+
+/** Parse the JSON file at @p path; raises CompilerError if unreadable. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace c4cam
+
+#endif // C4CAM_SUPPORT_JSON_H

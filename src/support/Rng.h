@@ -1,0 +1,70 @@
+#ifndef C4CAM_SUPPORT_RNG_H
+#define C4CAM_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generator for dataset synthesis.
+ *
+ * A fixed splitmix64/xoshiro-style generator makes dataset generation and
+ * property tests reproducible across platforms and standard libraries
+ * (std::mt19937 distributions are not portable across implementations).
+ */
+
+#include <cstdint>
+
+namespace c4cam {
+
+/** Deterministic 64-bit RNG (splitmix64 core). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    nextBool(double p = 0.5)
+    {
+        return nextDouble() < p;
+    }
+
+    /** Approximately standard-normal draw (sum of 12 uniforms). */
+    double
+    nextGaussian()
+    {
+        double acc = 0.0;
+        for (int i = 0; i < 12; ++i)
+            acc += nextDouble();
+        return acc - 6.0;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace c4cam
+
+#endif // C4CAM_SUPPORT_RNG_H

@@ -1,0 +1,29 @@
+#ifndef C4CAM_SUPPORT_STRINGUTILS_H
+#define C4CAM_SUPPORT_STRINGUTILS_H
+
+/**
+ * @file
+ * Small string helpers shared across the compiler.
+ */
+
+#include <string>
+#include <vector>
+
+namespace c4cam {
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+/** Join @p parts with @p sep. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const std::string &sep);
+
+/** @return true when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Strip leading and trailing whitespace. */
+std::string trimString(const std::string &s);
+
+} // namespace c4cam
+
+#endif // C4CAM_SUPPORT_STRINGUTILS_H

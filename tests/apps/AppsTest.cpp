@@ -1,0 +1,187 @@
+/** @file Workload (datasets / HDC / KNN / GPU model / manual) tests. */
+
+#include <gtest/gtest.h>
+
+#include "apps/Datasets.h"
+#include "apps/GpuModel.h"
+#include "apps/Hdc.h"
+#include "apps/Knn.h"
+#include "apps/ManualBaseline.h"
+#include "apps/Workloads.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::apps;
+
+TEST(Datasets, MnistLikeShapes)
+{
+    Dataset ds = makeMnistLike(5, 20);
+    EXPECT_EQ(ds.numClasses, 10);
+    EXPECT_EQ(ds.featureDim, 784);
+    EXPECT_EQ(ds.trainX.size(), 50u);
+    EXPECT_EQ(ds.testX.size(), 20u);
+    EXPECT_EQ(ds.trainY.size(), ds.trainX.size());
+    for (const auto &x : ds.trainX)
+        EXPECT_EQ(x.size(), 784u);
+}
+
+TEST(Datasets, PneumoniaLikeDefaultsMatchRealSplit)
+{
+    Dataset ds = makePneumoniaLike();
+    EXPECT_EQ(ds.numClasses, 2);
+    EXPECT_EQ(ds.trainX.size(), 5216u);
+    EXPECT_EQ(ds.testX.size(), 624u);
+    EXPECT_EQ(ds.featureDim, 1024);
+}
+
+TEST(Datasets, Deterministic)
+{
+    Dataset a = makeMnistLike(2, 4, 0.25, 99);
+    Dataset b = makeMnistLike(2, 4, 0.25, 99);
+    EXPECT_EQ(a.trainX[0], b.trainX[0]);
+    Dataset c = makeMnistLike(2, 4, 0.25, 100);
+    EXPECT_NE(a.trainX[0], c.trainX[0]);
+}
+
+TEST(Datasets, FeaturesInUnitInterval)
+{
+    Dataset ds = makeMnistLike(2, 4);
+    for (const auto &x : ds.trainX)
+        for (float v : x) {
+            EXPECT_GE(v, 0.0f);
+            EXPECT_LE(v, 1.0f);
+        }
+}
+
+TEST(Hdc, BinaryEncodingAlphabet)
+{
+    Dataset ds = makeMnistLike(5, 10);
+    HdcWorkload workload = encodeHdc(ds, 512, 1, 10);
+    EXPECT_EQ(workload.classHvs.size(), 10u);
+    EXPECT_EQ(workload.queryHvs.size(), 10u);
+    for (const auto &hv : workload.classHvs)
+        for (float v : hv)
+            EXPECT_TRUE(v == 1.0f || v == -1.0f);
+}
+
+TEST(Hdc, MultiBitEncodingAlphabet)
+{
+    Dataset ds = makeMnistLike(5, 10);
+    HdcWorkload workload = encodeHdc(ds, 512, 2, 10);
+    for (const auto &hv : workload.classHvs)
+        for (float v : hv)
+            EXPECT_TRUE(v >= 0.0f && v <= 3.0f);
+}
+
+TEST(Hdc, HostClassifierBeatsChance)
+{
+    Dataset ds = makeMnistLike(20, 40);
+    HdcWorkload workload = encodeHdc(ds, 2048, 1, 40);
+    double acc = workload.accuracy(workload.hostPredictions());
+    // 10-way classification: chance is 0.1.
+    EXPECT_GT(acc, 0.6);
+}
+
+TEST(Hdc, AccuracyHelperChecksArity)
+{
+    Dataset ds = makeMnistLike(2, 4);
+    HdcWorkload workload = encodeHdc(ds, 128, 1, 4);
+    EXPECT_THROW(workload.accuracy({0}), CompilerError);
+}
+
+TEST(Knn, QuantizationLevels)
+{
+    Dataset ds = makePneumoniaLike(64, 16, 128);
+    KnnWorkload binary = makeKnn(ds, 1, 3, 16);
+    for (const auto &row : binary.stored)
+        for (float v : row)
+            EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    KnnWorkload multi = makeKnn(ds, 2, 3, 16);
+    for (const auto &row : multi.stored)
+        for (float v : row)
+            EXPECT_TRUE(v >= 0.0f && v <= 3.0f);
+}
+
+TEST(Knn, HostClassifierBeatsChance)
+{
+    Dataset ds = makePneumoniaLike(128, 32, 256);
+    KnnWorkload workload = makeKnn(ds, 2, 5, 32);
+    auto neighbors = workload.hostNeighbors();
+    EXPECT_EQ(neighbors.size(), 32u);
+    EXPECT_EQ(neighbors[0].size(), 5u);
+    double acc = workload.accuracy(workload.classify(neighbors));
+    EXPECT_GT(acc, 0.7);
+}
+
+TEST(Knn, NeighborsSortedByDistance)
+{
+    Dataset ds = makePneumoniaLike(32, 4, 64);
+    KnnWorkload workload = makeKnn(ds, 2, 32, 4);
+    auto neighbors = workload.hostNeighbors();
+    // With k == N the first neighbor must be the global argmin; spot
+    // check ordering by recomputing distances.
+    const auto &query = workload.queries[0];
+    auto dist = [&](int idx) {
+        double acc = 0.0;
+        for (std::size_t d = 0; d < query.size(); ++d) {
+            double diff = query[d] -
+                          workload.stored[static_cast<std::size_t>(idx)][d];
+            acc += diff * diff;
+        }
+        return acc;
+    };
+    for (std::size_t i = 1; i < neighbors[0].size(); ++i)
+        EXPECT_LE(dist(neighbors[0][i - 1]), dist(neighbors[0][i]));
+}
+
+TEST(GpuModel, LatencyScalesWithWork)
+{
+    GpuModel gpu;
+    GpuEstimate small = gpu.similarityKernel(100, 10, 1024);
+    GpuEstimate large = gpu.similarityKernel(10000, 10, 8192);
+    EXPECT_GT(large.latencyNs, small.latencyNs * 10);
+    EXPECT_GT(small.latencyNs, 0.0);
+    EXPECT_GT(small.energyPj, 0.0);
+    EXPECT_DOUBLE_EQ(small.avgPowerW, gpu.boardPowerW());
+}
+
+TEST(GpuModel, EnergyIsPowerTimesLatency)
+{
+    GpuModel gpu;
+    GpuEstimate est = gpu.similarityKernel(1000, 10, 8192);
+    EXPECT_NEAR(est.energyPj, est.avgPowerW * est.latencyNs * 1e3,
+                est.energyPj * 1e-9);
+}
+
+TEST(ManualBaseline, MatchesHostPredictions)
+{
+    Dataset ds = makeMnistLike(10, 8);
+    HdcWorkload workload = encodeHdc(ds, 256, 1, 8);
+    arch::ArchSpec spec = arch::ArchSpec::validationSetup(32, 1);
+    ManualRunResult result = runManualHdc(workload, spec, 8);
+    EXPECT_EQ(result.predictions, workload.hostPredictions());
+    EXPECT_GT(result.perf.queryLatencyNs, 0.0);
+    EXPECT_GT(result.perf.queryEnergyPj, 0.0);
+    EXPECT_EQ(result.perf.searches, 8 * 256 / 32);
+}
+
+TEST(ManualBaseline, LatencyGrowsWithColumns)
+{
+    Dataset ds = makeMnistLike(5, 4);
+    HdcWorkload workload = encodeHdc(ds, 512, 1, 4);
+    double prev = 0.0;
+    for (int cols : {16, 32, 64, 128}) {
+        arch::ArchSpec spec = arch::ArchSpec::validationSetup(cols, 1);
+        ManualRunResult result = runManualHdc(workload, spec, 4);
+        EXPECT_GT(result.perf.queryLatencyNs, prev) << "cols " << cols;
+        prev = result.perf.queryLatencyNs;
+    }
+}
+
+TEST(Workloads, SourcesParse)
+{
+    EXPECT_NE(dotSimilaritySource(4, 8, 64, 1).find("torch.matmul"),
+              std::string::npos);
+    EXPECT_NE(knnEuclideanSource(4, 8, 64, 5).find("torch.norm"),
+              std::string::npos);
+}

@@ -1,0 +1,135 @@
+/** @file Decision-tree / ACAM extension tests. */
+
+#include <gtest/gtest.h>
+
+#include "apps/Datasets.h"
+#include "apps/DecisionTree.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::apps;
+
+namespace {
+
+Dataset
+smallDataset()
+{
+    return makePneumoniaLike(200, 40, 12, 0.2, 3);
+}
+
+arch::ArchSpec
+acamSpec()
+{
+    arch::ArchSpec spec;
+    spec.camType = arch::CamDeviceType::Acam;
+    spec.bitsPerCell = 2;
+    spec.rows = 16;
+    spec.cols = 16;
+    spec.subarraysPerArray = 2;
+    spec.arraysPerMat = 2;
+    spec.matsPerBank = 2;
+    return spec;
+}
+
+} // namespace
+
+TEST(DecisionTree, FitsAndPredictsAboveChance)
+{
+    Dataset ds = smallDataset();
+    DecisionTree tree = DecisionTree::fit(ds, 5);
+    int correct = 0;
+    for (std::size_t i = 0; i < ds.testX.size(); ++i)
+        correct += tree.predict(ds.testX[i]) == ds.testY[i];
+    EXPECT_GT(double(correct) / double(ds.testX.size()), 0.7);
+}
+
+TEST(DecisionTree, LeafBoxesPartitionTheSpace)
+{
+    Dataset ds = smallDataset();
+    DecisionTree tree = DecisionTree::fit(ds, 5);
+    auto boxes = tree.leafBoxes();
+    EXPECT_EQ(static_cast<int>(boxes.size()), tree.numLeaves());
+
+    // Every training sample falls in at least one box whose label is
+    // the tree prediction (boundary ties may match two boxes).
+    for (std::size_t s = 0; s < 50 && s < ds.trainX.size(); ++s) {
+        const auto &x = ds.trainX[s];
+        int hits = 0;
+        int first_label = -1;
+        for (const auto &box : boxes) {
+            bool inside = true;
+            for (int f = 0; f < ds.featureDim && inside; ++f) {
+                auto fi = static_cast<std::size_t>(f);
+                if (box.dontCare[fi])
+                    continue;
+                inside = x[fi] >= box.lo[fi] && x[fi] <= box.hi[fi];
+            }
+            if (inside) {
+                ++hits;
+                if (first_label < 0)
+                    first_label = box.label;
+            }
+        }
+        EXPECT_GE(hits, 1) << "sample " << s << " outside every leaf";
+        EXPECT_LE(hits, 2);
+        EXPECT_EQ(first_label, tree.predict(x));
+    }
+}
+
+TEST(DecisionTree, DepthZeroIsMajorityVote)
+{
+    Dataset ds = smallDataset();
+    DecisionTree tree = DecisionTree::fit(ds, 0);
+    EXPECT_EQ(tree.numLeaves(), 1);
+    int label = tree.predict(ds.testX[0]);
+    for (const auto &x : ds.testX)
+        EXPECT_EQ(tree.predict(x), label);
+}
+
+TEST(DecisionTree, AcamMatchesSoftwareTree)
+{
+    Dataset ds = smallDataset();
+    DecisionTree tree = DecisionTree::fit(ds, 6);
+    AcamTreeRunResult result =
+        runTreeOnAcam(tree, acamSpec(), ds.testX);
+    ASSERT_EQ(result.predictions.size(), ds.testX.size());
+    for (std::size_t i = 0; i < ds.testX.size(); ++i)
+        EXPECT_EQ(result.predictions[i], tree.predict(ds.testX[i]))
+            << "sample " << i;
+    EXPECT_GT(result.perf.queryLatencyNs, 0.0);
+    EXPECT_GT(result.perf.searches, 0);
+}
+
+TEST(DecisionTree, AcamPacksAcrossSubarrays)
+{
+    Dataset ds = smallDataset();
+    DecisionTree tree = DecisionTree::fit(ds, 7);
+    arch::ArchSpec spec = acamSpec();
+    // 16-row subarrays: deep trees need several.
+    if (tree.numLeaves() > spec.rows) {
+        AcamTreeRunResult result =
+            runTreeOnAcam(tree, spec, ds.testX);
+        EXPECT_GT(result.perf.subarraysUsed, 1);
+        for (std::size_t i = 0; i < ds.testX.size(); ++i)
+            EXPECT_EQ(result.predictions[i],
+                      tree.predict(ds.testX[i]));
+    }
+}
+
+TEST(DecisionTree, RequiresAcamDevice)
+{
+    Dataset ds = smallDataset();
+    DecisionTree tree = DecisionTree::fit(ds, 3);
+    arch::ArchSpec tcam;
+    tcam.rows = 16;
+    tcam.cols = 16;
+    EXPECT_THROW(runTreeOnAcam(tree, tcam, ds.testX), CompilerError);
+}
+
+TEST(DecisionTree, RejectsTooWideFeatures)
+{
+    Dataset ds = makePneumoniaLike(100, 10, 64, 0.2, 5);
+    DecisionTree tree = DecisionTree::fit(ds, 3);
+    arch::ArchSpec spec = acamSpec(); // 16 columns < 64 features
+    EXPECT_THROW(runTreeOnAcam(tree, spec, ds.testX), CompilerError);
+}

@@ -1,0 +1,142 @@
+/** @file ArchSpec parsing, presets and validation tests. */
+
+#include <gtest/gtest.h>
+
+#include "arch/ArchSpec.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+using namespace c4cam;
+using namespace c4cam::arch;
+
+TEST(ArchSpec, DefaultsMatchPaperBaseline)
+{
+    ArchSpec spec;
+    EXPECT_EQ(spec.rows, 32);
+    EXPECT_EQ(spec.cols, 32);
+    EXPECT_EQ(spec.subarraysPerArray, 8);
+    EXPECT_EQ(spec.arraysPerMat, 4);
+    EXPECT_EQ(spec.matsPerBank, 4);
+    EXPECT_EQ(spec.numBanks, 0); // auto
+    EXPECT_EQ(spec.processNode, 45);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ArchSpec, DerivedQuantities)
+{
+    ArchSpec spec;
+    EXPECT_EQ(spec.cellsPerSubarray(), 32 * 32);
+    EXPECT_EQ(spec.subarraysPerBank(), 8 * 4 * 4);
+    EXPECT_EQ(spec.colsPerBank(), 128 * 32);
+    EXPECT_EQ(spec.colsPerArray(), 8 * 32);
+    EXPECT_EQ(spec.colsPerMat(), 32 * 32);
+}
+
+TEST(ArchSpec, JsonRoundTrip)
+{
+    ArchSpec spec = ArchSpec::dseSetup(64, OptTarget::PowerDensity);
+    ArchSpec again = ArchSpec::fromJson(
+        parseJson(spec.toJson().dump()));
+    EXPECT_EQ(spec, again);
+}
+
+TEST(ArchSpec, FromJsonAppliesTargetKnobs)
+{
+    ArchSpec power = ArchSpec::fromJson(
+        parseJson(R"({"target": "power"})"));
+    EXPECT_EQ(power.maxActiveSubarrays, 1);
+
+    ArchSpec density = ArchSpec::fromJson(
+        parseJson(R"({"target": "density"})"));
+    EXPECT_TRUE(density.selectiveSearch);
+
+    ArchSpec both = ArchSpec::fromJson(
+        parseJson(R"({"target": "power+density"})"));
+    EXPECT_EQ(both.maxActiveSubarrays, 1);
+    EXPECT_TRUE(both.selectiveSearch);
+}
+
+TEST(ArchSpec, FromJsonParsesGeometry)
+{
+    ArchSpec spec = ArchSpec::fromJson(parseJson(R"({
+        "cam_type": "mcam", "bits_per_cell": 2,
+        "rows_per_subarray": 64, "cols_per_subarray": 128,
+        "subarrays_per_array": 2, "arrays_per_mat": 3,
+        "mats_per_bank": 5, "num_banks": 7,
+        "subarray_mode": "sequential"
+    })"));
+    EXPECT_EQ(spec.camType, CamDeviceType::Mcam);
+    EXPECT_EQ(spec.bitsPerCell, 2);
+    EXPECT_EQ(spec.rows, 64);
+    EXPECT_EQ(spec.cols, 128);
+    EXPECT_EQ(spec.subarraysPerArray, 2);
+    EXPECT_EQ(spec.arraysPerMat, 3);
+    EXPECT_EQ(spec.matsPerBank, 5);
+    EXPECT_EQ(spec.numBanks, 7);
+    EXPECT_EQ(spec.subarrayMode, AccessMode::Sequential);
+    EXPECT_EQ(spec.bankMode, AccessMode::Parallel);
+}
+
+TEST(ArchSpec, ValidationSetupMirrorsPaper)
+{
+    // §IV-B: 32xC arrays, 4 mats/bank, 4 arrays/mat, 8 subarrays/array.
+    for (int cols : {16, 32, 64, 128}) {
+        ArchSpec one_bit = ArchSpec::validationSetup(cols, 1);
+        EXPECT_EQ(one_bit.rows, 32);
+        EXPECT_EQ(one_bit.cols, cols);
+        EXPECT_EQ(one_bit.camType, CamDeviceType::Tcam);
+        ArchSpec two_bit = ArchSpec::validationSetup(cols, 2);
+        EXPECT_EQ(two_bit.camType, CamDeviceType::Mcam);
+        EXPECT_EQ(two_bit.bitsPerCell, 2);
+    }
+}
+
+TEST(ArchSpec, IsoCapacityHolds65536CellsPerArray)
+{
+    // §IV-C2: iso-capacity arrays hold 2^16 cells regardless of size.
+    for (int n : {16, 32, 64, 128, 256}) {
+        ArchSpec spec = ArchSpec::isoCapacitySetup(n, OptTarget::Base);
+        EXPECT_EQ(std::int64_t(spec.subarraysPerArray) * n * n, 1 << 16)
+            << "n=" << n;
+    }
+    EXPECT_EQ(ArchSpec::isoCapacitySetup(16, OptTarget::Base)
+                  .subarraysPerArray,
+              256);
+    EXPECT_EQ(ArchSpec::isoCapacitySetup(256, OptTarget::Base)
+                  .subarraysPerArray,
+              1);
+}
+
+TEST(ArchSpec, RejectsInvalidSpecs)
+{
+    ArchSpec spec;
+    spec.rows = 0;
+    EXPECT_THROW(spec.validate(), CompilerError);
+
+    spec = ArchSpec();
+    spec.bitsPerCell = 3;
+    EXPECT_THROW(spec.validate(), CompilerError);
+
+    spec = ArchSpec();
+    spec.camType = CamDeviceType::Tcam;
+    spec.bitsPerCell = 2; // TCAM is binary
+    EXPECT_THROW(spec.validate(), CompilerError);
+
+    spec = ArchSpec();
+    spec.maxActiveSubarrays = 99; // > subarraysPerArray
+    EXPECT_THROW(spec.validate(), CompilerError);
+}
+
+TEST(ArchSpec, EnumStringConversions)
+{
+    EXPECT_STREQ(toString(CamDeviceType::Tcam), "tcam");
+    EXPECT_EQ(camDeviceTypeFromString("acam"), CamDeviceType::Acam);
+    EXPECT_EQ(accessModeFromString("parallel"), AccessMode::Parallel);
+    EXPECT_EQ(optTargetFromString("power+density"),
+              OptTarget::PowerDensity);
+    EXPECT_EQ(optTargetFromString("power_density"),
+              OptTarget::PowerDensity);
+    EXPECT_THROW(camDeviceTypeFromString("sram"), CompilerError);
+    EXPECT_THROW(accessModeFromString("warp"), CompilerError);
+    EXPECT_THROW(optTargetFromString("speed"), CompilerError);
+}

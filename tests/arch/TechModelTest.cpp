@@ -1,0 +1,126 @@
+/** @file Technology model tests against the paper's anchor points. */
+
+#include <gtest/gtest.h>
+
+#include "arch/TechModel.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::arch;
+
+TEST(TechModel, SearchLatencyMatchesPaperAnchors)
+{
+    // §IV-A1: "search latency can vary from 860ps to 7.5ns for array
+    // sizes of 16x16 and 256x256".
+    TechModel tcam(CamDeviceType::Tcam, 1);
+    EXPECT_NEAR(tcam.searchLatencyNs(16), 0.86, 0.01);
+    EXPECT_NEAR(tcam.searchLatencyNs(256), 7.50, 0.01);
+}
+
+TEST(TechModel, SearchLatencyMonotonicInColumns)
+{
+    // The ML discharges more slowly for larger columns (paper §IV-B).
+    TechModel tcam(CamDeviceType::Tcam, 1);
+    double prev = 0.0;
+    for (int cols : {16, 32, 64, 128, 256}) {
+        double lat = tcam.searchLatencyNs(cols);
+        EXPECT_GT(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(TechModel, MultiBitIsSlower)
+{
+    TechModel tcam(CamDeviceType::Tcam, 1);
+    TechModel mcam(CamDeviceType::Mcam, 2);
+    for (int cols : {16, 64, 256}) {
+        EXPECT_GT(mcam.searchLatencyNs(cols), tcam.searchLatencyNs(cols));
+        EXPECT_GT(mcam.searchEnergyPj(32, cols, SearchKind::Best),
+                  tcam.searchEnergyPj(32, cols, SearchKind::Best));
+    }
+}
+
+TEST(TechModel, SenseLatencyOrdering)
+{
+    // Exact match has the simplest sensing; best match needs ADC/WTA.
+    TechModel t(CamDeviceType::Tcam, 1);
+    EXPECT_LT(t.senseLatencyNs(SearchKind::Exact),
+              t.senseLatencyNs(SearchKind::Range));
+    EXPECT_LT(t.senseLatencyNs(SearchKind::Range),
+              t.senseLatencyNs(SearchKind::Best));
+}
+
+TEST(TechModel, SelectiveSensingReducesEnergy)
+{
+    // Selective search [27]: MLs still precharge, but only the window
+    // rows are sensed -- strictly cheaper than full sensing.
+    TechModel t(CamDeviceType::Tcam, 1);
+    double full = t.searchEnergyPj(256, 256, 64, SearchKind::Best);
+    double selective = t.searchEnergyPj(256, 10, 64, SearchKind::Best);
+    EXPECT_LT(selective, full);
+    EXPECT_GT(selective, 0.0);
+    // Sensing cannot exceed the precharged window.
+    EXPECT_THROW(t.searchEnergyPj(10, 256, 64, SearchKind::Best),
+                 c4cam::InternalError);
+}
+
+TEST(TechModel, PerQueryEnergyDecreasesWithColumns)
+{
+    // Fig. 7b: for fixed total bits, larger C means fewer peripherals
+    // and lower total energy.
+    TechModel t(CamDeviceType::Tcam, 1);
+    const int total_bits = 8192;
+    double prev = 1e18;
+    for (int cols : {16, 32, 64, 128}) {
+        int subarrays = total_bits / cols;
+        double energy =
+            subarrays * t.searchEnergyPj(32, cols, SearchKind::Best);
+        EXPECT_LT(energy, prev) << "cols=" << cols;
+        prev = energy;
+    }
+}
+
+TEST(TechModel, PerQueryEnergyInPaperRange)
+{
+    // Fig. 7b plots roughly 200-500 pJ per query for 32xC arrays.
+    TechModel t(CamDeviceType::Tcam, 1);
+    for (int cols : {16, 32, 64, 128}) {
+        int subarrays = 8192 / cols;
+        double energy =
+            subarrays * t.searchEnergyPj(32, cols, SearchKind::Best);
+        EXPECT_GT(energy, 150.0) << "cols=" << cols;
+        EXPECT_LT(energy, 700.0) << "cols=" << cols;
+    }
+}
+
+TEST(TechModel, MergeCostsGrowWithFanout)
+{
+    TechModel t(CamDeviceType::Tcam, 1);
+    EXPECT_EQ(t.mergeLatencyNs(1), 0.0);
+    EXPECT_GT(t.mergeLatencyNs(8), 0.0);
+    EXPECT_GT(t.mergeLatencyNs(64), t.mergeLatencyNs(8));
+    EXPECT_GT(t.mergeEnergyPj(64), t.mergeEnergyPj(8));
+}
+
+TEST(TechModel, WriteCostsPositive)
+{
+    TechModel t(CamDeviceType::Tcam, 1);
+    EXPECT_GT(t.writeLatencyNsPerRow(), 0.0);
+    EXPECT_GT(t.writeEnergyPjPerCell(), 0.0);
+}
+
+TEST(TechModel, ForSpecPicksDeviceType)
+{
+    ArchSpec spec;
+    spec.camType = CamDeviceType::Mcam;
+    spec.bitsPerCell = 2;
+    TechModel t = TechModel::forSpec(spec);
+    EXPECT_EQ(t.deviceType(), CamDeviceType::Mcam);
+    EXPECT_EQ(t.bitsPerCell(), 2);
+}
+
+TEST(TechModel, RejectsInvalidConfig)
+{
+    EXPECT_THROW(TechModel(CamDeviceType::Tcam, 2), CompilerError);
+    EXPECT_THROW(TechModel(CamDeviceType::Mcam, 3), CompilerError);
+}

@@ -1,0 +1,198 @@
+/** @file TorchScript frontend tests (paper §III-C). */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+struct FrontendFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Module
+    import(const std::string &source)
+    {
+        Module module = frontend::parseTorchScriptModule(ctx, source);
+        verifyModule(module);
+        return module;
+    }
+
+    /** Ordered op names of the function body. */
+    std::vector<std::string>
+    bodyOps(Module &module, const std::string &name)
+    {
+        std::vector<std::string> names;
+        Operation *func = module.lookupFunction(name);
+        EXPECT_NE(func, nullptr);
+        for (Operation *op : dialects::funcBody(func)->opVector())
+            names.push_back(op->name());
+        return names;
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(FrontendFixture, ImportsPaperFig4aKernel)
+{
+    // The HDC dot-similarity example from Fig. 4a of the paper.
+    Module module = import(
+        "def forward(input: Tensor[10, 8192], weight: Tensor[10, 8192]):\n"
+        "    others = self.weight.transpose(-2, -1)\n"
+        "    matmul = torch.matmul(input, others)\n"
+        "    values, indices = torch.ops.aten.topk(matmul, 1, "
+        "largest=False)\n"
+        "    return indices\n");
+    auto names = bodyOps(module, "forward");
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "torch.aten.transpose.int");
+    EXPECT_EQ(names[1], "torch.aten.matmul");
+    EXPECT_EQ(names[2], "torch.aten.topk");
+    EXPECT_EQ(names[3], "func.return");
+}
+
+TEST_F(FrontendFixture, ShapeInferenceThroughThePipeline)
+{
+    Module module = import(
+        "def forward(input: Tensor[10, 8192], weight: Tensor[10, 8192]):\n"
+        "    others = weight.transpose(-2, -1)\n"
+        "    scores = torch.matmul(input, others)\n"
+        "    return scores\n");
+    Operation *func = module.lookupFunction("forward");
+    Operation *ret = dialects::funcBody(func)->back();
+    EXPECT_EQ(ret->operand(0)->type().str(), "tensor<10x10xf32>");
+}
+
+TEST_F(FrontendFixture, TransposeResultShape)
+{
+    Module module = import(
+        "def f(w: Tensor[3, 7]):\n"
+        "    t = w.transpose(-2, -1)\n"
+        "    return t\n");
+    Operation *func = module.lookupFunction("f");
+    Operation *ret = dialects::funcBody(func)->back();
+    EXPECT_EQ(ret->operand(0)->type().str(), "tensor<7x3xf32>");
+}
+
+TEST_F(FrontendFixture, KnnEuclideanPattern)
+{
+    Module module = import(
+        "def forward(x: Tensor[4, 64], train: Tensor[100, 64]):\n"
+        "    diff = torch.sub(x, train)\n"
+        "    dist = torch.norm(diff, p=2)\n"
+        "    knn, idx = torch.topk(dist, 5, largest=False)\n"
+        "    return knn, idx\n");
+    auto names = bodyOps(module, "forward");
+    EXPECT_EQ(names[0], "torch.aten.sub");
+    EXPECT_EQ(names[1], "torch.aten.norm");
+    EXPECT_EQ(names[2], "torch.aten.topk");
+    // Broadcast shape: 4x100x64 -> norm -> 4x100 -> topk -> 4x5.
+    Operation *func = module.lookupFunction("forward");
+    Operation *ret = dialects::funcBody(func)->back();
+    EXPECT_EQ(ret->operand(0)->type().str(), "tensor<4x5xf32>");
+}
+
+TEST_F(FrontendFixture, BinaryOperatorsDesugar)
+{
+    Module module = import(
+        "def f(a: Tensor[2, 4], b: Tensor[2, 4]):\n"
+        "    c = a - b\n"
+        "    d = c / b\n"
+        "    return d\n");
+    auto names = bodyOps(module, "f");
+    EXPECT_EQ(names[0], "torch.aten.sub");
+    EXPECT_EQ(names[1], "torch.aten.div");
+}
+
+TEST_F(FrontendFixture, TopkAttributes)
+{
+    Module module = import(
+        "def f(a: Tensor[2, 16]):\n"
+        "    v, i = torch.topk(a, 3, largest=True)\n"
+        "    return v, i\n");
+    Operation *func = module.lookupFunction("f");
+    Operation *topk = dialects::funcBody(func)->opVector()[0];
+    EXPECT_EQ(topk->intAttr("k"), 3);
+    EXPECT_TRUE(topk->boolAttrOr("largest", false));
+    EXPECT_EQ(topk->numResults(), 2u);
+}
+
+TEST_F(FrontendFixture, CommentsAndBlankLinesIgnored)
+{
+    Module module = import(
+        "# leading comment\n"
+        "\n"
+        "def f(a: Tensor[2, 2]):\n"
+        "    # inner comment\n"
+        "    b = a.transpose(-2, -1)  # trailing\n"
+        "\n"
+        "    return b\n");
+    EXPECT_NE(module.lookupFunction("f"), nullptr);
+}
+
+TEST_F(FrontendFixture, SelfParameterSkipped)
+{
+    Module module = import(
+        "def forward(self, input: Tensor[2, 4], weight: Tensor[2, 4]):\n"
+        "    out = torch.matmul(input, weight.transpose(-2, -1))\n"
+        "    return out\n");
+    Operation *func = module.lookupFunction("forward");
+    EXPECT_EQ(dialects::funcBody(func)->numArguments(), 2u);
+}
+
+TEST_F(FrontendFixture, ErrorsAreUserFriendly)
+{
+    // No return.
+    EXPECT_THROW(import("def f(a: Tensor[2, 2]):\n    b = a\n"),
+                 CompilerError);
+    // Undefined variable.
+    EXPECT_THROW(import("def f(a: Tensor[2, 2]):\n    return ghost\n"),
+                 CompilerError);
+    // Missing shape annotation.
+    EXPECT_THROW(import("def f(a: Tensor):\n    return a\n"),
+                 CompilerError);
+    // Unsupported function.
+    EXPECT_THROW(
+        import("def f(a: Tensor[2, 2]):\n"
+               "    b = torch.softmax(a, 0)\n    return b\n"),
+        CompilerError);
+    // Shape mismatch in matmul.
+    EXPECT_THROW(
+        import("def f(a: Tensor[2, 3], b: Tensor[2, 3]):\n"
+               "    c = torch.matmul(a, b)\n    return c\n"),
+        CompilerError);
+    // Empty source.
+    EXPECT_THROW(import(""), CompilerError);
+}
+
+TEST_F(FrontendFixture, MultiReturn)
+{
+    Module module = import(
+        "def f(a: Tensor[2, 8]):\n"
+        "    v, i = torch.topk(a, 1, largest=False)\n"
+        "    return v, i\n");
+    Operation *func = module.lookupFunction("f");
+    EXPECT_EQ(dialects::funcBody(func)->back()->numOperands(), 2u);
+}
+
+TEST_F(FrontendFixture, MmVariant)
+{
+    Module module = import(
+        "def f(a: Tensor[2, 4], b: Tensor[4, 3]):\n"
+        "    c = torch.mm(a, b)\n"
+        "    return c\n");
+    auto names = bodyOps(module, "f");
+    EXPECT_EQ(names[0], "torch.aten.mm");
+}

@@ -1,0 +1,126 @@
+/** @file DSE explorer tests. */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "core/DseExplorer.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+std::vector<rt::BufferPtr>
+smallArgs()
+{
+    Rng rng(55);
+    auto stored = rt::Buffer::alloc(rt::DType::F32, {8, 256});
+    auto queries = rt::Buffer::alloc(rt::DType::F32, {2, 256});
+    for (std::int64_t r = 0; r < 8; ++r)
+        for (std::int64_t c = 0; c < 256; ++c)
+            stored->set({r, c}, rng.nextBool() ? 1.0 : -1.0);
+    for (std::int64_t r = 0; r < 2; ++r)
+        for (std::int64_t c = 0; c < 256; ++c)
+            queries->set({r, c}, stored->at({r * 3, c}));
+    return {queries, stored};
+}
+
+const char *
+source()
+{
+    static std::string src =
+        apps::dotSimilaritySource(2, 8, 256, 1);
+    return src.c_str();
+}
+
+} // namespace
+
+TEST(DseExplorer, SweepEvaluatesEveryCandidate)
+{
+    core::DseExplorer explorer;
+    std::vector<ArchSpec> candidates = {
+        ArchSpec::dseSetup(16, OptTarget::Base),
+        ArchSpec::dseSetup(16, OptTarget::Power),
+        ArchSpec::dseSetup(64, OptTarget::Base),
+    };
+    core::DseResult result =
+        explorer.explore(source(), candidates, smallArgs());
+    ASSERT_EQ(result.points.size(), 3u);
+    for (const auto &p : result.points) {
+        EXPECT_GT(p.latencyNs(), 0.0);
+        EXPECT_GT(p.powerMw(), 0.0);
+        EXPECT_GT(p.energyPj(), 0.0);
+    }
+}
+
+TEST(DseExplorer, ParetoFrontierIsNonDominated)
+{
+    core::DseExplorer explorer;
+    core::DseResult result = explorer.explore(
+        source(), core::DseExplorer::standardCandidates(), smallArgs());
+    ASSERT_EQ(result.points.size(), 20u);
+
+    auto frontier = result.frontier();
+    ASSERT_GE(frontier.size(), 2u);
+
+    // No frontier point dominates another frontier point.
+    for (const auto &a : frontier) {
+        for (const auto &b : frontier) {
+            if (&a == &b)
+                continue;
+            bool dominates = a.latencyNs() <= b.latencyNs() &&
+                             a.powerMw() <= b.powerMw() &&
+                             (a.latencyNs() < b.latencyNs() ||
+                              a.powerMw() < b.powerMw());
+            EXPECT_FALSE(dominates);
+        }
+    }
+    // Frontier is sorted by latency and power moves the other way.
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].latencyNs(), frontier[i - 1].latencyNs());
+        EXPECT_LE(frontier[i].powerMw(), frontier[i - 1].powerMw());
+    }
+}
+
+TEST(DseExplorer, BestPointsAreConsistent)
+{
+    core::DseExplorer explorer;
+    core::DseResult result = explorer.explore(
+        source(), core::DseExplorer::standardCandidates(), smallArgs());
+
+    const auto &fastest = result.bestLatency();
+    const auto &frugal = result.bestPower();
+    for (const auto &p : result.points) {
+        EXPECT_GE(p.latencyNs(), fastest.latencyNs());
+        EXPECT_GE(p.powerMw(), frugal.powerMw());
+    }
+    // Extremes sit on the frontier.
+    EXPECT_TRUE(fastest.paretoOptimal);
+    EXPECT_TRUE(frugal.paretoOptimal);
+    // The fastest standard point is a fully-parallel (base) config and
+    // the most frugal is a power(+density) config.
+    EXPECT_EQ(fastest.spec.target, OptTarget::Base);
+    EXPECT_TRUE(frugal.spec.target == OptTarget::Power ||
+                frugal.spec.target == OptTarget::PowerDensity);
+}
+
+TEST(DseExplorer, TableRendersEveryPoint)
+{
+    core::DseExplorer explorer;
+    std::vector<ArchSpec> candidates = {
+        ArchSpec::dseSetup(32, OptTarget::Base)};
+    core::DseResult result =
+        explorer.explore(source(), candidates, smallArgs());
+    std::string table = result.table();
+    EXPECT_NE(table.find("32x32"), std::string::npos);
+    EXPECT_NE(table.find("pareto"), std::string::npos);
+}
+
+TEST(DseExplorer, EmptySweepRejected)
+{
+    core::DseExplorer explorer;
+    EXPECT_THROW(explorer.explore(source(), {}, smallArgs()),
+                 CompilerError);
+}

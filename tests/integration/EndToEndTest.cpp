@@ -1,0 +1,238 @@
+/** @file End-to-end compiler tests: TorchScript -> CAM -> results. */
+
+#include <gtest/gtest.h>
+
+#include "apps/Datasets.h"
+#include "apps/Hdc.h"
+#include "apps/Knn.h"
+#include "apps/ManualBaseline.h"
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+rt::BufferPtr
+toBuffer(const std::vector<std::vector<float>> &rows)
+{
+    return rt::Buffer::fromMatrix(rows);
+}
+
+/** Compile + run the dot-similarity kernel on the CAM simulator. */
+core::ExecutionResult
+runDotKernel(const ArchSpec &spec,
+             const std::vector<std::vector<float>> &queries,
+             const std::vector<std::vector<float>> &stored, int k = 1)
+{
+    core::CompilerOptions options;
+    options.spec = spec;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel =
+        compiler.compileTorchScript(apps::dotSimilaritySource(
+            static_cast<std::int64_t>(queries.size()),
+            static_cast<std::int64_t>(stored.size()),
+            static_cast<std::int64_t>(stored[0].size()), k));
+    return kernel.run({toBuffer(queries), toBuffer(stored)});
+}
+
+std::vector<int>
+topIndices(const core::ExecutionResult &result, std::int64_t queries)
+{
+    std::vector<int> out;
+    for (std::int64_t q = 0; q < queries; ++q)
+        out.push_back(static_cast<int>(
+            result.outputs[1].asBuffer()->atInt({q, 0})));
+    return out;
+}
+
+} // namespace
+
+TEST(EndToEnd, ExactNearestNeighborOnTinyProblem)
+{
+    // Stored rows are distinct; each query IS one of the rows.
+    Rng rng(5);
+    std::vector<std::vector<float>> stored(8,
+                                           std::vector<float>(64));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    std::vector<std::vector<float>> queries = {stored[3], stored[6],
+                                               stored[0], stored[7]};
+
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::ExecutionResult result = runDotKernel(spec, queries, stored);
+    EXPECT_EQ(topIndices(result, 4), (std::vector<int>{3, 6, 0, 7}));
+    EXPECT_GT(result.perf.queryLatencyNs, 0.0);
+    EXPECT_GT(result.perf.setupLatencyNs, 0.0);
+}
+
+TEST(EndToEnd, HdcCamMatchesHostReference)
+{
+    apps::Dataset ds = apps::makeMnistLike(10, 12);
+    apps::HdcWorkload hdc = apps::encodeHdc(ds, 1024, 1, 12);
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::ExecutionResult result =
+        runDotKernel(spec, hdc.queryHvs, hdc.classHvs);
+    std::vector<int> cam = topIndices(
+        result, static_cast<std::int64_t>(hdc.queryHvs.size()));
+    EXPECT_EQ(cam, hdc.hostPredictions());
+}
+
+TEST(EndToEnd, KnnEuclideanKernelOnCam)
+{
+    apps::Dataset ds = apps::makePneumoniaLike(48, 8, 128);
+    apps::KnnWorkload knn = apps::makeKnn(ds, 2, 3, 8);
+
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.spec.camType = arch::CamDeviceType::Mcam;
+    options.spec.bitsPerCell = 2;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel =
+        compiler.compileTorchScript(apps::knnEuclideanSource(8, 48, 128, 3));
+    core::ExecutionResult result =
+        kernel.run({toBuffer(knn.queries), toBuffer(knn.stored)});
+
+    auto host = knn.hostNeighbors();
+    for (std::size_t q = 0; q < 8; ++q) {
+        // Top-1 neighbor must agree with the host reference.
+        EXPECT_EQ(result.outputs[1].asBuffer()->atInt(
+                      {static_cast<std::int64_t>(q), 0}),
+                  host[q][0])
+            << "query " << q;
+    }
+}
+
+TEST(EndToEnd, HostOnlyPathAgreesWithCamPath)
+{
+    Rng rng(17);
+    std::vector<std::vector<float>> stored(6,
+                                           std::vector<float>(96));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    std::vector<std::vector<float>> queries = {stored[2], stored[4]};
+
+    core::CompilerOptions host_options;
+    host_options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    host_options.hostOnly = true;
+    core::Compiler host_compiler(host_options);
+    auto host_kernel = host_compiler.compileTorchScript(
+        apps::dotSimilaritySource(2, 6, 96, 1));
+    auto host_result =
+        host_kernel.run({toBuffer(queries), toBuffer(stored)});
+
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    auto cam_result = runDotKernel(spec, queries, stored);
+
+    for (std::int64_t q = 0; q < 2; ++q)
+        EXPECT_EQ(host_result.outputs[1].asBuffer()->atInt({q, 0}),
+                  cam_result.outputs[1].asBuffer()->atInt({q, 0}));
+}
+
+TEST(EndToEnd, PowerTargetTradesLatencyForPower)
+{
+    apps::Dataset ds = apps::makeMnistLike(5, 6);
+    apps::HdcWorkload hdc = apps::encodeHdc(ds, 1024, 1, 6);
+
+    auto base = runDotKernel(ArchSpec::dseSetup(32, OptTarget::Base),
+                             hdc.queryHvs, hdc.classHvs);
+    auto power = runDotKernel(ArchSpec::dseSetup(32, OptTarget::Power),
+                              hdc.queryHvs, hdc.classHvs);
+
+    // Same work, serialized subarrays: slower but lower average power;
+    // total energy unchanged (paper §IV-C1).
+    EXPECT_GT(power.perf.queryLatencyNs, base.perf.queryLatencyNs * 1.5);
+    EXPECT_LT(power.perf.avgPowerMw(), base.perf.avgPowerMw());
+    EXPECT_NEAR(power.perf.queryEnergyPj, base.perf.queryEnergyPj,
+                base.perf.queryEnergyPj * 0.01);
+    // Functional results identical.
+    EXPECT_EQ(topIndices(power, 6), topIndices(base, 6));
+}
+
+TEST(EndToEnd, DensityTargetReducesSubarrays)
+{
+    apps::Dataset ds = apps::makeMnistLike(5, 4);
+    apps::HdcWorkload hdc = apps::encodeHdc(ds, 1024, 1, 4);
+
+    auto base = runDotKernel(ArchSpec::dseSetup(64, OptTarget::Base),
+                             hdc.queryHvs, hdc.classHvs);
+    auto density = runDotKernel(ArchSpec::dseSetup(64, OptTarget::Density),
+                                hdc.queryHvs, hdc.classHvs);
+
+    // 1024/64 = 16 tiles; density packs 6 batches per 64-row subarray.
+    EXPECT_EQ(base.perf.subarraysUsed, 16);
+    EXPECT_EQ(density.perf.subarraysUsed, 3); // ceil(16/6)
+    EXPECT_LT(density.perf.banksUsed * 1.0, base.perf.banksUsed + 1.0);
+    // Selective search costs cycles.
+    EXPECT_GT(density.perf.queryLatencyNs, base.perf.queryLatencyNs);
+    // Results identical.
+    EXPECT_EQ(topIndices(density, 4), topIndices(base, 4));
+}
+
+TEST(EndToEnd, CompiledMatchesManualDesign)
+{
+    // The Fig. 7 validation story: C4CAM-generated code against the
+    // hand-crafted mapping, same simulator.
+    apps::Dataset ds = apps::makeMnistLike(8, 6);
+    apps::HdcWorkload hdc = apps::encodeHdc(ds, 512, 1, 6);
+
+    ArchSpec spec = ArchSpec::validationSetup(32, 1);
+    apps::ManualRunResult manual = runManualHdc(hdc, spec, 6);
+    core::ExecutionResult compiled =
+        runDotKernel(spec, hdc.queryHvs, hdc.classHvs);
+
+    // Same predictions.
+    EXPECT_EQ(topIndices(compiled, 6), manual.predictions);
+    // Latency/energy within a few percent (different merge wiring).
+    double lat_dev =
+        std::abs(compiled.perf.queryLatencyNs -
+                 manual.perf.queryLatencyNs) /
+        manual.perf.queryLatencyNs;
+    double energy_dev =
+        std::abs(compiled.perf.queryEnergyPj -
+                 manual.perf.queryEnergyPj) /
+        manual.perf.queryEnergyPj;
+    EXPECT_LT(lat_dev, 0.10);
+    EXPECT_LT(energy_dev, 0.10);
+}
+
+TEST(EndToEnd, MultiBitConfigurationRuns)
+{
+    apps::Dataset ds = apps::makeMnistLike(5, 4);
+    apps::HdcWorkload hdc = apps::encodeHdc(ds, 512, 2, 4);
+
+    core::CompilerOptions options;
+    options.spec = ArchSpec::validationSetup(32, 2);
+    core::Compiler compiler(options);
+    // 2-bit HDC uses euclidean matching.
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::knnEuclideanSource(4, 10, 512, 1));
+    core::ExecutionResult result =
+        kernel.run({toBuffer(hdc.queryHvs), toBuffer(hdc.classHvs)});
+    std::vector<int> cam = topIndices(result, 4);
+    EXPECT_EQ(cam, hdc.hostPredictions());
+}
+
+TEST(EndToEnd, DumpsAndTimingsAvailable)
+{
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.dumpIntermediates = true;
+    options.timePasses = true;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(2, 4, 64, 1));
+    ASSERT_EQ(kernel.dumps().size(), 5u);
+    EXPECT_EQ(kernel.dumps()[0].first, "torch-to-cim");
+    EXPECT_EQ(kernel.dumps()[3].first, "cam-map");
+    EXPECT_EQ(kernel.dumps()[4].first, "canonicalize");
+    EXPECT_EQ(kernel.passTimings().size(), 5u);
+    EXPECT_FALSE(kernel.entryPoint().empty());
+    EXPECT_EQ(kernel.plan().colTiles, 2);
+}

@@ -1,0 +1,196 @@
+/** @file Parameterized property tests across configurations. */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "passes/CamMapping.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+/** Host argmin-of-hamming reference on +-1 data. */
+std::vector<int>
+hostTop1(const std::vector<std::vector<float>> &queries,
+         const std::vector<std::vector<float>> &stored)
+{
+    std::vector<int> out;
+    for (const auto &q : queries) {
+        int best = 0;
+        double best_dot = -1e18;
+        for (std::size_t r = 0; r < stored.size(); ++r) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < q.size(); ++d)
+                dot += double(q[d]) * stored[r][d];
+            if (dot > best_dot) {
+                best_dot = dot;
+                best = static_cast<int>(r);
+            }
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+std::vector<std::vector<float>>
+randomSigns(std::size_t rows, std::size_t dims, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> out(rows, std::vector<float>(dims));
+    for (auto &row : out)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    return out;
+}
+
+} // namespace
+
+/**
+ * Property: for every subarray size and optimization target, the CAM
+ * path returns the same nearest neighbor as the host reference, and
+ * the timing accounts are internally consistent.
+ */
+class ConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, OptTarget>>
+{};
+
+TEST_P(ConfigSweep, CamEqualsHostAndAccountingConsistent)
+{
+    auto [size, target] = GetParam();
+    ArchSpec spec = ArchSpec::dseSetup(size, target);
+
+    const std::size_t rows = 12;
+    const std::size_t dims = 256;
+    auto stored = randomSigns(rows, dims, 1000 + size);
+    auto queries = randomSigns(4, dims, 2000 + size);
+    // Ensure at least one exact hit.
+    queries[0] = stored[7];
+
+    core::CompilerOptions options;
+    options.spec = spec;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(4, rows, dims, 1));
+    core::ExecutionResult result =
+        kernel.run({rt::Buffer::fromMatrix(queries),
+                    rt::Buffer::fromMatrix(stored)});
+
+    auto reference = hostTop1(queries, stored);
+    for (std::int64_t q = 0; q < 4; ++q)
+        EXPECT_EQ(result.outputs[1].asBuffer()->atInt({q, 0}),
+                  reference[static_cast<std::size_t>(q)])
+            << "size " << size << " target " << toString(target)
+            << " query " << q;
+    EXPECT_EQ(result.outputs[1].asBuffer()->atInt({0, 0}), 7);
+
+    // Accounting invariants.
+    EXPECT_GT(result.perf.queryLatencyNs, 0.0);
+    EXPECT_GT(result.perf.queryEnergyPj, 0.0);
+    EXPECT_GT(result.perf.searches, 0);
+    EXPECT_GE(result.perf.subarraysAllocated, result.perf.subarraysUsed);
+    EXPECT_GT(result.perf.banksUsed, 0);
+
+    // The mapping plan agrees with what actually ran.
+    EXPECT_EQ(kernel.plan().physicalSubarrays,
+              result.perf.subarraysUsed);
+    EXPECT_EQ(kernel.plan().banks, result.perf.banksUsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndTargets, ConfigSweep,
+    ::testing::Combine(::testing::Values(16, 32, 64, 128),
+                       ::testing::Values(OptTarget::Base,
+                                         OptTarget::Power,
+                                         OptTarget::Density,
+                                         OptTarget::PowerDensity)),
+    [](const auto &info) {
+        return "n" + std::to_string(std::get<0>(info.param)) + "_" +
+               std::string(toString(std::get<1>(info.param)) ==
+                                   std::string("power+density")
+                               ? "powerdensity"
+                               : toString(std::get<1>(info.param)));
+    });
+
+/**
+ * Property: the mapping plan's closed forms satisfy their invariants
+ * for arbitrary workload shapes.
+ */
+class PlanSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(PlanSweep, PlanInvariants)
+{
+    auto [size, n, d] = GetParam();
+    for (OptTarget target : {OptTarget::Base, OptTarget::Density}) {
+        ArchSpec spec = ArchSpec::dseSetup(size, target);
+        auto plan = passes::MappingPlan::compute(spec, 7, n, d);
+
+        // Tiles cover the data exactly.
+        EXPECT_GE(plan.rowTiles * spec.rows, n);
+        EXPECT_GE(plan.colTiles * spec.cols, d);
+        EXPECT_LT((plan.rowTiles - 1) * spec.rows, n);
+        EXPECT_LT((plan.colTiles - 1) * spec.cols, d);
+        EXPECT_EQ(plan.logicalTiles, plan.rowTiles * plan.colTiles);
+
+        // Physical subarrays cover all logical tiles.
+        EXPECT_GE(plan.physicalSubarrays * plan.batchesPerSubarray,
+                  plan.logicalTiles);
+        // Batching never exceeds the row budget.
+        EXPECT_LE(plan.batchesPerSubarray * plan.batchRows, spec.rows);
+        // Banks cover all physical subarrays.
+        EXPECT_GE(plan.banks * spec.subarraysPerBank(),
+                  plan.physicalSubarrays);
+        if (target == OptTarget::Base)
+            EXPECT_EQ(plan.batchesPerSubarray, 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlanSweep,
+    ::testing::Combine(::testing::Values(16, 32, 64, 128, 256),
+                       ::testing::Values(2, 10, 100, 5216),
+                       ::testing::Values(64, 1024, 8192)),
+    [](const auto &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_n" +
+               std::to_string(std::get<1>(info.param)) + "_d" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+/**
+ * Property: latency ordering between targets holds for every size
+ * (base <= power, base <= density+power).
+ */
+class TargetOrdering : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TargetOrdering, PowerConfigsAreSlower)
+{
+    int size = GetParam();
+    auto stored = randomSigns(10, 512, 42);
+    auto queries = randomSigns(2, 512, 43);
+
+    auto run = [&](OptTarget target) {
+        core::CompilerOptions options;
+        options.spec = ArchSpec::dseSetup(size, target);
+        core::Compiler compiler(options);
+        auto kernel = compiler.compileTorchScript(
+            apps::dotSimilaritySource(2, 10, 512, 1));
+        return kernel
+            .run({rt::Buffer::fromMatrix(queries),
+                  rt::Buffer::fromMatrix(stored)})
+            .perf;
+    };
+
+    auto base = run(OptTarget::Base);
+    auto power = run(OptTarget::Power);
+    EXPECT_GE(power.queryLatencyNs, base.queryLatencyNs);
+    EXPECT_LE(power.avgPowerMw(), base.avgPowerMw() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TargetOrdering,
+                         ::testing::Values(16, 32, 64, 128));

@@ -1,0 +1,232 @@
+/** @file Regression locks on the paper's headline numbers.
+ *
+ * These tests pin the handful of end-to-end results the benches
+ * report, so model/calibration drift is caught by `ctest` rather than
+ * by eyeballing bench output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/Datasets.h"
+#include "apps/GpuModel.h"
+#include "dialects/AllDialects.h"
+#include "apps/Hdc.h"
+#include "apps/ManualBaseline.h"
+#include "apps/Workloads.h"
+#include "arch/TechModel.h"
+#include "core/Compiler.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+/** Shared small HDC workload (8k dims like the paper, few queries). */
+const apps::HdcWorkload &
+hdcWorkload()
+{
+    static const apps::HdcWorkload workload = [] {
+        apps::Dataset ds = apps::makeMnistLike(8, 4);
+        return apps::encodeHdc(ds, 8192, 1, 4);
+    }();
+    return workload;
+}
+
+sim::PerfReport
+runHdc(const ArchSpec &spec)
+{
+    const apps::HdcWorkload &w = hdcWorkload();
+    core::CompilerOptions options;
+    options.spec = spec;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(
+            static_cast<std::int64_t>(w.queryHvs.size()), w.numClasses,
+            w.dimensions, 1));
+    return kernel
+        .run({rt::Buffer::fromMatrix(w.queryHvs),
+              rt::Buffer::fromMatrix(w.classHvs)})
+        .perf;
+}
+
+} // namespace
+
+TEST(RegressionLock, SearchLatencyAnchors)
+{
+    // Paper §IV-A1: 860 ps @16 cols, 7.5 ns @256 cols.
+    arch::TechModel t(arch::CamDeviceType::Tcam, 1);
+    EXPECT_NEAR(t.searchLatencyNs(16), 0.86, 0.005);
+    EXPECT_NEAR(t.searchLatencyNs(256), 7.50, 0.005);
+}
+
+TEST(RegressionLock, Fig7LatencyBand)
+{
+    // Per-query latency stays in the paper's 5-15 ns window and rises
+    // with the column count.
+    double prev = 0.0;
+    for (int cols : {16, 32, 64, 128}) {
+        sim::PerfReport perf =
+            runHdc(ArchSpec::validationSetup(cols, 1));
+        double per_query =
+            perf.queryLatencyNs / double(hdcWorkload().queryHvs.size());
+        EXPECT_GT(per_query, 4.0) << cols;
+        EXPECT_LT(per_query, 15.0) << cols;
+        EXPECT_GT(per_query, prev) << cols;
+        prev = per_query;
+    }
+}
+
+TEST(RegressionLock, Fig7EnergyBand)
+{
+    // Per-query energy in the paper's few-hundred-pJ band, falling
+    // with the column count.
+    double prev = 1e9;
+    for (int cols : {16, 32, 64, 128}) {
+        sim::PerfReport perf =
+            runHdc(ArchSpec::validationSetup(cols, 1));
+        double per_query =
+            perf.queryEnergyPj / double(hdcWorkload().queryHvs.size());
+        EXPECT_GT(per_query, 100.0) << cols;
+        EXPECT_LT(per_query, 700.0) << cols;
+        EXPECT_LT(per_query, prev) << cols;
+        prev = per_query;
+    }
+}
+
+TEST(RegressionLock, GpuComparisonRatios)
+{
+    // Paper §IV-B: 48x execution time, 46.8x energy. Lock a window.
+    sim::PerfReport cam = runHdc(ArchSpec::validationSetup(32, 1));
+    double queries = double(hdcWorkload().queryHvs.size());
+    double scale = 10000.0 / queries;
+    double cam_ns = cam.queryLatencyNs * scale;
+
+    apps::GpuModel gpu;
+    apps::GpuEstimate est = gpu.similarityKernel(10000, 10, 8192);
+    double speedup = est.latencyNs / cam_ns;
+    EXPECT_GT(speedup, 40.0);
+    EXPECT_LT(speedup, 58.0);
+
+    double cam_system_pj =
+        cam.queryEnergyPj * scale +
+        apps::GpuModel::cimSystemPowerW() * cam_ns * 1e3;
+    double energy_gain = est.energyPj / cam_system_pj;
+    EXPECT_GT(energy_gain, 39.0);
+    EXPECT_LT(energy_gain, 56.0);
+}
+
+TEST(RegressionLock, ManualValidationDeviationSmall)
+{
+    // Paper Fig. 7: sub-6% deviations between C4CAM and the manual
+    // design.
+    const apps::HdcWorkload &w = hdcWorkload();
+    ArchSpec spec = ArchSpec::validationSetup(32, 1);
+    sim::PerfReport compiled = runHdc(spec);
+    apps::ManualRunResult manual = apps::runManualHdc(
+        w, spec, static_cast<int>(w.queryHvs.size()));
+    double lat_dev = std::abs(compiled.queryLatencyNs -
+                              manual.perf.queryLatencyNs) /
+                     manual.perf.queryLatencyNs;
+    double energy_dev = std::abs(compiled.queryEnergyPj -
+                                 manual.perf.queryEnergyPj) /
+                        manual.perf.queryEnergyPj;
+    EXPECT_LT(lat_dev, 0.06);
+    EXPECT_LT(energy_dev, 0.10);
+}
+
+TEST(RegressionLock, DensityLatencyRatioAt256)
+{
+    // Paper: cam-density at 256x256 runs ~23x longer than cam-base.
+    sim::PerfReport base = runHdc(ArchSpec::dseSetup(256, OptTarget::Base));
+    sim::PerfReport density =
+        runHdc(ArchSpec::dseSetup(256, OptTarget::Density));
+    double ratio = density.queryLatencyNs / base.queryLatencyNs;
+    EXPECT_GT(ratio, 15.0);
+    EXPECT_LT(ratio, 30.0);
+}
+
+TEST(RegressionLock, IsoCapacityLatencyGrowth)
+{
+    // Paper Fig. 9a: iso-capacity latency grows moderately with the
+    // subarray size (58us -> 150us, i.e. ~2.6x).
+    sim::PerfReport small =
+        runHdc(ArchSpec::isoCapacitySetup(16, OptTarget::Base));
+    sim::PerfReport large =
+        runHdc(ArchSpec::isoCapacitySetup(256, OptTarget::Base));
+    double growth = large.queryLatencyNs / small.queryLatencyNs;
+    EXPECT_GT(growth, 1.5);
+    EXPECT_LT(growth, 4.0);
+}
+
+TEST(RegressionLock, IsoCapacityDensityPowerCut)
+{
+    // Paper Fig. 9b: the density configs cut power substantially.
+    sim::PerfReport base =
+        runHdc(ArchSpec::isoCapacitySetup(32, OptTarget::Base));
+    sim::PerfReport density =
+        runHdc(ArchSpec::isoCapacitySetup(32, OptTarget::Density));
+    sim::PerfReport both =
+        runHdc(ArchSpec::isoCapacitySetup(32, OptTarget::PowerDensity));
+    EXPECT_LT(density.avgPowerMw(), base.avgPowerMw() * 0.7);
+    EXPECT_LT(both.avgPowerMw(), density.avgPowerMw());
+}
+
+TEST(RegressionLock, ArchSpecLoadsFromFile)
+{
+    // The shipped example specs parse and drive a compile.
+    std::string path = "/tmp/c4cam_lock_spec.json";
+    {
+        std::ofstream out(path);
+        out << ArchSpec::validationSetup(32, 1).toJson().dump(2);
+    }
+    ArchSpec spec = ArchSpec::fromFile(path);
+    EXPECT_EQ(spec, ArchSpec::validationSetup(32, 1));
+    std::remove(path.c_str());
+}
+
+TEST(RegressionLock, LoopsPathOptionWorks)
+{
+    // CompilerOptions{hostOnly, lowerToLoops} produces a module with
+    // scf loops and identical results to the device path.
+    const apps::HdcWorkload &w = hdcWorkload();
+    std::string source = apps::dotSimilaritySource(
+        static_cast<std::int64_t>(w.queryHvs.size()), w.numClasses,
+        w.dimensions, 1);
+
+    core::CompilerOptions loop_options;
+    loop_options.spec = ArchSpec::validationSetup(32, 1);
+    loop_options.hostOnly = true;
+    loop_options.lowerToLoops = true;
+    core::Compiler loops_compiler(loop_options);
+    auto loops_kernel = loops_compiler.compileTorchScript(source);
+    auto loops_result = loops_kernel.run(
+        {rt::Buffer::fromMatrix(w.queryHvs),
+         rt::Buffer::fromMatrix(w.classHvs)});
+
+    core::CompilerOptions cam_options;
+    cam_options.spec = ArchSpec::validationSetup(32, 1);
+    core::Compiler cam_compiler(cam_options);
+    auto cam_kernel = cam_compiler.compileTorchScript(source);
+    auto cam_result =
+        cam_kernel.run({rt::Buffer::fromMatrix(w.queryHvs),
+                        rt::Buffer::fromMatrix(w.classHvs)});
+
+    for (std::size_t q = 0; q < w.queryHvs.size(); ++q)
+        EXPECT_EQ(loops_result.outputs[1].asBuffer()->atInt(
+                      {static_cast<std::int64_t>(q), 0}),
+                  cam_result.outputs[1].asBuffer()->atInt(
+                      {static_cast<std::int64_t>(q), 0}));
+}
+
+TEST(RegressionLock, CrossbarDialectRegistered)
+{
+    ir::Context ctx;
+    dialects::loadAllDialects(ctx);
+    EXPECT_TRUE(ctx.isDialectLoaded("crossbar"));
+    EXPECT_NE(ctx.lookupOp("crossbar.mvm"), nullptr);
+    EXPECT_NE(ctx.lookupOp("crossbar.program_matrix"), nullptr);
+}

@@ -1,0 +1,123 @@
+/** @file Property: compiler-generated IR round-trips through text.
+ *
+ * For every stage of the real pipeline, printing the module and
+ * re-parsing it must verify and (for executable stages) produce
+ * identical functional results and identical simulated performance.
+ * This is the strongest check on printer/parser/verifier coherence:
+ * the inputs are not hand-written but everything cam-map emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "dialects/AllDialects.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "runtime/Interpreter.h"
+#include "sim/CamDevice.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+struct Workload
+{
+    rt::BufferPtr queries;
+    rt::BufferPtr stored;
+};
+
+Workload
+makeWorkload(std::int64_t q, std::int64_t n, std::int64_t d)
+{
+    Workload w;
+    Rng rng(99);
+    w.stored = rt::Buffer::alloc(rt::DType::F32, {n, d});
+    for (std::int64_t r = 0; r < n; ++r)
+        for (std::int64_t c = 0; c < d; ++c)
+            w.stored->set({r, c}, rng.nextBool() ? 1.0 : -1.0);
+    w.queries = rt::Buffer::alloc(rt::DType::F32, {q, d});
+    for (std::int64_t r = 0; r < q; ++r)
+        for (std::int64_t c = 0; c < d; ++c)
+            w.queries->set({r, c}, w.stored->at({r % n, c}));
+    return w;
+}
+
+} // namespace
+
+class PipelineRoundTrip : public ::testing::TestWithParam<OptTarget>
+{};
+
+TEST_P(PipelineRoundTrip, EveryStagePrintsAndReparses)
+{
+    OptTarget target = GetParam();
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, target);
+    options.dumpIntermediates = true;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(3, 6, 128, 1));
+
+    for (const auto &[pass, text] : kernel.dumps()) {
+        ir::Context ctx;
+        dialects::loadAllDialects(ctx);
+        ir::Module reparsed = ir::parseModule(ctx, text);
+        EXPECT_NO_THROW(ir::verifyModule(reparsed)) << "after " << pass;
+        // Printing again is a fixpoint.
+        EXPECT_EQ(reparsed.str(), text) << "after " << pass;
+    }
+}
+
+TEST_P(PipelineRoundTrip, ReparsedModuleExecutesIdentically)
+{
+    OptTarget target = GetParam();
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, target);
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(3, 6, 128, 1));
+    Workload w = makeWorkload(3, 6, 128);
+
+    core::ExecutionResult original = kernel.run({w.queries, w.stored});
+
+    // Re-parse the final module and execute it with a fresh simulator.
+    std::string text = kernel.module().str();
+    auto ctx = std::make_shared<ir::Context>();
+    dialects::loadAllDialects(*ctx);
+    ir::Module reparsed = ir::parseModule(*ctx, text);
+    sim::CamDevice device(options.spec);
+    rt::Interpreter interp(reparsed, &device);
+    auto outputs = interp.callFunction(
+        "forward", {rt::RtValue(w.queries), rt::RtValue(w.stored)});
+    sim::PerfReport perf = device.report();
+
+    // Same functional results.
+    for (std::int64_t q = 0; q < 3; ++q) {
+        EXPECT_EQ(outputs[1].asBuffer()->atInt({q, 0}),
+                  original.outputs[1].asBuffer()->atInt({q, 0}));
+        EXPECT_EQ(outputs[1].asBuffer()->atInt({q, 0}), q % 6);
+    }
+    // Same simulated performance, to the last picojoule.
+    EXPECT_DOUBLE_EQ(perf.queryLatencyNs,
+                     original.perf.queryLatencyNs);
+    EXPECT_DOUBLE_EQ(perf.queryEnergyPj, original.perf.queryEnergyPj);
+    EXPECT_EQ(perf.searches, original.perf.searches);
+    EXPECT_EQ(perf.subarraysUsed, original.perf.subarraysUsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, PipelineRoundTrip,
+    ::testing::Values(OptTarget::Base, OptTarget::Power,
+                      OptTarget::Density, OptTarget::PowerDensity),
+    [](const auto &info) {
+        switch (info.param) {
+          case OptTarget::Base: return "base";
+          case OptTarget::Power: return "power";
+          case OptTarget::Density: return "density";
+          case OptTarget::PowerDensity: return "powerdensity";
+          default: return "other";
+        }
+    });

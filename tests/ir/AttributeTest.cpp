@@ -1,0 +1,81 @@
+/** @file Unit tests for operation attributes. */
+
+#include <gtest/gtest.h>
+
+#include "ir/Attribute.h"
+#include "ir/Context.h"
+#include "support/Error.h"
+
+using namespace c4cam::ir;
+
+TEST(Attribute, Kinds)
+{
+    EXPECT_TRUE(Attribute().isUnit());
+    EXPECT_TRUE(Attribute(true).isBool());
+    EXPECT_TRUE(Attribute(std::int64_t(3)).isInt());
+    EXPECT_TRUE(Attribute(2.5).isFloat());
+    EXPECT_TRUE(Attribute("s").isString());
+    EXPECT_TRUE(Attribute(std::vector<Attribute>{}).isArray());
+}
+
+TEST(Attribute, Accessors)
+{
+    EXPECT_EQ(Attribute(std::int64_t(42)).asInt(), 42);
+    EXPECT_DOUBLE_EQ(Attribute(2.5).asFloat(), 2.5);
+    EXPECT_DOUBLE_EQ(Attribute(std::int64_t(2)).asFloat(), 2.0);
+    EXPECT_EQ(Attribute("abc").asString(), "abc");
+    EXPECT_TRUE(Attribute(true).asBool());
+}
+
+TEST(Attribute, TypeAttribute)
+{
+    Context ctx;
+    Attribute a(ctx.tensorType({2, 3}, ctx.f32()));
+    EXPECT_TRUE(a.isType());
+    EXPECT_EQ(a.asType().numElements(), 6);
+}
+
+TEST(Attribute, IntArray)
+{
+    Attribute arr(std::vector<Attribute>{Attribute(std::int64_t(1)),
+                                         Attribute(std::int64_t(-1))});
+    auto ints = arr.asIntArray();
+    ASSERT_EQ(ints.size(), 2u);
+    EXPECT_EQ(ints[0], 1);
+    EXPECT_EQ(ints[1], -1);
+}
+
+TEST(Attribute, Equality)
+{
+    EXPECT_EQ(Attribute(std::int64_t(1)), Attribute(std::int64_t(1)));
+    EXPECT_FALSE(Attribute(std::int64_t(1)) == Attribute(1.0));
+    EXPECT_EQ(Attribute("x"), Attribute(std::string("x")));
+    EXPECT_EQ(Attribute(), Attribute());
+}
+
+TEST(Attribute, Rendering)
+{
+    EXPECT_EQ(Attribute(std::int64_t(5)).str(), "5");
+    EXPECT_EQ(Attribute(true).str(), "true");
+    EXPECT_EQ(Attribute("hi").str(), "\"hi\"");
+    EXPECT_EQ(Attribute(2.5).str(), "2.5");
+    // Whole floats keep a decimal point so they parse back as floats.
+    EXPECT_EQ(Attribute(2.0).str(), "2.0");
+    Attribute arr(std::vector<Attribute>{Attribute(std::int64_t(1)),
+                                         Attribute("a")});
+    EXPECT_EQ(arr.str(), "[1, \"a\"]");
+    EXPECT_EQ(Attribute().str(), "unit");
+}
+
+TEST(Attribute, StringEscaping)
+{
+    EXPECT_EQ(Attribute("a\"b").str(), "\"a\\\"b\"");
+}
+
+TEST(Attribute, WrongAccessorThrows)
+{
+    EXPECT_THROW(Attribute("s").asInt(), c4cam::InternalError);
+    EXPECT_THROW(Attribute(std::int64_t(1)).asString(),
+                 c4cam::InternalError);
+    EXPECT_THROW(Attribute().asBool(), c4cam::InternalError);
+}

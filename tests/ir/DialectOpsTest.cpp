@@ -1,0 +1,311 @@
+/** @file Per-op verifier coverage across all dialects. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+/** Builds one function per test and verifies the whole module. */
+struct OpsFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+        module = std::make_unique<Module>(ctx);
+        func = dialects::createFunction(*module, "f", {});
+        builder = std::make_unique<OpBuilder>(ctx);
+        builder->setInsertionPointToEnd(dialects::funcBody(func));
+    }
+
+    void
+    expectValid()
+    {
+        builder->create(kReturnOpName, {}, {});
+        EXPECT_NO_THROW(verifyModule(*module));
+    }
+
+    void
+    expectInvalid()
+    {
+        builder->create(kReturnOpName, {}, {});
+        EXPECT_THROW(verifyModule(*module), CompilerError);
+    }
+
+    Value *
+    subarray()
+    {
+        Value *rows = builder->constantIndex(4);
+        Value *bank = builder
+                          ->create("cam.alloc_bank", {rows, rows},
+                                   {ctx.opaqueType("cam", "bank_id")})
+                          ->result(0);
+        Value *mat = builder
+                         ->create("cam.alloc_mat", {bank},
+                                  {ctx.opaqueType("cam", "mat_id")})
+                         ->result(0);
+        Value *arr = builder
+                         ->create("cam.alloc_array", {mat},
+                                  {ctx.opaqueType("cam", "array_id")})
+                         ->result(0);
+        return builder
+            ->create("cam.alloc_subarray", {arr},
+                     {ctx.opaqueType("cam", "subarray_id")})
+            ->result(0);
+    }
+
+    Value *
+    memref(std::vector<std::int64_t> shape)
+    {
+        return builder
+            ->create("memref.alloc", {},
+                     {ctx.memrefType(shape, ctx.f32())})
+            ->result(0);
+    }
+
+    Context ctx;
+    std::unique_ptr<Module> module;
+    Operation *func = nullptr;
+    std::unique_ptr<OpBuilder> builder;
+};
+
+} // namespace
+
+TEST_F(OpsFixture, CamSearchValid)
+{
+    Value *sub = subarray();
+    Value *q = memref({1, 4});
+    builder->create("cam.search", {sub, q}, {},
+                    {{"kind", Attribute("best")},
+                     {"metric", Attribute("hamming")}});
+    expectValid();
+}
+
+TEST_F(OpsFixture, CamSearchBadKind)
+{
+    Value *sub = subarray();
+    Value *q = memref({1, 4});
+    builder->create("cam.search", {sub, q}, {},
+                    {{"kind", Attribute("fuzzy")},
+                     {"metric", Attribute("hamming")}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CamSearchBadMetric)
+{
+    Value *sub = subarray();
+    Value *q = memref({1, 4});
+    builder->create("cam.search", {sub, q}, {},
+                    {{"kind", Attribute("exact")},
+                     {"metric", Attribute("cosine")}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CamSearchWithRowWindowOperands)
+{
+    Value *sub = subarray();
+    Value *q = memref({1, 4});
+    Value *lo = builder->constantIndex(0);
+    Value *hi = builder->constantIndex(2);
+    builder->create("cam.search", {sub, q, lo, hi}, {},
+                    {{"kind", Attribute("range")},
+                     {"metric", Attribute("eucl")},
+                     {"threshold", Attribute(2.5)}});
+    expectValid();
+}
+
+TEST_F(OpsFixture, CamWriteValueNeedsMemref)
+{
+    Value *sub = subarray();
+    Value *idx = builder->constantIndex(3);
+    builder->create("cam.write_value", {sub, idx}, {});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CamReadReturnsMemrefs)
+{
+    Value *sub = subarray();
+    builder->create("cam.read", {sub},
+                    {ctx.memrefType({4}, ctx.f32()),
+                     ctx.memrefType({4}, ctx.i64())},
+                    {{"kind", Attribute("best")}});
+    expectValid();
+}
+
+TEST_F(OpsFixture, CamReadWrongResultTypes)
+{
+    Value *sub = subarray();
+    builder->create("cam.read", {sub}, {ctx.f32(), ctx.i64()},
+                    {{"kind", Attribute("best")}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CamGetSubarrayNeedsIndices)
+{
+    Value *sub = subarray();
+    builder->create("cam.get_subarray",
+                    {sub, sub, sub, sub},
+                    {ctx.opaqueType("cam", "subarray_id")});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CimSimilarityMetricChecked)
+{
+    Value *a = builder
+                   ->create("tensor.empty", {},
+                            {ctx.tensorType({4, 8}, ctx.f32())})
+                   ->result(0);
+    Type out = ctx.tensorType({4, 1}, ctx.f32());
+    builder->create("cim.similarity", {a, a}, {out, out},
+                    {{"metric", Attribute("manhattan")}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CimExecuteBodyMustEndWithYield)
+{
+    Value *handle =
+        builder->create("cim.acquire", {}, {ctx.indexType()})
+            ->result(0);
+    Operation *execute =
+        builder->create("cim.execute", {handle}, {}, {}, 1);
+    execute->region(0).addBlock(); // empty body: no yield
+    builder->create("cim.release", {handle}, {});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CimExecuteYieldArityMustMatch)
+{
+    Value *handle =
+        builder->create("cim.acquire", {}, {ctx.indexType()})
+            ->result(0);
+    Operation *execute = builder->create(
+        "cim.execute", {handle}, {ctx.tensorType({2}, ctx.f32())}, {},
+        1);
+    Block &body = execute->region(0).addBlock();
+    OpBuilder inner(ctx);
+    inner.setInsertionPointToEnd(&body);
+    inner.create("cim.yield", {}, {}); // yields 0, execute has 1 result
+    builder->create("cim.release", {handle}, {});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CimMergePartialDirectionChecked)
+{
+    Value *handle =
+        builder->create("cim.acquire", {}, {ctx.indexType()})
+            ->result(0);
+    Value *t = builder
+                   ->create("tensor.empty", {},
+                            {ctx.tensorType({2, 2}, ctx.f32())})
+                   ->result(0);
+    builder->create("cim.merge_partial", {handle, t, t},
+                    {ctx.tensorType({2, 2}, ctx.f32())},
+                    {{"direction", Attribute("diagonal")}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, ScfForNeedsBodyArgs)
+{
+    Value *c = builder->constantIndex(0);
+    Operation *loop =
+        builder->create("scf.for", {c, c, c}, {}, {}, 1);
+    loop->region(0).addBlock(); // no induction variable argument
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, ScfIfConditionMustBeI1)
+{
+    Value *c = builder->constantIndex(0);
+    Operation *guard = builder->create("scf.if", {c}, {}, {}, 1);
+    guard->region(0).addBlock();
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, TensorExtractSliceNeedsAttrs)
+{
+    Value *t = builder
+                   ->create("tensor.empty", {},
+                            {ctx.tensorType({4, 4}, ctx.f32())})
+                   ->result(0);
+    builder->create("tensor.extract_slice", {t},
+                    {ctx.tensorType({2, 2}, ctx.f32())});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, MemrefSubviewNeedsAttrs)
+{
+    Value *m = memref({4, 4});
+    builder->create("memref.subview", {m},
+                    {ctx.memrefType({2, 2}, ctx.f32())});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, MemrefAllocMustReturnMemref)
+{
+    builder->create("memref.alloc", {},
+                    {ctx.tensorType({2}, ctx.f32())});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, TorchNormRejectsExoticP)
+{
+    Value *t = builder
+                   ->create("tensor.empty", {},
+                            {ctx.tensorType({4, 4}, ctx.f32())})
+                   ->result(0);
+    builder->create("torch.aten.norm", {t},
+                    {ctx.tensorType({4}, ctx.f32())},
+                    {{"p", Attribute(std::int64_t(7))}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, TorchTopkRequiresPositiveK)
+{
+    Value *t = builder
+                   ->create("tensor.empty", {},
+                            {ctx.tensorType({4, 4}, ctx.f32())})
+                   ->result(0);
+    Type out = ctx.tensorType({4, 1}, ctx.f32());
+    builder->create("torch.aten.topk", {t}, {out, out},
+                    {{"k", Attribute(std::int64_t(0))}});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CrossbarOpsVerify)
+{
+    Value *rows = builder->constantIndex(64);
+    Value *tile = builder
+                      ->create("crossbar.alloc_tile", {rows, rows},
+                               {ctx.opaqueType("crossbar", "tile_id")})
+                      ->result(0);
+    Value *weights = memref({64, 64});
+    builder->create("crossbar.program_matrix", {tile, weights}, {});
+    Value *input = memref({64});
+    builder->create("crossbar.mvm", {tile, input},
+                    {ctx.memrefType({64}, ctx.f32())});
+    builder->create("crossbar.release", {tile}, {});
+    expectValid();
+}
+
+TEST_F(OpsFixture, CrossbarMvmRejectsNonTile)
+{
+    Value *input = memref({64});
+    builder->create("crossbar.mvm", {input, input},
+                    {ctx.memrefType({64}, ctx.f32())});
+    expectInvalid();
+}
+
+TEST_F(OpsFixture, CamAllocBankNeedsIndexDims)
+{
+    Value *f = builder->constantFloat(4.0);
+    builder->create("cam.alloc_bank", {f, f},
+                    {ctx.opaqueType("cam", "bank_id")});
+    expectInvalid();
+}

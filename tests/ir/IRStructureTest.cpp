@@ -1,0 +1,244 @@
+/** @file Unit tests for Operation/Block/Region/Value structure. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/IR.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+struct IRFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(IRFixture, ModuleHasEmptyBody)
+{
+    Module module(ctx);
+    EXPECT_EQ(module.op()->name(), "builtin.module");
+    EXPECT_TRUE(module.body()->empty());
+    EXPECT_TRUE(module.functions().empty());
+}
+
+TEST_F(IRFixture, CreateFunctionAndLookup)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(
+        module, "forward", {ctx.tensorType({2, 4}, ctx.f32())});
+    EXPECT_EQ(module.lookupFunction("forward"), func);
+    EXPECT_EQ(module.lookupFunction("missing"), nullptr);
+    EXPECT_EQ(dialects::funcBody(func)->numArguments(), 1u);
+    EXPECT_EQ(module.functions().size(), 1u);
+}
+
+TEST_F(IRFixture, UseDefChains)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    Value *b = builder.constantIndex(2);
+    Operation *addi =
+        builder.create("arith.addi", {a, b}, {ctx.indexType()});
+
+    EXPECT_EQ(a->uses().size(), 1u);
+    EXPECT_EQ(a->uses()[0]->owner(), addi);
+    EXPECT_TRUE(a->hasUses());
+    EXPECT_FALSE(addi->result(0)->hasUses());
+    EXPECT_EQ(addi->operand(0), a);
+    EXPECT_EQ(addi->operand(1), b);
+}
+
+TEST_F(IRFixture, ReplaceAllUsesWith)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    Value *b = builder.constantIndex(2);
+    Operation *add1 =
+        builder.create("arith.addi", {a, a}, {ctx.indexType()});
+    a->replaceAllUsesWith(b);
+    EXPECT_EQ(add1->operand(0), b);
+    EXPECT_EQ(add1->operand(1), b);
+    EXPECT_FALSE(a->hasUses());
+    EXPECT_EQ(b->uses().size(), 2u);
+}
+
+TEST_F(IRFixture, SetOperandMaintainsUseLists)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    Value *b = builder.constantIndex(2);
+    Operation *add =
+        builder.create("arith.addi", {a, a}, {ctx.indexType()});
+    add->setOperand(1, b);
+    EXPECT_EQ(a->uses().size(), 1u);
+    EXPECT_EQ(b->uses().size(), 1u);
+}
+
+TEST_F(IRFixture, EraseOpRemovesFromBlock)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    EXPECT_EQ(dialects::funcBody(func)->size(), 1u);
+    a->definingOp()->erase();
+    EXPECT_TRUE(dialects::funcBody(func)->empty());
+}
+
+TEST_F(IRFixture, EraseWithLiveUsesAsserts)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    builder.create("arith.addi", {a, a}, {ctx.indexType()});
+    EXPECT_THROW(a->definingOp()->erase(), InternalError);
+}
+
+TEST_F(IRFixture, InsertionPoints)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Value *first = builder.constantIndex(1);
+    Value *third = builder.constantIndex(3);
+    builder.setInsertionPoint(third->definingOp());
+    Value *second = builder.constantIndex(2);
+
+    auto ops = body->opVector();
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0], first->definingOp());
+    EXPECT_EQ(ops[1], second->definingOp());
+    EXPECT_EQ(ops[2], third->definingOp());
+
+    builder.setInsertionPointAfter(first->definingOp());
+    Value *after = builder.constantIndex(9);
+    EXPECT_EQ(body->opVector()[1], after->definingOp());
+    builder.setInsertionPointToStart(body);
+    Value *front = builder.constantIndex(0);
+    EXPECT_EQ(body->front(), front->definingOp());
+}
+
+TEST_F(IRFixture, NextPrevOp)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Operation *a = builder.constantIndex(1)->definingOp();
+    Operation *b = builder.constantIndex(2)->definingOp();
+    EXPECT_EQ(a->nextOp(), b);
+    EXPECT_EQ(b->prevOp(), a);
+    EXPECT_EQ(a->prevOp(), nullptr);
+    EXPECT_EQ(b->nextOp(), nullptr);
+}
+
+TEST_F(IRFixture, MoveBefore)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Operation *a = builder.constantIndex(1)->definingOp();
+    Operation *b = builder.constantIndex(2)->definingOp();
+    b->moveBefore(a);
+    EXPECT_EQ(body->front(), b);
+    EXPECT_EQ(body->back(), a);
+}
+
+TEST_F(IRFixture, WalkVisitsNestedOps)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *lb = builder.constantIndex(0);
+    Value *ub = builder.constantIndex(4);
+    Value *step = builder.constantIndex(1);
+    Operation *loop = dialects::scf::createFor(builder, lb, ub, step);
+    OpBuilder inner(ctx);
+    inner.setInsertionPointToEnd(dialects::scf::loopBody(loop));
+    inner.constantIndex(7);
+
+    int count = 0;
+    module.walk([&](Operation *) { ++count; });
+    // module + func + 3 constants + loop + inner constant = 7
+    EXPECT_EQ(count, 7);
+
+    std::vector<std::string> post;
+    module.op()->walkPostOrder(
+        [&](Operation *op) { post.push_back(op->name()); });
+    EXPECT_EQ(post.back(), "builtin.module");
+}
+
+TEST_F(IRFixture, OperationAttrHelpers)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Operation *op = builder.create(
+        "arith.constant", {}, {ctx.i64()},
+        {{"value", Attribute(std::int64_t(3))},
+         {"tag", Attribute("x")}});
+    EXPECT_EQ(op->intAttr("value"), 3);
+    EXPECT_EQ(op->intAttrOr("missing", 9), 9);
+    EXPECT_EQ(op->strAttr("tag"), "x");
+    EXPECT_EQ(op->strAttrOr("missing", "d"), "d");
+    EXPECT_FALSE(op->boolAttrOr("missing", false));
+    op->setAttr("flag", Attribute());
+    EXPECT_TRUE(op->boolAttrOr("flag", false)); // unit attr means true
+    op->removeAttr("flag");
+    EXPECT_FALSE(op->hasAttr("flag"));
+    EXPECT_THROW(op->attr("missing"), InternalError);
+}
+
+TEST_F(IRFixture, DialectPrefix)
+{
+    Module module(ctx);
+    EXPECT_EQ(module.op()->dialect(), "builtin");
+}
+
+TEST_F(IRFixture, BlockTakeReinsert)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Operation *a = builder.constantIndex(1)->definingOp();
+    Operation *b = builder.constantIndex(2)->definingOp();
+
+    auto owned = body->take(a);
+    EXPECT_EQ(body->size(), 1u);
+    body->insertBefore(nullptr, std::move(owned));
+    auto ops = body->opVector();
+    EXPECT_EQ(ops[0], b);
+    EXPECT_EQ(ops[1], a);
+}

@@ -1,0 +1,117 @@
+/** @file PassManager unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Pass.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+struct PassFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Module
+    makeModule()
+    {
+        Module module(ctx);
+        Operation *func = dialects::createFunction(module, "f", {});
+        OpBuilder builder(ctx);
+        builder.setInsertionPointToEnd(dialects::funcBody(func));
+        builder.create(kReturnOpName, {}, {});
+        return module;
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(PassFixture, RunsPassesInOrder)
+{
+    Module module = makeModule();
+    std::vector<std::string> order;
+    PassManager pm;
+    pm.add<LambdaPass>("first", [&](Module &) { order.push_back("1"); });
+    pm.add<LambdaPass>("second", [&](Module &) { order.push_back("2"); });
+    pm.run(module);
+    EXPECT_EQ(order, (std::vector<std::string>{"1", "2"}));
+    EXPECT_EQ(pm.size(), 2u);
+}
+
+TEST_F(PassFixture, FailureMentionsPassName)
+{
+    Module module = makeModule();
+    PassManager pm;
+    pm.add<LambdaPass>("broken", [](Module &) {
+        C4CAM_USER_ERROR("boom");
+    });
+    try {
+        pm.run(module);
+        FAIL() << "expected failure";
+    } catch (const CompilerError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("broken"), std::string::npos);
+        EXPECT_NE(what.find("boom"), std::string::npos);
+    }
+}
+
+TEST_F(PassFixture, VerifierCatchesPassDamage)
+{
+    Module module = makeModule();
+    PassManager pm;
+    pm.add<LambdaPass>("vandal", [this](Module &m) {
+        OpBuilder builder(ctx);
+        builder.setInsertionPointToEnd(m.body());
+        builder.create("bogus.op", {}, {});
+    });
+    EXPECT_THROW(pm.run(module), CompilerError);
+}
+
+TEST_F(PassFixture, VerifierCanBeDisabled)
+{
+    Module module = makeModule();
+    PassManager pm;
+    pm.enableVerifier(false);
+    pm.add<LambdaPass>("vandal", [this](Module &m) {
+        OpBuilder builder(ctx);
+        builder.setInsertionPointToEnd(m.body());
+        builder.create("bogus.op", {}, {});
+    });
+    EXPECT_NO_THROW(pm.run(module));
+}
+
+TEST_F(PassFixture, TimingCollection)
+{
+    Module module = makeModule();
+    PassManager pm;
+    pm.enableTiming(true);
+    pm.add<LambdaPass>("timed", [](Module &) {});
+    pm.run(module);
+    ASSERT_EQ(pm.timings().size(), 1u);
+    EXPECT_EQ(pm.timings()[0].pass, "timed");
+    EXPECT_GE(pm.timings()[0].millis, 0.0);
+}
+
+TEST_F(PassFixture, AfterPassCallbackSeesEachPass)
+{
+    Module module = makeModule();
+    PassManager pm;
+    std::vector<std::string> seen;
+    pm.setAfterPassCallback([&](const std::string &name, Module &) {
+        seen.push_back(name);
+    });
+    pm.add<LambdaPass>("a", [](Module &) {});
+    pm.add<LambdaPass>("b", [](Module &) {});
+    pm.run(module);
+    EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+}

@@ -1,0 +1,193 @@
+/** @file Printer/parser round-trip tests (a key IR property). */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+struct RoundTrip : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    /** print -> parse -> print must be a fixpoint. */
+    void
+    expectRoundTrip(Module &module)
+    {
+        std::string first = module.str();
+        Module reparsed = parseModule(ctx, first);
+        verifyModule(reparsed);
+        EXPECT_EQ(reparsed.str(), first);
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(RoundTrip, EmptyModule)
+{
+    Module module(ctx);
+    expectRoundTrip(module);
+}
+
+TEST_F(RoundTrip, FunctionWithArithmetic)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(
+        module, "f", {ctx.indexType(), ctx.indexType()});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Value *sum = builder
+                     .create("arith.addi",
+                             {body->argument(0), body->argument(1)},
+                             {ctx.indexType()})
+                     ->result(0);
+    builder.create(kReturnOpName, {sum}, {});
+    expectRoundTrip(module);
+}
+
+TEST_F(RoundTrip, AttributesOfEveryKind)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "attrs", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    builder.create(
+        "arith.constant", {}, {ctx.i64()},
+        {{"value", Attribute(std::int64_t(-3))},
+         {"f", Attribute(1.5)},
+         {"s", Attribute("hello world")},
+         {"b", Attribute(true)},
+         {"u", Attribute()},
+         {"arr", Attribute(std::vector<Attribute>{
+                     Attribute(std::int64_t(1)),
+                     Attribute("x"),
+                     Attribute(std::vector<Attribute>{Attribute(false)})})},
+         {"ty", Attribute(ctx.tensorType({2, 2}, ctx.f32()))}});
+    builder.create(kReturnOpName, {}, {});
+    expectRoundTrip(module);
+}
+
+TEST_F(RoundTrip, NestedRegions)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "loops", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *lb = builder.constantIndex(0);
+    Value *ub = builder.constantIndex(8);
+    Value *step = builder.constantIndex(2);
+    Operation *outer =
+        dialects::scf::createParallel(builder, lb, ub, step, "bank");
+    OpBuilder inner(ctx);
+    inner.setInsertionPointToEnd(dialects::scf::loopBody(outer));
+    Operation *inner_loop =
+        dialects::scf::createFor(inner, lb, ub, step);
+    OpBuilder innermost(ctx);
+    innermost.setInsertionPointToEnd(dialects::scf::loopBody(inner_loop));
+    innermost.create("arith.muli",
+                     {dialects::scf::inductionVar(outer),
+                      dialects::scf::inductionVar(inner_loop)},
+                     {ctx.indexType()});
+    builder.create(kReturnOpName, {}, {});
+    expectRoundTrip(module);
+}
+
+TEST_F(RoundTrip, MultiResultOps)
+{
+    Module module(ctx);
+    Type t = ctx.tensorType({4, 16}, ctx.f32());
+    Operation *func = dialects::createFunction(module, "topk", {t});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Type out = ctx.tensorType({4, 1}, ctx.f32());
+    Operation *topk = builder.create(
+        "torch.aten.topk", {body->argument(0)}, {out, out},
+        {{"k", Attribute(std::int64_t(1))},
+         {"dim", Attribute(std::int64_t(-1))},
+         {"largest", Attribute(false)}});
+    builder.create(kReturnOpName,
+                   {topk->result(0), topk->result(1)}, {});
+    expectRoundTrip(module);
+}
+
+TEST_F(RoundTrip, OpaqueHandleTypes)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "handles", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *rows = builder.constantIndex(32);
+    Value *bank =
+        builder.create("cam.alloc_bank", {rows, rows},
+                       {ctx.opaqueType("cam", "bank_id")})
+            ->result(0);
+    builder.create("cam.alloc_mat", {bank},
+                   {ctx.opaqueType("cam", "mat_id")});
+    builder.create(kReturnOpName, {}, {});
+    expectRoundTrip(module);
+}
+
+TEST_F(RoundTrip, ParserRejectsUndefinedValue)
+{
+    EXPECT_THROW(
+        parseModule(ctx, "\"builtin.module\"() ({\n"
+                         "  \"func.return\"(%0) : (index) -> ()\n"
+                         "}) : () -> ()\n"),
+        CompilerError);
+}
+
+TEST_F(RoundTrip, ParserRejectsRedefinition)
+{
+    EXPECT_THROW(parseModule(
+                     ctx,
+                     "\"builtin.module\"() ({\n"
+                     "  %0 = \"arith.constant\"() {value = 1} : () -> index\n"
+                     "  %0 = \"arith.constant\"() {value = 2} : () -> index\n"
+                     "}) : () -> ()\n"),
+                 CompilerError);
+}
+
+TEST_F(RoundTrip, ParserRejectsArityMismatch)
+{
+    EXPECT_THROW(
+        parseModule(ctx,
+                    "\"builtin.module\"() ({\n"
+                    "  %0 = \"arith.constant\"() {value = 1} : () -> index\n"
+                    "  %1 = \"arith.addi\"(%0) : (index, index) -> index\n"
+                    "}) : () -> ()\n"),
+        CompilerError);
+}
+
+TEST_F(RoundTrip, ParserChecksOperandTypes)
+{
+    EXPECT_THROW(
+        parseModule(ctx,
+                    "\"builtin.module\"() ({\n"
+                    "  %0 = \"arith.constant\"() {value = 1} : () -> index\n"
+                    "  %1 = \"arith.addi\"(%0, %0) : (index, i64) -> index\n"
+                    "}) : () -> ()\n"),
+        CompilerError);
+}
+
+TEST_F(RoundTrip, TopLevelMustBeModule)
+{
+    EXPECT_THROW(parseModule(
+                     ctx, "\"func.func\"() ({\n}) {sym_name = \"f\"}"
+                          " : () -> ()\n"),
+                 CompilerError);
+}

@@ -1,0 +1,172 @@
+/** @file Pattern-rewrite driver unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Rewrite.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+/** Fold addi(c0, x) -> x (left identity). */
+class FoldAddZero : public RewritePattern
+{
+  public:
+    FoldAddZero() : RewritePattern("arith.addi") {}
+
+    bool
+    matchAndRewrite(Operation *op, PatternRewriter &rewriter) const override
+    {
+        Operation *lhs = op->operand(0)->definingOp();
+        if (!lhs || lhs->name() != "arith.constant" ||
+            lhs->intAttrOr("value", -1) != 0)
+            return false;
+        rewriter.replaceOp(op, {op->operand(1)});
+        return true;
+    }
+};
+
+/** Rewrite muli(x, c1) -> x. */
+class FoldMulOne : public RewritePattern
+{
+  public:
+    FoldMulOne() : RewritePattern("arith.muli", /*benefit=*/5) {}
+
+    bool
+    matchAndRewrite(Operation *op, PatternRewriter &rewriter) const override
+    {
+        Operation *rhs = op->operand(1)->definingOp();
+        if (!rhs || rhs->name() != "arith.constant" ||
+            rhs->intAttrOr("value", -1) != 1)
+            return false;
+        rewriter.replaceOp(op, {op->operand(0)});
+        return true;
+    }
+};
+
+struct RewriteFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(RewriteFixture, AppliesSinglePattern)
+{
+    Module module(ctx);
+    Operation *func =
+        dialects::createFunction(module, "f", {ctx.indexType()});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Value *zero = builder.constantIndex(0);
+    Value *sum = builder
+                     .create("arith.addi", {zero, body->argument(0)},
+                             {ctx.indexType()})
+                     ->result(0);
+    builder.create(kReturnOpName, {sum}, {});
+
+    RewritePatternSet patterns;
+    patterns.insert<FoldAddZero>();
+    EXPECT_TRUE(applyPatternsGreedily(module.op(), patterns));
+
+    // The return now uses the argument directly.
+    Operation *ret = body->back();
+    EXPECT_EQ(ret->operand(0), body->argument(0));
+    // Fixpoint: second run changes nothing.
+    EXPECT_FALSE(applyPatternsGreedily(module.op(), patterns));
+}
+
+TEST_F(RewriteFixture, CascadingRewritesReachFixpoint)
+{
+    Module module(ctx);
+    Operation *func =
+        dialects::createFunction(module, "f", {ctx.indexType()});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Value *zero = builder.constantIndex(0);
+    Value *v = body->argument(0);
+    // addi(0, addi(0, x)) needs two rounds through the chain.
+    Value *inner =
+        builder.create("arith.addi", {zero, v}, {ctx.indexType()})
+            ->result(0);
+    Value *outer =
+        builder.create("arith.addi", {zero, inner}, {ctx.indexType()})
+            ->result(0);
+    builder.create(kReturnOpName, {outer}, {});
+
+    RewritePatternSet patterns;
+    patterns.insert<FoldAddZero>();
+    EXPECT_TRUE(applyPatternsGreedily(module.op(), patterns));
+    EXPECT_EQ(body->back()->operand(0), v);
+}
+
+TEST_F(RewriteFixture, BenefitOrdersPatterns)
+{
+    // Both patterns could fire on different ops; ensure both apply and
+    // higher benefit runs first (mul fold has benefit 5).
+    Module module(ctx);
+    Operation *func =
+        dialects::createFunction(module, "f", {ctx.indexType()});
+    Block *body = dialects::funcBody(func);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Value *zero = builder.constantIndex(0);
+    Value *one = builder.constantIndex(1);
+    Value *m = builder
+                   .create("arith.muli", {body->argument(0), one},
+                           {ctx.indexType()})
+                   ->result(0);
+    Value *s = builder.create("arith.addi", {zero, m},
+                              {ctx.indexType()})
+                   ->result(0);
+    builder.create(kReturnOpName, {s}, {});
+
+    RewritePatternSet patterns;
+    patterns.insert<FoldAddZero>();
+    patterns.insert<FoldMulOne>();
+    EXPECT_TRUE(applyPatternsGreedily(module.op(), patterns));
+    EXPECT_EQ(body->back()->operand(0), body->argument(0));
+}
+
+TEST_F(RewriteFixture, EraseOpTracksNestedOps)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *lb = builder.constantIndex(0);
+    Value *ub = builder.constantIndex(4);
+    Operation *loop = dialects::scf::createFor(builder, lb, ub, lb);
+    OpBuilder inner(ctx);
+    inner.setInsertionPointToEnd(dialects::scf::loopBody(loop));
+    Operation *nested = inner.constantIndex(3)->definingOp();
+
+    PatternRewriter rewriter(ctx);
+    rewriter.eraseOp(loop);
+    EXPECT_TRUE(rewriter.wasErased(loop));
+    EXPECT_TRUE(rewriter.wasErased(nested));
+}
+
+TEST_F(RewriteFixture, ReplaceOpArityChecked)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    PatternRewriter rewriter(ctx);
+    EXPECT_THROW(rewriter.replaceOp(a->definingOp(), {}),
+                 InternalError);
+}

@@ -1,0 +1,119 @@
+/** @file Unit tests for type interning and rendering. */
+
+#include <gtest/gtest.h>
+
+#include "ir/Context.h"
+#include "support/Error.h"
+
+using namespace c4cam::ir;
+
+TEST(Type, ScalarsAreInterned)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.f32(), ctx.f32());
+    EXPECT_NE(ctx.f32(), ctx.f64());
+    EXPECT_NE(ctx.i1(), ctx.i32());
+    EXPECT_TRUE(ctx.indexType().isIndex());
+}
+
+TEST(Type, TensorInterningByStructure)
+{
+    Context ctx;
+    Type a = ctx.tensorType({10, 8192}, ctx.f32());
+    Type b = ctx.tensorType({10, 8192}, ctx.f32());
+    Type c = ctx.tensorType({10, 8193}, ctx.f32());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, ctx.memrefType({10, 8192}, ctx.f32()));
+}
+
+TEST(Type, ShapeAccessors)
+{
+    Context ctx;
+    Type t = ctx.tensorType({3, 4, 5}, ctx.f32());
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.numElements(), 60);
+    EXPECT_EQ(t.shape()[1], 4);
+    EXPECT_EQ(t.elementType(), ctx.f32());
+}
+
+TEST(Type, Predicates)
+{
+    Context ctx;
+    EXPECT_TRUE(ctx.f32().isFloat());
+    EXPECT_TRUE(ctx.i64().isInteger());
+    EXPECT_TRUE(ctx.tensorType({2}, ctx.f32()).isShaped());
+    EXPECT_TRUE(ctx.memrefType({2}, ctx.f32()).isMemRef());
+    EXPECT_TRUE(ctx.opaqueType("cam", "bank_id").isOpaque());
+    EXPECT_FALSE(Type());
+    EXPECT_TRUE(ctx.f32().isScalar());
+    EXPECT_FALSE(ctx.tensorType({2}, ctx.f32()).isScalar());
+}
+
+TEST(Type, Rendering)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.f32().str(), "f32");
+    EXPECT_EQ(ctx.indexType().str(), "index");
+    EXPECT_EQ(ctx.tensorType({10, 8192}, ctx.f32()).str(),
+              "tensor<10x8192xf32>");
+    EXPECT_EQ(ctx.memrefType({1, 32}, ctx.i64()).str(),
+              "memref<1x32xi64>");
+    EXPECT_EQ(ctx.opaqueType("cam", "subarray_id").str(),
+              "!cam.subarray_id");
+}
+
+TEST(Type, ParseScalars)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.parseType("f32"), ctx.f32());
+    EXPECT_EQ(ctx.parseType(" index "), ctx.indexType());
+    EXPECT_EQ(ctx.parseType("i1"), ctx.i1());
+}
+
+TEST(Type, ParseShaped)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.parseType("tensor<10x8192xf32>"),
+              ctx.tensorType({10, 8192}, ctx.f32()));
+    EXPECT_EQ(ctx.parseType("memref<4xindex>"),
+              ctx.memrefType({4}, ctx.indexType()));
+    // rank-0
+    EXPECT_EQ(ctx.parseType("tensor<f32>"), ctx.tensorType({}, ctx.f32()));
+}
+
+TEST(Type, ParseOpaque)
+{
+    Context ctx;
+    EXPECT_EQ(ctx.parseType("!cam.bank_id"),
+              ctx.opaqueType("cam", "bank_id"));
+}
+
+TEST(Type, ParseRoundTripsPrint)
+{
+    Context ctx;
+    std::vector<Type> types = {
+        ctx.f32(), ctx.f64(), ctx.i1(), ctx.i32(), ctx.i64(),
+        ctx.indexType(), ctx.tensorType({7}, ctx.f32()),
+        ctx.tensorType({2, 3, 4}, ctx.i64()),
+        ctx.memrefType({10, 1}, ctx.f32()),
+        ctx.opaqueType("cam", "mat_id"),
+    };
+    for (Type t : types)
+        EXPECT_EQ(ctx.parseType(t.str()), t) << t.str();
+}
+
+TEST(Type, ParseRejectsGarbage)
+{
+    Context ctx;
+    EXPECT_THROW(ctx.parseType("floaty"), c4cam::CompilerError);
+    EXPECT_THROW(ctx.parseType("tensor<10x"), c4cam::CompilerError);
+    EXPECT_THROW(ctx.parseType("!cam"), c4cam::CompilerError);
+    EXPECT_THROW(ctx.parseType("tensor<10x8192x>"), c4cam::CompilerError);
+}
+
+TEST(Type, NegativeDimsRejected)
+{
+    Context ctx;
+    EXPECT_THROW(ctx.tensorType({-1}, ctx.f32()), c4cam::CompilerError);
+}

@@ -1,0 +1,147 @@
+/** @file Verifier unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+struct VerifierFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(VerifierFixture, AcceptsValidModule)
+{
+    Module module(ctx);
+    Operation *func =
+        dialects::createFunction(module, "ok", {ctx.indexType()});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    builder.create(kReturnOpName, {}, {});
+    EXPECT_NO_THROW(verifyModule(module));
+}
+
+TEST_F(VerifierFixture, RejectsUnregisteredOp)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    builder.create("bogus.op", {}, {});
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, RejectsWrongOperandCount)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *a = builder.constantIndex(1);
+    builder.create("arith.addi", {a}, {ctx.indexType()}); // needs 2
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, RejectsMissingRequiredAttr)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    builder.create("arith.constant", {}, {ctx.i64()}); // no value attr
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, RejectsFuncWithoutSymName)
+{
+    Module module(ctx);
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(module.body());
+    Operation *func = builder.create(kFuncOpName, {}, {}, {}, 1);
+    func->region(0).addBlock();
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, RejectsMisplacedTerminator)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    builder.create(kReturnOpName, {}, {});
+    builder.constantIndex(1); // op after the terminator
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, ChecksCamHandleTypes)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *idx = builder.constantIndex(0);
+    // alloc_mat wants a !cam.bank_id, not an index.
+    builder.create("cam.alloc_mat", {idx},
+                   {ctx.opaqueType("cam", "mat_id")});
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, ChecksCamSearchAttrs)
+{
+    Module module(ctx);
+    Operation *func = dialects::createFunction(module, "f", {});
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(dialects::funcBody(func));
+    Value *rows = builder.constantIndex(4);
+    Value *bank = builder.create("cam.alloc_bank", {rows, rows},
+                                 {ctx.opaqueType("cam", "bank_id")})
+                      ->result(0);
+    Value *mat = builder.create("cam.alloc_mat", {bank},
+                                {ctx.opaqueType("cam", "mat_id")})
+                     ->result(0);
+    Value *arr = builder.create("cam.alloc_array", {mat},
+                                {ctx.opaqueType("cam", "array_id")})
+                     ->result(0);
+    Value *sub = builder.create("cam.alloc_subarray", {arr},
+                                {ctx.opaqueType("cam", "subarray_id")})
+                     ->result(0);
+    Value *q = builder.create("memref.alloc", {},
+                              {ctx.memrefType({1, 4}, ctx.f32())})
+                   ->result(0);
+    // Missing kind/metric attributes.
+    builder.create("cam.search", {sub, q}, {});
+    EXPECT_THROW(verifyModule(module), CompilerError);
+}
+
+TEST_F(VerifierFixture, RegistryListsOps)
+{
+    auto names = ctx.registeredOps();
+    EXPECT_GT(names.size(), 30u);
+    EXPECT_NE(std::find(names.begin(), names.end(), "cam.search"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "cim.similarity"),
+              names.end());
+}
+
+TEST_F(VerifierFixture, DialectLoadIsIdempotent)
+{
+    // Loading twice must not re-register ops (would assert).
+    EXPECT_NO_THROW(dialects::loadAllDialects(ctx));
+    EXPECT_TRUE(ctx.isDialectLoaded("cam"));
+    EXPECT_FALSE(ctx.isDialectLoaded("nonexistent"));
+}

@@ -1,0 +1,255 @@
+/** @file cam-map pass tests, including Table I subarray counts. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Pass.h"
+#include "ir/Verifier.h"
+#include "passes/CamMapping.h"
+#include "passes/CamOptimization.h"
+#include "passes/CimFuseOps.h"
+#include "passes/CimSimilarityMatching.h"
+#include "passes/TorchToCim.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+using c4cam::passes::MappingPlan;
+
+namespace {
+
+struct MappingFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Module
+    mapped(const ArchSpec &spec, std::int64_t queries = 2,
+           std::int64_t rows = 8, std::int64_t dims = 64)
+    {
+        std::ostringstream src;
+        src << "def forward(input: Tensor[" << queries << ", " << dims
+            << "], weight: Tensor[" << rows << ", " << dims << "]):\n"
+            << "    others = weight.transpose(-2, -1)\n"
+            << "    scores = torch.matmul(input, others)\n"
+            << "    v, i = torch.topk(scores, 1, largest=True)\n"
+            << "    return v, i\n";
+        Module module = frontend::parseTorchScriptModule(ctx, src.str());
+        PassManager pm;
+        pm.add<passes::TorchToCimPass>();
+        pm.add<passes::CimFuseOpsPass>();
+        pm.add<passes::CimSimilarityMatchingPass>();
+        pm.add<passes::CamMappingPass>(spec);
+        pm.run(module);
+        return module;
+    }
+
+    int
+    countOps(Module &module, const std::string &name)
+    {
+        int count = 0;
+        module.walk([&](Operation *op) {
+            if (op->name() == name)
+                ++count;
+        });
+        return count;
+    }
+
+    int
+    countLoops(Module &module, const std::string &kind,
+               const std::string &level)
+    {
+        int count = 0;
+        module.walk([&](Operation *op) {
+            if (op->name() == kind &&
+                op->strAttrOr("level", "") == level)
+                ++count;
+        });
+        return count;
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST(MappingPlan, TableICamBased)
+{
+    // Table I, row "cam-based": 8192-dim HDC with 10 classes.
+    const std::int64_t expected[] = {512, 256, 128, 64, 32};
+    const int sizes[] = {16, 32, 64, 128, 256};
+    for (int i = 0; i < 5; ++i) {
+        ArchSpec spec = ArchSpec::dseSetup(sizes[i], OptTarget::Base);
+        MappingPlan plan = MappingPlan::compute(spec, 100, 10, 8192);
+        EXPECT_EQ(plan.physicalSubarrays, expected[i])
+            << "size " << sizes[i];
+    }
+}
+
+TEST(MappingPlan, TableICamDensity)
+{
+    // Table I, row "cam-density": selective search packs
+    // floor(rows/10) batches per subarray -> 512/86/22/6/2.
+    const std::int64_t expected[] = {512, 86, 22, 6, 2};
+    const int sizes[] = {16, 32, 64, 128, 256};
+    for (int i = 0; i < 5; ++i) {
+        ArchSpec spec = ArchSpec::dseSetup(sizes[i], OptTarget::Density);
+        MappingPlan plan = MappingPlan::compute(spec, 100, 10, 8192);
+        EXPECT_EQ(plan.physicalSubarrays, expected[i])
+            << "size " << sizes[i];
+    }
+}
+
+TEST(MappingPlan, BankCountFollowsHierarchy)
+{
+    // 4 mats x 4 arrays x 8 subarrays = 128 subarrays per bank.
+    ArchSpec spec = ArchSpec::dseSetup(16, OptTarget::Base);
+    MappingPlan plan = MappingPlan::compute(spec, 100, 10, 8192);
+    EXPECT_EQ(plan.banks, 4); // 512 / 128
+    plan = MappingPlan::compute(spec, 100, 10, 1024); // 64 tiles
+    EXPECT_EQ(plan.banks, 1);
+}
+
+TEST(MappingPlan, RowTilingForLargeDatasets)
+{
+    // KNN: 5216 stored rows on 64-row subarrays -> 82 row tiles.
+    ArchSpec spec = ArchSpec::dseSetup(64, OptTarget::Base);
+    MappingPlan plan = MappingPlan::compute(spec, 10, 5216, 1024);
+    EXPECT_EQ(plan.rowTiles, 82);
+    EXPECT_EQ(plan.colTiles, 16);
+    EXPECT_EQ(plan.logicalTiles, 82 * 16);
+    EXPECT_EQ(plan.batchesPerSubarray, 1); // rows exceed the subarray
+}
+
+TEST_F(MappingFixture, GeneratesAllCamOps)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    Module module = mapped(spec);
+    verifyModule(module);
+    EXPECT_EQ(countOps(module, "cam.alloc_bank"), 1);
+    EXPECT_EQ(countOps(module, "cam.alloc_mat"), 1);
+    EXPECT_EQ(countOps(module, "cam.alloc_array"), 1);
+    EXPECT_EQ(countOps(module, "cam.alloc_subarray"), 1);
+    EXPECT_EQ(countOps(module, "cam.get_subarray"), 1);
+    EXPECT_EQ(countOps(module, "cam.write_value"), 1);
+    EXPECT_EQ(countOps(module, "cam.search"), 1);
+    EXPECT_EQ(countOps(module, "cam.read"), 1);
+    EXPECT_EQ(countOps(module, "cam.merge_partial_subarray"), 1);
+    // No cim compute ops survive except the final top-k.
+    EXPECT_EQ(countOps(module, "cim.similarity"), 0);
+    EXPECT_EQ(countOps(module, "cim.execute"), 0);
+    EXPECT_EQ(countOps(module, "cim.topk"), 1);
+}
+
+TEST_F(MappingFixture, BaseTargetUsesParallelLoops)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    Module module = mapped(spec);
+    // Query-phase hierarchy levels are scf.parallel.
+    EXPECT_EQ(countLoops(module, "scf.parallel", "bank"), 1);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "mat"), 1);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "array"), 1);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "subarray"), 1);
+}
+
+TEST_F(MappingFixture, PowerTargetSerializesSubarrayLoop)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Power);
+    Module module = mapped(spec);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "subarray"), 0);
+    // Setup loop + query loop both sequential at subarray level.
+    EXPECT_GE(countLoops(module, "scf.for", "subarray"), 2);
+    // Other levels stay parallel.
+    EXPECT_EQ(countLoops(module, "scf.parallel", "bank"), 1);
+}
+
+TEST_F(MappingFixture, ChunkedPowerMapping)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    spec.maxActiveSubarrays = 4; // half of the 8 subarrays at a time
+    Module module = mapped(spec);
+    EXPECT_EQ(countLoops(module, "scf.for", "subarray_chunk"), 1);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "subarray"), 1);
+}
+
+TEST_F(MappingFixture, SequentialAccessModeRespected)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    spec.matMode = arch::AccessMode::Sequential;
+    Module module = mapped(spec);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "mat"), 0);
+    EXPECT_GE(countLoops(module, "scf.for", "mat"), 2);
+}
+
+TEST_F(MappingFixture, DensityUnrollsBatches)
+{
+    // 8 stored rows on 32-row subarrays -> 4 batches per subarray.
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Density);
+    Module module = mapped(spec, 2, 8, 64);
+    // 64/32 = 2 col tiles packed into ceil(2/4) = 1 subarray;
+    // setup writes one slice per batch (2 batches used).
+    EXPECT_EQ(countOps(module, "cam.write_value"), 4);
+    EXPECT_EQ(countOps(module, "cam.search"), 4);
+    verifyModule(module);
+}
+
+TEST_F(MappingFixture, SearchCarriesKindAndMetric)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    Module module = mapped(spec);
+    module.walk([&](Operation *op) {
+        if (op->name() == "cam.search") {
+            EXPECT_EQ(op->strAttr("kind"), "best");
+            EXPECT_EQ(op->strAttr("metric"), "hamming");
+            EXPECT_EQ(op->numOperands(), 4u); // row window operands
+        }
+    });
+}
+
+TEST_F(MappingFixture, CosineRejected)
+{
+    // Cosine cannot be mapped (normalization is not additive).
+    Module module = frontend::parseTorchScriptModule(
+        ctx,
+        "def f(a: Tensor[2, 16], b: Tensor[4, 16]):\n"
+        "    c = torch.matmul(a, b.transpose(-2, -1))\n"
+        "    return c\n");
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    pm.add<passes::CamMappingPass>(ArchSpec());
+    // No similarity kernel found (plain matmul): cam-map refuses.
+    EXPECT_THROW(pm.run(module), CompilerError);
+}
+
+TEST_F(MappingFixture, PowerOptPassRetunesMappedModule)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    Module module = mapped(spec);
+    auto pass = std::make_unique<passes::CamPowerOptPass>();
+    auto *pass_ptr = pass.get();
+    PassManager pm;
+    pm.addPass(std::move(pass));
+    pm.run(module);
+    EXPECT_GE(pass_ptr->converted(), 1);
+    EXPECT_EQ(countLoops(module, "scf.parallel", "subarray"), 0);
+    verifyModule(module);
+}
+
+TEST_F(MappingFixture, LatencyOptPassParallelizesEverything)
+{
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Power);
+    Module module = mapped(spec);
+    passes::CamLatencyOptPass pass;
+    pass.run(module);
+    EXPECT_GT(pass.converted(), 0);
+    EXPECT_EQ(countLoops(module, "scf.for", "subarray"), 0);
+    verifyModule(module);
+}

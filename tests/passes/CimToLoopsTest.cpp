@@ -1,0 +1,185 @@
+/** @file cim-to-loops host-path lowering tests. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Parser.h"
+#include "ir/Pass.h"
+#include "ir/Verifier.h"
+#include "passes/CimFuseOps.h"
+#include "passes/CimSimilarityMatching.h"
+#include "passes/CimToLoops.h"
+#include "passes/TorchToCim.h"
+#include "runtime/Interpreter.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+struct LoopsFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Module
+    lower(const std::string &source, int *lowered = nullptr)
+    {
+        Module module = frontend::parseTorchScriptModule(ctx, source);
+        PassManager pm;
+        pm.add<passes::TorchToCimPass>();
+        pm.add<passes::CimFuseOpsPass>();
+        pm.add<passes::CimSimilarityMatchingPass>();
+        auto pass = std::make_unique<passes::CimToLoopsPass>();
+        auto *raw = pass.get();
+        pm.addPass(std::move(pass));
+        pm.run(module);
+        if (lowered)
+            *lowered = raw->lowered();
+        return module;
+    }
+
+    int
+    countOps(Module &module, const std::string &name)
+    {
+        int count = 0;
+        module.walk([&](Operation *op) {
+            if (op->name() == name)
+                ++count;
+        });
+        return count;
+    }
+
+    Context ctx;
+};
+
+const char *kDotKernel =
+    "def forward(input: Tensor[3, 32], weight: Tensor[5, 32]):\n"
+    "    others = weight.transpose(-2, -1)\n"
+    "    scores = torch.matmul(input, others)\n"
+    "    v, i = torch.topk(scores, 2, largest=True)\n"
+    "    return v, i\n";
+
+const char *kEuclKernel =
+    "def forward(x: Tensor[3, 32], train: Tensor[5, 32]):\n"
+    "    diff = torch.sub(x, train)\n"
+    "    dist = torch.norm(diff, p=2)\n"
+    "    v, i = torch.topk(dist, 2, largest=False)\n"
+    "    return v, i\n";
+
+} // namespace
+
+TEST_F(LoopsFixture, LowersToPlainLoops)
+{
+    int lowered = 0;
+    Module module = lower(kDotKernel, &lowered);
+    EXPECT_EQ(lowered, 1);
+    verifyModule(module);
+    // Three nested scf.for loops, no cim device ops except topk.
+    EXPECT_EQ(countOps(module, "scf.for"), 3);
+    EXPECT_EQ(countOps(module, "cim.similarity"), 0);
+    EXPECT_EQ(countOps(module, "cim.acquire"), 0);
+    EXPECT_EQ(countOps(module, "cim.execute"), 0);
+    EXPECT_EQ(countOps(module, "cim.topk"), 1);
+    EXPECT_GE(countOps(module, "memref.load"), 2);
+}
+
+TEST_F(LoopsFixture, DotLoopsMatchTorchReference)
+{
+    Rng rng(21);
+    auto stored = rt::Buffer::alloc(rt::DType::F32, {5, 32});
+    auto query = rt::Buffer::alloc(rt::DType::F32, {3, 32});
+    for (std::int64_t r = 0; r < 5; ++r)
+        for (std::int64_t c = 0; c < 32; ++c)
+            stored->set({r, c}, rng.nextGaussian());
+    for (std::int64_t r = 0; r < 3; ++r)
+        for (std::int64_t c = 0; c < 32; ++c)
+            query->set({r, c}, rng.nextGaussian());
+
+    Module reference = frontend::parseTorchScriptModule(ctx, kDotKernel);
+    rt::Interpreter ref_interp(reference, nullptr);
+    auto ref = ref_interp.callFunction(
+        "forward", {rt::RtValue(query), rt::RtValue(stored)});
+
+    Module loops = lower(kDotKernel);
+    rt::Interpreter loop_interp(loops, nullptr);
+    auto got = loop_interp.callFunction(
+        "forward", {rt::RtValue(query), rt::RtValue(stored)});
+
+    for (std::int64_t r = 0; r < 3; ++r) {
+        for (std::int64_t c = 0; c < 2; ++c) {
+            EXPECT_NEAR(got[0].asBuffer()->at({r, c}),
+                        ref[0].asBuffer()->at({r, c}), 1e-6);
+            EXPECT_EQ(got[1].asBuffer()->atInt({r, c}),
+                      ref[1].asBuffer()->atInt({r, c}));
+        }
+    }
+}
+
+TEST_F(LoopsFixture, EuclLoopsMatchTorchReferenceIncludingSqrt)
+{
+    Rng rng(22);
+    auto stored = rt::Buffer::alloc(rt::DType::F32, {5, 32});
+    auto query = rt::Buffer::alloc(rt::DType::F32, {3, 32});
+    for (std::int64_t r = 0; r < 5; ++r)
+        for (std::int64_t c = 0; c < 32; ++c)
+            stored->set({r, c}, rng.nextGaussian());
+    for (std::int64_t r = 0; r < 3; ++r)
+        for (std::int64_t c = 0; c < 32; ++c)
+            query->set({r, c}, rng.nextGaussian());
+
+    Module reference =
+        frontend::parseTorchScriptModule(ctx, kEuclKernel);
+    rt::Interpreter ref_interp(reference, nullptr);
+    auto ref = ref_interp.callFunction(
+        "forward", {rt::RtValue(query), rt::RtValue(stored)});
+
+    Module loops = lower(kEuclKernel);
+    rt::Interpreter loop_interp(loops, nullptr);
+    auto got = loop_interp.callFunction(
+        "forward", {rt::RtValue(query), rt::RtValue(stored)});
+
+    for (std::int64_t r = 0; r < 3; ++r) {
+        for (std::int64_t c = 0; c < 2; ++c) {
+            // Values agree including the final sqrt.
+            EXPECT_NEAR(got[0].asBuffer()->at({r, c}),
+                        ref[0].asBuffer()->at({r, c}), 1e-5);
+            EXPECT_EQ(got[1].asBuffer()->atInt({r, c}),
+                      ref[1].asBuffer()->atInt({r, c}));
+        }
+    }
+}
+
+TEST_F(LoopsFixture, LoweredModuleRoundTripsThroughText)
+{
+    Module loops = lower(kDotKernel);
+    std::string text = loops.str();
+    Module reparsed = parseModule(ctx, text);
+    verifyModule(reparsed);
+    EXPECT_EQ(reparsed.str(), text);
+}
+
+TEST_F(LoopsFixture, NoSimilarityKernelIsNoop)
+{
+    Module module = frontend::parseTorchScriptModule(
+        ctx,
+        "def f(a: Tensor[2, 4], b: Tensor[4, 2]):\n"
+        "    c = torch.matmul(a, b)\n"
+        "    return c\n");
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    auto pass = std::make_unique<passes::CimToLoopsPass>();
+    auto *raw = pass.get();
+    pm.addPass(std::move(pass));
+    pm.run(module);
+    EXPECT_EQ(raw->lowered(), 0);
+}

@@ -1,0 +1,150 @@
+/** @file Cosine-pattern (Algorithm 1, CosSimPattern) tests.
+ *
+ * The cosine chain uses the 3-operand cim.div form
+ * (div(matmul, |q|, |s|)), which the TorchScript frontend cannot
+ * express, so the IR is built directly -- mirroring how a custom
+ * frontend would emit it.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Pass.h"
+#include "ir/Verifier.h"
+#include "passes/CamMapping.h"
+#include "passes/CimSimilarityMatching.h"
+#include "runtime/Interpreter.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+namespace cimd = c4cam::dialects::cim;
+
+namespace {
+
+/** Build the fused cosine execute block (norm, norm, transpose,
+ *  matmul, div) for Q x D queries against N x D stored rows. */
+Module
+buildCosineModule(Context &ctx, std::int64_t q, std::int64_t n,
+                  std::int64_t d)
+{
+    Module module(ctx);
+    Type query_t = ctx.tensorType({q, d}, ctx.f32());
+    Type stored_t = ctx.tensorType({n, d}, ctx.f32());
+    Operation *func = dialects::createFunction(module, "forward",
+                                               {query_t, stored_t});
+    Block *body = dialects::funcBody(func);
+    Value *query = body->argument(0);
+    Value *stored = body->argument(1);
+
+    OpBuilder builder(ctx);
+    builder.setInsertionPointToEnd(body);
+    Type scores_t = ctx.tensorType({q, n}, ctx.f32());
+    Operation *execute = cimd::createAcquireExecuteRelease(
+        builder, {query, stored}, {scores_t});
+
+    OpBuilder inner(ctx);
+    inner.setInsertionPointToEnd(cimd::executeBody(execute));
+    Value *qn = inner.create(cimd::kNorm, {query},
+                             {ctx.tensorType({q}, ctx.f32())},
+                             {{"p", Attribute(std::int64_t(2))}})
+                    ->result(0);
+    Value *sn = inner.create(cimd::kNorm, {stored},
+                             {ctx.tensorType({n}, ctx.f32())},
+                             {{"p", Attribute(std::int64_t(2))}})
+                    ->result(0);
+    Value *st = inner.create(cimd::kTranspose, {stored},
+                             {ctx.tensorType({d, n}, ctx.f32())})
+                    ->result(0);
+    Value *mm = inner.create(cimd::kMatmul, {query, st}, {scores_t})
+                    ->result(0);
+    Value *cos = inner.create(cimd::kDiv, {mm, qn, sn}, {scores_t})
+                     ->result(0);
+    inner.create(cimd::kYield, {cos}, {});
+
+    builder.create(kReturnOpName, {execute->result(0)}, {});
+    return module;
+}
+
+} // namespace
+
+TEST(CosineSimilarity, AlgorithmOneMatchesCosChain)
+{
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    Module module = buildCosineModule(ctx, 3, 5, 16);
+    verifyModule(module);
+
+    PassManager pm;
+    auto pass = std::make_unique<passes::CimSimilarityMatchingPass>();
+    auto *raw = pass.get();
+    pm.addPass(std::move(pass));
+    pm.run(module);
+
+    EXPECT_EQ(raw->rewritten(), 1);
+    int similarity = 0;
+    module.walk([&](Operation *op) {
+        if (op->name() == cimd::kSimilarity) {
+            ++similarity;
+            EXPECT_EQ(op->strAttr("metric"), "cos");
+            EXPECT_TRUE(op->boolAttrOr("partial", false));
+        }
+    });
+    EXPECT_EQ(similarity, 1);
+}
+
+TEST(CosineSimilarity, RewrittenModuleComputesCosineScores)
+{
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    Module module = buildCosineModule(ctx, 2, 4, 8);
+
+    // Reference inputs.
+    Rng rng(31);
+    auto query = rt::Buffer::alloc(rt::DType::F32, {2, 8});
+    auto stored = rt::Buffer::alloc(rt::DType::F32, {4, 8});
+    for (std::int64_t r = 0; r < 2; ++r)
+        for (std::int64_t c = 0; c < 8; ++c)
+            query->set({r, c}, rng.nextGaussian());
+    for (std::int64_t r = 0; r < 4; ++r)
+        for (std::int64_t c = 0; c < 8; ++c)
+            stored->set({r, c}, rng.nextGaussian());
+
+    // Run before the rewrite (raw chain).
+    rt::Interpreter before(module, nullptr);
+    auto raw = before.callFunction(
+        "forward", {rt::RtValue(query), rt::RtValue(stored)});
+
+    // Rewrite and run again.
+    PassManager pm;
+    pm.add<passes::CimSimilarityMatchingPass>();
+    pm.run(module);
+    rt::Interpreter after(module, nullptr);
+    auto rewritten = after.callFunction(
+        "forward", {rt::RtValue(query), rt::RtValue(stored)});
+
+    for (std::int64_t r = 0; r < 2; ++r) {
+        for (std::int64_t n = 0; n < 4; ++n) {
+            double a = raw[0].asBuffer()->at({r, n});
+            double b = rewritten[0].asBuffer()->at({r, n});
+            EXPECT_NEAR(a, b, 1e-6);
+            EXPECT_LE(std::abs(b), 1.0 + 1e-6); // cosine range
+        }
+    }
+}
+
+TEST(CosineSimilarity, CamMapRejectsCosine)
+{
+    // Normalization is not additive across subarrays: the device path
+    // must refuse (documented limitation).
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    Module module = buildCosineModule(ctx, 2, 4, 8);
+    PassManager pm;
+    pm.add<passes::CimSimilarityMatchingPass>();
+    pm.add<passes::CamMappingPass>(arch::ArchSpec());
+    EXPECT_THROW(pm.run(module), CompilerError);
+}

@@ -1,0 +1,257 @@
+/** @file Tests for torch-to-cim, fuse, similarity match, partition. */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Pass.h"
+#include "ir/Verifier.h"
+#include "passes/CimFuseOps.h"
+#include "passes/CimPartition.h"
+#include "passes/CimSimilarityMatching.h"
+#include "passes/TorchToCim.h"
+#include "runtime/Interpreter.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+namespace cimd = c4cam::dialects::cim;
+
+namespace {
+
+const char *kDotKernel =
+    "def forward(input: Tensor[4, 64], weight: Tensor[8, 64]):\n"
+    "    others = weight.transpose(-2, -1)\n"
+    "    scores = torch.matmul(input, others)\n"
+    "    values, indices = torch.topk(scores, 1, largest=True)\n"
+    "    return values, indices\n";
+
+const char *kEuclKernel =
+    "def forward(x: Tensor[4, 64], train: Tensor[8, 64]):\n"
+    "    diff = torch.sub(x, train)\n"
+    "    dist = torch.norm(diff, p=2)\n"
+    "    v, i = torch.topk(dist, 3, largest=False)\n"
+    "    return v, i\n";
+
+struct PipelineFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    Module
+    import(const char *source)
+    {
+        return frontend::parseTorchScriptModule(ctx, source);
+    }
+
+    int
+    countOps(Module &module, const std::string &name)
+    {
+        int count = 0;
+        module.walk([&](Operation *op) {
+            if (op->name() == name)
+                ++count;
+        });
+        return count;
+    }
+
+    Context ctx;
+};
+
+} // namespace
+
+TEST_F(PipelineFixture, TorchToCimWrapsEveryOp)
+{
+    Module module = import(kDotKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.run(module);
+
+    // Fig. 5a: one acquire/execute/release per torch op.
+    EXPECT_EQ(countOps(module, cimd::kAcquire), 3);
+    EXPECT_EQ(countOps(module, cimd::kExecute), 3);
+    EXPECT_EQ(countOps(module, cimd::kRelease), 3);
+    EXPECT_EQ(countOps(module, cimd::kTranspose), 1);
+    EXPECT_EQ(countOps(module, cimd::kMatmul), 1);
+    EXPECT_EQ(countOps(module, cimd::kTopk), 1);
+    EXPECT_EQ(countOps(module, "torch.aten.matmul"), 0);
+}
+
+TEST_F(PipelineFixture, FusePassMergesExecuteBlocks)
+{
+    Module module = import(kDotKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.run(module);
+
+    // Fig. 5b: a single fused execute block.
+    EXPECT_EQ(countOps(module, cimd::kExecute), 1);
+    EXPECT_EQ(countOps(module, cimd::kAcquire), 1);
+    EXPECT_EQ(countOps(module, cimd::kRelease), 1);
+    // The three cim ops still exist, now inside one body.
+    EXPECT_EQ(countOps(module, cimd::kTranspose), 1);
+    EXPECT_EQ(countOps(module, cimd::kMatmul), 1);
+}
+
+TEST_F(PipelineFixture, SimilarityMatchRecognizesDotPattern)
+{
+    Module module = import(kDotKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    auto match = std::make_unique<passes::CimSimilarityMatchingPass>();
+    passes::CimSimilarityMatchingPass *match_ptr = match.get();
+    pm.addPass(std::move(match));
+    pm.run(module);
+
+    EXPECT_EQ(match_ptr->rewritten(), 1);
+    EXPECT_EQ(countOps(module, cimd::kSimilarity), 1);
+    EXPECT_EQ(countOps(module, cimd::kTranspose), 0);
+    EXPECT_EQ(countOps(module, cimd::kMatmul), 0);
+    EXPECT_EQ(countOps(module, cimd::kTopk), 0);
+
+    module.walk([&](Operation *op) {
+        if (op->name() == cimd::kSimilarity) {
+            EXPECT_EQ(op->strAttr("metric"), "dot");
+            EXPECT_EQ(op->intAttr("k"), 1);
+            EXPECT_TRUE(op->boolAttrOr("largest", false));
+        }
+    });
+}
+
+TEST_F(PipelineFixture, SimilarityMatchRecognizesEuclPattern)
+{
+    Module module = import(kEuclKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    pm.run(module);
+
+    EXPECT_EQ(countOps(module, cimd::kSimilarity), 1);
+    module.walk([&](Operation *op) {
+        if (op->name() == cimd::kSimilarity) {
+            EXPECT_EQ(op->strAttr("metric"), "eucl");
+            EXPECT_EQ(op->intAttr("k"), 3);
+        }
+    });
+}
+
+TEST_F(PipelineFixture, NonSimilarityBodyLeftAlone)
+{
+    // A lone matmul is CIM-executable but not a similarity kernel.
+    Module module = import(
+        "def f(a: Tensor[4, 8], b: Tensor[4, 8]):\n"
+        "    c = torch.matmul(a, b.transpose(-2, -1))\n"
+        "    return c\n");
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    auto match = std::make_unique<passes::CimSimilarityMatchingPass>();
+    auto *match_ptr = match.get();
+    pm.addPass(std::move(match));
+    pm.run(module);
+    EXPECT_EQ(match_ptr->rewritten(), 0);
+    EXPECT_EQ(countOps(module, cimd::kSimilarity), 0);
+    EXPECT_EQ(countOps(module, cimd::kMatmul), 1);
+}
+
+TEST_F(PipelineFixture, HostExecutionPreservedThroughEveryStage)
+{
+    // The kernel computes the same answer at torch, cim, fused and
+    // similarity levels (host interpretation).
+    auto query = rt::Buffer::alloc(rt::DType::F32, {4, 64});
+    auto stored = rt::Buffer::alloc(rt::DType::F32, {8, 64});
+    Rng rng(3);
+    for (std::int64_t r = 0; r < 8; ++r)
+        for (std::int64_t d = 0; d < 64; ++d)
+            stored->set({r, d}, rng.nextBool() ? 1.0 : -1.0);
+    for (std::int64_t q = 0; q < 4; ++q)
+        for (std::int64_t d = 0; d < 64; ++d)
+            query->set({q, d}, stored->at({q * 2, d}));
+
+    auto run_stages = [&](int stages) {
+        Module module = import(kDotKernel);
+        PassManager pm;
+        if (stages >= 1)
+            pm.add<passes::TorchToCimPass>();
+        if (stages >= 2)
+            pm.add<passes::CimFuseOpsPass>();
+        if (stages >= 3)
+            pm.add<passes::CimSimilarityMatchingPass>();
+        if (stages >= 4)
+            pm.add<passes::CimPartitionPass>(arch::ArchSpec());
+        pm.run(module);
+        rt::Interpreter interp(module, nullptr);
+        auto results = interp.callFunction(
+            "forward", {rt::RtValue(query), rt::RtValue(stored)});
+        std::vector<std::int64_t> indices;
+        for (std::int64_t q = 0; q < 4; ++q)
+            indices.push_back(results[1].asBuffer()->atInt({q, 0}));
+        return indices;
+    };
+
+    auto reference = run_stages(0);
+    EXPECT_EQ(reference, (std::vector<std::int64_t>{0, 2, 4, 6}));
+    for (int stages = 1; stages <= 4; ++stages)
+        EXPECT_EQ(run_stages(stages), reference) << "stage " << stages;
+}
+
+TEST_F(PipelineFixture, PartitionCreatesTileLoop)
+{
+    Module module = import(kDotKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    arch::ArchSpec spec;
+    spec.cols = 16; // 64 / 16 = 4 tiles
+    pm.add<passes::CimPartitionPass>(spec);
+    pm.run(module);
+
+    // Fig. 5d: loop + slices + partial similarity + merge + final topk.
+    EXPECT_EQ(countOps(module, "scf.for"), 1);
+    EXPECT_EQ(countOps(module, "tensor.extract_slice"), 2);
+    EXPECT_EQ(countOps(module, cimd::kMergePartial), 1);
+    EXPECT_EQ(countOps(module, cimd::kTopk), 1);
+    int partial = 0;
+    module.walk([&](Operation *op) {
+        if (op->name() == cimd::kSimilarity &&
+            op->boolAttrOr("partial", false))
+            ++partial;
+    });
+    EXPECT_EQ(partial, 1);
+}
+
+TEST_F(PipelineFixture, PartitionNoopWhenKernelFits)
+{
+    Module module = import(kDotKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    arch::ArchSpec spec;
+    spec.cols = 64; // kernel fits in one subarray width
+    pm.add<passes::CimPartitionPass>(spec);
+    pm.run(module);
+    EXPECT_EQ(countOps(module, "scf.for"), 0);
+    EXPECT_EQ(countOps(module, cimd::kSimilarity), 1);
+}
+
+TEST_F(PipelineFixture, PartitionRequiresDivisibility)
+{
+    Module module = import(kDotKernel);
+    PassManager pm;
+    pm.add<passes::TorchToCimPass>();
+    pm.add<passes::CimFuseOpsPass>();
+    pm.add<passes::CimSimilarityMatchingPass>();
+    arch::ArchSpec spec;
+    spec.cols = 48; // 64 % 48 != 0
+    pm.add<passes::CimPartitionPass>(spec);
+    EXPECT_THROW(pm.run(module), CompilerError);
+}

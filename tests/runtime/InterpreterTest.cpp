@@ -1,0 +1,218 @@
+/** @file Interpreter tests for host-level ops (torch/cim/scf/memref). */
+
+#include <gtest/gtest.h>
+
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "runtime/Interpreter.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+using namespace c4cam::rt;
+
+namespace {
+
+struct InterpFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        dialects::loadAllDialects(ctx);
+    }
+
+    /** Run a torch-level function imported from TorchScript. */
+    std::vector<RtValue>
+    runTorch(const std::string &source,
+             const std::vector<BufferPtr> &args)
+    {
+        Module module = frontend::parseTorchScriptModule(ctx, source);
+        Interpreter interp(module, nullptr);
+        std::vector<RtValue> rt_args;
+        for (const auto &a : args)
+            rt_args.emplace_back(a);
+        auto results = interp.callFunction("f", rt_args);
+        modules_.push_back(std::make_unique<Module>(std::move(module)));
+        return results;
+    }
+
+    Context ctx;
+    std::vector<std::unique_ptr<Module>> modules_;
+};
+
+} // namespace
+
+TEST_F(InterpFixture, MatmulTranspose)
+{
+    auto a = Buffer::fromMatrix({{1, 2}, {3, 4}});
+    auto b = Buffer::fromMatrix({{1, 0}, {0, 1}});
+    auto results = runTorch(
+        "def f(a: Tensor[2, 2], b: Tensor[2, 2]):\n"
+        "    c = torch.matmul(a, b.transpose(-2, -1))\n"
+        "    return c\n",
+        {a, b});
+    BufferPtr c = results[0].asBuffer();
+    EXPECT_DOUBLE_EQ(c->at({0, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(c->at({1, 1}), 4.0);
+}
+
+TEST_F(InterpFixture, TopkLargestAndSmallest)
+{
+    auto a = Buffer::fromMatrix({{3, 1, 4, 1, 5}});
+    auto big = runTorch(
+        "def f(a: Tensor[1, 5]):\n"
+        "    v, i = torch.topk(a, 2, largest=True)\n"
+        "    return v, i\n",
+        {a});
+    EXPECT_DOUBLE_EQ(big[0].asBuffer()->at({0, 0}), 5.0);
+    EXPECT_EQ(big[1].asBuffer()->atInt({0, 0}), 4);
+    EXPECT_DOUBLE_EQ(big[0].asBuffer()->at({0, 1}), 4.0);
+
+    auto small = runTorch(
+        "def f(a: Tensor[1, 5]):\n"
+        "    v, i = torch.topk(a, 2, largest=False)\n"
+        "    return v, i\n",
+        {a});
+    EXPECT_DOUBLE_EQ(small[0].asBuffer()->at({0, 0}), 1.0);
+    // Stable: first of the tied 1s is index 1.
+    EXPECT_EQ(small[1].asBuffer()->atInt({0, 0}), 1);
+}
+
+TEST_F(InterpFixture, NormOfBroadcastSub)
+{
+    auto x = Buffer::fromMatrix({{0, 0}});
+    auto t = Buffer::fromMatrix({{3, 4}, {0, 1}});
+    auto results = runTorch(
+        "def f(x: Tensor[1, 2], t: Tensor[2, 2]):\n"
+        "    d = torch.sub(x, t)\n"
+        "    n = torch.norm(d, p=2)\n"
+        "    return n\n",
+        {x, t});
+    BufferPtr n = results[0].asBuffer();
+    EXPECT_EQ(n->shape(), (std::vector<std::int64_t>{1, 2}));
+    EXPECT_DOUBLE_EQ(n->at({0, 0}), 5.0); // 3-4-5 triangle
+    EXPECT_DOUBLE_EQ(n->at({0, 1}), 1.0);
+}
+
+TEST_F(InterpFixture, DivElementwise)
+{
+    auto a = Buffer::fromMatrix({{8, 6}});
+    auto b = Buffer::fromMatrix({{2, 3}});
+    auto results = runTorch(
+        "def f(a: Tensor[1, 2], b: Tensor[1, 2]):\n"
+        "    c = a / b\n"
+        "    return c\n",
+        {a, b});
+    EXPECT_DOUBLE_EQ(results[0].asBuffer()->at({0, 0}), 4.0);
+    EXPECT_DOUBLE_EQ(results[0].asBuffer()->at({0, 1}), 2.0);
+}
+
+TEST_F(InterpFixture, ScfForWithIterArgs)
+{
+    // Sum 0..4 through loop-carried values.
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    %lb = \"arith.constant\"() {value = 0} : () -> index\n"
+        "    %ub = \"arith.constant\"() {value = 5} : () -> index\n"
+        "    %st = \"arith.constant\"() {value = 1} : () -> index\n"
+        "    %init = \"arith.constant\"() {value = 0} : () -> index\n"
+        "    %sum = \"scf.for\"(%lb, %ub, %st, %init) ({\n"
+        "    ^bb0(%iv: index, %acc: index):\n"
+        "      %next = \"arith.addi\"(%acc, %iv) : (index, index) -> index\n"
+        "      \"scf.yield\"(%next) : (index) -> ()\n"
+        "    }) : (index, index, index, index) -> index\n"
+        "    \"func.return\"(%sum) : (index) -> ()\n"
+        "  }) {sym_name = \"f\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    Module module = parseModule(ctx, text);
+    Interpreter interp(module, nullptr);
+    auto results = interp.callFunction("f", {});
+    EXPECT_EQ(results[0].asInt(), 10);
+}
+
+TEST_F(InterpFixture, ScfIfTakesBranchOnlyWhenTrue)
+{
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    %a = \"arith.constant\"() {value = 3} : () -> index\n"
+        "    %b = \"arith.constant\"() {value = 5} : () -> index\n"
+        "    %buf = \"memref.alloc\"() : () -> memref<1xf32>\n"
+        "    %cond = \"arith.cmpi\"(%a, %b) {predicate = \"slt\"}"
+        " : (index, index) -> i1\n"
+        "    \"scf.if\"(%cond) ({\n"
+        "      %v = \"arith.constant\"() {value = 7.0} : () -> f32\n"
+        "      %z = \"arith.constant\"() {value = 0} : () -> index\n"
+        "      \"memref.store\"(%v, %buf, %z)"
+        " : (f32, memref<1xf32>, index) -> ()\n"
+        "    }) : (i1) -> ()\n"
+        "    \"func.return\"(%buf) : (memref<1xf32>) -> ()\n"
+        "  }) {sym_name = \"f\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    Module module = parseModule(ctx, text);
+    Interpreter interp(module, nullptr);
+    auto results = interp.callFunction("f", {});
+    EXPECT_DOUBLE_EQ(results[0].asBuffer()->at({0}), 7.0);
+}
+
+TEST_F(InterpFixture, ArithOpsEvaluate)
+{
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    %a = \"arith.constant\"() {value = 7} : () -> index\n"
+        "    %b = \"arith.constant\"() {value = 3} : () -> index\n"
+        "    %q = \"arith.divsi\"(%a, %b) : (index, index) -> index\n"
+        "    %r = \"arith.remsi\"(%a, %b) : (index, index) -> index\n"
+        "    %m = \"arith.minsi\"(%a, %b) : (index, index) -> index\n"
+        "    %s = \"arith.subi\"(%a, %b) : (index, index) -> index\n"
+        "    \"func.return\"(%q, %r, %m, %s)"
+        " : (index, index, index, index) -> ()\n"
+        "  }) {sym_name = \"f\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    Module module = parseModule(ctx, text);
+    Interpreter interp(module, nullptr);
+    auto results = interp.callFunction("f", {});
+    EXPECT_EQ(results[0].asInt(), 2);
+    EXPECT_EQ(results[1].asInt(), 1);
+    EXPECT_EQ(results[2].asInt(), 3);
+    EXPECT_EQ(results[3].asInt(), 4);
+}
+
+TEST_F(InterpFixture, CamOpsWithoutDeviceRejected)
+{
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    %r = \"arith.constant\"() {value = 4} : () -> index\n"
+        "    %b = \"cam.alloc_bank\"(%r, %r)"
+        " : (index, index) -> !cam.bank_id\n"
+        "    \"func.return\"() : () -> ()\n"
+        "  }) {sym_name = \"f\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    Module module = parseModule(ctx, text);
+    Interpreter interp(module, nullptr);
+    EXPECT_THROW(interp.callFunction("f", {}), CompilerError);
+}
+
+TEST_F(InterpFixture, UnknownFunctionRejected)
+{
+    Module module(ctx);
+    Interpreter interp(module, nullptr);
+    EXPECT_THROW(interp.callFunction("ghost", {}), CompilerError);
+}
+
+TEST_F(InterpFixture, ArgumentArityChecked)
+{
+    Module module = frontend::parseTorchScriptModule(
+        ctx, "def f(a: Tensor[1, 1]):\n    return a\n");
+    Interpreter interp(module, nullptr);
+    EXPECT_THROW(interp.callFunction("f", {}), CompilerError);
+}

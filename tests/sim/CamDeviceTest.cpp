@@ -1,0 +1,204 @@
+/** @file Hierarchical CAM device tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/CamDevice.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::sim;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::SearchKind;
+
+namespace {
+
+ArchSpec
+smallSpec()
+{
+    ArchSpec spec;
+    spec.rows = 4;
+    spec.cols = 4;
+    spec.subarraysPerArray = 2;
+    spec.arraysPerMat = 2;
+    spec.matsPerBank = 2;
+    return spec;
+}
+
+} // namespace
+
+TEST(CamDevice, AllocationHierarchy)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle mat = device.allocMat(bank);
+    Handle array = device.allocArray(mat);
+    Handle sub0 = device.allocSubarray(array);
+    Handle sub1 = device.allocSubarray(array);
+    EXPECT_EQ(device.numBanks(), 1);
+    EXPECT_EQ(device.numAllocatedSubarrays(), 2);
+    EXPECT_EQ(device.subarrayAt(0, 0, 0, 0), sub0);
+    EXPECT_EQ(device.subarrayAt(0, 0, 0, 1), sub1);
+}
+
+TEST(CamDevice, AllocationLimitsEnforced)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle mat = device.allocMat(bank);
+    Handle array = device.allocArray(mat);
+    device.allocSubarray(array);
+    device.allocSubarray(array);
+    EXPECT_THROW(device.allocSubarray(array), CompilerError); // max 2
+    device.allocArray(mat);
+    EXPECT_THROW(device.allocArray(mat), CompilerError); // max 2
+    device.allocMat(bank);
+    EXPECT_THROW(device.allocMat(bank), CompilerError); // max 2
+}
+
+TEST(CamDevice, FixedBankCountEnforced)
+{
+    ArchSpec spec = smallSpec();
+    spec.numBanks = 1;
+    CamDevice device(spec);
+    device.allocBank(4, 4);
+    EXPECT_THROW(device.allocBank(4, 4), CompilerError);
+}
+
+TEST(CamDevice, GeometryMustMatchSpec)
+{
+    CamDevice device(smallSpec());
+    EXPECT_THROW(device.allocBank(8, 8), CompilerError);
+}
+
+TEST(CamDevice, WrongHandleKindRejected)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    EXPECT_THROW(device.allocArray(bank), CompilerError);
+    EXPECT_THROW(device.allocMat(999), CompilerError);
+    EXPECT_THROW(device.subarrayAt(0, 0, 0, 0), CompilerError);
+}
+
+TEST(CamDevice, SearchReadRoundTrip)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub = device.allocSubarray(
+        device.allocArray(device.allocMat(bank)));
+    device.writeValue(sub, {{1, 0, 1, 0}, {0, 1, 0, 1}});
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false, 0, 2);
+    const SearchResult &r = device.read(sub);
+    ASSERT_EQ(r.values.size(), 2u);
+    EXPECT_FLOAT_EQ(r.values[0], 0.0f);
+    EXPECT_FLOAT_EQ(r.values[1], 4.0f);
+}
+
+TEST(CamDevice, ReadBeforeSearchRejected)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub = device.allocSubarray(
+        device.allocArray(device.allocMat(bank)));
+    EXPECT_THROW(device.read(sub), CompilerError);
+}
+
+TEST(CamDevice, WritesAccountAsSetupSearchesAsQuery)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub = device.allocSubarray(
+        device.allocArray(device.allocMat(bank)));
+    device.writeValue(sub, {{1, 0, 1, 0}});
+    PerfReport after_write = device.report();
+    EXPECT_GT(after_write.setupLatencyNs, 0.0);
+    EXPECT_DOUBLE_EQ(after_write.queryLatencyNs, 0.0);
+    EXPECT_EQ(after_write.writes, 1);
+
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+    PerfReport after_search = device.report();
+    EXPECT_GT(after_search.queryLatencyNs, 0.0);
+    EXPECT_GT(after_search.queryEnergyPj, 0.0);
+    EXPECT_EQ(after_search.searches, 1);
+    EXPECT_DOUBLE_EQ(after_search.setupLatencyNs,
+                     after_write.setupLatencyNs);
+}
+
+TEST(CamDevice, SelectiveSearchUsesLessEnergy)
+{
+    ArchSpec spec = smallSpec();
+    spec.rows = 32;
+    CamDevice device(spec);
+    Handle bank = device.allocBank(32, 4);
+    Handle mat = device.allocMat(bank);
+    Handle array = device.allocArray(mat);
+    Handle full = device.allocSubarray(array);
+    Handle windowed = device.allocSubarray(array);
+    device.writeValue(full, {{1, 0, 1, 0}});
+    device.writeValue(windowed, {{1, 0, 1, 0}});
+
+    device.search(full, {1, 0, 1, 0}, SearchKind::Best, false);
+    double full_energy = device.report().queryEnergyPj;
+    device.search(windowed, {1, 0, 1, 0}, SearchKind::Best, false, 0, 4,
+                  0.0, /*selective=*/true);
+    double windowed_energy =
+        device.report().queryEnergyPj - full_energy;
+    EXPECT_LT(windowed_energy, full_energy);
+}
+
+TEST(CamDevice, ParallelScopesShapeLatency)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle array = device.allocArray(device.allocMat(bank));
+    Handle a = device.allocSubarray(array);
+    Handle b = device.allocSubarray(array);
+    device.writeValue(a, {{1, 1, 1, 1}});
+    device.writeValue(b, {{0, 0, 0, 0}});
+
+    device.timing().beginScope(/*parallel=*/true);
+    device.search(a, {1, 1, 1, 1}, SearchKind::Best, false);
+    device.search(b, {1, 1, 1, 1}, SearchKind::Best, false);
+    device.timing().endScope();
+    double parallel_latency = device.report().queryLatencyNs;
+
+    CamDevice device2(smallSpec());
+    Handle bank2 = device2.allocBank(4, 4);
+    Handle array2 = device2.allocArray(device2.allocMat(bank2));
+    Handle c = device2.allocSubarray(array2);
+    Handle d = device2.allocSubarray(array2);
+    device2.writeValue(c, {{1, 1, 1, 1}});
+    device2.writeValue(d, {{0, 0, 0, 0}});
+    device2.timing().beginScope(/*parallel=*/false);
+    device2.search(c, {1, 1, 1, 1}, SearchKind::Best, false);
+    device2.search(d, {1, 1, 1, 1}, SearchKind::Best, false);
+    device2.timing().endScope();
+    double sequential_latency = device2.report().queryLatencyNs;
+
+    EXPECT_DOUBLE_EQ(sequential_latency, 2.0 * parallel_latency);
+    EXPECT_DOUBLE_EQ(device.report().queryEnergyPj,
+                     device2.report().queryEnergyPj);
+}
+
+TEST(CamDevice, UtilizationTracking)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle array = device.allocArray(device.allocMat(bank));
+    Handle used = device.allocSubarray(array);
+    device.allocSubarray(array); // allocated but never written
+    device.writeValue(used, {{1, 0, 1, 0}});
+    PerfReport report = device.report();
+    EXPECT_EQ(report.subarraysAllocated, 2);
+    EXPECT_EQ(report.subarraysUsed, 1);
+    EXPECT_DOUBLE_EQ(report.utilization(), 0.5);
+}
+
+TEST(CamDevice, MergeAndTransferCosts)
+{
+    CamDevice device(smallSpec());
+    device.postMerge(16);
+    device.postQueryTransfer(64);
+    PerfReport report = device.report();
+    EXPECT_GT(report.queryLatencyNs, 0.0);
+    EXPECT_GT(report.queryEnergyPj, 0.0);
+}

@@ -1,0 +1,202 @@
+/** @file Functional CAM subarray tests. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/CamSubarray.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::sim;
+using c4cam::arch::CamDeviceType;
+using c4cam::arch::SearchKind;
+
+namespace {
+
+CamSubarray
+makeTcam()
+{
+    CamSubarray sub(8, 8, CamDeviceType::Tcam, 1);
+    // Rows 0..3 hold distinct bit patterns.
+    sub.write({{0, 0, 0, 0, 0, 0, 0, 0},
+               {1, 1, 1, 1, 1, 1, 1, 1},
+               {1, 0, 1, 0, 1, 0, 1, 0},
+               {1, 1, 0, 0, 1, 1, 0, 0}},
+              0);
+    return sub;
+}
+
+} // namespace
+
+TEST(CamSubarray, ExactMatchFindsIdenticalRow)
+{
+    CamSubarray sub = makeTcam();
+    // Restrict to the written rows; unwritten rows are wildcards and
+    // would exact-match any query.
+    SearchResult r = sub.search({1, 0, 1, 0, 1, 0, 1, 0},
+                                SearchKind::Exact, false, 0, 4);
+    ASSERT_EQ(r.matchedRows.size(), 1u);
+    EXPECT_EQ(r.matchedRows[0], 2);
+}
+
+TEST(CamSubarray, UnwrittenRowsActAsWildcards)
+{
+    CamSubarray sub = makeTcam();
+    SearchResult r = sub.search({1, 0, 1, 0, 1, 0, 1, 0},
+                                SearchKind::Exact, false);
+    // Row 2 matches plus the four unwritten (all-wildcard) rows.
+    EXPECT_EQ(r.matchedRows.size(), 5u);
+}
+
+TEST(CamSubarray, ExactMatchMissesWhenNoRowMatches)
+{
+    CamSubarray sub = makeTcam();
+    // No stored row equals this pattern among the written rows; rows
+    // 4..7 are wildcards and match everything, so restrict the window.
+    SearchResult r = sub.search({0, 1, 0, 1, 0, 1, 0, 1},
+                                SearchKind::Exact, false, 0, 4);
+    EXPECT_TRUE(r.matchedRows.empty());
+}
+
+TEST(CamSubarray, HammingDistancesAreExact)
+{
+    CamSubarray sub = makeTcam();
+    SearchResult r =
+        sub.search({0, 0, 0, 0, 0, 0, 0, 0}, SearchKind::Best, false, 0, 4);
+    ASSERT_EQ(r.values.size(), 4u);
+    EXPECT_FLOAT_EQ(r.values[0], 0.0f); // row 0: all zeros
+    EXPECT_FLOAT_EQ(r.values[1], 8.0f); // row 1: all ones
+    EXPECT_FLOAT_EQ(r.values[2], 4.0f);
+    EXPECT_FLOAT_EQ(r.values[3], 4.0f);
+    ASSERT_EQ(r.matchedRows.size(), 1u);
+    EXPECT_EQ(r.matchedRows[0], 0);
+}
+
+TEST(CamSubarray, BestMatchReportsTies)
+{
+    CamSubarray sub = makeTcam();
+    // Equidistant from rows 2 and 3 (distance 2 each).
+    SearchResult r =
+        sub.search({1, 0, 1, 0, 1, 1, 0, 0}, SearchKind::Best, false, 0, 4);
+    EXPECT_FLOAT_EQ(r.values[2], 2.0f);
+    EXPECT_FLOAT_EQ(r.values[3], 2.0f);
+    ASSERT_EQ(r.matchedRows.size(), 2u);
+}
+
+TEST(CamSubarray, RangeMatchThreshold)
+{
+    CamSubarray sub = makeTcam();
+    SearchResult r = sub.search({0, 0, 0, 0, 0, 0, 0, 1},
+                                SearchKind::Range, false, 0, 4, 1.0);
+    // Row 0 at distance 1 passes; others are >= 3.
+    ASSERT_EQ(r.matchedRows.size(), 1u);
+    EXPECT_EQ(r.matchedRows[0], 0);
+}
+
+TEST(CamSubarray, SelectiveRowWindow)
+{
+    CamSubarray sub = makeTcam();
+    // Search only rows [2, 4): row 0 is invisible even though closer.
+    SearchResult r = sub.search({0, 0, 0, 0, 0, 0, 0, 0},
+                                SearchKind::Best, false, 2, 4);
+    ASSERT_EQ(r.values.size(), 2u);
+    EXPECT_EQ(r.indices[0], 2);
+    EXPECT_EQ(r.indices[1], 3);
+}
+
+TEST(CamSubarray, WildcardCellsMatchEverything)
+{
+    CamSubarray sub(2, 4, CamDeviceType::Tcam, 1);
+    float nan = std::nanf("");
+    sub.write({{1, nan, 0, nan}, {0, 0, 0, 0}}, 0);
+    SearchResult r =
+        sub.search({1, 1, 0, 0}, SearchKind::Exact, false, 0, 2);
+    ASSERT_EQ(r.matchedRows.size(), 1u);
+    EXPECT_EQ(r.matchedRows[0], 0);
+    r = sub.search({1, 0, 0, 1}, SearchKind::Exact, false, 0, 2);
+    ASSERT_EQ(r.matchedRows.size(), 1u);
+    EXPECT_EQ(r.matchedRows[0], 0);
+}
+
+TEST(CamSubarray, BinaryQuantizationClampsNegatives)
+{
+    // HDC convention: +-1 data lands on {0, 1} levels.
+    CamSubarray sub(1, 2, CamDeviceType::Tcam, 1);
+    sub.write({{-1.0f, 1.0f}}, 0);
+    SearchResult r = sub.search({-1.0f, 1.0f}, SearchKind::Exact, false,
+                                0, 1);
+    EXPECT_EQ(r.matchedRows.size(), 1u);
+}
+
+TEST(CamSubarray, MultiBitEuclideanDistance)
+{
+    CamSubarray sub(2, 3, CamDeviceType::Mcam, 2);
+    sub.write({{0, 1, 2}, {3, 3, 3}}, 0);
+    SearchResult r =
+        sub.search({0, 1, 3}, SearchKind::Best, true, 0, 2);
+    EXPECT_FLOAT_EQ(r.values[0], 1.0f);       // (2-3)^2
+    EXPECT_FLOAT_EQ(r.values[1], 9.0f + 4.0f); // (3)^2+(2)^2+(0)^2
+    EXPECT_EQ(r.matchedRows[0], 0);
+}
+
+TEST(CamSubarray, MultiBitQuantizationClamps)
+{
+    CamSubarray sub(1, 1, CamDeviceType::Mcam, 2);
+    sub.write({{9.0f}}, 0); // clamps to 3
+    SearchResult r = sub.search({3.0f}, SearchKind::Exact, true, 0, 1);
+    EXPECT_EQ(r.matchedRows.size(), 1u);
+}
+
+TEST(CamSubarray, AcamStoresRanges)
+{
+    CamSubarray sub(2, 2, CamDeviceType::Acam, 2);
+    std::vector<std::vector<CamCell>> cells(2,
+                                            std::vector<CamCell>(2));
+    cells[0][0] = {0.2f, 0.4f, false};
+    cells[0][1] = {0.0f, 1.0f, false};
+    cells[1][0] = {0.8f, 0.9f, false};
+    cells[1][1] = {0.0f, 0.1f, false};
+    sub.writeRanges(cells, 0);
+    SearchResult r =
+        sub.search({0.3f, 0.5f}, SearchKind::Exact, false, 0, 2);
+    ASSERT_EQ(r.matchedRows.size(), 1u);
+    EXPECT_EQ(r.matchedRows[0], 0);
+}
+
+TEST(CamSubarray, RangeProgrammingRequiresAcam)
+{
+    CamSubarray sub(1, 1, CamDeviceType::Tcam, 1);
+    EXPECT_THROW(sub.writeRanges({{CamCell{0, 1, false}}}, 0),
+                 CompilerError);
+}
+
+TEST(CamSubarray, WriteAtRowOffsetTracksWrittenRows)
+{
+    CamSubarray sub(8, 4, CamDeviceType::Tcam, 1);
+    EXPECT_EQ(sub.writtenRows(), 0);
+    sub.write({{1, 1, 1, 1}}, 5);
+    EXPECT_EQ(sub.writtenRows(), 6);
+}
+
+TEST(CamSubarray, OutOfBoundsRejected)
+{
+    CamSubarray sub(2, 2, CamDeviceType::Tcam, 1);
+    EXPECT_THROW(sub.write({{1, 1}, {1, 1}, {1, 1}}, 0), CompilerError);
+    EXPECT_THROW(sub.write({{1, 1, 1}}, 0), CompilerError);
+    EXPECT_THROW(sub.search({1, 1, 1}, SearchKind::Exact, false),
+                 CompilerError);
+    EXPECT_THROW(sub.search({1}, SearchKind::Exact, false, 0, 5),
+                 CompilerError);
+    EXPECT_THROW(CamSubarray(0, 4, CamDeviceType::Tcam, 1),
+                 CompilerError);
+}
+
+TEST(CamSubarray, ShorterQueryUsesPrefixColumns)
+{
+    CamSubarray sub = makeTcam();
+    // 4-column query against 8-column rows: only cells 0..3 compared.
+    SearchResult r =
+        sub.search({1, 0, 1, 0}, SearchKind::Best, false, 0, 4);
+    EXPECT_FLOAT_EQ(r.values[2], 0.0f);
+}

@@ -1,0 +1,96 @@
+/** @file Energy-breakdown accounting tests. */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "arch/TechModel.h"
+#include "core/Compiler.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+using c4cam::arch::SearchKind;
+using c4cam::arch::TechModel;
+
+TEST(EnergyBreakdown, ComponentsSumToTotal)
+{
+    TechModel t(arch::CamDeviceType::Tcam, 1);
+    for (int rows : {16, 256}) {
+        for (int cols : {16, 256}) {
+            auto split = t.searchEnergyBreakdown(rows, rows, cols,
+                                                 SearchKind::Best);
+            EXPECT_DOUBLE_EQ(split.total(),
+                             t.searchEnergyPj(rows, rows, cols,
+                                              SearchKind::Best));
+            EXPECT_GT(split.cellPj, 0.0);
+            EXPECT_GT(split.sensePj, 0.0);
+            EXPECT_GT(split.driverPj, 0.0);
+        }
+    }
+}
+
+TEST(EnergyBreakdown, SelectiveSearchOnlyCutsSensing)
+{
+    TechModel t(arch::CamDeviceType::Tcam, 1);
+    auto full = t.searchEnergyBreakdown(64, 64, 32, SearchKind::Best);
+    auto selective =
+        t.searchEnergyBreakdown(64, 10, 32, SearchKind::Best);
+    EXPECT_DOUBLE_EQ(full.cellPj, selective.cellPj);
+    EXPECT_DOUBLE_EQ(full.driverPj, selective.driverPj);
+    EXPECT_GT(full.sensePj, selective.sensePj);
+}
+
+TEST(EnergyBreakdown, DeviceReportSumsExactly)
+{
+    // For compiled modules every query joule lands in exactly one
+    // bucket: cell + sense + drive + merge == queryEnergyPj.
+    Rng rng(5);
+    std::vector<std::vector<float>> stored(8,
+                                           std::vector<float>(128));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    std::vector<std::vector<float>> queries = {stored[1], stored[4]};
+
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(2, 8, 128, 1));
+    auto result = kernel.run({rt::Buffer::fromMatrix(queries),
+                              rt::Buffer::fromMatrix(stored)});
+    const sim::PerfReport &perf = result.perf;
+    double sum = perf.cellEnergyPj + perf.senseEnergyPj +
+                 perf.driveEnergyPj + perf.mergeEnergyPj;
+    EXPECT_NEAR(sum, perf.queryEnergyPj, perf.queryEnergyPj * 1e-9);
+}
+
+TEST(EnergyBreakdown, SenseShareFallsWithColumns)
+{
+    // The Fig. 7b explanation: larger C -> fewer subarrays -> fewer
+    // sense amplifiers per query -> the peripheral (sense) share of
+    // energy shrinks while the cell share grows.
+    Rng rng(6);
+    std::vector<std::vector<float>> stored(8,
+                                           std::vector<float>(1024));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    std::vector<std::vector<float>> queries = {stored[0]};
+
+    double prev_share = 1.0;
+    for (int cols : {16, 32, 64, 128}) {
+        core::CompilerOptions options;
+        options.spec = ArchSpec::validationSetup(cols, 1);
+        core::Compiler compiler(options);
+        core::CompiledKernel kernel = compiler.compileTorchScript(
+            apps::dotSimilaritySource(1, 8, 1024, 1));
+        auto result = kernel.run({rt::Buffer::fromMatrix(queries),
+                                  rt::Buffer::fromMatrix(stored)});
+        double share = result.perf.senseEnergyPj /
+                       result.perf.queryEnergyPj;
+        EXPECT_LT(share, prev_share) << "cols " << cols;
+        prev_share = share;
+    }
+}

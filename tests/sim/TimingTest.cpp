@@ -1,0 +1,154 @@
+/** @file Timing-engine scope semantics tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/Timing.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+using namespace c4cam::sim;
+
+TEST(Timing, SequentialScopeSumsLatency)
+{
+    TimingEngine t;
+    t.beginScope(false);
+    t.post(3.0, 1.0);
+    t.post(4.0, 2.0);
+    t.endScope();
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 7.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 3.0);
+}
+
+TEST(Timing, ParallelScopeTakesMaxLatencySumsEnergy)
+{
+    TimingEngine t;
+    t.beginScope(true);
+    t.post(3.0, 1.0);
+    t.post(5.0, 2.0);
+    t.post(4.0, 4.0);
+    t.endScope();
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 5.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 7.0);
+}
+
+TEST(Timing, NestedScopesCombineCorrectly)
+{
+    // parallel over 2 sequential children: latency = max(sum, sum).
+    TimingEngine t;
+    t.beginScope(true);
+    t.beginScope(false);
+    t.post(1.0, 1.0);
+    t.post(2.0, 1.0);
+    t.endScope(); // child A: 3ns
+    t.beginScope(false);
+    t.post(4.0, 1.0);
+    t.endScope(); // child B: 4ns
+    t.endScope();
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 4.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 3.0);
+}
+
+TEST(Timing, SequentialOfParallelScopes)
+{
+    // A query stream: each query is a parallel fan-out; queries add up.
+    TimingEngine t;
+    t.beginScope(false);
+    for (int q = 0; q < 3; ++q) {
+        t.beginScope(true);
+        t.post(2.0, 1.0);
+        t.post(6.0, 1.0);
+        t.endScope();
+    }
+    t.endScope();
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 18.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 6.0);
+}
+
+TEST(Timing, PowerSemantics)
+{
+    // Serializing the same work stretches latency, keeps energy:
+    // that is exactly the paper's cam-power trade-off.
+    TimingEngine par;
+    par.beginScope(true);
+    for (int i = 0; i < 8; ++i)
+        par.post(2.0, 3.0);
+    par.endScope();
+
+    TimingEngine seq;
+    seq.beginScope(false);
+    for (int i = 0; i < 8; ++i)
+        seq.post(2.0, 3.0);
+    seq.endScope();
+
+    EXPECT_DOUBLE_EQ(par.queryCost().energyPj, seq.queryCost().energyPj);
+    EXPECT_DOUBLE_EQ(seq.queryCost().latencyNs,
+                     8.0 * par.queryCost().latencyNs);
+}
+
+TEST(Timing, SetupAndQueryPhasesSeparate)
+{
+    TimingEngine t;
+    t.beginScope(false);
+    t.setPhase(TimingEngine::Phase::Setup);
+    t.post(100.0, 50.0);
+    t.setPhase(TimingEngine::Phase::Query);
+    t.post(1.0, 2.0);
+    t.endScope();
+    EXPECT_DOUBLE_EQ(t.setupCost().latencyNs, 100.0);
+    EXPECT_DOUBLE_EQ(t.setupCost().energyPj, 50.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 1.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 2.0);
+}
+
+TEST(Timing, TopLevelPostsAccumulate)
+{
+    TimingEngine t;
+    t.post(1.5, 2.5);
+    t.post(1.5, 2.5);
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 3.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 5.0);
+}
+
+TEST(Timing, ResetClearsEverything)
+{
+    TimingEngine t;
+    t.post(1.0, 1.0);
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 0.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 0.0);
+    EXPECT_EQ(t.depth(), 0u);
+}
+
+TEST(Timing, UnbalancedEndScopeAsserts)
+{
+    TimingEngine t;
+    EXPECT_THROW(t.endScope(), InternalError);
+}
+
+TEST(Timing, NegativeCostAsserts)
+{
+    TimingEngine t;
+    EXPECT_THROW(t.post(-1.0, 0.0), InternalError);
+}
+
+TEST(PerfReport, DerivedMetrics)
+{
+    PerfReport report;
+    report.queryLatencyNs = 2000.0; // 2 us
+    report.queryEnergyPj = 4000.0;  // 4 nJ
+    // pJ/ns == mW
+    EXPECT_DOUBLE_EQ(report.avgPowerMw(), 2.0);
+    // EDP = 4 nJ * 2e-6 s = 8e-6 nJ*s
+    EXPECT_NEAR(report.edpNanoJouleSeconds(), 8e-6, 1e-12);
+    report.subarraysAllocated = 10;
+    report.subarraysUsed = 5;
+    EXPECT_DOUBLE_EQ(report.utilization(), 0.5);
+    EXPECT_FALSE(report.str().empty());
+}
+
+TEST(PerfReport, ZeroLatencySafe)
+{
+    PerfReport report;
+    EXPECT_DOUBLE_EQ(report.avgPowerMw(), 0.0);
+    EXPECT_DOUBLE_EQ(report.utilization(), 0.0);
+}

@@ -1,0 +1,56 @@
+/** @file Unit tests for error-handling macros. */
+
+#include <gtest/gtest.h>
+
+#include "support/Error.h"
+
+using namespace c4cam;
+
+TEST(Error, UserErrorCarriesMessage)
+{
+    try {
+        C4CAM_USER_ERROR("bad input " << 42);
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &err) {
+        EXPECT_STREQ(err.what(), "bad input 42");
+    }
+}
+
+TEST(Error, CheckPassesOnTrue)
+{
+    EXPECT_NO_THROW(C4CAM_CHECK(1 + 1 == 2, "unused"));
+}
+
+TEST(Error, CheckThrowsCompilerError)
+{
+    EXPECT_THROW(C4CAM_CHECK(false, "nope"), CompilerError);
+}
+
+TEST(Error, AssertThrowsInternalError)
+{
+    EXPECT_THROW(C4CAM_ASSERT(false, "bug"), InternalError);
+    EXPECT_NO_THROW(C4CAM_ASSERT(true, "fine"));
+}
+
+TEST(Error, InternalErrorMentionsLocation)
+{
+    try {
+        C4CAM_ASSERT(false, "broken invariant");
+        FAIL() << "expected InternalError";
+    } catch (const InternalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("ErrorTest.cpp"), std::string::npos);
+        EXPECT_NE(what.find("broken invariant"), std::string::npos);
+    }
+}
+
+TEST(Error, CompilerErrorIsNotInternalError)
+{
+    try {
+        C4CAM_CHECK(false, "user fault");
+    } catch (const InternalError &) {
+        FAIL() << "C4CAM_CHECK must not raise InternalError";
+    } catch (const CompilerError &) {
+        SUCCEED();
+    }
+}

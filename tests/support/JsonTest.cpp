@@ -1,0 +1,102 @@
+/** @file Unit tests for the JSON-lite parser used by arch specs. */
+
+#include <gtest/gtest.h>
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+using namespace c4cam;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").asBool());
+    EXPECT_FALSE(parseJson("false").asBool());
+    EXPECT_DOUBLE_EQ(parseJson("3.5").asNumber(), 3.5);
+    EXPECT_EQ(parseJson("42").asInt(), 42);
+    EXPECT_EQ(parseJson("-7").asInt(), -7);
+    EXPECT_EQ(parseJson("\"hello\"").asString(), "hello");
+}
+
+TEST(Json, ParsesScientificNotation)
+{
+    EXPECT_DOUBLE_EQ(parseJson("1e3").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(parseJson("-2.5e-2").asNumber(), -0.025);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    JsonValue v = parseJson(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+    ASSERT_TRUE(v.isObject());
+    const auto &arr = v.find("a")->asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_EQ(arr[0].asInt(), 1);
+    EXPECT_TRUE(arr[2].find("b")->asBool());
+    EXPECT_EQ(v.getString("c", ""), "x");
+}
+
+TEST(Json, SupportsLineComments)
+{
+    JsonValue v = parseJson("// header\n{\"a\": 1 // trailing\n}");
+    EXPECT_EQ(v.getInt("a", 0), 1);
+}
+
+TEST(Json, DefaultsForMissingKeys)
+{
+    JsonValue v = parseJson("{}");
+    EXPECT_EQ(v.getInt("missing", 9), 9);
+    EXPECT_EQ(v.getString("missing", "d"), "d");
+    EXPECT_TRUE(v.getBool("missing", true));
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parseJson(R"("a\"b\\c\nd")").asString(), "a\"b\\c\nd");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), CompilerError);
+    EXPECT_THROW(parseJson("[1, 2"), CompilerError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), CompilerError);
+    EXPECT_THROW(parseJson("tru"), CompilerError);
+    EXPECT_THROW(parseJson("1 2"), CompilerError);
+    EXPECT_THROW(parseJson(""), CompilerError);
+}
+
+TEST(Json, RejectsTypeMismatches)
+{
+    JsonValue v = parseJson("{\"a\": 1.5}");
+    EXPECT_THROW(v.find("a")->asString(), CompilerError);
+    EXPECT_THROW(v.find("a")->asInt(), CompilerError); // non-integral
+    EXPECT_THROW(v.asArray(), CompilerError);
+}
+
+TEST(Json, DumpRoundTrips)
+{
+    std::string text = R"({"arr": [1, 2.5, "s"], "flag": true, "n": 3})";
+    JsonValue v = parseJson(text);
+    JsonValue again = parseJson(v.dump());
+    EXPECT_EQ(again.find("arr")->asArray()[1].asNumber(), 2.5);
+    EXPECT_TRUE(again.getBool("flag", false));
+    EXPECT_EQ(again.getInt("n", 0), 3);
+    // Pretty dump parses too.
+    EXPECT_EQ(parseJson(v.dump(2)).getInt("n", 0), 3);
+}
+
+TEST(Json, BuildsProgrammatically)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("x", JsonValue(1.0));
+    JsonValue arr = JsonValue::makeArray();
+    arr.append(JsonValue(std::string("a")));
+    obj.set("list", std::move(arr));
+    EXPECT_EQ(obj.getInt("x", 0), 1);
+    EXPECT_EQ(obj.find("list")->asArray()[0].asString(), "a");
+}
+
+TEST(Json, MissingFileThrows)
+{
+    EXPECT_THROW(parseJsonFile("/nonexistent/file.json"), CompilerError);
+}

@@ -1,0 +1,55 @@
+/** @file Unit tests for string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/StringUtils.h"
+
+using namespace c4cam;
+
+TEST(StringUtils, SplitKeepsEmptyFields)
+{
+    auto parts = splitString("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtils, SplitSingleToken)
+{
+    auto parts = splitString("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtils, SplitEmptyString)
+{
+    auto parts = splitString("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtils, JoinInvertsSplit)
+{
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(joinStrings(parts, "."), "x.y.z");
+    EXPECT_EQ(joinStrings({}, "."), "");
+    EXPECT_EQ(joinStrings({"solo"}, "."), "solo");
+}
+
+TEST(StringUtils, StartsWith)
+{
+    EXPECT_TRUE(startsWith("tensor<4xf32>", "tensor<"));
+    EXPECT_FALSE(startsWith("tensor", "tensor<"));
+    EXPECT_TRUE(startsWith("abc", ""));
+    EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(StringUtils, Trim)
+{
+    EXPECT_EQ(trimString("  a b  "), "a b");
+    EXPECT_EQ(trimString("\t\nx\r "), "x");
+    EXPECT_EQ(trimString(""), "");
+    EXPECT_EQ(trimString("   "), "");
+    EXPECT_EQ(trimString("nospace"), "nospace");
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * c4cam-opt: mlir-opt-style pass driver.
+ *
+ * Reads a module (generic IR syntax, or TorchScript with --torchscript)
+ * from a file or stdin, applies the requested passes in order, and
+ * prints the resulting IR to stdout.
+ *
+ *   c4cam-opt kernel.py --torchscript \
+ *       --torch-to-cim --cim-fuse-ops --cim-similarity-match \
+ *       --cam-map --canonicalize --arch spec.json
+ *
+ * Passes: --torch-to-cim --cim-fuse-ops --cim-similarity-match
+ *         --cim-partition --cam-map --cam-power-opt --cam-latency-opt
+ *         --canonicalize --full-pipeline
+ * Options: --arch <spec.json>   architecture for partition/map
+ *          --torchscript        input is TorchScript, not IR
+ *          --verify-each        verify after every pass (default on)
+ *          --timing             print per-pass wall-clock
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/ArchSpec.h"
+#include "dialects/AllDialects.h"
+#include "frontend/TorchScriptFrontend.h"
+#include "ir/Parser.h"
+#include "ir/Pass.h"
+#include "ir/Verifier.h"
+#include "passes/CamMapping.h"
+#include "passes/CamOptimization.h"
+#include "passes/Canonicalize.h"
+#include "passes/CimFuseOps.h"
+#include "passes/CimPartition.h"
+#include "passes/CimSimilarityMatching.h"
+#include "passes/TorchToCim.h"
+#include "support/Error.h"
+
+using namespace c4cam;
+
+namespace {
+
+std::string
+readInput(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream oss;
+        oss << std::cin.rdbuf();
+        return oss.str();
+    }
+    std::ifstream in(path);
+    C4CAM_CHECK(in.good(), "cannot open input file '" << path << "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: c4cam-opt <input|-> [--torchscript] [--arch spec.json]"
+        << " [passes...]\n"
+        << "passes: --torch-to-cim --cim-fuse-ops"
+        << " --cim-similarity-match --cim-partition --cam-map\n"
+        << "        --cam-power-opt --cam-latency-opt --canonicalize"
+        << " --full-pipeline\n"
+        << "options: --no-verify --timing\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input_path;
+    std::string arch_path;
+    bool torchscript = false;
+    bool verify = true;
+    bool timing = false;
+    std::vector<std::string> pass_names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--torchscript") {
+            torchscript = true;
+        } else if (arg == "--arch") {
+            if (++i >= argc)
+                return usage();
+            arch_path = argv[i];
+        } else if (arg == "--no-verify") {
+            verify = false;
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (arg.rfind("--", 0) == 0) {
+            pass_names.push_back(arg.substr(2));
+        } else if (input_path.empty()) {
+            input_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input_path.empty())
+        return usage();
+
+    try {
+        arch::ArchSpec spec;
+        if (!arch_path.empty())
+            spec = arch::ArchSpec::fromFile(arch_path);
+
+        ir::Context ctx;
+        dialects::loadAllDialects(ctx);
+
+        std::string text = readInput(input_path);
+        ir::Module module =
+            torchscript ? frontend::parseTorchScriptModule(ctx, text)
+                        : ir::parseModule(ctx, text);
+        ir::verifyModule(module);
+
+        ir::PassManager pm;
+        pm.enableVerifier(verify);
+        pm.enableTiming(timing);
+        for (const std::string &name : pass_names) {
+            if (name == "torch-to-cim") {
+                pm.add<passes::TorchToCimPass>();
+            } else if (name == "cim-fuse-ops") {
+                pm.add<passes::CimFuseOpsPass>();
+            } else if (name == "cim-similarity-match") {
+                pm.add<passes::CimSimilarityMatchingPass>();
+            } else if (name == "cim-partition") {
+                pm.add<passes::CimPartitionPass>(spec);
+            } else if (name == "cam-map") {
+                pm.add<passes::CamMappingPass>(spec);
+            } else if (name == "cam-power-opt") {
+                pm.add<passes::CamPowerOptPass>();
+            } else if (name == "cam-latency-opt") {
+                pm.add<passes::CamLatencyOptPass>();
+            } else if (name == "canonicalize") {
+                pm.add<passes::CanonicalizePass>();
+            } else if (name == "full-pipeline") {
+                pm.add<passes::TorchToCimPass>();
+                pm.add<passes::CimFuseOpsPass>();
+                pm.add<passes::CimSimilarityMatchingPass>();
+                pm.add<passes::CamMappingPass>(spec);
+                pm.add<passes::CanonicalizePass>();
+            } else {
+                std::cerr << "unknown pass '--" << name << "'\n";
+                return usage();
+            }
+        }
+        pm.run(module);
+
+        if (timing) {
+            for (const auto &t : pm.timings())
+                std::cerr << "  " << t.pass << ": " << t.millis
+                          << " ms\n";
+        }
+        std::cout << module.str();
+        return 0;
+    } catch (const CompilerError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    } catch (const InternalError &err) {
+        std::cerr << "internal error: " << err.what() << "\n";
+        return 3;
+    }
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * c4cam-run: compile a TorchScript kernel and execute it on the CAM
+ * simulator with synthetic data.
+ *
+ *   c4cam-run kernel.py --arch spec.json [--queries-equal-rows]
+ *                       [--seed N] [--print-ir]
+ *
+ * Generates deterministic +-1 inputs for each tensor parameter, runs
+ * the compiled kernel, prints the outputs and the performance report.
+ * With --queries-equal-rows, query i is a copy of stored row
+ * (2*i mod N) so the expected top-1 indices are obvious.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "arch/ArchSpec.h"
+#include "core/Compiler.h"
+#include "dialects/BuiltinDialect.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: c4cam-run <kernel.py|-> [--arch spec.json]"
+              << " [--seed N] [--queries-equal-rows] [--print-ir]"
+              << " [--host-only]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input_path;
+    std::string arch_path;
+    std::uint64_t seed = 42;
+    bool queries_equal_rows = false;
+    bool print_ir = false;
+    bool host_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--arch") {
+            if (++i >= argc)
+                return usage();
+            arch_path = argv[i];
+        } else if (arg == "--seed") {
+            if (++i >= argc)
+                return usage();
+            seed = std::stoull(argv[i]);
+        } else if (arg == "--queries-equal-rows") {
+            queries_equal_rows = true;
+        } else if (arg == "--print-ir") {
+            print_ir = true;
+        } else if (arg == "--host-only") {
+            host_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (input_path.empty()) {
+            input_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input_path.empty())
+        return usage();
+
+    try {
+        std::string source;
+        if (input_path == "-") {
+            std::ostringstream oss;
+            oss << std::cin.rdbuf();
+            source = oss.str();
+        } else {
+            std::ifstream in(input_path);
+            C4CAM_CHECK(in.good(), "cannot open '" << input_path << "'");
+            std::ostringstream oss;
+            oss << in.rdbuf();
+            source = oss.str();
+        }
+
+        core::CompilerOptions options;
+        if (!arch_path.empty())
+            options.spec = arch::ArchSpec::fromFile(arch_path);
+        options.hostOnly = host_only;
+        core::Compiler compiler(options);
+        core::CompiledKernel kernel = compiler.compileTorchScript(source);
+
+        if (print_ir)
+            std::cout << kernel.module().str() << "\n";
+
+        // Synthesize +-1 inputs matching the function signature.
+        ir::Operation *func =
+            kernel.module().lookupFunction(kernel.entryPoint());
+        ir::Block *body = dialects::funcBody(func);
+        std::vector<rt::BufferPtr> args;
+        Rng rng(seed);
+        for (std::size_t i = 0; i < body->numArguments(); ++i) {
+            ir::Type t = body->argument(i)->type();
+            C4CAM_CHECK(t.isTensor() && t.rank() == 2,
+                        "c4cam-run synthesizes rank-2 tensor args only");
+            auto buf = rt::Buffer::alloc(rt::DType::F32, t.shape());
+            for (std::int64_t r = 0; r < t.shape()[0]; ++r)
+                for (std::int64_t c = 0; c < t.shape()[1]; ++c)
+                    buf->set({r, c}, rng.nextBool() ? 1.0 : -1.0);
+            args.push_back(buf);
+        }
+        if (queries_equal_rows && args.size() >= 2) {
+            const auto &queries = args[0];
+            const auto &stored = args[1];
+            std::int64_t n = stored->shape()[0];
+            for (std::int64_t q = 0; q < queries->shape()[0]; ++q)
+                for (std::int64_t c = 0; c < queries->shape()[1]; ++c)
+                    queries->set({q, c}, stored->at({(2 * q) % n, c}));
+        }
+
+        core::ExecutionResult result = kernel.run(args);
+
+        for (std::size_t i = 0; i < result.outputs.size(); ++i) {
+            const rt::RtValue &out = result.outputs[i];
+            if (out.isBuffer())
+                std::cout << "output[" << i
+                          << "] = " << out.asBuffer()->str() << "\n";
+            else if (out.isInt())
+                std::cout << "output[" << i << "] = " << out.asInt()
+                          << "\n";
+            else
+                std::cout << "output[" << i << "] = " << out.asFloat()
+                          << "\n";
+        }
+        if (!host_only) {
+            std::cout << "perf: " << result.perf.str() << "\n";
+            const auto &plan = kernel.plan();
+            std::cout << "mapping: " << plan.logicalTiles << " tiles -> "
+                      << plan.physicalSubarrays << " subarrays, "
+                      << plan.banks << " banks, "
+                      << plan.batchesPerSubarray
+                      << " batches/subarray\n";
+        }
+        return 0;
+    } catch (const CompilerError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    } catch (const InternalError &err) {
+        std::cerr << "internal error: " << err.what() << "\n";
+        return 3;
+    }
+}
