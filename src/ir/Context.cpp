@@ -93,6 +93,18 @@ Context::opaqueType(const std::string &dialect, const std::string &name)
 Type
 Context::parseType(const std::string &raw)
 {
+    return parseTypeImpl(raw, 0);
+}
+
+Type
+Context::parseTypeImpl(const std::string &raw, int depth)
+{
+    // Shaped types nest ("tensor<4xtensor<...>>") and each level costs
+    // one stack frame; cap the depth instead of risking overflow.
+    constexpr int kMaxTypeNestingDepth = 256;
+    C4CAM_CHECK(depth < kMaxTypeNestingDepth,
+                "type nesting depth exceeds limit of "
+                << kMaxTypeNestingDepth);
     std::string text = trimString(raw);
     if (text == "f32")
         return f32();
@@ -137,7 +149,7 @@ Context::parseType(const std::string &raw)
         }
         C4CAM_CHECK(pos < inner.size(), "missing element type in '" << text
                     << "'");
-        Type element = parseType(inner.substr(pos));
+        Type element = parseTypeImpl(inner.substr(pos), depth + 1);
         return tensor ? tensorType(shape, element)
                       : memrefType(shape, element);
     }

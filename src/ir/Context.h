@@ -111,6 +111,7 @@ class Context
 
   private:
     Type intern(detail::TypeStorage storage);
+    Type parseTypeImpl(const std::string &text, int depth);
 
     std::unordered_map<std::string,
                        std::unique_ptr<detail::TypeStorage>>

@@ -21,6 +21,10 @@ class IRParser
         : ctx_(ctx), text_(text)
     {}
 
+    /** Ops/regions (and attribute arrays) nested deeper than this are
+     *  rejected instead of risking a stack overflow. */
+    static constexpr int kMaxNestingDepth = 256;
+
     std::unique_ptr<Operation>
     parseTopLevel()
     {
@@ -135,7 +139,9 @@ class IRParser
     parseValueName()
     {
         expect('%');
-        return "%" + parseIdent();
+        std::string out = "%";
+        out += parseIdent();
+        return out;
     }
 
     std::string
@@ -198,18 +204,23 @@ class IRParser
         if (c == '"')
             return Attribute(parseQuotedString());
         if (c == '[') {
+            if (depth_ >= kMaxNestingDepth)
+                fail("attribute nesting depth exceeds limit of " +
+                     std::to_string(kMaxNestingDepth));
+            ++depth_;
             next();
             std::vector<Attribute> elems;
             skipWs();
-            if (tryConsume(']'))
-                return Attribute(std::move(elems));
-            while (true) {
-                elems.push_back(parseAttrValue());
-                skipWs();
-                if (tryConsume(']'))
-                    break;
-                expect(',');
+            if (!tryConsume(']')) {
+                while (true) {
+                    elems.push_back(parseAttrValue());
+                    skipWs();
+                    if (tryConsume(']'))
+                        break;
+                    expect(',');
+                }
             }
+            --depth_;
             return Attribute(std::move(elems));
         }
         if (tryConsume("true"))
@@ -278,6 +289,18 @@ class IRParser
      */
     std::unique_ptr<Operation>
     parseOp(Block *block)
+    {
+        if (depth_ >= kMaxNestingDepth)
+            fail("op nesting depth exceeds limit of " +
+                 std::to_string(kMaxNestingDepth));
+        ++depth_;
+        auto op = parseOpImpl(block);
+        --depth_;
+        return op;
+    }
+
+    std::unique_ptr<Operation>
+    parseOpImpl(Block *block)
     {
         skipWs();
         // Optional result list.
@@ -545,6 +568,7 @@ class IRParser
     const std::string &text_;
     std::size_t pos_ = 0;
     int line_ = 1;
+    int depth_ = 0;
     std::map<std::string, Value *> values_;
 };
 

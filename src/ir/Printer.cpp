@@ -28,7 +28,8 @@ class Printer
         auto it = names_.find(v);
         if (it != names_.end())
             return it->second;
-        std::string name = "%" + std::to_string(nextId_++);
+        std::string name = "%";
+        name += std::to_string(nextId_++);
         names_.emplace(v, name);
         return name;
     }

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -27,8 +28,11 @@ std::int64_t
 JsonValue::asInt() const
 {
     double d = asNumber();
-    C4CAM_CHECK(std::floor(d) == d, "JSON number " << d
-                << " is not an integer");
+    // The range check guards the cast below: converting a double
+    // outside int64's range is undefined behavior.
+    C4CAM_CHECK(std::isfinite(d) && std::floor(d) == d &&
+                    d >= -0x1p63 && d < 0x1p63,
+                "JSON number " << d << " is not a 64-bit integer");
     return static_cast<std::int64_t>(d);
 }
 
@@ -204,11 +208,15 @@ JsonValue::dump(int indent) const
 
 namespace {
 
-/** Recursive-descent JSON parser with line tracking for diagnostics. */
+/** Recursive-descent JSON parser with line/column tracking. */
 class JsonParser
 {
   public:
     explicit JsonParser(const std::string &text) : text_(text) {}
+
+    /** Containers deeper than this are rejected instead of risking a
+     *  stack overflow in the recursive descent. */
+    static constexpr int kMaxNestingDepth = 256;
 
     JsonValue
     parse()
@@ -226,8 +234,8 @@ class JsonParser
     [[noreturn]] void
     fail(const std::string &what)
     {
-        C4CAM_USER_ERROR("JSON parse error at line " << line_ << ": "
-                         << what);
+        C4CAM_USER_ERROR("JSON parse error at line " << line_
+                         << ", column " << col_ << ": " << what);
     }
 
     char
@@ -243,8 +251,12 @@ class JsonParser
     {
         char c = peek();
         pos_++;
-        if (c == '\n')
+        if (c == '\n') {
             line_++;
+            col_ = 1;
+        } else {
+            col_++;
+        }
         return c;
     }
 
@@ -277,10 +289,15 @@ class JsonParser
     parseValue()
     {
         char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
+        if (c == '{' || c == '[') {
+            if (depth_ >= kMaxNestingDepth)
+                fail("nesting depth exceeds limit of " +
+                     std::to_string(kMaxNestingDepth));
+            ++depth_;
+            JsonValue v = c == '{' ? parseObject() : parseArray();
+            --depth_;
+            return v;
+        }
         if (c == '"')
             return JsonValue(parseString());
         if (c == 't' || c == 'f')
@@ -353,15 +370,15 @@ class JsonParser
             next();
         }
         std::string tok = text_.substr(start, pos_ - start);
-        try {
-            size_t used = 0;
-            double d = std::stod(tok, &used);
-            if (used != tok.size())
-                fail("invalid number '" + tok + "'");
-            return JsonValue(d);
-        } catch (const std::exception &) {
+        // strtod instead of std::stod: a magnitude outside double's
+        // range ("1e999") is syntactically valid JSON, and strtod
+        // clamps it to +/-HUGE_VAL (or a denormal/0 on underflow)
+        // rather than throwing std::out_of_range.
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (tok.empty() || end != tok.c_str() + tok.size())
             fail("invalid number '" + tok + "'");
-        }
+        return JsonValue(d);
     }
 
     JsonValue
@@ -417,6 +434,8 @@ class JsonParser
     const std::string &text_;
     size_t pos_ = 0;
     int line_ = 1;
+    int col_ = 1;
+    int depth_ = 0;
 };
 
 } // namespace

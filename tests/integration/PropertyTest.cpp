@@ -145,8 +145,9 @@ TEST_P(PlanSweep, PlanInvariants)
         // Banks cover all physical subarrays.
         EXPECT_GE(plan.banks * spec.subarraysPerBank(),
                   plan.physicalSubarrays);
-        if (target == OptTarget::Base)
+        if (target == OptTarget::Base) {
             EXPECT_EQ(plan.batchesPerSubarray, 1);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 #include "ir/Builder.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 
 using namespace c4cam;
@@ -207,3 +208,75 @@ TEST_P(ParserFuzz, RandomModulesRoundTrip)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 24));
+
+TEST(ParserDepthLimit, DeeplyNestedRegionsAreRejected)
+{
+    // Regression: a 100k-deep nest of region ops used to exhaust the
+    // stack and crash c4cam-opt with SIGSEGV; it must instead raise a
+    // located IR parse error.
+    constexpr int kDepth = 100000;
+    std::string text;
+    text.reserve(kDepth * 36);
+    for (int i = 0; i < kDepth; ++i)
+        text += "\"builtin.module\"() ({\n";
+    text += "\"builtin.module\"() ({}) : () -> ()\n";
+    for (int i = 0; i < kDepth; ++i)
+        text += "}) : () -> ()\n";
+
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    try {
+        parseOperation(ctx, text);
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &err) {
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("IR parse error at line"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("nesting depth"), std::string::npos) << msg;
+    }
+}
+
+TEST(ParserDepthLimit, NestingUpToTheLimitStillParses)
+{
+    constexpr int kDepth = 255;
+    std::string text;
+    for (int i = 0; i < kDepth; ++i)
+        text += "\"builtin.module\"() ({\n";
+    text += "\"builtin.module\"() ({}) : () -> ()\n";
+    for (int i = 0; i < kDepth; ++i)
+        text += "}) : () -> ()\n";
+
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    EXPECT_NO_THROW(parseOperation(ctx, text));
+}
+
+TEST(ParserDepthLimit, DeeplyNestedShapedTypesAreRejected)
+{
+    // The type grammar recurses per tensor<...> level; a deep nest
+    // must be a parse error, not a stack overflow.
+    constexpr int kDepth = 100000;
+    std::string type;
+    for (int i = 0; i < kDepth; ++i)
+        type += "tensor<4x";
+    type += "f32";
+    type += std::string(kDepth, '>');
+    std::string text = "\"builtin.module\"() ({}) : () -> " + type;
+
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    EXPECT_THROW(parseOperation(ctx, text), CompilerError);
+}
+
+TEST(ParserDepthLimit, DeeplyNestedAttributeArraysAreRejected)
+{
+    // The attribute grammar recurses too; it shares the depth budget.
+    std::string attr = std::string(5000, '[') + "1" +
+                       std::string(5000, ']');
+    std::string text =
+        "\"builtin.module\"() ({}) {deep = " + attr + "} : () -> ()";
+
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    EXPECT_THROW(parseOperation(ctx, text), CompilerError);
+}

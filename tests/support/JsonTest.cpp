@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "support/Error.h"
 #include "support/Json.h"
 
@@ -99,4 +101,67 @@ TEST(Json, BuildsProgrammatically)
 TEST(Json, MissingFileThrows)
 {
     EXPECT_THROW(parseJsonFile("/nonexistent/file.json"), CompilerError);
+}
+
+TEST(Json, RejectsExcessiveNestingDepth)
+{
+    // Regression: this used to exhaust the stack and segfault instead
+    // of reporting a parse error.
+    std::string bomb =
+        std::string(1'000'000, '[') + std::string(1'000'000, ']');
+    EXPECT_THROW(parseJson(bomb), CompilerError);
+
+    // The limit is exact: 256 levels parse, 257 are rejected.
+    EXPECT_NO_THROW(parseJson(std::string(256, '[') +
+                              std::string(256, ']')));
+    EXPECT_THROW(parseJson(std::string(257, '[') + std::string(257, ']')),
+                 CompilerError);
+
+    // Objects count against the same budget as arrays.
+    std::string objs;
+    for (int i = 0; i < 300; ++i)
+        objs += "{\"k\":";
+    objs += "null";
+    objs += std::string(300, '}');
+    EXPECT_THROW(parseJson(objs), CompilerError);
+}
+
+TEST(Json, DepthErrorCarriesSourceLocation)
+{
+    try {
+        parseJson("\n\n" + std::string(400, '[') + std::string(400, ']'));
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &err) {
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("column"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("nesting depth"), std::string::npos) << msg;
+    }
+}
+
+TEST(Json, ClampsOverflowingNumbers)
+{
+    // Regression: "1e999" is valid JSON whose magnitude overflows
+    // double; it must clamp to +/-infinity, not escape as a raw
+    // std::out_of_range (or be rejected as malformed).
+    double pos = parseJson("1e999").asNumber();
+    EXPECT_TRUE(std::isinf(pos));
+    EXPECT_GT(pos, 0.0);
+
+    double neg = parseJson("-1e999").asNumber();
+    EXPECT_TRUE(std::isinf(neg));
+    EXPECT_LT(neg, 0.0);
+
+    // Underflow quietly collapses toward zero rather than throwing.
+    EXPECT_NEAR(parseJson("1e-999").asNumber(), 0.0, 1e-300);
+
+    // Clamped infinities are numbers but not integers, and finite
+    // values outside int64's range are rejected rather than cast.
+    EXPECT_THROW(parseJson("1e999").asInt(), CompilerError);
+    EXPECT_THROW(parseJson("1e30").asInt(), CompilerError);
+    EXPECT_THROW(parseJson("-1e30").asInt(), CompilerError);
+
+    // Still-malformed numbers keep failing with a parse error.
+    EXPECT_THROW(parseJson("1e"), CompilerError);
+    EXPECT_THROW(parseJson("--1"), CompilerError);
 }
