@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Serving-throughput bench: persistent sessions vs per-query runs.
+ *
+ * The paper's execution model (§III-D) pays the subarray-programming
+ * setup once and then serves queries at search latency. This bench
+ * quantifies what that buys a serving deployment: it serves the same
+ * query stream (a) naively, one CompiledKernel::run() per query --
+ * re-allocating and re-programming the device every time -- and (b)
+ * through one ExecutionSession created once.
+ *
+ * Reported: simulated queries/sec (the paper's metric; deterministic)
+ * and host wall-clock queries/sec (the simulator does strictly less
+ * work per served query in session mode). The bench exits non-zero if
+ * the session path is not at least 5x faster in simulated throughput
+ * or if any result/cost invariant breaks, so CI can smoke-run it.
+ *
+ *   bench_serving_throughput [--queries N]   (default 64)
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "BenchUtils.h"
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "core/ExecutionSession.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long num_queries = 64;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            num_queries = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "--queries: not a number: %s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_serving_throughput [--queries N]\n");
+            return 2;
+        }
+    }
+    if (num_queries < 1) {
+        std::fprintf(stderr, "--queries must be >= 1\n");
+        return 2;
+    }
+
+    // A small HDC-style workload: 128 stored vectors of 1024 bits,
+    // one query per serving request.
+    const std::int64_t rows = 128;
+    const std::int64_t dims = 1024;
+    arch::ArchSpec spec = arch::ArchSpec::dseSetup(32, arch::OptTarget::Base);
+
+    core::CompilerOptions options;
+    options.spec = spec;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, rows, dims, 1));
+
+    Rng rng(123);
+    std::vector<std::vector<float>> stored(
+        static_cast<std::size_t>(rows),
+        std::vector<float>(static_cast<std::size_t>(dims)));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    rt::BufferPtr stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<rt::BufferPtr> queries;
+    queries.reserve(static_cast<std::size_t>(num_queries));
+    for (long q = 0; q < num_queries; ++q)
+        queries.push_back(rt::Buffer::fromMatrix(
+            {stored[static_cast<std::size_t>(q) % stored.size()]}));
+
+    // (a) naive serving: one kernel.run() per query (setup every time).
+    double naive_sim_ns = 0.0;
+    std::vector<std::int64_t> naive_answers;
+    Clock::time_point start = Clock::now();
+    for (const rt::BufferPtr &query : queries) {
+        core::ExecutionResult r = kernel.run({query, stored_buf});
+        naive_sim_ns += r.perf.setupLatencyNs + r.perf.queryLatencyNs;
+        naive_answers.push_back(r.outputs[1].asBuffer()->atInt({0, 0}));
+    }
+    double naive_wall_s = secondsSince(start);
+
+    // Reference for the per-query cost invariant, taken outside the
+    // timed serving windows.
+    core::ExecutionResult single = kernel.run({queries[0], stored_buf});
+
+    // (b) persistent session: setup once, then query-phase only.
+    start = Clock::now();
+    core::ExecutionSession session =
+        kernel.createSession({queries[0], stored_buf});
+    std::vector<std::int64_t> session_answers;
+    double per_query_mismatch = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        core::ExecutionResult r = session.runQuery({queries[q], stored_buf});
+        session_answers.push_back(r.outputs[1].asBuffer()->atInt({0, 0}));
+        // Invariant: a served query costs exactly what single-shot
+        // reports for its query phase (setup excluded).
+        if (q == 0)
+            per_query_mismatch =
+                std::abs(r.perf.queryLatencyNs -
+                         single.perf.queryLatencyNs) +
+                std::abs(r.perf.queryEnergyPj - single.perf.queryEnergyPj);
+    }
+    sim::PerfReport total = session.aggregateReport();
+    double session_sim_ns = total.setupLatencyNs + total.queryLatencyNs;
+    double session_wall_s = secondsSince(start);
+
+    double n = static_cast<double>(num_queries);
+    double naive_qps = n / (naive_sim_ns * 1e-9);
+    double session_qps = n / (session_sim_ns * 1e-9);
+    double sim_speedup = naive_qps > 0.0 ? session_qps / naive_qps : 0.0;
+    double wall_speedup =
+        session_wall_s > 0.0 ? naive_wall_s / session_wall_s : 0.0;
+
+    std::printf("Serving throughput: %ld queries, %lld x %lld stored\n",
+                num_queries, static_cast<long long>(rows),
+                static_cast<long long>(dims));
+    bench::rule();
+    std::printf("%-28s %16s %16s\n", "", "per-query run()", "session");
+    std::printf("%-28s %16.1f %16.1f\n", "simulated total (us)",
+                naive_sim_ns * 1e-3, session_sim_ns * 1e-3);
+    std::printf("%-28s %16.0f %16.0f\n", "simulated queries/sec",
+                naive_qps, session_qps);
+    std::printf("%-28s %16.3f %16.3f\n", "host wall-clock (s)",
+                naive_wall_s, session_wall_s);
+    bench::rule();
+    std::printf("setup %.1f us once, then %.3f us/query "
+                "(amortized %.3f us/query)\n",
+                total.setupLatencyNs * 1e-3,
+                total.avgQueryLatencyNs() * 1e-3,
+                total.amortizedLatencyNs() * 1e-3);
+    std::printf("simulated speedup: %.1fx, wall-clock speedup: %.1fx\n",
+                sim_speedup, wall_speedup);
+
+    if (naive_answers != session_answers) {
+        std::fprintf(stderr,
+                     "FAIL: session answers diverge from per-query runs\n");
+        return 1;
+    }
+    if (per_query_mismatch != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: per-query cost differs from single-shot by "
+                     "%g\n",
+                     per_query_mismatch);
+        return 1;
+    }
+    if (num_queries >= 64 && sim_speedup < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: expected >= 5x simulated speedup, got %.2fx\n",
+                     sim_speedup);
+        return 1;
+    }
+    return 0;
+}

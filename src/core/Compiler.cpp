@@ -1,5 +1,6 @@
 #include "core/Compiler.h"
 
+#include "core/ExecutionSession.h"
 #include "dialects/AllDialects.h"
 #include "frontend/TorchScriptFrontend.h"
 #include "ir/Verifier.h"
@@ -27,7 +28,9 @@ CompiledKernel::CompiledKernel(std::shared_ptr<ir::Context> ctx,
 }
 
 ExecutionResult
-CompiledKernel::run(const std::vector<rt::BufferPtr> &args)
+runKernelOnce(ir::Module &module, const std::string &entry,
+              const CompilerOptions &options,
+              const std::vector<rt::BufferPtr> &args)
 {
     ExecutionResult result;
     std::vector<rt::RtValue> rt_args;
@@ -35,17 +38,30 @@ CompiledKernel::run(const std::vector<rt::BufferPtr> &args)
     for (const rt::BufferPtr &arg : args)
         rt_args.emplace_back(arg);
 
-    if (options_.hostOnly) {
-        rt::Interpreter interpreter(module_, nullptr);
-        result.outputs = interpreter.callFunction(entry_, rt_args);
+    if (options.hostOnly) {
+        rt::Interpreter interpreter(module, nullptr);
+        result.outputs = interpreter.callFunction(entry, rt_args);
         return result;
     }
 
-    sim::CamDevice device(options_.spec);
-    rt::Interpreter interpreter(module_, &device);
-    result.outputs = interpreter.callFunction(entry_, rt_args);
+    sim::CamDevice device(options.spec);
+    rt::Interpreter interpreter(module, &device);
+    result.outputs = interpreter.callFunction(entry, rt_args);
     result.perf = device.report();
+    result.perf.queriesServed = 1;
     return result;
+}
+
+ExecutionResult
+CompiledKernel::run(const std::vector<rt::BufferPtr> &args)
+{
+    return runKernelOnce(module_, entry_, options_, args);
+}
+
+ExecutionSession
+CompiledKernel::createSession(const std::vector<rt::BufferPtr> &setup_args)
+{
+    return ExecutionSession(ctx_, module_, options_, entry_, setup_args);
 }
 
 Compiler::Compiler(CompilerOptions options) : options_(std::move(options))

@@ -52,6 +52,18 @@ struct ExecutionResult
     sim::PerfReport perf;
 };
 
+class ExecutionSession;
+
+/**
+ * Execute @p entry of @p module once on fresh state: a new CamDevice
+ * for the device path, host interpretation when @p options.hostOnly.
+ * Shared by CompiledKernel::run() and non-persistent sessions so the
+ * two paths cannot diverge in accounting.
+ */
+ExecutionResult runKernelOnce(ir::Module &module, const std::string &entry,
+                              const CompilerOptions &options,
+                              const std::vector<rt::BufferPtr> &args);
+
 /**
  * A compiled kernel: owns the context and the lowered module.
  */
@@ -75,6 +87,18 @@ class CompiledKernel
      * @param args one tensor per function parameter.
      */
     ExecutionResult run(const std::vector<rt::BufferPtr> &args);
+
+    /**
+     * Open a persistent execution session: allocates the device and
+     * programs the stored data once (setup phase); each subsequent
+     * ExecutionSession::runQuery() re-enters only the search body.
+     * @param setup_args one tensor per function parameter; the stored
+     *        tensor is programmed into CAM here.
+     * The kernel must outlive (and not be moved while used by) the
+     * session. See core/ExecutionSession.h for the accounting rules.
+     */
+    ExecutionSession
+    createSession(const std::vector<rt::BufferPtr> &setup_args);
 
     /** IR snapshots per pass (when dumpIntermediates was set). */
     const std::vector<std::pair<std::string, std::string>> &dumps() const

@@ -1,0 +1,143 @@
+#include "core/ExecutionSession.h"
+
+#include "support/Error.h"
+
+namespace c4cam::core {
+
+namespace {
+
+std::vector<rt::RtValue>
+toRtValues(const std::vector<rt::BufferPtr> &args)
+{
+    std::vector<rt::RtValue> rt_args;
+    rt_args.reserve(args.size());
+    for (const rt::BufferPtr &arg : args)
+        rt_args.emplace_back(arg);
+    return rt_args;
+}
+
+} // namespace
+
+ExecutionSession::ExecutionSession(std::shared_ptr<ir::Context> ctx,
+                                   ir::Module &module,
+                                   CompilerOptions options,
+                                   std::string entry,
+                                   const std::vector<rt::BufferPtr>
+                                       &setup_args)
+    : ctx_(std::move(ctx)), module_(&module), options_(std::move(options)),
+      entry_(std::move(entry))
+{
+    ir::Operation *func = module_->lookupFunction(entry_);
+    C4CAM_CHECK(func, "session kernel has no function '" << entry_ << "'");
+    entryBody_ = &func->region(0).front();
+    validateArgs(setup_args);
+
+    persistent_ = !options_.hostOnly &&
+                  rt::Interpreter::hasPhaseMarkers(func);
+    if (!persistent_)
+        return; // fall back to full re-execution per query
+
+    device_ = std::make_unique<sim::CamDevice>(options_.spec);
+    interpreter_ =
+        std::make_unique<rt::Interpreter>(*module_, device_.get());
+    interpreter_->callFunction(entry_, toRtValues(setup_args),
+                               rt::Interpreter::ExecPhase::SetupOnly);
+    setupReport_ = device_->report();
+    aggregate_ = setupReport_;
+}
+
+void
+ExecutionSession::validateArgs(const std::vector<rt::BufferPtr> &args) const
+{
+    C4CAM_CHECK(entryBody_->numArguments() == args.size(),
+                "kernel '" << entry_ << "' takes "
+                << entryBody_->numArguments() << " arguments, got "
+                << args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        C4CAM_CHECK(args[i], "argument " << i << " is null");
+        ir::Type t = entryBody_->argument(i)->type();
+        if (!t.isTensor())
+            continue;
+        const auto &shape = t.shape();
+        const auto &got = args[i]->shape();
+        bool matches = shape.size() == got.size();
+        for (std::size_t d = 0; matches && d < shape.size(); ++d)
+            matches = shape[d] == got[d];
+        C4CAM_CHECK(matches, "argument " << i << " shape mismatch for '"
+                    << entry_ << "': kernel was compiled for a different "
+                    "tensor shape (recompile or reshape the input)");
+    }
+}
+
+ExecutionResult
+ExecutionSession::runQuery(const std::vector<rt::BufferPtr> &args)
+{
+    validateArgs(args);
+    if (!persistent_)
+        return runNonPersistent(args);
+
+    // Reset the query accounting window so this report's query fields
+    // cover exactly this call (and match a single-shot run bit-for-bit).
+    device_->beginQueryWindow();
+    ExecutionResult result;
+    result.outputs =
+        interpreter_->callFunction(entry_, toRtValues(args),
+                                   rt::Interpreter::ExecPhase::QueryOnly);
+    result.perf = device_->report();
+    result.perf.queriesServed = 1;
+    accumulate(result.perf);
+    ++queriesServed_;
+    return result;
+}
+
+ExecutionResult
+ExecutionSession::runNonPersistent(const std::vector<rt::BufferPtr> &args)
+{
+    ExecutionResult result = runKernelOnce(*module_, entry_, options_, args);
+    accumulate(result.perf);
+    ++queriesServed_;
+    return result;
+}
+
+void
+ExecutionSession::accumulate(const sim::PerfReport &perf)
+{
+    aggregate_.queryLatencyNs += perf.queryLatencyNs;
+    aggregate_.queryEnergyPj += perf.queryEnergyPj;
+    aggregate_.cellEnergyPj += perf.cellEnergyPj;
+    aggregate_.senseEnergyPj += perf.senseEnergyPj;
+    aggregate_.driveEnergyPj += perf.driveEnergyPj;
+    aggregate_.mergeEnergyPj += perf.mergeEnergyPj;
+    aggregate_.searches += perf.searches;
+    if (!persistent_) {
+        // Every non-persistent call pays setup again; surface that in
+        // the aggregate so amortization reflects reality.
+        aggregate_.setupLatencyNs += perf.setupLatencyNs;
+        aggregate_.setupEnergyPj += perf.setupEnergyPj;
+        aggregate_.writes += perf.writes;
+        aggregate_.subarraysUsed = perf.subarraysUsed;
+        aggregate_.subarraysAllocated = perf.subarraysAllocated;
+        aggregate_.banksUsed = perf.banksUsed;
+    }
+}
+
+std::vector<ExecutionResult>
+ExecutionSession::runBatch(
+    const std::vector<std::vector<rt::BufferPtr>> &batches)
+{
+    std::vector<ExecutionResult> results;
+    results.reserve(batches.size());
+    for (const auto &args : batches)
+        results.push_back(runQuery(args));
+    return results;
+}
+
+sim::PerfReport
+ExecutionSession::aggregateReport() const
+{
+    sim::PerfReport report = aggregate_;
+    report.queriesServed = queriesServed_;
+    return report;
+}
+
+} // namespace c4cam::core

@@ -49,6 +49,17 @@ inline constexpr const char *kKindRange = "range";
 inline constexpr const char *kMetricHamming = "hamming";
 inline constexpr const char *kMetricEucl = "eucl";
 
+/**
+ * Execution-phase marker (attr "phase") placed by cam-map on top-level
+ * ops of the mapped function. Ops tagged "setup" program the device
+ * (allocation + cam.write_value) and run once per execution session;
+ * ops tagged "query" form the reentrant per-query search body. Untagged
+ * ops run in both phases (cheap host-side constants and buffers).
+ */
+inline constexpr const char *kPhaseAttr = "phase";
+inline constexpr const char *kPhaseSetup = "setup";
+inline constexpr const char *kPhaseQuery = "query";
+
 /** Handle types. */
 ir::Type bankIdType(ir::Context &ctx);
 ir::Type matIdType(ir::Context &ctx);

@@ -127,6 +127,10 @@ class KernelMapper
                          .create("bufferization.to_memref", {stored_},
                                  {stored_mr})
                          ->result(0);
+        // The stored tensor is consumed by the setup phase only; tagging
+        // it lets a persistent session skip it on per-query re-entry.
+        storedMem_->definingOp()->setAttr(camd::kPhaseAttr,
+                                          Attribute(camd::kPhaseSetup));
         constBuilder_ = OpBuilder(ctx_);
         constBuilder_.setInsertionPoint(storedMem_->definingOp());
         queryMem_ = builder_
@@ -338,10 +342,12 @@ class KernelMapper
             b.setInsertionPointAfter(guard);
         }
 
-        (void)bank_loop;
         (void)mat_loop;
         (void)array_loop;
         (void)sub_loop;
+        // Mark the whole setup nest: it programs the device once per
+        // session and is skipped when a query re-enters the kernel.
+        bank_loop->setAttr(camd::kPhaseAttr, Attribute(camd::kPhaseSetup));
         builder_.setInsertionPointAfter(bank_loop);
     }
 
@@ -353,6 +359,7 @@ class KernelMapper
     {
         OpBuilder b = builder_;
         auto [q_loop, q_iv] = beginFor(b, q_, "query");
+        q_loop->setAttr(camd::kPhaseAttr, Attribute(camd::kPhaseQuery));
 
         bool bank_par = spec_.bankMode == arch::AccessMode::Parallel;
         bool mat_par = spec_.matMode == arch::AccessMode::Parallel;

@@ -38,7 +38,7 @@ Interpreter::set(Value *value, RtValue rt_value)
 
 std::vector<RtValue>
 Interpreter::callFunction(const std::string &name,
-                          const std::vector<RtValue> &args)
+                          const std::vector<RtValue> &args, ExecPhase phase)
 {
     Operation *func = module_.lookupFunction(name);
     C4CAM_CHECK(func, "no function named '" << name << "' in module");
@@ -46,26 +46,70 @@ Interpreter::callFunction(const std::string &name,
     C4CAM_CHECK(body->numArguments() == args.size(),
                 "function '" << name << "' takes " << body->numArguments()
                 << " arguments, got " << args.size());
+    if (phase != ExecPhase::Full)
+        C4CAM_CHECK(hasPhaseMarkers(func),
+                    "function '" << name << "' has no phase annotations; "
+                    "phased execution requires a cam-mapped kernel");
     for (std::size_t i = 0; i < args.size(); ++i)
         set(body->argument(i), args[i]);
-    return runBlock(*body);
+    if (phase == ExecPhase::Full)
+        return runBlock(*body);
+    return runTopLevel(*body, phase);
+}
+
+bool
+Interpreter::hasPhaseMarkers(Operation *func)
+{
+    if (!func || func->numRegions() == 0)
+        return false;
+    for (Operation *op : func->region(0).front().opVector())
+        if (op->strAttrOr(camd::kPhaseAttr, "") == camd::kPhaseQuery)
+            return true;
+    return false;
+}
+
+bool
+Interpreter::operandsReady(Operation *op) const
+{
+    for (std::size_t i = 0; i < op->numOperands(); ++i)
+        if (env_.find(op->operand(i)) == env_.end())
+            return false;
+    return true;
 }
 
 std::vector<RtValue>
-Interpreter::runBlock(Block &block)
+Interpreter::runTopLevel(Block &block, ExecPhase phase)
 {
     for (Operation *op : block.opVector()) {
         const std::string &name = op->name();
         if (name == kReturnOpName || name == "scf.yield" ||
             name == cimd::kYield) {
+            if (phase == ExecPhase::SetupOnly)
+                return {};
             std::vector<RtValue> results;
             for (std::size_t i = 0; i < op->numOperands(); ++i)
                 results.push_back(get(op->operand(i)));
             return results;
         }
+        if (phase == ExecPhase::SetupOnly) {
+            // Skip the query body and anything downstream of it
+            // (untagged ops whose operands have not been evaluated).
+            if (op->strAttrOr(camd::kPhaseAttr, "") == camd::kPhaseQuery ||
+                !operandsReady(op))
+                continue;
+        } else if (phase == ExecPhase::QueryOnly) {
+            if (op->strAttrOr(camd::kPhaseAttr, "") == camd::kPhaseSetup)
+                continue;
+        }
         runOp(op);
     }
     return {};
+}
+
+std::vector<RtValue>
+Interpreter::runBlock(Block &block)
+{
+    return runTopLevel(block, ExecPhase::Full);
 }
 
 void

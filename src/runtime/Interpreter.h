@@ -31,6 +31,21 @@ class Interpreter
 {
   public:
     /**
+     * Which portion of a phase-annotated function to execute. The
+     * cam-map pass tags top-level ops with a "phase" attribute
+     * (see dialects::cam::kPhaseAttr); untagged ops belong to both
+     * phases. Interpreter state (the SSA environment) persists across
+     * calls, which is what makes Setup-then-repeated-Query execution
+     * on one Interpreter instance work: the query body re-reads the
+     * device handles and memrefs the setup prologue evaluated.
+     */
+    enum class ExecPhase {
+        Full,      ///< run everything (the classic single-shot path)
+        SetupOnly, ///< run the setup prologue, skip the query body
+        QueryOnly, ///< re-enter the query body, skip the setup prologue
+    };
+
+    /**
      * @param module  the IR to execute (any pipeline stage)
      * @param device  CAM simulator backing cam.* ops; may be nullptr
      *                when the module contains no cam ops.
@@ -40,10 +55,19 @@ class Interpreter
 
     /**
      * Execute function @p name with @p args (one RtValue per entry-block
-     * argument). @return the values of func.return.
+     * argument). @return the values of func.return (empty for
+     * ExecPhase::SetupOnly, which stops before the query body).
      */
     std::vector<RtValue> callFunction(const std::string &name,
-                                      const std::vector<RtValue> &args);
+                                      const std::vector<RtValue> &args,
+                                      ExecPhase phase = ExecPhase::Full);
+
+    /**
+     * Whether @p func carries the cam-map phase annotations required
+     * for SetupOnly/QueryOnly execution (i.e. at least one top-level
+     * op is tagged phase="query").
+     */
+    static bool hasPhaseMarkers(ir::Operation *func);
 
     sim::CamDevice *device() const { return device_; }
 
@@ -56,6 +80,19 @@ class Interpreter
      * (func.return / scf.yield / cim.yield) or empty.
      */
     std::vector<RtValue> runBlock(ir::Block &block);
+
+    /**
+     * Run the top-level ops of @p block restricted to @p phase
+     * (Full applies no filtering; runBlock delegates here).
+     * SetupOnly skips query-tagged ops (and any op whose operands are
+     * not evaluated yet because they depend on query results);
+     * QueryOnly skips setup-tagged ops, relying on their results still
+     * being present in the environment from a prior SetupOnly run.
+     */
+    std::vector<RtValue> runTopLevel(ir::Block &block, ExecPhase phase);
+
+    /** True when every operand of @p op has a value in the env. */
+    bool operandsReady(ir::Operation *op) const;
 
     void runOp(ir::Operation *op);
 

@@ -10,6 +10,22 @@ CamDevice::CamDevice(const arch::ArchSpec &spec)
     spec_.validate();
 }
 
+const char *
+CamDevice::kindName(HandleKind kind)
+{
+    switch (kind) {
+      case HandleKind::Bank:
+        return "bank";
+      case HandleKind::Mat:
+        return "mat";
+      case HandleKind::Array:
+        return "array";
+      case HandleKind::Subarray:
+        return "subarray";
+    }
+    return "unknown";
+}
+
 Handle
 CamDevice::newHandle(HandleInfo info)
 {
@@ -20,12 +36,18 @@ CamDevice::newHandle(HandleInfo info)
 const CamDevice::HandleInfo &
 CamDevice::info(Handle handle, HandleKind expected) const
 {
+    // Handles arrive from interpreted cam IR, so a malformed or stale
+    // value is the *program's* fault: diagnose it instead of indexing
+    // handles_ out of bounds (negative and too-large are both UB).
     C4CAM_CHECK(handle >= 0 &&
                     handle < static_cast<Handle>(handles_.size()),
-                "invalid CAM handle " << handle);
+                "invalid CAM " << kindName(expected) << " handle "
+                << handle << " (only " << handles_.size()
+                << " handles allocated on this device)");
     const HandleInfo &hi = handles_[static_cast<std::size_t>(handle)];
     C4CAM_CHECK(hi.kind == expected, "CAM handle " << handle
-                << " has the wrong hierarchy level");
+                << " refers to a " << kindName(hi.kind) << ", expected a "
+                << kindName(expected));
     return hi;
 }
 
@@ -133,7 +155,10 @@ CamSubarray &
 CamDevice::subarray(Handle handle)
 {
     info(handle, HandleKind::Subarray);
-    return *storage_.at(handle);
+    auto it = storage_.find(handle);
+    C4CAM_ASSERT(it != storage_.end(),
+                 "subarray handle " << handle << " has no storage");
+    return *it->second;
 }
 
 void
@@ -217,10 +242,14 @@ CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
 const SearchResult &
 CamDevice::read(Handle subarray_handle) const
 {
+    // Validate handle range/kind first so a bank/mat handle (or a
+    // bogus value) gets a handle diagnostic, not a misleading
+    // "no search yet" message or a raw std::out_of_range.
+    info(subarray_handle, HandleKind::Subarray);
     auto it = lastResult_.find(subarray_handle);
     C4CAM_CHECK(it != lastResult_.end(),
-                "cam.read before any search on subarray "
-                << subarray_handle);
+                "cam.read on subarray " << subarray_handle
+                << " before any cam.search was issued on it");
     return it->second;
 }
 
@@ -239,6 +268,21 @@ CamDevice::postQueryTransfer(std::int64_t elements)
     double words = static_cast<double>(elements) * 32.0 / spec_.wordWidth;
     timing_.setPhase(TimingEngine::Phase::Query);
     timing_.post(0.001 * words, 0.0005 * words);
+}
+
+void
+CamDevice::beginQueryWindow()
+{
+    timing_.resetQueryTotals();
+    cellEnergy_ = 0.0;
+    senseEnergy_ = 0.0;
+    driveEnergy_ = 0.0;
+    mergeEnergy_ = 0.0;
+    searches_ = 0;
+    // Drop last-search results too: a read-before-search in the new
+    // window must be diagnosed exactly like on a fresh device, not
+    // silently served stale data from the previous query.
+    lastResult_.clear();
 }
 
 PerfReport

@@ -92,6 +92,17 @@ class CamDevice
     void postQueryTransfer(std::int64_t elements);
     /// @}
 
+    /**
+     * Start a fresh query accounting window: clears the query-phase
+     * latency/energy totals, the query-energy breakdown and the search
+     * counter while keeping all setup costs, programmed data and
+     * allocation state. A persistent execution session calls this
+     * before each query so that report() describes exactly one query
+     * on top of the shared setup -- matching a single-shot run
+     * bit-for-bit.
+     */
+    void beginQueryWindow();
+
     /** Snapshot of all counters and accumulated costs. */
     PerfReport report() const;
 
@@ -139,6 +150,7 @@ class CamDevice
         std::size_t sub = 0;
     };
 
+    static const char *kindName(HandleKind kind);
     Handle newHandle(HandleInfo info);
     const HandleInfo &info(Handle handle, HandleKind expected) const;
 

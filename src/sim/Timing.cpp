@@ -1,9 +1,11 @@
 #include "sim/Timing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "support/Error.h"
+#include "support/Json.h"
 
 namespace c4cam::sim {
 
@@ -81,6 +83,15 @@ TimingEngine::reset()
     phase_ = Phase::Query;
 }
 
+void
+TimingEngine::resetQueryTotals()
+{
+    C4CAM_ASSERT(scopes_.empty(),
+                 "resetQueryTotals with " << scopes_.size()
+                 << " scopes still open");
+    queryTotal_ = Cost{};
+}
+
 std::string
 PerfReport::str() const
 {
@@ -90,7 +101,50 @@ PerfReport::str() const
         << " ns, " << setupEnergyPj << " pJ | searches: " << searches
         << ", writes: " << writes << ", subarrays: " << subarraysUsed << "/"
         << subarraysAllocated << ", banks: " << banksUsed;
+    if (queriesServed > 1)
+        oss << " | queries: " << queriesServed << ", avg "
+            << avgQueryLatencyNs() << " ns/query, amortized "
+            << amortizedLatencyNs() << " ns/query";
     return oss.str();
+}
+
+namespace {
+
+/** JSON has no inf/nan; clamp non-finite figures to 0 for serializing. */
+JsonValue
+finiteNumber(double v)
+{
+    return JsonValue(std::isfinite(v) ? v : 0.0);
+}
+
+} // namespace
+
+JsonValue
+PerfReport::toJson() const
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("setup_latency_ns", finiteNumber(setupLatencyNs));
+    obj.set("setup_energy_pj", finiteNumber(setupEnergyPj));
+    obj.set("query_latency_ns", finiteNumber(queryLatencyNs));
+    obj.set("query_energy_pj", finiteNumber(queryEnergyPj));
+    obj.set("cell_energy_pj", finiteNumber(cellEnergyPj));
+    obj.set("sense_energy_pj", finiteNumber(senseEnergyPj));
+    obj.set("drive_energy_pj", finiteNumber(driveEnergyPj));
+    obj.set("merge_energy_pj", finiteNumber(mergeEnergyPj));
+    obj.set("searches", JsonValue(double(searches)));
+    obj.set("writes", JsonValue(double(writes)));
+    obj.set("subarrays_used", JsonValue(double(subarraysUsed)));
+    obj.set("subarrays_allocated", JsonValue(double(subarraysAllocated)));
+    obj.set("banks_used", JsonValue(double(banksUsed)));
+    obj.set("queries_served", JsonValue(double(queriesServed)));
+    obj.set("avg_power_mw", finiteNumber(avgPowerMw()));
+    obj.set("avg_query_latency_ns", finiteNumber(avgQueryLatencyNs()));
+    obj.set("avg_query_energy_pj", finiteNumber(avgQueryEnergyPj()));
+    obj.set("amortized_latency_ns", finiteNumber(amortizedLatencyNs()));
+    obj.set("amortized_energy_pj", finiteNumber(amortizedEnergyPj()));
+    obj.set("edp_njs", finiteNumber(edpNanoJouleSeconds()));
+    obj.set("utilization", finiteNumber(utilization()));
+    return obj;
 }
 
 } // namespace c4cam::sim

@@ -17,6 +17,10 @@
 #include <string>
 #include <vector>
 
+namespace c4cam {
+class JsonValue;
+}
+
 namespace c4cam::sim {
 
 /** Accumulated cost of one scope (latency in ns, energy in pJ). */
@@ -59,6 +63,15 @@ class TimingEngine
 
     /** Reset all accumulated state. */
     void reset();
+
+    /**
+     * Clear the query-phase totals while keeping the setup totals.
+     * Requires all scopes to be closed. A persistent execution session
+     * calls this before re-entering the query body so each query's cost
+     * is accumulated from zero -- bit-identical to a fresh single-shot
+     * run -- instead of being recovered by subtracting snapshots.
+     */
+    void resetQueryTotals();
 
   private:
     struct Scope
@@ -103,12 +116,60 @@ struct PerfReport
     std::int64_t banksUsed = 0;
     std::int64_t subarraysAllocated = 0;
 
+    /**
+     * Number of queries the query-phase figures cover. A single
+     * CompiledKernel::run() serves one query batch; an execution
+     * session accumulates one count per runQuery() call. 0 means
+     * "setup only" (no query executed yet) and keeps every derived
+     * per-query figure finite.
+     */
+    std::int64_t queriesServed = 0;
+
     /** Average query-phase power; pJ/ns is numerically mW. */
     double
     avgPowerMw() const
     {
         return queryLatencyNs > 0.0 ? queryEnergyPj / queryLatencyNs : 0.0;
     }
+
+    /// @name Per-query aggregates (guarded against queriesServed == 0)
+    /// @{
+    /** Mean query latency over the served queries. */
+    double
+    avgQueryLatencyNs() const
+    {
+        return queriesServed > 0 ? queryLatencyNs / double(queriesServed)
+                                 : 0.0;
+    }
+
+    /** Mean query energy over the served queries. */
+    double
+    avgQueryEnergyPj() const
+    {
+        return queriesServed > 0 ? queryEnergyPj / double(queriesServed)
+                                 : 0.0;
+    }
+
+    /** Per-query latency with the one-time setup amortized in. */
+    double
+    amortizedLatencyNs() const
+    {
+        return queriesServed > 0
+                   ? (setupLatencyNs + queryLatencyNs) /
+                         double(queriesServed)
+                   : 0.0;
+    }
+
+    /** Per-query energy with the one-time setup amortized in. */
+    double
+    amortizedEnergyPj() const
+    {
+        return queriesServed > 0
+                   ? (setupEnergyPj + queryEnergyPj) /
+                         double(queriesServed)
+                   : 0.0;
+    }
+    /// @}
 
     /** Energy-delay product in nJ*s. */
     double
@@ -128,6 +189,13 @@ struct PerfReport
 
     /** One-line human-readable summary. */
     std::string str() const;
+
+    /**
+     * Structured report for machine consumption. Every derived metric
+     * is guarded so empty-query reports serialize as finite numbers
+     * (never inf/nan, which are not valid JSON).
+     */
+    JsonValue toJson() const;
 };
 
 } // namespace c4cam::sim

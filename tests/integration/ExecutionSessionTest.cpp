@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Persistent execution sessions: setup-once/query-many invariants.
+ *
+ * Locks the serving contract: a reused session returns the same
+ * results and reports the same per-query cost as the single-shot
+ * CompiledKernel::run() path, for query 1 and for query N alike, and
+ * the aggregate report amortizes the one-time setup over the batch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "core/ExecutionSession.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+std::vector<std::vector<float>>
+randomRows(std::int64_t n, std::int64_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> rows(
+        static_cast<std::size_t>(n),
+        std::vector<float>(static_cast<std::size_t>(d)));
+    for (auto &row : rows)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    return rows;
+}
+
+core::CompiledKernel
+compileDotKernel(const ArchSpec &spec, std::int64_t queries,
+                 std::int64_t rows, std::int64_t dims, int k = 1)
+{
+    core::CompilerOptions options;
+    options.spec = spec;
+    core::Compiler compiler(options);
+    return compiler.compileTorchScript(
+        apps::dotSimilaritySource(queries, rows, dims, k));
+}
+
+void
+expectBuffersEqual(const rt::RtValue &a, const rt::RtValue &b)
+{
+    ASSERT_TRUE(a.isBuffer());
+    ASSERT_TRUE(b.isBuffer());
+    EXPECT_EQ(a.asBuffer()->shape(), b.asBuffer()->shape());
+    EXPECT_EQ(a.asBuffer()->toVector(), b.asBuffer()->toVector());
+}
+
+/** Field-by-field exact comparison of two perf reports. */
+void
+expectReportsIdentical(const sim::PerfReport &a, const sim::PerfReport &b)
+{
+    EXPECT_EQ(a.setupLatencyNs, b.setupLatencyNs);
+    EXPECT_EQ(a.setupEnergyPj, b.setupEnergyPj);
+    EXPECT_EQ(a.queryLatencyNs, b.queryLatencyNs);
+    EXPECT_EQ(a.queryEnergyPj, b.queryEnergyPj);
+    EXPECT_EQ(a.cellEnergyPj, b.cellEnergyPj);
+    EXPECT_EQ(a.senseEnergyPj, b.senseEnergyPj);
+    EXPECT_EQ(a.driveEnergyPj, b.driveEnergyPj);
+    EXPECT_EQ(a.mergeEnergyPj, b.mergeEnergyPj);
+    EXPECT_EQ(a.searches, b.searches);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.subarraysUsed, b.subarraysUsed);
+    EXPECT_EQ(a.subarraysAllocated, b.subarraysAllocated);
+    EXPECT_EQ(a.banksUsed, b.banksUsed);
+}
+
+} // namespace
+
+TEST(ExecutionSession, SetupRunsNoSearches)
+{
+    auto stored = randomRows(8, 64, 3);
+    core::CompiledKernel kernel =
+        compileDotKernel(ArchSpec::dseSetup(32, OptTarget::Base), 1, 8, 64);
+    core::ExecutionSession session = kernel.createSession(
+        {rt::Buffer::fromMatrix({stored[0]}),
+         rt::Buffer::fromMatrix(stored)});
+
+    EXPECT_TRUE(session.persistent());
+    EXPECT_EQ(session.queriesServed(), 0);
+    const sim::PerfReport &setup = session.setupReport();
+    EXPECT_GT(setup.setupLatencyNs, 0.0);
+    EXPECT_GT(setup.writes, 0);
+    EXPECT_EQ(setup.searches, 0);
+    EXPECT_EQ(setup.queryLatencyNs, 0.0);
+    EXPECT_EQ(setup.queriesServed, 0);
+    // Guarded aggregates stay finite with zero queries served.
+    EXPECT_EQ(setup.avgQueryLatencyNs(), 0.0);
+    EXPECT_EQ(setup.amortizedLatencyNs(), 0.0);
+}
+
+TEST(ExecutionSession, FirstQueryMatchesSingleShotExactly)
+{
+    auto stored = randomRows(8, 64, 7);
+    ArchSpec spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::CompiledKernel kernel = compileDotKernel(spec, 1, 8, 64);
+
+    auto query = rt::Buffer::fromMatrix({stored[5]});
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    core::ExecutionResult single = kernel.run({query, stored_buf});
+    core::ExecutionSession session =
+        kernel.createSession({query, stored_buf});
+    core::ExecutionResult served = session.runQuery({query, stored_buf});
+
+    ASSERT_EQ(served.outputs.size(), single.outputs.size());
+    for (std::size_t i = 0; i < served.outputs.size(); ++i)
+        expectBuffersEqual(served.outputs[i], single.outputs[i]);
+    // Per-query cost is bit-identical, not merely close.
+    expectReportsIdentical(served.perf, single.perf);
+    EXPECT_EQ(served.outputs[1].asBuffer()->atInt({0, 0}), 5);
+}
+
+TEST(ExecutionSession, QueryNCostsTheSameAsQuery1)
+{
+    auto stored = randomRows(8, 64, 11);
+    core::CompiledKernel kernel =
+        compileDotKernel(ArchSpec::dseSetup(32, OptTarget::Base), 1, 8, 64);
+    auto query = rt::Buffer::fromMatrix({stored[2]});
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    core::ExecutionSession session =
+        kernel.createSession({query, stored_buf});
+
+    core::ExecutionResult first = session.runQuery({query, stored_buf});
+    core::ExecutionResult last;
+    for (int i = 0; i < 63; ++i)
+        last = session.runQuery({query, stored_buf});
+
+    EXPECT_EQ(session.queriesServed(), 64);
+    expectReportsIdentical(last.perf, first.perf);
+    for (std::size_t i = 0; i < first.outputs.size(); ++i)
+        expectBuffersEqual(last.outputs[i], first.outputs[i]);
+}
+
+TEST(ExecutionSession, ServesDistinctQueriesCorrectly)
+{
+    auto stored = randomRows(8, 64, 13);
+    core::CompiledKernel kernel =
+        compileDotKernel(ArchSpec::dseSetup(32, OptTarget::Base), 1, 8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    core::ExecutionSession session = kernel.createSession(
+        {rt::Buffer::fromMatrix({stored[0]}), stored_buf});
+
+    for (std::int64_t n = 0; n < 8; ++n) {
+        core::ExecutionResult r = session.runQuery(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(n)]}),
+             stored_buf});
+        EXPECT_EQ(r.outputs[1].asBuffer()->atInt({0, 0}), n)
+            << "query " << n;
+    }
+}
+
+TEST(ExecutionSession, RunBatchAggregatesAndAmortizes)
+{
+    auto stored = randomRows(8, 64, 17);
+    core::CompiledKernel kernel =
+        compileDotKernel(ArchSpec::dseSetup(32, OptTarget::Base), 1, 8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    core::ExecutionSession session = kernel.createSession(
+        {rt::Buffer::fromMatrix({stored[0]}), stored_buf});
+
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    for (int i = 0; i < 16; ++i)
+        batches.push_back(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(
+                 i % 8)]}),
+             stored_buf});
+    std::vector<core::ExecutionResult> results = session.runBatch(batches);
+    ASSERT_EQ(results.size(), 16u);
+
+    sim::PerfReport total = session.aggregateReport();
+    EXPECT_EQ(total.queriesServed, 16);
+    double query_sum = 0.0;
+    std::int64_t searches = 0;
+    for (const auto &r : results) {
+        query_sum += r.perf.queryLatencyNs;
+        searches += r.perf.searches;
+    }
+    EXPECT_DOUBLE_EQ(total.queryLatencyNs, query_sum);
+    EXPECT_EQ(total.searches, searches);
+    // Setup is paid once, not 16 times.
+    EXPECT_EQ(total.setupLatencyNs, session.setupReport().setupLatencyNs);
+    EXPECT_EQ(total.writes, session.setupReport().writes);
+    // The amortized figure sits between pure-query and setup+query cost.
+    EXPECT_GT(total.amortizedLatencyNs(), total.avgQueryLatencyNs());
+    EXPECT_LT(total.amortizedLatencyNs(),
+              total.setupLatencyNs + total.avgQueryLatencyNs());
+}
+
+TEST(ExecutionSession, SessionReuseBeatsPerQueryRunBy5x)
+{
+    // The acceptance-criterion invariant at test scale: serving a
+    // 64-query batch through one session must yield >= 5x the
+    // simulated queries/sec of per-query CompiledKernel::run().
+    auto stored = randomRows(8, 64, 19);
+    core::CompiledKernel kernel =
+        compileDotKernel(ArchSpec::dseSetup(32, OptTarget::Base), 1, 8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    auto query = rt::Buffer::fromMatrix({stored[1]});
+
+    core::ExecutionResult single = kernel.run({query, stored_buf});
+    double naive_ns_per_query =
+        single.perf.setupLatencyNs + single.perf.queryLatencyNs;
+
+    core::ExecutionSession session =
+        kernel.createSession({query, stored_buf});
+    for (int i = 0; i < 64; ++i)
+        session.runQuery({query, stored_buf});
+    double session_ns_total = session.aggregateReport().setupLatencyNs +
+                              session.aggregateReport().queryLatencyNs;
+    double naive_ns_total = 64.0 * naive_ns_per_query;
+    EXPECT_GE(naive_ns_total / session_ns_total, 5.0);
+}
+
+TEST(ExecutionSession, ValidatesArguments)
+{
+    auto stored = randomRows(8, 64, 23);
+    core::CompiledKernel kernel =
+        compileDotKernel(ArchSpec::dseSetup(32, OptTarget::Base), 1, 8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    auto query = rt::Buffer::fromMatrix({stored[0]});
+
+    // Wrong arity at session creation.
+    EXPECT_THROW(kernel.createSession({query}), CompilerError);
+    // Wrong shape at session creation.
+    EXPECT_THROW(kernel.createSession(
+                     {rt::Buffer::fromMatrix(stored), stored_buf}),
+                 CompilerError);
+
+    core::ExecutionSession session =
+        kernel.createSession({query, stored_buf});
+    EXPECT_THROW(session.runQuery({query}), CompilerError);
+    EXPECT_THROW(session.runQuery({stored_buf, stored_buf}),
+                 CompilerError);
+    // The session stays usable after rejected calls.
+    core::ExecutionResult r = session.runQuery({query, stored_buf});
+    EXPECT_EQ(r.outputs[1].asBuffer()->atInt({0, 0}), 0);
+}
+
+TEST(ExecutionSession, HostOnlyFallsBackToFullRuns)
+{
+    auto stored = randomRows(6, 96, 29);
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.hostOnly = true;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, 6, 96, 1));
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    auto query = rt::Buffer::fromMatrix({stored[4]});
+
+    core::ExecutionSession session =
+        kernel.createSession({query, stored_buf});
+    EXPECT_FALSE(session.persistent());
+    EXPECT_EQ(session.device(), nullptr);
+
+    core::ExecutionResult served = session.runQuery({query, stored_buf});
+    core::ExecutionResult single = kernel.run({query, stored_buf});
+    for (std::size_t i = 0; i < served.outputs.size(); ++i)
+        expectBuffersEqual(served.outputs[i], single.outputs[i]);
+    EXPECT_EQ(served.outputs[1].asBuffer()->atInt({0, 0}), 4);
+    EXPECT_EQ(session.queriesServed(), 1);
+}
+
+TEST(ExecutionSession, EuclideanKernelSessionMatchesSingleShot)
+{
+    auto stored = randomRows(12, 32, 31);
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.spec.camType = arch::CamDeviceType::Mcam;
+    options.spec.bitsPerCell = 2;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::knnEuclideanSource(1, 12, 32, 2));
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    auto query = rt::Buffer::fromMatrix({stored[9]});
+
+    core::ExecutionResult single = kernel.run({query, stored_buf});
+    core::ExecutionSession session =
+        kernel.createSession({query, stored_buf});
+    core::ExecutionResult served = session.runQuery({query, stored_buf});
+
+    for (std::size_t i = 0; i < served.outputs.size(); ++i)
+        expectBuffersEqual(served.outputs[i], single.outputs[i]);
+    expectReportsIdentical(served.perf, single.perf);
+}

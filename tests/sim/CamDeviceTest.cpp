@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/CamDevice.h"
 #include "support/Error.h"
 
@@ -201,4 +203,127 @@ TEST(CamDevice, MergeAndTransferCosts)
     PerfReport report = device.report();
     EXPECT_GT(report.queryLatencyNs, 0.0);
     EXPECT_GT(report.queryEnergyPj, 0.0);
+}
+
+//
+// Misuse paths: malformed handles and out-of-order data-path calls
+// must surface located CompilerErrors, never UB or raw std exceptions.
+//
+
+TEST(CamDevice, RejectsInvalidHandles)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub =
+        device.allocSubarray(device.allocArray(device.allocMat(bank)));
+    (void)sub;
+
+    // Negative and out-of-range handles are user errors, not UB.
+    EXPECT_THROW(device.writeValue(-1, {{1, 1, 1, 1}}), CompilerError);
+    EXPECT_THROW(device.writeValue(9999, {{1, 1, 1, 1}}), CompilerError);
+    EXPECT_THROW(device.search(-7, {1, 1, 1, 1}, SearchKind::Best, false),
+                 CompilerError);
+    EXPECT_THROW(device.read(std::numeric_limits<Handle>::min()),
+                 CompilerError);
+    EXPECT_THROW(device.allocMat(-1), CompilerError);
+    EXPECT_THROW(device.allocArray(1000), CompilerError);
+    EXPECT_THROW(device.subarray(-1), CompilerError);
+}
+
+TEST(CamDevice, RejectsWrongHierarchyLevelHandles)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle mat = device.allocMat(bank);
+    Handle array = device.allocArray(mat);
+    Handle sub = device.allocSubarray(array);
+
+    // A bank handle is not a subarray handle (and vice versa).
+    EXPECT_THROW(device.writeValue(bank, {{1, 1, 1, 1}}), CompilerError);
+    EXPECT_THROW(device.search(mat, {1}, SearchKind::Best, false),
+                 CompilerError);
+    EXPECT_THROW(device.allocMat(sub), CompilerError);
+    EXPECT_THROW(device.allocSubarray(mat), CompilerError);
+    // The diagnostic names both hierarchy levels.
+    try {
+        device.read(bank);
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &err) {
+        EXPECT_NE(std::string(err.what()).find("bank"), std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("subarray"),
+                  std::string::npos);
+    }
+}
+
+TEST(CamDevice, ReadBeforeSearchIsDiagnosed)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub =
+        device.allocSubarray(device.allocArray(device.allocMat(bank)));
+    device.writeValue(sub, {{1, 0, 1, 0}});
+
+    try {
+        device.read(sub);
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &err) {
+        // The error names the subarray and the missing search.
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("subarray"), std::string::npos);
+        EXPECT_NE(msg.find("search"), std::string::npos);
+    }
+    // After a search, read works.
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+    EXPECT_EQ(device.read(sub).values.size(), 4u);
+}
+
+TEST(CamDevice, RejectsOutOfBoundsWrites)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub =
+        device.allocSubarray(device.allocArray(device.allocMat(bank)));
+
+    EXPECT_THROW(device.writeValue(sub, {{1, 1, 1, 1}}, /*row_offset=*/-1),
+                 CompilerError);
+    EXPECT_THROW(device.writeValue(sub, {{1}, {1}, {1}, {1}, {1}}),
+                 CompilerError);
+    EXPECT_THROW(device.writeValue(sub, {{1, 1, 1, 1, 1}}), CompilerError);
+}
+
+TEST(CamDevice, QueryWindowResetsQueryCostsOnly)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub =
+        device.allocSubarray(device.allocArray(device.allocMat(bank)));
+    device.writeValue(sub, {{1, 0, 1, 0}});
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+
+    PerfReport first = device.report();
+    EXPECT_GT(first.queryLatencyNs, 0.0);
+    EXPECT_GT(first.setupLatencyNs, 0.0);
+    EXPECT_EQ(first.searches, 1);
+
+    device.beginQueryWindow();
+    PerfReport cleared = device.report();
+    EXPECT_EQ(cleared.queryLatencyNs, 0.0);
+    EXPECT_EQ(cleared.queryEnergyPj, 0.0);
+    EXPECT_EQ(cleared.searches, 0);
+    // Setup costs, programmed data and allocations survive.
+    EXPECT_EQ(cleared.setupLatencyNs, first.setupLatencyNs);
+    EXPECT_EQ(cleared.writes, first.writes);
+    EXPECT_EQ(cleared.subarraysUsed, first.subarraysUsed);
+
+    // Stale results do not leak across windows: reading before the new
+    // window's search is diagnosed exactly like on a fresh device.
+    EXPECT_THROW(device.read(sub), CompilerError);
+
+    // A second identical query window reproduces the first bit-for-bit.
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+    PerfReport second = device.report();
+    EXPECT_EQ(second.queryLatencyNs, first.queryLatencyNs);
+    EXPECT_EQ(second.queryEnergyPj, first.queryEnergyPj);
+    EXPECT_EQ(second.cellEnergyPj, first.cellEnergyPj);
+    EXPECT_EQ(second.senseEnergyPj, first.senseEnergyPj);
 }

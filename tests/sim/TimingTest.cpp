@@ -4,6 +4,7 @@
 
 #include "sim/Timing.h"
 #include "support/Error.h"
+#include "support/Json.h"
 
 using namespace c4cam;
 using namespace c4cam::sim;
@@ -151,4 +152,65 @@ TEST(PerfReport, ZeroLatencySafe)
     PerfReport report;
     EXPECT_DOUBLE_EQ(report.avgPowerMw(), 0.0);
     EXPECT_DOUBLE_EQ(report.utilization(), 0.0);
+}
+
+TEST(Timing, ResetQueryTotalsKeepsSetup)
+{
+    TimingEngine t;
+    t.setPhase(TimingEngine::Phase::Setup);
+    t.post(100.0, 50.0);
+    t.setPhase(TimingEngine::Phase::Query);
+    t.post(10.0, 5.0);
+    EXPECT_DOUBLE_EQ(t.setupCost().latencyNs, 100.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 10.0);
+
+    t.resetQueryTotals();
+    EXPECT_DOUBLE_EQ(t.queryCost().latencyNs, 0.0);
+    EXPECT_DOUBLE_EQ(t.queryCost().energyPj, 0.0);
+    EXPECT_DOUBLE_EQ(t.setupCost().latencyNs, 100.0);
+    EXPECT_DOUBLE_EQ(t.setupCost().energyPj, 50.0);
+}
+
+TEST(Timing, ResetQueryTotalsWithOpenScopeAsserts)
+{
+    TimingEngine t;
+    t.beginScope(/*parallel=*/false);
+    EXPECT_THROW(t.resetQueryTotals(), InternalError);
+}
+
+TEST(PerfReport, PerQueryAggregatesGuardZeroQueries)
+{
+    // Empty-query reports (setup-only sessions, degenerate kernels)
+    // must never produce inf/nan in reports or their JSON form.
+    PerfReport report;
+    report.setupLatencyNs = 500.0;
+    EXPECT_DOUBLE_EQ(report.avgQueryLatencyNs(), 0.0);
+    EXPECT_DOUBLE_EQ(report.avgQueryEnergyPj(), 0.0);
+    EXPECT_DOUBLE_EQ(report.amortizedLatencyNs(), 0.0);
+    EXPECT_DOUBLE_EQ(report.amortizedEnergyPj(), 0.0);
+    EXPECT_DOUBLE_EQ(report.avgPowerMw(), 0.0);
+
+    std::string json = report.toJson().dump(2);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    // Round-trips through the JSON parser (inf/nan would not).
+    JsonValue parsed = parseJson(json);
+    EXPECT_DOUBLE_EQ(parsed.getNumber("setup_latency_ns", -1.0), 500.0);
+    EXPECT_DOUBLE_EQ(parsed.getNumber("amortized_latency_ns", -1.0), 0.0);
+}
+
+TEST(PerfReport, BatchAggregates)
+{
+    PerfReport report;
+    report.setupLatencyNs = 640.0;
+    report.setupEnergyPj = 320.0;
+    report.queryLatencyNs = 160.0;
+    report.queryEnergyPj = 80.0;
+    report.queriesServed = 16;
+    EXPECT_DOUBLE_EQ(report.avgQueryLatencyNs(), 10.0);
+    EXPECT_DOUBLE_EQ(report.avgQueryEnergyPj(), 5.0);
+    EXPECT_DOUBLE_EQ(report.amortizedLatencyNs(), 50.0);
+    EXPECT_DOUBLE_EQ(report.amortizedEnergyPj(), 25.0);
+    // The one-line summary mentions the batch.
+    EXPECT_NE(report.str().find("queries: 16"), std::string::npos);
 }

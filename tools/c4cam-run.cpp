@@ -4,12 +4,17 @@
  * simulator with synthetic data.
  *
  *   c4cam-run kernel.py --arch spec.json [--queries-equal-rows]
- *                       [--seed N] [--print-ir]
+ *                       [--seed N] [--print-ir] [--batch N] [--json]
  *
  * Generates deterministic +-1 inputs for each tensor parameter, runs
  * the compiled kernel, prints the outputs and the performance report.
  * With --queries-equal-rows, query i is a copy of stored row
  * (2*i mod N) so the expected top-1 indices are obvious.
+ *
+ * With --batch N the kernel is served through one persistent
+ * ExecutionSession: the device is programmed once (setup phase) and N
+ * query batches are executed against it, reporting per-query and
+ * amortized figures (paper §III-D setup/search split).
  */
 
 #include <fstream>
@@ -19,8 +24,10 @@
 
 #include "arch/ArchSpec.h"
 #include "core/Compiler.h"
+#include "core/ExecutionSession.h"
 #include "dialects/BuiltinDialect.h"
 #include "support/Error.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 
 using namespace c4cam;
@@ -32,8 +39,34 @@ usage()
 {
     std::cerr << "usage: c4cam-run <kernel.py|-> [--arch spec.json]"
               << " [--seed N] [--queries-equal-rows] [--print-ir]"
-              << " [--host-only]\n";
+              << " [--host-only] [--batch N] [--json]\n";
     return 2;
+}
+
+/** Make query row q a copy of stored row ((offset + 2*q) mod N). */
+void
+fillQueriesFromStored(const rt::BufferPtr &queries,
+                      const rt::BufferPtr &stored, std::int64_t offset)
+{
+    std::int64_t n = stored->shape()[0];
+    for (std::int64_t q = 0; q < queries->shape()[0]; ++q)
+        for (std::int64_t c = 0; c < queries->shape()[1]; ++c)
+            queries->set({q, c}, stored->at({(offset + 2 * q) % n, c}));
+}
+
+void
+printOutputs(const std::vector<rt::RtValue> &outputs)
+{
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        const rt::RtValue &out = outputs[i];
+        if (out.isBuffer())
+            std::cout << "output[" << i << "] = " << out.asBuffer()->str()
+                      << "\n";
+        else if (out.isInt())
+            std::cout << "output[" << i << "] = " << out.asInt() << "\n";
+        else
+            std::cout << "output[" << i << "] = " << out.asFloat() << "\n";
+    }
 }
 
 } // namespace
@@ -47,6 +80,8 @@ main(int argc, char **argv)
     bool queries_equal_rows = false;
     bool print_ir = false;
     bool host_only = false;
+    bool json = false;
+    long batch = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -58,6 +93,14 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage();
             seed = std::stoull(argv[i]);
+        } else if (arg == "--batch") {
+            if (++i >= argc)
+                return usage();
+            batch = std::stol(argv[i]);
+            if (batch <= 0)
+                return usage();
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--queries-equal-rows") {
             queries_equal_rows = true;
         } else if (arg == "--print-ir") {
@@ -115,29 +158,59 @@ main(int argc, char **argv)
                     buf->set({r, c}, rng.nextBool() ? 1.0 : -1.0);
             args.push_back(buf);
         }
-        if (queries_equal_rows && args.size() >= 2) {
-            const auto &queries = args[0];
-            const auto &stored = args[1];
-            std::int64_t n = stored->shape()[0];
-            for (std::int64_t q = 0; q < queries->shape()[0]; ++q)
-                for (std::int64_t c = 0; c < queries->shape()[1]; ++c)
-                    queries->set({q, c}, stored->at({(2 * q) % n, c}));
+        if (queries_equal_rows && args.size() >= 2)
+            fillQueriesFromStored(args[0], args[1], 0);
+
+        if (batch > 0) {
+            // Persistent serving: program the device once, then serve
+            // `batch` query batches through one ExecutionSession.
+            C4CAM_CHECK(!args.empty(),
+                        "--batch requires a kernel with at least one "
+                        "tensor parameter (the query)");
+            core::ExecutionSession session = kernel.createSession(args);
+            const rt::BufferPtr &queries = args[0];
+            core::ExecutionResult first;
+            for (long b = 0; b < batch; ++b) {
+                // Fresh query content per batch so serving is not a
+                // no-op; --queries-equal-rows keeps answers obvious.
+                if (queries_equal_rows && args.size() >= 2) {
+                    fillQueriesFromStored(queries, args[1], b);
+                } else {
+                    for (std::int64_t q = 0; q < queries->shape()[0]; ++q)
+                        for (std::int64_t c = 0; c < queries->shape()[1];
+                             ++c)
+                            queries->set({q, c},
+                                         rng.nextBool() ? 1.0 : -1.0);
+                }
+                core::ExecutionResult result = session.runQuery(args);
+                if (b == 0)
+                    first = std::move(result);
+            }
+            sim::PerfReport total = session.aggregateReport();
+            if (json) {
+                std::cout << total.toJson().dump(2) << "\n";
+                return 0;
+            }
+            std::cout << "batch 0 outputs:\n";
+            printOutputs(first.outputs);
+            if (session.persistent())
+                std::cout << "setup: " << session.setupReport().str()
+                          << "\n";
+            std::cout << "aggregate: " << total.str() << "\n";
+            std::cout << "amortized: " << total.amortizedLatencyNs()
+                      << " ns/query, " << total.amortizedEnergyPj()
+                      << " pJ/query over " << total.queriesServed
+                      << " queries\n";
+            return 0;
         }
 
         core::ExecutionResult result = kernel.run(args);
 
-        for (std::size_t i = 0; i < result.outputs.size(); ++i) {
-            const rt::RtValue &out = result.outputs[i];
-            if (out.isBuffer())
-                std::cout << "output[" << i
-                          << "] = " << out.asBuffer()->str() << "\n";
-            else if (out.isInt())
-                std::cout << "output[" << i << "] = " << out.asInt()
-                          << "\n";
-            else
-                std::cout << "output[" << i << "] = " << out.asFloat()
-                          << "\n";
+        if (json) {
+            std::cout << result.perf.toJson().dump(2) << "\n";
+            return 0;
         }
+        printOutputs(result.outputs);
         if (!host_only) {
             std::cout << "perf: " << result.perf.str() << "\n";
             const auto &plan = kernel.plan();
