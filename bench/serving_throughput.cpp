@@ -15,7 +15,16 @@
  * the session path is not at least 5x faster in simulated throughput
  * or if any result/cost invariant breaks, so CI can smoke-run it.
  *
- *   bench_serving_throughput [--queries N]   (default 64)
+ * --scaling switches to the thread-scaling mode: the same query
+ * stream is served through a core::ServingEngine with 1/2/4/8 worker
+ * threads (one programmed device replica each) and a host-qps table
+ * is printed. Every threaded run must stay bit-identical to the
+ * serial session (answers and per-query cost reports); on hosts with
+ * >= 4 hardware threads the bench additionally exits non-zero when
+ * the 4-worker engine does not beat the serial session by > 1.5x in
+ * wall-clock queries/sec.
+ *
+ *   bench_serving_throughput [--queries N] [--scaling]   (default 64)
  */
 
 #include <chrono>
@@ -24,12 +33,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "BenchUtils.h"
 #include "apps/Workloads.h"
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
+#include "core/ServingEngine.h"
 #include "support/Rng.h"
 
 using namespace c4cam;
@@ -43,12 +54,118 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/** Exact equality of the fields a served query's window must match. */
+bool
+sameQueryCost(const sim::PerfReport &a, const sim::PerfReport &b)
+{
+    return a.queryLatencyNs == b.queryLatencyNs &&
+           a.queryEnergyPj == b.queryEnergyPj &&
+           a.cellEnergyPj == b.cellEnergyPj &&
+           a.senseEnergyPj == b.senseEnergyPj &&
+           a.driveEnergyPj == b.driveEnergyPj &&
+           a.mergeEnergyPj == b.mergeEnergyPj &&
+           a.searches == b.searches;
+}
+
+/**
+ * Thread-scaling mode. @return process exit code.
+ */
+int
+runScaling(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
+           const std::vector<rt::BufferPtr> &queries)
+{
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(queries.size());
+    for (const rt::BufferPtr &query : queries)
+        batches.push_back({query, stored_buf});
+
+    // Serial reference: one persistent session, same stream. The
+    // clock covers the serving loop only -- session creation (setup
+    // interpretation) stays outside, exactly like engine construction
+    // and replica cloning stay outside the engine's timed window, so
+    // the speedup column compares steady-state serving throughput.
+    core::ExecutionSession session =
+        kernel.createSession({queries[0], stored_buf});
+    Clock::time_point start = Clock::now();
+    std::vector<core::ExecutionResult> serial = session.runBatch(batches);
+    double serial_s = secondsSince(start);
+    double serial_qps = static_cast<double>(queries.size()) / serial_s;
+
+    unsigned hw = std::thread::hardware_concurrency();
+    std::printf("Thread scaling: %zu queries, %u hardware threads\n",
+                queries.size(), hw);
+    bench::rule();
+    std::printf("%-10s %14s %12s %12s %12s\n", "workers", "wall qps",
+                "vs serial", "p50 (us)", "p95 (us)");
+    std::printf("%-10s %14.1f %12s %12s %12s\n", "serial", serial_qps,
+                "1.00x", "-", "-");
+
+    double qps4 = 0.0;
+    for (int workers : {1, 2, 4, 8}) {
+        auto engine =
+            kernel.createServingEngine({queries[0], stored_buf}, workers);
+        start = Clock::now();
+        std::vector<core::ExecutionResult> threaded =
+            engine->runBatch(batches);
+        double batch_s = secondsSince(start);
+        double qps = static_cast<double>(queries.size()) / batch_s;
+        core::ServingStats stats = engine->stats();
+        if (workers == 4)
+            qps4 = qps;
+        std::printf("%-10d %14.1f %11.2fx %12.1f %12.1f\n", workers, qps,
+                    qps / serial_qps, stats.p50LatencyUs,
+                    stats.p95LatencyUs);
+
+        // Bit-identical serving invariant: answers and per-query cost
+        // reports match the serial session exactly, per query.
+        for (std::size_t q = 0; q < batches.size(); ++q) {
+            if (threaded[q].outputs[1].asBuffer()->toVector() !=
+                    serial[q].outputs[1].asBuffer()->toVector() ||
+                !sameQueryCost(threaded[q].perf, serial[q].perf)) {
+                std::fprintf(stderr,
+                             "FAIL: %d-worker result %zu diverges from "
+                             "the serial session\n",
+                             workers, q);
+                return 1;
+            }
+        }
+        sim::PerfReport aggregate = engine->stats().aggregate;
+        if (aggregate.setupLatencyNs !=
+            session.aggregateReport().setupLatencyNs) {
+            std::fprintf(stderr,
+                         "FAIL: %d-worker engine pays setup differently "
+                         "from the serial session\n",
+                         workers);
+            return 1;
+        }
+    }
+    bench::rule();
+
+    if (hw >= 4) {
+        if (qps4 <= 1.5 * serial_qps) {
+            std::fprintf(stderr,
+                         "FAIL: 4-worker qps %.1f is not > 1.5x serial "
+                         "qps %.1f\n",
+                         qps4, serial_qps);
+            return 1;
+        }
+        std::printf("4-worker speedup %.2fx > 1.5x serial: OK\n",
+                    qps4 / serial_qps);
+    } else {
+        std::printf("SKIP: %u hardware threads (< 4); scaling gate "
+                    "needs a multi-core host, correctness checks ran\n",
+                    hw);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     long num_queries = 64;
+    bool scaling = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
             char *end = nullptr;
@@ -58,9 +175,11 @@ main(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--scaling") == 0) {
+            scaling = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_serving_throughput [--queries N]\n");
+            std::fprintf(stderr, "usage: bench_serving_throughput "
+                                 "[--queries N] [--scaling]\n");
             return 2;
         }
     }
@@ -95,6 +214,9 @@ main(int argc, char **argv)
     for (long q = 0; q < num_queries; ++q)
         queries.push_back(rt::Buffer::fromMatrix(
             {stored[static_cast<std::size_t>(q) % stored.size()]}));
+
+    if (scaling)
+        return runScaling(kernel, stored_buf, queries);
 
     // (a) naive serving: one kernel.run() per query (setup every time).
     double naive_sim_ns = 0.0;

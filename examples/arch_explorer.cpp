@@ -100,11 +100,14 @@ main(int argc, char **argv)
 
     if (sweep) {
         // Full §IV-C sweep: 5 sizes x 4 targets, Pareto-labeled.
+        // Candidates are independent compiles, so sweep them on one
+        // worker per hardware thread (threads=0); results are
+        // bit-identical to the serial sweep.
         std::printf("\nstandard DSE sweep (20 candidates):\n");
         core::DseExplorer explorer;
         core::DseResult result = explorer.explore(
             source, core::DseExplorer::standardCandidates(),
-            {queries, stored});
+            {queries, stored}, /*threads=*/0);
         std::printf("%s", result.table().c_str());
         const auto &fast = result.bestLatency();
         const auto &frugal = result.bestPower();

@@ -1,6 +1,7 @@
 #include "core/Compiler.h"
 
 #include "core/ExecutionSession.h"
+#include "core/ServingEngine.h"
 #include "dialects/AllDialects.h"
 #include "frontend/TorchScriptFrontend.h"
 #include "ir/Verifier.h"
@@ -25,6 +26,29 @@ CompiledKernel::CompiledKernel(std::shared_ptr<ir::Context> ctx,
     auto funcs = module_.functions();
     C4CAM_CHECK(!funcs.empty(), "compiled module has no functions");
     entry_ = funcs.front()->strAttr("sym_name");
+}
+
+void
+validateKernelArgs(ir::Block *body, const std::string &entry,
+                   const std::vector<rt::BufferPtr> &args)
+{
+    C4CAM_CHECK(body->numArguments() == args.size(),
+                "kernel '" << entry << "' takes " << body->numArguments()
+                << " arguments, got " << args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        C4CAM_CHECK(args[i], "argument " << i << " is null");
+        ir::Type t = body->argument(i)->type();
+        if (!t.isTensor())
+            continue;
+        const auto &shape = t.shape();
+        const auto &got = args[i]->shape();
+        bool matches = shape.size() == got.size();
+        for (std::size_t d = 0; matches && d < shape.size(); ++d)
+            matches = shape[d] == got[d];
+        C4CAM_CHECK(matches, "argument " << i << " shape mismatch for '"
+                    << entry << "': kernel was compiled for a different "
+                    "tensor shape (recompile or reshape the input)");
+    }
 }
 
 ExecutionResult
@@ -62,6 +86,14 @@ ExecutionSession
 CompiledKernel::createSession(const std::vector<rt::BufferPtr> &setup_args)
 {
     return ExecutionSession(ctx_, module_, options_, entry_, setup_args);
+}
+
+std::unique_ptr<ServingEngine>
+CompiledKernel::createServingEngine(
+    const std::vector<rt::BufferPtr> &setup_args, int replicas)
+{
+    return std::make_unique<ServingEngine>(ctx_, module_, options_, entry_,
+                                           setup_args, replicas);
 }
 
 Compiler::Compiler(CompilerOptions options) : options_(std::move(options))

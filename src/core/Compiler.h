@@ -53,16 +53,27 @@ struct ExecutionResult
 };
 
 class ExecutionSession;
+class ServingEngine;
 
 /**
  * Execute @p entry of @p module once on fresh state: a new CamDevice
  * for the device path, host interpretation when @p options.hostOnly.
  * Shared by CompiledKernel::run() and non-persistent sessions so the
- * two paths cannot diverge in accounting.
+ * two paths cannot diverge in accounting. Thread-safe: every call
+ * builds its own device and ExecutionState; the module is only read.
  */
 ExecutionResult runKernelOnce(ir::Module &module, const std::string &entry,
                               const CompilerOptions &options,
                               const std::vector<rt::BufferPtr> &args);
+
+/**
+ * Validate @p args against the signature of kernel entry block
+ * @p body: arity, non-null buffers, tensor shapes. Throws
+ * CompilerError naming @p entry on mismatch. Shared by sessions and
+ * the serving engine.
+ */
+void validateKernelArgs(ir::Block *body, const std::string &entry,
+                        const std::vector<rt::BufferPtr> &args);
 
 /**
  * A compiled kernel: owns the context and the lowered module.
@@ -99,6 +110,18 @@ class CompiledKernel
      */
     ExecutionSession
     createSession(const std::vector<rt::BufferPtr> &setup_args);
+
+    /**
+     * Open a parallel serving engine: programs one device (setup
+     * phase), clones it into @p replicas programmed copies and serves
+     * queries through a worker pool with one thread per replica. Each
+     * served query's PerfReport is bit-identical to a serial
+     * ExecutionSession::runQuery() of the same input. The kernel must
+     * outlive the engine. See core/ServingEngine.h.
+     */
+    std::unique_ptr<ServingEngine>
+    createServingEngine(const std::vector<rt::BufferPtr> &setup_args,
+                        int replicas);
 
     /** IR snapshots per pass (when dumpIntermediates was set). */
     const std::vector<std::pair<std::string, std::string>> &dumps() const

@@ -1,9 +1,11 @@
 #include "core/DseExplorer.h"
 
 #include <algorithm>
+#include <future>
 #include <sstream>
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 namespace c4cam::core {
 
@@ -86,23 +88,53 @@ DseExplorer::standardCandidates()
     return specs;
 }
 
+namespace {
+
+/** Compile + execute one candidate on fresh, task-local state. */
+DsePoint
+evaluateCandidate(const std::string &source, const arch::ArchSpec &spec,
+                  const std::vector<rt::BufferPtr> &args)
+{
+    CompilerOptions options;
+    options.spec = spec;
+    Compiler compiler(options);
+    CompiledKernel kernel = compiler.compileTorchScript(source);
+    ExecutionResult run = kernel.run(args);
+    DsePoint point;
+    point.spec = spec;
+    point.perf = run.perf;
+    return point;
+}
+
+} // namespace
+
 DseResult
 DseExplorer::explore(const std::string &source,
                      const std::vector<arch::ArchSpec> &candidates,
-                     const std::vector<rt::BufferPtr> &args) const
+                     const std::vector<rt::BufferPtr> &args,
+                     int threads) const
 {
     C4CAM_CHECK(!candidates.empty(), "DSE sweep needs candidates");
+    C4CAM_CHECK(threads >= 0, "DSE thread count must be >= 0");
     DseResult result;
-    for (const arch::ArchSpec &spec : candidates) {
-        CompilerOptions options;
-        options.spec = spec;
-        Compiler compiler(options);
-        CompiledKernel kernel = compiler.compileTorchScript(source);
-        ExecutionResult run = kernel.run(args);
-        DsePoint point;
-        point.spec = spec;
-        point.perf = run.perf;
-        result.points.push_back(point);
+    result.points.resize(candidates.size());
+    if (threads == 1) {
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            result.points[i] =
+                evaluateCandidate(source, candidates[i], args);
+    } else {
+        // One candidate per pool task; every task owns its context,
+        // module and device, so the only shared data (source, args) is
+        // read-only. Futures land by index: same order as serial.
+        support::ThreadPool pool(static_cast<std::size_t>(threads));
+        std::vector<std::future<DsePoint>> futures;
+        futures.reserve(candidates.size());
+        for (const arch::ArchSpec &spec : candidates)
+            futures.push_back(pool.submit([&source, &spec, &args] {
+                return evaluateCandidate(source, spec, args);
+            }));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            result.points[i] = futures[i].get();
     }
 
     // Latency/power Pareto labeling: a point is dominated when some

@@ -58,14 +58,26 @@ struct DseResult
 /**
  * Compiles @p source once per candidate spec and executes it with
  * @p args on a fresh simulator.
+ *
+ * The sweep is embarrassingly parallel across candidates: every task
+ * builds its own ir::Context, compiler, module and device, sharing
+ * only the (read-only) source text and inputs. With @p threads > 1
+ * candidates are evaluated on a worker pool; results are keyed by
+ * candidate index, so the outcome is bit-identical to the serial
+ * sweep regardless of completion order.
  */
 class DseExplorer
 {
   public:
-    /** Sweep explicit candidates. */
+    /**
+     * Sweep explicit candidates.
+     * @param threads worker count: 1 (default) sweeps inline, 0 uses
+     *        one worker per hardware thread, N>1 uses N workers.
+     */
     DseResult explore(const std::string &source,
                       const std::vector<arch::ArchSpec> &candidates,
-                      const std::vector<rt::BufferPtr> &args) const;
+                      const std::vector<rt::BufferPtr> &args,
+                      int threads = 1) const;
 
     /**
      * Standard paper sweep: subarray sizes {16..256} x the four

@@ -4,20 +4,6 @@
 
 namespace c4cam::core {
 
-namespace {
-
-std::vector<rt::RtValue>
-toRtValues(const std::vector<rt::BufferPtr> &args)
-{
-    std::vector<rt::RtValue> rt_args;
-    rt_args.reserve(args.size());
-    for (const rt::BufferPtr &arg : args)
-        rt_args.emplace_back(arg);
-    return rt_args;
-}
-
-} // namespace
-
 ExecutionSession::ExecutionSession(std::shared_ptr<ir::Context> ctx,
                                    ir::Module &module,
                                    CompilerOptions options,
@@ -30,7 +16,7 @@ ExecutionSession::ExecutionSession(std::shared_ptr<ir::Context> ctx,
     ir::Operation *func = module_->lookupFunction(entry_);
     C4CAM_CHECK(func, "session kernel has no function '" << entry_ << "'");
     entryBody_ = &func->region(0).front();
-    validateArgs(setup_args);
+    validateKernelArgs(entryBody_, entry_, setup_args);
 
     persistent_ = !options_.hostOnly &&
                   rt::Interpreter::hasPhaseMarkers(func);
@@ -38,41 +24,18 @@ ExecutionSession::ExecutionSession(std::shared_ptr<ir::Context> ctx,
         return; // fall back to full re-execution per query
 
     device_ = std::make_unique<sim::CamDevice>(options_.spec);
-    interpreter_ =
-        std::make_unique<rt::Interpreter>(*module_, device_.get());
-    interpreter_->callFunction(entry_, toRtValues(setup_args),
+    interpreter_ = std::make_unique<rt::Interpreter>(*module_);
+    state_ = rt::ExecutionState(device_.get());
+    interpreter_->callFunction(state_, entry_, rt::toRtValues(setup_args),
                                rt::Interpreter::ExecPhase::SetupOnly);
     setupReport_ = device_->report();
     aggregate_ = setupReport_;
 }
 
-void
-ExecutionSession::validateArgs(const std::vector<rt::BufferPtr> &args) const
-{
-    C4CAM_CHECK(entryBody_->numArguments() == args.size(),
-                "kernel '" << entry_ << "' takes "
-                << entryBody_->numArguments() << " arguments, got "
-                << args.size());
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        C4CAM_CHECK(args[i], "argument " << i << " is null");
-        ir::Type t = entryBody_->argument(i)->type();
-        if (!t.isTensor())
-            continue;
-        const auto &shape = t.shape();
-        const auto &got = args[i]->shape();
-        bool matches = shape.size() == got.size();
-        for (std::size_t d = 0; matches && d < shape.size(); ++d)
-            matches = shape[d] == got[d];
-        C4CAM_CHECK(matches, "argument " << i << " shape mismatch for '"
-                    << entry_ << "': kernel was compiled for a different "
-                    "tensor shape (recompile or reshape the input)");
-    }
-}
-
 ExecutionResult
 ExecutionSession::runQuery(const std::vector<rt::BufferPtr> &args)
 {
-    validateArgs(args);
+    validateKernelArgs(entryBody_, entry_, args);
     if (!persistent_)
         return runNonPersistent(args);
 
@@ -81,7 +44,7 @@ ExecutionSession::runQuery(const std::vector<rt::BufferPtr> &args)
     device_->beginQueryWindow();
     ExecutionResult result;
     result.outputs =
-        interpreter_->callFunction(entry_, toRtValues(args),
+        interpreter_->callFunction(state_, entry_, rt::toRtValues(args),
                                    rt::Interpreter::ExecPhase::QueryOnly);
     result.perf = device_->report();
     result.perf.queriesServed = 1;
@@ -102,22 +65,12 @@ ExecutionSession::runNonPersistent(const std::vector<rt::BufferPtr> &args)
 void
 ExecutionSession::accumulate(const sim::PerfReport &perf)
 {
-    aggregate_.queryLatencyNs += perf.queryLatencyNs;
-    aggregate_.queryEnergyPj += perf.queryEnergyPj;
-    aggregate_.cellEnergyPj += perf.cellEnergyPj;
-    aggregate_.senseEnergyPj += perf.senseEnergyPj;
-    aggregate_.driveEnergyPj += perf.driveEnergyPj;
-    aggregate_.mergeEnergyPj += perf.mergeEnergyPj;
-    aggregate_.searches += perf.searches;
-    if (!persistent_) {
+    if (persistent_) {
+        aggregate_.addQueryWindow(perf);
+    } else {
         // Every non-persistent call pays setup again; surface that in
         // the aggregate so amortization reflects reality.
-        aggregate_.setupLatencyNs += perf.setupLatencyNs;
-        aggregate_.setupEnergyPj += perf.setupEnergyPj;
-        aggregate_.writes += perf.writes;
-        aggregate_.subarraysUsed = perf.subarraysUsed;
-        aggregate_.subarraysAllocated = perf.subarraysAllocated;
-        aggregate_.banksUsed = perf.banksUsed;
+        aggregate_.addFullRun(perf);
     }
 }
 

@@ -113,7 +113,6 @@ class ExecutionSession
     sim::CamDevice *device() { return device_.get(); }
 
   private:
-    void validateArgs(const std::vector<rt::BufferPtr> &args) const;
     ExecutionResult runNonPersistent(const std::vector<rt::BufferPtr> &args);
     void accumulate(const sim::PerfReport &perf);
 
@@ -126,7 +125,10 @@ class ExecutionSession
     ir::Block *entryBody_ = nullptr;
 
     std::unique_ptr<sim::CamDevice> device_;
+    /** Immutable view over the module (shareable across threads). */
     std::unique_ptr<rt::Interpreter> interpreter_;
+    /** This session's per-execution state (SSA env from the setup run). */
+    rt::ExecutionState state_;
 
     bool persistent_ = false;
     sim::PerfReport setupReport_;

@@ -1,0 +1,242 @@
+#include "core/ServingEngine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "support/Error.h"
+
+namespace c4cam::core {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** Percentile over @p sorted (ascending); nearest-rank. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p / 100.0 * static_cast<double>(sorted.size());
+    std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+    idx = std::min(std::max<std::size_t>(idx, 1), sorted.size()) - 1;
+    return sorted[idx];
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
+                             ir::Module &module, CompilerOptions options,
+                             std::string entry,
+                             const std::vector<rt::BufferPtr> &setup_args,
+                             int replicas)
+    : module_(&module), options_(std::move(options)),
+      entry_(std::move(entry)), ctx_(std::move(ctx))
+{
+    C4CAM_CHECK(replicas >= 1,
+                "ServingEngine needs at least 1 replica, got " << replicas);
+    ir::Operation *func = module_->lookupFunction(entry_);
+    C4CAM_CHECK(func, "serving kernel has no function '" << entry_ << "'");
+    entryBody_ = &func->region(0).front();
+    validateKernelArgs(entryBody_, entry_, setup_args);
+
+    interpreter_ = std::make_unique<rt::Interpreter>(*module_);
+    persistent_ = !options_.hostOnly &&
+                  rt::Interpreter::hasPhaseMarkers(func);
+
+    if (persistent_) {
+        // Program the master replica (the only simulated setup cost),
+        // then replicate it: clones copy the programmed cells, the
+        // setup accounting and the handle numbering, so a forked
+        // interpreter state keeps addressing the right subarrays.
+        auto master = std::make_unique<Replica>();
+        master->device = std::make_unique<sim::CamDevice>(options_.spec);
+        master->state = rt::ExecutionState(master->device.get());
+        interpreter_->callFunction(master->state, entry_,
+                                   rt::toRtValues(setup_args),
+                                   rt::Interpreter::ExecPhase::SetupOnly);
+        setupReport_ = master->device->report();
+        replicas_.push_back(std::move(master));
+        for (int i = 1; i < replicas; ++i) {
+            auto replica = std::make_unique<Replica>();
+            replica->device = replicas_[0]->device->cloneProgrammed();
+            replica->state = replicas_[0]->state.forkForReplica(
+                replica->device.get());
+            replicas_.push_back(std::move(replica));
+        }
+    } else {
+        // Host-only fallback: no devices to replicate; per-query
+        // executions are already independent. Keep placeholder
+        // replicas so the concurrency cap (and stats) behave the same.
+        for (int i = 0; i < replicas; ++i)
+            replicas_.push_back(std::make_unique<Replica>());
+    }
+    aggregate_ = setupReport_;
+
+    freeReplicas_.reserve(replicas_.size());
+    for (auto &replica : replicas_)
+        freeReplicas_.push_back(replica.get());
+
+    pool_ = std::make_unique<support::ThreadPool>(replicas_.size());
+}
+
+ServingEngine::Replica *
+ServingEngine::acquireReplica()
+{
+    std::unique_lock<std::mutex> lock(replicaMutex_);
+    replicaFree_.wait(lock, [this] { return !freeReplicas_.empty(); });
+    Replica *replica = freeReplicas_.back();
+    freeReplicas_.pop_back();
+    return replica;
+}
+
+void
+ServingEngine::releaseReplica(Replica *replica)
+{
+    {
+        std::lock_guard<std::mutex> lock(replicaMutex_);
+        freeReplicas_.push_back(replica);
+    }
+    replicaFree_.notify_one();
+}
+
+ExecutionResult
+ServingEngine::serveOn(Replica &replica,
+                       const std::vector<rt::BufferPtr> &args)
+{
+    if (!persistent_)
+        return runKernelOnce(*module_, entry_, options_, args);
+
+    // Fresh accounting window: this query's report covers exactly this
+    // call on top of the shared setup, bit-identical to a serial
+    // session (and to a single-shot run).
+    replica.device->beginQueryWindow();
+    ExecutionResult result;
+    result.outputs = interpreter_->callFunction(
+        replica.state, entry_, rt::toRtValues(args),
+        rt::Interpreter::ExecPhase::QueryOnly);
+    result.perf = replica.device->report();
+    result.perf.queriesServed = 1;
+    return result;
+}
+
+ExecutionResult
+ServingEngine::serve(const std::vector<rt::BufferPtr> &args)
+{
+    Clock::time_point start = Clock::now();
+    Replica *replica = acquireReplica();
+    ExecutionResult result;
+    try {
+        result = serveOn(*replica, args);
+    } catch (...) {
+        releaseReplica(replica);
+        throw;
+    }
+    releaseReplica(replica);
+    Clock::time_point done = Clock::now();
+    recordServed(result.perf,
+                 std::chrono::duration<double>(done - start).count(),
+                 start, done);
+    return result;
+}
+
+void
+ServingEngine::recordServed(const sim::PerfReport &perf, double latency_s,
+                            Clock::time_point start, Clock::time_point done)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (persistent_)
+        aggregate_.addQueryWindow(perf);
+    else
+        aggregate_.addFullRun(perf);
+    ++queriesServed_;
+    latenciesUs_.push_back(latency_s * 1e6);
+    if (!anyServed_ || start < firstSubmit_)
+        firstSubmit_ = start;
+    if (!anyServed_ || done > lastDone_)
+        lastDone_ = done;
+    anyServed_ = true;
+}
+
+std::future<ExecutionResult>
+ServingEngine::submit(std::vector<rt::BufferPtr> args)
+{
+    validateKernelArgs(entryBody_, entry_, args);
+    return pool_->submit(
+        [this, args = std::move(args)] { return serve(args); });
+}
+
+std::vector<ExecutionResult>
+ServingEngine::runBatch(
+    const std::vector<std::vector<rt::BufferPtr>> &queries, int threads)
+{
+    // Validate everything up front: a malformed query must fail before
+    // any work is enqueued, not halfway through a batch.
+    for (const auto &args : queries)
+        validateKernelArgs(entryBody_, entry_, args);
+
+    int lanes = threads <= 0 ? numReplicas()
+                             : std::min(threads, numReplicas());
+    lanes = std::min<int>(lanes, static_cast<int>(queries.size()));
+
+    std::vector<ExecutionResult> results(queries.size());
+    if (lanes <= 0)
+        return results;
+
+    // Drain lanes: `lanes` pool tasks pull query indices from a shared
+    // cursor, so concurrency is capped at `lanes` while results land
+    // in input order (distinct slots, no ordering races).
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+        futures.push_back(pool_->submit([this, &queries, &results,
+                                         cursor] {
+            for (;;) {
+                std::size_t idx = cursor->fetch_add(1);
+                if (idx >= queries.size())
+                    return;
+                results[idx] = serve(queries[idx]);
+            }
+        }));
+    }
+    // get() rethrows the first lane failure after all lanes stopped.
+    for (auto &future : futures)
+        future.wait();
+    for (auto &future : futures)
+        future.get();
+    return results;
+}
+
+std::int64_t
+ServingEngine::queriesServed() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return queriesServed_;
+}
+
+ServingStats
+ServingEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ServingStats stats;
+    stats.queriesServed = queriesServed_;
+    stats.aggregate = aggregate_;
+    stats.aggregate.queriesServed = queriesServed_;
+    if (anyServed_) {
+        stats.wallSeconds =
+            std::chrono::duration<double>(lastDone_ - firstSubmit_)
+                .count();
+        if (stats.wallSeconds > 0.0)
+            stats.qps = static_cast<double>(queriesServed_) /
+                        stats.wallSeconds;
+    }
+    std::vector<double> sorted = latenciesUs_;
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50LatencyUs = percentile(sorted, 50.0);
+    stats.p95LatencyUs = percentile(sorted, 95.0);
+    return stats;
+}
+
+} // namespace c4cam::core

@@ -1,0 +1,195 @@
+#ifndef C4CAM_CORE_SERVINGENGINE_H
+#define C4CAM_CORE_SERVINGENGINE_H
+
+/**
+ * @file
+ * Parallel query serving on replicated CAM devices.
+ *
+ * An ExecutionSession serves queries one at a time on one programmed
+ * device. A ServingEngine scales that out across host threads: it
+ * programs one device (paying setup once), replicates it with
+ * CamDevice::cloneProgrammed() into N independent replicas, and drives
+ * them behind a work queue with one worker thread per replica.
+ *
+ * @code
+ *   core::CompiledKernel kernel = compiler.compileTorchScript(src);
+ *   auto engine = kernel.createServingEngine({query0, stored}, 4);
+ *   std::future<core::ExecutionResult> f = engine->submit({q, stored});
+ *   std::vector<core::ExecutionResult> all =
+ *       engine->runBatch(batches, 4);  // concurrency cap: 4 lanes
+ *   core::ServingStats stats = engine->stats();  // qps, p50/p95
+ * @endcode
+ *
+ * Accounting guarantees (locked by tests and bench/serving_throughput):
+ *  - every served query's PerfReport is bit-identical to what a serial
+ *    ExecutionSession::runQuery() reports for the same input: replicas
+ *    are exact copies, each query runs on exactly one replica inside a
+ *    fresh query window, and the simulated cost model is deterministic;
+ *  - the aggregate report pays setup once (replication is free host
+ *    work, not simulated device work) and sums the query windows over
+ *    all served queries, exactly like a serial session.
+ *
+ * Threading model: the compiled module and the Interpreter over it are
+ * shared read-only; each replica owns its CamDevice and ExecutionState
+ * and serves at most one query at a time (enforced by the free-list).
+ * Queries must not alias writable buffers across concurrent
+ * submissions (inputs are read-only; outputs are freshly allocated per
+ * query).
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/Compiler.h"
+#include "runtime/Buffer.h"
+#include "runtime/Interpreter.h"
+#include "sim/CamDevice.h"
+#include "support/ThreadPool.h"
+
+namespace c4cam::core {
+
+/** Aggregate serving metrics over all queries served so far. */
+struct ServingStats
+{
+    std::int64_t queriesServed = 0;
+
+    /** Wall-clock seconds from the first submission to the last
+     *  completion (0 when nothing was served). */
+    double wallSeconds = 0.0;
+
+    /** Host throughput: queriesServed / wallSeconds. */
+    double qps = 0.0;
+
+    /// @name Host wall-clock latency percentiles per query (us)
+    /// @{
+    double p50LatencyUs = 0.0;
+    double p95LatencyUs = 0.0;
+    /// @}
+
+    /** Simulated totals: setup once + query windows summed, with
+     *  queriesServed set (same accounting as a serial session). */
+    sim::PerfReport aggregate;
+};
+
+/**
+ * N programmed device replicas behind a work queue.
+ *
+ * For host-only kernels (no cam ops, nothing to replicate) the engine
+ * transparently falls back to independent full executions per query --
+ * still parallel (runKernelOnce builds per-call state), just without
+ * persistent devices; persistent() tells the modes apart.
+ *
+ * The engine borrows the kernel's lowered module: the CompiledKernel
+ * must outlive (and not be moved while used by) its engines. Prefer
+ * CompiledKernel::createServingEngine() over the raw constructor.
+ */
+class ServingEngine
+{
+  public:
+    ServingEngine(std::shared_ptr<ir::Context> ctx, ir::Module &module,
+                  CompilerOptions options, std::string entry,
+                  const std::vector<rt::BufferPtr> &setup_args,
+                  int replicas);
+
+    /** Waits for all in-flight queries, then tears down the pool. */
+    ~ServingEngine() = default;
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Enqueue one query asynchronously. The future resolves with the
+     * result (or rethrows the execution error). Queries may complete
+     * in any order; each runs on whichever replica frees up first.
+     */
+    std::future<ExecutionResult>
+    submit(std::vector<rt::BufferPtr> args);
+
+    /**
+     * Serve @p queries and return results in input order.
+     * @param threads concurrency cap; 0 (default) uses all replicas,
+     *        1 degenerates to serial serving, values above the replica
+     *        count are clamped.
+     */
+    std::vector<ExecutionResult>
+    runBatch(const std::vector<std::vector<rt::BufferPtr>> &queries,
+             int threads = 0);
+
+    /** Aggregate metrics over everything served so far. */
+    ServingStats stats() const;
+
+    /** One-time setup cost of the master replica. */
+    const sim::PerfReport &setupReport() const { return setupReport_; }
+
+    bool persistent() const { return persistent_; }
+    int numReplicas() const { return static_cast<int>(replicas_.size()); }
+    std::int64_t queriesServed() const;
+
+  private:
+    /** One programmed device copy + the post-setup interpreter state. */
+    struct Replica
+    {
+        std::unique_ptr<sim::CamDevice> device;
+        rt::ExecutionState state;
+    };
+
+    Replica *acquireReplica();
+    void releaseReplica(Replica *replica);
+
+    /** Serve one query on @p replica (fresh window, QueryOnly). */
+    ExecutionResult serveOn(Replica &replica,
+                            const std::vector<rt::BufferPtr> &args);
+
+    /** Acquire a replica, serve, record stats, release. */
+    ExecutionResult serve(const std::vector<rt::BufferPtr> &args);
+
+    void recordServed(const sim::PerfReport &perf, double latency_s,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point done);
+
+    ir::Module *module_;
+    CompilerOptions options_;
+    std::string entry_;
+    ir::Block *entryBody_ = nullptr;
+    std::shared_ptr<ir::Context> ctx_;
+
+    bool persistent_ = false;
+    sim::PerfReport setupReport_;
+
+    /** Shared read-only executor over the module. */
+    std::unique_ptr<rt::Interpreter> interpreter_;
+
+    /** Replica storage (index 0 is the master that ran setup). */
+    std::vector<std::unique_ptr<Replica>> replicas_;
+
+    /// @name Free-list of idle replicas
+    /// @{
+    mutable std::mutex replicaMutex_;
+    std::condition_variable replicaFree_;
+    std::vector<Replica *> freeReplicas_;
+    /// @}
+
+    /// @name Serving statistics (guarded by statsMutex_)
+    /// @{
+    mutable std::mutex statsMutex_;
+    sim::PerfReport aggregate_;
+    std::int64_t queriesServed_ = 0;
+    std::vector<double> latenciesUs_;
+    bool anyServed_ = false;
+    std::chrono::steady_clock::time_point firstSubmit_;
+    std::chrono::steady_clock::time_point lastDone_;
+    /// @}
+
+    /** Declared last: destruction drains in-flight work while the
+     *  replicas and stats above are still alive. */
+    std::unique_ptr<support::ThreadPool> pool_;
+};
+
+} // namespace c4cam::core
+
+#endif // C4CAM_CORE_SERVINGENGINE_H

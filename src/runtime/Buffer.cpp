@@ -198,4 +198,14 @@ Buffer::str() const
     return oss.str();
 }
 
+std::vector<RtValue>
+toRtValues(const std::vector<BufferPtr> &args)
+{
+    std::vector<RtValue> rt_args;
+    rt_args.reserve(args.size());
+    for (const BufferPtr &arg : args)
+        rt_args.emplace_back(arg);
+    return rt_args;
+}
+
 } // namespace c4cam::rt

@@ -140,6 +140,9 @@ class RtValue
     std::variant<std::int64_t, double, BufferPtr> v_;
 };
 
+/** Wrap kernel argument buffers as interpreter values. */
+std::vector<RtValue> toRtValues(const std::vector<BufferPtr> &args);
+
 } // namespace c4cam::rt
 
 #endif // C4CAM_RUNTIME_BUFFER_H

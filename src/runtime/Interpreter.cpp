@@ -18,12 +18,12 @@ namespace camd = c4cam::dialects::cam;
 namespace cimd = c4cam::dialects::cim;
 namespace torchd = c4cam::dialects::torch;
 
-Interpreter::Interpreter(Module &module, sim::CamDevice *device)
-    : module_(module), device_(device)
-{}
+//
+// ExecutionState
+//
 
 RtValue
-Interpreter::get(Value *value) const
+ExecutionState::get(Value *value) const
 {
     auto it = env_.find(value);
     C4CAM_ASSERT(it != env_.end(), "use of unevaluated SSA value");
@@ -31,54 +31,232 @@ Interpreter::get(Value *value) const
 }
 
 void
-Interpreter::set(Value *value, RtValue rt_value)
+ExecutionState::set(Value *value, RtValue rt_value)
 {
     env_[value] = std::move(rt_value);
 }
 
-std::vector<RtValue>
-Interpreter::callFunction(const std::string &name,
-                          const std::vector<RtValue> &args, ExecPhase phase)
+ExecutionState
+ExecutionState::forkForReplica(sim::CamDevice *device) const
 {
-    Operation *func = module_.lookupFunction(name);
-    C4CAM_CHECK(func, "no function named '" << name << "' in module");
-    Block *body = &func->region(0).front();
-    C4CAM_CHECK(body->numArguments() == args.size(),
-                "function '" << name << "' takes " << body->numArguments()
-                << " arguments, got " << args.size());
-    if (phase != ExecPhase::Full)
-        C4CAM_CHECK(hasPhaseMarkers(func),
-                    "function '" << name << "' has no phase annotations; "
-                    "phased execution requires a cam-mapped kernel");
-    for (std::size_t i = 0; i < args.size(); ++i)
-        set(body->argument(i), args[i]);
-    if (phase == ExecPhase::Full)
-        return runBlock(*body);
-    return runTopLevel(*body, phase);
+    ExecutionState fork(device);
+    fork.env_ = env_;
+    fork.nextCimHandle_ = nextCimHandle_;
+    return fork;
 }
 
-bool
-Interpreter::hasPhaseMarkers(Operation *func)
+//
+// Host tensor kernels shared by torch and cim handlers. Pure functions
+// of their inputs: safe to call from any thread.
+//
+
+namespace {
+
+BufferPtr
+transpose2d(const BufferPtr &in)
 {
-    if (!func || func->numRegions() == 0)
-        return false;
-    for (Operation *op : func->region(0).front().opVector())
-        if (op->strAttrOr(camd::kPhaseAttr, "") == camd::kPhaseQuery)
-            return true;
-    return false;
+    C4CAM_CHECK(in->rank() == 2, "transpose requires a rank-2 tensor");
+    auto out = Buffer::alloc(in->dtype(), {in->shape()[1], in->shape()[0]});
+    for (std::int64_t i = 0; i < in->shape()[0]; ++i)
+        for (std::int64_t j = 0; j < in->shape()[1]; ++j)
+            out->set({j, i}, in->at({i, j}));
+    return out;
 }
 
+BufferPtr
+matmul(const BufferPtr &a, const BufferPtr &b)
+{
+    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2,
+                "matmul requires rank-2 tensors");
+    C4CAM_CHECK(a->shape()[1] == b->shape()[0],
+                "matmul inner dims mismatch: " << a->shape()[1] << " vs "
+                << b->shape()[0]);
+    auto out = Buffer::alloc(DType::F32, {a->shape()[0], b->shape()[1]});
+    for (std::int64_t i = 0; i < a->shape()[0]; ++i) {
+        for (std::int64_t j = 0; j < b->shape()[1]; ++j) {
+            double acc = 0.0;
+            for (std::int64_t k = 0; k < a->shape()[1]; ++k)
+                acc += a->at({i, k}) * b->at({k, j});
+            out->set({i, j}, acc);
+        }
+    }
+    return out;
+}
+
+BufferPtr
+subBroadcast(const BufferPtr &a, const BufferPtr &b)
+{
+    if (a->shape() == b->shape()) {
+        auto out = Buffer::alloc(DType::F32, a->shape());
+        std::vector<double> av = a->toVector();
+        std::vector<double> bv = b->toVector();
+        std::vector<std::int64_t> index(a->rank(), 0);
+        for (std::int64_t i = 0; i < a->numElements(); ++i) {
+            // Row-major iteration matches toVector order.
+            std::int64_t rem = i;
+            for (int d = static_cast<int>(a->rank()) - 1; d >= 0; --d) {
+                index[static_cast<std::size_t>(d)] =
+                    rem % a->shape()[static_cast<std::size_t>(d)];
+                rem /= a->shape()[static_cast<std::size_t>(d)];
+            }
+            out->set(index, av[static_cast<std::size_t>(i)] -
+                                bv[static_cast<std::size_t>(i)]);
+        }
+        return out;
+    }
+    // KNN broadcast: (QxD) - (NxD) -> QxNxD.
+    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2 &&
+                    a->shape()[1] == b->shape()[1],
+                "sub broadcast requires QxD and NxD operands");
+    std::int64_t q_count = a->shape()[0];
+    std::int64_t n_count = b->shape()[0];
+    std::int64_t depth = a->shape()[1];
+    auto out = Buffer::alloc(DType::F32, {q_count, n_count, depth});
+    for (std::int64_t q = 0; q < q_count; ++q)
+        for (std::int64_t n = 0; n < n_count; ++n)
+            for (std::int64_t d = 0; d < depth; ++d)
+                out->set({q, n, d}, a->at({q, d}) - b->at({n, d}));
+    return out;
+}
+
+BufferPtr
+normLastDim(const BufferPtr &in, int p)
+{
+    C4CAM_CHECK(in->rank() >= 1, "norm requires rank >= 1");
+    std::vector<std::int64_t> out_shape(in->shape().begin(),
+                                        in->shape().end() - 1);
+    if (out_shape.empty())
+        out_shape.push_back(1);
+    auto out = Buffer::alloc(DType::F32, out_shape);
+    std::int64_t inner = in->shape().back();
+    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
+    std::vector<double> flat = in->toVector();
+    std::vector<std::int64_t> index(out->rank(), 0);
+    for (std::int64_t o = 0; o < outer; ++o) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < inner; ++i) {
+            double v = flat[static_cast<std::size_t>(o * inner + i)];
+            acc += p == 1 ? std::abs(v) : v * v;
+        }
+        double result = p == 1 ? acc : std::sqrt(acc);
+        std::int64_t rem = o;
+        for (int d = static_cast<int>(out->rank()) - 1; d >= 0; --d) {
+            index[static_cast<std::size_t>(d)] =
+                rem % out->shape()[static_cast<std::size_t>(d)];
+            rem /= out->shape()[static_cast<std::size_t>(d)];
+        }
+        out->set(index, result);
+    }
+    return out;
+}
+
+/** Top-k along the last dim. @return {values, indices}. */
+std::pair<BufferPtr, BufferPtr>
+topk(const BufferPtr &in, std::int64_t k, bool largest)
+{
+    C4CAM_CHECK(k >= 1, "topk requires k >= 1");
+    std::int64_t inner = in->rank() >= 1 ? in->shape().back() : 1;
+    C4CAM_CHECK(k <= inner, "topk k=" << k << " exceeds dimension size "
+                << inner);
+    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
+
+    std::vector<std::int64_t> out_shape(in->shape().begin(),
+                                        in->shape().end() - 1);
+    out_shape.push_back(k);
+    auto values = Buffer::alloc(DType::F32, out_shape);
+    auto indices = Buffer::alloc(DType::I64, out_shape);
+
+    std::vector<double> flat = in->toVector();
+    std::vector<std::int64_t> order(static_cast<std::size_t>(inner));
+    std::vector<std::int64_t> index(out_shape.size(), 0);
+    for (std::int64_t o = 0; o < outer; ++o) {
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::int64_t a, std::int64_t b) {
+                             double va = flat[static_cast<std::size_t>(
+                                 o * inner + a)];
+                             double vb = flat[static_cast<std::size_t>(
+                                 o * inner + b)];
+                             return largest ? va > vb : va < vb;
+                         });
+        for (std::int64_t j = 0; j < k; ++j) {
+            std::int64_t rem = o;
+            for (int d = static_cast<int>(out_shape.size()) - 2; d >= 0;
+                 --d) {
+                index[static_cast<std::size_t>(d)] =
+                    rem % out_shape[static_cast<std::size_t>(d)];
+                rem /= out_shape[static_cast<std::size_t>(d)];
+            }
+            index.back() = j;
+            values->set(index, flat[static_cast<std::size_t>(
+                                   o * inner + order[static_cast<
+                                       std::size_t>(j)])]);
+            indices->setInt(index, order[static_cast<std::size_t>(j)]);
+        }
+    }
+    return {values, indices};
+}
+
+/**
+ * One in-flight execution: borrows the (shared, read-only) module and
+ * one (exclusively owned) ExecutionState. Constructed on the stack per
+ * callFunction call, so concurrent executions never share mutable
+ * interpreter state.
+ */
+class Executor
+{
+  public:
+    using ExecPhase = Interpreter::ExecPhase;
+
+    Executor(ExecutionState &state) : state_(state) {}
+
+    std::vector<RtValue> runTopLevel(Block &block, ExecPhase phase);
+
+  private:
+    RtValue get(Value *value) const { return state_.get(value); }
+    void set(Value *value, RtValue v) { state_.set(value, std::move(v)); }
+    sim::CamDevice *device() const { return state_.device(); }
+
+    /**
+     * Run all ops of @p block. @return the operands of the terminator
+     * (func.return / scf.yield / cim.yield) or empty.
+     */
+    std::vector<RtValue> runBlock(Block &block);
+
+    /** True when every operand of @p op has a value in the env. */
+    bool operandsReady(Operation *op) const;
+
+    void runOp(Operation *op);
+
+    /// @name Dialect-specific handlers
+    /// @{
+    void runArith(Operation *op);
+    void runScf(Operation *op);
+    void runMemRef(Operation *op);
+    void runTensorOp(Operation *op);
+    void runTorch(Operation *op);
+    void runCim(Operation *op);
+    void runCam(Operation *op);
+    /// @}
+
+    /** Resolve static+dynamic offset/size lists of slicing ops. */
+    void resolveSlice(Operation *op, std::vector<std::int64_t> &offsets,
+                      std::vector<std::int64_t> &sizes);
+
+    ExecutionState &state_;
+};
+
 bool
-Interpreter::operandsReady(Operation *op) const
+Executor::operandsReady(Operation *op) const
 {
     for (std::size_t i = 0; i < op->numOperands(); ++i)
-        if (env_.find(op->operand(i)) == env_.end())
+        if (!state_.has(op->operand(i)))
             return false;
     return true;
 }
 
 std::vector<RtValue>
-Interpreter::runTopLevel(Block &block, ExecPhase phase)
+Executor::runTopLevel(Block &block, ExecPhase phase)
 {
     for (Operation *op : block.opVector()) {
         const std::string &name = op->name();
@@ -107,13 +285,13 @@ Interpreter::runTopLevel(Block &block, ExecPhase phase)
 }
 
 std::vector<RtValue>
-Interpreter::runBlock(Block &block)
+Executor::runBlock(Block &block)
 {
     return runTopLevel(block, ExecPhase::Full);
 }
 
 void
-Interpreter::runOp(Operation *op)
+Executor::runOp(Operation *op)
 {
     std::string dialect = op->dialect();
     if (dialect == "arith" || dialect == "math") {
@@ -141,7 +319,7 @@ Interpreter::runOp(Operation *op)
 //
 
 void
-Interpreter::runArith(Operation *op)
+Executor::runArith(Operation *op)
 {
     const std::string &name = op->name();
     if (name == "arith.constant") {
@@ -268,7 +446,7 @@ Interpreter::runArith(Operation *op)
 //
 
 void
-Interpreter::runScf(Operation *op)
+Executor::runScf(Operation *op)
 {
     const std::string &name = op->name();
     if (name == "scf.for") {
@@ -283,8 +461,8 @@ Interpreter::runScf(Operation *op)
         for (std::size_t i = 0; i < num_iters; ++i)
             carried.push_back(get(op->operand(3 + i)));
 
-        if (device_)
-            device_->timing().beginScope(/*parallel=*/false);
+        if (device())
+            device()->timing().beginScope(/*parallel=*/false);
         for (std::int64_t iv = lb; iv < ub; iv += step) {
             set(body.argument(0), RtValue(iv));
             for (std::size_t i = 0; i < num_iters; ++i)
@@ -294,8 +472,8 @@ Interpreter::runScf(Operation *op)
                         "scf.for yield arity mismatch");
             carried = std::move(yielded);
         }
-        if (device_)
-            device_->timing().endScope();
+        if (device())
+            device()->timing().endScope();
         for (std::size_t i = 0; i < num_iters; ++i)
             set(op->result(i), carried[i]);
         return;
@@ -306,18 +484,18 @@ Interpreter::runScf(Operation *op)
         std::int64_t step = get(op->operand(2)).asInt();
         C4CAM_CHECK(step > 0, "scf.parallel requires a positive step");
         Block &body = op->region(0).front();
-        if (device_)
-            device_->timing().beginScope(/*parallel=*/true);
+        if (device())
+            device()->timing().beginScope(/*parallel=*/true);
         for (std::int64_t iv = lb; iv < ub; iv += step) {
             set(body.argument(0), RtValue(iv));
-            if (device_)
-                device_->timing().beginScope(/*parallel=*/false);
+            if (device())
+                device()->timing().beginScope(/*parallel=*/false);
             runBlock(body);
-            if (device_)
-                device_->timing().endScope();
+            if (device())
+                device()->timing().endScope();
         }
-        if (device_)
-            device_->timing().endScope();
+        if (device())
+            device()->timing().endScope();
         return;
     }
     if (name == "scf.if") {
@@ -334,8 +512,8 @@ Interpreter::runScf(Operation *op)
 //
 
 void
-Interpreter::resolveSlice(Operation *op, std::vector<std::int64_t> &offsets,
-                          std::vector<std::int64_t> &sizes)
+Executor::resolveSlice(Operation *op, std::vector<std::int64_t> &offsets,
+                       std::vector<std::int64_t> &sizes)
 {
     offsets = op->attr("static_offsets").asIntArray();
     sizes = op->attr("static_sizes").asIntArray();
@@ -359,7 +537,7 @@ Interpreter::resolveSlice(Operation *op, std::vector<std::int64_t> &offsets,
 }
 
 void
-Interpreter::runMemRef(Operation *op)
+Executor::runMemRef(Operation *op)
 {
     const std::string &name = op->name();
     if (name == "memref.alloc") {
@@ -434,7 +612,7 @@ Interpreter::runMemRef(Operation *op)
 //
 
 void
-Interpreter::runTensorOp(Operation *op)
+Executor::runTensorOp(Operation *op)
 {
     const std::string &name = op->name();
     if (name == "tensor.extract_slice") {
@@ -459,159 +637,11 @@ Interpreter::runTensorOp(Operation *op)
 }
 
 //
-// Host tensor kernels
-//
-
-BufferPtr
-Interpreter::transpose2d(const BufferPtr &in)
-{
-    C4CAM_CHECK(in->rank() == 2, "transpose requires a rank-2 tensor");
-    auto out = Buffer::alloc(in->dtype(), {in->shape()[1], in->shape()[0]});
-    for (std::int64_t i = 0; i < in->shape()[0]; ++i)
-        for (std::int64_t j = 0; j < in->shape()[1]; ++j)
-            out->set({j, i}, in->at({i, j}));
-    return out;
-}
-
-BufferPtr
-Interpreter::matmul(const BufferPtr &a, const BufferPtr &b)
-{
-    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2,
-                "matmul requires rank-2 tensors");
-    C4CAM_CHECK(a->shape()[1] == b->shape()[0],
-                "matmul inner dims mismatch: " << a->shape()[1] << " vs "
-                << b->shape()[0]);
-    auto out = Buffer::alloc(DType::F32, {a->shape()[0], b->shape()[1]});
-    for (std::int64_t i = 0; i < a->shape()[0]; ++i) {
-        for (std::int64_t j = 0; j < b->shape()[1]; ++j) {
-            double acc = 0.0;
-            for (std::int64_t k = 0; k < a->shape()[1]; ++k)
-                acc += a->at({i, k}) * b->at({k, j});
-            out->set({i, j}, acc);
-        }
-    }
-    return out;
-}
-
-BufferPtr
-Interpreter::subBroadcast(const BufferPtr &a, const BufferPtr &b)
-{
-    if (a->shape() == b->shape()) {
-        auto out = Buffer::alloc(DType::F32, a->shape());
-        std::vector<double> av = a->toVector();
-        std::vector<double> bv = b->toVector();
-        std::vector<std::int64_t> index(a->rank(), 0);
-        for (std::int64_t i = 0; i < a->numElements(); ++i) {
-            // Row-major iteration matches toVector order.
-            std::int64_t rem = i;
-            for (int d = static_cast<int>(a->rank()) - 1; d >= 0; --d) {
-                index[static_cast<std::size_t>(d)] =
-                    rem % a->shape()[static_cast<std::size_t>(d)];
-                rem /= a->shape()[static_cast<std::size_t>(d)];
-            }
-            out->set(index, av[static_cast<std::size_t>(i)] -
-                                bv[static_cast<std::size_t>(i)]);
-        }
-        return out;
-    }
-    // KNN broadcast: (QxD) - (NxD) -> QxNxD.
-    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2 &&
-                    a->shape()[1] == b->shape()[1],
-                "sub broadcast requires QxD and NxD operands");
-    std::int64_t q_count = a->shape()[0];
-    std::int64_t n_count = b->shape()[0];
-    std::int64_t depth = a->shape()[1];
-    auto out = Buffer::alloc(DType::F32, {q_count, n_count, depth});
-    for (std::int64_t q = 0; q < q_count; ++q)
-        for (std::int64_t n = 0; n < n_count; ++n)
-            for (std::int64_t d = 0; d < depth; ++d)
-                out->set({q, n, d}, a->at({q, d}) - b->at({n, d}));
-    return out;
-}
-
-BufferPtr
-Interpreter::normLastDim(const BufferPtr &in, int p)
-{
-    C4CAM_CHECK(in->rank() >= 1, "norm requires rank >= 1");
-    std::vector<std::int64_t> out_shape(in->shape().begin(),
-                                        in->shape().end() - 1);
-    if (out_shape.empty())
-        out_shape.push_back(1);
-    auto out = Buffer::alloc(DType::F32, out_shape);
-    std::int64_t inner = in->shape().back();
-    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
-    std::vector<double> flat = in->toVector();
-    std::vector<std::int64_t> index(out->rank(), 0);
-    for (std::int64_t o = 0; o < outer; ++o) {
-        double acc = 0.0;
-        for (std::int64_t i = 0; i < inner; ++i) {
-            double v = flat[static_cast<std::size_t>(o * inner + i)];
-            acc += p == 1 ? std::abs(v) : v * v;
-        }
-        double result = p == 1 ? acc : std::sqrt(acc);
-        std::int64_t rem = o;
-        for (int d = static_cast<int>(out->rank()) - 1; d >= 0; --d) {
-            index[static_cast<std::size_t>(d)] =
-                rem % out->shape()[static_cast<std::size_t>(d)];
-            rem /= out->shape()[static_cast<std::size_t>(d)];
-        }
-        out->set(index, result);
-    }
-    return out;
-}
-
-std::pair<BufferPtr, BufferPtr>
-Interpreter::topk(const BufferPtr &in, std::int64_t k, bool largest)
-{
-    C4CAM_CHECK(k >= 1, "topk requires k >= 1");
-    std::int64_t inner = in->rank() >= 1 ? in->shape().back() : 1;
-    C4CAM_CHECK(k <= inner, "topk k=" << k << " exceeds dimension size "
-                << inner);
-    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
-
-    std::vector<std::int64_t> out_shape(in->shape().begin(),
-                                        in->shape().end() - 1);
-    out_shape.push_back(k);
-    auto values = Buffer::alloc(DType::F32, out_shape);
-    auto indices = Buffer::alloc(DType::I64, out_shape);
-
-    std::vector<double> flat = in->toVector();
-    std::vector<std::int64_t> order(static_cast<std::size_t>(inner));
-    std::vector<std::int64_t> index(out_shape.size(), 0);
-    for (std::int64_t o = 0; o < outer; ++o) {
-        std::iota(order.begin(), order.end(), 0);
-        std::stable_sort(order.begin(), order.end(),
-                         [&](std::int64_t a, std::int64_t b) {
-                             double va = flat[static_cast<std::size_t>(
-                                 o * inner + a)];
-                             double vb = flat[static_cast<std::size_t>(
-                                 o * inner + b)];
-                             return largest ? va > vb : va < vb;
-                         });
-        for (std::int64_t j = 0; j < k; ++j) {
-            std::int64_t rem = o;
-            for (int d = static_cast<int>(out_shape.size()) - 2; d >= 0;
-                 --d) {
-                index[static_cast<std::size_t>(d)] =
-                    rem % out_shape[static_cast<std::size_t>(d)];
-                rem /= out_shape[static_cast<std::size_t>(d)];
-            }
-            index.back() = j;
-            values->set(index, flat[static_cast<std::size_t>(
-                                   o * inner + order[static_cast<
-                                       std::size_t>(j)])]);
-            indices->setInt(index, order[static_cast<std::size_t>(j)]);
-        }
-    }
-    return {values, indices};
-}
-
-//
 // torch
 //
 
 void
-Interpreter::runTorch(Operation *op)
+Executor::runTorch(Operation *op)
 {
     const std::string &name = op->name();
     if (name == torchd::kTranspose) {
@@ -674,11 +704,11 @@ Interpreter::runTorch(Operation *op)
 //
 
 void
-Interpreter::runCim(Operation *op)
+Executor::runCim(Operation *op)
 {
     const std::string &name = op->name();
     if (name == cimd::kAcquire) {
-        set(op->result(0), RtValue(nextCimHandle_++));
+        set(op->result(0), RtValue(state_.takeCimHandle()));
         return;
     }
     if (name == cimd::kRelease) {
@@ -762,10 +792,10 @@ Interpreter::runCim(Operation *op)
             topk(get(op->operand(0)).asBuffer(), k, largest);
         set(op->result(0), RtValue(values));
         set(op->result(1), RtValue(indices));
-        if (device_) {
+        if (device()) {
             std::int64_t inner = get(op->operand(0)).asBuffer()
                                      ->shape().back();
-            device_->postMerge(static_cast<int>(inner));
+            device()->postMerge(static_cast<int>(inner));
         }
         return;
     }
@@ -845,39 +875,39 @@ Interpreter::runCim(Operation *op)
 //
 
 void
-Interpreter::runCam(Operation *op)
+Executor::runCam(Operation *op)
 {
-    C4CAM_CHECK(device_, "cam ops require an attached CAM simulator");
+    C4CAM_CHECK(device(), "cam ops require an attached CAM simulator");
     const std::string &name = op->name();
     if (name == camd::kAllocBank) {
         std::int64_t rows = get(op->operand(0)).asInt();
         std::int64_t cols = get(op->operand(1)).asInt();
         set(op->result(0),
-            RtValue(device_->allocBank(static_cast<int>(rows),
-                                       static_cast<int>(cols))));
+            RtValue(device()->allocBank(static_cast<int>(rows),
+                                        static_cast<int>(cols))));
         return;
     }
     if (name == camd::kAllocMat) {
         set(op->result(0),
-            RtValue(device_->allocMat(get(op->operand(0)).asInt())));
+            RtValue(device()->allocMat(get(op->operand(0)).asInt())));
         return;
     }
     if (name == camd::kAllocArray) {
         set(op->result(0),
-            RtValue(device_->allocArray(get(op->operand(0)).asInt())));
+            RtValue(device()->allocArray(get(op->operand(0)).asInt())));
         return;
     }
     if (name == camd::kAllocSubarray) {
         set(op->result(0),
-            RtValue(device_->allocSubarray(get(op->operand(0)).asInt())));
+            RtValue(device()->allocSubarray(get(op->operand(0)).asInt())));
         return;
     }
     if (name == camd::kGetSubarray) {
         set(op->result(0),
-            RtValue(device_->subarrayAt(get(op->operand(0)).asInt(),
-                                        get(op->operand(1)).asInt(),
-                                        get(op->operand(2)).asInt(),
-                                        get(op->operand(3)).asInt())));
+            RtValue(device()->subarrayAt(get(op->operand(0)).asInt(),
+                                         get(op->operand(1)).asInt(),
+                                         get(op->operand(2)).asInt(),
+                                         get(op->operand(3)).asInt())));
         return;
     }
     if (name == camd::kWriteValue) {
@@ -885,7 +915,7 @@ Interpreter::runCam(Operation *op)
         BufferPtr data = get(op->operand(1)).asBuffer();
         int row_offset =
             static_cast<int>(op->intAttrOr("row_offset", 0));
-        device_->writeValue(sub, data->toMatrix(), row_offset);
+        device()->writeValue(sub, data->toMatrix(), row_offset);
         return;
     }
     if (name == camd::kSearch) {
@@ -910,13 +940,13 @@ Interpreter::runCam(Operation *op)
         bool selective = op->boolAttrOr("selective", false);
         std::vector<double> qv = query->toVector();
         std::vector<float> qf(qv.begin(), qv.end());
-        device_->search(sub, qf, kind, euclidean, row_begin, row_end,
-                        threshold, selective);
+        device()->search(sub, qf, kind, euclidean, row_begin, row_end,
+                         threshold, selective);
         return;
     }
     if (name == camd::kRead) {
         sim::Handle sub = get(op->operand(0)).asInt();
-        const sim::SearchResult &result = device_->read(sub);
+        const sim::SearchResult &result = device()->read(sub);
         std::int64_t n = static_cast<std::int64_t>(result.values.size());
         auto values = Buffer::alloc(DType::F32, {n});
         auto indices = Buffer::alloc(DType::I64, {n});
@@ -952,11 +982,60 @@ Interpreter::runCam(Operation *op)
         };
         if (acc->numElements() > 0)
             walk(0);
-        device_->postMerge(static_cast<int>(acc->numElements()));
+        device()->postMerge(static_cast<int>(acc->numElements()));
         set(op->result(0), get(op->operand(1)));
         return;
     }
     C4CAM_USER_ERROR("interpreter: unsupported cam op '" << name << "'");
+}
+
+} // namespace
+
+//
+// Interpreter
+//
+
+Interpreter::Interpreter(Module &module, sim::CamDevice *device)
+    : module_(module), state_(device)
+{}
+
+std::vector<RtValue>
+Interpreter::callFunction(const std::string &name,
+                          const std::vector<RtValue> &args, ExecPhase phase)
+{
+    return callFunction(state_, name, args, phase);
+}
+
+std::vector<RtValue>
+Interpreter::callFunction(ExecutionState &state, const std::string &name,
+                          const std::vector<RtValue> &args,
+                          ExecPhase phase) const
+{
+    Operation *func = module_.lookupFunction(name);
+    C4CAM_CHECK(func, "no function named '" << name << "' in module");
+    Block *body = &func->region(0).front();
+    C4CAM_CHECK(body->numArguments() == args.size(),
+                "function '" << name << "' takes " << body->numArguments()
+                << " arguments, got " << args.size());
+    if (phase != ExecPhase::Full)
+        C4CAM_CHECK(hasPhaseMarkers(func),
+                    "function '" << name << "' has no phase annotations; "
+                    "phased execution requires a cam-mapped kernel");
+    for (std::size_t i = 0; i < args.size(); ++i)
+        state.set(body->argument(i), args[i]);
+    Executor exec(state);
+    return exec.runTopLevel(*body, phase);
+}
+
+bool
+Interpreter::hasPhaseMarkers(Operation *func)
+{
+    if (!func || func->numRegions() == 0)
+        return false;
+    for (Operation *op : func->region(0).front().opVector())
+        if (op->strAttrOr(camd::kPhaseAttr, "") == camd::kPhaseQuery)
+            return true;
+    return false;
 }
 
 } // namespace c4cam::rt

@@ -12,6 +12,13 @@
  *   latency/energy through scope-based timing driven by the loop
  *   structure (scf.parallel opens a parallel scope, scf.for a
  *   sequential one).
+ *
+ * Threading model: the Interpreter itself is an immutable view over
+ * one lowered module. All per-execution mutable state (the SSA
+ * environment, cim handle counter, attached device) lives in an
+ * explicit ExecutionState, so one Interpreter can serve many threads
+ * concurrently as long as each thread brings its own ExecutionState
+ * (and its own CamDevice replica -- devices are single-threaded).
  */
 
 #include <map>
@@ -25,7 +32,63 @@
 namespace c4cam::rt {
 
 /**
- * Interprets one module; optionally attached to a CAM simulator.
+ * All mutable state of one kernel execution: the SSA environment, the
+ * cim-handle counter and the device the cam ops dispatch into.
+ *
+ * Separating this from the Interpreter is what makes concurrent
+ * serving possible: the module (and the Interpreter over it) is shared
+ * read-only across threads while every in-flight execution owns one
+ * ExecutionState. A persistent session keeps one state alive across
+ * queries (the query body re-reads the device handles the setup
+ * prologue evaluated); a serving engine forks one state per device
+ * replica after setup.
+ */
+class ExecutionState
+{
+  public:
+    explicit ExecutionState(sim::CamDevice *device = nullptr)
+        : device_(device)
+    {}
+
+    /** Device backing cam.* ops; may be nullptr for host-only IR. */
+    sim::CamDevice *device() const { return device_; }
+
+    /**
+     * Replicate this (post-setup) state for another device replica.
+     * The SSA environment is copied shallowly: setup-phase results are
+     * immutable once programmed (the query body only allocates fresh
+     * buffers), so replicas may safely share them. Device handles are
+     * plain integers and stay valid on @p device when it is a
+     * CamDevice::cloneProgrammed() copy of this state's device (clones
+     * preserve handle numbering).
+     */
+    ExecutionState forkForReplica(sim::CamDevice *device) const;
+
+    /// @name Environment access (used by the interpreter)
+    /// @{
+    bool has(ir::Value *value) const
+    {
+        return env_.find(value) != env_.end();
+    }
+
+    RtValue get(ir::Value *value) const;
+    void set(ir::Value *value, RtValue rt_value);
+
+    /** Allocate the next cim.acquire handle. */
+    std::int64_t takeCimHandle() { return nextCimHandle_++; }
+    /// @}
+
+  private:
+    sim::CamDevice *device_ = nullptr;
+    std::map<ir::Value *, RtValue> env_;
+    std::int64_t nextCimHandle_ = 1;
+};
+
+/**
+ * Interprets one module. The instance is stateless apart from its
+ * built-in default ExecutionState (used by the legacy single-threaded
+ * entry points); the explicit-state callFunction overload is const and
+ * safe to call from many threads concurrently.
  */
 class Interpreter
 {
@@ -34,10 +97,10 @@ class Interpreter
      * Which portion of a phase-annotated function to execute. The
      * cam-map pass tags top-level ops with a "phase" attribute
      * (see dialects::cam::kPhaseAttr); untagged ops belong to both
-     * phases. Interpreter state (the SSA environment) persists across
-     * calls, which is what makes Setup-then-repeated-Query execution
-     * on one Interpreter instance work: the query body re-reads the
-     * device handles and memrefs the setup prologue evaluated.
+     * phases. The ExecutionState persists across calls, which is what
+     * makes Setup-then-repeated-Query execution work: the query body
+     * re-reads the device handles and memrefs the setup prologue
+     * evaluated.
      */
     enum class ExecPhase {
         Full,      ///< run everything (the classic single-shot path)
@@ -47,20 +110,34 @@ class Interpreter
 
     /**
      * @param module  the IR to execute (any pipeline stage)
-     * @param device  CAM simulator backing cam.* ops; may be nullptr
-     *                when the module contains no cam ops.
+     * @param device  CAM simulator backing cam.* ops of the *default*
+     *                state; may be nullptr when the module contains no
+     *                cam ops.
      */
     explicit Interpreter(ir::Module &module,
                          sim::CamDevice *device = nullptr);
 
     /**
      * Execute function @p name with @p args (one RtValue per entry-block
-     * argument). @return the values of func.return (empty for
-     * ExecPhase::SetupOnly, which stops before the query body).
+     * argument) on the built-in default state. @return the values of
+     * func.return (empty for ExecPhase::SetupOnly, which stops before
+     * the query body).
      */
     std::vector<RtValue> callFunction(const std::string &name,
                                       const std::vector<RtValue> &args,
                                       ExecPhase phase = ExecPhase::Full);
+
+    /**
+     * Execute function @p name with @p args on an explicit @p state.
+     * Const and re-entrant: concurrent calls are safe provided each
+     * thread passes a distinct ExecutionState (attached to a distinct
+     * CamDevice, if any). The module is only read.
+     */
+    std::vector<RtValue> callFunction(ExecutionState &state,
+                                      const std::string &name,
+                                      const std::vector<RtValue> &args,
+                                      ExecPhase phase = ExecPhase::Full)
+        const;
 
     /**
      * Whether @p func carries the cam-map phase annotations required
@@ -69,64 +146,15 @@ class Interpreter
      */
     static bool hasPhaseMarkers(ir::Operation *func);
 
-    sim::CamDevice *device() const { return device_; }
+    sim::CamDevice *device() const { return state_.device(); }
+
+    /** The built-in default state (the legacy single-threaded path). */
+    ExecutionState &state() { return state_; }
+    const ExecutionState &state() const { return state_; }
 
   private:
-    RtValue get(ir::Value *value) const;
-    void set(ir::Value *value, RtValue rt_value);
-
-    /**
-     * Run all ops of @p block. @return the operands of the terminator
-     * (func.return / scf.yield / cim.yield) or empty.
-     */
-    std::vector<RtValue> runBlock(ir::Block &block);
-
-    /**
-     * Run the top-level ops of @p block restricted to @p phase
-     * (Full applies no filtering; runBlock delegates here).
-     * SetupOnly skips query-tagged ops (and any op whose operands are
-     * not evaluated yet because they depend on query results);
-     * QueryOnly skips setup-tagged ops, relying on their results still
-     * being present in the environment from a prior SetupOnly run.
-     */
-    std::vector<RtValue> runTopLevel(ir::Block &block, ExecPhase phase);
-
-    /** True when every operand of @p op has a value in the env. */
-    bool operandsReady(ir::Operation *op) const;
-
-    void runOp(ir::Operation *op);
-
-    /// @name Dialect-specific handlers
-    /// @{
-    void runArith(ir::Operation *op);
-    void runScf(ir::Operation *op);
-    void runMemRef(ir::Operation *op);
-    void runTensorOp(ir::Operation *op);
-    void runTorch(ir::Operation *op);
-    void runCim(ir::Operation *op);
-    void runCam(ir::Operation *op);
-    /// @}
-
-    /// @name Host tensor kernels shared by torch and cim handlers
-    /// @{
-    BufferPtr transpose2d(const BufferPtr &in);
-    BufferPtr matmul(const BufferPtr &a, const BufferPtr &b);
-    BufferPtr subBroadcast(const BufferPtr &a, const BufferPtr &b);
-    BufferPtr normLastDim(const BufferPtr &in, int p);
-    /** Top-k along the last dim. @return {values, indices}. */
-    std::pair<BufferPtr, BufferPtr> topk(const BufferPtr &in,
-                                         std::int64_t k, bool largest);
-    /// @}
-
-    /** Resolve static+dynamic offset/size lists of slicing ops. */
-    void resolveSlice(ir::Operation *op,
-                      std::vector<std::int64_t> &offsets,
-                      std::vector<std::int64_t> &sizes);
-
     ir::Module &module_;
-    sim::CamDevice *device_;
-    std::map<ir::Value *, RtValue> env_;
-    std::int64_t nextCimHandle_ = 1;
+    ExecutionState state_;
 };
 
 } // namespace c4cam::rt

@@ -10,6 +10,31 @@ CamDevice::CamDevice(const arch::ArchSpec &spec)
     spec_.validate();
 }
 
+CamDevice::CamDevice(const CamDevice &other)
+    : spec_(other.spec_), tech_(other.tech_), timing_(other.timing_),
+      banks_(other.banks_), handles_(other.handles_),
+      subarrayCount_(other.subarrayCount_),
+      writtenSubarrays_(other.writtenSubarrays_), writes_(other.writes_)
+{
+    // Deep-copy the programmed cell contents; the clone must never
+    // alias the original's subarrays.
+    for (const auto &[handle, sub] : other.storage_)
+        storage_.emplace(handle, std::make_unique<CamSubarray>(*sub));
+    // window_ stays default-constructed: the replica starts with a
+    // fresh query window on top of the copied setup accounting.
+    timing_.beginQueryWindow();
+}
+
+std::unique_ptr<CamDevice>
+CamDevice::cloneProgrammed() const
+{
+    C4CAM_CHECK(timing_.depth() == 0,
+                "cloneProgrammed while " << timing_.depth()
+                << " timing scopes are open (clone between queries, "
+                "not mid-execution)");
+    return std::unique_ptr<CamDevice>(new CamDevice(*this));
+}
+
 const char *
 CamDevice::kindName(HandleKind kind)
 {
@@ -220,9 +245,9 @@ CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
     if (row_end < 0)
         row_end = sub.rows();
 
-    lastResult_[subarray_handle] =
+    window_.lastResult[subarray_handle] =
         sub.search(query, kind, euclidean, row_begin, row_end, threshold);
-    ++searches_;
+    ++window_.searches;
 
     // Every ML precharges each cycle; selective search confines the
     // sensing stage (and read-out) to the row window.
@@ -232,9 +257,9 @@ CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
                      tech_.senseLatencyNs(kind);
     arch::SearchEnergyBreakdown split = tech_.searchEnergyBreakdown(
         sub.rows(), sensed_rows, sub.cols(), kind);
-    cellEnergy_ += split.cellPj;
-    senseEnergy_ += split.sensePj;
-    driveEnergy_ += split.driverPj;
+    window_.cellEnergy += split.cellPj;
+    window_.senseEnergy += split.sensePj;
+    window_.driveEnergy += split.driverPj;
     timing_.setPhase(TimingEngine::Phase::Query);
     timing_.post(latency, split.total());
 }
@@ -246,8 +271,8 @@ CamDevice::read(Handle subarray_handle) const
     // bogus value) gets a handle diagnostic, not a misleading
     // "no search yet" message or a raw std::out_of_range.
     info(subarray_handle, HandleKind::Subarray);
-    auto it = lastResult_.find(subarray_handle);
-    C4CAM_CHECK(it != lastResult_.end(),
+    auto it = window_.lastResult.find(subarray_handle);
+    C4CAM_CHECK(it != window_.lastResult.end(),
                 "cam.read on subarray " << subarray_handle
                 << " before any cam.search was issued on it");
     return it->second;
@@ -257,7 +282,7 @@ void
 CamDevice::postMerge(int fanout)
 {
     timing_.setPhase(TimingEngine::Phase::Query);
-    mergeEnergy_ += tech_.mergeEnergyPj(fanout);
+    window_.mergeEnergy += tech_.mergeEnergyPj(fanout);
     timing_.post(tech_.mergeLatencyNs(fanout), tech_.mergeEnergyPj(fanout));
 }
 
@@ -273,16 +298,12 @@ CamDevice::postQueryTransfer(std::int64_t elements)
 void
 CamDevice::beginQueryWindow()
 {
-    timing_.resetQueryTotals();
-    cellEnergy_ = 0.0;
-    senseEnergy_ = 0.0;
-    driveEnergy_ = 0.0;
-    mergeEnergy_ = 0.0;
-    searches_ = 0;
-    // Drop last-search results too: a read-before-search in the new
-    // window must be diagnosed exactly like on a fresh device, not
-    // silently served stale data from the previous query.
-    lastResult_.clear();
+    timing_.beginQueryWindow();
+    // Replace the whole per-window object. This also drops last-search
+    // results: a read-before-search in the new window must be
+    // diagnosed exactly like on a fresh device, not silently served
+    // stale data from the previous query.
+    window_ = WindowState{};
 }
 
 PerfReport
@@ -293,11 +314,11 @@ CamDevice::report() const
     report.setupEnergyPj = timing_.setupCost().energyPj;
     report.queryLatencyNs = timing_.queryCost().latencyNs;
     report.queryEnergyPj = timing_.queryCost().energyPj;
-    report.cellEnergyPj = cellEnergy_;
-    report.senseEnergyPj = senseEnergy_;
-    report.driveEnergyPj = driveEnergy_;
-    report.mergeEnergyPj = mergeEnergy_;
-    report.searches = searches_;
+    report.cellEnergyPj = window_.cellEnergy;
+    report.senseEnergyPj = window_.senseEnergy;
+    report.driveEnergyPj = window_.driveEnergy;
+    report.mergeEnergyPj = window_.mergeEnergy;
+    report.searches = window_.searches;
     report.writes = writes_;
     report.subarraysUsed = writtenSubarrays_;
     report.subarraysAllocated = subarrayCount_;

@@ -28,11 +28,31 @@ using Handle = std::int64_t;
 
 /**
  * The CAM accelerator instance for one ArchSpec.
+ *
+ * Threading model: a CamDevice is single-threaded -- it serves one
+ * query at a time and keeps per-query accounting in a QueryWindow
+ * object. Concurrent serving uses one device *replica* per worker,
+ * created with cloneProgrammed() so the one-time programming cost is
+ * paid (and accounted) only once.
  */
 class CamDevice
 {
   public:
     explicit CamDevice(const arch::ArchSpec &spec);
+
+    CamDevice(CamDevice &&) = default;
+    CamDevice &operator=(CamDevice &&) = default;
+
+    /**
+     * Replicate this already-programmed device: the clone shares no
+     * state with the original (cell contents are deep-copied) but
+     * reports the identical setup cost, allocation counters and handle
+     * numbering, and starts with a fresh query window. Cloning is pure
+     * host work -- no simulated latency/energy is charged -- which is
+     * what makes N-replica serving setups cheap: program once, clone
+     * N-1 times, serve N queries concurrently.
+     */
+    std::unique_ptr<CamDevice> cloneProgrammed() const;
 
     const arch::ArchSpec &spec() const { return spec_; }
     const arch::TechModel &tech() const { return tech_; }
@@ -93,13 +113,13 @@ class CamDevice
     /// @}
 
     /**
-     * Start a fresh query accounting window: clears the query-phase
-     * latency/energy totals, the query-energy breakdown and the search
-     * counter while keeping all setup costs, programmed data and
-     * allocation state. A persistent execution session calls this
-     * before each query so that report() describes exactly one query
-     * on top of the shared setup -- matching a single-shot run
-     * bit-for-bit.
+     * Start a fresh query accounting window: the per-window object
+     * (query-phase latency/energy totals, query-energy breakdown,
+     * search counter and last-search results) is replaced wholesale
+     * while all setup costs, programmed data and allocation state
+     * stay. A persistent execution session calls this before each
+     * query so that report() describes exactly one query on top of the
+     * shared setup -- matching a single-shot run bit-for-bit.
      */
     void beginQueryWindow();
 
@@ -150,6 +170,26 @@ class CamDevice
         std::size_t sub = 0;
     };
 
+    /**
+     * Per-query-window device accounting: the query-energy breakdown,
+     * the search counter and the last-search results. Replaced as one
+     * object by beginQueryWindow() (the timing engine swaps its own
+     * QueryWindow in lockstep), so "reset" bugs where one counter is
+     * forgotten cannot happen.
+     */
+    struct WindowState
+    {
+        std::int64_t searches = 0;
+        double cellEnergy = 0.0;
+        double senseEnergy = 0.0;
+        double driveEnergy = 0.0;
+        double mergeEnergy = 0.0;
+        std::map<Handle, SearchResult> lastResult;
+    };
+
+    /** Deep copy for cloneProgrammed(). */
+    CamDevice(const CamDevice &other);
+
     static const char *kindName(HandleKind kind);
     Handle newHandle(HandleInfo info);
     const HandleInfo &info(Handle handle, HandleKind expected) const;
@@ -161,17 +201,12 @@ class CamDevice
     std::vector<Bank> banks_;
     std::vector<HandleInfo> handles_;
     std::map<Handle, std::unique_ptr<CamSubarray>> storage_;
-    std::map<Handle, SearchResult> lastResult_;
 
     std::int64_t subarrayCount_ = 0;
     std::int64_t writtenSubarrays_ = 0;
-    std::int64_t searches_ = 0;
     std::int64_t writes_ = 0;
 
-    double cellEnergy_ = 0.0;
-    double senseEnergy_ = 0.0;
-    double driveEnergy_ = 0.0;
-    double mergeEnergy_ = 0.0;
+    WindowState window_;
 };
 
 } // namespace c4cam::sim

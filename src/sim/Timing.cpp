@@ -41,8 +41,8 @@ TimingEngine::endScope()
     Scope child = scopes_.back();
     scopes_.pop_back();
     if (scopes_.empty()) {
-        queryTotal_.latencyNs += child.queryAcc.latencyNs;
-        queryTotal_.energyPj += child.queryAcc.energyPj;
+        window_.total.latencyNs += child.queryAcc.latencyNs;
+        window_.total.energyPj += child.queryAcc.energyPj;
         setupTotal_.latencyNs += child.setupAcc.latencyNs;
         setupTotal_.energyPj += child.setupAcc.energyPj;
     } else {
@@ -58,7 +58,7 @@ TimingEngine::post(double latency_ns, double energy_pj)
     Cost *acc = nullptr;
     if (scopes_.empty()) {
         // Top-level leaf cost: accumulate sequentially into the totals.
-        acc = phase_ == Phase::Query ? &queryTotal_ : &setupTotal_;
+        acc = phase_ == Phase::Query ? &window_.total : &setupTotal_;
         acc->latencyNs += latency_ns;
         acc->energyPj += energy_pj;
         return;
@@ -78,18 +78,44 @@ void
 TimingEngine::reset()
 {
     scopes_.clear();
-    queryTotal_ = Cost{};
+    window_ = QueryWindow{};
     setupTotal_ = Cost{};
     phase_ = Phase::Query;
 }
 
-void
-TimingEngine::resetQueryTotals()
+QueryWindow
+TimingEngine::beginQueryWindow()
 {
     C4CAM_ASSERT(scopes_.empty(),
-                 "resetQueryTotals with " << scopes_.size()
+                 "beginQueryWindow with " << scopes_.size()
                  << " scopes still open");
-    queryTotal_ = Cost{};
+    QueryWindow finished = window_;
+    window_ = QueryWindow{};
+    return finished;
+}
+
+void
+PerfReport::addQueryWindow(const PerfReport &query)
+{
+    queryLatencyNs += query.queryLatencyNs;
+    queryEnergyPj += query.queryEnergyPj;
+    cellEnergyPj += query.cellEnergyPj;
+    senseEnergyPj += query.senseEnergyPj;
+    driveEnergyPj += query.driveEnergyPj;
+    mergeEnergyPj += query.mergeEnergyPj;
+    searches += query.searches;
+}
+
+void
+PerfReport::addFullRun(const PerfReport &run)
+{
+    addQueryWindow(run);
+    setupLatencyNs += run.setupLatencyNs;
+    setupEnergyPj += run.setupEnergyPj;
+    writes += run.writes;
+    subarraysUsed = run.subarraysUsed;
+    subarraysAllocated = run.subarraysAllocated;
+    banksUsed = run.banksUsed;
 }
 
 std::string

@@ -31,8 +31,26 @@ struct Cost
 };
 
 /**
+ * Query-phase accounting for one served query: everything that starts
+ * from zero when a new query window opens. Setup accounting is
+ * device-lifetime state and intentionally not part of this object --
+ * replacing the window is what gives a persistent session per-query
+ * figures that are bit-identical to a fresh single-shot run (no
+ * subtraction of snapshots, no field-by-field resets to forget).
+ */
+struct QueryWindow
+{
+    Cost total;
+};
+
+/**
  * Stack of parallel/sequential scopes with two accounting phases:
  * Setup (one-time data writes) and Query (search traffic).
+ *
+ * Not thread-safe: a TimingEngine belongs to exactly one CamDevice,
+ * and a device serves one query at a time. Concurrency comes from
+ * device replicas (CamDevice::cloneProgrammed), each with its own
+ * engine.
  */
 class TimingEngine
 {
@@ -57,21 +75,29 @@ class TimingEngine
 
     /// @name Totals (valid when all scopes are closed)
     /// @{
-    const Cost &queryCost() const { return queryTotal_; }
+    const Cost &queryCost() const { return window_.total; }
     const Cost &setupCost() const { return setupTotal_; }
+
+    /** The current query-window accounting object. */
+    const QueryWindow &queryWindow() const { return window_; }
     /// @}
 
     /** Reset all accumulated state. */
     void reset();
 
     /**
-     * Clear the query-phase totals while keeping the setup totals.
+     * Start a fresh query window: the current QueryWindow object is
+     * replaced wholesale while the device-lifetime setup totals stay.
      * Requires all scopes to be closed. A persistent execution session
      * calls this before re-entering the query body so each query's cost
      * is accumulated from zero -- bit-identical to a fresh single-shot
      * run -- instead of being recovered by subtracting snapshots.
+     * @return the finished window (the previous query's accounting).
      */
-    void resetQueryTotals();
+    QueryWindow beginQueryWindow();
+
+    /** @deprecated Alias of beginQueryWindow() (pre-window API name). */
+    void resetQueryTotals() { beginQueryWindow(); }
 
   private:
     struct Scope
@@ -87,7 +113,7 @@ class TimingEngine
     void fold(Scope &parent, const Scope &child);
 
     std::vector<Scope> scopes_;
-    Cost queryTotal_;
+    QueryWindow window_;
     Cost setupTotal_;
     Phase phase_ = Phase::Query;
 };
@@ -186,6 +212,24 @@ struct PerfReport
                    ? double(subarraysUsed) / double(subarraysAllocated)
                    : 0.0;
     }
+
+    /// @name Aggregation (shared by sessions and the serving engine)
+    /// @{
+    /**
+     * Fold one served query's report into this aggregate: query-phase
+     * latency/energy, the energy breakdown and the search counter sum;
+     * setup fields are left alone (setup is paid once per session).
+     */
+    void addQueryWindow(const PerfReport &query);
+
+    /**
+     * Fold a full single-shot run into this aggregate: like
+     * addQueryWindow() but also re-pays the setup fields -- the
+     * non-persistent fallback reprograms the device on every call and
+     * the aggregate must reflect that.
+     */
+    void addFullRun(const PerfReport &run);
+    /// @}
 
     /** One-line human-readable summary. */
     std::string str() const;

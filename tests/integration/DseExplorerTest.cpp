@@ -4,6 +4,7 @@
 
 #include "apps/Workloads.h"
 #include "core/DseExplorer.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 
 using namespace c4cam;
@@ -123,4 +124,48 @@ TEST(DseExplorer, EmptySweepRejected)
     core::DseExplorer explorer;
     EXPECT_THROW(explorer.explore(source(), {}, smallArgs()),
                  CompilerError);
+}
+
+TEST(DseExplorer, ParallelSweepMatchesSerialBitForBit)
+{
+    // The sweep is deterministic per candidate, so the worker-pool
+    // path must reproduce the serial result exactly -- same order,
+    // same latency/power/energy doubles, same Pareto labels.
+    core::DseExplorer explorer;
+    std::vector<ArchSpec> candidates = {
+        ArchSpec::dseSetup(16, OptTarget::Base),
+        ArchSpec::dseSetup(16, OptTarget::Power),
+        ArchSpec::dseSetup(32, OptTarget::Density),
+        ArchSpec::dseSetup(64, OptTarget::Base),
+        ArchSpec::dseSetup(64, OptTarget::PowerDensity),
+    };
+    std::vector<rt::BufferPtr> args = smallArgs();
+    core::DseResult serial =
+        explorer.explore(source(), candidates, args, /*threads=*/1);
+    core::DseResult parallel =
+        explorer.explore(source(), candidates, args, /*threads=*/4);
+
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        EXPECT_EQ(parallel.points[i].spec.rows, serial.points[i].spec.rows);
+        EXPECT_EQ(parallel.points[i].latencyNs(),
+                  serial.points[i].latencyNs());
+        EXPECT_EQ(parallel.points[i].powerMw(), serial.points[i].powerMw());
+        EXPECT_EQ(parallel.points[i].energyPj(),
+                  serial.points[i].energyPj());
+        EXPECT_EQ(parallel.points[i].perf.searches,
+                  serial.points[i].perf.searches);
+        EXPECT_EQ(parallel.points[i].paretoOptimal,
+                  serial.points[i].paretoOptimal);
+    }
+}
+
+TEST(DseExplorer, RejectsNegativeThreadCount)
+{
+    core::DseExplorer explorer;
+    std::vector<ArchSpec> candidates = {
+        ArchSpec::dseSetup(16, OptTarget::Base)};
+    EXPECT_THROW(
+        explorer.explore(source(), candidates, smallArgs(), -2),
+        CompilerError);
 }

@@ -327,3 +327,70 @@ TEST(CamDevice, QueryWindowResetsQueryCostsOnly)
     EXPECT_EQ(second.cellEnergyPj, first.cellEnergyPj);
     EXPECT_EQ(second.senseEnergyPj, first.senseEnergyPj);
 }
+
+TEST(CamDevice, CloneProgrammedReportsIdenticalSetup)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub =
+        device.allocSubarray(device.allocArray(device.allocMat(bank)));
+    device.writeValue(sub, {{1, 0, 1, 0}, {0, 1, 0, 1}});
+
+    std::unique_ptr<CamDevice> clone = device.cloneProgrammed();
+    PerfReport original = device.report();
+    PerfReport copied = clone->report();
+    // Setup accounting and allocation state are bit-identical...
+    EXPECT_EQ(copied.setupLatencyNs, original.setupLatencyNs);
+    EXPECT_EQ(copied.setupEnergyPj, original.setupEnergyPj);
+    EXPECT_EQ(copied.writes, original.writes);
+    EXPECT_EQ(copied.subarraysUsed, original.subarraysUsed);
+    EXPECT_EQ(copied.subarraysAllocated, original.subarraysAllocated);
+    EXPECT_EQ(copied.banksUsed, original.banksUsed);
+    // ...and the clone starts inside a fresh query window.
+    EXPECT_EQ(copied.queryLatencyNs, 0.0);
+    EXPECT_EQ(copied.searches, 0);
+}
+
+TEST(CamDevice, CloneProgrammedIsIndependent)
+{
+    CamDevice device(smallSpec());
+    Handle bank = device.allocBank(4, 4);
+    Handle sub =
+        device.allocSubarray(device.allocArray(device.allocMat(bank)));
+    device.writeValue(sub, {{1, 0, 1, 0}});
+
+    std::unique_ptr<CamDevice> clone = device.cloneProgrammed();
+
+    // Handle numbering carries over: the same handle addresses the
+    // same (copied) subarray on the clone.
+    clone->search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+    const SearchResult &result = clone->read(sub);
+    ASSERT_FALSE(result.matchedRows.empty());
+    EXPECT_EQ(result.matchedRows[0], 0);
+
+    // The original never saw that search.
+    EXPECT_EQ(device.report().searches, 0);
+    EXPECT_THROW(device.read(sub), CompilerError);
+
+    // Identical queries on original and clone cost exactly the same.
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+    PerfReport a = device.report();
+    PerfReport b = clone->report();
+    EXPECT_EQ(a.queryLatencyNs, b.queryLatencyNs);
+    EXPECT_EQ(a.queryEnergyPj, b.queryEnergyPj);
+    EXPECT_EQ(a.searches, b.searches);
+
+    // Writing to the clone does not touch the original's cells.
+    clone->writeValue(sub, {{0, 0, 0, 0}});
+    device.search(sub, {1, 0, 1, 0}, SearchKind::Best, false);
+    EXPECT_EQ(device.read(sub).matchedRows[0], 0);
+}
+
+TEST(CamDevice, CloneProgrammedRejectsOpenScopes)
+{
+    CamDevice device(smallSpec());
+    device.timing().beginScope(/*parallel=*/false);
+    EXPECT_THROW(device.cloneProgrammed(), CompilerError);
+    device.timing().endScope();
+    EXPECT_NO_THROW(device.cloneProgrammed());
+}

@@ -5,6 +5,7 @@
  *
  *   c4cam-run kernel.py --arch spec.json [--queries-equal-rows]
  *                       [--seed N] [--print-ir] [--batch N] [--json]
+ *                       [--threads N]
  *
  * Generates deterministic +-1 inputs for each tensor parameter, runs
  * the compiled kernel, prints the outputs and the performance report.
@@ -15,16 +16,28 @@
  * ExecutionSession: the device is programmed once (setup phase) and N
  * query batches are executed against it, reporting per-query and
  * amortized figures (paper §III-D setup/search split).
+ *
+ * With --batch N --threads T the batch is served through a
+ * core::ServingEngine instead: the programmed device is replicated T
+ * times and queries are drained by T worker threads, additionally
+ * reporting host qps and p50/p95 serving latency. Per-query simulated
+ * cost is identical to the serial session either way.
  */
 
+#include <cerrno>
+#include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "arch/ArchSpec.h"
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
+#include "core/ServingEngine.h"
 #include "dialects/BuiltinDialect.h"
 #include "support/Error.h"
 #include "support/Json.h"
@@ -39,8 +52,27 @@ usage()
 {
     std::cerr << "usage: c4cam-run <kernel.py|-> [--arch spec.json]"
               << " [--seed N] [--queries-equal-rows] [--print-ir]"
-              << " [--host-only] [--batch N] [--json]\n";
+              << " [--host-only] [--batch N] [--json] [--threads N]\n";
     return 2;
+}
+
+/**
+ * Parse @p text as a non-negative integer into @p out. Unlike a bare
+ * std::stoull/std::stol this never throws: malformed or out-of-range
+ * values (the historical `--seed banana` crash) report false so the
+ * caller can print usage() instead of dying on an uncaught
+ * std::invalid_argument.
+ */
+bool
+parseCount(const char *text, long long &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value < 0)
+        return false;
+    out = value;
+    return true;
 }
 
 /** Make query row q a copy of stored row ((offset + 2*q) mod N). */
@@ -81,7 +113,8 @@ main(int argc, char **argv)
     bool print_ir = false;
     bool host_only = false;
     bool json = false;
-    long batch = 0;
+    long long batch = 0;
+    long long threads = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -90,14 +123,16 @@ main(int argc, char **argv)
                 return usage();
             arch_path = argv[i];
         } else if (arg == "--seed") {
-            if (++i >= argc)
+            long long value = 0;
+            if (++i >= argc || !parseCount(argv[i], value))
                 return usage();
-            seed = std::stoull(argv[i]);
+            seed = static_cast<std::uint64_t>(value);
         } else if (arg == "--batch") {
-            if (++i >= argc)
+            if (++i >= argc || !parseCount(argv[i], batch) || batch <= 0)
                 return usage();
-            batch = std::stol(argv[i]);
-            if (batch <= 0)
+        } else if (arg == "--threads") {
+            if (++i >= argc || !parseCount(argv[i], threads) ||
+                threads < 1 || threads > 1024)
                 return usage();
         } else if (arg == "--json") {
             json = true;
@@ -117,6 +152,12 @@ main(int argc, char **argv)
     }
     if (input_path.empty())
         return usage();
+    if (threads > 1 && batch <= 0) {
+        // Parallel serving only exists for batched serving; silently
+        // running the single-shot path would mislead a benchmark.
+        std::cerr << "c4cam-run: --threads requires --batch\n";
+        return usage();
+    }
 
     try {
         std::string source;
@@ -163,16 +204,19 @@ main(int argc, char **argv)
 
         if (batch > 0) {
             // Persistent serving: program the device once, then serve
-            // `batch` query batches through one ExecutionSession.
+            // `batch` query batches. Each batch gets its own query
+            // buffer (fresh content so serving is not a no-op, and no
+            // aliasing across concurrent workers);
+            // --queries-equal-rows keeps answers obvious. Batches are
+            // generated lazily so memory stays O(in-flight queries),
+            // never O(batch).
             C4CAM_CHECK(!args.empty(),
                         "--batch requires a kernel with at least one "
                         "tensor parameter (the query)");
-            core::ExecutionSession session = kernel.createSession(args);
-            const rt::BufferPtr &queries = args[0];
-            core::ExecutionResult first;
-            for (long b = 0; b < batch; ++b) {
-                // Fresh query content per batch so serving is not a
-                // no-op; --queries-equal-rows keeps answers obvious.
+            auto make_batch_args = [&](long long b) {
+                std::vector<rt::BufferPtr> batch_args = args;
+                auto queries = rt::Buffer::alloc(rt::DType::F32,
+                                                 args[0]->shape());
                 if (queries_equal_rows && args.size() >= 2) {
                     fillQueriesFromStored(queries, args[1], b);
                 } else {
@@ -182,20 +226,69 @@ main(int argc, char **argv)
                             queries->set({q, c},
                                          rng.nextBool() ? 1.0 : -1.0);
                 }
-                core::ExecutionResult result = session.runQuery(args);
-                if (b == 0)
-                    first = std::move(result);
+                batch_args[0] = queries;
+                return batch_args;
+            };
+
+            core::ExecutionResult first;
+            sim::PerfReport total;
+            bool persistent = false;
+            if (threads > 1) {
+                // Parallel serving on `threads` programmed replicas;
+                // at most 2x threads submissions stay in flight.
+                auto engine = kernel.createServingEngine(
+                    args, static_cast<int>(threads));
+                std::deque<std::future<core::ExecutionResult>> inflight;
+                long long harvested = 0; // futures drain in FIFO order
+                auto harvest_front = [&] {
+                    core::ExecutionResult done = inflight.front().get();
+                    inflight.pop_front();
+                    if (harvested++ == 0)
+                        first = std::move(done);
+                };
+                for (long long b = 0; b < batch; ++b) {
+                    inflight.push_back(
+                        engine->submit(make_batch_args(b)));
+                    if (inflight.size() >
+                        static_cast<std::size_t>(2 * threads))
+                        harvest_front();
+                }
+                while (!inflight.empty())
+                    harvest_front();
+                core::ServingStats stats = engine->stats();
+                total = stats.aggregate;
+                persistent = engine->persistent();
+                if (!json) {
+                    std::cout << "serving: " << engine->numReplicas()
+                              << " replicas, " << stats.qps
+                              << " queries/sec host throughput, p50 "
+                              << stats.p50LatencyUs << " us, p95 "
+                              << stats.p95LatencyUs << " us\n";
+                    if (persistent)
+                        std::cout << "setup: "
+                                  << engine->setupReport().str() << "\n";
+                }
+            } else {
+                // Serial path: one reused session, one batch at a time.
+                core::ExecutionSession session = kernel.createSession(args);
+                for (long long b = 0; b < batch; ++b) {
+                    core::ExecutionResult result =
+                        session.runQuery(make_batch_args(b));
+                    if (b == 0)
+                        first = std::move(result);
+                }
+                total = session.aggregateReport();
+                persistent = session.persistent();
+                if (!json && persistent)
+                    std::cout << "setup: " << session.setupReport().str()
+                              << "\n";
             }
-            sim::PerfReport total = session.aggregateReport();
             if (json) {
                 std::cout << total.toJson().dump(2) << "\n";
                 return 0;
             }
             std::cout << "batch 0 outputs:\n";
             printOutputs(first.outputs);
-            if (session.persistent())
-                std::cout << "setup: " << session.setupReport().str()
-                          << "\n";
             std::cout << "aggregate: " << total.str() << "\n";
             std::cout << "amortized: " << total.amortizedLatencyNs()
                       << " ns/query, " << total.amortizedEnergyPj()

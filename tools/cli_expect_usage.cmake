@@ -1,0 +1,24 @@
+# Test helper: run a CLI invocation that must be rejected with the
+# usage message AND exit code 2. CTest's PASS_REGULAR_EXPRESSION alone
+# ignores the exit code, which would let a crash-after-usage (or a
+# usage() that stopped returning 2) slip through -- so the contract is
+# asserted here explicitly.
+#
+# Usage:
+#   cmake -DTOOL=<path> "-DARGS=<;-separated args>" -P cli_expect_usage.cmake
+
+separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${tool_args}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+          "expected exit code 2 from '${TOOL} ${ARGS}', got '${rc}' "
+          "(stderr: ${err})")
+endif()
+if(NOT err MATCHES "usage: c4cam-run" AND NOT out MATCHES "usage: c4cam-run")
+  message(FATAL_ERROR
+          "expected the usage message from '${TOOL} ${ARGS}', got "
+          "stdout '${out}' / stderr '${err}'")
+endif()
