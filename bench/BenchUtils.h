@@ -13,6 +13,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -20,8 +22,89 @@
 #include "apps/Workloads.h"
 #include "core/Compiler.h"
 #include "sim/Timing.h"
+#include "support/Json.h"
 
 namespace c4cam::bench {
+
+/**
+ * Machine-readable bench results: every bench_* binary accepts
+ * `--json-out FILE` and writes its headline metrics as one flat JSON
+ * object, so CI can archive the perf trajectory (BENCH_*.json
+ * artifacts) instead of scraping stdout tables.
+ *
+ *   bench::JsonOut jout;
+ *   // inside the arg loop:
+ *   if (jout.tryParseArg(argc, argv, i)) continue;
+ *   ...
+ *   jout.set("wall_qps", qps);
+ *   jout.setReport("session", total);
+ *   return jout.write() ? 0 : 1;
+ */
+class JsonOut
+{
+  public:
+    /**
+     * Consume `--json-out FILE` at position @p i of argv (mutating
+     * @p i past the value). @return true when the flag was consumed.
+     */
+    bool
+    tryParseArg(int argc, char **argv, int &i)
+    {
+        if (std::strcmp(argv[i], "--json-out") != 0)
+            return false;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "--json-out requires a file path\n");
+            std::exit(2);
+        }
+        path_ = argv[++i];
+        return true;
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    void
+    set(const std::string &key, double value)
+    {
+        obj_.set(key, JsonValue(value));
+    }
+
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        obj_.set(key, JsonValue(value));
+    }
+
+    /** Nest a full PerfReport under @p key. */
+    void
+    setReport(const std::string &key, const sim::PerfReport &perf)
+    {
+        obj_.set(key, perf.toJson());
+    }
+
+    /**
+     * Write the collected object to the `--json-out` path. No-op
+     * (returning true) when the flag was not given; prints a
+     * diagnostic and returns false when the file cannot be written.
+     */
+    bool
+    write() const
+    {
+        if (!enabled())
+            return true;
+        std::ofstream out(path_);
+        if (!out.good()) {
+            std::fprintf(stderr, "cannot write --json-out file '%s'\n",
+                         path_.c_str());
+            return false;
+        }
+        out << obj_.dump(2) << "\n";
+        return out.good();
+    }
+
+  private:
+    std::string path_;
+    JsonValue obj_ = JsonValue::makeObject();
+};
 
 /** One measured configuration, scaled to @p scaled_queries. */
 struct Measurement

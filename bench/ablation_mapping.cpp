@@ -25,8 +25,16 @@ using namespace c4cam;
 using namespace c4cam::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr,
+                     "usage: bench_ablation_mapping [--json-out FILE]\n");
+        return 2;
+    }
     const int kQueries = 6;
     const int kDims = 4096;
 
@@ -111,5 +119,10 @@ main()
                          recompiled.energyPjPerQuery(kQueries)) < 1.0
                     ? "PASS"
                     : "FAIL");
-    return 0;
+
+    jout.set("bench", std::string("ablation_mapping"));
+    jout.set("latency_monotone_pass", monotone ? 1.0 : 0.0);
+    jout.set("retune_latency_delta", delta);
+    jout.set("recompiled_power_mw", recompiled.powerMw());
+    return jout.write() ? 0 : 1;
 }

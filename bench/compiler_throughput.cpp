@@ -11,6 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "apps/Workloads.h"
 #include "core/Compiler.h"
 #include "dialects/AllDialects.h"
@@ -84,7 +89,7 @@ BM_PrintParseRoundTrip(benchmark::State &state)
     core::Compiler compiler(options);
     core::CompiledKernel kernel = compiler.compileTorchScript(
         apps::dotSimilaritySource(16, 10, 1024, 1));
-    std::string text = kernel.module().str();
+    std::string text = std::as_const(kernel).module().str();
     for (auto _ : state) {
         ir::Context ctx;
         dialects::loadAllDialects(ctx);
@@ -122,4 +127,38 @@ BENCHMARK(BM_Simulation);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but with the repo-wide `--json-out FILE`
+ * flag mapped onto Google Benchmark's native JSON reporter
+ * (--benchmark_out=FILE --benchmark_out_format=json), so this binary
+ * emits machine-readable results the same way the other benches do.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag;
+    std::string format_flag = "--benchmark_out_format=json";
+    for (auto it = args.begin(); it != args.end(); ++it) {
+        if (std::string(*it) == "--json-out") {
+            if (it + 1 == args.end()) {
+                std::fprintf(stderr,
+                             "--json-out requires a file path\n");
+                return 2;
+            }
+            out_flag = std::string("--benchmark_out=") + *(it + 1);
+            args.erase(it, it + 2);
+            args.push_back(out_flag.data());
+            args.push_back(format_flag.data());
+            break;
+        }
+    }
+    int adjusted_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&adjusted_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(adjusted_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -39,8 +39,16 @@ struct Row
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr,
+                     "usage: bench_fig7_validation [--json-out FILE]\n");
+        return 2;
+    }
     const int kQueries = 6;
     const int kDims = 8192;
 
@@ -131,5 +139,17 @@ main()
                 lat_dev * 100.0, energy_dev * 100.0);
     std::printf("expected shape: latency rises with C; energy falls "
                 "with C; 1b below 2b.\n");
-    return 0;
+
+    jout.set("bench", std::string("fig7_validation"));
+    jout.set("geomean_latency_deviation", lat_dev);
+    jout.set("geomean_energy_deviation", energy_dev);
+    for (const Row &row : rows) {
+        std::string tag = std::to_string(row.bits) + "b_" +
+                          std::to_string(row.cols);
+        jout.set("latency_ns_compiled_" + tag, row.compiledLatency);
+        jout.set("latency_ns_manual_" + tag, row.manualLatency);
+        jout.set("energy_pj_compiled_" + tag, row.compiledEnergy);
+        jout.set("energy_pj_manual_" + tag, row.manualEnergy);
+    }
+    return jout.write() ? 0 : 1;
 }

@@ -23,8 +23,15 @@ using namespace c4cam;
 using namespace c4cam::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr, "usage: bench_fig8_dse [--json-out FILE]\n");
+        return 2;
+    }
     const int kRunQueries = 6;
     const double kScaledQueries = 10000.0; // full MNIST test set
     const int kDims = 8192;
@@ -100,5 +107,16 @@ main()
                 "[1.4x, 5.1x]\n",
                 m[1][3].energyUj() / m[0][3].energyUj(),
                 m[1][4].energyUj() / m[0][4].energyUj());
-    return 0;
+
+    jout.set("bench", std::string("fig8_dse"));
+    const char *keys[] = {"base", "density", "power", "power_density"};
+    for (int t = 0; t < 4; ++t)
+        for (int s = 0; s < 5; ++s) {
+            std::string tag = std::string(keys[t]) + "_" +
+                              std::to_string(sizes[s]);
+            jout.set("energy_uj_" + tag, m[t][s].energyUj());
+            jout.set("latency_ms_" + tag, m[t][s].latencyMs());
+            jout.set("power_mw_" + tag, m[t][s].powerMw());
+        }
+    return jout.write() ? 0 : 1;
 }

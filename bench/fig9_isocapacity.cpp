@@ -22,8 +22,16 @@ using namespace c4cam;
 using namespace c4cam::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr,
+                     "usage: bench_fig9_isocapacity [--json-out FILE]\n");
+        return 2;
+    }
     const int kRunQueries = 6;
     const double kScaledQueries = 10000.0;
     const int kDims = 8192;
@@ -94,5 +102,15 @@ main()
                 gain / 3.0);
     std::printf("iso-density+power power cut @16: %.1f%% of base\n",
                 100.0 * m[2][0].powerMw() / m[0][0].powerMw());
-    return 0;
+
+    jout.set("bench", std::string("fig9_isocapacity"));
+    const char *keys[] = {"base", "density", "power_density"};
+    for (int t = 0; t < 3; ++t)
+        for (int s = 0; s < 5; ++s) {
+            std::string tag = std::string(keys[t]) + "_" +
+                              std::to_string(sizes[s]);
+            jout.set("latency_ms_" + tag, m[t][s].latencyMs());
+            jout.set("power_mw_" + tag, m[t][s].powerMw());
+        }
+    return jout.write() ? 0 : 1;
 }

@@ -21,8 +21,16 @@ using namespace c4cam;
 using namespace c4cam::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr,
+                     "usage: bench_gpu_comparison [--json-out FILE]\n");
+        return 2;
+    }
     const int kRunQueries = 6;
     const double kScaledQueries = 10000.0; // MNIST test set
     const int kDims = 8192;
@@ -83,5 +91,11 @@ main()
                 "(paper: \"CAMs contribute minimally\")\n",
                 100.0 * cam.perf.queryEnergyPj * cam.scale /
                     cam_system_energy_pj);
-    return 0;
+
+    jout.set("bench", std::string("gpu_comparison"));
+    jout.set("gpu_latency_ms", est.latencyNs * 1e-6);
+    jout.set("cam_latency_ms", cam_latency_ns * 1e-6);
+    jout.set("execution_time_improvement", speedup);
+    jout.set("energy_improvement", energy_gain);
+    return jout.write() ? 0 : 1;
 }

@@ -24,7 +24,20 @@
  * the 4-worker engine does not beat the serial session by > 1.5x in
  * wall-clock queries/sec.
  *
- *   bench_serving_throughput [--queries N] [--scaling]   (default 64)
+ * --plan-vs-treewalk switches to the execution-back-end gate: the
+ * same stream is served through a tree-walking session and a
+ * plan-replaying session (a dispatch-heavy kNN kernel, see the mode
+ * for why). The bench exits non-zero unless (a) plan replay is >= 3x
+ * faster in host wall-clock, (b) every per-query simulated PerfReport
+ * is bit-identical between the two back ends, and (c) fused-batch
+ * (runFusedBatch) totals equal the sum of the corresponding serial
+ * query windows exactly.
+ *
+ * All modes accept --json-out FILE for machine-readable results
+ * (CI archives BENCH_serving.json from the release perf job).
+ *
+ *   bench_serving_throughput [--queries N] [--scaling]
+ *                            [--plan-vs-treewalk] [--json-out FILE]
  */
 
 #include <chrono>
@@ -68,11 +81,186 @@ sameQueryCost(const sim::PerfReport &a, const sim::PerfReport &b)
 }
 
 /**
+ * Execution-back-end gate: plan replay vs tree walk. @return process
+ * exit code.
+ *
+ * Uses its own workload -- a cam-mapped euclidean kNN on 16x16
+ * subarrays -- because the gate measures *host dispatch*: small
+ * subarrays maximize lowered control ops per unit of simulated device
+ * work, which is exactly the serving regime the plan optimizes (the
+ * simulated accounting is identical either way; the check below
+ * enforces that bit for bit).
+ */
+int
+runPlanVsTreeWalk(long num_queries, bench::JsonOut &jout)
+{
+    const std::int64_t rows = 96;
+    const std::int64_t dims = 768;
+    arch::ArchSpec spec = arch::ArchSpec::dseSetup(16, arch::OptTarget::Base);
+    spec.camType = arch::CamDeviceType::Mcam;
+    spec.bitsPerCell = 2;
+    const std::string source = apps::knnEuclideanSource(1, rows, dims, 1);
+
+    core::CompilerOptions plan_options;
+    plan_options.spec = spec;
+    core::CompilerOptions walk_options = plan_options;
+    walk_options.treeWalkExecution = true;
+
+    core::Compiler plan_compiler(plan_options);
+    core::CompiledKernel plan_kernel =
+        plan_compiler.compileTorchScript(source);
+    core::Compiler walk_compiler(walk_options);
+    core::CompiledKernel walk_kernel =
+        walk_compiler.compileTorchScript(source);
+
+    Rng rng(29);
+    std::vector<std::vector<float>> stored(
+        static_cast<std::size_t>(rows),
+        std::vector<float>(static_cast<std::size_t>(dims)));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : 0.0f;
+    rt::BufferPtr stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(static_cast<std::size_t>(num_queries));
+    for (long q = 0; q < num_queries; ++q)
+        batches.push_back(
+            {rt::Buffer::fromMatrix(
+                 {stored[static_cast<std::size_t>(q) % stored.size()]}),
+             stored_buf});
+
+    // Warm-up runs stay outside the timed windows (first-touch
+    // allocations, page faults); the gate compares steady state.
+    core::ExecutionSession walk_session =
+        walk_kernel.createSession(batches[0]);
+    walk_session.runQuery(batches[0]);
+    Clock::time_point start = Clock::now();
+    std::vector<core::ExecutionResult> walk_results =
+        walk_session.runBatch(batches);
+    double walk_s = secondsSince(start);
+
+    core::ExecutionSession plan_session =
+        plan_kernel.createSession(batches[0]);
+    plan_session.runQuery(batches[0]);
+    start = Clock::now();
+    std::vector<core::ExecutionResult> plan_results =
+        plan_session.runBatch(batches);
+    double plan_s = secondsSince(start);
+
+    double n = static_cast<double>(num_queries);
+    double speedup = plan_s > 0.0 ? walk_s / plan_s : 0.0;
+    std::printf("Plan vs tree walk: %ld queries, kNN %lld x %lld on "
+                "16x16 subarrays\n",
+                num_queries, static_cast<long long>(rows),
+                static_cast<long long>(dims));
+    bench::rule();
+    std::printf("%-28s %16s %16s\n", "", "tree-walk", "plan replay");
+    std::printf("%-28s %16.3f %16.3f\n", "host wall-clock (s)", walk_s,
+                plan_s);
+    std::printf("%-28s %16.1f %16.1f\n", "host queries/sec", n / walk_s,
+                n / plan_s);
+    bench::rule();
+    std::printf("plan replay speedup: %.2fx (gate: >= 3x)\n", speedup);
+
+    // (b) bit-identical per-query simulated reports and answers.
+    for (std::size_t q = 0; q < batches.size(); ++q) {
+        if (plan_results[q].outputs[1].asBuffer()->toVector() !=
+                walk_results[q].outputs[1].asBuffer()->toVector() ||
+            !sameQueryCost(plan_results[q].perf, walk_results[q].perf)) {
+            std::fprintf(stderr,
+                         "FAIL: plan-replay query %zu diverges from the "
+                         "tree walk\n",
+                         q);
+            return 1;
+        }
+    }
+    std::printf("per-query reports bit-identical across back ends: OK\n");
+
+    // (c) fused batching: totals must equal the sum of the serial
+    // windows exactly, for K=4 chunks over a fresh session.
+    core::ExecutionSession fused_session =
+        plan_kernel.createSession(batches[0]);
+    const std::size_t fused_k = 4;
+    std::size_t fused_chunks = 0;
+    for (std::size_t begin = 0; begin + fused_k <= batches.size();
+         begin += fused_k) {
+        ++fused_chunks;
+        std::vector<std::vector<rt::BufferPtr>> chunk(
+            batches.begin() + static_cast<std::ptrdiff_t>(begin),
+            batches.begin() + static_cast<std::ptrdiff_t>(begin + fused_k));
+        core::FusedBatchResult fused = fused_session.runFusedBatch(chunk);
+        double lat = 0.0;
+        double energy = 0.0;
+        double drive = 0.0;
+        std::int64_t searches = 0;
+        for (std::size_t i = 0; i < fused_k; ++i) {
+            const sim::PerfReport &serial =
+                plan_results[begin + i].perf;
+            lat += serial.queryLatencyNs;
+            energy += serial.queryEnergyPj;
+            drive += serial.driveEnergyPj;
+            searches += serial.searches;
+            if (!sameQueryCost(fused.results[i].perf, serial)) {
+                std::fprintf(stderr,
+                             "FAIL: fused query %zu diverges from its "
+                             "serial window\n",
+                             begin + i);
+                return 1;
+            }
+        }
+        if (fused.fused.total.latencyNs != lat ||
+            fused.fused.total.energyPj != energy ||
+            fused.fused.driveEnergyPj != drive ||
+            fused.fused.searches != searches) {
+            std::fprintf(stderr,
+                         "FAIL: fused window totals != sum of serial "
+                         "query windows (chunk at %zu)\n",
+                         begin);
+            return 1;
+        }
+    }
+    if (fused_chunks == 0) {
+        // Keep the self-checking contract honest: never print OK for
+        // a check that could not run.
+        std::fprintf(stderr,
+                     "FAIL: --queries %ld is below the fused batch "
+                     "width %zu; the fused check needs at least one "
+                     "full chunk\n",
+                     num_queries, fused_k);
+        return 1;
+    }
+    std::printf("fused-batch totals equal the sum of serial windows: "
+                "OK (%zu chunks of %zu)\n",
+                fused_chunks, fused_k);
+
+    jout.set("mode", std::string("plan_vs_treewalk"));
+    jout.set("queries", n);
+    jout.set("tree_walk_wall_s", walk_s);
+    jout.set("plan_wall_s", plan_s);
+    jout.set("tree_walk_qps", n / walk_s);
+    jout.set("plan_qps", n / plan_s);
+    jout.set("plan_speedup", speedup);
+    jout.setReport("plan_aggregate",
+                   plan_session.aggregateReport());
+
+    if (speedup < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: plan replay speedup %.2fx is below the 3x "
+                     "gate\n",
+                     speedup);
+        return 1;
+    }
+    return jout.write() ? 0 : 1;
+}
+
+/**
  * Thread-scaling mode. @return process exit code.
  */
 int
 runScaling(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
-           const std::vector<rt::BufferPtr> &queries)
+           const std::vector<rt::BufferPtr> &queries,
+           bench::JsonOut &jout)
 {
     std::vector<std::vector<rt::BufferPtr>> batches;
     batches.reserve(queries.size());
@@ -141,6 +329,12 @@ runScaling(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
     }
     bench::rule();
 
+    jout.set("mode", std::string("scaling"));
+    jout.set("queries", double(queries.size()));
+    jout.set("serial_qps", serial_qps);
+    jout.set("qps_4_workers", qps4);
+    jout.set("hardware_threads", double(hw));
+
     if (hw >= 4) {
         if (qps4 <= 1.5 * serial_qps) {
             std::fprintf(stderr,
@@ -156,7 +350,7 @@ runScaling(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
                     "needs a multi-core host, correctness checks ran\n",
                     hw);
     }
-    return 0;
+    return jout.write() ? 0 : 1;
 }
 
 } // namespace
@@ -166,7 +360,11 @@ main(int argc, char **argv)
 {
     long num_queries = 64;
     bool scaling = false;
+    bool plan_vs_treewalk = false;
+    bench::JsonOut jout;
     for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
         if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
             char *end = nullptr;
             num_queries = std::strtol(argv[++i], &end, 10);
@@ -177,9 +375,13 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(argv[i], "--scaling") == 0) {
             scaling = true;
+        } else if (std::strcmp(argv[i], "--plan-vs-treewalk") == 0) {
+            plan_vs_treewalk = true;
         } else {
-            std::fprintf(stderr, "usage: bench_serving_throughput "
-                                 "[--queries N] [--scaling]\n");
+            std::fprintf(stderr,
+                         "usage: bench_serving_throughput [--queries N] "
+                         "[--scaling] [--plan-vs-treewalk] "
+                         "[--json-out FILE]\n");
             return 2;
         }
     }
@@ -187,6 +389,8 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--queries must be >= 1\n");
         return 2;
     }
+    if (plan_vs_treewalk)
+        return runPlanVsTreeWalk(num_queries, jout);
 
     // A small HDC-style workload: 128 stored vectors of 1024 bits,
     // one query per serving request.
@@ -216,7 +420,7 @@ main(int argc, char **argv)
             {stored[static_cast<std::size_t>(q) % stored.size()]}));
 
     if (scaling)
-        return runScaling(kernel, stored_buf, queries);
+        return runScaling(kernel, stored_buf, queries, jout);
 
     // (a) naive serving: one kernel.run() per query (setup every time).
     double naive_sim_ns = 0.0;
@@ -299,5 +503,15 @@ main(int argc, char **argv)
                      sim_speedup);
         return 1;
     }
-    return 0;
+
+    jout.set("mode", std::string("serving"));
+    jout.set("queries", n);
+    jout.set("naive_sim_qps", naive_qps);
+    jout.set("session_sim_qps", session_qps);
+    jout.set("sim_speedup", sim_speedup);
+    jout.set("naive_wall_s", naive_wall_s);
+    jout.set("session_wall_s", session_wall_s);
+    jout.set("wall_speedup", wall_speedup);
+    jout.setReport("session_aggregate", total);
+    return jout.write() ? 0 : 1;
 }

@@ -17,8 +17,16 @@ using namespace c4cam;
 using namespace c4cam::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr,
+                     "usage: bench_table1_subarrays [--json-out FILE]\n");
+        return 2;
+    }
     const std::int64_t classes = 10;
     const std::int64_t dims = 8192;
     const int sizes[] = {16, 32, 64, 128, 256};
@@ -62,5 +70,10 @@ main()
     std::printf("\n%s\n", all_match
                               ? "all entries match the paper exactly"
                               : "MISMATCH against the paper values");
+
+    jout.set("bench", std::string("table1_subarrays"));
+    jout.set("all_match_paper", all_match ? 1.0 : 0.0);
+    if (!jout.write())
+        return 1;
     return all_match ? 0 : 1;
 }

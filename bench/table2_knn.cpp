@@ -53,8 +53,16 @@ runKnn(const arch::ArchSpec &spec, const apps::KnnWorkload &knn,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonOut jout;
+    for (int i = 1; i < argc; ++i) {
+        if (jout.tryParseArg(argc, argv, i))
+            continue;
+        std::fprintf(stderr,
+                     "usage: bench_table2_knn [--json-out FILE]\n");
+        return 2;
+    }
     // Pneumonia: 5216 stored samples. The paper's test split is 624
     // images; we execute 2 queries and scale.
     const std::size_t kRunQueries = 2;
@@ -116,5 +124,17 @@ main()
             ok = false;
     }
     std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+
+    jout.set("bench", std::string("table2_knn"));
+    jout.set("shape_check_pass", ok ? 1.0 : 0.0);
+    for (int i = 0; i < 5; ++i) {
+        std::string size = std::to_string(sizes[i]);
+        jout.set("edp_njs_based_" + size, based[i].edpNJs());
+        jout.set("edp_njs_power_" + size, power[i].edpNJs());
+        jout.set("power_w_based_" + size, based[i].powerMw() * 1e-3);
+        jout.set("power_w_power_" + size, power[i].powerMw() * 1e-3);
+    }
+    if (!jout.write())
+        return 1;
     return ok ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "passes/CimSimilarityMatching.h"
 #include "passes/CimToLoops.h"
 #include "passes/TorchToCim.h"
+#include "runtime/ExecutionPlan.h"
 #include "runtime/Interpreter.h"
 #include "support/Error.h"
 
@@ -26,6 +27,43 @@ CompiledKernel::CompiledKernel(std::shared_ptr<ir::Context> ctx,
     auto funcs = module_.functions();
     C4CAM_CHECK(!funcs.empty(), "compiled module has no functions");
     entry_ = funcs.front()->strAttr("sym_name");
+
+    // Compile the plan eagerly so a kernel shared across threads runs
+    // on an immutable plan with no lazy first-use race. The cache is
+    // only dropped by mutable module() access, which (like any IR
+    // mutation) is single-threaded by contract; the recompile then
+    // happens on next use.
+    executionPlan();
+}
+
+std::shared_ptr<const rt::ExecutionPlan>
+tryCompilePlan(const ir::Module &module, const std::string &entry,
+               const CompilerOptions &options)
+{
+    if (options.treeWalkExecution)
+        return nullptr;
+    // A module the plan compiler cannot handle falls back to the tree
+    // walk -- same op vocabulary, so this only happens for ops the
+    // interpreter would reject at runtime too.
+    try {
+        return rt::ExecutionPlan::compile(module, entry);
+    } catch (const CompilerError &) {
+        return nullptr;
+    }
+}
+
+std::shared_ptr<const rt::ExecutionPlan>
+CompiledKernel::executionPlan()
+{
+    // Compiled once (re-compiled lazily after mutable module() access
+    // so IR rewrites are picked up) and shared by
+    // run()/sessions/engines.
+    if (!plan_stream_ && !planCompileFailed_ &&
+        !options_.treeWalkExecution) {
+        plan_stream_ = tryCompilePlan(module_, entry_, options_);
+        planCompileFailed_ = plan_stream_ == nullptr;
+    }
+    return plan_stream_;
 }
 
 void
@@ -54,7 +92,8 @@ validateKernelArgs(ir::Block *body, const std::string &entry,
 ExecutionResult
 runKernelOnce(ir::Module &module, const std::string &entry,
               const CompilerOptions &options,
-              const std::vector<rt::BufferPtr> &args)
+              const std::vector<rt::BufferPtr> &args,
+              const rt::ExecutionPlan *plan)
 {
     ExecutionResult result;
     std::vector<rt::RtValue> rt_args;
@@ -62,15 +101,28 @@ runKernelOnce(ir::Module &module, const std::string &entry,
     for (const rt::BufferPtr &arg : args)
         rt_args.emplace_back(arg);
 
+    if (options.treeWalkExecution)
+        plan = nullptr;
+
     if (options.hostOnly) {
-        rt::Interpreter interpreter(module, nullptr);
-        result.outputs = interpreter.callFunction(entry, rt_args);
+        if (plan) {
+            rt::PlanFrame frame = plan->makeFrame();
+            result.outputs = plan->run(frame, nullptr, rt_args);
+        } else {
+            rt::Interpreter interpreter(module, nullptr);
+            result.outputs = interpreter.callFunction(entry, rt_args);
+        }
         return result;
     }
 
     sim::CamDevice device(options.spec);
-    rt::Interpreter interpreter(module, &device);
-    result.outputs = interpreter.callFunction(entry, rt_args);
+    if (plan) {
+        rt::PlanFrame frame = plan->makeFrame();
+        result.outputs = plan->run(frame, &device, rt_args);
+    } else {
+        rt::Interpreter interpreter(module, &device);
+        result.outputs = interpreter.callFunction(entry, rt_args);
+    }
     result.perf = device.report();
     result.perf.queriesServed = 1;
     return result;
@@ -79,13 +131,15 @@ runKernelOnce(ir::Module &module, const std::string &entry,
 ExecutionResult
 CompiledKernel::run(const std::vector<rt::BufferPtr> &args)
 {
-    return runKernelOnce(module_, entry_, options_, args);
+    return runKernelOnce(module_, entry_, options_, args,
+                         executionPlan().get());
 }
 
 ExecutionSession
 CompiledKernel::createSession(const std::vector<rt::BufferPtr> &setup_args)
 {
-    return ExecutionSession(ctx_, module_, options_, entry_, setup_args);
+    return ExecutionSession(ctx_, module_, options_, entry_, setup_args,
+                            executionPlan());
 }
 
 std::unique_ptr<ServingEngine>
@@ -93,7 +147,8 @@ CompiledKernel::createServingEngine(
     const std::vector<rt::BufferPtr> &setup_args, int replicas)
 {
     return std::make_unique<ServingEngine>(ctx_, module_, options_, entry_,
-                                           setup_args, replicas);
+                                           setup_args, replicas,
+                                           executionPlan());
 }
 
 Compiler::Compiler(CompilerOptions options) : options_(std::move(options))

@@ -28,6 +28,10 @@
 #include "runtime/Buffer.h"
 #include "sim/Timing.h"
 
+namespace c4cam::rt {
+class ExecutionPlan;
+}
+
 namespace c4cam::core {
 
 /** Compiler configuration. */
@@ -43,6 +47,15 @@ struct CompilerOptions
     bool timePasses = false;
     /** Dump IR after every pass (collected in CompiledKernel::dumps). */
     bool dumpIntermediates = false;
+    /**
+     * Execute through the tree-walking interpreter instead of the
+     * compiled ExecutionPlan. Plans are the default (compile the
+     * lowered module once, replay a slot-based instruction stream per
+     * query); the tree walk is retained for differential testing --
+     * outputs and simulated PerfReports are bit-identical between the
+     * two back ends.
+     */
+    bool treeWalkExecution = false;
 };
 
 /** Outcome of executing a compiled kernel. */
@@ -60,11 +73,15 @@ class ServingEngine;
  * for the device path, host interpretation when @p options.hostOnly.
  * Shared by CompiledKernel::run() and non-persistent sessions so the
  * two paths cannot diverge in accounting. Thread-safe: every call
- * builds its own device and ExecutionState; the module is only read.
+ * builds its own device and ExecutionState/PlanFrame; the module is
+ * only read. When @p plan is non-null (and tree-walk execution is not
+ * forced), the call replays the plan instead of walking the IR --
+ * same outputs, same accounting, a fraction of the host time.
  */
 ExecutionResult runKernelOnce(ir::Module &module, const std::string &entry,
                               const CompilerOptions &options,
-                              const std::vector<rt::BufferPtr> &args);
+                              const std::vector<rt::BufferPtr> &args,
+                              const rt::ExecutionPlan *plan = nullptr);
 
 /**
  * Validate @p args against the signature of kernel entry block
@@ -76,6 +93,17 @@ void validateKernelArgs(ir::Block *body, const std::string &entry,
                         const std::vector<rt::BufferPtr> &args);
 
 /**
+ * The one plan-or-tree-walk policy, shared by CompiledKernel,
+ * ExecutionSession and ServingEngine: compile @p entry of @p module
+ * into an ExecutionPlan unless tree-walk execution is forced, falling
+ * back to nullptr (= tree walk) when the module is outside the plan
+ * compiler's vocabulary.
+ */
+std::shared_ptr<const rt::ExecutionPlan>
+tryCompilePlan(const ir::Module &module, const std::string &entry,
+               const CompilerOptions &options);
+
+/**
  * A compiled kernel: owns the context and the lowered module.
  */
 class CompiledKernel
@@ -84,8 +112,24 @@ class CompiledKernel
     CompiledKernel(std::shared_ptr<ir::Context> ctx, ir::Module module,
                    CompilerOptions options, passes::MappingPlan plan);
 
-    /** The lowered module (cam level, or cim level when hostOnly). */
-    ir::Module &module() { return module_; }
+    /**
+     * The lowered module (cam level, or cim level when hostOnly).
+     * Handing out the mutable module invalidates the cached execution
+     * plan (callers may rewrite the IR, e.g. retuning passes); the
+     * plan is recompiled from the current module on next use.
+     * Read-only callers should go through the const overload (e.g.
+     * via std::as_const), which keeps the cached plan intact.
+     */
+    ir::Module &
+    module()
+    {
+        plan_stream_.reset();
+        planCompileFailed_ = false;
+        return module_;
+    }
+
+    /** Read-only module access; the cached plan is preserved. */
+    const ir::Module &module() const { return module_; }
 
     /** Static mapping summary (subarray/bank counts etc.). */
     const passes::MappingPlan &plan() const { return plan_; }
@@ -123,6 +167,19 @@ class CompiledKernel
     createServingEngine(const std::vector<rt::BufferPtr> &setup_args,
                         int replicas);
 
+    /**
+     * The kernel's compiled ExecutionPlan: the lowered module walked
+     * once into a slot-based instruction stream (see
+     * runtime/ExecutionPlan.h). Compiled eagerly at kernel build time
+     * and shared by run()/sessions/engines; nullptr when
+     * options.treeWalkExecution is set (differential-testing mode) or
+     * when plan compilation failed (execution then falls back to the
+     * tree walk). A mutable module() access drops the cache; the
+     * recompile happens on next use -- like the IR mutation that
+     * motivated it, that path is single-threaded by contract.
+     */
+    std::shared_ptr<const rt::ExecutionPlan> executionPlan();
+
     /** IR snapshots per pass (when dumpIntermediates was set). */
     const std::vector<std::pair<std::string, std::string>> &dumps() const
     {
@@ -143,6 +200,10 @@ class CompiledKernel
     CompilerOptions options_;
     passes::MappingPlan plan_;
     std::string entry_;
+    /** Compiled instruction stream (see executionPlan()). */
+    std::shared_ptr<const rt::ExecutionPlan> plan_stream_;
+    /** Set when plan compilation failed (avoid re-trying per call). */
+    bool planCompileFailed_ = false;
     std::vector<std::pair<std::string, std::string>> dumps_;
     std::vector<ir::PassManager::Timing> timings_;
 };

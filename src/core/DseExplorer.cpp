@@ -90,7 +90,12 @@ DseExplorer::standardCandidates()
 
 namespace {
 
-/** Compile + execute one candidate on fresh, task-local state. */
+/**
+ * Compile + execute one candidate on fresh, task-local state. The
+ * kernel's execution plan is compiled alongside it, so the sweep's
+ * run() replays the slot-based instruction stream rather than
+ * tree-walking the IR per candidate.
+ */
 DsePoint
 evaluateCandidate(const std::string &source, const arch::ArchSpec &spec,
                   const std::vector<rt::BufferPtr> &args)

@@ -4,19 +4,38 @@
 
 namespace c4cam::core {
 
-ExecutionSession::ExecutionSession(std::shared_ptr<ir::Context> ctx,
-                                   ir::Module &module,
-                                   CompilerOptions options,
-                                   std::string entry,
-                                   const std::vector<rt::BufferPtr>
-                                       &setup_args)
+sim::PerfReport
+nonPersistentSetupTotal(const std::vector<ExecutionResult> &results)
+{
+    sim::PerfReport setup;
+    for (const ExecutionResult &r : results) {
+        setup.setupLatencyNs += r.perf.setupLatencyNs;
+        setup.setupEnergyPj += r.perf.setupEnergyPj;
+        setup.writes += r.perf.writes;
+        setup.subarraysUsed = r.perf.subarraysUsed;
+        setup.subarraysAllocated = r.perf.subarraysAllocated;
+        setup.banksUsed = r.perf.banksUsed;
+    }
+    return setup;
+}
+
+ExecutionSession::ExecutionSession(
+    std::shared_ptr<ir::Context> ctx, ir::Module &module,
+    CompilerOptions options, std::string entry,
+    const std::vector<rt::BufferPtr> &setup_args,
+    std::shared_ptr<const rt::ExecutionPlan> plan)
     : ctx_(std::move(ctx)), module_(&module), options_(std::move(options)),
-      entry_(std::move(entry))
+      entry_(std::move(entry)), plan_(std::move(plan))
 {
     ir::Operation *func = module_->lookupFunction(entry_);
     C4CAM_CHECK(func, "session kernel has no function '" << entry_ << "'");
     entryBody_ = &func->region(0).front();
     validateKernelArgs(entryBody_, entry_, setup_args);
+
+    if (options_.treeWalkExecution)
+        plan_ = nullptr;
+    else if (!plan_)
+        plan_ = tryCompilePlan(*module_, entry_, options_);
 
     persistent_ = !options_.hostOnly &&
                   rt::Interpreter::hasPhaseMarkers(func);
@@ -24,10 +43,17 @@ ExecutionSession::ExecutionSession(std::shared_ptr<ir::Context> ctx,
         return; // fall back to full re-execution per query
 
     device_ = std::make_unique<sim::CamDevice>(options_.spec);
-    interpreter_ = std::make_unique<rt::Interpreter>(*module_);
-    state_ = rt::ExecutionState(device_.get());
-    interpreter_->callFunction(state_, entry_, rt::toRtValues(setup_args),
-                               rt::Interpreter::ExecPhase::SetupOnly);
+    if (plan_) {
+        frame_ = plan_->makeFrame();
+        plan_->run(frame_, device_.get(), rt::toRtValues(setup_args),
+                   rt::ExecutionPlan::ExecPhase::SetupOnly);
+    } else {
+        interpreter_ = std::make_unique<rt::Interpreter>(*module_);
+        state_ = rt::ExecutionState(device_.get());
+        interpreter_->callFunction(state_, entry_,
+                                   rt::toRtValues(setup_args),
+                                   rt::Interpreter::ExecPhase::SetupOnly);
+    }
     setupReport_ = device_->report();
     aggregate_ = setupReport_;
 }
@@ -43,9 +69,14 @@ ExecutionSession::runQuery(const std::vector<rt::BufferPtr> &args)
     // cover exactly this call (and match a single-shot run bit-for-bit).
     device_->beginQueryWindow();
     ExecutionResult result;
-    result.outputs =
-        interpreter_->callFunction(state_, entry_, rt::toRtValues(args),
-                                   rt::Interpreter::ExecPhase::QueryOnly);
+    if (plan_)
+        result.outputs =
+            plan_->run(frame_, device_.get(), rt::toRtValues(args),
+                       rt::ExecutionPlan::ExecPhase::QueryOnly);
+    else
+        result.outputs = interpreter_->callFunction(
+            state_, entry_, rt::toRtValues(args),
+            rt::Interpreter::ExecPhase::QueryOnly);
     result.perf = device_->report();
     result.perf.queriesServed = 1;
     accumulate(result.perf);
@@ -56,7 +87,8 @@ ExecutionSession::runQuery(const std::vector<rt::BufferPtr> &args)
 ExecutionResult
 ExecutionSession::runNonPersistent(const std::vector<rt::BufferPtr> &args)
 {
-    ExecutionResult result = runKernelOnce(*module_, entry_, options_, args);
+    ExecutionResult result =
+        runKernelOnce(*module_, entry_, options_, args, plan_.get());
     accumulate(result.perf);
     ++queriesServed_;
     return result;
@@ -83,6 +115,51 @@ ExecutionSession::runBatch(
     for (const auto &args : batches)
         results.push_back(runQuery(args));
     return results;
+}
+
+FusedBatchResult
+ExecutionSession::runFusedBatch(
+    const std::vector<std::vector<rt::BufferPtr>> &queries)
+{
+    C4CAM_CHECK(!queries.empty(), "fused batch needs at least one query");
+    // Validate everything up front: a malformed query must fail before
+    // the fused window opens, not leave the device mid-batch.
+    for (const auto &args : queries)
+        validateKernelArgs(entryBody_, entry_, args);
+
+    FusedBatchResult batch;
+    batch.results.reserve(queries.size());
+
+    if (!persistent_) {
+        // Non-persistent fallback (host-only kernels, or device
+        // kernels without phase markers): no programmed device to
+        // open a fused window on; synthesize the fused accounting
+        // from the per-query reports. Setup was re-paid per query, so
+        // the fused report carries the summed setup, not this
+        // session's (empty) one-time setup.
+        for (const auto &args : queries)
+            batch.results.push_back(runQuery(args));
+        batch.fused.k = static_cast<std::int64_t>(queries.size());
+        for (const auto &r : batch.results)
+            batch.fused.addQueryReport(r.perf);
+        batch.fusedReport =
+            batch.fused.toReport(nonPersistentSetupTotal(batch.results));
+        return batch;
+    }
+
+    device_->beginFusedWindow(static_cast<int>(queries.size()));
+    try {
+        for (const auto &args : queries)
+            batch.results.push_back(runQuery(args));
+    } catch (...) {
+        // A failed query leaves the partial fused accounting
+        // meaningless; discard it so the session stays servable.
+        device_->abortFusedWindow();
+        throw;
+    }
+    batch.fused = device_->endFusedWindow();
+    batch.fusedReport = batch.fused.toReport(setupReport_);
+    return batch;
 }
 
 sim::PerfReport

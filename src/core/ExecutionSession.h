@@ -46,11 +46,36 @@
 
 #include "core/Compiler.h"
 #include "runtime/Buffer.h"
+#include "runtime/ExecutionPlan.h"
 #include "runtime/Interpreter.h"
 #include "sim/CamDevice.h"
 #include "sim/Timing.h"
 
 namespace c4cam::core {
+
+/**
+ * Outcome of serving one fused multi-query batch: the per-query
+ * results (each bit-identical to serial serving) plus the fused
+ * window's accounting. fusedReport renders the window as a
+ * PerfReport with fusedBatchK set, so the amortized per-query
+ * attribution (drive/setup shares) is available alongside the batch
+ * totals -- which equal the sum of the per-query windows exactly.
+ */
+struct FusedBatchResult
+{
+    std::vector<ExecutionResult> results;
+    sim::FusedWindow fused;
+    sim::PerfReport fusedReport;
+};
+
+/**
+ * Setup cost of a *non-persistent* fused batch: every full re-run
+ * re-pays setup, so the synthesized fused report must carry the
+ * summed setup fields of the per-query reports -- never claim free
+ * setup. Shared by the session and engine fallback paths.
+ */
+sim::PerfReport
+nonPersistentSetupTotal(const std::vector<ExecutionResult> &results);
 
 /**
  * A live kernel instance on a programmed CAM device.
@@ -59,6 +84,13 @@ namespace c4cam::core {
  * (no cam ops, nothing to keep programmed) the session transparently
  * falls back to full re-execution per query; persistent() tells the
  * two modes apart.
+ *
+ * Execution back end: when a compiled ExecutionPlan is available (the
+ * default), the setup prologue and every query are *replayed* through
+ * the plan's instruction stream over a persistent slot frame; with
+ * CompilerOptions::treeWalkExecution the session walks the IR through
+ * the Interpreter instead. Both paths produce bit-identical outputs
+ * and PerfReports.
  */
 class ExecutionSession
 {
@@ -68,11 +100,15 @@ class ExecutionSession
      * phase with @p setup_args (one buffer per function parameter; the
      * stored-data arguments are programmed into the device here).
      * Prefer CompiledKernel::createSession() over calling this
-     * directly.
+     * directly. @p plan is the kernel's compiled instruction stream;
+     * when null (and tree-walk execution is not forced) the session
+     * compiles its own.
      */
     ExecutionSession(std::shared_ptr<ir::Context> ctx, ir::Module &module,
                      CompilerOptions options, std::string entry,
-                     const std::vector<rt::BufferPtr> &setup_args);
+                     const std::vector<rt::BufferPtr> &setup_args,
+                     std::shared_ptr<const rt::ExecutionPlan> plan =
+                         nullptr);
 
     ExecutionSession(ExecutionSession &&) = default;
     ExecutionSession &operator=(ExecutionSession &&) = default;
@@ -88,6 +124,19 @@ class ExecutionSession
     /** Serve @p batches in order; one ExecutionResult per entry. */
     std::vector<ExecutionResult>
     runBatch(const std::vector<std::vector<rt::BufferPtr>> &batches);
+
+    /**
+     * Serve @p queries as ONE fused multi-query device pass: the
+     * device opens a fused accounting window over the K queries
+     * (CamDevice::beginFusedWindow) and amortizes the drive/setup
+     * attribution across them. Each query still runs in its own query
+     * window, so the per-query results and reports are bit-identical
+     * to serial runQuery() calls, and the fused totals equal their
+     * sum. Host-only sessions synthesize the fused accounting from
+     * the per-query reports.
+     */
+    FusedBatchResult
+    runFusedBatch(const std::vector<std::vector<rt::BufferPtr>> &queries);
 
     /** One-time setup cost (query fields are zero). */
     const sim::PerfReport &setupReport() const { return setupReport_; }
@@ -109,6 +158,9 @@ class ExecutionSession
      */
     bool persistent() const { return persistent_; }
 
+    /** True when queries replay the compiled plan (vs tree-walking). */
+    bool usesPlan() const { return plan_ != nullptr; }
+
     /** The simulated device; nullptr in host-only sessions. */
     sim::CamDevice *device() { return device_.get(); }
 
@@ -129,6 +181,10 @@ class ExecutionSession
     std::unique_ptr<rt::Interpreter> interpreter_;
     /** This session's per-execution state (SSA env from the setup run). */
     rt::ExecutionState state_;
+    /** Compiled instruction stream (null in tree-walk mode). */
+    std::shared_ptr<const rt::ExecutionPlan> plan_;
+    /** Persistent slot frame (the plan path's SSA environment). */
+    rt::PlanFrame frame_;
 
     bool persistent_ = false;
     sim::PerfReport setupReport_;

@@ -30,9 +30,11 @@ ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
                              ir::Module &module, CompilerOptions options,
                              std::string entry,
                              const std::vector<rt::BufferPtr> &setup_args,
-                             int replicas)
+                             int replicas,
+                             std::shared_ptr<const rt::ExecutionPlan> plan)
     : module_(&module), options_(std::move(options)),
-      entry_(std::move(entry)), ctx_(std::move(ctx))
+      entry_(std::move(entry)), ctx_(std::move(ctx)),
+      plan_(std::move(plan))
 {
     C4CAM_CHECK(replicas >= 1,
                 "ServingEngine needs at least 1 replica, got " << replicas);
@@ -41,7 +43,15 @@ ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
     entryBody_ = &func->region(0).front();
     validateKernelArgs(entryBody_, entry_, setup_args);
 
-    interpreter_ = std::make_unique<rt::Interpreter>(*module_);
+    if (options_.treeWalkExecution)
+        plan_ = nullptr;
+    else if (!plan_)
+        plan_ = tryCompilePlan(*module_, entry_, options_);
+
+    // The interpreter only backs the tree-walk mode; plan replicas
+    // replay the shared instruction stream instead.
+    if (!plan_)
+        interpreter_ = std::make_unique<rt::Interpreter>(*module_);
     persistent_ = !options_.hostOnly &&
                   rt::Interpreter::hasPhaseMarkers(func);
 
@@ -49,20 +59,34 @@ ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
         // Program the master replica (the only simulated setup cost),
         // then replicate it: clones copy the programmed cells, the
         // setup accounting and the handle numbering, so a forked
-        // interpreter state keeps addressing the right subarrays.
+        // interpreter state / slot frame keeps addressing the right
+        // subarrays.
         auto master = std::make_unique<Replica>();
         master->device = std::make_unique<sim::CamDevice>(options_.spec);
-        master->state = rt::ExecutionState(master->device.get());
-        interpreter_->callFunction(master->state, entry_,
-                                   rt::toRtValues(setup_args),
-                                   rt::Interpreter::ExecPhase::SetupOnly);
+        if (plan_) {
+            master->frame = plan_->makeFrame();
+            plan_->run(master->frame, master->device.get(),
+                       rt::toRtValues(setup_args),
+                       rt::ExecutionPlan::ExecPhase::SetupOnly);
+        } else {
+            master->state = rt::ExecutionState(master->device.get());
+            interpreter_->callFunction(
+                master->state, entry_, rt::toRtValues(setup_args),
+                rt::Interpreter::ExecPhase::SetupOnly);
+        }
         setupReport_ = master->device->report();
         replicas_.push_back(std::move(master));
         for (int i = 1; i < replicas; ++i) {
             auto replica = std::make_unique<Replica>();
             replica->device = replicas_[0]->device->cloneProgrammed();
-            replica->state = replicas_[0]->state.forkForReplica(
-                replica->device.get());
+            if (plan_)
+                // Slot frames fork by plain copy: setup results are
+                // immutable once programmed, and device handles stay
+                // valid on a cloneProgrammed() copy.
+                replica->frame = replicas_[0]->frame;
+            else
+                replica->state = replicas_[0]->state.forkForReplica(
+                    replica->device.get());
             replicas_.push_back(std::move(replica));
         }
     } else {
@@ -106,16 +130,22 @@ ServingEngine::serveOn(Replica &replica,
                        const std::vector<rt::BufferPtr> &args)
 {
     if (!persistent_)
-        return runKernelOnce(*module_, entry_, options_, args);
+        return runKernelOnce(*module_, entry_, options_, args,
+                             plan_.get());
 
     // Fresh accounting window: this query's report covers exactly this
     // call on top of the shared setup, bit-identical to a serial
     // session (and to a single-shot run).
     replica.device->beginQueryWindow();
     ExecutionResult result;
-    result.outputs = interpreter_->callFunction(
-        replica.state, entry_, rt::toRtValues(args),
-        rt::Interpreter::ExecPhase::QueryOnly);
+    if (plan_)
+        result.outputs = plan_->run(
+            replica.frame, replica.device.get(), rt::toRtValues(args),
+            rt::ExecutionPlan::ExecPhase::QueryOnly);
+    else
+        result.outputs = interpreter_->callFunction(
+            replica.state, entry_, rt::toRtValues(args),
+            rt::Interpreter::ExecPhase::QueryOnly);
     result.perf = replica.device->report();
     result.perf.queriesServed = 1;
     return result;
@@ -202,6 +232,99 @@ ServingEngine::runBatch(
         }));
     }
     // get() rethrows the first lane failure after all lanes stopped.
+    for (auto &future : futures)
+        future.wait();
+    for (auto &future : futures)
+        future.get();
+    return results;
+}
+
+FusedBatchResult
+ServingEngine::serveFusedChunk(
+    const std::vector<std::vector<rt::BufferPtr>> &queries,
+    std::size_t begin, std::size_t end)
+{
+    FusedBatchResult batch;
+    batch.results.reserve(end - begin);
+    Replica *replica = acquireReplica();
+    try {
+        if (persistent_)
+            replica->device->beginFusedWindow(
+                static_cast<int>(end - begin));
+        for (std::size_t i = begin; i < end; ++i) {
+            Clock::time_point start = Clock::now();
+            ExecutionResult r = serveOn(*replica, queries[i]);
+            Clock::time_point done = Clock::now();
+            recordServed(r.perf,
+                         std::chrono::duration<double>(done - start)
+                             .count(),
+                         start, done);
+            batch.results.push_back(std::move(r));
+        }
+        if (persistent_)
+            batch.fused = replica->device->endFusedWindow();
+    } catch (...) {
+        // A failed query leaves the partial fused accounting
+        // meaningless; discard it so the replica stays servable.
+        if (persistent_ && replica->device->fusedWindowActive())
+            replica->device->abortFusedWindow();
+        releaseReplica(replica);
+        throw;
+    }
+    releaseReplica(replica);
+
+    if (!persistent_) {
+        // Non-persistent fallback: synthesize the fused accounting
+        // from the per-query reports; setup was re-paid per query, so
+        // the report carries the summed setup (see
+        // nonPersistentSetupTotal).
+        batch.fused.k = static_cast<std::int64_t>(end - begin);
+        for (const auto &r : batch.results)
+            batch.fused.addQueryReport(r.perf);
+        batch.fusedReport =
+            batch.fused.toReport(nonPersistentSetupTotal(batch.results));
+        return batch;
+    }
+    batch.fusedReport = batch.fused.toReport(setupReport_);
+    return batch;
+}
+
+std::vector<FusedBatchResult>
+ServingEngine::runFusedBatch(
+    const std::vector<std::vector<rt::BufferPtr>> &queries, int k,
+    int threads)
+{
+    C4CAM_CHECK(k >= 1, "fused batch width must be >= 1, got " << k);
+    for (const auto &args : queries)
+        validateKernelArgs(entryBody_, entry_, args);
+
+    std::size_t n = queries.size();
+    std::size_t width = static_cast<std::size_t>(k);
+    std::size_t num_chunks = (n + width - 1) / width;
+    std::vector<FusedBatchResult> results(num_chunks);
+    if (num_chunks == 0)
+        return results;
+
+    int lanes = threads <= 0 ? numReplicas()
+                             : std::min(threads, numReplicas());
+    lanes = std::min<int>(lanes, static_cast<int>(num_chunks));
+
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+        futures.push_back(pool_->submit([this, &queries, &results,
+                                         cursor, n, width, num_chunks] {
+            for (;;) {
+                std::size_t idx = cursor->fetch_add(1);
+                if (idx >= num_chunks)
+                    return;
+                std::size_t begin = idx * width;
+                std::size_t end = std::min(n, begin + width);
+                results[idx] = serveFusedChunk(queries, begin, end);
+            }
+        }));
+    }
     for (auto &future : futures)
         future.wait();
     for (auto &future : futures)

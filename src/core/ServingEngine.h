@@ -46,7 +46,9 @@
 #include <vector>
 
 #include "core/Compiler.h"
+#include "core/ExecutionSession.h"
 #include "runtime/Buffer.h"
+#include "runtime/ExecutionPlan.h"
 #include "runtime/Interpreter.h"
 #include "sim/CamDevice.h"
 #include "support/ThreadPool.h"
@@ -91,10 +93,17 @@ struct ServingStats
 class ServingEngine
 {
   public:
+    /**
+     * @p plan is the kernel's compiled instruction stream; when null
+     * (and tree-walk execution is not forced) the engine compiles its
+     * own. Every replica replays the shared plan over its own slot
+     * frame.
+     */
     ServingEngine(std::shared_ptr<ir::Context> ctx, ir::Module &module,
                   CompilerOptions options, std::string entry,
                   const std::vector<rt::BufferPtr> &setup_args,
-                  int replicas);
+                  int replicas,
+                  std::shared_ptr<const rt::ExecutionPlan> plan = nullptr);
 
     /** Waits for all in-flight queries, then tears down the pool. */
     ~ServingEngine() = default;
@@ -120,6 +129,20 @@ class ServingEngine
     runBatch(const std::vector<std::vector<rt::BufferPtr>> &queries,
              int threads = 0);
 
+    /**
+     * Serve @p queries in fused multi-query passes of width @p k: the
+     * stream is chunked into groups of (up to) k queries, each group
+     * driven through one replica inside one fused device window
+     * (CamDevice::beginFusedWindow). Chunks run concurrently across
+     * replicas, capped by @p threads like runBatch. @return one
+     * FusedBatchResult per chunk, in stream order; per-query results
+     * and reports stay bit-identical to serial serving, and each
+     * chunk's fused totals equal the sum of its query windows.
+     */
+    std::vector<FusedBatchResult>
+    runFusedBatch(const std::vector<std::vector<rt::BufferPtr>> &queries,
+                  int k, int threads = 0);
+
     /** Aggregate metrics over everything served so far. */
     ServingStats stats() const;
 
@@ -131,11 +154,13 @@ class ServingEngine
     std::int64_t queriesServed() const;
 
   private:
-    /** One programmed device copy + the post-setup interpreter state. */
+    /** One programmed device copy + the post-setup execution state
+     *  (the interpreter's SSA env or the plan's slot frame). */
     struct Replica
     {
         std::unique_ptr<sim::CamDevice> device;
         rt::ExecutionState state;
+        rt::PlanFrame frame;
     };
 
     Replica *acquireReplica();
@@ -144,6 +169,11 @@ class ServingEngine
     /** Serve one query on @p replica (fresh window, QueryOnly). */
     ExecutionResult serveOn(Replica &replica,
                             const std::vector<rt::BufferPtr> &args);
+
+    /** Serve one fused chunk on a replica acquired for the chunk. */
+    FusedBatchResult
+    serveFusedChunk(const std::vector<std::vector<rt::BufferPtr>> &queries,
+                    std::size_t begin, std::size_t end);
 
     /** Acquire a replica, serve, record stats, release. */
     ExecutionResult serve(const std::vector<rt::BufferPtr> &args);
@@ -163,6 +193,9 @@ class ServingEngine
 
     /** Shared read-only executor over the module. */
     std::unique_ptr<rt::Interpreter> interpreter_;
+
+    /** Shared compiled instruction stream (null in tree-walk mode). */
+    std::shared_ptr<const rt::ExecutionPlan> plan_;
 
     /** Replica storage (index 0 is the master that ran setup). */
     std::vector<std::unique_ptr<Replica>> replicas_;

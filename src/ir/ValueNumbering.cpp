@@ -1,0 +1,51 @@
+#include "ir/ValueNumbering.h"
+
+#include "support/Error.h"
+
+namespace c4cam::ir {
+
+ValueNumbering
+ValueNumbering::forFunction(Operation *func)
+{
+    C4CAM_CHECK(func && func->numRegions() >= 1,
+                "value numbering requires a function-like op with a body");
+    ValueNumbering numbering;
+    numbering.numberBlock(func->region(0).front());
+    return numbering;
+}
+
+void
+ValueNumbering::numberBlock(Block &block)
+{
+    for (std::size_t i = 0; i < block.numArguments(); ++i) {
+        Value *arg = block.argument(i);
+        slots_.emplace(arg, static_cast<std::int32_t>(slots_.size()));
+    }
+    for (Operation *op : block.opVector()) {
+        for (std::size_t i = 0; i < op->numResults(); ++i)
+            slots_.emplace(op->result(i),
+                           static_cast<std::int32_t>(slots_.size()));
+        for (std::size_t r = 0; r < op->numRegions(); ++r)
+            for (const auto &nested : op->region(r).blocks())
+                numberBlock(*nested);
+    }
+}
+
+std::int32_t
+ValueNumbering::slot(Value *value) const
+{
+    auto it = slots_.find(value);
+    C4CAM_ASSERT(it != slots_.end(),
+                 "value numbering miss: value was not visited by the "
+                 "function walk");
+    return it->second;
+}
+
+std::int32_t
+ValueNumbering::slotOrInvalid(Value *value) const
+{
+    auto it = slots_.find(value);
+    return it == slots_.end() ? -1 : it->second;
+}
+
+} // namespace c4cam::ir

@@ -6,9 +6,15 @@
 namespace c4cam::rt {
 
 std::shared_ptr<Buffer>
+Buffer::create()
+{
+    return std::make_shared<Buffer>(Private{});
+}
+
+std::shared_ptr<Buffer>
 Buffer::alloc(DType dtype, std::vector<std::int64_t> shape)
 {
-    auto buf = std::shared_ptr<Buffer>(new Buffer());
+    auto buf = create();
     buf->dtype_ = dtype;
     buf->shape_ = std::move(shape);
     buf->strides_.assign(buf->shape_.size(), 1);
@@ -84,7 +90,7 @@ Buffer::subview(const std::vector<std::int64_t> &offsets,
     C4CAM_ASSERT(offsets.size() == shape_.size() &&
                      sizes.size() == shape_.size(),
                  "subview rank mismatch");
-    auto view = std::shared_ptr<Buffer>(new Buffer());
+    auto view = create();
     view->dtype_ = dtype_;
     view->shape_ = sizes;
     view->strides_ = strides_;
@@ -103,10 +109,15 @@ Buffer::subview(const std::vector<std::int64_t> &offsets,
 
 namespace {
 
+/**
+ * Row-major walk over every index of @p shape. Templated on the
+ * callback so the per-element call inlines (this sits under every
+ * elementwise buffer op -- a std::function here costs an indirect
+ * call plus possible allocation per element).
+ */
+template <typename Fn>
 void
-forEachIndex(const std::vector<std::int64_t> &shape,
-             const std::function<void(const std::vector<std::int64_t> &)>
-                 &fn)
+forEachIndex(const std::vector<std::int64_t> &shape, Fn &&fn)
 {
     std::vector<std::int64_t> index(shape.size(), 0);
     while (true) {
@@ -125,6 +136,74 @@ forEachIndex(const std::vector<std::int64_t> &shape,
 }
 
 } // namespace
+
+bool
+Buffer::isContiguous() const
+{
+    // Dense row-major modulo extent-1 dims (their stride is never
+    // stepped, so it cannot break contiguity).
+    std::int64_t expected = 1;
+    for (int i = static_cast<int>(shape_.size()) - 1; i >= 0; --i) {
+        if (shape_[static_cast<std::size_t>(i)] == 1)
+            continue;
+        if (strides_[static_cast<std::size_t>(i)] != expected)
+            return false;
+        expected *= shape_[static_cast<std::size_t>(i)];
+    }
+    return true;
+}
+
+template <typename Fn>
+void
+Buffer::forEachLinear(Fn &&fn) const
+{
+    std::size_t n = static_cast<std::size_t>(numElements());
+    if (n == 0)
+        return;
+    if (isContiguous()) {
+        for (std::size_t e = 0; e < n; ++e)
+            fn(static_cast<std::size_t>(offset_) + e);
+        return;
+    }
+    std::vector<std::int64_t> index(shape_.size(), 0);
+    std::int64_t linear = offset_;
+    for (std::size_t e = 0; e < n; ++e) {
+        fn(static_cast<std::size_t>(linear));
+        for (int dim = static_cast<int>(shape_.size()) - 1; dim >= 0;
+             --dim) {
+            auto d = static_cast<std::size_t>(dim);
+            linear += strides_[d];
+            if (++index[d] < shape_[d])
+                break;
+            linear -= shape_[d] * strides_[d];
+            index[d] = 0;
+        }
+    }
+}
+
+void
+Buffer::copyFromFlat(const std::vector<double> &flat)
+{
+    C4CAM_ASSERT(flat.size() == static_cast<std::size_t>(numElements()),
+                 "copyFromFlat element count mismatch: " << flat.size()
+                 << " vs " << numElements());
+    std::size_t i = 0;
+    forEachLinear([&](std::size_t linear) {
+        (*storage_)[linear] = flat[i++];
+    });
+}
+
+void
+Buffer::addFromFlat(const std::vector<double> &flat)
+{
+    C4CAM_ASSERT(flat.size() == static_cast<std::size_t>(numElements()),
+                 "addFromFlat element count mismatch: " << flat.size()
+                 << " vs " << numElements());
+    std::size_t i = 0;
+    forEachLinear([&](std::size_t linear) {
+        (*storage_)[linear] += flat[i++];
+    });
+}
 
 void
 Buffer::copyFrom(const Buffer &src)
@@ -147,16 +226,33 @@ Buffer::fill(double value)
     });
 }
 
+void
+Buffer::readInto(std::vector<double> &out) const
+{
+    out.clear();
+    std::size_t n = static_cast<std::size_t>(numElements());
+    if (n == 0)
+        return;
+    if (isContiguous()) {
+        // Dense view: one block copy instead of an index walk.
+        auto begin = storage_->begin() +
+                     static_cast<std::ptrdiff_t>(offset_);
+        out.assign(begin, begin + static_cast<std::ptrdiff_t>(n));
+        return;
+    }
+    out.reserve(n);
+    // Strided view: odometer walk with an incrementally maintained
+    // linear index (no per-element stride recomputation).
+    forEachLinear([&](std::size_t linear) {
+        out.push_back((*storage_)[linear]);
+    });
+}
+
 std::vector<double>
 Buffer::toVector() const
 {
     std::vector<double> out;
-    out.reserve(static_cast<std::size_t>(numElements()));
-    if (numElements() == 0)
-        return out;
-    forEachIndex(shape_, [&](const std::vector<std::int64_t> &index) {
-        out.push_back(at(index));
-    });
+    readInto(out);
     return out;
 }
 
@@ -168,10 +264,13 @@ Buffer::toMatrix() const
     std::vector<std::vector<float>> out(
         static_cast<std::size_t>(shape_[0]),
         std::vector<float>(static_cast<std::size_t>(shape_[1])));
-    for (std::int64_t r = 0; r < shape_[0]; ++r)
+    for (std::int64_t r = 0; r < shape_[0]; ++r) {
+        std::int64_t row_base = offset_ + r * strides_[0];
         for (std::int64_t c = 0; c < shape_[1]; ++c)
             out[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
-                static_cast<float>(at({r, c}));
+                static_cast<float>((*storage_)[static_cast<std::size_t>(
+                    row_base + c * strides_[1])]);
+    }
     return out;
 }
 

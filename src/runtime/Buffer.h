@@ -74,8 +74,24 @@ class Buffer
     /** Fill every element with @p value. */
     void fill(double value);
 
+    /**
+     * Overwrite this view's elements (row-major order) from @p flat;
+     * sizes must match. The flat-vector counterpart of copyFrom for
+     * views whose shapes differ but element counts agree.
+     */
+    void copyFromFlat(const std::vector<double> &flat);
+
+    /** Elementwise accumulate @p flat into this view (row-major). */
+    void addFromFlat(const std::vector<double> &flat);
+
     /** Flatten this view into a dense row-major vector of doubles. */
     std::vector<double> toVector() const;
+
+    /** toVector into a caller-owned vector (capacity is reused). */
+    void readInto(std::vector<double> &out) const;
+
+    /** True when the view's elements are dense in row-major order. */
+    bool isContiguous() const;
 
     /** Rank-2 view flattened into rows of floats (for CAM writes). */
     std::vector<std::vector<float>> toMatrix() const;
@@ -84,9 +100,24 @@ class Buffer
     std::string str() const;
 
   private:
-    Buffer() = default;
+    /** make_shared access token (keeps construction factory-only). */
+    struct Private
+    {
+        explicit Private() = default;
+    };
+
+    /** One-allocation creation (object + control block fused). */
+    static std::shared_ptr<Buffer> create();
 
     std::int64_t linearIndex(const std::vector<std::int64_t> &index) const;
+
+    /** Row-major visit of every element's storage slot. */
+    template <typename Fn> void forEachLinear(Fn &&fn) const;
+
+  public:
+    explicit Buffer(Private) {}
+
+  private:
 
     DType dtype_ = DType::F32;
     std::vector<std::int64_t> shape_;

@@ -1,0 +1,282 @@
+#ifndef C4CAM_RUNTIME_EXECUTIONPLAN_H
+#define C4CAM_RUNTIME_EXECUTIONPLAN_H
+
+/**
+ * @file
+ * Compile-once execution plans: slot-based bytecode for the lowered IR.
+ *
+ * The tree-walking Interpreter re-resolves everything on every query:
+ * each op name runs through a string-compare dispatch chain, every SSA
+ * value lives in a std::map keyed by pointer, and attributes (loop
+ * bounds, cmp predicates, slice specs, search kinds) are re-parsed
+ * from the attribute maps each time they are reached. None of that
+ * work depends on the query -- so an ExecutionPlan does it once, at
+ * session/engine build time:
+ *
+ *  - every op name is resolved to an Opcode enum;
+ *  - every SSA value is numbered into a dense slot index
+ *    (ir::ValueNumbering); the runtime frame is a flat
+ *    std::vector<RtValue> instead of a map;
+ *  - constants, predicates, slice/search/topk specs are pre-decoded
+ *    into immediate fields and aux tables;
+ *  - structured control flow (scf.for / scf.parallel / scf.if,
+ *    cim.execute regions) is flattened into a branch-based
+ *    instruction stream.
+ *
+ * Per-query execution is then a tight switch-on-opcode replay loop.
+ * The plan compiles one instruction stream per execution phase
+ * (Full / SetupOnly / QueryOnly, mirroring the phase-attribute
+ * filtering of Interpreter::runTopLevel) over one shared slot
+ * numbering, so a persistent PlanFrame carries setup-phase results
+ * into the query replays exactly like the interpreter's persistent
+ * SSA environment.
+ *
+ * Replay is semantically identical to the tree walk by construction:
+ * both back ends share the host tensor kernels (runtime/HostKernels.h)
+ * and drive the CamDevice through the same call sequence, so outputs
+ * and simulated PerfReports are bit-identical (locked by
+ * tests/runtime/ExecutionPlanTest.cpp and the
+ * bench_serving_throughput --plan-vs-treewalk gate).
+ *
+ * A compiled plan holds no pointers into the IR: after compile() the
+ * module is only needed to stay alive for the tree-walk fallback, not
+ * for replay.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/Buffer.h"
+#include "runtime/Interpreter.h"
+
+namespace c4cam::ir {
+class Module;
+}
+namespace c4cam::sim {
+class CamDevice;
+}
+
+namespace c4cam::rt {
+
+/** Opcode of one plan instruction. */
+enum class Opcode : std::uint8_t {
+    // Control flow
+    Jump,          ///< pc = target
+    BranchIfFalse, ///< if slot a == 0: pc = target
+    BranchIfGe,    ///< if slot a >= slot b (ints): pc = target
+    Copy,          ///< frame[r] = frame[a]
+    CheckPosStep,  ///< throw unless frame[a] > 0 (imm: 0=for, 1=parallel)
+    BeginSeqScope, ///< device timing: open sequential scope
+    BeginParScope, ///< device timing: open parallel scope
+    EndScope,      ///< device timing: close scope
+    Return,        ///< stop; results are the slots in extra
+    Halt,          ///< stop with no results (SetupOnly truncation)
+
+    // Constants
+    ConstInt,   ///< frame[r] = imm
+    ConstFloat, ///< frame[r] = fimm
+
+    // Arith / math
+    CastToInt,   ///< frame[r] = int64(asFloat(a))
+    CastToFloat, ///< frame[r] = asFloat(a)
+    Sqrt,
+    Select, ///< frame[r] = frame[a != 0 ? b : c]
+    CmpI,   ///< imm = predicate (CmpIPred)
+    CmpF,   ///< imm = predicate (CmpFPred)
+    AddI, SubI, MulI, DivI, RemI, MinI, MaxI,
+    AddF, SubF, MulF, DivF, MinF, MaxF,
+
+    // Buffers (memref / tensor / bufferization)
+    AllocBuf, ///< aux = shape spec
+    CopyBuf,  ///< element-count-preserving copy a -> b
+    Subview,  ///< aux = slice spec
+    LoadF, LoadI, ///< extra = index slots
+    Store,        ///< a = value, b = buffer, extra = index slots
+
+    // Host tensor kernels (torch / cim)
+    Transpose2d,
+    MatmulOp,
+    SubBroadcastOp,
+    DivElem,
+    DivCosine, ///< a = QxN, b = query norms, c = stored norms
+    NormOp,    ///< imm = p
+    TopkOp,    ///< aux = topk spec
+    SimilarityOp, ///< aux = similarity spec
+    MergePartial, ///< frame[r] = a + b (fresh buffer)
+    CimAcquire,   ///< frame[r] = frame.nextCimHandle++
+
+    // Device (cam)
+    CamAllocBank,
+    CamAllocMat,
+    CamAllocArray,
+    CamAllocSubarray,
+    CamGetSubarray, ///< operands a, b, c, extra[0]
+    CamWriteValue,  ///< imm = row_offset
+    CamSearch,      ///< aux = search spec
+    CamRead,
+    CamMergePartialSub, ///< in-place acc += partial, postMerge
+};
+
+/** Integer compare predicates (pre-decoded from the "predicate" attr). */
+enum class CmpIPred : std::uint8_t { Eq, Ne, Slt, Sle, Sgt, Sge };
+/** Float compare predicates. */
+enum class CmpFPred : std::uint8_t { Olt, Ole, Ogt, Oge, Oeq };
+
+/** One replay instruction. Slot fields index the PlanFrame. */
+struct Instr
+{
+    Opcode op;
+    std::int32_t a = -1;  ///< first operand slot
+    std::int32_t b = -1;  ///< second operand slot
+    std::int32_t c = -1;  ///< third operand slot
+    std::int32_t r = -1;  ///< first result slot
+    std::int32_t r2 = -1; ///< second result slot
+    std::int32_t target = -1; ///< branch target (instruction index)
+    std::int32_t aux = -1;    ///< index into the opcode's aux table
+    std::int64_t imm = 0;     ///< integer immediate / predicate
+    double fimm = 0.0;        ///< float immediate
+    std::vector<std::int32_t> extra; ///< variadic operand/result slots
+};
+
+/**
+ * All mutable state of one plan-based execution: the dense slot frame
+ * (the counterpart of ExecutionState's SSA environment) and the
+ * cim-handle counter. Forking a post-setup frame for a device replica
+ * is a plain copy: setup-phase results are immutable once programmed,
+ * exactly like ExecutionState::forkForReplica.
+ */
+struct PlanFrame
+{
+    std::vector<RtValue> slots;
+    std::int64_t nextCimHandle = 1;
+};
+
+/**
+ * A compiled, immutable execution plan for one kernel function.
+ * Thread-safe for concurrent run() calls provided each thread passes
+ * its own PlanFrame (and its own CamDevice replica, if any).
+ */
+class ExecutionPlan
+{
+  public:
+    using ExecPhase = Interpreter::ExecPhase;
+
+    /**
+     * Compile function @p entry of @p module into a plan. Throws
+     * CompilerError (with the nearest-mnemonic diagnostic) when the
+     * function contains an op outside the executable vocabulary.
+     */
+    static std::shared_ptr<const ExecutionPlan>
+    compile(const ir::Module &module, const std::string &entry);
+
+    /** A fresh frame sized for this plan's slot count. */
+    PlanFrame makeFrame() const;
+
+    /**
+     * Replay phase @p phase with @p args (one RtValue per function
+     * parameter) on @p frame. @p device backs cam ops and timing
+     * scopes; may be nullptr for host-only IR. @return the operands of
+     * func.return (empty for SetupOnly). The frame persists across
+     * calls, which is what makes Setup-then-repeated-Query replay
+     * work. @p executed_ops, when non-null, receives the number of
+     * instructions the replay actually executed (loop iterations
+     * included) -- the denominator of the dispatch microbench.
+     */
+    std::vector<RtValue> run(PlanFrame &frame, sim::CamDevice *device,
+                             const std::vector<RtValue> &args,
+                             ExecPhase phase = ExecPhase::Full,
+                             std::uint64_t *executed_ops = nullptr) const;
+
+    /** Whether the function carried cam-map phase annotations. */
+    bool hasPhaseMarkers() const { return phased_; }
+
+    /** Frame size (number of dense value slots, incl. loop temps). */
+    std::int32_t numSlots() const { return numSlots_; }
+
+    /** Instruction count of one phase's program (introspection). */
+    std::size_t numInstructions(ExecPhase phase) const
+    {
+        return program(phase).size();
+    }
+
+    /** Name of the compiled function. */
+    const std::string &entry() const { return entry_; }
+
+  private:
+    friend class PlanBuilder;
+
+    /// @name Aux tables (indexed by Instr::aux)
+    /// @{
+    struct ShapeSpec
+    {
+        DType dtype;
+        std::vector<std::int64_t> shape;
+    };
+
+    /** One offset/size entry: dynamic when slot >= 0, else imm. */
+    struct SliceDim
+    {
+        std::int64_t imm = 0;
+        std::int32_t slot = -1;
+    };
+    struct SliceSpec
+    {
+        std::vector<SliceDim> offsets;
+        std::vector<SliceDim> sizes;
+    };
+
+    struct TopkSpec
+    {
+        std::int64_t k = 1;        ///< used when kSlot < 0
+        std::int32_t kSlot = -1;   ///< dynamic k operand
+        bool largest = false;
+        bool postMergeCost = false; ///< cim.topk posts merge cost
+    };
+
+    enum class SimMetric : std::uint8_t { Dot, Eucl, Cos };
+    struct SimilaritySpec
+    {
+        SimMetric metric = SimMetric::Dot;
+        bool partial = false;
+        std::int64_t k = 1;
+        std::int32_t kSlot = -1;
+    };
+
+    struct SearchSpec
+    {
+        int kind = 0; ///< arch::SearchKind as int
+        bool euclidean = false;
+        bool selective = false;
+        double threshold = 0.0;
+        int rowBegin = -1;
+        int rowEnd = -1;
+        std::int32_t rowBeginSlot = -1;
+        std::int32_t rowEndSlot = -1;
+    };
+    /// @}
+
+    const std::vector<Instr> &program(ExecPhase phase) const;
+
+    std::string entry_;
+    bool phased_ = false;
+    std::int32_t numSlots_ = 0;
+    std::size_t numArgs_ = 0;
+    /** Slots of the function's entry-block arguments. */
+    std::vector<std::int32_t> argSlots_;
+
+    std::vector<Instr> full_;
+    std::vector<Instr> setup_;
+    std::vector<Instr> query_;
+
+    std::vector<ShapeSpec> shapes_;
+    std::vector<SliceSpec> slices_;
+    std::vector<TopkSpec> topks_;
+    std::vector<SimilaritySpec> sims_;
+    std::vector<SearchSpec> searches_;
+};
+
+} // namespace c4cam::rt
+
+#endif // C4CAM_RUNTIME_EXECUTIONPLAN_H

@@ -8,6 +8,8 @@
 #include "dialects/cam/CamDialect.h"
 #include "dialects/cim/CimDialect.h"
 #include "dialects/torch/TorchDialect.h"
+#include "runtime/HostKernels.h"
+#include "runtime/OpSupport.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -46,156 +48,17 @@ ExecutionState::forkForReplica(sim::CamDevice *device) const
 }
 
 //
-// Host tensor kernels shared by torch and cim handlers. Pure functions
-// of their inputs: safe to call from any thread.
+// Host tensor kernels live in runtime/HostKernels.h, shared with the
+// execution-plan replay engine so the two back ends cannot drift.
 //
 
+using host::matmul;
+using host::normLastDim;
+using host::subBroadcast;
+using host::topk;
+using host::transpose2d;
+
 namespace {
-
-BufferPtr
-transpose2d(const BufferPtr &in)
-{
-    C4CAM_CHECK(in->rank() == 2, "transpose requires a rank-2 tensor");
-    auto out = Buffer::alloc(in->dtype(), {in->shape()[1], in->shape()[0]});
-    for (std::int64_t i = 0; i < in->shape()[0]; ++i)
-        for (std::int64_t j = 0; j < in->shape()[1]; ++j)
-            out->set({j, i}, in->at({i, j}));
-    return out;
-}
-
-BufferPtr
-matmul(const BufferPtr &a, const BufferPtr &b)
-{
-    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2,
-                "matmul requires rank-2 tensors");
-    C4CAM_CHECK(a->shape()[1] == b->shape()[0],
-                "matmul inner dims mismatch: " << a->shape()[1] << " vs "
-                << b->shape()[0]);
-    auto out = Buffer::alloc(DType::F32, {a->shape()[0], b->shape()[1]});
-    for (std::int64_t i = 0; i < a->shape()[0]; ++i) {
-        for (std::int64_t j = 0; j < b->shape()[1]; ++j) {
-            double acc = 0.0;
-            for (std::int64_t k = 0; k < a->shape()[1]; ++k)
-                acc += a->at({i, k}) * b->at({k, j});
-            out->set({i, j}, acc);
-        }
-    }
-    return out;
-}
-
-BufferPtr
-subBroadcast(const BufferPtr &a, const BufferPtr &b)
-{
-    if (a->shape() == b->shape()) {
-        auto out = Buffer::alloc(DType::F32, a->shape());
-        std::vector<double> av = a->toVector();
-        std::vector<double> bv = b->toVector();
-        std::vector<std::int64_t> index(a->rank(), 0);
-        for (std::int64_t i = 0; i < a->numElements(); ++i) {
-            // Row-major iteration matches toVector order.
-            std::int64_t rem = i;
-            for (int d = static_cast<int>(a->rank()) - 1; d >= 0; --d) {
-                index[static_cast<std::size_t>(d)] =
-                    rem % a->shape()[static_cast<std::size_t>(d)];
-                rem /= a->shape()[static_cast<std::size_t>(d)];
-            }
-            out->set(index, av[static_cast<std::size_t>(i)] -
-                                bv[static_cast<std::size_t>(i)]);
-        }
-        return out;
-    }
-    // KNN broadcast: (QxD) - (NxD) -> QxNxD.
-    C4CAM_CHECK(a->rank() == 2 && b->rank() == 2 &&
-                    a->shape()[1] == b->shape()[1],
-                "sub broadcast requires QxD and NxD operands");
-    std::int64_t q_count = a->shape()[0];
-    std::int64_t n_count = b->shape()[0];
-    std::int64_t depth = a->shape()[1];
-    auto out = Buffer::alloc(DType::F32, {q_count, n_count, depth});
-    for (std::int64_t q = 0; q < q_count; ++q)
-        for (std::int64_t n = 0; n < n_count; ++n)
-            for (std::int64_t d = 0; d < depth; ++d)
-                out->set({q, n, d}, a->at({q, d}) - b->at({n, d}));
-    return out;
-}
-
-BufferPtr
-normLastDim(const BufferPtr &in, int p)
-{
-    C4CAM_CHECK(in->rank() >= 1, "norm requires rank >= 1");
-    std::vector<std::int64_t> out_shape(in->shape().begin(),
-                                        in->shape().end() - 1);
-    if (out_shape.empty())
-        out_shape.push_back(1);
-    auto out = Buffer::alloc(DType::F32, out_shape);
-    std::int64_t inner = in->shape().back();
-    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
-    std::vector<double> flat = in->toVector();
-    std::vector<std::int64_t> index(out->rank(), 0);
-    for (std::int64_t o = 0; o < outer; ++o) {
-        double acc = 0.0;
-        for (std::int64_t i = 0; i < inner; ++i) {
-            double v = flat[static_cast<std::size_t>(o * inner + i)];
-            acc += p == 1 ? std::abs(v) : v * v;
-        }
-        double result = p == 1 ? acc : std::sqrt(acc);
-        std::int64_t rem = o;
-        for (int d = static_cast<int>(out->rank()) - 1; d >= 0; --d) {
-            index[static_cast<std::size_t>(d)] =
-                rem % out->shape()[static_cast<std::size_t>(d)];
-            rem /= out->shape()[static_cast<std::size_t>(d)];
-        }
-        out->set(index, result);
-    }
-    return out;
-}
-
-/** Top-k along the last dim. @return {values, indices}. */
-std::pair<BufferPtr, BufferPtr>
-topk(const BufferPtr &in, std::int64_t k, bool largest)
-{
-    C4CAM_CHECK(k >= 1, "topk requires k >= 1");
-    std::int64_t inner = in->rank() >= 1 ? in->shape().back() : 1;
-    C4CAM_CHECK(k <= inner, "topk k=" << k << " exceeds dimension size "
-                << inner);
-    std::int64_t outer = in->numElements() / std::max<std::int64_t>(inner, 1);
-
-    std::vector<std::int64_t> out_shape(in->shape().begin(),
-                                        in->shape().end() - 1);
-    out_shape.push_back(k);
-    auto values = Buffer::alloc(DType::F32, out_shape);
-    auto indices = Buffer::alloc(DType::I64, out_shape);
-
-    std::vector<double> flat = in->toVector();
-    std::vector<std::int64_t> order(static_cast<std::size_t>(inner));
-    std::vector<std::int64_t> index(out_shape.size(), 0);
-    for (std::int64_t o = 0; o < outer; ++o) {
-        std::iota(order.begin(), order.end(), 0);
-        std::stable_sort(order.begin(), order.end(),
-                         [&](std::int64_t a, std::int64_t b) {
-                             double va = flat[static_cast<std::size_t>(
-                                 o * inner + a)];
-                             double vb = flat[static_cast<std::size_t>(
-                                 o * inner + b)];
-                             return largest ? va > vb : va < vb;
-                         });
-        for (std::int64_t j = 0; j < k; ++j) {
-            std::int64_t rem = o;
-            for (int d = static_cast<int>(out_shape.size()) - 2; d >= 0;
-                 --d) {
-                index[static_cast<std::size_t>(d)] =
-                    rem % out_shape[static_cast<std::size_t>(d)];
-                rem /= out_shape[static_cast<std::size_t>(d)];
-            }
-            index.back() = j;
-            values->set(index, flat[static_cast<std::size_t>(
-                                   o * inner + order[static_cast<
-                                       std::size_t>(j)])]);
-            indices->setInt(index, order[static_cast<std::size_t>(j)]);
-        }
-    }
-    return {values, indices};
-}
 
 /**
  * One in-flight execution: borrows the (shared, read-only) module and
@@ -309,8 +172,7 @@ Executor::runOp(Operation *op)
     } else if (dialect == "cam") {
         runCam(op);
     } else {
-        C4CAM_USER_ERROR("interpreter: unsupported op '" << op->name()
-                         << "'");
+        throwUnknownOp("interpreter", op);
     }
 }
 
@@ -438,7 +300,7 @@ Executor::runArith(Operation *op)
         return fbin([](auto a, auto b) { return std::min(a, b); });
     if (name == "arith.maximumf")
         return fbin([](auto a, auto b) { return std::max(a, b); });
-    C4CAM_USER_ERROR("interpreter: unsupported arith op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 //
@@ -504,7 +366,7 @@ Executor::runScf(Operation *op)
             runBlock(op->region(0).front());
         return;
     }
-    C4CAM_USER_ERROR("interpreter: unsupported scf op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 //
@@ -552,28 +414,10 @@ Executor::runMemRef(Operation *op)
         return; // storage is reference-counted
     }
     if (name == "memref.copy") {
-        BufferPtr src = get(op->operand(0)).asBuffer();
-        BufferPtr dst = get(op->operand(1)).asBuffer();
-        C4CAM_CHECK(src->numElements() == dst->numElements(),
-                    "memref.copy size mismatch: " << src->numElements()
-                    << " vs " << dst->numElements());
         // Element-count preserving copy; shapes may differ (e.g. 1xN
         // row views vs N vectors).
-        std::vector<double> flat = src->toVector();
-        std::size_t i = 0;
-        std::vector<std::int64_t> index(dst->rank(), 0);
-        std::function<void(std::size_t)> walk = [&](std::size_t dim) {
-            if (dim == dst->rank()) {
-                dst->set(index, flat[i++]);
-                return;
-            }
-            for (std::int64_t d = 0; d < dst->shape()[dim]; ++d) {
-                index[dim] = d;
-                walk(dim + 1);
-            }
-        };
-        if (dst->numElements() > 0)
-            walk(0);
+        host::copyInto(get(op->operand(0)).asBuffer(),
+                       get(op->operand(1)).asBuffer(), "memref.copy");
         return;
     }
     if (name == "memref.subview") {
@@ -604,7 +448,7 @@ Executor::runMemRef(Operation *op)
         dst->set(index, value.asFloat());
         return;
     }
-    C4CAM_USER_ERROR("interpreter: unsupported memref op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 //
@@ -633,7 +477,7 @@ Executor::runTensorOp(Operation *op)
         set(op->result(0), get(op->operand(0)));
         return;
     }
-    C4CAM_USER_ERROR("interpreter: unsupported tensor op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 //
@@ -661,25 +505,9 @@ Executor::runTorch(Operation *op)
         return;
     }
     if (name == torchd::kDiv) {
-        BufferPtr a = get(op->operand(0)).asBuffer();
-        BufferPtr b = get(op->operand(1)).asBuffer();
-        C4CAM_CHECK(a->numElements() == b->numElements(),
-                    "torch.aten.div shape mismatch");
-        auto out = Buffer::alloc(DType::F32, a->shape());
-        std::vector<double> av = a->toVector();
-        std::vector<double> bv = b->toVector();
-        std::vector<std::int64_t> index(a->rank(), 0);
-        for (std::int64_t i = 0; i < a->numElements(); ++i) {
-            std::int64_t rem = i;
-            for (int d = static_cast<int>(a->rank()) - 1; d >= 0; --d) {
-                index[static_cast<std::size_t>(d)] =
-                    rem % a->shape()[static_cast<std::size_t>(d)];
-                rem /= a->shape()[static_cast<std::size_t>(d)];
-            }
-            out->set(index, av[static_cast<std::size_t>(i)] /
-                                bv[static_cast<std::size_t>(i)]);
-        }
-        set(op->result(0), RtValue(out));
+        set(op->result(0),
+            RtValue(host::elementwiseDiv(get(op->operand(0)).asBuffer(),
+                                         get(op->operand(1)).asBuffer())));
         return;
     }
     if (name == torchd::kNorm) {
@@ -696,7 +524,7 @@ Executor::runTorch(Operation *op)
         set(op->result(1), RtValue(indices));
         return;
     }
-    C4CAM_USER_ERROR("interpreter: unsupported torch op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 //
@@ -749,38 +577,14 @@ Executor::runCim(Operation *op)
         // 2-operand: elementwise; 3-operand (cosine): m / (qn x sn).
         BufferPtr m = get(op->operand(0)).asBuffer();
         if (op->numOperands() == 2) {
-            BufferPtr b = get(op->operand(1)).asBuffer();
-            auto out = Buffer::alloc(DType::F32, m->shape());
-            std::vector<double> av = m->toVector();
-            std::vector<double> bv = b->toVector();
-            C4CAM_CHECK(av.size() == bv.size(), "cim.div shape mismatch");
-            std::vector<std::int64_t> index(m->rank(), 0);
-            for (std::int64_t i = 0; i < m->numElements(); ++i) {
-                std::int64_t rem = i;
-                for (int d = static_cast<int>(m->rank()) - 1; d >= 0; --d) {
-                    index[static_cast<std::size_t>(d)] =
-                        rem % m->shape()[static_cast<std::size_t>(d)];
-                    rem /= m->shape()[static_cast<std::size_t>(d)];
-                }
-                out->set(index, av[static_cast<std::size_t>(i)] /
-                                    bv[static_cast<std::size_t>(i)]);
-            }
-            set(op->result(0), RtValue(out));
+            set(op->result(0),
+                RtValue(host::elementwiseDiv(
+                    m, get(op->operand(1)).asBuffer())));
             return;
         }
-        BufferPtr qn = get(op->operand(1)).asBuffer();
-        BufferPtr sn = get(op->operand(2)).asBuffer();
-        C4CAM_CHECK(m->rank() == 2, "cim.div cosine form requires QxN");
-        auto out = Buffer::alloc(DType::F32, m->shape());
-        std::vector<double> qv = qn->toVector();
-        std::vector<double> sv = sn->toVector();
-        for (std::int64_t q = 0; q < m->shape()[0]; ++q)
-            for (std::int64_t n = 0; n < m->shape()[1]; ++n)
-                out->set({q, n},
-                         m->at({q, n}) /
-                             (qv[static_cast<std::size_t>(q)] *
-                              sv[static_cast<std::size_t>(n)] + 1e-12));
-        set(op->result(0), RtValue(out));
+        set(op->result(0),
+            RtValue(host::cosineDiv(m, get(op->operand(1)).asBuffer(),
+                                    get(op->operand(2)).asBuffer())));
         return;
     }
     if (name == cimd::kTopk) {
@@ -846,28 +650,12 @@ Executor::runCim(Operation *op)
     }
     if (name == cimd::kMergePartial) {
         // (handle, acc, partial) -> acc + partial, elementwise.
-        BufferPtr acc = get(op->operand(1)).asBuffer();
-        BufferPtr partial = get(op->operand(2)).asBuffer();
-        C4CAM_CHECK(acc->numElements() == partial->numElements(),
-                    "cim.merge_partial size mismatch");
-        auto out = Buffer::alloc(DType::F32, acc->shape());
-        std::vector<double> av = acc->toVector();
-        std::vector<double> pv = partial->toVector();
-        std::vector<std::int64_t> index(out->rank(), 0);
-        for (std::int64_t i = 0; i < out->numElements(); ++i) {
-            std::int64_t rem = i;
-            for (int d = static_cast<int>(out->rank()) - 1; d >= 0; --d) {
-                index[static_cast<std::size_t>(d)] =
-                    rem % out->shape()[static_cast<std::size_t>(d)];
-                rem /= out->shape()[static_cast<std::size_t>(d)];
-            }
-            out->set(index, av[static_cast<std::size_t>(i)] +
-                                pv[static_cast<std::size_t>(i)]);
-        }
-        set(op->result(0), RtValue(out));
+        set(op->result(0),
+            RtValue(host::elementwiseAdd(get(op->operand(1)).asBuffer(),
+                                         get(op->operand(2)).asBuffer())));
         return;
     }
-    C4CAM_USER_ERROR("interpreter: unsupported cim op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 //
@@ -962,31 +750,13 @@ Executor::runCam(Operation *op)
     if (name == camd::kMergePartialSubarray) {
         // (sub, acc, partial): acc += partial, flattened elementwise.
         BufferPtr acc = get(op->operand(1)).asBuffer();
-        BufferPtr partial = get(op->operand(2)).asBuffer();
-        C4CAM_CHECK(acc->numElements() == partial->numElements(),
-                    "cam.merge_partial_subarray size mismatch: "
-                    << acc->numElements() << " vs "
-                    << partial->numElements());
-        std::vector<double> pv = partial->toVector();
-        std::size_t i = 0;
-        std::vector<std::int64_t> index(acc->rank(), 0);
-        std::function<void(std::size_t)> walk = [&](std::size_t dim) {
-            if (dim == acc->rank()) {
-                acc->set(index, acc->at(index) + pv[i++]);
-                return;
-            }
-            for (std::int64_t d = 0; d < acc->shape()[dim]; ++d) {
-                index[dim] = d;
-                walk(dim + 1);
-            }
-        };
-        if (acc->numElements() > 0)
-            walk(0);
+        host::addInto(acc, get(op->operand(2)).asBuffer(),
+                      "cam.merge_partial_subarray");
         device()->postMerge(static_cast<int>(acc->numElements()));
         set(op->result(0), get(op->operand(1)));
         return;
     }
-    C4CAM_USER_ERROR("interpreter: unsupported cam op '" << name << "'");
+    throwUnknownOp("interpreter", op);
 }
 
 } // namespace

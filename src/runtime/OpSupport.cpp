@@ -1,0 +1,107 @@
+#include "runtime/OpSupport.h"
+
+#include <algorithm>
+
+#include "dialects/cam/CamDialect.h"
+#include "dialects/cim/CimDialect.h"
+#include "dialects/torch/TorchDialect.h"
+#include "ir/IR.h"
+#include "support/Error.h"
+
+namespace c4cam::rt {
+
+namespace camd = c4cam::dialects::cam;
+namespace cimd = c4cam::dialects::cim;
+namespace torchd = c4cam::dialects::torch;
+
+const std::vector<std::string> &
+knownOpMnemonics()
+{
+    static const std::vector<std::string> known = {
+        "arith.constant", "arith.index_cast", "arith.fptosi",
+        "arith.sitofp", "arith.select", "arith.cmpi", "arith.cmpf",
+        "arith.addi", "arith.subi", "arith.muli", "arith.divsi",
+        "arith.remsi", "arith.minsi", "arith.maxsi", "arith.addf",
+        "arith.subf", "arith.mulf", "arith.divf", "arith.minimumf",
+        "arith.maximumf", "math.sqrt",
+        "scf.for", "scf.parallel", "scf.if", "scf.yield",
+        "memref.alloc", "memref.dealloc", "memref.copy",
+        "memref.subview", "memref.load", "memref.store",
+        "tensor.extract_slice", "tensor.empty",
+        "bufferization.to_memref", "bufferization.to_tensor",
+        "func.return",
+        torchd::kTranspose, torchd::kMm, torchd::kMatmul, torchd::kSub,
+        torchd::kDiv, torchd::kNorm, torchd::kTopk,
+        cimd::kAcquire, cimd::kRelease, cimd::kExecute, cimd::kYield,
+        cimd::kTranspose, cimd::kMatmul, cimd::kSub, cimd::kNorm,
+        cimd::kDiv, cimd::kTopk, cimd::kSimilarity, cimd::kMergePartial,
+        camd::kAllocBank, camd::kAllocMat, camd::kAllocArray,
+        camd::kAllocSubarray, camd::kGetSubarray, camd::kWriteValue,
+        camd::kSearch, camd::kRead, camd::kMergePartialSubarray,
+    };
+    return known;
+}
+
+namespace {
+
+/** Classic Levenshtein distance (both strings are short mnemonics). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> curr(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[b.size()];
+}
+
+/** sym_name of the func.func enclosing @p op, or empty. */
+std::string
+enclosingFunctionName(ir::Operation *op)
+{
+    for (ir::Operation *parent = op; parent; parent = parent->parentOp())
+        if (parent->name() == ir::kFuncOpName)
+            return parent->strAttrOr("sym_name", "");
+    return "";
+}
+
+} // namespace
+
+std::string
+nearestKnownMnemonic(const std::string &name)
+{
+    std::string best;
+    std::size_t best_dist = name.size() / 2 + 1;
+    for (const std::string &candidate : knownOpMnemonics()) {
+        std::size_t dist = editDistance(name, candidate);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+void
+throwUnknownOp(const char *backend, ir::Operation *op)
+{
+    std::ostringstream oss;
+    oss << backend << ": unsupported op '" << op->name() << "'";
+    std::string func = enclosingFunctionName(op);
+    if (!func.empty())
+        oss << " in function '" << func << "'";
+    std::string nearest = nearestKnownMnemonic(op->name());
+    if (!nearest.empty())
+        oss << "; did you mean '" << nearest << "'?";
+    C4CAM_USER_ERROR(oss.str());
+}
+
+} // namespace c4cam::rt

@@ -32,6 +32,9 @@ CamDevice::cloneProgrammed() const
                 "cloneProgrammed while " << timing_.depth()
                 << " timing scopes are open (clone between queries, "
                 "not mid-execution)");
+    C4CAM_CHECK(!fusedActive_,
+                "cloneProgrammed while a fused multi-query window is "
+                "open (finish the fused batch first)");
     return std::unique_ptr<CamDevice>(new CamDevice(*this));
 }
 
@@ -298,12 +301,74 @@ CamDevice::postQueryTransfer(std::int64_t elements)
 void
 CamDevice::beginQueryWindow()
 {
+    // Inside a fused window, the previous query's finished window is
+    // folded into the fused totals before being replaced.
+    if (fusedActive_ && windowsSinceFused_ > 0)
+        foldWindowIntoFused();
     timing_.beginQueryWindow();
     // Replace the whole per-window object. This also drops last-search
     // results: a read-before-search in the new window must be
     // diagnosed exactly like on a fresh device, not silently served
     // stale data from the previous query.
     window_ = WindowState{};
+    if (fusedActive_)
+        ++windowsSinceFused_;
+}
+
+void
+CamDevice::foldWindowIntoFused()
+{
+    const Cost &query = timing_.queryCost();
+    fused_.total.latencyNs += query.latencyNs;
+    fused_.total.energyPj += query.energyPj;
+    fused_.cellEnergyPj += window_.cellEnergy;
+    fused_.senseEnergyPj += window_.senseEnergy;
+    fused_.driveEnergyPj += window_.driveEnergy;
+    fused_.mergeEnergyPj += window_.mergeEnergy;
+    fused_.searches += window_.searches;
+    ++fused_.queriesFolded;
+}
+
+void
+CamDevice::beginFusedWindow(int k)
+{
+    C4CAM_CHECK(k >= 1, "fused window needs k >= 1 queries, got " << k);
+    C4CAM_CHECK(!fusedActive_,
+                "beginFusedWindow while another fused window is open "
+                "(fused windows do not nest)");
+    C4CAM_CHECK(timing_.depth() == 0,
+                "beginFusedWindow while " << timing_.depth()
+                << " timing scopes are open");
+    fused_ = FusedWindow{};
+    fused_.k = k;
+    fusedActive_ = true;
+    windowsSinceFused_ = 0;
+}
+
+void
+CamDevice::abortFusedWindow()
+{
+    fusedActive_ = false;
+    windowsSinceFused_ = 0;
+    fused_ = FusedWindow{};
+}
+
+FusedWindow
+CamDevice::endFusedWindow()
+{
+    C4CAM_CHECK(fusedActive_,
+                "endFusedWindow without an open fused window");
+    C4CAM_CHECK(timing_.depth() == 0,
+                "endFusedWindow while " << timing_.depth()
+                << " timing scopes are open");
+    if (windowsSinceFused_ > 0)
+        foldWindowIntoFused();
+    C4CAM_CHECK(fused_.queriesFolded == fused_.k,
+                "fused window declared " << fused_.k
+                << " queries but served " << fused_.queriesFolded);
+    fusedActive_ = false;
+    windowsSinceFused_ = 0;
+    return fused_;
 }
 
 PerfReport

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/ArchSpec.h"
@@ -123,6 +124,39 @@ class CamDevice
      */
     void beginQueryWindow();
 
+    /// @name Fused multi-query windows
+    /// @{
+    /**
+     * Open a fused accounting window for @p k queries: the caller
+     * drives the K query vectors through the programmed device as one
+     * pass -- each query still in its own query window (so per-query
+     * reports stay bit-identical to serial serving) -- and the device
+     * folds every finished window into one FusedWindow. The fused
+     * totals are exactly the sum of the K serial windows; what the
+     * fused pass amortizes is the per-query *attribution* (drive
+     * energy and setup shares, see FusedWindow / PerfReport::fused*).
+     * Fused windows do not nest, and the device cannot be cloned
+     * while one is open.
+     */
+    void beginFusedWindow(int k);
+
+    /**
+     * Close the fused window after exactly k queries were served and
+     * return its accounting.
+     */
+    FusedWindow endFusedWindow();
+
+    bool fusedWindowActive() const { return fusedActive_; }
+
+    /**
+     * Discard an open fused window without the served-count check
+     * (error-path cleanup: a query failed mid-batch and the partial
+     * fused accounting is meaningless). Per-query windows and all
+     * setup state are unaffected.
+     */
+    void abortFusedWindow();
+    /// @}
+
     /** Snapshot of all counters and accumulated costs. */
     PerfReport report() const;
 
@@ -184,11 +218,16 @@ class CamDevice
         double senseEnergy = 0.0;
         double driveEnergy = 0.0;
         double mergeEnergy = 0.0;
-        std::map<Handle, SearchResult> lastResult;
+        /** Hash map: one insert per search is on the serving hot
+         *  path, and nothing iterates this container in key order. */
+        std::unordered_map<Handle, SearchResult> lastResult;
     };
 
     /** Deep copy for cloneProgrammed(). */
     CamDevice(const CamDevice &other);
+
+    /** Fold the finished query window into the open fused window. */
+    void foldWindowIntoFused();
 
     static const char *kindName(HandleKind kind);
     Handle newHandle(HandleInfo info);
@@ -207,6 +246,14 @@ class CamDevice
     std::int64_t writes_ = 0;
 
     WindowState window_;
+
+    /// @name Fused multi-query window state
+    /// @{
+    bool fusedActive_ = false;
+    /** Query windows opened since the fused window began. */
+    std::int64_t windowsSinceFused_ = 0;
+    FusedWindow fused_;
+    /// @}
 };
 
 } // namespace c4cam::sim

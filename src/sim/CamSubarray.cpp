@@ -84,13 +84,22 @@ CamSubarray::search(const std::vector<float> &query, arch::SearchKind kind,
                 "query wider than subarray: " << query.size() << " > "
                 << cols_);
 
+    // The quantized query is broadcast to every row; hoist the
+    // per-element rounding/clamping out of the row loop.
+    std::vector<float> quantized(query.size());
+    for (std::size_t c = 0; c < query.size(); ++c)
+        quantized[c] = quantize(query[c]);
+
     SearchResult result;
+    result.values.reserve(static_cast<std::size_t>(row_end - row_begin));
+    result.indices.reserve(static_cast<std::size_t>(row_end - row_begin));
     double best = std::numeric_limits<double>::infinity();
     for (int r = row_begin; r < row_end; ++r) {
         double dist = 0.0;
+        const std::vector<CamCell> &row = cells_[static_cast<std::size_t>(r)];
         for (std::size_t c = 0; c < query.size(); ++c) {
-            const CamCell &cell = cells_[r][c];
-            float q = quantize(query[c]);
+            const CamCell &cell = row[c];
+            float q = quantized[c];
             if (euclidean) {
                 double d = cell.distanceTo(q);
                 dist += d * d;

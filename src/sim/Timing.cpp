@@ -95,6 +95,35 @@ TimingEngine::beginQueryWindow()
 }
 
 void
+FusedWindow::addQueryReport(const PerfReport &query)
+{
+    total.latencyNs += query.queryLatencyNs;
+    total.energyPj += query.queryEnergyPj;
+    cellEnergyPj += query.cellEnergyPj;
+    senseEnergyPj += query.senseEnergyPj;
+    driveEnergyPj += query.driveEnergyPj;
+    mergeEnergyPj += query.mergeEnergyPj;
+    searches += query.searches;
+    ++queriesFolded;
+}
+
+PerfReport
+FusedWindow::toReport(const PerfReport &setup) const
+{
+    PerfReport report = setup;
+    report.queryLatencyNs = total.latencyNs;
+    report.queryEnergyPj = total.energyPj;
+    report.cellEnergyPj = cellEnergyPj;
+    report.senseEnergyPj = senseEnergyPj;
+    report.driveEnergyPj = driveEnergyPj;
+    report.mergeEnergyPj = mergeEnergyPj;
+    report.searches = searches;
+    report.queriesServed = k;
+    report.fusedBatchK = k;
+    return report;
+}
+
+void
 PerfReport::addQueryWindow(const PerfReport &query)
 {
     queryLatencyNs += query.queryLatencyNs;
@@ -163,6 +192,16 @@ PerfReport::toJson() const
     obj.set("subarrays_allocated", JsonValue(double(subarraysAllocated)));
     obj.set("banks_used", JsonValue(double(banksUsed)));
     obj.set("queries_served", JsonValue(double(queriesServed)));
+    obj.set("fused_batch_k", JsonValue(double(fusedBatchK)));
+    // Attribution shares only exist for fused reports; emitting the
+    // undivided totals under a per-query name would mislead consumers
+    // of the archived bench JSON.
+    if (fusedBatchK > 0) {
+        obj.set("fused_drive_energy_per_query_pj",
+                finiteNumber(fusedDriveEnergyPerQueryPj()));
+        obj.set("fused_setup_energy_per_query_pj",
+                finiteNumber(fusedSetupEnergyPerQueryPj()));
+    }
     obj.set("avg_power_mw", finiteNumber(avgPowerMw()));
     obj.set("avg_query_latency_ns", finiteNumber(avgQueryLatencyNs()));
     obj.set("avg_query_energy_pj", finiteNumber(avgQueryEnergyPj()));

@@ -44,6 +44,68 @@ struct QueryWindow
 };
 
 /**
+ * Accounting of one fused multi-query window: K query vectors driven
+ * through one programmed device pass per search. The device folds
+ * each of the K per-query windows into this object, so the fused
+ * totals are by construction exactly the sum of the serial windows
+ * (the invariant the fused-batch tests lock); what fusion buys is the
+ * amortized per-query attribution -- the data-line drive energy and
+ * the one-time setup are charged once for the batch and attributed as
+ * 1/K shares to each query.
+ */
+struct FusedWindow
+{
+    std::int64_t k = 0;             ///< declared batch width
+    std::int64_t queriesFolded = 0; ///< query windows folded so far
+    Cost total;                     ///< sum over the K query windows
+
+    /// @name Query-energy breakdown summed over the batch
+    /// @{
+    double cellEnergyPj = 0.0;
+    double senseEnergyPj = 0.0;
+    double driveEnergyPj = 0.0;
+    double mergeEnergyPj = 0.0;
+    /// @}
+
+    std::int64_t searches = 0;
+
+    /// @name Amortized per-query attribution (guarded against k == 0)
+    /// @{
+    double
+    latencyPerQueryNs() const
+    {
+        return k > 0 ? total.latencyNs / double(k) : 0.0;
+    }
+    double
+    energyPerQueryPj() const
+    {
+        return k > 0 ? total.energyPj / double(k) : 0.0;
+    }
+    /** Drive energy attributed to one query of the fused pass. */
+    double
+    driveEnergyPerQueryPj() const
+    {
+        return k > 0 ? driveEnergyPj / double(k) : 0.0;
+    }
+    /// @}
+
+    /**
+     * Fold one served query's report into the fused totals (the
+     * PerfReport-sourced counterpart of the device's window fold; the
+     * host-only fallback uses it to synthesize fused accounting).
+     * Does not advance queriesFolded bookkeeping by more than one.
+     */
+    void addQueryReport(const struct PerfReport &query);
+
+    /**
+     * Render as a PerfReport: query fields from the fused totals on
+     * top of @p setup's one-time fields, with queriesServed and
+     * fusedBatchK set to k.
+     */
+    struct PerfReport toReport(const struct PerfReport &setup) const;
+};
+
+/**
  * Stack of parallel/sequential scopes with two accounting phases:
  * Setup (one-time data writes) and Query (search traffic).
  *
@@ -151,6 +213,16 @@ struct PerfReport
      */
     std::int64_t queriesServed = 0;
 
+    /**
+     * Fused-batch width: > 0 when the query-phase figures describe one
+     * fused multi-query device pass of this many query vectors
+     * (CamDevice::beginFusedWindow). The totals still equal the sum of
+     * the per-query windows; the fused* accessors attribute the
+     * amortizable components (drive energy, one-time setup) as 1/K
+     * shares per query. 0 for ordinary per-query reports.
+     */
+    std::int64_t fusedBatchK = 0;
+
     /** Average query-phase power; pJ/ns is numerically mW. */
     double
     avgPowerMw() const
@@ -194,6 +266,27 @@ struct PerfReport
                    ? (setupEnergyPj + queryEnergyPj) /
                          double(queriesServed)
                    : 0.0;
+    }
+    /// @}
+
+    /// @name Fused-batch attribution (zero unless fusedBatchK > 0 --
+    /// a non-fused report has no fused share to attribute, and
+    /// returning the undivided total here would mislabel it)
+    /// @{
+    /** Drive energy attributed to one query of a fused pass. */
+    double
+    fusedDriveEnergyPerQueryPj() const
+    {
+        return fusedBatchK > 0 ? driveEnergyPj / double(fusedBatchK)
+                               : 0.0;
+    }
+
+    /** Setup energy attributed to one query of a fused pass. */
+    double
+    fusedSetupEnergyPerQueryPj() const
+    {
+        return fusedBatchK > 0 ? setupEnergyPj / double(fusedBatchK)
+                               : 0.0;
     }
     /// @}
 

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Fused multi-query batching invariants.
+ *
+ * The fused window's totals must equal the sum of the per-query
+ * windows exactly (fusion changes the attribution, never the physics),
+ * per-query results must stay bit-identical to serial serving, and
+ * the amortized attribution must divide the shared components by K.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "core/ExecutionSession.h"
+#include "core/ServingEngine.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+std::vector<std::vector<float>>
+randomRows(std::int64_t n, std::int64_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> rows(
+        static_cast<std::size_t>(n),
+        std::vector<float>(static_cast<std::size_t>(d)));
+    for (auto &row : rows)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+    return rows;
+}
+
+core::CompiledKernel
+compileDotKernel(std::int64_t rows, std::int64_t dims)
+{
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::Compiler compiler(options);
+    return compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, rows, dims, 1));
+}
+
+} // namespace
+
+TEST(FusedBatch, K4TotalsEqualSumOfSerialWindows)
+{
+    auto stored = randomRows(8, 64, 41);
+    core::CompiledKernel kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 4; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(
+                 i * 2)]}),
+             stored_buf});
+
+    // Serial reference: a separate session, same stream.
+    core::ExecutionSession serial = kernel.createSession(queries[0]);
+    std::vector<core::ExecutionResult> serial_results =
+        serial.runBatch(queries);
+
+    core::ExecutionSession session = kernel.createSession(queries[0]);
+    core::FusedBatchResult fused = session.runFusedBatch(queries);
+
+    ASSERT_EQ(fused.results.size(), 4u);
+    EXPECT_EQ(fused.fused.k, 4);
+    EXPECT_EQ(fused.fused.queriesFolded, 4);
+
+    double lat = 0.0;
+    double energy = 0.0;
+    double cell = 0.0;
+    double sense = 0.0;
+    double drive = 0.0;
+    double merge = 0.0;
+    std::int64_t searches = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const sim::PerfReport &q = serial_results[i].perf;
+        lat += q.queryLatencyNs;
+        energy += q.queryEnergyPj;
+        cell += q.cellEnergyPj;
+        sense += q.senseEnergyPj;
+        drive += q.driveEnergyPj;
+        merge += q.mergeEnergyPj;
+        searches += q.searches;
+        // Per-query reports inside the fused pass stay bit-identical
+        // to serial serving.
+        EXPECT_EQ(fused.results[i].perf.queryLatencyNs,
+                  q.queryLatencyNs);
+        EXPECT_EQ(fused.results[i].perf.queryEnergyPj, q.queryEnergyPj);
+        EXPECT_EQ(fused.results[i].perf.searches, q.searches);
+        EXPECT_EQ(fused.results[i].outputs[1].asBuffer()->toVector(),
+                  serial_results[i].outputs[1].asBuffer()->toVector());
+    }
+    // The fused totals ARE the sum -- exact equality, not approximate.
+    EXPECT_EQ(fused.fused.total.latencyNs, lat);
+    EXPECT_EQ(fused.fused.total.energyPj, energy);
+    EXPECT_EQ(fused.fused.cellEnergyPj, cell);
+    EXPECT_EQ(fused.fused.senseEnergyPj, sense);
+    EXPECT_EQ(fused.fused.driveEnergyPj, drive);
+    EXPECT_EQ(fused.fused.mergeEnergyPj, merge);
+    EXPECT_EQ(fused.fused.searches, searches);
+}
+
+TEST(FusedBatch, AmortizedAttributionDividesByK)
+{
+    auto stored = randomRows(8, 64, 43);
+    core::CompiledKernel kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 4; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[0]}), stored_buf});
+
+    core::ExecutionSession session = kernel.createSession(queries[0]);
+    core::FusedBatchResult fused = session.runFusedBatch(queries);
+
+    EXPECT_DOUBLE_EQ(fused.fused.latencyPerQueryNs(),
+                     fused.fused.total.latencyNs / 4.0);
+    EXPECT_DOUBLE_EQ(fused.fused.driveEnergyPerQueryPj(),
+                     fused.fused.driveEnergyPj / 4.0);
+
+    const sim::PerfReport &report = fused.fusedReport;
+    EXPECT_EQ(report.fusedBatchK, 4);
+    EXPECT_EQ(report.queriesServed, 4);
+    EXPECT_DOUBLE_EQ(report.fusedDriveEnergyPerQueryPj(),
+                     report.driveEnergyPj / 4.0);
+    EXPECT_DOUBLE_EQ(report.fusedSetupEnergyPerQueryPj(),
+                     report.setupEnergyPj / 4.0);
+    // Setup fields come from the session's one-time programming.
+    EXPECT_EQ(report.setupLatencyNs,
+              session.setupReport().setupLatencyNs);
+    EXPECT_GT(report.fusedDriveEnergyPerQueryPj(), 0.0);
+    // The amortized drive share is strictly below one query's full
+    // drive energy times K (i.e. fusion attribution actually divides).
+    EXPECT_LT(report.fusedDriveEnergyPerQueryPj(), report.driveEnergyPj);
+}
+
+TEST(FusedBatch, SessionAggregateCountsFusedQueries)
+{
+    auto stored = randomRows(8, 64, 47);
+    core::CompiledKernel kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 4; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[0]}), stored_buf});
+
+    core::ExecutionSession session = kernel.createSession(queries[0]);
+    session.runFusedBatch(queries);
+    EXPECT_EQ(session.queriesServed(), 4);
+    sim::PerfReport total = session.aggregateReport();
+    EXPECT_EQ(total.queriesServed, 4);
+    // Setup stays paid once.
+    EXPECT_EQ(total.setupLatencyNs, session.setupReport().setupLatencyNs);
+}
+
+TEST(FusedBatch, EmptyBatchRejected)
+{
+    auto stored = randomRows(8, 64, 53);
+    core::CompiledKernel kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    core::ExecutionSession session = kernel.createSession(
+        {rt::Buffer::fromMatrix({stored[0]}), stored_buf});
+    EXPECT_THROW(session.runFusedBatch({}), CompilerError);
+    // A malformed query fails argument validation before the fused
+    // window opens; the session stays usable afterwards.
+    EXPECT_THROW(session.runFusedBatch({{stored_buf, stored_buf}}),
+                 CompilerError);
+    core::FusedBatchResult ok = session.runFusedBatch(
+        {{rt::Buffer::fromMatrix({stored[2]}), stored_buf}});
+    EXPECT_EQ(ok.results[0].outputs[1].asBuffer()->atInt({0, 0}), 2);
+}
+
+TEST(FusedBatch, HostOnlySessionSynthesizesFusedAccounting)
+{
+    auto stored = randomRows(6, 96, 59);
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.hostOnly = true;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, 6, 96, 1));
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    core::ExecutionSession session = kernel.createSession(
+        {rt::Buffer::fromMatrix({stored[0]}), stored_buf});
+    EXPECT_FALSE(session.persistent());
+
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 3; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(
+                 i)]}),
+             stored_buf});
+    core::FusedBatchResult fused = session.runFusedBatch(queries);
+    ASSERT_EQ(fused.results.size(), 3u);
+    EXPECT_EQ(fused.fused.k, 3);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(fused.results[static_cast<std::size_t>(i)]
+                      .outputs[1]
+                      .asBuffer()
+                      ->atInt({0, 0}),
+                  i);
+}
+
+TEST(FusedBatch, EngineChunksStreamAndMatchesSerial)
+{
+    auto stored = randomRows(8, 64, 61);
+    core::CompiledKernel kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 10; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(
+                 i % 8)]}),
+             stored_buf});
+
+    core::ExecutionSession serial = kernel.createSession(queries[0]);
+    std::vector<core::ExecutionResult> serial_results =
+        serial.runBatch(queries);
+
+    auto engine = kernel.createServingEngine(queries[0], 2);
+    std::vector<core::FusedBatchResult> chunks =
+        engine->runFusedBatch(queries, 4);
+
+    // 10 queries at width 4 -> chunks of 4, 4, 2 in stream order.
+    ASSERT_EQ(chunks.size(), 3u);
+    EXPECT_EQ(chunks[0].fused.k, 4);
+    EXPECT_EQ(chunks[1].fused.k, 4);
+    EXPECT_EQ(chunks[2].fused.k, 2);
+
+    std::size_t idx = 0;
+    for (const core::FusedBatchResult &chunk : chunks) {
+        double lat = 0.0;
+        std::int64_t searches = 0;
+        for (const core::ExecutionResult &r : chunk.results) {
+            const sim::PerfReport &ref = serial_results[idx].perf;
+            EXPECT_EQ(r.perf.queryLatencyNs, ref.queryLatencyNs);
+            EXPECT_EQ(r.perf.queryEnergyPj, ref.queryEnergyPj);
+            EXPECT_EQ(r.outputs[1].asBuffer()->toVector(),
+                      serial_results[idx].outputs[1].asBuffer()
+                          ->toVector());
+            lat += r.perf.queryLatencyNs;
+            searches += r.perf.searches;
+            ++idx;
+        }
+        EXPECT_EQ(chunk.fused.total.latencyNs, lat);
+        EXPECT_EQ(chunk.fused.searches, searches);
+        EXPECT_EQ(chunk.fusedReport.fusedBatchK, chunk.fused.k);
+    }
+    EXPECT_EQ(engine->queriesServed(), 10);
+}
+
+TEST(FusedBatch, EngineRejectsBadWidth)
+{
+    auto stored = randomRows(8, 64, 67);
+    core::CompiledKernel kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    auto engine = kernel.createServingEngine(
+        {rt::Buffer::fromMatrix({stored[0]}), stored_buf}, 1);
+    EXPECT_THROW(engine->runFusedBatch({}, 0), CompilerError);
+    EXPECT_EQ(engine->runFusedBatch({}, 4).size(), 0u);
+}

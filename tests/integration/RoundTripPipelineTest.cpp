@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "apps/Workloads.h"
 #include "core/Compiler.h"
 #include "dialects/AllDialects.h"
@@ -84,7 +86,7 @@ TEST_P(PipelineRoundTrip, ReparsedModuleExecutesIdentically)
     core::ExecutionResult original = kernel.run({w.queries, w.stored});
 
     // Re-parse the final module and execute it with a fresh simulator.
-    std::string text = kernel.module().str();
+    std::string text = std::as_const(kernel).module().str();
     auto ctx = std::make_shared<ir::Context>();
     dialects::loadAllDialects(*ctx);
     ir::Module reparsed = ir::parseModule(*ctx, text);

@@ -1,0 +1,98 @@
+/** @file Dense SSA value numbering tests (the plan compiler's slot map). */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "dialects/AllDialects.h"
+#include "ir/Parser.h"
+#include "ir/ValueNumbering.h"
+
+using namespace c4cam;
+using namespace c4cam::ir;
+
+namespace {
+
+const char *kNestedFunc =
+    "\"builtin.module\"() ({\n"
+    "  \"func.func\"() ({\n"
+    "  ^bb0(%arg: index):\n"
+    "    %lb = \"arith.constant\"() {value = 0} : () -> index\n"
+    "    %ub = \"arith.constant\"() {value = 4} : () -> index\n"
+    "    %st = \"arith.constant\"() {value = 1} : () -> index\n"
+    "    %sum = \"scf.for\"(%lb, %ub, %st, %arg) ({\n"
+    "    ^bb0(%iv: index, %acc: index):\n"
+    "      %next = \"arith.addi\"(%acc, %iv) : (index, index) -> index\n"
+    "      \"scf.yield\"(%next) : (index) -> ()\n"
+    "    }) : (index, index, index, index) -> index\n"
+    "    \"func.return\"(%sum) : (index) -> ()\n"
+    "  }) {sym_name = \"f\"} : () -> ()\n"
+    "}) : () -> ()\n";
+
+} // namespace
+
+TEST(ValueNumbering, DenseAndCoversNestedRegions)
+{
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    Module module = parseModule(ctx, kNestedFunc);
+    Operation *func = module.lookupFunction("f");
+    ASSERT_NE(func, nullptr);
+
+    ValueNumbering numbering = ValueNumbering::forFunction(func);
+    // Values: %arg, %lb, %ub, %st, %sum, %iv, %acc, %next = 8 slots.
+    EXPECT_EQ(numbering.numSlots(), 8);
+
+    // Every value (incl. nested block args and results) is numbered,
+    // densely and uniquely.
+    std::set<std::int32_t> seen;
+    std::function<void(Block &)> visit = [&](Block &block) {
+        for (std::size_t i = 0; i < block.numArguments(); ++i) {
+            std::int32_t slot = numbering.slot(block.argument(i));
+            EXPECT_GE(slot, 0);
+            EXPECT_LT(slot, numbering.numSlots());
+            seen.insert(slot);
+        }
+        for (Operation *op : block.opVector()) {
+            for (std::size_t i = 0; i < op->numResults(); ++i)
+                seen.insert(numbering.slot(op->result(i)));
+            for (std::size_t r = 0; r < op->numRegions(); ++r)
+                for (const auto &nested : op->region(r).blocks())
+                    visit(*nested);
+        }
+    };
+    visit(func->region(0).front());
+    EXPECT_EQ(static_cast<std::int32_t>(seen.size()),
+              numbering.numSlots());
+}
+
+TEST(ValueNumbering, StableAcrossRecomputation)
+{
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    Module module = parseModule(ctx, kNestedFunc);
+    Operation *func = module.lookupFunction("f");
+    ASSERT_NE(func, nullptr);
+
+    ValueNumbering first = ValueNumbering::forFunction(func);
+    ValueNumbering second = ValueNumbering::forFunction(func);
+    func->walk([&](Operation *op) {
+        for (std::size_t i = 0; i < op->numResults(); ++i)
+            EXPECT_EQ(first.slot(op->result(i)),
+                      second.slot(op->result(i)));
+    });
+}
+
+TEST(ValueNumbering, SlotOrInvalidForForeignValue)
+{
+    Context ctx;
+    dialects::loadAllDialects(ctx);
+    Module module = parseModule(ctx, kNestedFunc);
+    Module other = parseModule(ctx, kNestedFunc);
+    ValueNumbering numbering =
+        ValueNumbering::forFunction(module.lookupFunction("f"));
+    Operation *foreign = other.lookupFunction("f");
+    Value *foreign_arg = foreign->region(0).front().argument(0);
+    EXPECT_EQ(numbering.slotOrInvalid(foreign_arg), -1);
+}

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Execution-plan tests: compilation, slot numbering, and the
+ * differential contract -- every tier-1 kernel must produce
+ * bit-identical outputs and PerfReports under tree-walk, plan-replay
+ * and fused-batch (K=1) execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "core/ExecutionSession.h"
+#include "dialects/AllDialects.h"
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "runtime/ExecutionPlan.h"
+#include "runtime/Interpreter.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+std::vector<std::vector<float>>
+randomRows(std::int64_t n, std::int64_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> rows(
+        static_cast<std::size_t>(n),
+        std::vector<float>(static_cast<std::size_t>(d)));
+    for (auto &row : rows)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : 0.0f;
+    return rows;
+}
+
+void
+expectOutputsEqual(const std::vector<rt::RtValue> &a,
+                   const std::vector<rt::RtValue> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].isBuffer(), b[i].isBuffer());
+        if (a[i].isBuffer()) {
+            EXPECT_EQ(a[i].asBuffer()->shape(), b[i].asBuffer()->shape());
+            EXPECT_EQ(a[i].asBuffer()->toVector(),
+                      b[i].asBuffer()->toVector());
+        }
+    }
+}
+
+/** Field-by-field exact comparison of two perf reports. */
+void
+expectReportsIdentical(const sim::PerfReport &a, const sim::PerfReport &b)
+{
+    EXPECT_EQ(a.setupLatencyNs, b.setupLatencyNs);
+    EXPECT_EQ(a.setupEnergyPj, b.setupEnergyPj);
+    EXPECT_EQ(a.queryLatencyNs, b.queryLatencyNs);
+    EXPECT_EQ(a.queryEnergyPj, b.queryEnergyPj);
+    EXPECT_EQ(a.cellEnergyPj, b.cellEnergyPj);
+    EXPECT_EQ(a.senseEnergyPj, b.senseEnergyPj);
+    EXPECT_EQ(a.driveEnergyPj, b.driveEnergyPj);
+    EXPECT_EQ(a.mergeEnergyPj, b.mergeEnergyPj);
+    EXPECT_EQ(a.searches, b.searches);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.subarraysUsed, b.subarraysUsed);
+    EXPECT_EQ(a.subarraysAllocated, b.subarraysAllocated);
+    EXPECT_EQ(a.banksUsed, b.banksUsed);
+}
+
+struct KernelConfig
+{
+    const char *name;
+    std::string source;
+    core::CompilerOptions options;
+};
+
+/** The tier-1 kernels at both lowering levels. */
+std::vector<KernelConfig>
+tierOneKernels(std::int64_t rows, std::int64_t dims)
+{
+    std::vector<KernelConfig> kernels;
+
+    // HDC dot-similarity on the cam device path (1-bit hypervectors).
+    KernelConfig hdc;
+    hdc.name = "hdc_dot_cam";
+    hdc.source = apps::dotSimilaritySource(1, rows, dims, 1);
+    hdc.options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    kernels.push_back(hdc);
+
+    // kNN euclidean on the MCAM device path.
+    KernelConfig knn;
+    knn.name = "knn_eucl_cam";
+    knn.source = apps::knnEuclideanSource(1, rows, dims, 2);
+    knn.options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    knn.options.spec.camType = arch::CamDeviceType::Mcam;
+    knn.options.spec.bitsPerCell = 2;
+    kernels.push_back(knn);
+
+    // The decision-path analogue at the cim host level: exercises
+    // cim.execute regions, cim.similarity and host tensor kernels,
+    // which the device kernels above never reach.
+    KernelConfig host;
+    host.name = "hdc_dot_host";
+    host.source = apps::dotSimilaritySource(1, rows, dims, 1);
+    host.options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    host.options.hostOnly = true;
+    kernels.push_back(host);
+
+    // Fully lowered scf-loop form (Fig. 3 "loops" pipeline).
+    KernelConfig loops;
+    loops.name = "knn_eucl_loops";
+    loops.source = apps::knnEuclideanSource(1, rows, dims, 1);
+    loops.options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    loops.options.hostOnly = true;
+    loops.options.lowerToLoops = true;
+    kernels.push_back(loops);
+
+    return kernels;
+}
+
+} // namespace
+
+TEST(ExecutionPlan, CompilesForEveryTierOneKernel)
+{
+    for (const KernelConfig &cfg : tierOneKernels(8, 64)) {
+        core::Compiler compiler(cfg.options);
+        core::CompiledKernel kernel =
+            compiler.compileTorchScript(cfg.source);
+        std::shared_ptr<const rt::ExecutionPlan> plan =
+            kernel.executionPlan();
+        ASSERT_TRUE(plan) << cfg.name;
+        EXPECT_GT(plan->numSlots(), 0) << cfg.name;
+        EXPECT_GT(plan->numInstructions(
+                      rt::ExecutionPlan::ExecPhase::Full),
+                  0u)
+            << cfg.name;
+        // Device kernels are phase-annotated; host kernels are not.
+        EXPECT_EQ(plan->hasPhaseMarkers(), !cfg.options.hostOnly)
+            << cfg.name;
+    }
+}
+
+TEST(ExecutionPlan, TreeWalkRetainedBehindFlag)
+{
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.treeWalkExecution = true;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, 8, 64, 1));
+    EXPECT_EQ(kernel.executionPlan(), nullptr);
+
+    auto stored = randomRows(8, 64, 3);
+    core::ExecutionSession session = kernel.createSession(
+        {rt::Buffer::fromMatrix({stored[0]}),
+         rt::Buffer::fromMatrix(stored)});
+    EXPECT_FALSE(session.usesPlan());
+    EXPECT_TRUE(session.persistent());
+}
+
+TEST(ExecutionPlan, SingleShotDifferentialAcrossTierOneKernels)
+{
+    const std::int64_t rows = 8;
+    const std::int64_t dims = 64;
+    auto stored = randomRows(rows, dims, 11);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+    auto query = rt::Buffer::fromMatrix({stored[5]});
+
+    for (const KernelConfig &cfg : tierOneKernels(rows, dims)) {
+        core::CompilerOptions walk_options = cfg.options;
+        walk_options.treeWalkExecution = true;
+
+        core::Compiler plan_compiler(cfg.options);
+        core::CompiledKernel plan_kernel =
+            plan_compiler.compileTorchScript(cfg.source);
+        core::Compiler walk_compiler(walk_options);
+        core::CompiledKernel walk_kernel =
+            walk_compiler.compileTorchScript(cfg.source);
+
+        core::ExecutionResult via_plan =
+            plan_kernel.run({query, stored_buf});
+        core::ExecutionResult via_walk =
+            walk_kernel.run({query, stored_buf});
+
+        SCOPED_TRACE(cfg.name);
+        expectOutputsEqual(via_plan.outputs, via_walk.outputs);
+        expectReportsIdentical(via_plan.perf, via_walk.perf);
+    }
+}
+
+TEST(ExecutionPlan, SessionDifferentialTreeWalkPlanAndFusedK1)
+{
+    const std::int64_t rows = 8;
+    const std::int64_t dims = 64;
+    auto stored = randomRows(rows, dims, 17);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    for (const KernelConfig &cfg : tierOneKernels(rows, dims)) {
+        core::CompilerOptions walk_options = cfg.options;
+        walk_options.treeWalkExecution = true;
+
+        core::Compiler plan_compiler(cfg.options);
+        core::CompiledKernel plan_kernel =
+            plan_compiler.compileTorchScript(cfg.source);
+        core::Compiler walk_compiler(walk_options);
+        core::CompiledKernel walk_kernel =
+            walk_compiler.compileTorchScript(cfg.source);
+
+        auto setup_args = std::vector<rt::BufferPtr>{
+            rt::Buffer::fromMatrix({stored[0]}), stored_buf};
+        core::ExecutionSession plan_session =
+            plan_kernel.createSession(setup_args);
+        core::ExecutionSession walk_session =
+            walk_kernel.createSession(setup_args);
+        core::ExecutionSession fused_session =
+            plan_kernel.createSession(setup_args);
+
+        SCOPED_TRACE(cfg.name);
+        EXPECT_EQ(plan_session.usesPlan(), true);
+        EXPECT_EQ(walk_session.usesPlan(), false);
+
+        for (std::int64_t q = 0; q < rows; ++q) {
+            auto args = std::vector<rt::BufferPtr>{
+                rt::Buffer::fromMatrix(
+                    {stored[static_cast<std::size_t>(q)]}),
+                stored_buf};
+            core::ExecutionResult via_plan = plan_session.runQuery(args);
+            core::ExecutionResult via_walk = walk_session.runQuery(args);
+            core::FusedBatchResult fused =
+                fused_session.runFusedBatch({args});
+
+            SCOPED_TRACE(q);
+            expectOutputsEqual(via_plan.outputs, via_walk.outputs);
+            expectReportsIdentical(via_plan.perf, via_walk.perf);
+            // Fused batch of one query == serial serving, exactly.
+            ASSERT_EQ(fused.results.size(), 1u);
+            expectOutputsEqual(fused.results[0].outputs,
+                               via_walk.outputs);
+            expectReportsIdentical(fused.results[0].perf, via_walk.perf);
+            EXPECT_EQ(fused.fused.k, 1);
+            EXPECT_EQ(fused.fused.total.latencyNs,
+                      via_walk.perf.queryLatencyNs);
+            EXPECT_EQ(fused.fused.total.energyPj,
+                      via_walk.perf.queryEnergyPj);
+        }
+        expectReportsIdentical(plan_session.aggregateReport(),
+                               walk_session.aggregateReport());
+    }
+}
+
+TEST(ExecutionPlan, ReplayArityAndPhaseChecksMirrorInterpreter)
+{
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.hostOnly = true;
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, 4, 32, 1));
+    std::shared_ptr<const rt::ExecutionPlan> plan =
+        kernel.executionPlan();
+    ASSERT_TRUE(plan);
+
+    rt::PlanFrame frame = plan->makeFrame();
+    // Wrong arity.
+    EXPECT_THROW(plan->run(frame, nullptr, {}), CompilerError);
+    // Phased execution on an unphased (host) kernel.
+    auto stored = randomRows(4, 32, 5);
+    auto args = rt::toRtValues({rt::Buffer::fromMatrix({stored[0]}),
+                                rt::Buffer::fromMatrix(stored)});
+    EXPECT_THROW(plan->run(frame, nullptr, args,
+                           rt::ExecutionPlan::ExecPhase::QueryOnly),
+                 CompilerError);
+}
+
+TEST(ExecutionPlan, UnknownOpDiagnosticNamesFunctionAndNearest)
+{
+    ir::Context ctx;
+    dialects::loadAllDialects(ctx);
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    %x = \"arith.constatn\"() {value = 1} : () -> index\n"
+        "    \"func.return\"(%x) : (index) -> ()\n"
+        "  }) {sym_name = \"typo_kernel\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    ir::Module module = ir::parseModule(ctx, text);
+    try {
+        rt::ExecutionPlan::compile(module, "typo_kernel");
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("arith.constatn"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("typo_kernel"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("arith.constant"), std::string::npos) << msg;
+    }
+}
+
+TEST(ExecutionPlan, ModuleMutationInvalidatesCachedPlan)
+{
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, 8, 64, 1));
+    std::shared_ptr<const rt::ExecutionPlan> first =
+        kernel.executionPlan();
+    ASSERT_TRUE(first);
+    // Touching the mutable module drops the cache; the next accessor
+    // call compiles a fresh plan from the (possibly rewritten) IR.
+    kernel.module();
+    std::shared_ptr<const rt::ExecutionPlan> second =
+        kernel.executionPlan();
+    ASSERT_TRUE(second);
+    EXPECT_NE(first.get(), second.get());
+}

@@ -293,3 +293,54 @@ TEST_F(InterpFixture, ConcurrentStatesOverSharedModule)
     for (const auto &result : results)
         EXPECT_EQ(result, reference);
 }
+
+TEST_F(InterpFixture, UnknownOpDiagnosticNamesFunctionAndNearestMnemonic)
+{
+    // The diagnostic must fire with context: the op name, the
+    // enclosing function, and a did-you-mean suggestion -- not a bare
+    // "unsupported op" after the whole dispatch chain.
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    %x = \"arith.constatn\"() {value = 1} : () -> index\n"
+        "    \"func.return\"(%x) : (index) -> ()\n"
+        "  }) {sym_name = \"typo_kernel\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    Module module = parseModule(ctx, text);
+    Interpreter interp(module, nullptr);
+    try {
+        interp.callFunction("typo_kernel", {});
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("arith.constatn"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("typo_kernel"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean 'arith.constant'"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST_F(InterpFixture, UnknownDialectDiagnosticSuggestsNothingWhenFar)
+{
+    // A mnemonic nowhere near the vocabulary gets no bogus suggestion.
+    std::string text =
+        "\"builtin.module\"() ({\n"
+        "  \"func.func\"() ({\n"
+        "  ^bb0:\n"
+        "    \"zzz.qqqqqqqqqqqqqqqqqqqqqqqq\"() : () -> ()\n"
+        "    \"func.return\"() : () -> ()\n"
+        "  }) {sym_name = \"weird\"} : () -> ()\n"
+        "}) : () -> ()\n";
+    Module module = parseModule(ctx, text);
+    Interpreter interp(module, nullptr);
+    try {
+        interp.callFunction("weird", {});
+        FAIL() << "expected CompilerError";
+    } catch (const CompilerError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("weird"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+    }
+}

@@ -32,6 +32,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/ArchSpec.h"
@@ -52,7 +53,8 @@ usage()
 {
     std::cerr << "usage: c4cam-run <kernel.py|-> [--arch spec.json]"
               << " [--seed N] [--queries-equal-rows] [--print-ir]"
-              << " [--host-only] [--batch N] [--json] [--threads N]\n";
+              << " [--host-only] [--batch N] [--json] [--threads N]"
+              << " [--tree-walk]\n";
     return 2;
 }
 
@@ -113,6 +115,7 @@ main(int argc, char **argv)
     bool print_ir = false;
     bool host_only = false;
     bool json = false;
+    bool tree_walk = false;
     long long batch = 0;
     long long threads = 1;
 
@@ -142,6 +145,11 @@ main(int argc, char **argv)
             print_ir = true;
         } else if (arg == "--host-only") {
             host_only = true;
+        } else if (arg == "--tree-walk") {
+            // Differential-testing escape hatch: execute through the
+            // tree-walking interpreter instead of the compiled
+            // execution plan (results must be bit-identical).
+            tree_walk = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage();
         } else if (input_path.empty()) {
@@ -177,15 +185,17 @@ main(int argc, char **argv)
         if (!arch_path.empty())
             options.spec = arch::ArchSpec::fromFile(arch_path);
         options.hostOnly = host_only;
+        options.treeWalkExecution = tree_walk;
         core::Compiler compiler(options);
         core::CompiledKernel kernel = compiler.compileTorchScript(source);
 
         if (print_ir)
-            std::cout << kernel.module().str() << "\n";
+            std::cout << std::as_const(kernel).module().str() << "\n";
 
         // Synthesize +-1 inputs matching the function signature.
         ir::Operation *func =
-            kernel.module().lookupFunction(kernel.entryPoint());
+            std::as_const(kernel).module().lookupFunction(
+                kernel.entryPoint());
         ir::Block *body = dialects::funcBody(func);
         std::vector<rt::BufferPtr> args;
         Rng rng(seed);
