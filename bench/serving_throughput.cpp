@@ -33,24 +33,46 @@
  * (runFusedBatch) totals equal the sum of the corresponding serial
  * query windows exactly.
  *
+ * --async switches to the async-front-end gate: the same stream is
+ * served (a) through ServingEngine::runBatch at W workers (the sync
+ * baseline), (b) open-loop through an AsyncServingEngine -- every
+ * query submitted as fast as the bounded queue admits, arrivals
+ * independent of completions, backpressure from the queue bound --
+ * and (c) closed-loop -- W submitters that each wait for their
+ * query's completion before sending the next, so concurrency equals
+ * W by construction. The bench exits non-zero unless (1) every async
+ * result (both arrival modes) is bit-identical to serial session
+ * replay in answers and per-query simulated PerfReports, and (2)
+ * open-loop async qps is no worse than 0.9x the sync runBatch qps at
+ * equal worker count (the 10% guard absorbs scheduler noise on
+ * loaded CI runners; the contract is "the queue layer costs
+ * nothing"). The qps gate applies from 32 queries up -- tiny
+ * sanitizer smoke runs keep the bit-identity checks but skip the
+ * noise-dominated timing comparison.
+ *
  * All modes accept --json-out FILE for machine-readable results
- * (CI archives BENCH_serving.json from the release perf job).
+ * (CI archives BENCH_serving.json and BENCH_async.json from the
+ * release perf job).
  *
  *   bench_serving_throughput [--queries N] [--scaling]
- *                            [--plan-vs-treewalk] [--json-out FILE]
+ *                            [--plan-vs-treewalk] [--async]
+ *                            [--workers W] [--json-out FILE]
  */
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "BenchUtils.h"
 #include "apps/Workloads.h"
+#include "core/AsyncServingEngine.h"
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
@@ -353,14 +375,181 @@ runScaling(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
     return jout.write() ? 0 : 1;
 }
 
+/**
+ * Async-front-end gate: open-loop and closed-loop arrival modes vs
+ * the synchronous runBatch baseline. @return process exit code.
+ */
+int
+runAsync(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
+         const std::vector<rt::BufferPtr> &queries, int workers,
+         bench::JsonOut &jout)
+{
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(queries.size());
+    for (const rt::BufferPtr &query : queries)
+        batches.push_back({query, stored_buf});
+    const double n = static_cast<double>(queries.size());
+
+    // Serial reference for the bit-identity contract.
+    core::ExecutionSession session =
+        kernel.createSession({queries[0], stored_buf});
+    std::vector<core::ExecutionResult> serial = session.runBatch(batches);
+
+    auto check_identical =
+        [&](const std::vector<core::ExecutionResult> &results,
+            const char *mode) {
+            for (std::size_t q = 0; q < batches.size(); ++q) {
+                if (results[q].outputs[1].asBuffer()->toVector() !=
+                        serial[q].outputs[1].asBuffer()->toVector() ||
+                    !sameQueryCost(results[q].perf, serial[q].perf)) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s result %zu diverges from "
+                                 "serial session replay\n",
+                                 mode, q);
+                    return false;
+                }
+            }
+            return true;
+        };
+
+    // Sync baseline: the same replicas driven by runBatch.
+    double sync_qps = 0.0;
+    {
+        auto engine =
+            kernel.createServingEngine({queries[0], stored_buf}, workers);
+        Clock::time_point start = Clock::now();
+        std::vector<core::ExecutionResult> results =
+            engine->runBatch(batches);
+        double wall_s = secondsSince(start);
+        sync_qps = n / wall_s;
+        if (!check_identical(results, "sync runBatch"))
+            return 1;
+    }
+
+    // Open loop: submissions arrive as fast as the bounded queue
+    // admits them; the dispatchers micro-batch whatever piles up.
+    double open_qps = 0.0;
+    core::AsyncServingStats open_stats;
+    {
+        core::AsyncServingOptions options;
+        options.queueCapacity = 64;
+        auto engine = kernel.createAsyncServingEngine(
+            {queries[0], stored_buf}, workers, options);
+        Clock::time_point start = Clock::now();
+        std::vector<std::future<core::ExecutionResult>> futures =
+            engine->submitBatch(batches);
+        std::vector<core::ExecutionResult> results;
+        results.reserve(futures.size());
+        for (auto &future : futures)
+            results.push_back(future.get());
+        double wall_s = secondsSince(start);
+        open_qps = n / wall_s;
+        open_stats = engine->stats();
+        if (!check_identical(results, "open-loop async"))
+            return 1;
+    }
+
+    // Closed loop: W submitters, each waits for its completion before
+    // the next arrival, so offered concurrency == W by construction.
+    double closed_qps = 0.0;
+    core::AsyncServingStats closed_stats;
+    {
+        core::AsyncServingOptions options;
+        options.queueCapacity = 64;
+        auto engine = kernel.createAsyncServingEngine(
+            {queries[0], stored_buf}, workers, options);
+        std::vector<core::ExecutionResult> results(batches.size());
+        std::vector<std::thread> submitters;
+        std::atomic<std::size_t> cursor{0};
+        Clock::time_point start = Clock::now();
+        for (int w = 0; w < workers; ++w)
+            submitters.emplace_back([&] {
+                for (;;) {
+                    std::size_t idx = cursor.fetch_add(1);
+                    if (idx >= batches.size())
+                        return;
+                    results[idx] = engine->submit(batches[idx]).get();
+                }
+            });
+        for (auto &t : submitters)
+            t.join();
+        double wall_s = secondsSince(start);
+        closed_qps = n / wall_s;
+        closed_stats = engine->stats();
+        if (!check_identical(results, "closed-loop async"))
+            return 1;
+    }
+
+    std::printf("Async serving: %zu queries, %d workers/replicas\n",
+                queries.size(), workers);
+    bench::rule();
+    std::printf("%-22s %12s %12s %14s %14s\n", "mode", "wall qps",
+                "vs sync", "p50 wait (us)", "p95 exec (us)");
+    std::printf("%-22s %12.1f %12s %14s %14s\n", "sync runBatch",
+                sync_qps, "1.00x", "-", "-");
+    std::printf("%-22s %12.1f %11.2fx %14.1f %14.1f\n", "async open-loop",
+                open_qps, open_qps / sync_qps,
+                open_stats.p50EnqueueWaitUs, open_stats.p95ExecuteUs);
+    std::printf("%-22s %12.1f %11.2fx %14.1f %14.1f\n",
+                "async closed-loop", closed_qps, closed_qps / sync_qps,
+                closed_stats.p50EnqueueWaitUs,
+                closed_stats.p95ExecuteUs);
+    bench::rule();
+    std::printf("open-loop micro-batching: %lld fused windows covering "
+                "%lld queries, %lld single dispatches\n",
+                static_cast<long long>(open_stats.fusedWindows),
+                static_cast<long long>(open_stats.fusedQueries),
+                static_cast<long long>(open_stats.singleDispatches));
+    std::printf("per-query reports bit-identical to serial replay "
+                "(all modes): OK\n");
+
+    jout.set("mode", std::string("async"));
+    jout.set("queries", n);
+    jout.set("workers", double(workers));
+    jout.set("sync_qps", sync_qps);
+    jout.set("async_open_loop_qps", open_qps);
+    jout.set("async_closed_loop_qps", closed_qps);
+    jout.set("open_loop_vs_sync", open_qps / sync_qps);
+    jout.set("open_fused_windows", double(open_stats.fusedWindows));
+    jout.set("open_fused_queries", double(open_stats.fusedQueries));
+    jout.set("open_p50_wait_us", open_stats.p50EnqueueWaitUs);
+    jout.set("open_p95_wait_us", open_stats.p95EnqueueWaitUs);
+    jout.set("open_p50_exec_us", open_stats.p50ExecuteUs);
+    jout.set("open_p95_exec_us", open_stats.p95ExecuteUs);
+
+    // The qps gate needs enough queries to average out scheduler
+    // noise; tiny sanitizer smoke runs (correctness-only) skip it,
+    // like the 5x session gate skips below 64 queries.
+    if (queries.size() >= 32) {
+        if (open_qps < 0.9 * sync_qps) {
+            std::fprintf(stderr,
+                         "FAIL: open-loop async qps %.1f fell below "
+                         "0.9x the sync runBatch qps %.1f at %d "
+                         "workers\n",
+                         open_qps, sync_qps, workers);
+            return 1;
+        }
+        std::printf("open-loop async qps %.2fx sync (gate: >= 0.9x): "
+                    "OK\n",
+                    open_qps / sync_qps);
+    } else {
+        std::printf("SKIP: %zu queries (< 32) is below the qps-gate "
+                    "sample floor; bit-identity checks ran\n",
+                    queries.size());
+    }
+    return jout.write() ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     long num_queries = 64;
+    long workers = 4;
     bool scaling = false;
     bool plan_vs_treewalk = false;
+    bool async = false;
     bench::JsonOut jout;
     for (int i = 1; i < argc; ++i) {
         if (jout.tryParseArg(argc, argv, i))
@@ -373,15 +562,27 @@ main(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            workers = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || workers < 1 ||
+                workers > 256) {
+                std::fprintf(stderr, "--workers: bad value: %s\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--scaling") == 0) {
             scaling = true;
+        } else if (std::strcmp(argv[i], "--async") == 0) {
+            async = true;
         } else if (std::strcmp(argv[i], "--plan-vs-treewalk") == 0) {
             plan_vs_treewalk = true;
         } else {
             std::fprintf(stderr,
                          "usage: bench_serving_throughput [--queries N] "
-                         "[--scaling] [--plan-vs-treewalk] "
-                         "[--json-out FILE]\n");
+                         "[--scaling] [--plan-vs-treewalk] [--async] "
+                         "[--workers W] [--json-out FILE]\n");
             return 2;
         }
     }
@@ -421,6 +622,9 @@ main(int argc, char **argv)
 
     if (scaling)
         return runScaling(kernel, stored_buf, queries, jout);
+    if (async)
+        return runAsync(kernel, stored_buf, queries,
+                        static_cast<int>(workers), jout);
 
     // (a) naive serving: one kernel.run() per query (setup every time).
     double naive_sim_ns = 0.0;

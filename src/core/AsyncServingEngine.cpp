@@ -1,0 +1,378 @@
+#include "core/AsyncServingEngine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/Error.h"
+#include "support/Stats.h"
+
+namespace c4cam::core {
+
+namespace {
+
+std::exception_ptr
+admissionError(const char *what)
+{
+    return std::make_exception_ptr(AdmissionError(what));
+}
+
+} // namespace
+
+AsyncServingEngine::AsyncServingEngine(std::unique_ptr<ServingEngine> engine,
+                                       AsyncServingOptions options)
+    : engine_(std::move(engine)), options_(options),
+      queue_(options.queueCapacity == 0 ? 1 : options.queueCapacity,
+             options.policy)
+{
+    C4CAM_CHECK(engine_, "AsyncServingEngine needs a ServingEngine");
+    options_.queueCapacity = queue_.capacity();
+    options_.fuseMaxK = std::max(options_.fuseMaxK, 1);
+    options_.fuseMinDepth = std::max<std::size_t>(options_.fuseMinDepth, 1);
+    int dispatchers = options_.dispatchers > 0 ? options_.dispatchers
+                                               : engine_->numReplicas();
+    options_.dispatchers = dispatchers;
+    dispatchers_.reserve(static_cast<std::size_t>(dispatchers));
+    for (int i = 0; i < dispatchers; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+AsyncServingEngine::~AsyncServingEngine()
+{
+    shutdown();
+}
+
+void
+AsyncServingEngine::shutdown()
+{
+    shutdown_.store(true);
+    // One caller closes and joins; concurrent callers block here until
+    // the teardown finished, so shutdown() is idempotent and safe to
+    // race (including destructor vs explicit call).
+    std::lock_guard<std::mutex> lock(shutdownMutex_);
+    queue_.close();
+    for (std::thread &t : dispatchers_)
+        if (t.joinable())
+            t.join();
+}
+
+bool
+AsyncServingEngine::shuttingDown() const
+{
+    return shutdown_.load();
+}
+
+AsyncServingEngine::Admission
+AsyncServingEngine::enqueue(Pending pending)
+{
+    submitted_.fetch_add(1);
+    pending.enqueued = Clock::now();
+    auto result = queue_.push(std::move(pending));
+    switch (result.status) {
+    case support::BoundedQueue<Pending>::PushStatus::Ok:
+        accepted_.fetch_add(1);
+        if (result.displaced) {
+            // DropOldest evicted the stalest queued query to admit
+            // this one; its submitter still gets a completion.
+            dropped_.fetch_add(1);
+            deliverError(*result.displaced,
+                         admissionError("query dropped: drop-oldest "
+                                        "overflow displaced it from the "
+                                        "submission queue"));
+        }
+        return Admission::Accepted;
+    case support::BoundedQueue<Pending>::PushStatus::Rejected:
+    case support::BoundedQueue<Pending>::PushStatus::Closed: {
+        // Never entered the queue: count as rejected (not completed),
+        // and resolve a promise-flavored submission's future with the
+        // admission error. Callback-flavored submissions signal the
+        // rejection through trySubmit's return value instead -- the
+        // callback must not fire for work that was never accepted.
+        rejected_.fetch_add(1);
+        if (result.returned && !result.returned->hasCallback)
+            result.returned->promise.set_exception(admissionError(
+                result.status ==
+                        support::BoundedQueue<Pending>::PushStatus::Closed
+                    ? "query rejected: async serving engine is "
+                      "shutting down"
+                    : "query rejected: submission queue is full "
+                      "(reject policy)"));
+        notifyProgress();
+        return Admission::Rejected;
+    }
+    }
+    return Admission::Rejected; // unreachable
+}
+
+std::future<ExecutionResult>
+AsyncServingEngine::submit(std::vector<rt::BufferPtr> args)
+{
+    // Fail malformed submissions on the caller's stack, before they
+    // consume a queue slot.
+    engine_->validateQuery(args);
+    Pending pending;
+    pending.args = std::move(args);
+    std::future<ExecutionResult> future = pending.promise.get_future();
+    enqueue(std::move(pending));
+    return future;
+}
+
+bool
+AsyncServingEngine::trySubmit(std::vector<rt::BufferPtr> args,
+                              Completion callback)
+{
+    C4CAM_CHECK(callback, "trySubmit needs a completion callback");
+    engine_->validateQuery(args);
+    Pending pending;
+    pending.args = std::move(args);
+    pending.callback = std::move(callback);
+    pending.hasCallback = true;
+    if (enqueue(std::move(pending)) == Admission::Rejected)
+        return false;
+    return true;
+}
+
+std::vector<std::future<ExecutionResult>>
+AsyncServingEngine::submitBatch(
+    const std::vector<std::vector<rt::BufferPtr>> &queries)
+{
+    std::vector<std::future<ExecutionResult>> futures;
+    futures.reserve(queries.size());
+    for (const auto &args : queries)
+        futures.push_back(submit(args));
+    return futures;
+}
+
+void
+AsyncServingEngine::submitBatchStreaming(
+    const std::vector<std::vector<rt::BufferPtr>> &queries,
+    std::function<void(std::size_t, ExecutionResult, std::exception_ptr)>
+        on_result)
+{
+    C4CAM_CHECK(on_result, "submitBatchStreaming needs a result callback");
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        // Every index gets exactly one completion -- admission
+        // failures AND validation failures included. A streaming
+        // consumer must never have to guess which entries went
+        // missing, so a malformed query mid-list is reported through
+        // its own slot instead of aborting the remaining submissions.
+        bool accepted = false;
+        std::exception_ptr failure;
+        try {
+            accepted = trySubmit(
+                queries[i], [on_result, i](ExecutionResult result,
+                                           std::exception_ptr err) {
+                    on_result(i, std::move(result), err);
+                });
+        } catch (const CompilerError &) {
+            failure = std::current_exception();
+        }
+        if (failure)
+            on_result(i, ExecutionResult{}, failure);
+        else if (!accepted)
+            on_result(i, ExecutionResult{},
+                      admissionError("query rejected at submission"));
+    }
+}
+
+void
+AsyncServingEngine::deliver(Pending &pending, ExecutionResult result)
+{
+    // Fulfill BEFORE counting: completed_ is what drain() waits on,
+    // and once it covers every ticket the corresponding futures and
+    // callbacks must already have fired -- counting first would let
+    // drain() return while a future is still being set.
+    if (pending.hasCallback) {
+        try {
+            pending.callback(std::move(result), nullptr);
+        } catch (...) {
+            // A throwing completion callback is a caller bug; eating
+            // the exception beats tearing down the dispatcher.
+        }
+    } else {
+        pending.promise.set_value(std::move(result));
+    }
+    completed_.fetch_add(1);
+    notifyProgress();
+}
+
+void
+AsyncServingEngine::deliverError(Pending &pending, std::exception_ptr error)
+{
+    if (pending.hasCallback) {
+        try {
+            pending.callback(ExecutionResult{}, error);
+        } catch (...) {
+        }
+    } else {
+        pending.promise.set_exception(error);
+    }
+    failed_.fetch_add(1);
+    completed_.fetch_add(1);
+    notifyProgress();
+}
+
+void
+AsyncServingEngine::notifyProgress()
+{
+    // The empty critical section is load-bearing: it orders this
+    // notification after any drain() that already evaluated its
+    // predicate and is about to sleep, closing the lost-wakeup window
+    // between a waiter's atomic reads and its wait() call. Keep the
+    // lock/notify pairing together -- dropping the "pointless" lock
+    // reintroduces the race.
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+    }
+    progress_.notify_all();
+}
+
+void
+AsyncServingEngine::recordLatency(double wait_us, double exec_us)
+{
+    std::lock_guard<std::mutex> lock(latencyMutex_);
+    enqueueWaitsUs_.record(wait_us);
+    executeUs_.record(exec_us);
+}
+
+void
+AsyncServingEngine::dispatchLoop()
+{
+    std::vector<Pending> group;
+    for (;;) {
+        group.clear();
+        std::size_t n = queue_.popGroup(
+            group, static_cast<std::size_t>(options_.fuseMaxK),
+            options_.fuseMinDepth);
+        if (n == 0)
+            return; // closed and drained
+        Clock::time_point popped = Clock::now();
+
+        // Execute first, collect the per-query outcomes, THEN record
+        // latency and deliver. Delivery must come last: the moment a
+        // completion fires, drain() may observe the engine idle and
+        // stats() must already contain this group's samples.
+        std::vector<ExecutionResult> results(n);
+        std::vector<std::exception_ptr> errors(n);
+        if (n >= 2) {
+            std::vector<std::vector<rt::BufferPtr>> qargs;
+            qargs.reserve(n);
+            for (const Pending &p : group)
+                qargs.push_back(p.args);
+            // Args were validated at admission; dispatch through the
+            // engine's non-revalidating primitives (friend access).
+            try {
+                FusedBatchResult fused =
+                    engine_->serveFusedChunk(qargs, 0, qargs.size());
+                for (std::size_t i = 0; i < n; ++i)
+                    results[i] = std::move(fused.results[i]);
+                fusedWindows_.fetch_add(1);
+                fusedQueries_.fetch_add(static_cast<std::int64_t>(n));
+            } catch (...) {
+                // The fused window aborted (one query poisoned it)
+                // and recorded nothing in the engine stats. Re-serve
+                // each query alone so its window-mates still succeed;
+                // only the actually-broken ones fail. The group
+                // counts as single dispatches -- that is how it was
+                // ultimately served.
+                singleDispatches_.fetch_add(static_cast<std::int64_t>(n));
+                for (std::size_t i = 0; i < n; ++i) {
+                    try {
+                        results[i] = engine_->serve(group[i].args);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            }
+        } else {
+            singleDispatches_.fetch_add(1);
+            try {
+                results[0] = engine_->serve(group[0].args);
+            } catch (...) {
+                errors[0] = std::current_exception();
+            }
+        }
+
+        Clock::time_point done = Clock::now();
+        // The execute figure is the dispatch-window wall time: for a
+        // fused group every member experienced the whole window (its
+        // completion waited for it), so each query records the full
+        // window duration, mirroring what a caller would measure.
+        double exec_us =
+            std::chrono::duration<double, std::micro>(done - popped)
+                .count();
+        for (const Pending &p : group) {
+            double wait_us = std::chrono::duration<double, std::micro>(
+                                 popped - p.enqueued)
+                                 .count();
+            recordLatency(wait_us, exec_us);
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (errors[i])
+                deliverError(group[i], errors[i]);
+            else
+                deliver(group[i], std::move(results[i]));
+        }
+    }
+}
+
+void
+AsyncServingEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    progress_.wait(lock, [this] {
+        // Everything ticketed has been resolved one way or another
+        // (completed, dropped via displacement -- already counted in
+        // completed_ -- or rejected at admission) and nothing is
+        // queued or mid-dispatch.
+        return queue_.size() == 0 &&
+               completed_.load() + rejected_.load() >= submitted_.load();
+    });
+}
+
+AsyncServingStats
+AsyncServingEngine::stats() const
+{
+    AsyncServingStats stats;
+    stats.serving = engine_->stats();
+    // Read outcome counters BEFORE the ticket counters: every outcome
+    // (completion, rejection, drop) is preceded by its submission
+    // ticket, so sampling outcomes first and tickets last guarantees
+    // the conservation invariant completed + rejected <= submitted in
+    // every snapshot, even one torn across a running storm. The
+    // reverse order can observe a completion whose ticket was counted
+    // after submitted_ was read.
+    stats.failed = failed_.load();
+    stats.dropped = dropped_.load();
+    stats.completed = completed_.load();
+    stats.rejected = rejected_.load();
+    stats.fusedWindows = fusedWindows_.load();
+    stats.fusedQueries = fusedQueries_.load();
+    stats.singleDispatches = singleDispatches_.load();
+    stats.accepted = accepted_.load();
+    stats.submitted = submitted_.load();
+    stats.queueDepth = queue_.size();
+    stats.queueCapacity = queue_.capacity();
+    // accepted_ is bumped by the producer AFTER the push, so a
+    // dispatcher can race a whole serve in between and completed_
+    // would transiently exceed it. Every completed query was by
+    // definition accepted, so clamping keeps the documented
+    // accepted >= completed invariant in every snapshot (and stays
+    // monotone: both inputs only grow).
+    stats.accepted = std::max(stats.accepted, stats.completed);
+
+    std::vector<double> waits;
+    std::vector<double> execs;
+    {
+        std::lock_guard<std::mutex> lock(latencyMutex_);
+        waits = enqueueWaitsUs_.sorted();
+        execs = executeUs_.sorted();
+    }
+    stats.p50EnqueueWaitUs = support::percentile(waits, 50.0);
+    stats.p95EnqueueWaitUs = support::percentile(waits, 95.0);
+    stats.p50ExecuteUs = support::percentile(execs, 50.0);
+    stats.p95ExecuteUs = support::percentile(execs, 95.0);
+    return stats;
+}
+
+} // namespace c4cam::core

@@ -1,0 +1,318 @@
+#ifndef C4CAM_CORE_ASYNCSERVINGENGINE_H
+#define C4CAM_CORE_ASYNCSERVINGENGINE_H
+
+/**
+ * @file
+ * Asynchronous serving front-end with bounded admission and dynamic
+ * micro-batching.
+ *
+ * A ServingEngine serves queries as fast as its replicas allow but
+ * exposes only synchronous entry points: submit() parks a pool task
+ * per query and runBatch() blocks the caller. Under heavy multi-user
+ * traffic that is the wrong shape -- producers outpace the replicas,
+ * in-flight work grows without bound, and there is no admission
+ * decision anywhere. AsyncServingEngine adds that layer:
+ *
+ *   producers -> BoundedQueue (capacity + overflow policy)
+ *             -> dispatcher threads (one per replica by default)
+ *             -> ServingEngine replicas
+ *
+ * @code
+ *   auto engine = kernel.createAsyncServingEngine(setup_args, 4, {});
+ *   std::future<core::ExecutionResult> f = engine->submit(args);
+ *   engine->trySubmit(args2, [](core::ExecutionResult r,
+ *                               std::exception_ptr err) { ... });
+ *   engine->drain();                   // wait for everything accepted
+ *   core::AsyncServingStats s = engine->stats();
+ * @endcode
+ *
+ * Dynamic micro-batching: each dispatcher pops a *group* from the
+ * queue -- one query when the queue is shallow, up to fuseMaxK when
+ * at least fuseMinDepth queries are waiting -- and serves a group of
+ * two or more as one fused device window on one replica (the same
+ * primitive runFusedBatch chunks use). Fused amortization therefore kicks
+ * in automatically exactly when load builds up, and single-query
+ * latency is not taxed when the system is idle. Per-query outputs and
+ * PerfReports stay bit-identical to serial ExecutionSession replay in
+ * both regimes (the fused-window invariant the sync tests lock).
+ *
+ * Shutdown semantics: shutdown() (and the destructor) closes the
+ * queue -- new submissions fail fast -- then lets the dispatchers
+ * drain every already-accepted query before joining them. Accepted
+ * work is never lost; every future/callback eventually fires.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/ServingEngine.h"
+#include "support/BoundedQueue.h"
+#include "support/Error.h"
+
+namespace c4cam::core {
+
+/**
+ * A query refused by the admission layer (queue full under the
+ * Reject policy, displaced by DropOldest, or the engine shutting
+ * down) -- as opposed to a query that was accepted and then failed
+ * during execution, which surfaces as a plain CompilerError. Callers
+ * that shed load (benches, the CLI) catch this type specifically so
+ * real execution failures are never silently counted as refusals.
+ */
+class AdmissionError : public CompilerError
+{
+  public:
+    using CompilerError::CompilerError;
+};
+
+/** Admission / micro-batching knobs of the async front-end. */
+struct AsyncServingOptions
+{
+    /** Submission-queue capacity (clamped to >= 1). */
+    std::size_t queueCapacity = 64;
+
+    /** What push() does when the queue is full. */
+    support::OverflowPolicy policy = support::OverflowPolicy::Block;
+
+    /** Max queries coalesced into one fused dispatch window; 1
+     *  disables micro-batching. */
+    int fuseMaxK = 8;
+
+    /** Queue depth at which dispatchers start coalescing (below it
+     *  every dispatch is a single query). */
+    std::size_t fuseMinDepth = 2;
+
+    /** Dispatcher thread count; 0 means one per engine replica. */
+    int dispatchers = 0;
+};
+
+/** Counters and latency percentiles of the async front-end. */
+struct AsyncServingStats
+{
+    /** The wrapped engine's metrics (simulated aggregate, qps over
+     *  served queries, execution-latency percentiles). */
+    ServingStats serving;
+
+    /// @name Admission counters (monotone; submitted is ticketed
+    /// before the queue decides, so submitted >= accepted + rejected
+    /// transiently and == at quiescence; accepted >= completed in
+    /// every snapshot)
+    /// @{
+    std::int64_t submitted = 0; ///< submission attempts
+    std::int64_t accepted = 0;  ///< entered the queue
+    std::int64_t rejected = 0;  ///< refused at admission (Reject/closed)
+    std::int64_t dropped = 0;   ///< displaced by DropOldest
+    std::int64_t completed = 0; ///< completions delivered (ok or error)
+    std::int64_t failed = 0;    ///< completions that carried an error
+    /// @}
+
+    /// @name Micro-batching counters
+    /// @{
+    std::int64_t fusedWindows = 0;     ///< dispatch groups of >= 2
+    std::int64_t fusedQueries = 0;     ///< queries served fused
+    std::int64_t singleDispatches = 0; ///< groups of exactly 1
+    /// @}
+
+    std::size_t queueDepth = 0;    ///< current backlog
+    std::size_t queueCapacity = 0; ///< configured bound
+
+    /// @name Latency split per query (us): time waiting in the queue
+    /// vs time executing on a replica. Computed over a bounded window
+    /// of the most recent queries (the engine keeps no per-query
+    /// history beyond it).
+    /// @{
+    double p50EnqueueWaitUs = 0.0;
+    double p95EnqueueWaitUs = 0.0;
+    double p50ExecuteUs = 0.0;
+    double p95ExecuteUs = 0.0;
+    /// @}
+};
+
+/**
+ * Bounded-queue admission + dispatcher threads over a ServingEngine.
+ *
+ * Thread-safe throughout: any number of producer threads may call
+ * submit()/trySubmit()/submitBatch* concurrently with each other,
+ * with drain(), with stats(), and with one shutdown() caller.
+ */
+class AsyncServingEngine
+{
+  public:
+    /**
+     * Per-query completion callback: exactly one of (result, error)
+     * is meaningful -- error is nullptr on success. Served queries
+     * complete on a dispatcher thread; admission-time failures
+     * complete on the SUBMITTING thread (a query displaced by
+     * DropOldest fails inside the displacing producer's submit call,
+     * and a streaming slot that fails validation/admission fails
+     * inside submitBatchStreaming). Keep callbacks cheap, reentrant
+     * with respect to your own locks, and never call back into
+     * blocking engine entry points from them.
+     */
+    using Completion =
+        std::function<void(ExecutionResult result, std::exception_ptr error)>;
+
+    /** Prefer CompiledKernel::createAsyncServingEngine(). */
+    AsyncServingEngine(std::unique_ptr<ServingEngine> engine,
+                       AsyncServingOptions options = {});
+
+    /** shutdown(): closes admissions, drains accepted work, joins. */
+    ~AsyncServingEngine();
+
+    AsyncServingEngine(const AsyncServingEngine &) = delete;
+    AsyncServingEngine &operator=(const AsyncServingEngine &) = delete;
+
+    /**
+     * Enqueue one query; the future resolves with the result, or
+     * rethrows the execution error, or rethrows the admission error
+     * (queue rejected the query / a DropOldest displacement evicted
+     * it / the engine shut down first). Argument-shape validation
+     * happens here, synchronously, so malformed submissions fail on
+     * the caller's stack, never inside a dispatcher. Under the Block
+     * policy this call waits for queue space -- that wait IS the
+     * backpressure.
+     */
+    std::future<ExecutionResult> submit(std::vector<rt::BufferPtr> args);
+
+    /**
+     * Callback-flavored submission. @return false when the queue
+     * rejected the query (Reject policy full, or shut down) -- the
+     * callback is then never invoked. On true the callback fires
+     * exactly once, including the DropOldest-eviction and
+     * shutdown-drain cases (as errors).
+     */
+    bool trySubmit(std::vector<rt::BufferPtr> args, Completion callback);
+
+    /** Future-flavored bulk submission, one future per query in
+     *  input order (admission errors surface through the futures). */
+    std::vector<std::future<ExecutionResult>>
+    submitBatch(const std::vector<std::vector<rt::BufferPtr>> &queries);
+
+    /**
+     * Streaming bulk submission: @p on_result fires per query AS IT
+     * FINISHES (any order, concurrently from dispatcher threads) with
+     * the query's input-order index. Every index gets exactly one
+     * completion -- admission rejections and per-query validation
+     * errors are reported through that query's slot (with a null
+     * result) rather than aborting the remaining submissions. Returns
+     * once all queries are enqueued; pair with drain() to wait for
+     * the completions.
+     */
+    void submitBatchStreaming(
+        const std::vector<std::vector<rt::BufferPtr>> &queries,
+        std::function<void(std::size_t index, ExecutionResult result,
+                           std::exception_ptr error)>
+            on_result);
+
+    /**
+     * Wait until every submission accepted so far has completed (or
+     * been dropped) and the queue is empty. Safe to call repeatedly
+     * and concurrently with producers -- it waits for *their*
+     * submissions too, so quiesce producers first if you want a
+     * point-in-time barrier.
+     */
+    void drain();
+
+    /**
+     * Graceful stop: close admissions (pushes fail from now on),
+     * serve everything already accepted, join the dispatchers.
+     * Idempotent; concurrent submitters see rejections, never UB.
+     */
+    void shutdown();
+
+    /** True once shutdown() has begun; submissions fail from then on. */
+    bool shuttingDown() const;
+
+    AsyncServingStats stats() const;
+
+    /** The wrapped synchronous engine (stats introspection etc.). */
+    ServingEngine &engine() { return *engine_; }
+    const ServingEngine &engine() const { return *engine_; }
+
+    int numDispatchers() const
+    {
+        return static_cast<int>(dispatchers_.size());
+    }
+    const AsyncServingOptions &options() const { return options_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One accepted query riding the queue. */
+    struct Pending
+    {
+        std::vector<rt::BufferPtr> args;
+        std::promise<ExecutionResult> promise;
+        Completion callback; ///< used instead of promise when set
+        bool hasCallback = false;
+        Clock::time_point enqueued;
+    };
+
+    /** Admission outcome shared by the submit flavors. */
+    enum class Admission { Accepted, Rejected };
+
+    Admission enqueue(Pending pending);
+    void dispatchLoop();
+    void deliver(Pending &pending, ExecutionResult result);
+    void deliverError(Pending &pending, std::exception_ptr error);
+    void recordLatency(double wait_us, double exec_us);
+    void notifyProgress();
+
+    std::unique_ptr<ServingEngine> engine_;
+    AsyncServingOptions options_;
+    support::BoundedQueue<Pending> queue_;
+
+    /// @name Monotone counters (atomic: read by stats(), bumped from
+    /// producer and dispatcher threads)
+    /// @{
+    std::atomic<std::int64_t> submitted_{0};
+    std::atomic<std::int64_t> accepted_{0};
+    std::atomic<std::int64_t> rejected_{0};
+    std::atomic<std::int64_t> dropped_{0};
+    std::atomic<std::int64_t> completed_{0};
+    std::atomic<std::int64_t> failed_{0};
+    std::atomic<std::int64_t> fusedWindows_{0};
+    std::atomic<std::int64_t> fusedQueries_{0};
+    std::atomic<std::int64_t> singleDispatches_{0};
+    /// @}
+
+    /// @name Latency samples (guarded by latencyMutex_)
+    ///
+    /// Bounded windows over the most recent queries
+    /// (support::LatencyWindow): a long-lived engine must not grow
+    /// memory per query served (that is the whole point of the
+    /// bounded queue), and stats() sorts the window, so the window
+    /// also caps the per-poll cost. Percentiles therefore describe
+    /// the most recent queries -- the operationally interesting view
+    /// for a serving dashboard.
+    /// @{
+    mutable std::mutex latencyMutex_;
+    support::LatencyWindow enqueueWaitsUs_;
+    support::LatencyWindow executeUs_;
+    /// @}
+
+    /// @name Drain/shutdown coordination
+    /// @{
+    mutable std::mutex stateMutex_;
+    std::condition_variable progress_;
+    std::atomic<bool> shutdown_{false};
+    /** Serializes close+join; makes shutdown() idempotent under races. */
+    std::mutex shutdownMutex_;
+    /// @}
+
+    /** Declared last so the loop threads die before the members they
+     *  touch (join happens in shutdown(), called by the destructor). */
+    std::vector<std::thread> dispatchers_;
+};
+
+} // namespace c4cam::core
+
+#endif // C4CAM_CORE_ASYNCSERVINGENGINE_H

@@ -1,5 +1,6 @@
 #include "core/Compiler.h"
 
+#include "core/AsyncServingEngine.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
 #include "dialects/AllDialects.h"
@@ -149,6 +150,15 @@ CompiledKernel::createServingEngine(
     return std::make_unique<ServingEngine>(ctx_, module_, options_, entry_,
                                            setup_args, replicas,
                                            executionPlan());
+}
+
+std::unique_ptr<AsyncServingEngine>
+CompiledKernel::createAsyncServingEngine(
+    const std::vector<rt::BufferPtr> &setup_args, int replicas,
+    const AsyncServingOptions &async_options)
+{
+    return std::make_unique<AsyncServingEngine>(
+        createServingEngine(setup_args, replicas), async_options);
 }
 
 Compiler::Compiler(CompilerOptions options) : options_(std::move(options))

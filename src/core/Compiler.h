@@ -67,6 +67,8 @@ struct ExecutionResult
 
 class ExecutionSession;
 class ServingEngine;
+class AsyncServingEngine;
+struct AsyncServingOptions;
 
 /**
  * Execute @p entry of @p module once on fresh state: a new CamDevice
@@ -166,6 +168,18 @@ class CompiledKernel
     std::unique_ptr<ServingEngine>
     createServingEngine(const std::vector<rt::BufferPtr> &setup_args,
                         int replicas);
+
+    /**
+     * Open an asynchronous serving front-end: a serving engine with
+     * @p replicas programmed copies behind a bounded submission queue
+     * with backpressure and dynamic micro-batching (see
+     * core/AsyncServingEngine.h for the admission and shutdown
+     * semantics). The kernel must outlive the engine.
+     */
+    std::unique_ptr<AsyncServingEngine>
+    createAsyncServingEngine(const std::vector<rt::BufferPtr> &setup_args,
+                             int replicas,
+                             const AsyncServingOptions &async_options);
 
     /**
      * The kernel's compiled ExecutionPlan: the lowered module walked

@@ -2,29 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 
 #include "support/Error.h"
+#include "support/Stats.h"
 
 namespace c4cam::core {
 
 using Clock = std::chrono::steady_clock;
-
-namespace {
-
-/** Percentile over @p sorted (ascending); nearest-rank. */
-double
-percentile(const std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    double rank = p / 100.0 * static_cast<double>(sorted.size());
-    std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
-    idx = std::min(std::max<std::size_t>(idx, 1), sorted.size()) - 1;
-    return sorted[idx];
-}
-
-} // namespace
 
 ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
                              ir::Module &module, CompilerOptions options,
@@ -101,8 +85,15 @@ ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
     freeReplicas_.reserve(replicas_.size());
     for (auto &replica : replicas_)
         freeReplicas_.push_back(replica.get());
+}
 
-    pool_ = std::make_unique<support::ThreadPool>(replicas_.size());
+support::ThreadPool &
+ServingEngine::pool()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (!pool_)
+        pool_ = std::make_unique<support::ThreadPool>(replicas_.size());
+    return *pool_;
 }
 
 ServingEngine::Replica *
@@ -181,7 +172,7 @@ ServingEngine::recordServed(const sim::PerfReport &perf, double latency_s,
     else
         aggregate_.addFullRun(perf);
     ++queriesServed_;
-    latenciesUs_.push_back(latency_s * 1e6);
+    latenciesUs_.record(latency_s * 1e6);
     if (!anyServed_ || start < firstSubmit_)
         firstSubmit_ = start;
     if (!anyServed_ || done > lastDone_)
@@ -193,7 +184,7 @@ std::future<ExecutionResult>
 ServingEngine::submit(std::vector<rt::BufferPtr> args)
 {
     validateKernelArgs(entryBody_, entry_, args);
-    return pool_->submit(
+    return pool().submit(
         [this, args = std::move(args)] { return serve(args); });
 }
 
@@ -221,7 +212,7 @@ ServingEngine::runBatch(
     std::vector<std::future<void>> futures;
     futures.reserve(static_cast<std::size_t>(lanes));
     for (int lane = 0; lane < lanes; ++lane) {
-        futures.push_back(pool_->submit([this, &queries, &results,
+        futures.push_back(pool().submit([this, &queries, &results,
                                          cursor] {
             for (;;) {
                 std::size_t idx = cursor->fetch_add(1);
@@ -246,6 +237,15 @@ ServingEngine::serveFusedChunk(
 {
     FusedBatchResult batch;
     batch.results.reserve(end - begin);
+    /** Per-query stats, recorded only once the whole chunk succeeded. */
+    struct Served
+    {
+        sim::PerfReport perf;
+        Clock::time_point start;
+        Clock::time_point done;
+    };
+    std::vector<Served> served;
+    served.reserve(end - begin);
     Replica *replica = acquireReplica();
     try {
         if (persistent_)
@@ -255,10 +255,7 @@ ServingEngine::serveFusedChunk(
             Clock::time_point start = Clock::now();
             ExecutionResult r = serveOn(*replica, queries[i]);
             Clock::time_point done = Clock::now();
-            recordServed(r.perf,
-                         std::chrono::duration<double>(done - start)
-                             .count(),
-                         start, done);
+            served.push_back({r.perf, start, done});
             batch.results.push_back(std::move(r));
         }
         if (persistent_)
@@ -266,12 +263,21 @@ ServingEngine::serveFusedChunk(
     } catch (...) {
         // A failed query leaves the partial fused accounting
         // meaningless; discard it so the replica stays servable.
+        // Nothing was recorded in the serving stats either, so a
+        // caller that retries the queries individually (the async
+        // front-end's fallback) does not double-count the ones that
+        // succeeded before the failure.
         if (persistent_ && replica->device->fusedWindowActive())
             replica->device->abortFusedWindow();
         releaseReplica(replica);
         throw;
     }
     releaseReplica(replica);
+    for (const Served &s : served)
+        recordServed(s.perf,
+                     std::chrono::duration<double>(s.done - s.start)
+                         .count(),
+                     s.start, s.done);
 
     if (!persistent_) {
         // Non-persistent fallback: synthesize the fused accounting
@@ -313,7 +319,7 @@ ServingEngine::runFusedBatch(
     std::vector<std::future<void>> futures;
     futures.reserve(static_cast<std::size_t>(lanes));
     for (int lane = 0; lane < lanes; ++lane) {
-        futures.push_back(pool_->submit([this, &queries, &results,
+        futures.push_back(pool().submit([this, &queries, &results,
                                          cursor, n, width, num_chunks] {
             for (;;) {
                 std::size_t idx = cursor->fetch_add(1);
@@ -355,10 +361,9 @@ ServingEngine::stats() const
             stats.qps = static_cast<double>(queriesServed_) /
                         stats.wallSeconds;
     }
-    std::vector<double> sorted = latenciesUs_;
-    std::sort(sorted.begin(), sorted.end());
-    stats.p50LatencyUs = percentile(sorted, 50.0);
-    stats.p95LatencyUs = percentile(sorted, 95.0);
+    std::vector<double> sorted = latenciesUs_.sorted();
+    stats.p50LatencyUs = support::percentile(sorted, 50.0);
+    stats.p95LatencyUs = support::percentile(sorted, 95.0);
     return stats;
 }
 

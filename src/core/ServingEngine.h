@@ -51,6 +51,7 @@
 #include "runtime/ExecutionPlan.h"
 #include "runtime/Interpreter.h"
 #include "sim/CamDevice.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 namespace c4cam::core {
@@ -67,7 +68,9 @@ struct ServingStats
     /** Host throughput: queriesServed / wallSeconds. */
     double qps = 0.0;
 
-    /// @name Host wall-clock latency percentiles per query (us)
+    /// @name Host wall-clock latency percentiles per query (us),
+    /// over a bounded window of the most recent queries (a long-lived
+    /// engine keeps no unbounded per-query history)
     /// @{
     double p50LatencyUs = 0.0;
     double p95LatencyUs = 0.0;
@@ -143,6 +146,20 @@ class ServingEngine
     runFusedBatch(const std::vector<std::vector<rt::BufferPtr>> &queries,
                   int k, int threads = 0);
 
+    /**
+     * Validate @p args against the kernel signature without serving
+     * (throws CompilerError on mismatch). The async front-end calls
+     * this at submission time so malformed queries fail on the
+     * submitter's stack instead of inside a dispatcher thread; its
+     * dispatchers then serve through the non-revalidating private
+     * primitives (friend access below).
+     */
+    void
+    validateQuery(const std::vector<rt::BufferPtr> &args) const
+    {
+        validateKernelArgs(entryBody_, entry_, args);
+    }
+
     /** Aggregate metrics over everything served so far. */
     ServingStats stats() const;
 
@@ -154,6 +171,12 @@ class ServingEngine
     std::int64_t queriesServed() const;
 
   private:
+    /** The async front-end validates at admission and dispatches
+     *  through the non-revalidating serve()/serveFusedChunk()
+     *  primitives below -- re-walking the kernel signature per
+     *  dispatch would be pure overhead on the hot path. */
+    friend class AsyncServingEngine;
+
     /** One programmed device copy + the post-setup execution state
      *  (the interpreter's SSA env or the plan's slot frame). */
     struct Replica
@@ -212,14 +235,23 @@ class ServingEngine
     mutable std::mutex statsMutex_;
     sim::PerfReport aggregate_;
     std::int64_t queriesServed_ = 0;
-    std::vector<double> latenciesUs_;
+    /** Bounded window over the most recent queries: stats() sorts it
+     *  per call and a serving engine can live for millions of
+     *  queries. */
+    support::LatencyWindow latenciesUs_;
     bool anyServed_ = false;
     std::chrono::steady_clock::time_point firstSubmit_;
     std::chrono::steady_clock::time_point lastDone_;
     /// @}
 
-    /** Declared last: destruction drains in-flight work while the
+    /** The pool backing submit()/runBatch()/runFusedBatch(), created
+     *  lazily on first use: the async front-end dispatches through
+     *  serve()/serveFusedChunk() on its own threads and must not pay
+     *  one parked pool worker per replica for the engine's lifetime.
+     *  Declared last: destruction drains in-flight work while the
      *  replicas and stats above are still alive. */
+    support::ThreadPool &pool();
+    std::mutex poolMutex_;
     std::unique_ptr<support::ThreadPool> pool_;
 };
 

@@ -1,0 +1,255 @@
+#ifndef C4CAM_SUPPORT_BOUNDEDQUEUE_H
+#define C4CAM_SUPPORT_BOUNDEDQUEUE_H
+
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue with overflow policies.
+ *
+ * The admission layer of the async serving front-end: producers push
+ * queries, dispatcher threads pop them (singly or in groups for
+ * fused micro-batching). The capacity bound is what turns a traffic
+ * spike into backpressure instead of unbounded memory growth; the
+ * policy decides what backpressure looks like:
+ *
+ *  - Block:      push() waits until a slot frees up (lossless,
+ *                producers slow down to the service rate);
+ *  - Reject:     push() fails immediately when full (load shedding at
+ *                admission, callers see the rejection synchronously);
+ *  - DropOldest: push() displaces the oldest queued item and hands it
+ *                back to the caller so its completion can be failed
+ *                (freshness wins; a stale queued query is worth less
+ *                than the newly arriving one).
+ *
+ * Plain mutex + two condition variables: the queues here hold whole
+ * serving requests whose execution costs microseconds to
+ * milliseconds, so lock contention is noise and the simplicity is
+ * worth more than a lock-free ring. Type T needs to be movable only.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace c4cam::support {
+
+/** What push() does when the queue is at capacity. */
+enum class OverflowPolicy { Block, Reject, DropOldest };
+
+inline const char *
+toString(OverflowPolicy policy)
+{
+    switch (policy) {
+    case OverflowPolicy::Block:
+        return "block";
+    case OverflowPolicy::Reject:
+        return "reject";
+    case OverflowPolicy::DropOldest:
+        return "drop-oldest";
+    }
+    return "unknown";
+}
+
+/** Parse a CLI spelling ("block" / "reject" / "drop-oldest"). */
+inline std::optional<OverflowPolicy>
+parseOverflowPolicy(std::string_view text)
+{
+    if (text == "block")
+        return OverflowPolicy::Block;
+    if (text == "reject")
+        return OverflowPolicy::Reject;
+    if (text == "drop-oldest")
+        return OverflowPolicy::DropOldest;
+    return std::nullopt;
+}
+
+/**
+ * Fixed-capacity FIFO shared by N producers and M consumers.
+ *
+ * close() makes every subsequent push() fail with Closed and lets
+ * consumers drain what is already queued; pop()/popGroup() return
+ * false/0 only when the queue is both closed and empty, so a graceful
+ * shutdown never loses accepted work.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    enum class PushStatus { Ok, Rejected, Closed };
+
+    /** Outcome of one push: the status, plus the item the caller must
+     *  fail -- under DropOldest a successful push can displace the
+     *  oldest queued item (returned in @c displaced), and a
+     *  Rejected/Closed push hands the caller's own item back in
+     *  @c returned so its completion can be resolved instead of
+     *  silently destroyed. */
+    struct PushResult
+    {
+        PushStatus status = PushStatus::Ok;
+        std::optional<T> displaced;
+        std::optional<T> returned;
+
+        bool ok() const { return status == PushStatus::Ok; }
+    };
+
+    /** @p capacity must be >= 1 (enforced by clamping, not UB). */
+    explicit BoundedQueue(std::size_t capacity,
+                          OverflowPolicy policy = OverflowPolicy::Block)
+        : capacity_(capacity == 0 ? 1 : capacity), policy_(policy)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    std::size_t capacity() const { return capacity_; }
+    OverflowPolicy policy() const { return policy_; }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /**
+     * Enqueue @p item according to the overflow policy. Under Block
+     * this waits for space (or for close()); the other policies never
+     * block. A Rejected/Closed result leaves @p item consumed -- the
+     * caller already moved it in and is expected to fail the
+     * associated completion, not retry with the same object.
+     */
+    PushResult
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        PushResult result;
+        if (closed_) {
+            result.status = PushStatus::Closed;
+            result.returned = std::move(item);
+            return result;
+        }
+        if (items_.size() >= capacity_) {
+            switch (policy_) {
+            case OverflowPolicy::Block:
+                notFull_.wait(lock, [this] {
+                    return closed_ || items_.size() < capacity_;
+                });
+                if (closed_) {
+                    result.status = PushStatus::Closed;
+                    result.returned = std::move(item);
+                    return result;
+                }
+                break;
+            case OverflowPolicy::Reject:
+                result.status = PushStatus::Rejected;
+                result.returned = std::move(item);
+                return result;
+            case OverflowPolicy::DropOldest:
+                result.displaced = std::move(items_.front());
+                items_.pop_front();
+                break;
+            }
+        }
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return result;
+    }
+
+    /**
+     * Dequeue one item, waiting while the queue is empty and open.
+     * @return false only when closed and fully drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue a micro-batch: waits like pop() for the first item,
+     * then -- only when at least @p fuse_threshold items are queued
+     * -- greedily takes up to @p max_items of what is available right
+     * now (never waiting for more). Below the threshold exactly one
+     * item is taken, so a shallow queue degenerates to single-query
+     * dispatch and a deep queue yields fused windows. The depth test
+     * and the take happen under one lock, so concurrent consumers
+     * never split an observed-deep queue into singles.
+     *
+     * Appends to @p out. @return number of items taken; 0 only when
+     * closed and drained.
+     */
+    std::size_t
+    popGroup(std::vector<T> &out, std::size_t max_items,
+             std::size_t fuse_threshold = 2)
+    {
+        if (max_items == 0)
+            max_items = 1;
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return 0;
+        std::size_t take = 1;
+        if (items_.size() >= fuse_threshold)
+            take = std::min(max_items, items_.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        // Every freed slot can admit one blocked producer.
+        for (std::size_t i = 0; i < take; ++i)
+            notFull_.notify_one();
+        return take;
+    }
+
+    /**
+     * Stop admissions: subsequent push() calls fail with Closed,
+     * blocked producers wake up with Closed, and consumers drain the
+     * remaining items before pop()/popGroup() report exhaustion.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+  private:
+    const std::size_t capacity_;
+    const OverflowPolicy policy_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace c4cam::support
+
+#endif // C4CAM_SUPPORT_BOUNDEDQUEUE_H

@@ -1,0 +1,40 @@
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace c4cam::support {
+
+std::vector<double>
+LatencyWindow::sorted() const
+{
+    std::vector<double> out = samples_;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 100.0);
+    const std::size_t n = sorted.size();
+
+    // Smallest 1-based rank k with k * 100 >= p * n. Start from the
+    // float estimate, then correct with exact comparisons: both
+    // k * 100.0 and p * n are exactly representable for integral p
+    // and any sample count below 2^46, so the loop steps settle on
+    // the true ceiling even when the division-based estimate is off
+    // by one ulp in either direction.
+    const double target = p * static_cast<double>(n);
+    std::size_t k = static_cast<std::size_t>(target / 100.0);
+    while (k > 1 && static_cast<double>(k - 1) * 100.0 >= target)
+        --k;
+    while (static_cast<double>(k) * 100.0 < target)
+        ++k;
+    k = std::min(std::max<std::size_t>(k, 1), n);
+    return sorted[k - 1];
+}
+
+} // namespace c4cam::support

@@ -1,0 +1,87 @@
+#ifndef C4CAM_SUPPORT_STATS_H
+#define C4CAM_SUPPORT_STATS_H
+
+/**
+ * @file
+ * Small numeric helpers for serving statistics.
+ *
+ * Extracted from core/ServingEngine.cpp so the synchronous and the
+ * asynchronous serving front-ends report percentiles through one
+ * (tested) implementation instead of two copies that can drift.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace c4cam::support {
+
+/**
+ * Bounded sample window for latency percentiles: appends until
+ * @p capacity, then overwrites the oldest sample (a ring), so a
+ * long-lived serving engine keeps no unbounded per-query history and
+ * every percentile poll sorts at most @p capacity values. Percentiles
+ * computed from it describe the most recent `capacity` samples.
+ *
+ * Shared by the sync and async serving engines -- one implementation
+ * of the window-insert/cursor logic, for the same reason percentile()
+ * itself lives here: two copies drift. NOT thread-safe; callers
+ * guard it with their own stats mutex.
+ */
+class LatencyWindow
+{
+  public:
+    explicit LatencyWindow(std::size_t capacity = 4096)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    void
+    record(double sample)
+    {
+        if (samples_.size() < capacity_) {
+            samples_.push_back(sample);
+        } else {
+            samples_[cursor_] = sample;
+            cursor_ = (cursor_ + 1) % capacity_;
+        }
+    }
+
+    std::size_t size() const { return samples_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Sorted copy of the current samples (ready for percentile()). */
+    std::vector<double> sorted() const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<double> samples_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Nearest-rank percentile over @p sorted (ascending).
+ *
+ * Returns the smallest element whose rank k (1-based) satisfies
+ * k * 100 >= p * n -- the classic nearest-rank definition, so
+ * percentile(v, 100) is the maximum and percentile(v, 50) of an
+ * even-length sequence is the lower median. 0.0 on an empty vector.
+ *
+ * The rank is computed with exact comparisons instead of
+ * ceil(p / 100.0 * n): the division rounds p/100 away from the exact
+ * value for most p (0.28, 0.55, ... have no double representation),
+ * and the subsequent multiply can land one ulp above an integral
+ * rank, which ceil() then bumps to the next rank -- an off-by-one
+ * that made the old ServingEngine copy return the 8th element for
+ * p28/n25 (exact rank: 7), among ~27 such integral-rank points for
+ * n <= 200. p * n itself is exact for integral percentiles and every
+ * realistic sample count, so comparing against k * 100 never
+ * misranks.
+ *
+ * @p p is clamped to [0, 100]; @p sorted must be sorted ascending
+ * (the function trusts, not checks).
+ */
+double percentile(const std::vector<double> &sorted, double p);
+
+} // namespace c4cam::support
+
+#endif // C4CAM_SUPPORT_STATS_H

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Differential fuzzing of the two execution back ends.
+ *
+ * ExecutionPlanTest locks plan-vs-tree-walk bit-identity on the three
+ * hand-picked tier-1 kernels; this tier generates a seeded-random
+ * population of kernel configurations -- shapes, query batch sizes,
+ * top-k widths, subarray sizes, optimization targets, CAM device
+ * types and lowering phases (device / host-cim / host-loops) -- and
+ * asserts for every one of them that compiled-plan replay and the
+ * tree-walking interpreter produce bit-identical outputs AND
+ * bit-identical PerfReport JSON, both single-shot and through a
+ * persistent session serving several queries.
+ *
+ * Determinism: the generator is a fixed-seed splitmix64 Rng, so a
+ * failure reproduces by trial index; the trial's configuration is in
+ * the SCOPED_TRACE output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/Workloads.h"
+#include "core/Compiler.h"
+#include "core/ExecutionSession.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+
+using namespace c4cam;
+using c4cam::arch::ArchSpec;
+using c4cam::arch::OptTarget;
+
+namespace {
+
+/** One randomly drawn kernel configuration. */
+struct FuzzConfig
+{
+    std::string description;
+    std::string source;
+    core::CompilerOptions options;
+    std::int64_t queriesPerBatch = 1;
+    std::int64_t rows = 0;
+    std::int64_t dims = 0;
+};
+
+/** Lowering phases the differential covers. */
+enum class Phase { Device, HostCim, HostLoops };
+
+FuzzConfig
+drawConfig(Rng &rng)
+{
+    static const std::int64_t kRowChoices[] = {2, 3, 4, 6, 8, 12, 16};
+    static const std::int64_t kDimChoices[] = {16, 32, 48, 64, 96, 128};
+    static const int kSizeChoices[] = {16, 32, 64};
+    static const OptTarget kTargets[] = {
+        OptTarget::Base, OptTarget::Power, OptTarget::Density,
+        OptTarget::PowerDensity};
+
+    FuzzConfig cfg;
+    cfg.rows = kRowChoices[rng.nextBelow(std::size(kRowChoices))];
+    cfg.dims = kDimChoices[rng.nextBelow(std::size(kDimChoices))];
+    int size = kSizeChoices[rng.nextBelow(std::size(kSizeChoices))];
+    OptTarget target = kTargets[rng.nextBelow(std::size(kTargets))];
+    Phase phase = static_cast<Phase>(rng.nextBelow(3));
+    bool knn = rng.nextBool();
+    std::int64_t k =
+        1 + static_cast<std::int64_t>(
+                rng.nextBelow(static_cast<std::uint64_t>(
+                    std::min<std::int64_t>(cfg.rows, 3))));
+
+    cfg.options.spec = ArchSpec::dseSetup(size, target);
+    if (knn) {
+        // Euclidean distance needs the multi-bit MCAM cell model on
+        // the device path; host lowering is cell-model agnostic.
+        cfg.options.spec.camType = arch::CamDeviceType::Mcam;
+        cfg.options.spec.bitsPerCell = 2;
+        cfg.source = apps::knnEuclideanSource(1, cfg.rows, cfg.dims, k);
+        cfg.queriesPerBatch = 1;
+    } else {
+        cfg.queriesPerBatch =
+            static_cast<std::int64_t>(1 + rng.nextBelow(3));
+        cfg.source = apps::dotSimilaritySource(cfg.queriesPerBatch,
+                                               cfg.rows, cfg.dims, k);
+    }
+    switch (phase) {
+    case Phase::Device:
+        break;
+    case Phase::HostCim:
+        cfg.options.hostOnly = true;
+        break;
+    case Phase::HostLoops:
+        cfg.options.hostOnly = true;
+        cfg.options.lowerToLoops = true;
+        break;
+    }
+
+    cfg.description =
+        std::string(knn ? "knn" : "dot") + " rows=" +
+        std::to_string(cfg.rows) + " dims=" + std::to_string(cfg.dims) +
+        " qpb=" + std::to_string(cfg.queriesPerBatch) +
+        " k=" + std::to_string(k) + " size=" + std::to_string(size) +
+        " target=" + toString(target) + " phase=" +
+        (phase == Phase::Device
+             ? "device"
+             : phase == Phase::HostCim ? "host-cim" : "host-loops");
+    return cfg;
+}
+
+/** Random +-1 stored matrix plus a query batch that mixes exact
+ *  stored rows with fresh random vectors. */
+struct FuzzData
+{
+    rt::BufferPtr stored;
+    std::vector<rt::BufferPtr> queryBatches;
+};
+
+FuzzData
+drawData(Rng &rng, const FuzzConfig &cfg, std::size_t num_batches)
+{
+    std::vector<std::vector<float>> stored(
+        static_cast<std::size_t>(cfg.rows),
+        std::vector<float>(static_cast<std::size_t>(cfg.dims)));
+    for (auto &row : stored)
+        for (auto &v : row)
+            v = rng.nextBool() ? 1.0f : -1.0f;
+
+    FuzzData data;
+    data.stored = rt::Buffer::fromMatrix(stored);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+        std::vector<std::vector<float>> queries;
+        for (std::int64_t q = 0; q < cfg.queriesPerBatch; ++q) {
+            if (rng.nextBool()) {
+                queries.push_back(
+                    stored[rng.nextBelow(stored.size())]);
+            } else {
+                std::vector<float> fresh(
+                    static_cast<std::size_t>(cfg.dims));
+                for (auto &v : fresh)
+                    v = rng.nextBool() ? 1.0f : -1.0f;
+                queries.push_back(std::move(fresh));
+            }
+        }
+        data.queryBatches.push_back(rt::Buffer::fromMatrix(queries));
+    }
+    return data;
+}
+
+void
+expectOutputsBitIdentical(const std::vector<rt::RtValue> &a,
+                          const std::vector<rt::RtValue> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].isBuffer(), b[i].isBuffer()) << "output " << i;
+        if (a[i].isBuffer()) {
+            EXPECT_EQ(a[i].asBuffer()->shape(), b[i].asBuffer()->shape())
+                << "output " << i;
+            EXPECT_EQ(a[i].asBuffer()->toVector(),
+                      b[i].asBuffer()->toVector())
+                << "output " << i;
+        } else if (a[i].isInt()) {
+            EXPECT_EQ(a[i].asInt(), b[i].asInt()) << "output " << i;
+        }
+    }
+}
+
+/** The strongest report equality there is: the serialized JSON must
+ *  match byte for byte (covers every field plus derived metrics). */
+void
+expectReportJsonBitIdentical(const sim::PerfReport &a,
+                             const sim::PerfReport &b)
+{
+    EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+}
+
+} // namespace
+
+TEST(DifferentialFuzz, PlanAndTreeWalkAgreeOnRandomConfigs)
+{
+    const int kTrials = 20;
+    const std::size_t kQueriesPerSession = 3;
+    Rng rng(0xC4CA11FEEDull);
+
+    for (int trial = 0; trial < kTrials; ++trial) {
+        FuzzConfig cfg = drawConfig(rng);
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                     cfg.description);
+
+        core::CompilerOptions walk_options = cfg.options;
+        walk_options.treeWalkExecution = true;
+        core::Compiler plan_compiler(cfg.options);
+        core::CompiledKernel plan_kernel =
+            plan_compiler.compileTorchScript(cfg.source);
+        core::Compiler walk_compiler(walk_options);
+        core::CompiledKernel walk_kernel =
+            walk_compiler.compileTorchScript(cfg.source);
+
+        FuzzData data = drawData(rng, cfg, kQueriesPerSession + 1);
+
+        // Single-shot differential.
+        std::vector<rt::BufferPtr> args{data.queryBatches[0],
+                                        data.stored};
+        core::ExecutionResult via_plan = plan_kernel.run(args);
+        core::ExecutionResult via_walk = walk_kernel.run(args);
+        expectOutputsBitIdentical(via_plan.outputs, via_walk.outputs);
+        expectReportJsonBitIdentical(via_plan.perf, via_walk.perf);
+
+        // Session differential: serve several query batches through a
+        // persistent session on each back end, comparing per-query
+        // and aggregate accounting.
+        core::ExecutionSession plan_session =
+            plan_kernel.createSession(args);
+        core::ExecutionSession walk_session =
+            walk_kernel.createSession(args);
+        EXPECT_TRUE(plan_session.usesPlan());
+        EXPECT_FALSE(walk_session.usesPlan());
+        for (std::size_t q = 1; q <= kQueriesPerSession; ++q) {
+            SCOPED_TRACE("session query " + std::to_string(q));
+            std::vector<rt::BufferPtr> query_args{data.queryBatches[q],
+                                                  data.stored};
+            core::ExecutionResult p = plan_session.runQuery(query_args);
+            core::ExecutionResult w = walk_session.runQuery(query_args);
+            expectOutputsBitIdentical(p.outputs, w.outputs);
+            expectReportJsonBitIdentical(p.perf, w.perf);
+        }
+        expectReportJsonBitIdentical(plan_session.aggregateReport(),
+                                     walk_session.aggregateReport());
+    }
+}

@@ -4,6 +4,7 @@
 
 #include "apps/Workloads.h"
 #include "core/Compiler.h"
+#include "core/ExecutionSession.h"
 #include "passes/CamMapping.h"
 #include "support/Rng.h"
 
@@ -195,3 +196,134 @@ TEST_P(TargetOrdering, PowerConfigsAreSlower)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, TargetOrdering,
                          ::testing::Values(16, 32, 64, 128));
+
+/**
+ * Property: fused-window accounting is conservative for random batch
+ * widths and query mixes. For any K and any mix of repeated /
+ * stored-row / random queries, runFusedBatch totals must equal the
+ * sum of the serial query windows EXACTLY (fusion re-attributes cost,
+ * it never creates or destroys any), and the amortized per-query
+ * shares must multiply back to the totals.
+ */
+class FusedAccountingSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FusedAccountingSweep, FusedTotalsEqualSerialSumForRandomMixes)
+{
+    const int trial = GetParam();
+    Rng rng(7000 + static_cast<std::uint64_t>(trial));
+
+    const std::int64_t rows = 4 + static_cast<std::int64_t>(
+                                      rng.nextBelow(9)); // 4..12
+    const std::int64_t dims = 32 * (1 + static_cast<std::int64_t>(
+                                            rng.nextBelow(3))); // 32..96
+    const int k = 1 + static_cast<int>(rng.nextBelow(6));       // 1..6
+
+    auto stored = randomSigns(static_cast<std::size_t>(rows),
+                              static_cast<std::size_t>(dims),
+                              9000 + static_cast<std::uint64_t>(trial));
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::Compiler compiler(options);
+    core::CompiledKernel kernel = compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, rows, dims, 1));
+
+    // Random query mix: stored rows, duplicates, fresh random rows.
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int q = 0; q < k; ++q) {
+        std::vector<float> row;
+        if (rng.nextBool(0.6)) {
+            row = stored[rng.nextBelow(stored.size())];
+        } else {
+            row.resize(static_cast<std::size_t>(dims));
+            for (auto &v : row)
+                v = rng.nextBool() ? 1.0f : -1.0f;
+        }
+        queries.push_back({rt::Buffer::fromMatrix({row}), stored_buf});
+    }
+
+    core::ExecutionSession serial = kernel.createSession(queries[0]);
+    std::vector<core::ExecutionResult> serial_results =
+        serial.runBatch(queries);
+
+    core::ExecutionSession fused_session =
+        kernel.createSession(queries[0]);
+    core::FusedBatchResult fused = fused_session.runFusedBatch(queries);
+
+    ASSERT_EQ(fused.results.size(), static_cast<std::size_t>(k));
+    EXPECT_EQ(fused.fused.k, k);
+    EXPECT_EQ(fused.fused.queriesFolded, k);
+
+    double lat = 0.0, energy = 0.0, cell = 0.0, sense = 0.0;
+    double drive = 0.0, merge = 0.0;
+    std::int64_t searches = 0;
+    for (int q = 0; q < k; ++q) {
+        const sim::PerfReport &s =
+            serial_results[static_cast<std::size_t>(q)].perf;
+        lat += s.queryLatencyNs;
+        energy += s.queryEnergyPj;
+        cell += s.cellEnergyPj;
+        sense += s.senseEnergyPj;
+        drive += s.driveEnergyPj;
+        merge += s.mergeEnergyPj;
+        searches += s.searches;
+        // Per-query results inside the fused pass stay bit-identical
+        // to serial serving.
+        const sim::PerfReport &f =
+            fused.results[static_cast<std::size_t>(q)].perf;
+        EXPECT_EQ(f.queryLatencyNs, s.queryLatencyNs) << "query " << q;
+        EXPECT_EQ(f.queryEnergyPj, s.queryEnergyPj) << "query " << q;
+        EXPECT_EQ(f.searches, s.searches) << "query " << q;
+        EXPECT_EQ(fused.results[static_cast<std::size_t>(q)]
+                      .outputs[1]
+                      .asBuffer()
+                      ->toVector(),
+                  serial_results[static_cast<std::size_t>(q)]
+                      .outputs[1]
+                      .asBuffer()
+                      ->toVector())
+            << "query " << q;
+    }
+
+    // Exact equality: the fused totals ARE the serial sum (the same
+    // doubles folded in the same order), not an approximation of it.
+    EXPECT_EQ(fused.fused.total.latencyNs, lat);
+    EXPECT_EQ(fused.fused.total.energyPj, energy);
+    EXPECT_EQ(fused.fused.cellEnergyPj, cell);
+    EXPECT_EQ(fused.fused.senseEnergyPj, sense);
+    EXPECT_EQ(fused.fused.driveEnergyPj, drive);
+    EXPECT_EQ(fused.fused.mergeEnergyPj, merge);
+    EXPECT_EQ(fused.fused.searches, searches);
+
+    // Amortized per-query shares multiply back to the totals (one
+    // rounding each way at most -- DOUBLE_EQ, not exact).
+    const double dk = static_cast<double>(k);
+    EXPECT_DOUBLE_EQ(fused.fused.latencyPerQueryNs() * dk, lat);
+    EXPECT_DOUBLE_EQ(fused.fused.energyPerQueryPj() * dk, energy);
+    EXPECT_DOUBLE_EQ(fused.fused.driveEnergyPerQueryPj() * dk, drive);
+
+    // The rendered report carries the same conservation: query fields
+    // are the fused totals, fusedBatchK is K, and the fused* share
+    // accessors sum back to their components.
+    const sim::PerfReport &report = fused.fusedReport;
+    EXPECT_EQ(report.fusedBatchK, k);
+    EXPECT_EQ(report.queriesServed, k);
+    EXPECT_EQ(report.queryLatencyNs, lat);
+    EXPECT_EQ(report.queryEnergyPj, energy);
+    EXPECT_EQ(report.driveEnergyPj, drive);
+    EXPECT_DOUBLE_EQ(report.fusedDriveEnergyPerQueryPj() * dk,
+                     report.driveEnergyPj);
+    EXPECT_DOUBLE_EQ(report.fusedSetupEnergyPerQueryPj() * dk,
+                     report.setupEnergyPj);
+    // Setup is the session's one-time cost, paid once, not once per
+    // fused query.
+    EXPECT_EQ(report.setupLatencyNs,
+              fused_session.setupReport().setupLatencyNs);
+    EXPECT_EQ(report.setupEnergyPj,
+              fused_session.setupReport().setupEnergyPj);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, FusedAccountingSweep,
+                         ::testing::Range(0, 8));

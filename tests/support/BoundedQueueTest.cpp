@@ -1,0 +1,220 @@
+/**
+ * @file
+ * BoundedQueue semantics: overflow policies, close/drain behavior and
+ * the micro-batching popGroup primitive, plus a small MPMC exchange.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/BoundedQueue.h"
+
+using c4cam::support::BoundedQueue;
+using c4cam::support::OverflowPolicy;
+using c4cam::support::parseOverflowPolicy;
+using c4cam::support::toString;
+
+TEST(BoundedQueue, FifoOrderAndSize)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_EQ(q.size(), 0u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    EXPECT_EQ(q.size(), 4u);
+    int out = -1;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(q.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne)
+{
+    BoundedQueue<int> q(0, OverflowPolicy::Reject);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.push(1).ok());
+    EXPECT_FALSE(q.push(2).ok());
+}
+
+TEST(BoundedQueue, RejectPolicyReturnsTheItem)
+{
+    BoundedQueue<int> q(2, OverflowPolicy::Reject);
+    EXPECT_TRUE(q.push(1).ok());
+    EXPECT_TRUE(q.push(2).ok());
+    auto result = q.push(3);
+    EXPECT_EQ(result.status, BoundedQueue<int>::PushStatus::Rejected);
+    ASSERT_TRUE(result.returned.has_value());
+    EXPECT_EQ(*result.returned, 3);
+    EXPECT_FALSE(result.displaced.has_value());
+    // The queued items are untouched.
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+}
+
+TEST(BoundedQueue, DropOldestDisplacesTheFront)
+{
+    BoundedQueue<int> q(2, OverflowPolicy::DropOldest);
+    EXPECT_TRUE(q.push(1).ok());
+    EXPECT_TRUE(q.push(2).ok());
+    auto result = q.push(3);
+    EXPECT_TRUE(result.ok());
+    ASSERT_TRUE(result.displaced.has_value());
+    EXPECT_EQ(*result.displaced, 1); // oldest goes, newest stays
+    EXPECT_EQ(q.size(), 2u);
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(7).ok());
+    EXPECT_TRUE(q.push(8).ok());
+    q.close();
+    EXPECT_TRUE(q.closed());
+    auto result = q.push(9);
+    EXPECT_EQ(result.status, BoundedQueue<int>::PushStatus::Closed);
+    ASSERT_TRUE(result.returned.has_value());
+    EXPECT_EQ(*result.returned, 9);
+    // Accepted work survives the close.
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 7);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 8);
+    EXPECT_FALSE(q.pop(out)); // closed and drained
+}
+
+TEST(BoundedQueue, BlockPolicyWakesOnPopAndOnClose)
+{
+    BoundedQueue<int> q(1, OverflowPolicy::Block);
+    EXPECT_TRUE(q.push(1).ok());
+
+    // A blocked producer is released by a consumer making space.
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2).ok());
+        pushed.store(true);
+    });
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+
+    // A blocked producer is released (with Closed) by close().
+    std::thread blocked([&] {
+        auto result = q.push(3);
+        EXPECT_EQ(result.status, BoundedQueue<int>::PushStatus::Closed);
+    });
+    // Give the producer a chance to park on the full queue, then close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    blocked.join();
+}
+
+TEST(BoundedQueue, PopGroupSingleWhenShallowFusedWhenDeep)
+{
+    BoundedQueue<int> q(16);
+    std::vector<int> out;
+
+    // One queued item, threshold 2: single dispatch.
+    EXPECT_TRUE(q.push(1).ok());
+    EXPECT_EQ(q.popGroup(out, 8, 2), 1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 1);
+
+    // Deep queue: takes up to max_items in FIFO order.
+    out.clear();
+    for (int i = 0; i < 6; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    EXPECT_EQ(q.popGroup(out, 4, 2), 4u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+
+    // Remaining two still meet the threshold.
+    out.clear();
+    EXPECT_EQ(q.popGroup(out, 4, 2), 2u);
+    EXPECT_EQ(out, (std::vector<int>{4, 5}));
+
+    // Threshold above the backlog degrades to single dispatch.
+    out.clear();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    EXPECT_EQ(q.popGroup(out, 8, 5), 1u);
+    EXPECT_EQ(out, (std::vector<int>{0}));
+}
+
+TEST(BoundedQueue, PopGroupDrainsAfterClose)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    q.close();
+    std::vector<int> out;
+    EXPECT_EQ(q.popGroup(out, 8, 2), 3u);
+    EXPECT_EQ(q.popGroup(out, 8, 2), 0u); // drained
+}
+
+TEST(BoundedQueue, MpmcExchangeLosesNothing)
+{
+    // 4 producers x 4 consumers over a small Block queue: every pushed
+    // value is popped exactly once.
+    const int producers = 4;
+    const int per_producer = 250;
+    BoundedQueue<int> q(8, OverflowPolicy::Block);
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p)
+        threads.emplace_back([&q, p] {
+            for (int i = 0; i < per_producer; ++i)
+                ASSERT_TRUE(q.push(p * per_producer + i).ok());
+        });
+
+    std::mutex seen_mutex;
+    std::set<int> seen;
+    std::atomic<int> popped{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 4; ++c)
+        consumers.emplace_back([&] {
+            int value = 0;
+            while (q.pop(value)) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                EXPECT_TRUE(seen.insert(value).second)
+                    << "duplicate " << value;
+                popped.fetch_add(1);
+            }
+        });
+
+    for (auto &t : threads)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(popped.load(), producers * per_producer);
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(producers * per_producer));
+}
+
+TEST(BoundedQueue, PolicyNamesRoundTrip)
+{
+    for (OverflowPolicy policy :
+         {OverflowPolicy::Block, OverflowPolicy::Reject,
+          OverflowPolicy::DropOldest}) {
+        auto parsed = parseOverflowPolicy(toString(policy));
+        ASSERT_TRUE(parsed.has_value()) << toString(policy);
+        EXPECT_EQ(*parsed, policy);
+    }
+    EXPECT_FALSE(parseOverflowPolicy("banana").has_value());
+    EXPECT_FALSE(parseOverflowPolicy("").has_value());
+}

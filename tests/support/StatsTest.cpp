@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Regression pins for support::percentile -- the one implementation
+ * behind every p50/p95 the serving stack reports.
+ *
+ * The old copy in ServingEngine.cpp computed ceil(p / 100.0 * n),
+ * which can land one ulp above an integral rank (p / 100 rounds away
+ * from the exact value for most p, and the multiply keeps the excess
+ * for some n) so ceil() returns the NEXT rank: p28/n25 yielded the
+ * 8th element instead of the 7th, one of ~27 wrong integral-rank
+ * points for n <= 200. These tests pin the exact nearest-rank
+ * semantics on known sequences, including those off-by-one inputs,
+ * so the math cannot silently regress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/Stats.h"
+
+using c4cam::support::percentile;
+
+TEST(Stats, EmptyReturnsZero)
+{
+    EXPECT_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_EQ(percentile({}, 95.0), 0.0);
+}
+
+TEST(Stats, OneElementIsEveryPercentile)
+{
+    std::vector<double> one{42.5};
+    EXPECT_EQ(percentile(one, 0.0), 42.5);
+    EXPECT_EQ(percentile(one, 50.0), 42.5);
+    EXPECT_EQ(percentile(one, 95.0), 42.5);
+    EXPECT_EQ(percentile(one, 100.0), 42.5);
+}
+
+TEST(Stats, NearestRankPinsOnKnownSequences)
+{
+    // Nearest-rank: smallest k with k * 100 >= p * n.
+    std::vector<double> four{1.0, 2.0, 3.0, 4.0};
+    EXPECT_EQ(percentile(four, 50.0), 2.0);  // k = 2 (lower median)
+    EXPECT_EQ(percentile(four, 95.0), 4.0);  // k = ceil(3.8) = 4
+    EXPECT_EQ(percentile(four, 100.0), 4.0); // max
+    EXPECT_EQ(percentile(four, 0.0), 1.0);   // clamped to rank 1
+
+    std::vector<double> twenty(20);
+    std::iota(twenty.begin(), twenty.end(), 1.0); // 1..20
+    EXPECT_EQ(percentile(twenty, 50.0), 10.0);    // k = 10
+    EXPECT_EQ(percentile(twenty, 95.0), 19.0);    // k = 19, not 20
+    EXPECT_EQ(percentile(twenty, 5.0), 1.0);      // k = 1
+
+    std::vector<double> five{3.0, 3.0, 5.0, 8.0, 13.0};
+    EXPECT_EQ(percentile(five, 50.0), 5.0); // k = ceil(2.5) = 3
+    EXPECT_EQ(percentile(five, 95.0), 13.0);
+}
+
+TEST(Stats, TiedValuesResolveToTheTie)
+{
+    // Ranks that fall inside a run of equal samples must return that
+    // value, and the rank arithmetic must not be confused by ties.
+    std::vector<double> tied{5.0, 5.0, 5.0, 7.0};
+    EXPECT_EQ(percentile(tied, 50.0), 5.0); // k = 2
+    EXPECT_EQ(percentile(tied, 75.0), 5.0); // k = 3: still in the run
+    EXPECT_EQ(percentile(tied, 95.0), 7.0); // k = 4
+
+    std::vector<double> all_same(17, 9.25);
+    EXPECT_EQ(percentile(all_same, 50.0), 9.25);
+    EXPECT_EQ(percentile(all_same, 95.0), 9.25);
+}
+
+TEST(Stats, FloatRoundingCannotBumpAnIntegralRank)
+{
+    // The historical bug: 28.0 / 100.0 rounds away from 0.28, the
+    // multiply by n = 25 keeps the excess (7.000000000000001), and
+    // ceil() of that is 8 -- the 8th element for an exact rank of 7.
+    // The exact-rank comparison (k * 100 >= p * n, both sides exact)
+    // must return element 7.
+    std::vector<double> n25(25);
+    std::iota(n25.begin(), n25.end(), 1.0); // 1..25
+    EXPECT_EQ(percentile(n25, 28.0), 7.0);
+    EXPECT_EQ(percentile(n25, 56.0), 14.0); // same failure shape
+    std::vector<double> n50(50);
+    std::iota(n50.begin(), n50.end(), 1.0); // 1..50
+    EXPECT_EQ(percentile(n50, 14.0), 7.0);
+
+    // A sweep of integral-rank points: for every n and every integral
+    // p with p * n divisible by 100, the result must be exactly the
+    // (p * n / 100)-th element. Catches any other p/n pair where the
+    // division-based estimate drifts.
+    for (std::size_t n = 1; n <= 200; ++n) {
+        std::vector<double> v(n);
+        std::iota(v.begin(), v.end(), 1.0);
+        for (int p = 1; p <= 100; ++p) {
+            if ((static_cast<std::size_t>(p) * n) % 100 != 0)
+                continue;
+            std::size_t k = static_cast<std::size_t>(p) * n / 100;
+            EXPECT_EQ(percentile(v, static_cast<double>(p)),
+                      static_cast<double>(k))
+                << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(Stats, OutOfRangePercentilesClamp)
+{
+    std::vector<double> v{1.0, 2.0, 3.0};
+    EXPECT_EQ(percentile(v, -10.0), 1.0);
+    EXPECT_EQ(percentile(v, 250.0), 3.0);
+}
+
+TEST(Stats, LatencyWindowIsABoundedRing)
+{
+    c4cam::support::LatencyWindow window(4);
+    EXPECT_EQ(window.capacity(), 4u);
+    EXPECT_EQ(window.size(), 0u);
+    EXPECT_TRUE(window.sorted().empty());
+
+    for (double v : {3.0, 1.0, 2.0})
+        window.record(v);
+    EXPECT_EQ(window.size(), 3u);
+    EXPECT_EQ(window.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
+
+    // Filling past capacity overwrites the OLDEST samples: after
+    // recording 4.0 then 9.0 into a capacity-4 window, 3.0 (the
+    // first) is gone and the rest survive.
+    window.record(4.0);
+    window.record(9.0);
+    EXPECT_EQ(window.size(), 4u);
+    EXPECT_EQ(window.sorted(),
+              (std::vector<double>{1.0, 2.0, 4.0, 9.0}));
+
+    // The window never grows past its bound, however much it serves.
+    for (int i = 0; i < 100; ++i)
+        window.record(static_cast<double>(i));
+    EXPECT_EQ(window.size(), 4u);
+    EXPECT_EQ(window.sorted(),
+              (std::vector<double>{96.0, 97.0, 98.0, 99.0}));
+
+    // Zero capacity clamps to one instead of dividing by zero.
+    c4cam::support::LatencyWindow tiny(0);
+    tiny.record(5.0);
+    tiny.record(6.0);
+    EXPECT_EQ(tiny.capacity(), 1u);
+    EXPECT_EQ(tiny.sorted(), (std::vector<double>{6.0}));
+}

@@ -22,6 +22,16 @@
  * times and queries are drained by T worker threads, additionally
  * reporting host qps and p50/p95 serving latency. Per-query simulated
  * cost is identical to the serial session either way.
+ *
+ * With --batch N --async the batch is served through the asynchronous
+ * front-end (core::AsyncServingEngine): submissions flow through a
+ * bounded queue (--queue-depth, default 64) with an overflow policy
+ * (--policy block|reject|drop-oldest, default block) into dispatcher
+ * threads that micro-batch up to --fuse-k queries (default 8) into
+ * fused device windows when the queue runs deep. Reports the same
+ * figures plus the enqueue-wait vs execute latency split and the
+ * admission/fusion counters. Per-query simulated cost stays identical
+ * to the serial session here too.
  */
 
 #include <cerrno>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "arch/ArchSpec.h"
+#include "core/AsyncServingEngine.h"
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
@@ -54,7 +65,8 @@ usage()
     std::cerr << "usage: c4cam-run <kernel.py|-> [--arch spec.json]"
               << " [--seed N] [--queries-equal-rows] [--print-ir]"
               << " [--host-only] [--batch N] [--json] [--threads N]"
-              << " [--tree-walk]\n";
+              << " [--tree-walk] [--async] [--queue-depth N]"
+              << " [--policy block|reject|drop-oldest] [--fuse-k N]\n";
     return 2;
 }
 
@@ -116,8 +128,13 @@ main(int argc, char **argv)
     bool host_only = false;
     bool json = false;
     bool tree_walk = false;
+    bool use_async = false;
+    bool async_flags_seen = false; // --queue-depth/--policy/--fuse-k
     long long batch = 0;
     long long threads = 1;
+    long long queue_depth = 64;
+    long long fuse_k = 8;
+    core::AsyncServingOptions async_options;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -137,6 +154,26 @@ main(int argc, char **argv)
             if (++i >= argc || !parseCount(argv[i], threads) ||
                 threads < 1 || threads > 1024)
                 return usage();
+        } else if (arg == "--async") {
+            use_async = true;
+        } else if (arg == "--queue-depth") {
+            async_flags_seen = true;
+            if (++i >= argc || !parseCount(argv[i], queue_depth) ||
+                queue_depth < 1 || queue_depth > 1'000'000)
+                return usage();
+        } else if (arg == "--fuse-k") {
+            async_flags_seen = true;
+            if (++i >= argc || !parseCount(argv[i], fuse_k) ||
+                fuse_k < 1 || fuse_k > 1024)
+                return usage();
+        } else if (arg == "--policy") {
+            async_flags_seen = true;
+            if (++i >= argc)
+                return usage();
+            auto policy = support::parseOverflowPolicy(argv[i]);
+            if (!policy)
+                return usage();
+            async_options.policy = *policy;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--queries-equal-rows") {
@@ -164,6 +201,17 @@ main(int argc, char **argv)
         // Parallel serving only exists for batched serving; silently
         // running the single-shot path would mislead a benchmark.
         std::cerr << "c4cam-run: --threads requires --batch\n";
+        return usage();
+    }
+    if (use_async && batch <= 0) {
+        std::cerr << "c4cam-run: --async requires --batch\n";
+        return usage();
+    }
+    if (async_flags_seen && !use_async) {
+        // Silently taking the synchronous path would let the user
+        // draw conclusions about a policy that never ran.
+        std::cerr << "c4cam-run: --queue-depth/--policy/--fuse-k "
+                     "require --async\n";
         return usage();
     }
 
@@ -241,9 +289,134 @@ main(int argc, char **argv)
             };
 
             core::ExecutionResult first;
+            long long first_index = 0;
             sim::PerfReport total;
             bool persistent = false;
-            if (threads > 1) {
+            if (use_async) {
+                // Async front-end: bounded submission queue with the
+                // chosen overflow policy feeding `threads` replicas;
+                // under the default block policy the queue bound IS
+                // the submission backpressure, so all batches can be
+                // submitted eagerly.
+                async_options.queueCapacity =
+                    static_cast<std::size_t>(queue_depth);
+                async_options.fuseMaxK = static_cast<int>(fuse_k);
+                auto engine = kernel.createAsyncServingEngine(
+                    args, static_cast<int>(threads), async_options);
+                std::deque<std::future<core::ExecutionResult>> inflight;
+                long long ok = 0;
+                long long front_index = 0; // batch index of the front
+                auto harvest_front = [&] {
+                    try {
+                        core::ExecutionResult done =
+                            inflight.front().get();
+                        if (ok++ == 0) {
+                            // Under load-shedding policies batch 0
+                            // itself may have been refused; remember
+                            // whose outputs we are about to print.
+                            first = std::move(done);
+                            first_index = front_index;
+                        }
+                    } catch (const core::AdmissionError &) {
+                        // Only admission refusals (reject policy /
+                        // drop-oldest) are expected losses -- the
+                        // stats summary reports them. A query that
+                        // failed DURING execution rethrows as a plain
+                        // CompilerError and aborts the run.
+                    }
+                    ++front_index;
+                    inflight.pop_front();
+                };
+                for (long long b = 0; b < batch; ++b) {
+                    inflight.push_back(
+                        engine->submit(make_batch_args(b)));
+                    // Keep the harvest loop bounded so rejected-policy
+                    // runs do not accumulate `batch` failed futures.
+                    if (inflight.size() > 4 * static_cast<std::size_t>(
+                                                  queue_depth))
+                        harvest_front();
+                }
+                while (!inflight.empty())
+                    harvest_front();
+                engine->drain();
+                core::AsyncServingStats stats = engine->stats();
+                total = stats.serving.aggregate;
+                persistent = engine->engine().persistent();
+                if (!json) {
+                    std::cout
+                        << "async serving: "
+                        << engine->engine().numReplicas()
+                        << " replicas, queue depth "
+                        << stats.queueCapacity << " (policy "
+                        << support::toString(async_options.policy)
+                        << "), " << stats.serving.qps
+                        << " queries/sec host throughput\n"
+                        << "latency split: enqueue-wait p50 "
+                        << stats.p50EnqueueWaitUs << " us, p95 "
+                        << stats.p95EnqueueWaitUs << " us; execute p50 "
+                        << stats.p50ExecuteUs << " us, p95 "
+                        << stats.p95ExecuteUs << " us\n"
+                        << "admission: " << stats.submitted
+                        << " submitted, " << stats.completed
+                        << " completed, " << stats.rejected
+                        << " rejected, " << stats.dropped
+                        << " dropped; micro-batching: "
+                        << stats.fusedWindows << " fused windows ("
+                        << stats.fusedQueries << " queries), "
+                        << stats.singleDispatches
+                        << " single dispatches\n";
+                    if (persistent)
+                        std::cout << "setup: "
+                                  << engine->engine().setupReport().str()
+                                  << "\n";
+                }
+                if (ok == 0) {
+                    std::cerr << "c4cam-run: every submission was "
+                                 "refused (policy "
+                              << support::toString(async_options.policy)
+                              << ")\n";
+                    return 1;
+                }
+                if (json) {
+                    // Machine consumers monitoring load shedding need
+                    // the admission/fusion counters, not just the
+                    // simulated aggregate the text mode also prints.
+                    JsonValue j = total.toJson();
+                    JsonValue a = JsonValue::makeObject();
+                    a.set("replicas",
+                          JsonValue(double(
+                              engine->engine().numReplicas())));
+                    a.set("queue_capacity",
+                          JsonValue(double(stats.queueCapacity)));
+                    a.set("policy",
+                          JsonValue(std::string(
+                              support::toString(async_options.policy))));
+                    a.set("submitted",
+                          JsonValue(double(stats.submitted)));
+                    a.set("completed",
+                          JsonValue(double(stats.completed)));
+                    a.set("rejected", JsonValue(double(stats.rejected)));
+                    a.set("dropped", JsonValue(double(stats.dropped)));
+                    a.set("fused_windows",
+                          JsonValue(double(stats.fusedWindows)));
+                    a.set("fused_queries",
+                          JsonValue(double(stats.fusedQueries)));
+                    a.set("single_dispatches",
+                          JsonValue(double(stats.singleDispatches)));
+                    a.set("qps", JsonValue(stats.serving.qps));
+                    a.set("p50_enqueue_wait_us",
+                          JsonValue(stats.p50EnqueueWaitUs));
+                    a.set("p95_enqueue_wait_us",
+                          JsonValue(stats.p95EnqueueWaitUs));
+                    a.set("p50_execute_us",
+                          JsonValue(stats.p50ExecuteUs));
+                    a.set("p95_execute_us",
+                          JsonValue(stats.p95ExecuteUs));
+                    j.set("async", std::move(a));
+                    std::cout << j.dump(2) << "\n";
+                    return 0;
+                }
+            } else if (threads > 1) {
                 // Parallel serving on `threads` programmed replicas;
                 // at most 2x threads submissions stay in flight.
                 auto engine = kernel.createServingEngine(
@@ -297,7 +470,7 @@ main(int argc, char **argv)
                 std::cout << total.toJson().dump(2) << "\n";
                 return 0;
             }
-            std::cout << "batch 0 outputs:\n";
+            std::cout << "batch " << first_index << " outputs:\n";
             printOutputs(first.outputs);
             std::cout << "aggregate: " << total.str() << "\n";
             std::cout << "amortized: " << total.amortizedLatencyNs()
