@@ -32,6 +32,11 @@ namespace c4cam::bench {
  * object, so CI can archive the perf trajectory (BENCH_*.json
  * artifacts) instead of scraping stdout tables.
  *
+ * Emission goes through support::Json (JsonValue::dump), never
+ * hand-rolled string concatenation: dump() escapes quotes, backslashes
+ * and control characters, so a kernel name or file path containing any
+ * of them still produces valid BENCH_*.json.
+ *
  *   bench::JsonOut jout;
  *   // inside the arg loop:
  *   if (jout.tryParseArg(argc, argv, i)) continue;

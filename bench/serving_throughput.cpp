@@ -50,15 +50,31 @@
  * sanitizer smoke runs keep the bit-identity checks but skip the
  * noise-dominated timing comparison.
  *
+ * --replay TRACE.json switches to trace-driven open-loop replay: the
+ * recorded "admit" span timestamps of a c4cam-trace-v1 document (from
+ * `c4cam-run --trace-out` or the checked-in bench/traces fixtures)
+ * become the arrival schedule. A single injector thread re-offers
+ * each query at its recorded (optionally --time-scale-compressed)
+ * offset through an AsyncServingEngine, arrivals independent of
+ * completions -- so a recorded burst hits the admission queue as a
+ * burst, not as a smoothed closed loop. Reports offered vs achieved
+ * qps and the per-stage latency split, checks every replayed answer
+ * and per-query PerfReport against serial session replay, and writes
+ * BENCH_replay.json via --json-out. --trace-out FILE re-records the
+ * replay itself for trace-diffing runs.
+ *
  * All modes accept --json-out FILE for machine-readable results
- * (CI archives BENCH_serving.json and BENCH_async.json from the
- * release perf job).
+ * (CI archives BENCH_serving.json, BENCH_async.json and
+ * BENCH_replay.json from the release perf job).
  *
  *   bench_serving_throughput [--queries N] [--scaling]
  *                            [--plan-vs-treewalk] [--async]
+ *                            [--replay TRACE.json] [--time-scale S]
+ *                            [--trace-out FILE]
  *                            [--workers W] [--json-out FILE]
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -66,6 +82,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -76,7 +93,9 @@
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
+#include "support/Json.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
 using namespace c4cam;
 using Clock = std::chrono::steady_clock;
@@ -540,17 +559,195 @@ runAsync(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
     return jout.write() ? 0 : 1;
 }
 
+/**
+ * Trace-driven open-loop replay: re-inject the "admit" arrival
+ * timestamps recorded in @p replay_path (a c4cam-trace-v1 document)
+ * through an AsyncServingEngine. @return process exit code.
+ */
+int
+runReplay(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
+          const std::vector<std::vector<float>> &stored,
+          const std::string &replay_path, double time_scale,
+          long query_cap, int workers, const std::string &trace_out,
+          bench::JsonOut &jout)
+{
+    // Arrival schedule: the start_us of every "admit" span, in record
+    // order. Only the offsets matter -- the first arrival anchors t=0.
+    std::vector<double> arrivals_us;
+    try {
+        JsonValue doc = parseJsonFile(replay_path);
+        if (doc.getString("schema", "") != "c4cam-trace-v1") {
+            std::fprintf(stderr,
+                         "--replay: %s is not a c4cam-trace-v1 "
+                         "document\n",
+                         replay_path.c_str());
+            return 1;
+        }
+        const JsonValue *spans = doc.find("spans");
+        if (spans) {
+            for (const JsonValue &span : spans->asArray())
+                if (span.getString("name", "") == "admit")
+                    arrivals_us.push_back(
+                        span.find("start_us")->asNumber());
+        }
+    } catch (const CompilerError &err) {
+        std::fprintf(stderr, "--replay: cannot read %s: %s\n",
+                     replay_path.c_str(), err.what());
+        return 1;
+    }
+    if (arrivals_us.empty()) {
+        std::fprintf(stderr,
+                     "--replay: %s contains no \"admit\" spans to "
+                     "replay\n",
+                     replay_path.c_str());
+        return 1;
+    }
+    std::sort(arrivals_us.begin(), arrivals_us.end());
+    if (query_cap > 0 &&
+        arrivals_us.size() > static_cast<std::size_t>(query_cap))
+        arrivals_us.resize(static_cast<std::size_t>(query_cap));
+    const std::size_t n = arrivals_us.size();
+    const double base_us = arrivals_us.front();
+    std::vector<double> offsets_us(n);
+    for (std::size_t i = 0; i < n; ++i)
+        offsets_us[i] = (arrivals_us[i] - base_us) * time_scale;
+    const double span_s = offsets_us.back() * 1e-6;
+
+    // One query buffer per arrival (stored rows cycled); the serial
+    // reference is computed once per distinct row.
+    const std::size_t rows = stored.size();
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        batches.push_back(
+            {rt::Buffer::fromMatrix({stored[i % rows]}), stored_buf});
+    core::ExecutionSession session = kernel.createSession(batches[0]);
+    std::vector<core::ExecutionResult> row_ref(std::min(rows, n));
+    for (std::size_t r = 0; r < row_ref.size(); ++r)
+        row_ref[r] = session.runQuery(batches[r]);
+
+    std::unique_ptr<support::TraceCollector> collector;
+    if (!trace_out.empty())
+        collector = std::make_unique<support::TraceCollector>();
+
+    // Open loop: a single injector offers query i at its recorded
+    // offset, regardless of completions. The block policy makes the
+    // queue bound the only backpressure, so a recorded burst that
+    // outruns the replicas piles up in the admission queue exactly
+    // like it did when the trace was taken.
+    core::AsyncServingOptions options;
+    options.queueCapacity = 64;
+    options.trace = collector.get();
+    auto engine =
+        kernel.createAsyncServingEngine(batches[0], workers, options);
+    std::vector<std::future<core::ExecutionResult>> futures;
+    futures.reserve(n);
+    Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::microseconds(
+                        static_cast<std::int64_t>(offsets_us[i])));
+        futures.push_back(engine->submit(batches[i]));
+    }
+    double inject_s = secondsSince(start);
+    std::vector<core::ExecutionResult> results;
+    results.reserve(n);
+    for (auto &future : futures)
+        results.push_back(future.get());
+    double wall_s = secondsSince(start);
+    engine->drain();
+    core::AsyncServingStats stats = engine->stats();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const core::ExecutionResult &ref = row_ref[i % rows];
+        if (results[i].outputs[1].asBuffer()->toVector() !=
+                ref.outputs[1].asBuffer()->toVector() ||
+            !sameQueryCost(results[i].perf, ref.perf)) {
+            std::fprintf(stderr,
+                         "FAIL: replayed query %zu diverges from "
+                         "serial session replay\n",
+                         i);
+            return 1;
+        }
+    }
+
+    const double offered_qps =
+        span_s > 0.0 ? static_cast<double>(n) / span_s : 0.0;
+    const double achieved_qps = static_cast<double>(n) / wall_s;
+    std::printf("Trace replay: %zu arrivals from %s over %.3f s "
+                "(time scale %g), %d workers\n",
+                n, replay_path.c_str(), span_s, time_scale, workers);
+    bench::rule();
+    std::printf("%-26s %14.1f\n", "offered qps (trace)", offered_qps);
+    std::printf("%-26s %14.1f\n", "achieved qps", achieved_qps);
+    std::printf("%-26s %14.3f\n", "injection wall (s)", inject_s);
+    std::printf("%-26s %14.3f\n", "completion wall (s)", wall_s);
+    std::printf("%-26s %8.1f / %8.1f\n", "enqueue-wait p50/p95 (us)",
+                stats.p50EnqueueWaitUs, stats.p95EnqueueWaitUs);
+    std::printf("%-26s %8.1f / %8.1f\n", "execute p50/p95 (us)",
+                stats.p50ExecuteUs, stats.p95ExecuteUs);
+    bench::rule();
+    std::printf("micro-batching under replayed bursts: %lld fused "
+                "windows covering %lld queries, %lld single "
+                "dispatches\n",
+                static_cast<long long>(stats.fusedWindows),
+                static_cast<long long>(stats.fusedQueries),
+                static_cast<long long>(stats.singleDispatches));
+    std::printf("per-query reports bit-identical to serial replay: "
+                "OK\n");
+
+    if (collector && !collector->writeFile(trace_out)) {
+        std::fprintf(stderr, "cannot write --trace-out file '%s'\n",
+                     trace_out.c_str());
+        return 1;
+    }
+    if (collector)
+        std::printf("replay trace: %zu spans -> %s\n", collector->size(),
+                    trace_out.c_str());
+
+    jout.set("mode", std::string("replay"));
+    jout.set("trace", replay_path);
+    jout.set("queries", double(n));
+    jout.set("time_scale", time_scale);
+    jout.set("trace_span_s", span_s);
+    jout.set("offered_qps", offered_qps);
+    jout.set("achieved_qps", achieved_qps);
+    jout.set("completion_wall_s", wall_s);
+    jout.set("p50_enqueue_wait_us", stats.p50EnqueueWaitUs);
+    jout.set("p95_enqueue_wait_us", stats.p95EnqueueWaitUs);
+    jout.set("p50_execute_us", stats.p50ExecuteUs);
+    jout.set("p95_execute_us", stats.p95ExecuteUs);
+    jout.set("fused_windows", double(stats.fusedWindows));
+    jout.set("fused_queries", double(stats.fusedQueries));
+    jout.set("single_dispatches", double(stats.singleDispatches));
+    return jout.write() ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     long num_queries = 64;
+    bool queries_set = false;
     long workers = 4;
     bool scaling = false;
     bool plan_vs_treewalk = false;
     bool async = false;
+    std::string replay_path;
+    double time_scale = 1.0;
+    bool time_scale_set = false;
+    std::string trace_out;
     bench::JsonOut jout;
+    auto usage = [] {
+        std::fprintf(stderr,
+                     "usage: bench_serving_throughput [--queries N] "
+                     "[--scaling] [--plan-vs-treewalk] [--async] "
+                     "[--replay TRACE.json] [--time-scale S] "
+                     "[--trace-out FILE] [--workers W] "
+                     "[--json-out FILE]\n");
+        return 2;
+    };
     for (int i = 1; i < argc; ++i) {
         if (jout.tryParseArg(argc, argv, i))
             continue;
@@ -562,6 +759,7 @@ main(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
+            queries_set = true;
         } else if (std::strcmp(argv[i], "--workers") == 0 &&
                    i + 1 < argc) {
             char *end = nullptr;
@@ -578,17 +776,45 @@ main(int argc, char **argv)
             async = true;
         } else if (std::strcmp(argv[i], "--plan-vs-treewalk") == 0) {
             plan_vs_treewalk = true;
+        } else if (std::strcmp(argv[i], "--replay") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            replay_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--time-scale") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            time_scale = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || !(time_scale > 0.0) ||
+                !std::isfinite(time_scale)) {
+                std::fprintf(stderr, "--time-scale: bad value: %s\n",
+                             argv[i]);
+                return usage();
+            }
+            time_scale_set = true;
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            trace_out = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_serving_throughput [--queries N] "
-                         "[--scaling] [--plan-vs-treewalk] [--async] "
-                         "[--workers W] [--json-out FILE]\n");
-            return 2;
+            return usage();
         }
     }
     if (num_queries < 1) {
         std::fprintf(stderr, "--queries must be >= 1\n");
         return 2;
+    }
+    if (!replay_path.empty() &&
+        (scaling || plan_vs_treewalk || async)) {
+        std::fprintf(stderr,
+                     "--replay is its own mode; drop --scaling/"
+                     "--plan-vs-treewalk/--async\n");
+        return usage();
+    }
+    if (replay_path.empty() && (time_scale_set || !trace_out.empty())) {
+        std::fprintf(stderr, "--time-scale/--trace-out require "
+                             "--replay\n");
+        return usage();
     }
     if (plan_vs_treewalk)
         return runPlanVsTreeWalk(num_queries, jout);
@@ -613,6 +839,11 @@ main(int argc, char **argv)
         for (auto &v : row)
             v = rng.nextBool() ? 1.0f : -1.0f;
     rt::BufferPtr stored_buf = rt::Buffer::fromMatrix(stored);
+
+    if (!replay_path.empty())
+        return runReplay(kernel, stored_buf, stored, replay_path,
+                         time_scale, queries_set ? num_queries : 0,
+                         static_cast<int>(workers), trace_out, jout);
 
     std::vector<rt::BufferPtr> queries;
     queries.reserve(static_cast<std::size_t>(num_queries));

@@ -26,6 +26,13 @@ AsyncServingEngine::AsyncServingEngine(std::unique_ptr<ServingEngine> engine,
 {
     C4CAM_CHECK(engine_, "AsyncServingEngine needs a ServingEngine");
     options_.queueCapacity = queue_.capacity();
+    if (options_.trace) {
+        // One trace id spans the whole stack: the async layer's
+        // admit/wait/dispatch spans and the wrapped engine's
+        // execute/merge spans group under it.
+        traceId_ = options_.trace->newTraceId();
+        engine_->enableTracing(options_.trace, traceId_);
+    }
     options_.fuseMaxK = std::max(options_.fuseMaxK, 1);
     options_.fuseMinDepth = std::max<std::size_t>(options_.fuseMinDepth, 1);
     int dispatchers = options_.dispatchers > 0 ? options_.dispatchers
@@ -65,11 +72,36 @@ AsyncServingEngine::Admission
 AsyncServingEngine::enqueue(Pending pending)
 {
     submitted_.fetch_add(1);
+    support::TraceCollector *col = options_.trace;
+    if (col) {
+        if (pending.admitStart == Clock::time_point{})
+            pending.admitStart = Clock::now();
+        pending.queryId = col->newQueryId();
+        pending.rootSpan = col->newSpanId();
+    }
     pending.enqueued = Clock::now();
+    // Copies for the admit span: the push may move pending away (and
+    // under the Block policy the push-wait is enqueue-wait time, so
+    // the admit span closes at the pre-push `enqueued` stamp).
+    const std::uint64_t query_id = pending.queryId;
+    const std::uint64_t root_span = pending.rootSpan;
+    const Clock::time_point admit_start = pending.admitStart;
+    const Clock::time_point admit_end = pending.enqueued;
     auto result = queue_.push(std::move(pending));
     switch (result.status) {
     case support::BoundedQueue<Pending>::PushStatus::Ok:
         accepted_.fetch_add(1);
+        if (col) {
+            support::TraceEvent admit;
+            admit.name = "admit";
+            admit.traceId = traceId_;
+            admit.queryId = query_id;
+            admit.spanId = col->newSpanId();
+            admit.parentSpanId = root_span;
+            admit.startUs = col->toUs(admit_start);
+            admit.durUs = col->toUs(admit_end) - admit.startUs;
+            col->record(admit);
+        }
         if (result.displaced) {
             // DropOldest evicted the stalest queued query to admit
             // this one; its submitter still gets a completion.
@@ -106,10 +138,14 @@ AsyncServingEngine::enqueue(Pending pending)
 std::future<ExecutionResult>
 AsyncServingEngine::submit(std::vector<rt::BufferPtr> args)
 {
+    // The admit span opens at submit entry: validation is admission
+    // work and belongs to it.
+    Clock::time_point admit_start = Clock::now();
     // Fail malformed submissions on the caller's stack, before they
     // consume a queue slot.
     engine_->validateQuery(args);
     Pending pending;
+    pending.admitStart = admit_start;
     pending.args = std::move(args);
     std::future<ExecutionResult> future = pending.promise.get_future();
     enqueue(std::move(pending));
@@ -120,9 +156,11 @@ bool
 AsyncServingEngine::trySubmit(std::vector<rt::BufferPtr> args,
                               Completion callback)
 {
+    Clock::time_point admit_start = Clock::now();
     C4CAM_CHECK(callback, "trySubmit needs a completion callback");
     engine_->validateQuery(args);
     Pending pending;
+    pending.admitStart = admit_start;
     pending.args = std::move(args);
     pending.callback = std::move(callback);
     pending.hasCallback = true;
@@ -175,7 +213,41 @@ AsyncServingEngine::submitBatchStreaming(
 }
 
 void
-AsyncServingEngine::deliver(Pending &pending, ExecutionResult result)
+AsyncServingEngine::recordCompletionSpans(const Pending &pending,
+                                          Clock::time_point dispatch_done)
+{
+    // Recorded after the fulfillment but BEFORE the completed_ bump:
+    // once drain() returns, every delivered query's spans are already
+    // in the collector.
+    support::TraceCollector *col = options_.trace;
+    if (!col || pending.rootSpan == 0)
+        return;
+    Clock::time_point now = Clock::now();
+    double now_us = col->toUs(now);
+    if (dispatch_done != Clock::time_point{}) {
+        support::TraceEvent del;
+        del.name = "deliver";
+        del.traceId = traceId_;
+        del.queryId = pending.queryId;
+        del.spanId = col->newSpanId();
+        del.parentSpanId = pending.rootSpan;
+        del.startUs = col->toUs(dispatch_done);
+        del.durUs = now_us - del.startUs;
+        col->record(del);
+    }
+    support::TraceEvent root;
+    root.name = "query";
+    root.traceId = traceId_;
+    root.queryId = pending.queryId;
+    root.spanId = pending.rootSpan;
+    root.startUs = col->toUs(pending.admitStart);
+    root.durUs = now_us - root.startUs;
+    col->record(root);
+}
+
+void
+AsyncServingEngine::deliver(Pending &pending, ExecutionResult result,
+                            Clock::time_point dispatch_done)
 {
     // Fulfill BEFORE counting: completed_ is what drain() waits on,
     // and once it covers every ticket the corresponding futures and
@@ -191,12 +263,14 @@ AsyncServingEngine::deliver(Pending &pending, ExecutionResult result)
     } else {
         pending.promise.set_value(std::move(result));
     }
+    recordCompletionSpans(pending, dispatch_done);
     completed_.fetch_add(1);
     notifyProgress();
 }
 
 void
-AsyncServingEngine::deliverError(Pending &pending, std::exception_ptr error)
+AsyncServingEngine::deliverError(Pending &pending, std::exception_ptr error,
+                                 Clock::time_point dispatch_done)
 {
     if (pending.hasCallback) {
         try {
@@ -206,6 +280,7 @@ AsyncServingEngine::deliverError(Pending &pending, std::exception_ptr error)
     } else {
         pending.promise.set_exception(error);
     }
+    recordCompletionSpans(pending, dispatch_done);
     failed_.fetch_add(1);
     completed_.fetch_add(1);
     notifyProgress();
@@ -237,6 +312,13 @@ AsyncServingEngine::recordLatency(double wait_us, double exec_us)
 void
 AsyncServingEngine::dispatchLoop()
 {
+    support::TraceCollector *col = options_.trace;
+    // Dispatchers are the hot path: spans batch through a per-thread
+    // recorder and hit the collector mutex once per batch. (With
+    // tracing off the recorder is a null-check no-op.)
+    support::SpanRecorder recorder(col);
+    std::vector<support::SpanContext> ctxs;
+
     std::vector<Pending> group;
     for (;;) {
         group.clear();
@@ -247,12 +329,34 @@ AsyncServingEngine::dispatchLoop()
             return; // closed and drained
         Clock::time_point popped = Clock::now();
 
+        if (col) {
+            // One dispatch span per query (every fused member
+            // experienced the whole window); the engine's execute
+            // span parents under it via the per-query context.
+            ctxs.clear();
+            ctxs.reserve(n);
+            for (const Pending &p : group)
+                ctxs.push_back(support::SpanContext{
+                    col, traceId_, p.queryId, col->newSpanId()});
+            support::TraceEvent decision;
+            decision.name = "fuse-decision";
+            decision.traceId = traceId_;
+            decision.queryId = group[0].queryId;
+            decision.spanId = col->newSpanId();
+            decision.startUs = col->toUs(popped);
+            decision.durUs = 0.0;
+            decision.fusedK =
+                n >= 2 ? static_cast<std::int64_t>(n) : 0;
+            recorder.record(decision);
+        }
+
         // Execute first, collect the per-query outcomes, THEN record
         // latency and deliver. Delivery must come last: the moment a
         // completion fires, drain() may observe the engine idle and
         // stats() must already contain this group's samples.
         std::vector<ExecutionResult> results(n);
         std::vector<std::exception_ptr> errors(n);
+        bool fused_ok = false;
         if (n >= 2) {
             std::vector<std::vector<rt::BufferPtr>> qargs;
             qargs.reserve(n);
@@ -261,12 +365,13 @@ AsyncServingEngine::dispatchLoop()
             // Args were validated at admission; dispatch through the
             // engine's non-revalidating primitives (friend access).
             try {
-                FusedBatchResult fused =
-                    engine_->serveFusedChunk(qargs, 0, qargs.size());
+                FusedBatchResult fused = engine_->serveFusedChunk(
+                    qargs, 0, qargs.size(), col ? &ctxs : nullptr);
                 for (std::size_t i = 0; i < n; ++i)
                     results[i] = std::move(fused.results[i]);
                 fusedWindows_.fetch_add(1);
                 fusedQueries_.fetch_add(static_cast<std::int64_t>(n));
+                fused_ok = true;
             } catch (...) {
                 // The fused window aborted (one query poisoned it)
                 // and recorded nothing in the engine stats. Re-serve
@@ -277,7 +382,8 @@ AsyncServingEngine::dispatchLoop()
                 singleDispatches_.fetch_add(static_cast<std::int64_t>(n));
                 for (std::size_t i = 0; i < n; ++i) {
                     try {
-                        results[i] = engine_->serve(group[i].args);
+                        results[i] = engine_->serve(
+                            group[i].args, col ? &ctxs[i] : nullptr);
                     } catch (...) {
                         errors[i] = std::current_exception();
                     }
@@ -286,7 +392,8 @@ AsyncServingEngine::dispatchLoop()
         } else {
             singleDispatches_.fetch_add(1);
             try {
-                results[0] = engine_->serve(group[0].args);
+                results[0] = engine_->serve(group[0].args,
+                                            col ? &ctxs[0] : nullptr);
             } catch (...) {
                 errors[0] = std::current_exception();
             }
@@ -307,11 +414,44 @@ AsyncServingEngine::dispatchLoop()
             recordLatency(wait_us, exec_us);
         }
 
+        if (col) {
+            double popped_us = col->toUs(popped);
+            double done_us = col->toUs(done);
+            for (std::size_t i = 0; i < n; ++i) {
+                const Pending &p = group[i];
+                support::TraceEvent wait;
+                wait.name = "enqueue-wait";
+                wait.traceId = traceId_;
+                wait.queryId = p.queryId;
+                wait.spanId = col->newSpanId();
+                wait.parentSpanId = p.rootSpan;
+                wait.startUs = col->toUs(p.enqueued);
+                wait.durUs = popped_us - wait.startUs;
+                recorder.record(wait);
+
+                support::TraceEvent dispatch;
+                dispatch.name = "dispatch";
+                dispatch.traceId = traceId_;
+                dispatch.queryId = p.queryId;
+                dispatch.spanId = ctxs[i].parentSpanId;
+                dispatch.parentSpanId = p.rootSpan;
+                dispatch.startUs = popped_us;
+                dispatch.durUs = done_us - popped_us;
+                dispatch.fusedK =
+                    fused_ok ? static_cast<std::int64_t>(n) : 0;
+                recorder.record(dispatch);
+            }
+            // Flush before delivering: once a completion fires (and
+            // certainly once drain() returns) this group's spans must
+            // be visible in the collector.
+            recorder.flush();
+        }
+
         for (std::size_t i = 0; i < n; ++i) {
             if (errors[i])
-                deliverError(group[i], errors[i]);
+                deliverError(group[i], errors[i], done);
             else
-                deliver(group[i], std::move(results[i]));
+                deliver(group[i], std::move(results[i]), done);
         }
     }
 }

@@ -56,6 +56,7 @@
 #include "core/ServingEngine.h"
 #include "support/BoundedQueue.h"
 #include "support/Error.h"
+#include "support/Trace.h"
 
 namespace c4cam::core {
 
@@ -92,6 +93,19 @@ struct AsyncServingOptions
 
     /** Dispatcher thread count; 0 means one per engine replica. */
     int dispatchers = 0;
+
+    /**
+     * Span collector for per-query lifecycle tracing; nullptr (the
+     * default) turns tracing off. When set, every query records
+     * "admit" / "enqueue-wait" / "dispatch" / "deliver" spans under a
+     * root "query" span here (plus the wrapped engine's "execute" /
+     * "merge" children and per-group "fuse-decision" markers), with
+     * the execute span carrying the device window's simulated
+     * breakdown. Tracing is zero-overhead when off -- every tracing
+     * site is a predictable null-check -- and never perturbs outputs
+     * or PerfReports. The collector must outlive the engine.
+     */
+    support::TraceCollector *trace = nullptr;
 };
 
 /** Counters and latency percentiles of the async front-end. */
@@ -254,6 +268,13 @@ class AsyncServingEngine
         Completion callback; ///< used instead of promise when set
         bool hasCallback = false;
         Clock::time_point enqueued;
+
+        /// @name Tracing (zero / epoch when tracing is off)
+        /// @{
+        std::uint64_t queryId = 0;
+        std::uint64_t rootSpan = 0;
+        Clock::time_point admitStart; ///< submit-entry timestamp
+        /// @}
     };
 
     /** Admission outcome shared by the submit flavors. */
@@ -261,14 +282,27 @@ class AsyncServingEngine
 
     Admission enqueue(Pending pending);
     void dispatchLoop();
-    void deliver(Pending &pending, ExecutionResult result);
-    void deliverError(Pending &pending, std::exception_ptr error);
+    /** @p dispatch_done, when not the epoch default, additionally
+     *  records a "deliver" span from that timestamp to now (the
+     *  dispatcher path); admission-time deliveries pass nothing. */
+    void deliver(Pending &pending, ExecutionResult result,
+                 Clock::time_point dispatch_done = {});
+    void deliverError(Pending &pending, std::exception_ptr error,
+                      Clock::time_point dispatch_done = {});
+    /** Record the root "query" span (and optional "deliver" child)
+     *  for a completing pending; no-op when tracing is off. */
+    void recordCompletionSpans(const Pending &pending,
+                               Clock::time_point dispatch_done);
     void recordLatency(double wait_us, double exec_us);
     void notifyProgress();
 
     std::unique_ptr<ServingEngine> engine_;
     AsyncServingOptions options_;
     support::BoundedQueue<Pending> queue_;
+
+    /** Trace id grouping every span of this engine (0 = tracing off;
+     *  shared with the wrapped engine's execute/merge spans). */
+    std::uint64_t traceId_ = 0;
 
     /// @name Monotone counters (atomic: read by stats(), bumped from
     /// producer and dispatcher threads)

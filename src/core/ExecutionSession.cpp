@@ -58,29 +58,96 @@ ExecutionSession::ExecutionSession(
     aggregate_ = setupReport_;
 }
 
+void
+ExecutionSession::enableTracing(support::TraceCollector *collector)
+{
+    trace_ = collector;
+    traceId_ = collector ? collector->newTraceId() : 0;
+}
+
 ExecutionResult
 ExecutionSession::runQuery(const std::vector<rt::BufferPtr> &args)
 {
     validateKernelArgs(entryBody_, entry_, args);
-    if (!persistent_)
-        return runNonPersistent(args);
 
-    // Reset the query accounting window so this report's query fields
-    // cover exactly this call (and match a single-shot run bit-for-bit).
-    device_->beginQueryWindow();
+    // Tracing is an id handout plus four clock reads per query when a
+    // collector is installed, and three predictable null checks when
+    // not -- it never touches the device or the result, so outputs and
+    // PerfReports stay bit-identical either way.
+    support::TraceCollector *col = trace_;
+    std::uint64_t queryId = 0, rootSpan = 0, execSpan = 0;
+    double t0 = 0.0;
+    if (col) {
+        queryId = col->newQueryId();
+        rootSpan = col->newSpanId();
+        execSpan = col->newSpanId();
+        t0 = col->nowUs();
+    }
+
     ExecutionResult result;
-    if (plan_)
-        result.outputs =
-            plan_->run(frame_, device_.get(), rt::toRtValues(args),
-                       rt::ExecutionPlan::ExecPhase::QueryOnly);
-    else
-        result.outputs = interpreter_->callFunction(
-            state_, entry_, rt::toRtValues(args),
-            rt::Interpreter::ExecPhase::QueryOnly);
-    result.perf = device_->report();
-    result.perf.queriesServed = 1;
-    accumulate(result.perf);
-    ++queriesServed_;
+    if (!persistent_) {
+        result = runNonPersistent(args);
+    } else {
+        // Reset the query accounting window so this report's query
+        // fields cover exactly this call (and match a single-shot run
+        // bit-for-bit).
+        device_->beginQueryWindow();
+        if (plan_) {
+            if (col)
+                frame_.trace =
+                    support::SpanContext{col, traceId_, queryId, execSpan};
+            result.outputs =
+                plan_->run(frame_, device_.get(), rt::toRtValues(args),
+                           rt::ExecutionPlan::ExecPhase::QueryOnly);
+            if (col)
+                frame_.trace = support::SpanContext{};
+        } else {
+            result.outputs = interpreter_->callFunction(
+                state_, entry_, rt::toRtValues(args),
+                rt::Interpreter::ExecPhase::QueryOnly);
+        }
+    }
+    double e1 = col ? col->nowUs() : 0.0;
+    if (persistent_) {
+        // Merge stage: render the window into the report and fold it
+        // into the session aggregate.
+        result.perf = device_->report();
+        result.perf.queriesServed = 1;
+        accumulate(result.perf);
+        ++queriesServed_;
+    }
+    if (col) {
+        double m1 = col->nowUs();
+        support::TraceEvent exec;
+        exec.name = "execute";
+        exec.traceId = traceId_;
+        exec.queryId = queryId;
+        exec.spanId = execSpan;
+        exec.parentSpanId = rootSpan;
+        exec.startUs = t0;
+        exec.durUs = e1 - t0;
+        sim::attachWindowBreakdown(exec, result.perf);
+        col->record(exec);
+
+        support::TraceEvent merge;
+        merge.name = "merge";
+        merge.traceId = traceId_;
+        merge.queryId = queryId;
+        merge.spanId = col->newSpanId();
+        merge.parentSpanId = rootSpan;
+        merge.startUs = e1;
+        merge.durUs = m1 - e1;
+        col->record(merge);
+
+        support::TraceEvent root;
+        root.name = "query";
+        root.traceId = traceId_;
+        root.queryId = queryId;
+        root.spanId = rootSpan;
+        root.startUs = t0;
+        root.durUs = m1 - t0;
+        col->record(root);
+    }
     return result;
 }
 

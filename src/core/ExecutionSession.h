@@ -50,6 +50,7 @@
 #include "runtime/Interpreter.h"
 #include "sim/CamDevice.h"
 #include "sim/Timing.h"
+#include "support/Trace.h"
 
 namespace c4cam::core {
 
@@ -161,6 +162,21 @@ class ExecutionSession
     /** True when queries replay the compiled plan (vs tree-walking). */
     bool usesPlan() const { return plan_ != nullptr; }
 
+    /**
+     * Record per-query lifecycle spans ("query" > "execute"/"merge",
+     * plus "plan-replay" from the plan back end) into @p collector.
+     * The execute span carries the device window's simulated breakdown
+     * (sim::attachWindowBreakdown). Pass nullptr to turn tracing off
+     * again; with no collector every tracing site is an inlined
+     * null-check no-op, and recorded spans never perturb outputs or
+     * PerfReports (locked by DifferentialFuzzTest running traced).
+     * Call between queries, not concurrently with runQuery().
+     */
+    void enableTracing(support::TraceCollector *collector);
+
+    /** The active trace collector (nullptr when tracing is off). */
+    support::TraceCollector *traceCollector() const { return trace_; }
+
     /** The simulated device; nullptr in host-only sessions. */
     sim::CamDevice *device() { return device_.get(); }
 
@@ -190,6 +206,12 @@ class ExecutionSession
     sim::PerfReport setupReport_;
     sim::PerfReport aggregate_;
     std::int64_t queriesServed_ = 0;
+
+    /// @name Tracing (off unless enableTracing() installed a collector)
+    /// @{
+    support::TraceCollector *trace_ = nullptr;
+    std::uint64_t traceId_ = 0;
+    /// @}
 };
 
 } // namespace c4cam::core

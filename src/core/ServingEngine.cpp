@@ -116,40 +116,108 @@ ServingEngine::releaseReplica(Replica *replica)
     replicaFree_.notify_one();
 }
 
+void
+ServingEngine::enableTracing(support::TraceCollector *collector,
+                             std::uint64_t trace_id)
+{
+    trace_ = collector;
+    if (!collector)
+        traceId_ = 0;
+    else
+        traceId_ = trace_id != 0 ? trace_id : collector->newTraceId();
+}
+
 ExecutionResult
 ServingEngine::serveOn(Replica &replica,
-                       const std::vector<rt::BufferPtr> &args)
+                       const std::vector<rt::BufferPtr> &args,
+                       const support::SpanContext *ctx)
 {
-    if (!persistent_)
-        return runKernelOnce(*module_, entry_, options_, args,
-                             plan_.get());
+    // Tracing adds an id handout plus four clock reads per query when
+    // a context is threaded in, and predictable null checks when not;
+    // it never touches the device or the result, so outputs and
+    // PerfReports stay bit-identical either way.
+    support::TraceCollector *col =
+        ctx && ctx->collector ? ctx->collector : nullptr;
+    std::uint64_t execSpan = col ? col->newSpanId() : 0;
+    double e0 = col ? col->nowUs() : 0.0;
 
-    // Fresh accounting window: this query's report covers exactly this
-    // call on top of the shared setup, bit-identical to a serial
-    // session (and to a single-shot run).
-    replica.device->beginQueryWindow();
     ExecutionResult result;
-    if (plan_)
-        result.outputs = plan_->run(
-            replica.frame, replica.device.get(), rt::toRtValues(args),
-            rt::ExecutionPlan::ExecPhase::QueryOnly);
-    else
-        result.outputs = interpreter_->callFunction(
-            replica.state, entry_, rt::toRtValues(args),
-            rt::Interpreter::ExecPhase::QueryOnly);
-    result.perf = replica.device->report();
-    result.perf.queriesServed = 1;
+    if (!persistent_) {
+        result = runKernelOnce(*module_, entry_, options_, args,
+                               plan_.get());
+    } else {
+        // Fresh accounting window: this query's report covers exactly
+        // this call on top of the shared setup, bit-identical to a
+        // serial session (and to a single-shot run).
+        replica.device->beginQueryWindow();
+        if (plan_) {
+            if (col)
+                replica.frame.trace = support::SpanContext{
+                    col, ctx->traceId, ctx->queryId, execSpan};
+            result.outputs = plan_->run(
+                replica.frame, replica.device.get(), rt::toRtValues(args),
+                rt::ExecutionPlan::ExecPhase::QueryOnly);
+            if (col)
+                replica.frame.trace = support::SpanContext{};
+        } else {
+            result.outputs = interpreter_->callFunction(
+                replica.state, entry_, rt::toRtValues(args),
+                rt::Interpreter::ExecPhase::QueryOnly);
+        }
+    }
+    double e1 = col ? col->nowUs() : 0.0;
+    if (persistent_) {
+        result.perf = replica.device->report();
+        result.perf.queriesServed = 1;
+    }
+    if (col) {
+        double m1 = col->nowUs();
+        support::TraceEvent exec;
+        exec.name = "execute";
+        exec.traceId = ctx->traceId;
+        exec.queryId = ctx->queryId;
+        exec.spanId = execSpan;
+        exec.parentSpanId = ctx->parentSpanId;
+        exec.startUs = e0;
+        exec.durUs = e1 - e0;
+        sim::attachWindowBreakdown(exec, result.perf);
+        col->record(exec);
+
+        support::TraceEvent merge;
+        merge.name = "merge";
+        merge.traceId = ctx->traceId;
+        merge.queryId = ctx->queryId;
+        merge.spanId = col->newSpanId();
+        merge.parentSpanId = ctx->parentSpanId;
+        merge.startUs = e1;
+        merge.durUs = m1 - e1;
+        col->record(merge);
+    }
     return result;
 }
 
 ExecutionResult
-ServingEngine::serve(const std::vector<rt::BufferPtr> &args)
+ServingEngine::serve(const std::vector<rt::BufferPtr> &args,
+                     const support::SpanContext *ctx)
 {
+    // Sync serving with engine tracing on: this call owns the query's
+    // root span. The async front-end passes its own per-query context
+    // (parenting under its dispatch span) and owns the root instead.
+    support::SpanContext local;
+    bool own_root = false;
+    if (!ctx && trace_) {
+        local.collector = trace_;
+        local.traceId = traceId_;
+        local.queryId = trace_->newQueryId();
+        local.parentSpanId = trace_->newSpanId(); // becomes the root id
+        ctx = &local;
+        own_root = true;
+    }
     Clock::time_point start = Clock::now();
     Replica *replica = acquireReplica();
     ExecutionResult result;
     try {
-        result = serveOn(*replica, args);
+        result = serveOn(*replica, args, ctx);
     } catch (...) {
         releaseReplica(replica);
         throw;
@@ -159,6 +227,16 @@ ServingEngine::serve(const std::vector<rt::BufferPtr> &args)
     recordServed(result.perf,
                  std::chrono::duration<double>(done - start).count(),
                  start, done);
+    if (own_root) {
+        support::TraceEvent root;
+        root.name = "query";
+        root.traceId = local.traceId;
+        root.queryId = local.queryId;
+        root.spanId = local.parentSpanId;
+        root.startUs = trace_->toUs(start);
+        root.durUs = trace_->toUs(done) - root.startUs;
+        trace_->record(root);
+    }
     return result;
 }
 
@@ -233,8 +311,24 @@ ServingEngine::runBatch(
 FusedBatchResult
 ServingEngine::serveFusedChunk(
     const std::vector<std::vector<rt::BufferPtr>> &queries,
-    std::size_t begin, std::size_t end)
+    std::size_t begin, std::size_t end,
+    const std::vector<support::SpanContext> *ctxs)
 {
+    // Sync fused serving with engine tracing on: own one root span per
+    // query of the chunk (the async front-end passes @p ctxs and owns
+    // its roots itself).
+    std::vector<support::SpanContext> local_ctxs;
+    bool own_roots = false;
+    if (!ctxs && trace_) {
+        local_ctxs.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            local_ctxs.push_back(support::SpanContext{
+                trace_, traceId_, trace_->newQueryId(),
+                trace_->newSpanId()});
+        ctxs = &local_ctxs;
+        own_roots = true;
+    }
+
     FusedBatchResult batch;
     batch.results.reserve(end - begin);
     /** Per-query stats, recorded only once the whole chunk succeeded. */
@@ -253,7 +347,9 @@ ServingEngine::serveFusedChunk(
                 static_cast<int>(end - begin));
         for (std::size_t i = begin; i < end; ++i) {
             Clock::time_point start = Clock::now();
-            ExecutionResult r = serveOn(*replica, queries[i]);
+            ExecutionResult r = serveOn(
+                *replica, queries[i],
+                ctxs ? &(*ctxs)[i - begin] : nullptr);
             Clock::time_point done = Clock::now();
             served.push_back({r.perf, start, done});
             batch.results.push_back(std::move(r));
@@ -278,6 +374,20 @@ ServingEngine::serveFusedChunk(
                      std::chrono::duration<double>(s.done - s.start)
                          .count(),
                      s.start, s.done);
+    if (own_roots) {
+        for (std::size_t j = 0; j < served.size(); ++j) {
+            const support::SpanContext &ctx = (*ctxs)[j];
+            support::TraceEvent root;
+            root.name = "query";
+            root.traceId = ctx.traceId;
+            root.queryId = ctx.queryId;
+            root.spanId = ctx.parentSpanId;
+            root.startUs = trace_->toUs(served[j].start);
+            root.durUs = trace_->toUs(served[j].done) - root.startUs;
+            root.fusedK = static_cast<std::int64_t>(end - begin);
+            trace_->record(root);
+        }
+    }
 
     if (!persistent_) {
         // Non-persistent fallback: synthesize the fused accounting

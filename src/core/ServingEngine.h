@@ -53,6 +53,7 @@
 #include "sim/CamDevice.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 namespace c4cam::core {
 
@@ -160,6 +161,25 @@ class ServingEngine
         validateKernelArgs(entryBody_, entry_, args);
     }
 
+    /**
+     * Record per-query lifecycle spans into @p collector: for every
+     * served query a "query" root span with "execute" and "merge"
+     * children (the execute span carries the device window's simulated
+     * breakdown via sim::attachWindowBreakdown, and the plan back end
+     * adds a "plan-replay" child). When the engine serves on behalf of
+     * an AsyncServingEngine the async layer passes per-query contexts
+     * instead and owns the root span. @p trace_id groups the spans;
+     * 0 allocates a fresh id from the collector. Pass nullptr to turn
+     * tracing off. Not thread-safe against in-flight queries: install
+     * the collector before serving starts. Tracing never perturbs
+     * outputs or PerfReports (locked by DifferentialFuzzTest).
+     */
+    void enableTracing(support::TraceCollector *collector,
+                       std::uint64_t trace_id = 0);
+
+    /** The active trace collector (nullptr when tracing is off). */
+    support::TraceCollector *traceCollector() const { return trace_; }
+
     /** Aggregate metrics over everything served so far. */
     ServingStats stats() const;
 
@@ -189,17 +209,26 @@ class ServingEngine
     Replica *acquireReplica();
     void releaseReplica(Replica *replica);
 
-    /** Serve one query on @p replica (fresh window, QueryOnly). */
+    /** Serve one query on @p replica (fresh window, QueryOnly).
+     *  @p ctx, when tracing, parents this query's execute/merge spans
+     *  (the async front-end points it at its dispatch span). */
     ExecutionResult serveOn(Replica &replica,
-                            const std::vector<rt::BufferPtr> &args);
+                            const std::vector<rt::BufferPtr> &args,
+                            const support::SpanContext *ctx = nullptr);
 
-    /** Serve one fused chunk on a replica acquired for the chunk. */
+    /** Serve one fused chunk on a replica acquired for the chunk.
+     *  @p ctxs, when non-null, holds one per-query tracing context for
+     *  queries [begin, end). */
     FusedBatchResult
     serveFusedChunk(const std::vector<std::vector<rt::BufferPtr>> &queries,
-                    std::size_t begin, std::size_t end);
+                    std::size_t begin, std::size_t end,
+                    const std::vector<support::SpanContext> *ctxs = nullptr);
 
-    /** Acquire a replica, serve, record stats, release. */
-    ExecutionResult serve(const std::vector<rt::BufferPtr> &args);
+    /** Acquire a replica, serve, record stats, release. With engine
+     *  tracing on and no caller-provided @p ctx, opens (and records)
+     *  this query's root span itself. */
+    ExecutionResult serve(const std::vector<rt::BufferPtr> &args,
+                          const support::SpanContext *ctx = nullptr);
 
     void recordServed(const sim::PerfReport &perf, double latency_s,
                       std::chrono::steady_clock::time_point start,
@@ -213,6 +242,12 @@ class ServingEngine
 
     bool persistent_ = false;
     sim::PerfReport setupReport_;
+
+    /// @name Tracing (off unless enableTracing() installed a collector)
+    /// @{
+    support::TraceCollector *trace_ = nullptr;
+    std::uint64_t traceId_ = 0;
+    /// @}
 
     /** Shared read-only executor over the module. */
     std::unique_ptr<rt::Interpreter> interpreter_;

@@ -864,6 +864,36 @@ ExecutionPlan::run(PlanFrame &frame, sim::CamDevice *device,
     for (std::size_t i = 0; i < args.size(); ++i)
         frame.slots[static_cast<std::size_t>(argSlots_[i])] = args[i];
 
+    // When the frame carries a tracing context (stamped per query by
+    // the serving layer), the whole replay is one span under that
+    // layer's execute span. RAII so every exit path -- Return, Halt,
+    // a throwing query -- closes the span; with tracing off this is
+    // two inlined null checks.
+    struct ReplaySpan
+    {
+        support::SpanContext ctx;
+        double startUs = 0.0;
+        explicit ReplaySpan(const support::SpanContext &c) : ctx(c)
+        {
+            if (ctx.enabled())
+                startUs = ctx.collector->nowUs();
+        }
+        ~ReplaySpan()
+        {
+            if (!ctx.enabled())
+                return;
+            support::TraceEvent ev;
+            ev.name = "plan-replay";
+            ev.traceId = ctx.traceId;
+            ev.queryId = ctx.queryId;
+            ev.spanId = ctx.collector->newSpanId();
+            ev.parentSpanId = ctx.parentSpanId;
+            ev.startUs = startUs;
+            ev.durUs = ctx.collector->nowUs() - startUs;
+            ctx.collector->record(ev);
+        }
+    } replaySpan(frame.trace);
+
     const std::vector<Instr> &prog = program(phase);
     std::vector<RtValue> &s = frame.slots;
 

@@ -50,6 +50,7 @@
 
 #include "runtime/Buffer.h"
 #include "runtime/Interpreter.h"
+#include "support/Trace.h"
 
 namespace c4cam::ir {
 class Module;
@@ -151,6 +152,13 @@ struct PlanFrame
 {
     std::vector<RtValue> slots;
     std::int64_t nextCimHandle = 1;
+
+    /** Tracing handle for the *next* run() call: when enabled, replay
+     *  records a "plan-replay" span under trace.parentSpanId (the
+     *  serving layer's execute span). Default-disabled; copying a
+     *  frame for a replica copies a disabled context or the caller
+     *  re-stamps it per query. */
+    support::SpanContext trace;
 };
 
 /**

@@ -6,6 +6,7 @@
 
 #include "support/Error.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 
 namespace c4cam::sim {
 
@@ -210,6 +211,23 @@ PerfReport::toJson() const
     obj.set("edp_njs", finiteNumber(edpNanoJouleSeconds()));
     obj.set("utilization", finiteNumber(utilization()));
     return obj;
+}
+
+void
+attachWindowBreakdown(support::TraceEvent &span, const PerfReport &perf)
+{
+    span.hasSim = true;
+    span.simQueryLatencyNs = perf.queryLatencyNs;
+    span.simQueryEnergyPj = perf.queryEnergyPj;
+    span.simCellEnergyPj = perf.cellEnergyPj;
+    span.simSenseEnergyPj = perf.senseEnergyPj;
+    span.simDriveEnergyPj = perf.driveEnergyPj;
+    span.simMergeEnergyPj = perf.mergeEnergyPj;
+    span.simSetupLatencyNs = perf.setupLatencyNs;
+    span.simSetupEnergyPj = perf.setupEnergyPj;
+    span.simSearches = perf.searches;
+    if (perf.fusedBatchK > 0)
+        span.fusedK = perf.fusedBatchK;
 }
 
 } // namespace c4cam::sim

@@ -20,6 +20,9 @@
 namespace c4cam {
 class JsonValue;
 }
+namespace c4cam::support {
+struct TraceEvent;
+}
 
 namespace c4cam::sim {
 
@@ -334,6 +337,17 @@ struct PerfReport
      */
     JsonValue toJson() const;
 };
+
+/**
+ * Window <-> span linkage: copy @p perf's simulated per-window
+ * breakdown (drive/sense/cell/merge energy, search/setup cost, the
+ * fused width) onto @p span and mark it sim-carrying. The serving
+ * layers call this on every execute span so one trace record holds
+ * both the host wall-clock interval and the device's simulated cost
+ * for the same query window.
+ */
+void attachWindowBreakdown(support::TraceEvent &span,
+                           const PerfReport &perf);
 
 } // namespace c4cam::sim
 

@@ -122,7 +122,22 @@ escapeString(std::string &out, const std::string &s)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
-          default: out += c;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            // Remaining control characters are invalid raw inside a
+            // JSON string (RFC 8259 requires escaping everything below
+            // 0x20); emit them as \u00XX so dump() output always
+            // round-trips through a strict parser.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+                out += hex[static_cast<unsigned char>(c) & 0xF];
+            } else {
+                out += c;
+            }
         }
     }
     out += '"';
@@ -330,6 +345,46 @@ class JsonParser
         return JsonValue(false);
     }
 
+    /** Four hex digits of a \u escape -> code unit. */
+    unsigned
+    parseHex4()
+    {
+        unsigned cu = 0;
+        for (int i = 0; i < 4; ++i) {
+            char h = next();
+            cu <<= 4;
+            if (h >= '0' && h <= '9')
+                cu |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cu |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cu |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return cu;
+    }
+
+    void
+    encodeUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
     std::string
     parseString()
     {
@@ -344,9 +399,29 @@ class JsonParser
                 switch (e) {
                   case 'n': out += '\n'; break;
                   case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
                   case '"': out += '"'; break;
                   case '\\': out += '\\'; break;
                   case '/': out += '/'; break;
+                  case 'u': {
+                    unsigned cp = parseHex4();
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // High surrogate: must pair with a low one.
+                        if (next() != '\\' || next() != 'u')
+                            fail("unpaired UTF-16 high surrogate");
+                        unsigned lo = parseHex4();
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            fail("invalid UTF-16 low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        fail("unpaired UTF-16 low surrogate");
+                    }
+                    encodeUtf8(out, cp);
+                    break;
+                  }
                   default: fail("unsupported escape sequence");
                 }
             } else {

@@ -1,0 +1,184 @@
+#include "support/Trace.h"
+
+#include <fstream>
+#include <utility>
+
+#include "support/Json.h"
+
+namespace c4cam::support {
+
+TraceCollector::TraceCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+    ring_.reserve(capacity_ > 4096 ? 4096 : capacity_);
+}
+
+std::size_t
+TraceCollector::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::int64_t
+TraceCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::uint32_t
+TraceCollector::threadOrdinalLocked()
+{
+    auto [it, inserted] = threadOrdinals_.try_emplace(
+        std::this_thread::get_id(),
+        static_cast<std::uint32_t>(threadOrdinals_.size() + 1));
+    (void)inserted;
+    return it->second;
+}
+
+void
+TraceCollector::recordLocked(TraceEvent &&ev)
+{
+    if (ev.tid == 0)
+        ev.tid = threadOrdinalLocked();
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(ev));
+        next_ = ring_.size() % capacity_;
+        return;
+    }
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+}
+
+void
+TraceCollector::record(TraceEvent ev)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    recordLocked(std::move(ev));
+}
+
+void
+TraceCollector::recordBatch(std::vector<TraceEvent> &events)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (TraceEvent &ev : events)
+            recordLocked(std::move(ev));
+    }
+    events.clear();
+}
+
+std::vector<TraceEvent>
+TraceCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_)
+        return ring_;
+    // Full ring: next_ points at the oldest event.
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+    return out;
+}
+
+namespace {
+
+JsonValue
+simToJson(const TraceEvent &ev)
+{
+    JsonValue sim = JsonValue::makeObject();
+    sim.set("query_latency_ns", JsonValue(ev.simQueryLatencyNs));
+    sim.set("query_energy_pj", JsonValue(ev.simQueryEnergyPj));
+    sim.set("cell_energy_pj", JsonValue(ev.simCellEnergyPj));
+    sim.set("sense_energy_pj", JsonValue(ev.simSenseEnergyPj));
+    sim.set("drive_energy_pj", JsonValue(ev.simDriveEnergyPj));
+    sim.set("merge_energy_pj", JsonValue(ev.simMergeEnergyPj));
+    sim.set("setup_latency_ns", JsonValue(ev.simSetupLatencyNs));
+    sim.set("setup_energy_pj", JsonValue(ev.simSetupEnergyPj));
+    sim.set("searches", JsonValue(double(ev.simSearches)));
+    return sim;
+}
+
+JsonValue
+spanToJson(const TraceEvent &ev)
+{
+    JsonValue span = JsonValue::makeObject();
+    span.set("name", JsonValue(std::string(ev.name)));
+    span.set("trace", JsonValue(double(ev.traceId)));
+    span.set("query", JsonValue(double(ev.queryId)));
+    span.set("span", JsonValue(double(ev.spanId)));
+    span.set("parent", JsonValue(double(ev.parentSpanId)));
+    span.set("tid", JsonValue(double(ev.tid)));
+    span.set("start_us", JsonValue(ev.startUs));
+    span.set("dur_us", JsonValue(ev.durUs));
+    if (ev.fusedK > 0)
+        span.set("fused_k", JsonValue(double(ev.fusedK)));
+    if (ev.hasSim)
+        span.set("sim", simToJson(ev));
+    return span;
+}
+
+JsonValue
+chromeEventToJson(const TraceEvent &ev)
+{
+    // Chrome trace_event "complete" event: one "X" record per span.
+    JsonValue e = JsonValue::makeObject();
+    e.set("name", JsonValue(std::string(ev.name)));
+    e.set("ph", JsonValue(std::string("X")));
+    e.set("ts", JsonValue(ev.startUs));
+    e.set("dur", JsonValue(ev.durUs));
+    e.set("pid", JsonValue(1.0));
+    e.set("tid", JsonValue(double(ev.tid)));
+    JsonValue args = JsonValue::makeObject();
+    args.set("trace", JsonValue(double(ev.traceId)));
+    args.set("query", JsonValue(double(ev.queryId)));
+    args.set("span", JsonValue(double(ev.spanId)));
+    args.set("parent", JsonValue(double(ev.parentSpanId)));
+    if (ev.fusedK > 0)
+        args.set("fused_k", JsonValue(double(ev.fusedK)));
+    if (ev.hasSim)
+        args.set("sim", simToJson(ev));
+    e.set("args", args);
+    return e;
+}
+
+} // namespace
+
+JsonValue
+TraceCollector::toJson() const
+{
+    std::vector<TraceEvent> events = snapshot();
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue(std::string("c4cam-trace-v1")));
+    JsonValue spans = JsonValue::makeArray();
+    JsonValue chrome = JsonValue::makeArray();
+    for (const TraceEvent &ev : events) {
+        spans.append(spanToJson(ev));
+        chrome.append(chromeEventToJson(ev));
+    }
+    doc.set("spans", spans);
+    doc.set("traceEvents", chrome);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        doc.set("dropped", JsonValue(double(dropped_)));
+    }
+    return doc;
+}
+
+bool
+TraceCollector::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        return false;
+    out << toJson().dump(2) << "\n";
+    return out.good();
+}
+
+} // namespace c4cam::support

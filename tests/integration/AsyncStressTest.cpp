@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -243,31 +244,39 @@ TEST(AsyncServing, SubmitBatchStreamingReportsMalformedSlotInline)
 TEST(AsyncServing, MicroBatchingFusesUnderLoadOnly)
 {
     // One dispatcher, many queued queries: the collector must fuse.
-    core::AsyncServingOptions options;
-    options.queueCapacity = 64;
-    options.fuseMaxK = 4;
-    options.dispatchers = 1;
-    auto engine = workload().kernel.createAsyncServingEngine(
-        workload().queryFor(0), 1, options);
-    const std::size_t n = 48;
-    std::vector<std::future<core::ExecutionResult>> futures;
-    for (std::size_t i = 0; i < n; ++i)
-        futures.push_back(engine->submit(
-            workload().queryFor(static_cast<std::int64_t>(i % kRows))));
-    for (std::size_t i = 0; i < n; ++i)
-        expectMatchesReference(futures[i].get(),
-                               static_cast<std::int64_t>(i % kRows));
-    engine->drain();
-    core::AsyncServingStats stats = engine->stats();
-    EXPECT_EQ(stats.completed, static_cast<std::int64_t>(n));
-    // A one-dispatcher engine with 48 near-simultaneous submissions
-    // must have coalesced at least once, and every fused window is
-    // bounded by fuseMaxK.
-    EXPECT_GT(stats.fusedWindows, 0);
-    EXPECT_LE(stats.fusedQueries, stats.fusedWindows * 4);
-    EXPECT_EQ(stats.fusedQueries + stats.singleDispatches,
-              static_cast<std::int64_t>(n));
-    EXPECT_EQ(stats.serving.queriesServed, static_cast<std::int64_t>(n));
+    // Whether the queue actually builds up depends on the submit/serve
+    // speed ratio of the host, so the burst retries a few times; the
+    // accounting invariants are asserted on every attempt, and at
+    // least one burst must have coalesced.
+    std::int64_t fused_windows = 0;
+    for (int attempt = 0; attempt < 5 && fused_windows == 0; ++attempt) {
+        core::AsyncServingOptions options;
+        options.queueCapacity = 64;
+        options.fuseMaxK = 4;
+        options.dispatchers = 1;
+        auto engine = workload().kernel.createAsyncServingEngine(
+            workload().queryFor(0), 1, options);
+        const std::size_t n = 48;
+        std::vector<std::future<core::ExecutionResult>> futures;
+        for (std::size_t i = 0; i < n; ++i)
+            futures.push_back(engine->submit(
+                workload().queryFor(static_cast<std::int64_t>(i % kRows))));
+        for (std::size_t i = 0; i < n; ++i)
+            expectMatchesReference(futures[i].get(),
+                                   static_cast<std::int64_t>(i % kRows));
+        engine->drain();
+        core::AsyncServingStats stats = engine->stats();
+        EXPECT_EQ(stats.completed, static_cast<std::int64_t>(n));
+        // Every fused window is bounded by fuseMaxK, and fused +
+        // single dispatches account for exactly the burst.
+        EXPECT_LE(stats.fusedQueries, stats.fusedWindows * 4);
+        EXPECT_EQ(stats.fusedQueries + stats.singleDispatches,
+                  static_cast<std::int64_t>(n));
+        EXPECT_EQ(stats.serving.queriesServed,
+                  static_cast<std::int64_t>(n));
+        fused_windows = stats.fusedWindows;
+    }
+    EXPECT_GT(fused_windows, 0);
 }
 
 TEST(AsyncServing, FuseMaxKOneDisablesMicroBatching)
@@ -525,4 +534,51 @@ TEST(AsyncServing, ShutdownRacingProducersLosesNoAcceptedWork)
     EXPECT_EQ(refused, stats.rejected);
     EXPECT_EQ(ok + refused, stats.submitted);
     EXPECT_GE(ok, 8);
+}
+
+TEST(AsyncServing, DrainIsIdempotentAndSafeConcurrentWithShutdown)
+{
+    // Regression for the drain()/shutdown() contract: drain() may be
+    // called any number of times, from any number of threads, while
+    // another thread closes the engine -- no call may deadlock, throw
+    // or observe a half-delivered backlog. Every future submitted
+    // before the close still resolves with the reference result.
+    core::AsyncServingOptions options;
+    options.queueCapacity = 64;
+    options.dispatchers = 2;
+    auto engine = workload().kernel.createAsyncServingEngine(
+        workload().queryFor(0), 2, options);
+
+    std::vector<std::future<core::ExecutionResult>> futures;
+    for (int i = 0; i < 48; ++i)
+        futures.push_back(engine->submit(workload().queryFor(i % kRows)));
+
+    std::vector<std::thread> drainers;
+    for (int t = 0; t < 4; ++t)
+        drainers.emplace_back([&engine] {
+            for (int i = 0; i < 16; ++i)
+                engine->drain();
+        });
+    std::thread closer([&engine] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        engine->shutdown();
+    });
+    for (auto &t : drainers)
+        t.join();
+    closer.join();
+
+    // Idempotent after the close, too: repeated drain()/shutdown()
+    // return immediately instead of waiting on work that cannot come.
+    engine->drain();
+    engine->drain();
+    engine->shutdown();
+    EXPECT_TRUE(engine->shuttingDown());
+
+    for (int i = 0; i < 48; ++i)
+        expectMatchesReference(futures[static_cast<std::size_t>(i)].get(),
+                               i % kRows);
+    core::AsyncServingStats stats = engine->stats();
+    EXPECT_EQ(stats.completed, 48);
+    EXPECT_EQ(stats.rejected, 0);
+    EXPECT_EQ(stats.queueDepth, 0u);
 }

@@ -27,6 +27,7 @@
 #include "core/ExecutionSession.h"
 #include "support/Json.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
 using namespace c4cam;
 using c4cam::arch::ArchSpec;
@@ -216,6 +217,12 @@ TEST(DifferentialFuzz, PlanAndTreeWalkAgreeOnRandomConfigs)
             walk_kernel.createSession(args);
         EXPECT_TRUE(plan_session.usesPlan());
         EXPECT_FALSE(walk_session.usesPlan());
+        // Tracing must be a pure observer: run the plan session with a
+        // live collector while the tree-walk session stays untraced,
+        // and every bit-identity expectation below doubles as proof
+        // that span recording perturbs neither outputs nor reports.
+        support::TraceCollector collector;
+        plan_session.enableTracing(&collector);
         for (std::size_t q = 1; q <= kQueriesPerSession; ++q) {
             SCOPED_TRACE("session query " + std::to_string(q));
             std::vector<rt::BufferPtr> query_args{data.queryBatches[q],
@@ -227,5 +234,9 @@ TEST(DifferentialFuzz, PlanAndTreeWalkAgreeOnRandomConfigs)
         }
         expectReportJsonBitIdentical(plan_session.aggregateReport(),
                                      walk_session.aggregateReport());
+        // The traced session really did record: one query/execute/
+        // merge triple per runQuery (plus plan-replay spans on the
+        // plan back end).
+        EXPECT_GE(collector.size(), 3 * kQueriesPerSession);
     }
 }

@@ -165,3 +165,52 @@ TEST(Json, ClampsOverflowingNumbers)
     EXPECT_THROW(parseJson("1e"), CompilerError);
     EXPECT_THROW(parseJson("--1"), CompilerError);
 }
+
+TEST(Json, EscapesControlCharactersOnDump)
+{
+    // RFC 8259: quotes, backslashes and everything below 0x20 must be
+    // escaped. Named escapes for the common controls, \u00xx for the
+    // rest -- and the result must parse back to the same bytes.
+    JsonValue v(std::string("a\"b\\c\nd\te\rf\bg\fh\x01i"));
+    std::string dumped = v.dump();
+    EXPECT_EQ(dumped,
+              "\"a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\\u0001i\"");
+    EXPECT_EQ(parseJson(dumped).asString(), v.asString());
+}
+
+TEST(Json, ParsesNamedControlEscapes)
+{
+    EXPECT_EQ(parseJson(R"("\r\b\f\t\n")").asString(),
+              "\r\b\f\t\n");
+}
+
+TEST(Json, ParsesUnicodeEscapes)
+{
+    // \u0041 is plain A; \u00e9 is e-acute (2-byte UTF-8);
+    // \u2192 is a rightwards arrow (3-byte UTF-8).
+    EXPECT_EQ(parseJson(R"("\u0041")").asString(), "A");
+    EXPECT_EQ(parseJson(R"("\u00e9")").asString(), "\xc3\xa9");
+    EXPECT_EQ(parseJson(R"("\u2192")").asString(),
+              "\xe2\x86\x92");
+    // Upper-case hex digits are legal too.
+    EXPECT_EQ(parseJson(R"("\u00E9")").asString(), "\xc3\xa9");
+}
+
+TEST(Json, ParsesSurrogatePairs)
+{
+    // U+1F600 (grinning face) encodes as the surrogate pair
+    // \ud83d\ude00 and must decode to 4-byte UTF-8.
+    EXPECT_EQ(parseJson(R"("\ud83d\ude00")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsBadUnicodeEscapes)
+{
+    EXPECT_THROW(parseJson(R"("\u12")"), CompilerError);   // too short
+    EXPECT_THROW(parseJson(R"("\u12gz")"), CompilerError); // bad digit
+    EXPECT_THROW(parseJson(R"("\ud83d")"), CompilerError); // lone high
+    EXPECT_THROW(parseJson(R"("\ud83dx")"), CompilerError);
+    EXPECT_THROW(parseJson(R"("\ud83d\u0041")"),
+                 CompilerError);                           // bad low
+    EXPECT_THROW(parseJson(R"("\ude00")"), CompilerError); // lone low
+}

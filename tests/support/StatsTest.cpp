@@ -146,3 +146,65 @@ TEST(Stats, LatencyWindowIsABoundedRing)
     EXPECT_EQ(tiny.capacity(), 1u);
     EXPECT_EQ(tiny.sorted(), (std::vector<double>{6.0}));
 }
+
+TEST(Stats, LatencyWindowWraparoundOverwritesOldestFirst)
+{
+    // The ring fills by push_back (cursor stays at 0), so the first
+    // overwrite must land on index 0 -- the oldest sample -- and each
+    // subsequent record advances the cursor by exactly one slot.
+    c4cam::support::LatencyWindow window(4);
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        window.record(v);
+
+    window.record(5.0); // evicts 1.0
+    EXPECT_EQ(window.size(), 4u);
+    EXPECT_EQ(window.sorted(),
+              (std::vector<double>{2.0, 3.0, 4.0, 5.0}));
+
+    window.record(6.0); // evicts 2.0
+    EXPECT_EQ(window.sorted(),
+              (std::vector<double>{3.0, 4.0, 5.0, 6.0}));
+
+    // A full extra revolution wraps the cursor back to slot 0: the
+    // next record after 7.0, 8.0, 9.0 must evict 6.0, not a newer
+    // sample (a cursor that failed to wrap would clobber 9.0).
+    window.record(7.0);
+    window.record(8.0);
+    window.record(9.0);
+    EXPECT_EQ(window.sorted(),
+              (std::vector<double>{6.0, 7.0, 8.0, 9.0}));
+    window.record(10.0); // cursor wrapped: evicts 6.0
+    EXPECT_EQ(window.sorted(),
+              (std::vector<double>{7.0, 8.0, 9.0, 10.0}));
+}
+
+TEST(Stats, LatencyWindowSortedIsConsistentMidWrap)
+{
+    // sorted() must not assume the ring is in chronological layout:
+    // mid-wrap the newest sample lives at a lower index than older
+    // ones, and the sorted copy still has to order by value.
+    c4cam::support::LatencyWindow window(3);
+    window.record(10.0);
+    window.record(20.0);
+    window.record(30.0);
+
+    window.record(5.0); // ring layout is now [5, 20, 30]
+    EXPECT_EQ(window.size(), 3u);
+    EXPECT_EQ(window.sorted(), (std::vector<double>{5.0, 20.0, 30.0}));
+
+    window.record(40.0); // ring layout is now [5, 40, 30]
+    EXPECT_EQ(window.sorted(), (std::vector<double>{5.0, 30.0, 40.0}));
+}
+
+TEST(Stats, LatencyWindowCapacityOneKeepsOnlyTheLatest)
+{
+    // Explicit capacity 1 (as opposed to the 0-clamp case): every
+    // record replaces the single slot, size never exceeds one.
+    c4cam::support::LatencyWindow window(1);
+    EXPECT_EQ(window.capacity(), 1u);
+    for (double v : {1.0, 2.0, 3.0}) {
+        window.record(v);
+        EXPECT_EQ(window.size(), 1u);
+        EXPECT_EQ(window.sorted(), (std::vector<double>{v}));
+    }
+}

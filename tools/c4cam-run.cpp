@@ -32,6 +32,13 @@
  * figures plus the enqueue-wait vs execute latency split and the
  * admission/fusion counters. Per-query simulated cost stays identical
  * to the serial session here too.
+ *
+ * With --batch N --trace-out FILE the run additionally records
+ * per-query lifecycle spans (support::TraceCollector) through
+ * whichever serving path was chosen -- serial session, threaded
+ * engine, or async front-end -- and writes the trace document (Chrome
+ * trace_event + compact "spans" array) to FILE. Tracing never
+ * perturbs outputs or PerfReports.
  */
 
 #include <cerrno>
@@ -40,6 +47,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -54,6 +62,7 @@
 #include "support/Error.h"
 #include "support/Json.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
 using namespace c4cam;
 
@@ -66,7 +75,8 @@ usage()
               << " [--seed N] [--queries-equal-rows] [--print-ir]"
               << " [--host-only] [--batch N] [--json] [--threads N]"
               << " [--tree-walk] [--async] [--queue-depth N]"
-              << " [--policy block|reject|drop-oldest] [--fuse-k N]\n";
+              << " [--policy block|reject|drop-oldest] [--fuse-k N]"
+              << " [--trace-out FILE]\n";
     return 2;
 }
 
@@ -134,6 +144,7 @@ main(int argc, char **argv)
     long long threads = 1;
     long long queue_depth = 64;
     long long fuse_k = 8;
+    std::string trace_path;
     core::AsyncServingOptions async_options;
 
     for (int i = 1; i < argc; ++i) {
@@ -174,6 +185,10 @@ main(int argc, char **argv)
             if (!policy)
                 return usage();
             async_options.policy = *policy;
+        } else if (arg == "--trace-out") {
+            if (++i >= argc)
+                return usage();
+            trace_path = argv[i];
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--queries-equal-rows") {
@@ -205,6 +220,12 @@ main(int argc, char **argv)
     }
     if (use_async && batch <= 0) {
         std::cerr << "c4cam-run: --async requires --batch\n";
+        return usage();
+    }
+    if (!trace_path.empty() && batch <= 0) {
+        // Span tracing instruments the serving layers; the single-shot
+        // path has no lifecycle to trace.
+        std::cerr << "c4cam-run: --trace-out requires --batch\n";
         return usage();
     }
     if (async_flags_seen && !use_async) {
@@ -260,6 +281,26 @@ main(int argc, char **argv)
         if (queries_equal_rows && args.size() >= 2)
             fillQueriesFromStored(args[0], args[1], 0);
 
+        // One collector spans the whole serving run, whichever path
+        // serves it; writeFile renders both export formats at the end.
+        std::unique_ptr<support::TraceCollector> collector;
+        if (!trace_path.empty())
+            collector = std::make_unique<support::TraceCollector>();
+        auto write_trace = [&]() -> bool {
+            if (!collector)
+                return true;
+            if (!collector->writeFile(trace_path)) {
+                std::cerr << "c4cam-run: cannot write --trace-out file '"
+                          << trace_path << "'\n";
+                return false;
+            }
+            if (!json)
+                std::cout << "trace: " << collector->size()
+                          << " spans -> " << trace_path << " ("
+                          << collector->dropped() << " dropped)\n";
+            return true;
+        };
+
         if (batch > 0) {
             // Persistent serving: program the device once, then serve
             // `batch` query batches. Each batch gets its own query
@@ -301,6 +342,7 @@ main(int argc, char **argv)
                 async_options.queueCapacity =
                     static_cast<std::size_t>(queue_depth);
                 async_options.fuseMaxK = static_cast<int>(fuse_k);
+                async_options.trace = collector.get();
                 auto engine = kernel.createAsyncServingEngine(
                     args, static_cast<int>(threads), async_options);
                 std::deque<std::future<core::ExecutionResult>> inflight;
@@ -414,13 +456,15 @@ main(int argc, char **argv)
                           JsonValue(stats.p95ExecuteUs));
                     j.set("async", std::move(a));
                     std::cout << j.dump(2) << "\n";
-                    return 0;
+                    return write_trace() ? 0 : 1;
                 }
             } else if (threads > 1) {
                 // Parallel serving on `threads` programmed replicas;
                 // at most 2x threads submissions stay in flight.
                 auto engine = kernel.createServingEngine(
                     args, static_cast<int>(threads));
+                if (collector)
+                    engine->enableTracing(collector.get());
                 std::deque<std::future<core::ExecutionResult>> inflight;
                 long long harvested = 0; // futures drain in FIFO order
                 auto harvest_front = [&] {
@@ -454,6 +498,8 @@ main(int argc, char **argv)
             } else {
                 // Serial path: one reused session, one batch at a time.
                 core::ExecutionSession session = kernel.createSession(args);
+                if (collector)
+                    session.enableTracing(collector.get());
                 for (long long b = 0; b < batch; ++b) {
                     core::ExecutionResult result =
                         session.runQuery(make_batch_args(b));
@@ -466,6 +512,8 @@ main(int argc, char **argv)
                     std::cout << "setup: " << session.setupReport().str()
                               << "\n";
             }
+            if (!write_trace())
+                return 1;
             if (json) {
                 std::cout << total.toJson().dump(2) << "\n";
                 return 0;

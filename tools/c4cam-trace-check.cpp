@@ -1,0 +1,161 @@
+/**
+ * @file
+ * c4cam-trace-check: validate a trace document written by
+ * `c4cam-run --trace-out` / TraceCollector::writeFile.
+ *
+ *   c4cam-trace-check TRACE.json [--min-spans N]
+ *
+ * Reuses the same support::Json parser the producer used, then checks
+ * the c4cam-trace-v1 shape: a "spans" array whose entries carry
+ * name/trace/query/span/parent ids and a non-negative wall-clock
+ * interval, a "traceEvents" array of Chrome "X" events of the same
+ * length, every non-root parent id resolving to another span of the
+ * same query's trace, and a non-negative "dropped" counter. CI runs
+ * this against the smoke-test trace so a malformed export fails the
+ * build rather than silently producing a file chrome://tracing
+ * rejects.
+ *
+ * Exit codes: 0 trace is valid, 1 invalid or unreadable, 2 usage.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+using namespace c4cam;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: c4cam-trace-check TRACE.json [--min-spans N]\n";
+    return 2;
+}
+
+int
+fail(const std::string &message)
+{
+    std::cerr << "c4cam-trace-check: " << message << "\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    long long min_spans = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--min-spans") {
+            if (++i >= argc)
+                return usage();
+            char *end = nullptr;
+            min_spans = std::strtoll(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || min_spans < 0)
+                return usage();
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    try {
+        JsonValue doc = parseJsonFile(path);
+        if (doc.getString("schema", "") != "c4cam-trace-v1")
+            return fail("missing or unexpected \"schema\" (want "
+                        "c4cam-trace-v1)");
+        if (doc.getInt("dropped", -1) < 0)
+            return fail("missing or negative \"dropped\" counter");
+
+        const JsonValue *spans_value = doc.find("spans");
+        if (!spans_value)
+            return fail("missing \"spans\" array");
+        const auto &spans = spans_value->asArray();
+        if (static_cast<long long>(spans.size()) < min_spans)
+            return fail("only " + std::to_string(spans.size()) +
+                        " spans, expected at least " +
+                        std::to_string(min_spans));
+
+        // First pass: ids + intervals; collect span ids per trace so
+        // parents can be resolved in a second pass.
+        std::set<std::pair<long long, long long>> span_ids;
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const JsonValue &span = spans[i];
+            const std::string at = "spans[" + std::to_string(i) + "]";
+            if (span.getString("name", "").empty())
+                return fail(at + ": missing \"name\"");
+            if (span.getInt("trace", 0) <= 0)
+                return fail(at + ": missing or non-positive \"trace\"");
+            if (span.getInt("span", 0) <= 0)
+                return fail(at + ": missing or non-positive \"span\"");
+            if (span.getInt("parent", -1) < 0 ||
+                span.getInt("query", -1) < 0)
+                return fail(at + ": missing \"parent\" or \"query\"");
+            const JsonValue *start = span.find("start_us");
+            const JsonValue *dur = span.find("dur_us");
+            if (!start || !dur)
+                return fail(at + ": missing \"start_us\"/\"dur_us\"");
+            if (start->asNumber() < 0.0 || dur->asNumber() < 0.0)
+                return fail(at + ": negative wall-clock interval");
+            const JsonValue *sim = span.find("sim");
+            if (sim && sim->find("query_latency_ns") == nullptr)
+                return fail(at + ": \"sim\" block lacks "
+                                 "\"query_latency_ns\"");
+            span_ids.emplace(span.getInt("trace", 0),
+                             span.getInt("span", 0));
+        }
+        // Parent resolution only holds on a complete trace: once the
+        // ring overflowed, a surviving child may reference an evicted
+        // parent, which is fine.
+        if (doc.getInt("dropped", 0) == 0) {
+            for (std::size_t i = 0; i < spans.size(); ++i) {
+                long long parent = spans[i].getInt("parent", 0);
+                if (parent == 0)
+                    continue; // root
+                if (!span_ids.count(
+                        {spans[i].getInt("trace", 0), parent}))
+                    return fail("spans[" + std::to_string(i) +
+                                "]: parent " + std::to_string(parent) +
+                                " does not resolve to a span of the "
+                                "same trace");
+            }
+        }
+
+        const JsonValue *chrome_value = doc.find("traceEvents");
+        if (!chrome_value)
+            return fail("missing \"traceEvents\" array");
+        const auto &chrome = chrome_value->asArray();
+        if (chrome.size() != spans.size())
+            return fail("traceEvents/spans length mismatch (" +
+                        std::to_string(chrome.size()) + " vs " +
+                        std::to_string(spans.size()) + ")");
+        for (std::size_t i = 0; i < chrome.size(); ++i) {
+            const JsonValue &ev = chrome[i];
+            if (ev.getString("ph", "") != "X")
+                return fail("traceEvents[" + std::to_string(i) +
+                            "]: phase is not \"X\"");
+            if (!ev.find("ts") || !ev.find("dur") || !ev.find("tid"))
+                return fail("traceEvents[" + std::to_string(i) +
+                            "]: missing ts/dur/tid");
+        }
+
+        std::cout << "c4cam-trace-check: " << spans.size()
+                  << " spans OK (" << doc.getInt("dropped", 0)
+                  << " dropped)\n";
+        return 0;
+    } catch (const CompilerError &err) {
+        return fail(err.what());
+    }
+}

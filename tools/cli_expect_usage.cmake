@@ -5,7 +5,15 @@
 # asserted here explicitly.
 #
 # Usage:
-#   cmake -DTOOL=<path> "-DARGS=<;-separated args>" -P cli_expect_usage.cmake
+#   cmake -DTOOL=<path> "-DARGS=<;-separated args>"
+#         [-DUSAGE_RE=<regex>] -P cli_expect_usage.cmake
+#
+# USAGE_RE defaults to c4cam-run's usage banner; other tools (e.g.
+# c4cam-trace-check, the benches) pass their own.
+
+if(NOT DEFINED USAGE_RE)
+  set(USAGE_RE "usage: c4cam-run")
+endif()
 
 separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
 execute_process(COMMAND ${TOOL} ${tool_args}
@@ -17,8 +25,8 @@ if(NOT rc EQUAL 2)
           "expected exit code 2 from '${TOOL} ${ARGS}', got '${rc}' "
           "(stderr: ${err})")
 endif()
-if(NOT err MATCHES "usage: c4cam-run" AND NOT out MATCHES "usage: c4cam-run")
+if(NOT err MATCHES "${USAGE_RE}" AND NOT out MATCHES "${USAGE_RE}")
   message(FATAL_ERROR
-          "expected the usage message from '${TOOL} ${ARGS}', got "
-          "stdout '${out}' / stderr '${err}'")
+          "expected usage matching '${USAGE_RE}' from '${TOOL} ${ARGS}', "
+          "got stdout '${out}' / stderr '${err}'")
 endif()

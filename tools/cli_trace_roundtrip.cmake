@@ -1,0 +1,39 @@
+# Test helper: produce a trace with c4cam-run --trace-out, then
+# validate it with c4cam-trace-check -- the same checker CI runs on
+# archived traces. Asserts the producing run succeeds, the file
+# appears, and the checker accepts it.
+#
+# Usage:
+#   cmake -DTOOL=<c4cam-run> "-DARGS=<;-separated args>"
+#         -DCHECKER=<c4cam-trace-check> -DTRACE_FILE=<path>
+#         [-DMIN_SPANS=N] -P cli_trace_roundtrip.cmake
+
+if(NOT DEFINED MIN_SPANS)
+  set(MIN_SPANS 1)
+endif()
+
+file(REMOVE "${TRACE_FILE}")
+separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${tool_args}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "trace-producing run '${TOOL} ${ARGS}' failed with '${rc}' "
+          "(stderr: ${err})")
+endif()
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR
+          "'${TOOL} ${ARGS}' succeeded but did not write ${TRACE_FILE}")
+endif()
+
+execute_process(COMMAND ${CHECKER} "${TRACE_FILE}" --min-spans ${MIN_SPANS}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "c4cam-trace-check rejected ${TRACE_FILE} (exit '${rc}', "
+          "stderr: ${err}, stdout: ${out})")
+endif()
