@@ -63,12 +63,24 @@
  * BENCH_replay.json via --json-out. --trace-out FILE re-records the
  * replay itself for trace-diffing runs.
  *
+ * --shards M switches to the sharded-serving sweep: the same query
+ * stream is served through core::ShardedEngine at 1, 2, 4, ... up to
+ * M shards (replicasPerShard = --workers, closed-loop submitters), a
+ * qps table is printed, and every sharded run must stay bit-identical
+ * to the serial session in BOTH outputs -- merged top-k values and
+ * global indices. Per-query PerfReports are shard aggregations by
+ * design (latency = max over shards), so the report check here is the
+ * invariant that holds: per-shard latency never exceeds the
+ * single-device latency. No qps gate: M small simulated devices vs
+ * one big one is an accounting statement, not a host-speed contract.
+ *
  * All modes accept --json-out FILE for machine-readable results
- * (CI archives BENCH_serving.json, BENCH_async.json and
- * BENCH_replay.json from the release perf job).
+ * (CI archives BENCH_serving.json, BENCH_async.json, BENCH_replay.json
+ * and BENCH_sharded.json from the release perf job).
  *
  *   bench_serving_throughput [--queries N] [--scaling]
  *                            [--plan-vs-treewalk] [--async]
+ *                            [--shards M]
  *                            [--replay TRACE.json] [--time-scale S]
  *                            [--trace-out FILE]
  *                            [--workers W] [--json-out FILE]
@@ -93,6 +105,8 @@
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
+#include "core/ShardedEngine.h"
+#include "support/CliParse.h"
 #include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Trace.h"
@@ -560,6 +574,131 @@ runAsync(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
 }
 
 /**
+ * Sharded-serving sweep: the stream served through core::ShardedEngine
+ * at 1, 2, 4, ... up to @p max_shards shards, closed-loop at
+ * @p workers submitters (replicasPerShard == workers, so offered
+ * concurrency has a replica to land on in every shard). @return
+ * process exit code.
+ */
+int
+runSharded(const core::CompilerOptions &options, const std::string &source,
+           core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
+           const std::vector<rt::BufferPtr> &queries, int max_shards,
+           int workers, bench::JsonOut &jout)
+{
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(queries.size());
+    for (const rt::BufferPtr &query : queries)
+        batches.push_back({query, stored_buf});
+    const double n = static_cast<double>(queries.size());
+
+    // Serial single-device reference: the bit-identity baseline and
+    // the qps denominator.
+    core::ExecutionSession session =
+        kernel.createSession({queries[0], stored_buf});
+    Clock::time_point start = Clock::now();
+    std::vector<core::ExecutionResult> serial = session.runBatch(batches);
+    double serial_qps = n / secondsSince(start);
+
+    // 1, 2, 4, ... capped at max_shards (always swept last so the
+    // exact M the caller asked for is measured even off the power-of-2
+    // grid).
+    std::vector<int> sweep;
+    for (int s = 1; s < max_shards; s *= 2)
+        sweep.push_back(s);
+    sweep.push_back(max_shards);
+
+    std::printf("Sharded serving: %zu queries, %d closed-loop "
+                "submitters, replicasPerShard = %d\n",
+                queries.size(), workers, workers);
+    bench::rule();
+    std::printf("%-10s %14s %12s %12s %12s\n", "shards", "wall qps",
+                "vs serial", "p50 (us)", "p95 (us)");
+    std::printf("%-10s %14.1f %12s %12s %12s\n", "serial", serial_qps,
+                "1.00x", "-", "-");
+
+    jout.set("mode", std::string("sharded"));
+    jout.set("queries", n);
+    jout.set("workers", double(workers));
+    jout.set("max_shards", double(max_shards));
+    jout.set("serial_qps", serial_qps);
+
+    for (int shards : sweep) {
+        core::ShardedEngineOptions sharding;
+        sharding.shards = shards;
+        sharding.replicasPerShard = workers;
+        std::unique_ptr<core::ShardedEngine> engine;
+        try {
+            engine = std::make_unique<core::ShardedEngine>(
+                options, source, batches[0], sharding);
+        } catch (const CompilerError &err) {
+            std::fprintf(stderr,
+                         "FAIL: cannot build the %d-shard engine: %s\n",
+                         shards, err.what());
+            return 1;
+        }
+
+        std::vector<core::ExecutionResult> results(batches.size());
+        std::vector<std::thread> submitters;
+        std::atomic<std::size_t> cursor{0};
+        start = Clock::now();
+        for (int w = 0; w < workers; ++w)
+            submitters.emplace_back([&] {
+                for (;;) {
+                    std::size_t idx = cursor.fetch_add(1);
+                    if (idx >= batches.size())
+                        return;
+                    results[idx] = engine->serve(batches[idx]);
+                }
+            });
+        for (auto &t : submitters)
+            t.join();
+        double qps = n / secondsSince(start);
+        core::ServingStats stats = engine->stats();
+        std::printf("%-10d %14.1f %11.2fx %12.1f %12.1f\n", shards, qps,
+                    qps / serial_qps, stats.p50LatencyUs,
+                    stats.p95LatencyUs);
+
+        // The contract the shard split must never bend: merged top-k
+        // values AND global indices bit-identical to the single big
+        // device, per query.
+        for (std::size_t q = 0; q < batches.size(); ++q) {
+            if (results[q].outputs[0].asBuffer()->toVector() !=
+                    serial[q].outputs[0].asBuffer()->toVector() ||
+                results[q].outputs[1].asBuffer()->toVector() !=
+                    serial[q].outputs[1].asBuffer()->toVector()) {
+                std::fprintf(stderr,
+                             "FAIL: %d-shard result %zu diverges from "
+                             "the single-device session\n",
+                             shards, q);
+                return 1;
+            }
+            // Aggregated latency is the max over shards; each shard
+            // searches fewer rows than the whole device, so the
+            // sharded query can never be simulated-slower.
+            if (results[q].perf.queryLatencyNs >
+                serial[q].perf.queryLatencyNs) {
+                std::fprintf(stderr,
+                             "FAIL: %d-shard query %zu is simulated-"
+                             "slower than the single device\n",
+                             shards, q);
+                return 1;
+            }
+        }
+
+        jout.set("qps_shards_" + std::to_string(shards), qps);
+        jout.set("speedup_shards_" + std::to_string(shards),
+                 qps / serial_qps);
+        if (shards == max_shards)
+            jout.setReport("sharded_aggregate", stats.aggregate);
+    }
+    bench::rule();
+    std::printf("merged outputs bit-identical to the single device "
+                "(all shard counts): OK\n");
+    return jout.write() ? 0 : 1;
+}
+
+/**
  * Trace-driven open-loop replay: re-inject the "admit" arrival
  * timestamps recorded in @p replay_path (a c4cam-trace-v1 document)
  * through an AsyncServingEngine. @return process exit code.
@@ -728,9 +867,11 @@ runReplay(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
 int
 main(int argc, char **argv)
 {
-    long num_queries = 64;
+    long long num_queries = 64;
     bool queries_set = false;
-    long workers = 4;
+    long long workers = 4;
+    long long shards = 0;
+    bool shards_set = false;
     bool scaling = false;
     bool plan_vs_treewalk = false;
     bool async = false;
@@ -743,33 +884,43 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: bench_serving_throughput [--queries N] "
                      "[--scaling] [--plan-vs-treewalk] [--async] "
+                     "[--shards M] "
                      "[--replay TRACE.json] [--time-scale S] "
                      "[--trace-out FILE] [--workers W] "
                      "[--json-out FILE]\n");
         return 2;
     };
+    auto bad_flag = [](const char *flag, const char *value) {
+        std::fprintf(stderr, "%s: bad value: %s\n", flag,
+                     value ? value : "(missing)");
+        return 2;
+    };
     for (int i = 1; i < argc; ++i) {
         if (jout.tryParseArg(argc, argv, i))
             continue;
-        if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
-            char *end = nullptr;
-            num_queries = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0') {
-                std::fprintf(stderr, "--queries: not a number: %s\n",
-                             argv[i]);
-                return 2;
-            }
+        support::FlagParse fp;
+        if ((fp = support::parseIntFlag(argc, argv, i, "--queries",
+                                        num_queries, 1)) !=
+            support::FlagParse::NoMatch) {
+            if (fp == support::FlagParse::Bad)
+                return bad_flag("--queries",
+                                i < argc ? argv[i] : nullptr);
             queries_set = true;
-        } else if (std::strcmp(argv[i], "--workers") == 0 &&
-                   i + 1 < argc) {
-            char *end = nullptr;
-            workers = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || workers < 1 ||
-                workers > 256) {
-                std::fprintf(stderr, "--workers: bad value: %s\n",
-                             argv[i]);
-                return 2;
-            }
+        } else if ((fp = support::parseIntFlag(argc, argv, i,
+                                               "--workers", workers, 1,
+                                               256)) !=
+                   support::FlagParse::NoMatch) {
+            if (fp == support::FlagParse::Bad)
+                return bad_flag("--workers",
+                                i < argc ? argv[i] : nullptr);
+        } else if ((fp = support::parseIntFlag(argc, argv, i,
+                                               "--shards", shards, 1,
+                                               1024)) !=
+                   support::FlagParse::NoMatch) {
+            if (fp == support::FlagParse::Bad)
+                return bad_flag("--shards",
+                                i < argc ? argv[i] : nullptr);
+            shards_set = true;
         } else if (std::strcmp(argv[i], "--scaling") == 0) {
             scaling = true;
         } else if (std::strcmp(argv[i], "--async") == 0) {
@@ -800,14 +951,16 @@ main(int argc, char **argv)
             return usage();
         }
     }
-    if (num_queries < 1) {
-        std::fprintf(stderr, "--queries must be >= 1\n");
-        return 2;
-    }
     if (!replay_path.empty() &&
-        (scaling || plan_vs_treewalk || async)) {
+        (scaling || plan_vs_treewalk || async || shards_set)) {
         std::fprintf(stderr,
                      "--replay is its own mode; drop --scaling/"
+                     "--plan-vs-treewalk/--async/--shards\n");
+        return usage();
+    }
+    if (shards_set && (scaling || plan_vs_treewalk || async)) {
+        std::fprintf(stderr,
+                     "--shards is its own mode; drop --scaling/"
                      "--plan-vs-treewalk/--async\n");
         return usage();
     }
@@ -817,7 +970,7 @@ main(int argc, char **argv)
         return usage();
     }
     if (plan_vs_treewalk)
-        return runPlanVsTreeWalk(num_queries, jout);
+        return runPlanVsTreeWalk(static_cast<long>(num_queries), jout);
 
     // A small HDC-style workload: 128 stored vectors of 1024 bits,
     // one query per serving request.
@@ -828,8 +981,8 @@ main(int argc, char **argv)
     core::CompilerOptions options;
     options.spec = spec;
     core::Compiler compiler(options);
-    core::CompiledKernel kernel = compiler.compileTorchScript(
-        apps::dotSimilaritySource(1, rows, dims, 1));
+    const std::string source = apps::dotSimilaritySource(1, rows, dims, 1);
+    core::CompiledKernel kernel = compiler.compileTorchScript(source);
 
     Rng rng(123);
     std::vector<std::vector<float>> stored(
@@ -842,15 +995,20 @@ main(int argc, char **argv)
 
     if (!replay_path.empty())
         return runReplay(kernel, stored_buf, stored, replay_path,
-                         time_scale, queries_set ? num_queries : 0,
+                         time_scale,
+                         queries_set ? static_cast<long>(num_queries) : 0,
                          static_cast<int>(workers), trace_out, jout);
 
     std::vector<rt::BufferPtr> queries;
     queries.reserve(static_cast<std::size_t>(num_queries));
-    for (long q = 0; q < num_queries; ++q)
+    for (long long q = 0; q < num_queries; ++q)
         queries.push_back(rt::Buffer::fromMatrix(
             {stored[static_cast<std::size_t>(q) % stored.size()]}));
 
+    if (shards_set)
+        return runSharded(options, source, kernel, stored_buf, queries,
+                          static_cast<int>(shards),
+                          static_cast<int>(workers), jout);
     if (scaling)
         return runScaling(kernel, stored_buf, queries, jout);
     if (async)
@@ -900,7 +1058,7 @@ main(int argc, char **argv)
     double wall_speedup =
         session_wall_s > 0.0 ? naive_wall_s / session_wall_s : 0.0;
 
-    std::printf("Serving throughput: %ld queries, %lld x %lld stored\n",
+    std::printf("Serving throughput: %lld queries, %lld x %lld stored\n",
                 num_queries, static_cast<long long>(rows),
                 static_cast<long long>(dims));
     bench::rule();

@@ -18,25 +18,25 @@ admissionError(const char *what)
 
 } // namespace
 
-AsyncServingEngine::AsyncServingEngine(std::unique_ptr<ServingEngine> engine,
+AsyncServingEngine::AsyncServingEngine(std::unique_ptr<QueryBackend> backend,
                                        AsyncServingOptions options)
-    : engine_(std::move(engine)), options_(options),
+    : backend_(std::move(backend)), options_(options),
       queue_(options.queueCapacity == 0 ? 1 : options.queueCapacity,
              options.policy)
 {
-    C4CAM_CHECK(engine_, "AsyncServingEngine needs a ServingEngine");
+    C4CAM_CHECK(backend_, "AsyncServingEngine needs a QueryBackend");
     options_.queueCapacity = queue_.capacity();
     if (options_.trace) {
         // One trace id spans the whole stack: the async layer's
-        // admit/wait/dispatch spans and the wrapped engine's
+        // admit/wait/dispatch spans and the wrapped backend's
         // execute/merge spans group under it.
         traceId_ = options_.trace->newTraceId();
-        engine_->enableTracing(options_.trace, traceId_);
+        backend_->enableTracing(options_.trace, traceId_);
     }
     options_.fuseMaxK = std::max(options_.fuseMaxK, 1);
     options_.fuseMinDepth = std::max<std::size_t>(options_.fuseMinDepth, 1);
     int dispatchers = options_.dispatchers > 0 ? options_.dispatchers
-                                               : engine_->numReplicas();
+                                               : backend_->concurrency();
     options_.dispatchers = dispatchers;
     dispatchers_.reserve(static_cast<std::size_t>(dispatchers));
     for (int i = 0; i < dispatchers; ++i)
@@ -143,7 +143,7 @@ AsyncServingEngine::submit(std::vector<rt::BufferPtr> args)
     Clock::time_point admit_start = Clock::now();
     // Fail malformed submissions on the caller's stack, before they
     // consume a queue slot.
-    engine_->validateQuery(args);
+    backend_->validateQuery(args);
     Pending pending;
     pending.admitStart = admit_start;
     pending.args = std::move(args);
@@ -158,7 +158,7 @@ AsyncServingEngine::trySubmit(std::vector<rt::BufferPtr> args,
 {
     Clock::time_point admit_start = Clock::now();
     C4CAM_CHECK(callback, "trySubmit needs a completion callback");
-    engine_->validateQuery(args);
+    backend_->validateQuery(args);
     Pending pending;
     pending.admitStart = admit_start;
     pending.args = std::move(args);
@@ -363,9 +363,9 @@ AsyncServingEngine::dispatchLoop()
             for (const Pending &p : group)
                 qargs.push_back(p.args);
             // Args were validated at admission; dispatch through the
-            // engine's non-revalidating primitives (friend access).
+            // backend's non-revalidating primitives.
             try {
-                FusedBatchResult fused = engine_->serveFusedChunk(
+                FusedBatchResult fused = backend_->serveFusedChunk(
                     qargs, 0, qargs.size(), col ? &ctxs : nullptr);
                 for (std::size_t i = 0; i < n; ++i)
                     results[i] = std::move(fused.results[i]);
@@ -382,7 +382,7 @@ AsyncServingEngine::dispatchLoop()
                 singleDispatches_.fetch_add(static_cast<std::int64_t>(n));
                 for (std::size_t i = 0; i < n; ++i) {
                     try {
-                        results[i] = engine_->serve(
+                        results[i] = backend_->serve(
                             group[i].args, col ? &ctxs[i] : nullptr);
                     } catch (...) {
                         errors[i] = std::current_exception();
@@ -392,7 +392,7 @@ AsyncServingEngine::dispatchLoop()
         } else {
             singleDispatches_.fetch_add(1);
             try {
-                results[0] = engine_->serve(group[0].args,
+                results[0] = backend_->serve(group[0].args,
                                             col ? &ctxs[0] : nullptr);
             } catch (...) {
                 errors[0] = std::current_exception();
@@ -474,7 +474,7 @@ AsyncServingStats
 AsyncServingEngine::stats() const
 {
     AsyncServingStats stats;
-    stats.serving = engine_->stats();
+    stats.serving = backend_->stats();
     // Read outcome counters BEFORE the ticket counters: every outcome
     // (completion, rejection, drop) is preceded by its submission
     // ticket, so sampling outcomes first and tickets last guarantees

@@ -6,16 +6,17 @@
  * Asynchronous serving front-end with bounded admission and dynamic
  * micro-batching.
  *
- * A ServingEngine serves queries as fast as its replicas allow but
- * exposes only synchronous entry points: submit() parks a pool task
- * per query and runBatch() blocks the caller. Under heavy multi-user
- * traffic that is the wrong shape -- producers outpace the replicas,
- * in-flight work grows without bound, and there is no admission
- * decision anywhere. AsyncServingEngine adds that layer:
+ * A synchronous backend serves queries as fast as its devices allow
+ * but has no admission decision anywhere: producers outpace it and
+ * in-flight work grows without bound. AsyncServingEngine adds that
+ * layer over any core::QueryBackend -- a ServingEngine replica pool,
+ * a single ExecutionSession, or a ShardedEngine fanning out across M
+ * devices:
  *
  *   producers -> BoundedQueue (capacity + overflow policy)
- *             -> dispatcher threads (one per replica by default)
- *             -> ServingEngine replicas
+ *             -> dispatcher threads (one per backend concurrency slot
+ *                by default)
+ *             -> QueryBackend (replicas / session / shards)
  *
  * @code
  *   auto engine = kernel.createAsyncServingEngine(setup_args, 4, {});
@@ -29,8 +30,8 @@
  * Dynamic micro-batching: each dispatcher pops a *group* from the
  * queue -- one query when the queue is shallow, up to fuseMaxK when
  * at least fuseMinDepth queries are waiting -- and serves a group of
- * two or more as one fused device window on one replica (the same
- * primitive runFusedBatch chunks use). Fused amortization therefore kicks
+ * two or more as one fused window through the backend's
+ * serveFusedChunk primitive. Fused amortization therefore kicks
  * in automatically exactly when load builds up, and single-query
  * latency is not taxed when the system is idle. Per-query outputs and
  * PerfReports stay bit-identical to serial ExecutionSession replay in
@@ -53,9 +54,10 @@
 #include <thread>
 #include <vector>
 
-#include "core/ServingEngine.h"
+#include "core/QueryBackend.h"
 #include "support/BoundedQueue.h"
 #include "support/Error.h"
+#include "support/Stats.h"
 #include "support/Trace.h"
 
 namespace c4cam::core {
@@ -91,7 +93,8 @@ struct AsyncServingOptions
      *  every dispatch is a single query). */
     std::size_t fuseMinDepth = 2;
 
-    /** Dispatcher thread count; 0 means one per engine replica. */
+    /** Dispatcher thread count; 0 means one per backend concurrency
+     *  slot (QueryBackend::concurrency()). */
     int dispatchers = 0;
 
     /**
@@ -111,7 +114,7 @@ struct AsyncServingOptions
 /** Counters and latency percentiles of the async front-end. */
 struct AsyncServingStats
 {
-    /** The wrapped engine's metrics (simulated aggregate, qps over
+    /** The wrapped backend's metrics (simulated aggregate, qps over
      *  served queries, execution-latency percentiles). */
     ServingStats serving;
 
@@ -151,7 +154,7 @@ struct AsyncServingStats
 };
 
 /**
- * Bounded-queue admission + dispatcher threads over a ServingEngine.
+ * Bounded-queue admission + dispatcher threads over a QueryBackend.
  *
  * Thread-safe throughout: any number of producer threads may call
  * submit()/trySubmit()/submitBatch* concurrently with each other,
@@ -174,8 +177,14 @@ class AsyncServingEngine
     using Completion =
         std::function<void(ExecutionResult result, std::exception_ptr error)>;
 
-    /** Prefer CompiledKernel::createAsyncServingEngine(). */
-    AsyncServingEngine(std::unique_ptr<ServingEngine> engine,
+    /**
+     * Take ownership of any synchronous backend (a ServingEngine, a
+     * SingleSessionBackend, a ShardedEngine, ...) and put the bounded
+     * queue + dispatchers in front of it. Prefer
+     * CompiledKernel::createAsyncServingEngine() for the common
+     * replica-pool case.
+     */
+    AsyncServingEngine(std::unique_ptr<QueryBackend> backend,
                        AsyncServingOptions options = {});
 
     /** shutdown(): closes admissions, drains accepted work, joins. */
@@ -247,9 +256,9 @@ class AsyncServingEngine
 
     AsyncServingStats stats() const;
 
-    /** The wrapped synchronous engine (stats introspection etc.). */
-    ServingEngine &engine() { return *engine_; }
-    const ServingEngine &engine() const { return *engine_; }
+    /** The wrapped synchronous backend (stats introspection etc.). */
+    QueryBackend &backend() { return *backend_; }
+    const QueryBackend &backend() const { return *backend_; }
 
     int numDispatchers() const
     {
@@ -296,12 +305,12 @@ class AsyncServingEngine
     void recordLatency(double wait_us, double exec_us);
     void notifyProgress();
 
-    std::unique_ptr<ServingEngine> engine_;
+    std::unique_ptr<QueryBackend> backend_;
     AsyncServingOptions options_;
     support::BoundedQueue<Pending> queue_;
 
     /** Trace id grouping every span of this engine (0 = tracing off;
-     *  shared with the wrapped engine's execute/merge spans). */
+     *  shared with the wrapped backend's execute/merge spans). */
     std::uint64_t traceId_ = 0;
 
     /// @name Monotone counters (atomic: read by stats(), bumped from

@@ -193,6 +193,17 @@ Compiler::compileTorchScript(const std::string &source)
 }
 
 CompiledKernel
+Compiler::compileTorchScript(const std::string &source,
+                             const frontend::ShapeOverrides &overrides)
+{
+    auto ctx = std::make_shared<ir::Context>();
+    dialects::loadAllDialects(*ctx);
+    ir::Module module =
+        frontend::parseTorchScriptModule(*ctx, source, &overrides);
+    return compileModule(std::move(ctx), std::move(module));
+}
+
+CompiledKernel
 Compiler::compileModule(std::shared_ptr<ir::Context> ctx,
                         ir::Module module)
 {

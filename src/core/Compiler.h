@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/ArchSpec.h"
+#include "frontend/TorchScriptFrontend.h"
 #include "ir/IR.h"
 #include "ir/Pass.h"
 #include "passes/CamMapping.h"
@@ -234,6 +235,17 @@ class Compiler
 
     /** Compile TorchScript source through the full pipeline. */
     CompiledKernel compileTorchScript(const std::string &source);
+
+    /**
+     * Compile @p source with parameter shapes substituted per
+     * @p overrides (frontend::ShapeOverrides). The mapping plan is
+     * recomputed from the overridden shapes, so one kernel source can
+     * be instanced at many stored-data sizes -- the sharding layer
+     * compiles one instance per shard slice this way.
+     */
+    CompiledKernel
+    compileTorchScript(const std::string &source,
+                       const frontend::ShapeOverrides &overrides);
 
     /** Compile an already-imported torch-level module. */
     CompiledKernel compileModule(std::shared_ptr<ir::Context> ctx,

@@ -139,6 +139,18 @@ class ExecutionSession
     FusedBatchResult
     runFusedBatch(const std::vector<std::vector<rt::BufferPtr>> &queries);
 
+    /**
+     * Validate @p args against the kernel signature without serving
+     * (throws CompilerError on mismatch) -- the admission-time check
+     * runQuery() repeats. Lets adapters (SingleSessionBackend) fail
+     * malformed queries on the submitter's stack.
+     */
+    void
+    validateQuery(const std::vector<rt::BufferPtr> &args) const
+    {
+        validateKernelArgs(entryBody_, entry_, args);
+    }
+
     /** One-time setup cost (query fields are zero). */
     const sim::PerfReport &setupReport() const { return setupReport_; }
 

@@ -1,0 +1,147 @@
+#ifndef C4CAM_CORE_QUERYBACKEND_H
+#define C4CAM_CORE_QUERYBACKEND_H
+
+/**
+ * @file
+ * The serving seam: "how a query executes" vs "which hardware
+ * instance executes it".
+ *
+ * AsyncServingEngine used to reach into ServingEngine through a friend
+ * declaration to call its private serve()/serveFusedChunk() primitives
+ * -- which welded the async front-end to exactly one backend shape (a
+ * replica pool over one programmed device). QueryBackend replaces that
+ * coupling with an interface: anything that can validate a query,
+ * serve it (optionally as part of a fused chunk) and account for it
+ * can sit behind the bounded queue. Three implementations exist:
+ *
+ *  - ServingEngine: N cloned replicas of one programmed device
+ *    (core/ServingEngine.h);
+ *  - SingleSessionBackend: one ExecutionSession behind a mutex --
+ *    the minimal single-device backend (core/SessionBackend.h);
+ *  - ShardedEngine: the stored-vector axis partitioned across M
+ *    programmed devices with scatter-gather top-k merge
+ *    (core/ShardedEngine.h).
+ *
+ * Contract highlights:
+ *  - serve()/serveFusedChunk() may assume validateQuery() passed for
+ *    every query (the async front-end validates at admission);
+ *    implementations may still re-check cheaply.
+ *  - serveFusedChunk() serves queries [begin, end) inside one fused
+ *    accounting window; on failure it must record NOTHING in stats()
+ *    (the caller falls back to per-query serve()).
+ *  - With tracing enabled and a null span context, serve() owns the
+ *    query's root "query" span; with a caller-provided context it
+ *    parents its spans under ctx->parentSpanId instead and the caller
+ *    owns the root.
+ *  - Every implementation must be thread-safe for concurrent serve
+ *    calls (concurrency() says how many make progress in parallel).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ExecutionSession.h"
+#include "runtime/Buffer.h"
+#include "sim/Timing.h"
+#include "support/Trace.h"
+
+namespace c4cam::core {
+
+/** Aggregate serving metrics over all queries served so far. */
+struct ServingStats
+{
+    std::int64_t queriesServed = 0;
+
+    /** Wall-clock seconds from the first submission to the last
+     *  completion (0 when nothing was served). */
+    double wallSeconds = 0.0;
+
+    /** Host throughput: queriesServed / wallSeconds. */
+    double qps = 0.0;
+
+    /// @name Host wall-clock latency percentiles per query (us),
+    /// over a bounded window of the most recent queries (a long-lived
+    /// engine keeps no unbounded per-query history)
+    /// @{
+    double p50LatencyUs = 0.0;
+    double p95LatencyUs = 0.0;
+    /// @}
+
+    /** Simulated totals: setup once + query windows summed, with
+     *  queriesServed set (same accounting as a serial session). */
+    sim::PerfReport aggregate;
+};
+
+/**
+ * A synchronous query-serving backend the async front-end can drive.
+ * See the file comment for the contract.
+ */
+class QueryBackend
+{
+  public:
+    virtual ~QueryBackend() = default;
+
+    /**
+     * Validate @p args against the kernel signature without serving
+     * (throws CompilerError on mismatch). Called at admission time so
+     * malformed queries fail on the submitter's stack, never inside a
+     * dispatcher thread.
+     */
+    virtual void
+    validateQuery(const std::vector<rt::BufferPtr> &args) const = 0;
+
+    /**
+     * Serve one query and record it in stats(). @p ctx, when tracing,
+     * parents this query's spans (null with tracing enabled means
+     * "own the root span yourself").
+     */
+    virtual ExecutionResult
+    serve(const std::vector<rt::BufferPtr> &args,
+          const support::SpanContext *ctx = nullptr) = 0;
+
+    /**
+     * Serve queries [@p begin, @p end) of @p queries as one fused
+     * multi-query window. @p ctxs, when non-null, holds one tracing
+     * context per query of the chunk. Per-query results and reports
+     * must stay bit-identical to serial serve() calls, and the fused
+     * totals must equal the sum of the per-query windows. A failure
+     * must leave stats() untouched (nothing half-recorded).
+     */
+    virtual FusedBatchResult serveFusedChunk(
+        const std::vector<std::vector<rt::BufferPtr>> &queries,
+        std::size_t begin, std::size_t end,
+        const std::vector<support::SpanContext> *ctxs = nullptr) = 0;
+
+    /**
+     * Record per-query lifecycle spans into @p collector (nullptr
+     * turns tracing off). @p trace_id groups the spans; 0 allocates a
+     * fresh id. Install before serving starts, never concurrently
+     * with in-flight queries.
+     */
+    virtual void enableTracing(support::TraceCollector *collector,
+                               std::uint64_t trace_id = 0) = 0;
+
+    /** Aggregate metrics over everything served so far. */
+    virtual ServingStats stats() const = 0;
+
+    /** One-time simulated setup cost of programming the backend. */
+    virtual const sim::PerfReport &setupReport() const = 0;
+
+    /** True when devices stay programmed across queries (vs the
+     *  host-only fallback that re-pays setup per query). */
+    virtual bool persistent() const = 0;
+
+    /**
+     * How many serve() calls make progress in parallel (replica
+     * count, shard replica depth, 1 for a single session). The async
+     * front-end sizes its dispatcher thread count from this.
+     */
+    virtual int concurrency() const = 0;
+
+    /** Number of queries served so far. */
+    virtual std::int64_t queriesServed() const = 0;
+};
+
+} // namespace c4cam::core
+
+#endif // C4CAM_CORE_QUERYBACKEND_H

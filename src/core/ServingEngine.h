@@ -47,6 +47,7 @@
 
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
+#include "core/QueryBackend.h"
 #include "runtime/Buffer.h"
 #include "runtime/ExecutionPlan.h"
 #include "runtime/Interpreter.h"
@@ -56,31 +57,6 @@
 #include "support/Trace.h"
 
 namespace c4cam::core {
-
-/** Aggregate serving metrics over all queries served so far. */
-struct ServingStats
-{
-    std::int64_t queriesServed = 0;
-
-    /** Wall-clock seconds from the first submission to the last
-     *  completion (0 when nothing was served). */
-    double wallSeconds = 0.0;
-
-    /** Host throughput: queriesServed / wallSeconds. */
-    double qps = 0.0;
-
-    /// @name Host wall-clock latency percentiles per query (us),
-    /// over a bounded window of the most recent queries (a long-lived
-    /// engine keeps no unbounded per-query history)
-    /// @{
-    double p50LatencyUs = 0.0;
-    double p95LatencyUs = 0.0;
-    /// @}
-
-    /** Simulated totals: setup once + query windows summed, with
-     *  queriesServed set (same accounting as a serial session). */
-    sim::PerfReport aggregate;
-};
 
 /**
  * N programmed device replicas behind a work queue.
@@ -94,7 +70,7 @@ struct ServingStats
  * must outlive (and not be moved while used by) its engines. Prefer
  * CompiledKernel::createServingEngine() over the raw constructor.
  */
-class ServingEngine
+class ServingEngine : public QueryBackend
 {
   public:
     /**
@@ -152,14 +128,34 @@ class ServingEngine
      * (throws CompilerError on mismatch). The async front-end calls
      * this at submission time so malformed queries fail on the
      * submitter's stack instead of inside a dispatcher thread; its
-     * dispatchers then serve through the non-revalidating private
-     * primitives (friend access below).
+     * dispatchers then serve through the non-revalidating
+     * serve()/serveFusedChunk() primitives.
      */
     void
-    validateQuery(const std::vector<rt::BufferPtr> &args) const
+    validateQuery(const std::vector<rt::BufferPtr> &args) const override
     {
         validateKernelArgs(entryBody_, entry_, args);
     }
+
+    /**
+     * Acquire a replica, serve one query, record stats, release. Does
+     * NOT revalidate @p args (the QueryBackend contract: validation
+     * happened at admission; re-walking the kernel signature per
+     * dispatch would be pure overhead on the hot path). With engine
+     * tracing on and no caller-provided @p ctx, opens (and records)
+     * this query's root span itself.
+     */
+    ExecutionResult
+    serve(const std::vector<rt::BufferPtr> &args,
+          const support::SpanContext *ctx = nullptr) override;
+
+    /** Serve one fused chunk on a replica acquired for the chunk.
+     *  @p ctxs, when non-null, holds one per-query tracing context for
+     *  queries [begin, end). Like serve(), does not revalidate. */
+    FusedBatchResult serveFusedChunk(
+        const std::vector<std::vector<rt::BufferPtr>> &queries,
+        std::size_t begin, std::size_t end,
+        const std::vector<support::SpanContext> *ctxs = nullptr) override;
 
     /**
      * Record per-query lifecycle spans into @p collector: for every
@@ -175,28 +171,29 @@ class ServingEngine
      * outputs or PerfReports (locked by DifferentialFuzzTest).
      */
     void enableTracing(support::TraceCollector *collector,
-                       std::uint64_t trace_id = 0);
+                       std::uint64_t trace_id = 0) override;
 
     /** The active trace collector (nullptr when tracing is off). */
     support::TraceCollector *traceCollector() const { return trace_; }
 
     /** Aggregate metrics over everything served so far. */
-    ServingStats stats() const;
+    ServingStats stats() const override;
 
     /** One-time setup cost of the master replica. */
-    const sim::PerfReport &setupReport() const { return setupReport_; }
+    const sim::PerfReport &setupReport() const override
+    {
+        return setupReport_;
+    }
 
-    bool persistent() const { return persistent_; }
+    bool persistent() const override { return persistent_; }
     int numReplicas() const { return static_cast<int>(replicas_.size()); }
-    std::int64_t queriesServed() const;
+
+    /** One serve() makes progress per replica. */
+    int concurrency() const override { return numReplicas(); }
+
+    std::int64_t queriesServed() const override;
 
   private:
-    /** The async front-end validates at admission and dispatches
-     *  through the non-revalidating serve()/serveFusedChunk()
-     *  primitives below -- re-walking the kernel signature per
-     *  dispatch would be pure overhead on the hot path. */
-    friend class AsyncServingEngine;
-
     /** One programmed device copy + the post-setup execution state
      *  (the interpreter's SSA env or the plan's slot frame). */
     struct Replica
@@ -215,20 +212,6 @@ class ServingEngine
     ExecutionResult serveOn(Replica &replica,
                             const std::vector<rt::BufferPtr> &args,
                             const support::SpanContext *ctx = nullptr);
-
-    /** Serve one fused chunk on a replica acquired for the chunk.
-     *  @p ctxs, when non-null, holds one per-query tracing context for
-     *  queries [begin, end). */
-    FusedBatchResult
-    serveFusedChunk(const std::vector<std::vector<rt::BufferPtr>> &queries,
-                    std::size_t begin, std::size_t end,
-                    const std::vector<support::SpanContext> *ctxs = nullptr);
-
-    /** Acquire a replica, serve, record stats, release. With engine
-     *  tracing on and no caller-provided @p ctx, opens (and records)
-     *  this query's root span itself. */
-    ExecutionResult serve(const std::vector<rt::BufferPtr> &args,
-                          const support::SpanContext *ctx = nullptr);
 
     void recordServed(const sim::PerfReport &perf, double latency_s,
                       std::chrono::steady_clock::time_point start,

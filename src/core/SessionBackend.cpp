@@ -1,0 +1,210 @@
+#include "core/SessionBackend.h"
+
+#include "support/Error.h"
+
+namespace c4cam::core {
+
+SingleSessionBackend::SingleSessionBackend(ExecutionSession session)
+    : session_(std::move(session))
+{
+    // The adapter owns the span recording; double roots from the
+    // session's own tracing would corrupt the trace tree.
+    session_.enableTracing(nullptr);
+}
+
+void
+SingleSessionBackend::validateQuery(
+    const std::vector<rt::BufferPtr> &args) const
+{
+    session_.validateQuery(args);
+}
+
+void
+SingleSessionBackend::enableTracing(support::TraceCollector *collector,
+                                    std::uint64_t trace_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_ = collector;
+    if (!collector)
+        traceId_ = 0;
+    else
+        traceId_ = trace_id != 0 ? trace_id : collector->newTraceId();
+}
+
+void
+SingleSessionBackend::recordQuerySpans(const support::SpanContext &ctx,
+                                       const sim::PerfReport &perf,
+                                       double start_us, double exec_end_us,
+                                       double merge_end_us,
+                                       std::int64_t fused_k)
+{
+    support::TraceCollector *col = ctx.collector;
+    support::TraceEvent exec;
+    exec.name = "execute";
+    exec.traceId = ctx.traceId;
+    exec.queryId = ctx.queryId;
+    exec.spanId = col->newSpanId();
+    exec.parentSpanId = ctx.parentSpanId;
+    exec.startUs = start_us;
+    exec.durUs = exec_end_us - start_us;
+    exec.fusedK = fused_k;
+    sim::attachWindowBreakdown(exec, perf);
+    col->record(exec);
+
+    support::TraceEvent merge;
+    merge.name = "merge";
+    merge.traceId = ctx.traceId;
+    merge.queryId = ctx.queryId;
+    merge.spanId = col->newSpanId();
+    merge.parentSpanId = ctx.parentSpanId;
+    merge.startUs = exec_end_us;
+    merge.durUs = merge_end_us - exec_end_us;
+    col->record(merge);
+}
+
+void
+SingleSessionBackend::recordServedLocked(Clock::time_point start,
+                                         Clock::time_point done)
+{
+    latenciesUs_.record(
+        std::chrono::duration<double, std::micro>(done - start).count());
+    if (!anyServed_ || start < firstSubmit_)
+        firstSubmit_ = start;
+    if (!anyServed_ || done > lastDone_)
+        lastDone_ = done;
+    anyServed_ = true;
+}
+
+ExecutionResult
+SingleSessionBackend::serve(const std::vector<rt::BufferPtr> &args,
+                            const support::SpanContext *ctx)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    support::SpanContext local;
+    bool own_root = false;
+    if (!ctx && trace_) {
+        local.collector = trace_;
+        local.traceId = traceId_;
+        local.queryId = trace_->newQueryId();
+        local.parentSpanId = trace_->newSpanId(); // becomes the root id
+        ctx = &local;
+        own_root = true;
+    }
+    support::TraceCollector *col =
+        ctx && ctx->collector ? ctx->collector : nullptr;
+
+    Clock::time_point start = Clock::now();
+    ExecutionResult result = session_.runQuery(args);
+    double e1 = col ? col->nowUs() : 0.0;
+    Clock::time_point done = Clock::now();
+    recordServedLocked(start, done);
+    if (col) {
+        double t0 = col->toUs(start);
+        double m1 = col->toUs(done);
+        recordQuerySpans(*ctx, result.perf, t0, e1, m1, 0);
+        if (own_root) {
+            support::TraceEvent root;
+            root.name = "query";
+            root.traceId = ctx->traceId;
+            root.queryId = ctx->queryId;
+            root.spanId = ctx->parentSpanId;
+            root.startUs = t0;
+            root.durUs = m1 - t0;
+            col->record(root);
+        }
+    }
+    return result;
+}
+
+FusedBatchResult
+SingleSessionBackend::serveFusedChunk(
+    const std::vector<std::vector<rt::BufferPtr>> &queries,
+    std::size_t begin, std::size_t end,
+    const std::vector<support::SpanContext> *ctxs)
+{
+    C4CAM_CHECK(begin < end && end <= queries.size(),
+                "fused chunk [" << begin << ", " << end
+                << ") out of range for " << queries.size() << " queries");
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = end - begin;
+
+    std::vector<support::SpanContext> local_ctxs;
+    bool own_roots = false;
+    if (!ctxs && trace_) {
+        local_ctxs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            local_ctxs.push_back(support::SpanContext{
+                trace_, traceId_, trace_->newQueryId(),
+                trace_->newSpanId()});
+        ctxs = &local_ctxs;
+        own_roots = true;
+    }
+    support::TraceCollector *col =
+        ctxs && !ctxs->empty() ? (*ctxs)[0].collector : nullptr;
+
+    std::vector<std::vector<rt::BufferPtr>> chunk(
+        queries.begin() + static_cast<std::ptrdiff_t>(begin),
+        queries.begin() + static_cast<std::ptrdiff_t>(end));
+
+    // NOTE: unlike the replica pool, a fused chunk that fails
+    // mid-window leaves the successfully-served prefix recorded in
+    // the session aggregate -- ExecutionSession accumulates eagerly
+    // per query (those queries really did run with valid windows).
+    Clock::time_point start = Clock::now();
+    FusedBatchResult batch = session_.runFusedBatch(chunk);
+    double e1 = col ? col->nowUs() : 0.0;
+    Clock::time_point done = Clock::now();
+
+    for (std::size_t i = 0; i < n; ++i)
+        recordServedLocked(start, done);
+    if (col) {
+        double t0 = col->toUs(start);
+        double m1 = col->toUs(done);
+        for (std::size_t i = 0; i < n; ++i) {
+            recordQuerySpans((*ctxs)[i], batch.results[i].perf, t0, e1, m1,
+                             static_cast<std::int64_t>(n));
+            if (own_roots) {
+                support::TraceEvent root;
+                root.name = "query";
+                root.traceId = (*ctxs)[i].traceId;
+                root.queryId = (*ctxs)[i].queryId;
+                root.spanId = (*ctxs)[i].parentSpanId;
+                root.startUs = t0;
+                root.durUs = m1 - t0;
+                root.fusedK = static_cast<std::int64_t>(n);
+                col->record(root);
+            }
+        }
+    }
+    return batch;
+}
+
+std::int64_t
+SingleSessionBackend::queriesServed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return session_.queriesServed();
+}
+
+ServingStats
+SingleSessionBackend::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServingStats stats;
+    stats.queriesServed = session_.queriesServed();
+    stats.aggregate = session_.aggregateReport();
+    if (anyServed_) {
+        stats.wallSeconds =
+            std::chrono::duration<double>(lastDone_ - firstSubmit_)
+                .count();
+        if (stats.wallSeconds > 0.0)
+            stats.qps = static_cast<double>(stats.queriesServed) /
+                        stats.wallSeconds;
+    }
+    std::vector<double> sorted = latenciesUs_.sorted();
+    stats.p50LatencyUs = support::percentile(sorted, 50.0);
+    stats.p95LatencyUs = support::percentile(sorted, 95.0);
+    return stats;
+}
+
+} // namespace c4cam::core

@@ -1,0 +1,113 @@
+#ifndef C4CAM_CORE_SESSIONBACKEND_H
+#define C4CAM_CORE_SESSIONBACKEND_H
+
+/**
+ * @file
+ * The minimal QueryBackend: one ExecutionSession behind a mutex.
+ *
+ * An ExecutionSession serves queries one at a time on one programmed
+ * device and is not thread-safe. SingleSessionBackend adapts it to
+ * the QueryBackend seam -- serialize every serve through one lock,
+ * mirror the serving-stats bookkeeping the replica pool keeps -- so
+ * the async front-end (and anything else written against
+ * QueryBackend) can drive a plain session without owning a replica
+ * pool. Outputs and per-query PerfReports are bit-identical to
+ * calling ExecutionSession::runQuery() directly: the adapter adds
+ * accounting and tracing around the session, never inside it.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/ExecutionSession.h"
+#include "core/QueryBackend.h"
+#include "support/Stats.h"
+
+namespace c4cam::core {
+
+/**
+ * QueryBackend over one ExecutionSession. concurrency() is 1: every
+ * serve waits its turn on the session mutex.
+ */
+class SingleSessionBackend : public QueryBackend
+{
+  public:
+    /** Take ownership of @p session (the device is already
+     *  programmed). The session's own tracing stays off; this adapter
+     *  records the execute/merge spans itself so async-provided span
+     *  contexts parent correctly. */
+    explicit SingleSessionBackend(ExecutionSession session);
+
+    void
+    validateQuery(const std::vector<rt::BufferPtr> &args) const override;
+
+    ExecutionResult
+    serve(const std::vector<rt::BufferPtr> &args,
+          const support::SpanContext *ctx = nullptr) override;
+
+    /**
+     * One fused window through ExecutionSession::runFusedBatch. Span
+     * granularity is the chunk: each query's execute span covers the
+     * whole fused window (its completion waited for it), carrying
+     * that query's own simulated breakdown.
+     */
+    FusedBatchResult serveFusedChunk(
+        const std::vector<std::vector<rt::BufferPtr>> &queries,
+        std::size_t begin, std::size_t end,
+        const std::vector<support::SpanContext> *ctxs = nullptr) override;
+
+    void enableTracing(support::TraceCollector *collector,
+                       std::uint64_t trace_id = 0) override;
+
+    ServingStats stats() const override;
+
+    const sim::PerfReport &
+    setupReport() const override
+    {
+        return session_.setupReport();
+    }
+
+    bool persistent() const override { return session_.persistent(); }
+    int concurrency() const override { return 1; }
+    std::int64_t queriesServed() const override;
+
+    /** The wrapped session (single-threaded introspection only). */
+    ExecutionSession &session() { return session_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Record execute+merge spans for one served query. Requires
+     *  mutex_ held (the recorded ids come from the shared trace
+     *  state). */
+    void recordQuerySpans(const support::SpanContext &ctx,
+                          const sim::PerfReport &perf, double start_us,
+                          double exec_end_us, double merge_end_us,
+                          std::int64_t fused_k);
+    void recordServedLocked(Clock::time_point start,
+                            Clock::time_point done);
+
+    mutable std::mutex mutex_;
+    ExecutionSession session_;
+
+    /// @name Tracing (off unless enableTracing() installed a collector)
+    /// @{
+    support::TraceCollector *trace_ = nullptr;
+    std::uint64_t traceId_ = 0;
+    /// @}
+
+    /// @name Serving statistics (guarded by mutex_; the simulated
+    /// aggregate lives in the session itself)
+    /// @{
+    support::LatencyWindow latenciesUs_;
+    bool anyServed_ = false;
+    Clock::time_point firstSubmit_;
+    Clock::time_point lastDone_;
+    /// @}
+};
+
+} // namespace c4cam::core
+
+#endif // C4CAM_CORE_SESSIONBACKEND_H

@@ -1,0 +1,547 @@
+#include "core/ShardedEngine.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "dialects/BuiltinDialect.h"
+#include "runtime/HostKernels.h"
+#include "support/Error.h"
+#include "support/TopKMerge.h"
+
+namespace c4cam::core {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/**
+ * Find the last top-k op (program order, regions walked depth-first)
+ * in @p block. The LAST one matters: it produces the kernel's output
+ * ranking, and on the CAM path its ordering (largest=false over
+ * distances) differs from the torch-level annotation.
+ */
+ir::Operation *
+findLastTopk(ir::Block *block)
+{
+    ir::Operation *found = nullptr;
+    for (auto &op : block->operations()) {
+        if (op->name().ends_with("topk"))
+            found = op.get();
+        for (std::size_t r = 0; r < op->numRegions(); ++r)
+            for (auto &inner : op->region(r).blocks())
+                if (ir::Operation *nested = findLastTopk(inner.get()))
+                    found = nested;
+    }
+    return found;
+}
+
+} // namespace
+
+ShardPlan
+ShardPlan::compute(std::int64_t total_rows, int shards,
+                   std::int64_t min_rows)
+{
+    C4CAM_CHECK(shards >= 1,
+                "sharding needs at least 1 shard, got " << shards);
+    C4CAM_CHECK(total_rows >= 1,
+                "sharding needs at least 1 stored row, got "
+                << total_rows);
+    std::int64_t base = total_rows / shards;
+    std::int64_t extra = total_rows % shards;
+    C4CAM_CHECK(base >= std::max<std::int64_t>(min_rows, 1),
+                "cannot split " << total_rows << " stored rows across "
+                << shards << " shards: every shard needs at least "
+                << std::max<std::int64_t>(min_rows, 1)
+                << " rows to answer top-" << std::max<std::int64_t>(
+                    min_rows, 1) << " locally");
+
+    ShardPlan plan;
+    plan.totalRows = total_rows;
+    plan.slices.reserve(static_cast<std::size_t>(shards));
+    std::int64_t begin = 0;
+    for (int s = 0; s < shards; ++s) {
+        std::int64_t rows = base + (s < extra ? 1 : 0);
+        plan.slices.push_back(ShardSlice{begin, rows});
+        begin += rows;
+    }
+    return plan;
+}
+
+ShardedEngine::ShardedEngine(const CompilerOptions &options,
+                             const std::string &source,
+                             const std::vector<rt::BufferPtr> &setup_args,
+                             const ShardedEngineOptions &sharding)
+    : replicasPerShard_(sharding.replicasPerShard),
+      storedArgIndex_(sharding.storedArgIndex)
+{
+    C4CAM_CHECK(sharding.shards >= 1,
+                "ShardedEngine needs at least 1 shard, got "
+                << sharding.shards);
+    C4CAM_CHECK(sharding.replicasPerShard >= 1,
+                "ShardedEngine needs at least 1 replica per shard, got "
+                << sharding.replicasPerShard);
+    C4CAM_CHECK(storedArgIndex_ < setup_args.size(),
+                "stored-argument index " << storedArgIndex_
+                << " out of range for " << setup_args.size()
+                << " setup arguments");
+
+    Compiler compiler(options);
+
+    // Full-size reference instance: the unsharded signature every
+    // query is validated against, and the module the final top-k's
+    // merge parameters are read from.
+    reference_ = std::make_unique<CompiledKernel>(
+        compiler.compileTorchScript(source));
+    entry_ = reference_->entryPoint();
+    ir::Operation *func =
+        std::as_const(*reference_).module().lookupFunction(entry_);
+    C4CAM_CHECK(func, "sharded kernel has no function '" << entry_
+                << "'");
+    entryBody_ = &func->region(0).front();
+    validateKernelArgs(entryBody_, entry_, setup_args);
+
+    ir::Operation *topk = findLastTopk(entryBody_);
+    C4CAM_CHECK(topk,
+                "sharded serving requires a kernel ending in top-k "
+                "(nothing to scatter-gather otherwise)");
+    topK_ = topk->intAttrOr("k", -1);
+    if (topK_ < 0)
+        // cim.topk variants can carry k as an operand; the result
+        // type's trailing extent is the k either way.
+        topK_ = topk->result(0)->type().shape().back();
+    C4CAM_CHECK(topK_ >= 1, "sharded serving: could not determine k of "
+                "the final top-k");
+    // The merge must rank exactly like the op that produced the
+    // per-shard lists. torch.aten.topk defaults to largest; cim.topk
+    // (the CAM path: distances, smaller-is-better) sets the attribute
+    // explicitly.
+    mergeLargest_ = topk->boolAttrOr("largest", true);
+
+    const rt::BufferPtr &stored = setup_args[storedArgIndex_];
+    C4CAM_CHECK(stored && stored->rank() == 2,
+                "sharded serving partitions a rank-2 stored tensor "
+                "(rows x dims)");
+    std::int64_t dims = stored->shape()[1];
+    plan_ = ShardPlan::compute(stored->shape()[0], sharding.shards,
+                               topK_);
+
+    shards_.reserve(plan_.slices.size());
+    std::vector<sim::PerfReport> setups;
+    setups.reserve(plan_.slices.size());
+    for (const ShardSlice &slice : plan_.slices) {
+        Shard shard;
+        shard.slice = slice;
+
+        // Re-instance the kernel at the slice's stored size: shapes
+        // are compile-time facts in this frontend, so the shard's
+        // mapping plan (subarrays, banks) is recomputed for the
+        // smaller extent instead of padded.
+        std::vector<std::int64_t> shape = stored->shape();
+        shape[0] = slice.rows;
+        frontend::ShapeOverrides overrides;
+        overrides[storedArgIndex_] = shape;
+        shard.kernel = std::make_unique<CompiledKernel>(
+            compiler.compileTorchScript(source, overrides));
+
+        shard.storedSlice =
+            stored->subview({slice.begin, 0}, {slice.rows, dims});
+        std::vector<rt::BufferPtr> shard_setup = setup_args;
+        shard_setup[storedArgIndex_] = shard.storedSlice;
+        shard.engine = shard.kernel->createServingEngine(
+            shard_setup, replicasPerShard_);
+        setups.push_back(shard.engine->setupReport());
+        shards_.push_back(std::move(shard));
+    }
+    setupReport_ = sim::aggregateShardReports(setups);
+    persistent_ = shards_.front().engine->persistent();
+    aggregate_ = setupReport_;
+
+    support::ThreadPoolOptions pool_options;
+    pool_options.threads = shards_.size() *
+                           static_cast<std::size_t>(replicasPerShard_);
+    pool_options.namePrefix = "c4cam-shard-";
+    pool_options.pinThreads = sharding.pinShardWorkers;
+    pool_ = std::make_unique<support::ThreadPool>(pool_options);
+}
+
+void
+ShardedEngine::validateQuery(const std::vector<rt::BufferPtr> &args) const
+{
+    validateKernelArgs(entryBody_, entry_, args);
+}
+
+void
+ShardedEngine::enableTracing(support::TraceCollector *collector,
+                             std::uint64_t trace_id)
+{
+    trace_ = collector;
+    if (!collector)
+        traceId_ = 0;
+    else
+        traceId_ = trace_id != 0 ? trace_id : collector->newTraceId();
+}
+
+std::vector<rt::BufferPtr>
+ShardedEngine::shardArgs(const std::vector<rt::BufferPtr> &args,
+                         std::size_t s) const
+{
+    std::vector<rt::BufferPtr> shard_args = args;
+    // The query body ignores the stored argument (the device keeps
+    // the slice programmed); swapping the slice view in keeps the
+    // arguments shaped to the shard's signature.
+    shard_args[storedArgIndex_] = shards_[s].storedSlice;
+    return shard_args;
+}
+
+ExecutionResult
+ShardedEngine::mergeShardResults(
+    const std::vector<ExecutionResult> &shard_results) const
+{
+    std::vector<sim::PerfReport> perfs;
+    perfs.reserve(shard_results.size());
+
+    // Per-shard global-axis index buffers plus shape agreement checks
+    // before any merge work.
+    std::int64_t num_queries = -1;
+    std::vector<rt::BufferPtr> shard_values;
+    std::vector<rt::BufferPtr> shard_indices;
+    shard_values.reserve(shard_results.size());
+    shard_indices.reserve(shard_results.size());
+    for (std::size_t s = 0; s < shard_results.size(); ++s) {
+        const ExecutionResult &r = shard_results[s];
+        C4CAM_CHECK(r.outputs.size() == 2 && r.outputs[0].isBuffer() &&
+                        r.outputs[1].isBuffer(),
+                    "sharded serving requires kernels returning "
+                    "(values, indices); shard " << s << " returned "
+                    << r.outputs.size() << " outputs");
+        rt::BufferPtr values = r.outputs[0].asBuffer();
+        rt::BufferPtr indices = r.outputs[1].asBuffer();
+        C4CAM_CHECK(values->rank() == 2 && indices->rank() == 2 &&
+                        values->shape() == indices->shape() &&
+                        values->shape()[1] == topK_,
+                    "sharded serving expects rank-2 (queries x k) "
+                    "top-k outputs");
+        if (num_queries < 0)
+            num_queries = values->shape()[0];
+        C4CAM_CHECK(values->shape()[0] == num_queries,
+                    "shard " << s << " answered "
+                    << values->shape()[0] << " queries, expected "
+                    << num_queries);
+        shard_values.push_back(values);
+        // Local row j of shard s is global row j + slice.begin;
+        // contiguous slices make the remap monotone, which the merge
+        // tie-break relies on.
+        shard_indices.push_back(rt::host::offsetIndices(
+            indices, shards_[s].slice.begin));
+        perfs.push_back(r.perf);
+    }
+
+    auto out_values = rt::Buffer::alloc(rt::DType::F32,
+                                        {num_queries, topK_});
+    auto out_indices = rt::Buffer::alloc(rt::DType::I64,
+                                         {num_queries, topK_});
+    std::vector<std::vector<support::TopKEntry>> partials(
+        shard_results.size());
+    for (std::int64_t q = 0; q < num_queries; ++q) {
+        for (std::size_t s = 0; s < shard_results.size(); ++s) {
+            partials[s].clear();
+            partials[s].reserve(static_cast<std::size_t>(topK_));
+            for (std::int64_t j = 0; j < topK_; ++j)
+                partials[s].push_back(support::TopKEntry{
+                    shard_values[s]->at({q, j}),
+                    shard_indices[s]->atInt({q, j})});
+        }
+        std::vector<support::TopKEntry> merged =
+            support::mergeTopK(partials,
+                               static_cast<std::size_t>(topK_),
+                               mergeLargest_);
+        for (std::int64_t j = 0; j < topK_; ++j) {
+            out_values->set({q, j},
+                            merged[static_cast<std::size_t>(j)].value);
+            out_indices->setInt(
+                {q, j}, merged[static_cast<std::size_t>(j)].index);
+        }
+    }
+
+    ExecutionResult out;
+    out.outputs.emplace_back(out_values);
+    out.outputs.emplace_back(out_indices);
+    out.perf = sim::aggregateShardReports(perfs);
+    return out;
+}
+
+void
+ShardedEngine::recordServed(const sim::PerfReport &perf,
+                            Clock::time_point start,
+                            Clock::time_point done)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (persistent_)
+        aggregate_.addQueryWindow(perf);
+    else
+        aggregate_.addFullRun(perf);
+    ++queriesServed_;
+    latenciesUs_.record(
+        std::chrono::duration<double, std::micro>(done - start).count());
+    if (!anyServed_ || start < firstSubmit_)
+        firstSubmit_ = start;
+    if (!anyServed_ || done > lastDone_)
+        lastDone_ = done;
+    anyServed_ = true;
+}
+
+ExecutionResult
+ShardedEngine::serve(const std::vector<rt::BufferPtr> &args,
+                     const support::SpanContext *ctx)
+{
+    // Validate against the unsharded signature BEFORE shardArgs
+    // touches args[storedArgIndex_]: malformed calls must fail on the
+    // caller's stack, not under a scatter task (and never index past
+    // a short argument vector).
+    validateQuery(args);
+
+    support::SpanContext local;
+    bool own_root = false;
+    if (!ctx && trace_) {
+        local.collector = trace_;
+        local.traceId = traceId_;
+        local.queryId = trace_->newQueryId();
+        local.parentSpanId = trace_->newSpanId(); // becomes the root id
+        ctx = &local;
+        own_root = true;
+    }
+    support::TraceCollector *col =
+        ctx && ctx->collector ? ctx->collector : nullptr;
+    std::uint64_t trace_id = col ? ctx->traceId : 0;
+    std::uint64_t query_id = col ? ctx->queryId : 0;
+    std::uint64_t scatter_span = col ? col->newSpanId() : 0;
+
+    Clock::time_point t0 = Clock::now();
+    std::vector<std::future<ExecutionResult>> futures;
+    futures.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        futures.push_back(pool_->submit(
+            [this, s, &args, col, trace_id, query_id, scatter_span] {
+                // Shard execute/merge spans parent under the scatter
+                // span, tying each shard's interval to the fan-out.
+                support::SpanContext sctx{col, trace_id, query_id,
+                                          scatter_span};
+                return shards_[s].engine->serve(shardArgs(args, s),
+                                                col ? &sctx : nullptr);
+            }));
+    }
+    // Wait for EVERY shard before harvesting: a failing shard must
+    // not leave siblings running against stack-borrowed args.
+    for (auto &future : futures)
+        future.wait();
+    std::vector<ExecutionResult> shard_results;
+    shard_results.reserve(futures.size());
+    for (auto &future : futures)
+        shard_results.push_back(future.get());
+    Clock::time_point t1 = Clock::now();
+
+    ExecutionResult merged = mergeShardResults(shard_results);
+    Clock::time_point t2 = Clock::now();
+    recordServed(merged.perf, t0, t2);
+
+    if (col) {
+        // Shared time points telescope exactly: scatter [t0, t1] and
+        // shard-merge [t1, t2] tile the root's [t0, t2] bitwise.
+        double u0 = col->toUs(t0);
+        double u1 = col->toUs(t1);
+        double u2 = col->toUs(t2);
+        support::TraceEvent scatter;
+        scatter.name = "scatter";
+        scatter.traceId = trace_id;
+        scatter.queryId = query_id;
+        scatter.spanId = scatter_span;
+        scatter.parentSpanId = ctx->parentSpanId;
+        scatter.startUs = u0;
+        scatter.durUs = u1 - u0;
+        col->record(scatter);
+
+        support::TraceEvent shard_merge;
+        shard_merge.name = "shard-merge";
+        shard_merge.traceId = trace_id;
+        shard_merge.queryId = query_id;
+        shard_merge.spanId = col->newSpanId();
+        shard_merge.parentSpanId = ctx->parentSpanId;
+        shard_merge.startUs = u1;
+        shard_merge.durUs = u2 - u1;
+        col->record(shard_merge);
+
+        if (own_root) {
+            support::TraceEvent root;
+            root.name = "query";
+            root.traceId = trace_id;
+            root.queryId = query_id;
+            root.spanId = ctx->parentSpanId;
+            root.startUs = u0;
+            root.durUs = u2 - u0;
+            col->record(root);
+        }
+    }
+    return merged;
+}
+
+FusedBatchResult
+ShardedEngine::serveFusedChunk(
+    const std::vector<std::vector<rt::BufferPtr>> &queries,
+    std::size_t begin, std::size_t end,
+    const std::vector<support::SpanContext> *ctxs)
+{
+    C4CAM_CHECK(begin < end && end <= queries.size(),
+                "fused chunk [" << begin << ", " << end
+                << ") out of range for " << queries.size()
+                << " queries");
+    std::size_t n = end - begin;
+    // Same up-front validation as serve(): every query of the chunk
+    // must match the unsharded signature before any shard sees it.
+    for (std::size_t i = 0; i < n; ++i)
+        validateQuery(queries[begin + i]);
+
+    std::vector<support::SpanContext> local_ctxs;
+    bool own_roots = false;
+    if (!ctxs && trace_) {
+        local_ctxs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            local_ctxs.push_back(support::SpanContext{
+                trace_, traceId_, trace_->newQueryId(),
+                trace_->newSpanId()});
+        ctxs = &local_ctxs;
+        own_roots = true;
+    }
+    support::TraceCollector *col =
+        ctxs && !ctxs->empty() ? (*ctxs)[0].collector : nullptr;
+    std::vector<std::uint64_t> scatter_spans(n, 0);
+    if (col)
+        for (std::size_t i = 0; i < n; ++i)
+            scatter_spans[i] = col->newSpanId();
+
+    Clock::time_point t0 = Clock::now();
+    std::vector<std::future<FusedBatchResult>> futures;
+    futures.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        futures.push_back(pool_->submit([this, s, &queries, begin, n,
+                                         ctxs, col, &scatter_spans] {
+            // Each shard folds the chunk into ONE fused device window
+            // of its own; per-query spans parent under that query's
+            // scatter span.
+            std::vector<std::vector<rt::BufferPtr>> shard_queries;
+            shard_queries.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+                shard_queries.push_back(
+                    shardArgs(queries[begin + i], s));
+            std::vector<support::SpanContext> shard_ctxs;
+            if (col) {
+                shard_ctxs.reserve(n);
+                for (std::size_t i = 0; i < n; ++i)
+                    shard_ctxs.push_back(support::SpanContext{
+                        col, (*ctxs)[i].traceId, (*ctxs)[i].queryId,
+                        scatter_spans[i]});
+            }
+            return shards_[s].engine->serveFusedChunk(
+                shard_queries, 0, n, col ? &shard_ctxs : nullptr);
+        }));
+    }
+    for (auto &future : futures)
+        future.wait();
+    std::vector<FusedBatchResult> shard_batches;
+    shard_batches.reserve(futures.size());
+    for (auto &future : futures)
+        shard_batches.push_back(future.get());
+    Clock::time_point t1 = Clock::now();
+
+    FusedBatchResult batch;
+    batch.results.reserve(n);
+    batch.fused.k = static_cast<std::int64_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<ExecutionResult> per_shard;
+        per_shard.reserve(shard_batches.size());
+        for (const FusedBatchResult &sb : shard_batches)
+            per_shard.push_back(sb.results[i]);
+        ExecutionResult merged = mergeShardResults(per_shard);
+        batch.fused.addQueryReport(merged.perf);
+        batch.results.push_back(std::move(merged));
+    }
+    batch.fusedReport = batch.fused.toReport(
+        persistent_ ? setupReport_
+                    : nonPersistentSetupTotal(batch.results));
+    Clock::time_point t2 = Clock::now();
+
+    for (std::size_t i = 0; i < n; ++i)
+        recordServed(batch.results[i].perf, t0, t2);
+
+    if (col) {
+        double u0 = col->toUs(t0);
+        double u1 = col->toUs(t1);
+        double u2 = col->toUs(t2);
+        for (std::size_t i = 0; i < n; ++i) {
+            support::TraceEvent scatter;
+            scatter.name = "scatter";
+            scatter.traceId = (*ctxs)[i].traceId;
+            scatter.queryId = (*ctxs)[i].queryId;
+            scatter.spanId = scatter_spans[i];
+            scatter.parentSpanId = (*ctxs)[i].parentSpanId;
+            scatter.startUs = u0;
+            scatter.durUs = u1 - u0;
+            scatter.fusedK = static_cast<std::int64_t>(n);
+            col->record(scatter);
+
+            support::TraceEvent shard_merge;
+            shard_merge.name = "shard-merge";
+            shard_merge.traceId = (*ctxs)[i].traceId;
+            shard_merge.queryId = (*ctxs)[i].queryId;
+            shard_merge.spanId = col->newSpanId();
+            shard_merge.parentSpanId = (*ctxs)[i].parentSpanId;
+            shard_merge.startUs = u1;
+            shard_merge.durUs = u2 - u1;
+            col->record(shard_merge);
+
+            if (own_roots) {
+                support::TraceEvent root;
+                root.name = "query";
+                root.traceId = (*ctxs)[i].traceId;
+                root.queryId = (*ctxs)[i].queryId;
+                root.spanId = (*ctxs)[i].parentSpanId;
+                root.startUs = u0;
+                root.durUs = u2 - u0;
+                root.fusedK = static_cast<std::int64_t>(n);
+                col->record(root);
+            }
+        }
+    }
+    return batch;
+}
+
+std::int64_t
+ShardedEngine::queriesServed() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return queriesServed_;
+}
+
+ServingStats
+ShardedEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ServingStats stats;
+    stats.queriesServed = queriesServed_;
+    stats.aggregate = aggregate_;
+    stats.aggregate.queriesServed = queriesServed_;
+    if (anyServed_) {
+        stats.wallSeconds =
+            std::chrono::duration<double>(lastDone_ - firstSubmit_)
+                .count();
+        if (stats.wallSeconds > 0.0)
+            stats.qps = static_cast<double>(queriesServed_) /
+                        stats.wallSeconds;
+    }
+    std::vector<double> sorted = latenciesUs_.sorted();
+    stats.p50LatencyUs = support::percentile(sorted, 50.0);
+    stats.p95LatencyUs = support::percentile(sorted, 95.0);
+    return stats;
+}
+
+} // namespace c4cam::core

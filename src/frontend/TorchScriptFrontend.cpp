@@ -32,8 +32,10 @@ struct CallArg
 class Parser
 {
   public:
-    Parser(Module &module, const std::string &source)
-        : module_(module), builder_(module.context()), source_(source)
+    Parser(Module &module, const std::string &source,
+           const ShapeOverrides *overrides)
+        : module_(module), builder_(module.context()), source_(source),
+          overrides_(overrides)
     {}
 
     Operation *
@@ -173,8 +175,11 @@ class Parser
                     // Method receiver: ignored.
                 } else {
                     expect(":");
+                    std::size_t index = arg_names.size();
                     arg_names.push_back(name);
-                    arg_types.push_back(parseTensorAnnotation());
+                    arg_types.push_back(
+                        applyOverride(index, name,
+                                      parseTensorAnnotation()));
                 }
                 skipSpaces();
                 if (tryConsume(")"))
@@ -184,6 +189,14 @@ class Parser
         }
         // Ignore an optional "-> ..." result annotation.
         // (the colon may follow it or come directly)
+
+        if (overrides_ && !overrides_->empty()) {
+            std::size_t last = overrides_->rbegin()->first;
+            C4CAM_CHECK(last < arg_names.size(),
+                        "shape override for parameter " << last
+                        << " but '" << funcName_ << "' has only "
+                        << arg_names.size() << " tensor parameters");
+        }
 
         func_ = dialects::createFunction(module_, funcName_, arg_types);
         Block *body = dialects::funcBody(func_);
@@ -212,6 +225,30 @@ class Parser
             fail("parameter tensors need explicit shapes: Tensor[a, b]");
         }
         return ctx.tensorType(shape, ctx.f32());
+    }
+
+    /** Substitute the caller's shape override for parameter @p index
+     *  (keyed past `self`), keeping the annotated rank. */
+    Type
+    applyOverride(std::size_t index, const std::string &name,
+                  Type annotated)
+    {
+        if (!overrides_)
+            return annotated;
+        auto it = overrides_->find(index);
+        if (it == overrides_->end())
+            return annotated;
+        const std::vector<std::int64_t> &shape = it->second;
+        C4CAM_CHECK(shape.size() == annotated.shape().size(),
+                    "shape override for parameter '" << name
+                    << "' has rank " << shape.size()
+                    << " but the annotation has rank "
+                    << annotated.shape().size());
+        for (std::int64_t dim : shape)
+            C4CAM_CHECK(dim > 0, "shape override for parameter '"
+                        << name << "' has non-positive extent " << dim);
+        return module_.context().tensorType(shape,
+                                            module_.context().f32());
     }
 
     //
@@ -561,6 +598,7 @@ class Parser
     Module &module_;
     OpBuilder builder_;
     const std::string &source_;
+    const ShapeOverrides *overrides_ = nullptr;
     std::vector<std::string> lines_;
     std::size_t lineNo_ = 0;
     std::string line_;
@@ -575,16 +613,18 @@ class Parser
 } // namespace
 
 Operation *
-importTorchScript(Module &module, const std::string &source)
+importTorchScript(Module &module, const std::string &source,
+                  const ShapeOverrides *overrides)
 {
-    return Parser(module, source).run();
+    return Parser(module, source, overrides).run();
 }
 
 Module
-parseTorchScriptModule(Context &ctx, const std::string &source)
+parseTorchScriptModule(Context &ctx, const std::string &source,
+                       const ShapeOverrides *overrides)
 {
     Module module(ctx);
-    importTorchScript(module, source);
+    importTorchScript(module, source, overrides);
     return module;
 }
 

@@ -23,23 +23,44 @@
  * `self.name` references are treated as parameters named `name`.
  */
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "ir/IR.h"
 
 namespace c4cam::frontend {
 
 /**
+ * Parameter-shape substitutions applied while parsing: key is the
+ * 0-based tensor parameter index (the `self` receiver does not
+ * count), value replaces the annotated shape. The override must keep
+ * the annotated rank -- the kernel body was written against it -- but
+ * may change any extent. This is how the sharding layer re-instances
+ * one kernel source per shard slice (stored rows 1024 -> 256) without
+ * editing source text: shapes are compile-time facts here (the
+ * stand-in for trace-time shape propagation), so re-parsing with an
+ * override is the honest equivalent of re-tracing with smaller
+ * inputs.
+ */
+using ShapeOverrides = std::map<std::size_t, std::vector<std::int64_t>>;
+
+/**
  * Parse @p source and append a func.func to @p module.
  * Raises CompilerError with line info on unsupported constructs.
+ * @p overrides (optional) substitutes parameter shapes; a key past
+ * the last parameter or a rank mismatch is a CompilerError.
  * @return the created function op.
  */
 ir::Operation *importTorchScript(ir::Module &module,
-                                 const std::string &source);
+                                 const std::string &source,
+                                 const ShapeOverrides *overrides = nullptr);
 
 /** Convenience: parse into a fresh module (dialects must be loaded). */
 ir::Module parseTorchScriptModule(ir::Context &ctx,
-                                  const std::string &source);
+                                  const std::string &source,
+                                  const ShapeOverrides *overrides = nullptr);
 
 } // namespace c4cam::frontend
 

@@ -227,4 +227,15 @@ topk(const BufferPtr &in, std::int64_t k, bool largest)
     return {values, indices};
 }
 
+BufferPtr
+offsetIndices(const BufferPtr &in, std::int64_t offset)
+{
+    auto out = Buffer::alloc(DType::I64, in->shape());
+    std::vector<double> flat = in->toVector();
+    for (double &v : flat)
+        v += static_cast<double>(offset);
+    out->copyFromFlat(flat);
+    return out;
+}
+
 } // namespace c4cam::rt::host

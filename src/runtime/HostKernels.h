@@ -43,6 +43,14 @@ BufferPtr normLastDim(const BufferPtr &in, int p);
 std::pair<BufferPtr, BufferPtr> topk(const BufferPtr &in, std::int64_t k,
                                      bool largest);
 
+/**
+ * Fresh I64 buffer: every element of @p in plus @p offset. The
+ * sharding layer uses this to remap a shard's row-local topk indices
+ * into the global stored-vector axis (global = local + slice.begin).
+ * Exact for |value + offset| < 2^53 (buffer storage is double).
+ */
+BufferPtr offsetIndices(const BufferPtr &in, std::int64_t offset);
+
 /** Elementwise sum of two same-element-count tensors (merge partial). */
 BufferPtr elementwiseAdd(const BufferPtr &a, const BufferPtr &b);
 

@@ -213,6 +213,37 @@ PerfReport::toJson() const
     return obj;
 }
 
+PerfReport
+aggregateShardReports(const std::vector<PerfReport> &shards)
+{
+    PerfReport out;
+    if (shards.empty())
+        return out;
+    out.queriesServed = shards.front().queriesServed;
+    out.fusedBatchK = shards.front().fusedBatchK;
+    for (const PerfReport &shard : shards) {
+        // Shards run concurrently: the query's simulated time is the
+        // slowest shard's, exactly like TimingEngine's parallel-scope
+        // fold (max over children).
+        out.setupLatencyNs = std::max(out.setupLatencyNs,
+                                      shard.setupLatencyNs);
+        out.queryLatencyNs = std::max(out.queryLatencyNs,
+                                      shard.queryLatencyNs);
+        out.setupEnergyPj += shard.setupEnergyPj;
+        out.queryEnergyPj += shard.queryEnergyPj;
+        out.cellEnergyPj += shard.cellEnergyPj;
+        out.senseEnergyPj += shard.senseEnergyPj;
+        out.driveEnergyPj += shard.driveEnergyPj;
+        out.mergeEnergyPj += shard.mergeEnergyPj;
+        out.searches += shard.searches;
+        out.writes += shard.writes;
+        out.subarraysUsed += shard.subarraysUsed;
+        out.banksUsed += shard.banksUsed;
+        out.subarraysAllocated += shard.subarraysAllocated;
+    }
+    return out;
+}
+
 void
 attachWindowBreakdown(support::TraceEvent &span, const PerfReport &perf)
 {

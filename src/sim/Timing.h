@@ -339,6 +339,26 @@ struct PerfReport
 };
 
 /**
+ * Deterministic aggregation of per-shard reports for one query served
+ * scatter-gather across M programmed shards (core::ShardedEngine).
+ *
+ * Simulated time is parallel -- the query waits for the slowest
+ * shard, so latency fields (setup and query) take the max. Energy,
+ * the breakdown, and the resource/traffic counters are physical
+ * totals and sum in fixed shard order (bit-reproducible: same shards,
+ * same order, same doubles). queriesServed and fusedBatchK come from
+ * the first report (identical across shards of one query by
+ * construction). Empty input returns a zero report.
+ *
+ * Note this is deliberately NOT bit-identical to a single device of
+ * the combined size: per-search cell energy scales with the
+ * subarray's physical row count, so M quarter-size devices spend less
+ * cell energy than one full-size device. Outputs are bit-identical
+ * under sharding; energy honestly reflects the different hardware.
+ */
+PerfReport aggregateShardReports(const std::vector<PerfReport> &shards);
+
+/**
  * Window <-> span linkage: copy @p perf's simulated per-window
  * breakdown (drive/sense/cell/merge energy, search/setup cost, the
  * fused width) onto @p span and mark it sim-carrying. The serving

@@ -1,0 +1,39 @@
+#include "support/CliParse.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace c4cam::support {
+
+bool
+parseInt(const char *text, long long &out, long long min_value,
+         long long max_value)
+{
+    if (!text || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    if (value < min_value || value > max_value)
+        return false;
+    out = value;
+    return true;
+}
+
+FlagParse
+parseIntFlag(int argc, char **argv, int &i, const char *name,
+             long long &out, long long min_value, long long max_value)
+{
+    if (std::strcmp(argv[i], name) != 0)
+        return FlagParse::NoMatch;
+    if (i + 1 >= argc)
+        return FlagParse::Bad;
+    ++i;
+    return parseInt(argv[i], out, min_value, max_value) ? FlagParse::Ok
+                                                        : FlagParse::Bad;
+}
+
+} // namespace c4cam::support

@@ -1,0 +1,54 @@
+#ifndef C4CAM_SUPPORT_CLIPARSE_H
+#define C4CAM_SUPPORT_CLIPARSE_H
+
+/**
+ * @file
+ * Shared command-line number/flag parsing for the c4cam tools.
+ *
+ * Every tool (c4cam-run, c4cam-trace-check, the benches) used to carry
+ * its own strtoll wrapper with subtly different overflow and
+ * trailing-garbage handling; the CLI regression suite only caught the
+ * divergence after the fact ("--seed banana" once threw out of
+ * std::stoull before reaching the usage path). These helpers are the
+ * one implementation: whole-string base-10 parse, explicit inclusive
+ * bounds, no exceptions -- a malformed value is a `false`/`Bad`
+ * return, so the tools can print usage and exit 2 deterministically.
+ */
+
+#include <limits>
+
+namespace c4cam::support {
+
+/**
+ * Parse the whole of @p text as a base-10 integer into @p out.
+ * @return false (leaving @p out untouched) when @p text is null,
+ * empty, carries trailing garbage, overflows long long, or falls
+ * outside the inclusive [@p min_value, @p max_value] range.
+ */
+bool parseInt(const char *text, long long &out, long long min_value = 0,
+              long long max_value =
+                  std::numeric_limits<long long>::max());
+
+/** Outcome of matching one "--flag VALUE" pair against argv[i]. */
+enum class FlagParse
+{
+    NoMatch, ///< argv[i] is not @p name; nothing was consumed
+    Ok,      ///< value parsed into @p out; @p i advanced past it
+    Bad      ///< @p name matched but its value is missing or malformed
+};
+
+/**
+ * Match "--name N" at argv[@p i]: when argv[i] equals @p name, consume
+ * the following argument (advancing @p i) and parse it with
+ * parseInt()'s rules into @p out. A missing or malformed value returns
+ * Bad with @p i pointing at the offending argument, so the caller's
+ * usage diagnostic can name it.
+ */
+FlagParse parseIntFlag(int argc, char **argv, int &i, const char *name,
+                       long long &out, long long min_value = 0,
+                       long long max_value =
+                           std::numeric_limits<long long>::max());
+
+} // namespace c4cam::support
+
+#endif // C4CAM_SUPPORT_CLIPARSE_H

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "support/Error.h"
@@ -164,7 +166,14 @@ JsonValue::dumpImpl(std::string &out, int indent, int depth) const
             std::abs(numVal_) < 1e15) {
             oss << static_cast<std::int64_t>(numVal_);
         } else {
-            oss << numVal_;
+            // Round-trip precision: trace consumers check that
+            // sibling spans tile exactly (start + dur == next start,
+            // recorded from one shared clock read), which the default
+            // 6-significant-digit format destroys at microsecond
+            // magnitudes.
+            oss << std::setprecision(
+                       std::numeric_limits<double>::max_digits10)
+                << numVal_;
         }
         out += oss.str();
         break;

@@ -18,12 +18,41 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace c4cam::support {
+
+/**
+ * Worker-thread placement knobs. Everything here is best effort and
+ * purely observational: naming and pinning never change what the pool
+ * computes, only where the OS schedules it (shard fan-out workers pin
+ * so the M per-query scatter tasks stop migrating between cores).
+ */
+struct ThreadPoolOptions
+{
+    /** Worker count; 0 means hardware_concurrency() (at least 1). */
+    std::size_t threads = 0;
+
+    /**
+     * When non-empty, worker i is named "<namePrefix><i>" (truncated
+     * to the platform's thread-name limit). Shows up in /proc, top -H
+     * and debuggers; a no-op where the platform has no thread names.
+     */
+    std::string namePrefix;
+
+    /**
+     * Pin worker i to CPU (pinOffset + i) % hardware_concurrency().
+     * A no-op on platforms without pthread_setaffinity_np (see
+     * affinitySupported()); pinning failures are ignored -- a pool in
+     * a restricted cpuset must still come up.
+     */
+    bool pinThreads = false;
+    std::size_t pinOffset = 0;
+};
 
 /**
  * N worker threads draining one FIFO queue.
@@ -41,6 +70,13 @@ class ThreadPool
      *        (at least 1).
      */
     explicit ThreadPool(std::size_t threads);
+
+    /** Worker pool with naming/affinity placement options. */
+    explicit ThreadPool(const ThreadPoolOptions &options);
+
+    /** True when this platform can honor ThreadPoolOptions::pinThreads
+     *  (pthread_setaffinity_np is available). */
+    static bool affinitySupported();
 
     /** Drains the queue, then joins all workers. */
     ~ThreadPool();
@@ -69,6 +105,11 @@ class ThreadPool
   private:
     void enqueue(std::function<void()> job);
     void workerLoop();
+    /** Apply @p options naming/pinning to worker @p index (best
+     *  effort; failures are ignored). */
+    static void placeWorker(std::thread &worker,
+                            const ThreadPoolOptions &options,
+                            std::size_t index);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

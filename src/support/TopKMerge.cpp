@@ -1,0 +1,57 @@
+#include "support/TopKMerge.h"
+
+#include <algorithm>
+
+namespace c4cam::support {
+
+namespace {
+
+/** Heap node: the head of one partial list. */
+struct Head
+{
+    TopKEntry entry;
+    std::size_t list = 0;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::vector<TopKEntry>
+mergeTopK(const std::vector<std::vector<TopKEntry>> &partials,
+          std::size_t k, bool largest)
+{
+    // std::push/pop_heap keep the LAST element under the comparator on
+    // top, so "ranks before" must compare as "greater": invert
+    // topKOrderedBefore.
+    auto heap_after = [largest](const Head &a, const Head &b) {
+        return topKOrderedBefore(b.entry, a.entry, largest);
+    };
+
+    std::vector<Head> heap;
+    heap.reserve(partials.size());
+    std::size_t total = 0;
+    for (std::size_t l = 0; l < partials.size(); ++l) {
+        total += partials[l].size();
+        if (!partials[l].empty())
+            heap.push_back(Head{partials[l][0], l, 0});
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_after);
+
+    std::vector<TopKEntry> merged;
+    merged.reserve(std::min(k, total));
+    while (merged.size() < k && !heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), heap_after);
+        Head head = heap.back();
+        heap.pop_back();
+        merged.push_back(head.entry);
+        if (head.pos + 1 < partials[head.list].size()) {
+            ++head.pos;
+            head.entry = partials[head.list][head.pos];
+            heap.push_back(head);
+            std::push_heap(heap.begin(), heap.end(), heap_after);
+        }
+    }
+    return merged;
+}
+
+} // namespace c4cam::support

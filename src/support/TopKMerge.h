@@ -1,0 +1,66 @@
+#ifndef C4CAM_SUPPORT_TOPKMERGE_H
+#define C4CAM_SUPPORT_TOPKMERGE_H
+
+/**
+ * @file
+ * Exact M-way merge of per-shard top-k partials.
+ *
+ * The shard layer partitions the stored-vector axis contiguously
+ * across M devices; each shard returns its own top-k (value,
+ * local-index) list, already sorted by the device's final top-k
+ * comparator. After remapping local indices to global row numbers,
+ * mergeTopK() folds the M sorted lists into the global top-k with a
+ * heap of list heads.
+ *
+ * Exactness argument: a single big device sorts all N rows with a
+ * stable sort, so equal values break toward the LOWER row index. A
+ * contiguous shard plan makes local->global index mapping monotone per
+ * shard, so each shard's sorted k-list is exactly the big device's
+ * global order restricted to that shard's rows, truncated to k. Any
+ * prefix of the global order therefore draws at most k entries from
+ * one shard, and an M-way merge under the same comparator -- better
+ * value first, equal values toward the lower global index --
+ * reproduces the big device's top-k bit-identically (values are
+ * row-local computations, unchanged by sharding). This requires every
+ * shard to hold at least k rows; ShardPlan enforces that.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace c4cam::support {
+
+/** One (value, global-index) entry of a shard's top-k partial. */
+struct TopKEntry
+{
+    double value = 0.0;
+    std::int64_t index = 0;
+};
+
+/**
+ * The one merge comparator: does @p a rank strictly before @p b?
+ * Better value first (@p largest picks the direction), equal values
+ * break toward the lower global index -- the order a single device's
+ * stable-sorted top-k emits.
+ */
+inline bool
+topKOrderedBefore(const TopKEntry &a, const TopKEntry &b, bool largest)
+{
+    if (a.value != b.value)
+        return largest ? a.value > b.value : a.value < b.value;
+    return a.index < b.index;
+}
+
+/**
+ * Merge M sorted top-k partials into the global first @p k entries.
+ * Each inner list must already be sorted by topKOrderedBefore (a
+ * shard's own top-k output is). @p k is clamped to the total entry
+ * count. O((M + k) log M) via a heap of list heads.
+ */
+std::vector<TopKEntry>
+mergeTopK(const std::vector<std::vector<TopKEntry>> &partials,
+          std::size_t k, bool largest);
+
+} // namespace c4cam::support
+
+#endif // C4CAM_SUPPORT_TOPKMERGE_H

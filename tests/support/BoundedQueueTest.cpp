@@ -165,6 +165,98 @@ TEST(BoundedQueue, PopGroupDrainsAfterClose)
     EXPECT_EQ(q.popGroup(out, 8, 2), 0u); // drained
 }
 
+TEST(BoundedQueue, PopGroupFusesAtExactlyTheThreshold)
+{
+    // The fuse decision is >= threshold: a backlog of exactly
+    // fuse_threshold items is already a fused window, one item fewer
+    // is a single dispatch.
+    BoundedQueue<int> q(16);
+    std::vector<int> out;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    EXPECT_EQ(q.popGroup(out, 8, 3), 3u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+
+    out.clear();
+    for (int i = 0; i < 2; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    EXPECT_EQ(q.popGroup(out, 8, 3), 1u);
+    EXPECT_EQ(out, (std::vector<int>{0}));
+}
+
+TEST(BoundedQueue, PopGroupMaxItemsBeyondCapacityTakesWhatExists)
+{
+    // max_items above the queue capacity (an over-eager fuse-k) is
+    // clamped by availability, never an error and never a wait for
+    // items that cannot fit.
+    BoundedQueue<int> q(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.push(i).ok());
+    std::vector<int> out;
+    EXPECT_EQ(q.popGroup(out, 64, 2), 4u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+
+    // max_items == 0 clamps to one item rather than popping nothing
+    // (a zero take would spin the dispatcher forever).
+    EXPECT_TRUE(q.push(9).ok());
+    out.clear();
+    EXPECT_EQ(q.popGroup(out, 0, 2), 1u);
+    EXPECT_EQ(out, (std::vector<int>{9}));
+}
+
+TEST(BoundedQueue, CloseRacingGroupedPopsLosesNothing)
+{
+    // Producers push under Block while consumers drain with popGroup
+    // and close() lands mid-flight: every ACCEPTED item must come out
+    // exactly once, and every producer must observe either Ok or
+    // Closed -- never a hang, never a duplicate.
+    for (int round = 0; round < 20; ++round) {
+        BoundedQueue<int> q(4, OverflowPolicy::Block);
+        const int producers = 3;
+        const int per_producer = 50;
+        std::atomic<int> accepted{0};
+        std::vector<std::thread> threads;
+        for (int p = 0; p < producers; ++p)
+            threads.emplace_back([&, p] {
+                for (int i = 0; i < per_producer; ++i) {
+                    auto result = q.push(p * per_producer + i);
+                    if (result.ok())
+                        accepted.fetch_add(1);
+                    else
+                        ASSERT_EQ(result.status,
+                                  BoundedQueue<int>::PushStatus::Closed);
+                }
+            });
+
+        std::mutex seen_mutex;
+        std::set<int> seen;
+        std::vector<std::thread> consumers;
+        for (int c = 0; c < 2; ++c)
+            consumers.emplace_back([&] {
+                std::vector<int> group;
+                while (q.popGroup(group, 8, 2) != 0) {
+                    std::lock_guard<std::mutex> lock(seen_mutex);
+                    for (int value : group)
+                        ASSERT_TRUE(seen.insert(value).second)
+                            << "duplicate " << value;
+                    group.clear();
+                }
+            });
+
+        // Close somewhere in the middle of the exchange.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(50 * (round % 5)));
+        q.close();
+        for (auto &t : threads)
+            t.join();
+        for (auto &t : consumers)
+            t.join();
+        EXPECT_EQ(static_cast<int>(seen.size()), accepted.load())
+            << "round " << round;
+        EXPECT_EQ(q.size(), 0u);
+    }
+}
+
 TEST(BoundedQueue, MpmcExchangeLosesNothing)
 {
     // 4 producers x 4 consumers over a small Block queue: every pushed

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared CLI integer parsing: the one strtoll wrapper every tool and
+ * bench routes through (see support/CliParse.h for why it exists).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/CliParse.h"
+
+using c4cam::support::FlagParse;
+using c4cam::support::parseInt;
+using c4cam::support::parseIntFlag;
+
+TEST(CliParse, ParsesPlainDecimal)
+{
+    long long out = -1;
+    EXPECT_TRUE(parseInt("0", out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(parseInt("42", out));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(parseInt("9007199254740993", out));
+    EXPECT_EQ(out, 9007199254740993ll);
+}
+
+TEST(CliParse, RejectsGarbageAndLeavesOutUntouched)
+{
+    long long out = 77;
+    EXPECT_FALSE(parseInt(nullptr, out));
+    EXPECT_FALSE(parseInt("", out));
+    EXPECT_FALSE(parseInt("banana", out));
+    EXPECT_FALSE(parseInt("12banana", out)); // trailing garbage
+    EXPECT_FALSE(parseInt("1 2", out));
+    EXPECT_FALSE(parseInt("0x10", out)); // base 10 only
+    EXPECT_FALSE(parseInt("3.5", out));
+    EXPECT_EQ(out, 77) << "a failed parse must not clobber out";
+}
+
+TEST(CliParse, RejectsOverflow)
+{
+    long long out = 5;
+    // One past LLONG_MAX and far past it: both saturate in strtoll
+    // (ERANGE), both must fail rather than wrap.
+    EXPECT_FALSE(parseInt("9223372036854775808", out));
+    EXPECT_FALSE(parseInt("99999999999999999999999999", out));
+    EXPECT_FALSE(parseInt("-99999999999999999999999999", out,
+                          std::numeric_limits<long long>::min()));
+    EXPECT_EQ(out, 5);
+}
+
+TEST(CliParse, BoundsAreInclusive)
+{
+    long long out = 0;
+    EXPECT_TRUE(parseInt("1", out, 1, 4));
+    EXPECT_TRUE(parseInt("4", out, 1, 4));
+    EXPECT_FALSE(parseInt("0", out, 1, 4));
+    EXPECT_FALSE(parseInt("5", out, 1, 4));
+}
+
+TEST(CliParse, DefaultMinimumIsZero)
+{
+    // The tools' flags are counts; a bare parseInt() call already
+    // rejects negatives unless the caller opts in to them.
+    long long out = 0;
+    EXPECT_FALSE(parseInt("-1", out));
+    EXPECT_TRUE(parseInt("-1", out, -10));
+    EXPECT_EQ(out, -1);
+}
+
+namespace {
+
+/** argv-shaped scratch for the flag-matching tests. */
+std::vector<char *>
+makeArgv(const std::vector<std::string> &args, std::vector<std::string> &keep)
+{
+    keep = args;
+    std::vector<char *> argv;
+    for (std::string &arg : keep)
+        argv.push_back(arg.data());
+    return argv;
+}
+
+} // namespace
+
+TEST(CliParse, FlagNoMatchConsumesNothing)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--other", "3"}, keep);
+    int i = 1;
+    long long out = -1;
+    EXPECT_EQ(parseIntFlag(static_cast<int>(argv.size()), argv.data(), i,
+                           "--queries", out),
+              FlagParse::NoMatch);
+    EXPECT_EQ(i, 1) << "NoMatch must not advance the cursor";
+    EXPECT_EQ(out, -1);
+}
+
+TEST(CliParse, FlagOkConsumesTheValue)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--queries", "64", "--tail"}, keep);
+    int i = 1;
+    long long out = 0;
+    EXPECT_EQ(parseIntFlag(static_cast<int>(argv.size()), argv.data(), i,
+                           "--queries", out, 1),
+              FlagParse::Ok);
+    EXPECT_EQ(out, 64);
+    EXPECT_EQ(i, 2) << "the cursor must point at the consumed value";
+}
+
+TEST(CliParse, FlagMissingValueIsBad)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--queries"}, keep);
+    int i = 1;
+    long long out = 9;
+    EXPECT_EQ(parseIntFlag(static_cast<int>(argv.size()), argv.data(), i,
+                           "--queries", out, 1),
+              FlagParse::Bad);
+    EXPECT_EQ(out, 9);
+}
+
+TEST(CliParse, FlagMalformedValueIsBadAndPointsAtIt)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--queries", "banana"}, keep);
+    int i = 1;
+    long long out = 9;
+    EXPECT_EQ(parseIntFlag(static_cast<int>(argv.size()), argv.data(), i,
+                           "--queries", out, 1),
+              FlagParse::Bad);
+    // i points at the offending argument so the caller's diagnostic
+    // can name it.
+    EXPECT_EQ(i, 2);
+    EXPECT_STREQ(argv[static_cast<std::size_t>(i)], "banana");
+    EXPECT_EQ(out, 9);
+}
+
+TEST(CliParse, FlagOutOfRangeValueIsBad)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--workers", "512"}, keep);
+    int i = 1;
+    long long out = 4;
+    EXPECT_EQ(parseIntFlag(static_cast<int>(argv.size()), argv.data(), i,
+                           "--workers", out, 1, 256),
+              FlagParse::Bad);
+    EXPECT_EQ(out, 4);
+}

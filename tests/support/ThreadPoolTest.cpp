@@ -6,8 +6,13 @@
 #include <chrono>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "support/Error.h"
 #include "support/ThreadPool.h"
@@ -87,3 +92,89 @@ TEST(ThreadPool, DestructorDrainsPendingTasks)
     }
     EXPECT_EQ(completed.load(), 16);
 }
+
+TEST(ThreadPool, OptionsZeroThreadsMeansHardwareConcurrency)
+{
+    c4cam::support::ThreadPoolOptions options;
+    ThreadPool pool(options);
+    EXPECT_GE(pool.numThreads(), 1u);
+}
+
+TEST(ThreadPool, AffinitySupportMatchesThePlatform)
+{
+#if defined(__linux__)
+    EXPECT_TRUE(ThreadPool::affinitySupported());
+#else
+    EXPECT_FALSE(ThreadPool::affinitySupported());
+#endif
+}
+
+TEST(ThreadPool, NamedPinnedWorkersStillComputeEverything)
+{
+    // Placement is observational only: a named, pinned pool (pinning
+    // best-effort -- a restricted cpuset may refuse, and that is fine)
+    // must behave exactly like a plain one.
+    c4cam::support::ThreadPoolOptions options;
+    options.threads = 4;
+    options.namePrefix = "c4cam-tptest-";
+    options.pinThreads = true;
+    options.pinOffset = 1;
+    ThreadPool pool(options);
+    EXPECT_EQ(pool.numThreads(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+#if defined(__linux__)
+TEST(ThreadPool, WorkersCarryThePrefixedName)
+{
+    // Hold all 4 workers at a rendezvous so each reports its own
+    // /proc/self/task name exactly once.
+    c4cam::support::ThreadPoolOptions options;
+    options.threads = 4;
+    options.namePrefix = "c4cam-nm-";
+    ThreadPool pool(options);
+    std::atomic<int> started{0};
+    auto name_of_self = [&started] {
+        started.fetch_add(1);
+        auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (started.load() < 4 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::yield();
+        char name[32] = {0};
+        pthread_getname_np(pthread_self(), name, sizeof(name));
+        return std::string(name);
+    };
+    std::vector<std::future<std::string>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(pool.submit(name_of_self));
+    std::set<std::string> names;
+    for (auto &future : futures)
+        names.insert(future.get());
+    EXPECT_EQ(names, (std::set<std::string>{"c4cam-nm-0", "c4cam-nm-1",
+                                            "c4cam-nm-2", "c4cam-nm-3"}));
+}
+
+TEST(ThreadPool, LongNamePrefixTruncatesInsteadOfFailing)
+{
+    // Linux caps thread names at 15 chars + NUL; the pool must
+    // truncate, not skip naming or error out.
+    c4cam::support::ThreadPoolOptions options;
+    options.threads = 1;
+    options.namePrefix = "c4cam-very-long-worker-prefix-";
+    ThreadPool pool(options);
+    std::string name = pool.submit([] {
+                               char buf[32] = {0};
+                               pthread_getname_np(pthread_self(), buf,
+                                                  sizeof(buf));
+                               return std::string(buf);
+                           }).get();
+    EXPECT_EQ(name.size(), 15u);
+    EXPECT_EQ(name, std::string("c4cam-very-long-worker-prefix-0")
+                        .substr(0, 15));
+}
+#endif // __linux__

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Exact M-way top-k merge: the comparator's tie-break contract and the
+ * heap merge's equivalence to sorting everything at once -- the two
+ * properties the sharded serving layer's bit-identity rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/Rng.h"
+#include "support/TopKMerge.h"
+
+using c4cam::Rng;
+using c4cam::support::mergeTopK;
+using c4cam::support::TopKEntry;
+using c4cam::support::topKOrderedBefore;
+
+namespace {
+
+bool
+sameEntries(const std::vector<TopKEntry> &a, const std::vector<TopKEntry> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].value != b[i].value || a[i].index != b[i].index)
+            return false;
+    return true;
+}
+
+/** What one big device would do: stable-sort ALL entries under the
+ *  same comparator, truncate to k. */
+std::vector<TopKEntry>
+referenceMerge(const std::vector<std::vector<TopKEntry>> &partials,
+               std::size_t k, bool largest)
+{
+    std::vector<TopKEntry> all;
+    for (const auto &list : partials)
+        all.insert(all.end(), list.begin(), list.end());
+    std::stable_sort(all.begin(), all.end(),
+                     [largest](const TopKEntry &a, const TopKEntry &b) {
+                         return topKOrderedBefore(a, b, largest);
+                     });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+} // namespace
+
+TEST(TopKMerge, ComparatorRanksByValueThenLowerIndex)
+{
+    TopKEntry low{1.0, 7};
+    TopKEntry high{2.0, 3};
+    // Smallest-first (the CAM distance path).
+    EXPECT_TRUE(topKOrderedBefore(low, high, /*largest=*/false));
+    EXPECT_FALSE(topKOrderedBefore(high, low, /*largest=*/false));
+    // Largest-first flips the value order...
+    EXPECT_TRUE(topKOrderedBefore(high, low, /*largest=*/true));
+    // ...but ties ALWAYS break toward the lower global index, in both
+    // directions -- that is the stable-sort order a single device
+    // emits.
+    TopKEntry tie_a{5.0, 2};
+    TopKEntry tie_b{5.0, 9};
+    EXPECT_TRUE(topKOrderedBefore(tie_a, tie_b, true));
+    EXPECT_TRUE(topKOrderedBefore(tie_a, tie_b, false));
+    EXPECT_FALSE(topKOrderedBefore(tie_b, tie_a, true));
+    EXPECT_FALSE(topKOrderedBefore(tie_b, tie_a, false));
+    // An entry never orders before itself (strict weak ordering).
+    EXPECT_FALSE(topKOrderedBefore(tie_a, tie_a, true));
+}
+
+TEST(TopKMerge, MergesTwoSortedPartials)
+{
+    std::vector<std::vector<TopKEntry>> partials = {
+        {{0.1, 0}, {0.4, 2}},
+        {{0.2, 5}, {0.3, 6}},
+    };
+    std::vector<TopKEntry> merged = mergeTopK(partials, 3, false);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_TRUE(sameEntries(merged, {{0.1, 0}, {0.2, 5}, {0.3, 6}}));
+}
+
+TEST(TopKMerge, KClampsToTotalEntryCount)
+{
+    std::vector<std::vector<TopKEntry>> partials = {{{1.0, 0}},
+                                                    {{2.0, 1}}};
+    EXPECT_EQ(mergeTopK(partials, 10, false).size(), 2u);
+    EXPECT_EQ(mergeTopK(partials, 0, false).size(), 0u);
+    EXPECT_TRUE(mergeTopK({}, 4, true).empty());
+    // Empty inner lists are legal (a shard smaller than k never
+    // happens under ShardPlan, but the merge itself does not care).
+    std::vector<std::vector<TopKEntry>> with_empty = {{}, {{3.0, 2}}};
+    EXPECT_TRUE(
+        sameEntries(mergeTopK(with_empty, 2, false), {{3.0, 2}}));
+}
+
+TEST(TopKMerge, TiesAcrossPartialsBreakTowardLowerGlobalIndex)
+{
+    // The duplicate-stored-row case: equal values living on different
+    // shards must come out in global index order, whichever list they
+    // arrived in.
+    std::vector<std::vector<TopKEntry>> partials = {
+        {{0.5, 4}, {0.9, 1}},
+        {{0.5, 3}, {0.9, 6}},
+    };
+    std::vector<TopKEntry> merged = mergeTopK(partials, 4, false);
+    EXPECT_TRUE(sameEntries(
+        merged, {{0.5, 3}, {0.5, 4}, {0.9, 1}, {0.9, 6}}));
+}
+
+TEST(TopKMerge, MatchesSortingEverythingAtOnce)
+{
+    // Randomized shard partials (sorted per list, as a shard's own
+    // top-k output is), including heavy value collisions so the
+    // tie-break path is exercised. The heap merge must agree with the
+    // flatten-and-stable-sort reference entry for entry.
+    Rng rng(2024);
+    for (int round = 0; round < 200; ++round) {
+        bool largest = rng.nextBool();
+        std::size_t shards = 1 + rng.nextBelow(5);
+        std::size_t k = rng.nextBelow(8);
+        std::vector<std::vector<TopKEntry>> partials(shards);
+        std::int64_t global = 0;
+        for (auto &list : partials) {
+            std::size_t len = rng.nextBelow(7);
+            for (std::size_t i = 0; i < len; ++i)
+                // Few distinct values -> many ties.
+                list.push_back(
+                    {static_cast<double>(rng.nextBelow(4)), global++});
+            std::sort(list.begin(), list.end(),
+                      [largest](const TopKEntry &a, const TopKEntry &b) {
+                          return topKOrderedBefore(a, b, largest);
+                      });
+        }
+        EXPECT_TRUE(sameEntries(mergeTopK(partials, k, largest),
+                                referenceMerge(partials, k, largest)))
+            << "round " << round;
+    }
+}

@@ -39,10 +39,15 @@
  * engine, or async front-end -- and writes the trace document (Chrome
  * trace_event + compact "spans" array) to FILE. Tracing never
  * perturbs outputs or PerfReports.
+ *
+ * With --batch N --shards M the stored tensor is partitioned across M
+ * programmed CAM shards (core::ShardedEngine): each query scatters to
+ * every shard and the per-shard top-k lists are merged exactly on the
+ * host, bit-identical to one big device. --threads sets the replicas
+ * per shard; --async serves the sharded backend through the async
+ * front-end.
  */
 
-#include <cerrno>
-#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <future>
@@ -58,7 +63,9 @@
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
+#include "core/ShardedEngine.h"
 #include "dialects/BuiltinDialect.h"
+#include "support/CliParse.h"
 #include "support/Error.h"
 #include "support/Json.h"
 #include "support/Rng.h"
@@ -74,29 +81,11 @@ usage()
     std::cerr << "usage: c4cam-run <kernel.py|-> [--arch spec.json]"
               << " [--seed N] [--queries-equal-rows] [--print-ir]"
               << " [--host-only] [--batch N] [--json] [--threads N]"
-              << " [--tree-walk] [--async] [--queue-depth N]"
+              << " [--tree-walk] [--shards M] [--async]"
+              << " [--queue-depth N]"
               << " [--policy block|reject|drop-oldest] [--fuse-k N]"
               << " [--trace-out FILE]\n";
     return 2;
-}
-
-/**
- * Parse @p text as a non-negative integer into @p out. Unlike a bare
- * std::stoull/std::stol this never throws: malformed or out-of-range
- * values (the historical `--seed banana` crash) report false so the
- * caller can print usage() instead of dying on an uncaught
- * std::invalid_argument.
- */
-bool
-parseCount(const char *text, long long &out)
-{
-    errno = 0;
-    char *end = nullptr;
-    long long value = std::strtoll(text, &end, 10);
-    if (end == text || *end != '\0' || errno == ERANGE || value < 0)
-        return false;
-    out = value;
-    return true;
 }
 
 /** Make query row q a copy of stored row ((offset + 2*q) mod N). */
@@ -142,6 +131,8 @@ main(int argc, char **argv)
     bool async_flags_seen = false; // --queue-depth/--policy/--fuse-k
     long long batch = 0;
     long long threads = 1;
+    long long shards = 1;
+    bool shards_seen = false;
     long long queue_depth = 64;
     long long fuse_k = 8;
     std::string trace_path;
@@ -155,27 +146,32 @@ main(int argc, char **argv)
             arch_path = argv[i];
         } else if (arg == "--seed") {
             long long value = 0;
-            if (++i >= argc || !parseCount(argv[i], value))
+            if (++i >= argc || !support::parseInt(argv[i], value))
                 return usage();
             seed = static_cast<std::uint64_t>(value);
         } else if (arg == "--batch") {
-            if (++i >= argc || !parseCount(argv[i], batch) || batch <= 0)
+            if (++i >= argc || !support::parseInt(argv[i], batch, 1))
                 return usage();
         } else if (arg == "--threads") {
-            if (++i >= argc || !parseCount(argv[i], threads) ||
-                threads < 1 || threads > 1024)
+            if (++i >= argc ||
+                !support::parseInt(argv[i], threads, 1, 1024))
+                return usage();
+        } else if (arg == "--shards") {
+            shards_seen = true;
+            if (++i >= argc ||
+                !support::parseInt(argv[i], shards, 1, 1024))
                 return usage();
         } else if (arg == "--async") {
             use_async = true;
         } else if (arg == "--queue-depth") {
             async_flags_seen = true;
-            if (++i >= argc || !parseCount(argv[i], queue_depth) ||
-                queue_depth < 1 || queue_depth > 1'000'000)
+            if (++i >= argc ||
+                !support::parseInt(argv[i], queue_depth, 1, 1'000'000))
                 return usage();
         } else if (arg == "--fuse-k") {
             async_flags_seen = true;
-            if (++i >= argc || !parseCount(argv[i], fuse_k) ||
-                fuse_k < 1 || fuse_k > 1024)
+            if (++i >= argc ||
+                !support::parseInt(argv[i], fuse_k, 1, 1024))
                 return usage();
         } else if (arg == "--policy") {
             async_flags_seen = true;
@@ -220,6 +216,12 @@ main(int argc, char **argv)
     }
     if (use_async && batch <= 0) {
         std::cerr << "c4cam-run: --async requires --batch\n";
+        return usage();
+    }
+    if (shards_seen && batch <= 0) {
+        // Sharding is a serving-path feature; the single-shot path
+        // has no setup/query split to scatter.
+        std::cerr << "c4cam-run: --shards requires --batch\n";
         return usage();
     }
     if (!trace_path.empty() && batch <= 0) {
@@ -343,8 +345,23 @@ main(int argc, char **argv)
                     static_cast<std::size_t>(queue_depth);
                 async_options.fuseMaxK = static_cast<int>(fuse_k);
                 async_options.trace = collector.get();
-                auto engine = kernel.createAsyncServingEngine(
-                    args, static_cast<int>(threads), async_options);
+                std::unique_ptr<core::AsyncServingEngine> engine;
+                if (shards_seen) {
+                    // Sharded backend behind the async front-end:
+                    // same queue/fusion semantics, every dispatch
+                    // scatter-gathers across the shards.
+                    core::ShardedEngineOptions sharding;
+                    sharding.shards = static_cast<int>(shards);
+                    sharding.replicasPerShard =
+                        static_cast<int>(threads);
+                    engine = std::make_unique<core::AsyncServingEngine>(
+                        std::make_unique<core::ShardedEngine>(
+                            options, source, args, sharding),
+                        async_options);
+                } else {
+                    engine = kernel.createAsyncServingEngine(
+                        args, static_cast<int>(threads), async_options);
+                }
                 std::deque<std::future<core::ExecutionResult>> inflight;
                 long long ok = 0;
                 long long front_index = 0; // batch index of the front
@@ -383,12 +400,12 @@ main(int argc, char **argv)
                 engine->drain();
                 core::AsyncServingStats stats = engine->stats();
                 total = stats.serving.aggregate;
-                persistent = engine->engine().persistent();
+                persistent = engine->backend().persistent();
                 if (!json) {
                     std::cout
                         << "async serving: "
-                        << engine->engine().numReplicas()
-                        << " replicas, queue depth "
+                        << engine->backend().concurrency()
+                        << " backend lanes, queue depth "
                         << stats.queueCapacity << " (policy "
                         << support::toString(async_options.policy)
                         << "), " << stats.serving.qps
@@ -409,7 +426,8 @@ main(int argc, char **argv)
                         << " single dispatches\n";
                     if (persistent)
                         std::cout << "setup: "
-                                  << engine->engine().setupReport().str()
+                                  << engine->backend().setupReport()
+                                         .str()
                                   << "\n";
                 }
                 if (ok == 0) {
@@ -427,7 +445,7 @@ main(int argc, char **argv)
                     JsonValue a = JsonValue::makeObject();
                     a.set("replicas",
                           JsonValue(double(
-                              engine->engine().numReplicas())));
+                              engine->backend().concurrency())));
                     a.set("queue_capacity",
                           JsonValue(double(stats.queueCapacity)));
                     a.set("policy",
@@ -457,6 +475,40 @@ main(int argc, char **argv)
                     j.set("async", std::move(a));
                     std::cout << j.dump(2) << "\n";
                     return write_trace() ? 0 : 1;
+                }
+            } else if (shards_seen) {
+                // Scatter-gather serving across `shards` programmed
+                // CAM shards; outputs (incl. global indices) are
+                // bit-identical to one big device. --threads sets the
+                // replicas per shard.
+                core::ShardedEngineOptions sharding;
+                sharding.shards = static_cast<int>(shards);
+                sharding.replicasPerShard = static_cast<int>(threads);
+                core::ShardedEngine engine(options, source, args,
+                                           sharding);
+                if (collector)
+                    engine.enableTracing(collector.get());
+                for (long long b = 0; b < batch; ++b) {
+                    core::ExecutionResult result =
+                        engine.serve(make_batch_args(b));
+                    if (b == 0)
+                        first = std::move(result);
+                }
+                core::ServingStats stats = engine.stats();
+                total = stats.aggregate;
+                persistent = engine.persistent();
+                if (!json) {
+                    std::cout << "sharded serving: "
+                              << engine.numShards() << " shards x "
+                              << threads << " replicas (top-"
+                              << engine.topK() << " merge), "
+                              << stats.qps
+                              << " queries/sec host throughput, p50 "
+                              << stats.p50LatencyUs << " us, p95 "
+                              << stats.p95LatencyUs << " us\n";
+                    if (persistent)
+                        std::cout << "setup: "
+                                  << engine.setupReport().str() << "\n";
                 }
             } else if (threads > 1) {
                 // Parallel serving on `threads` programmed replicas;

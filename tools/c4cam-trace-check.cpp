@@ -15,14 +15,25 @@
  * build rather than silently producing a file chrome://tracing
  * rejects.
  *
+ * Sharded-serving spans get structural checks of their own (complete
+ * traces only): every "scatter" span pairs with exactly one
+ * "shard-merge" sibling under the same parent, the pair tiles the
+ * scatter+merge interval (merge starts where scatter ends -- the
+ * producer records both from one shared clock read, so any gap or
+ * overlap is a bug, modulo JSON round-trip epsilon), and both stay
+ * inside the parent span's interval.
+ *
  * Exit codes: 0 trace is valid, 1 invalid or unreadable, 2 usage.
  */
 
-#include <cstring>
+#include <cmath>
 #include <iostream>
+#include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "support/CliParse.h"
 #include "support/Error.h"
 #include "support/Json.h"
 
@@ -54,11 +65,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--min-spans") {
-            if (++i >= argc)
-                return usage();
-            char *end = nullptr;
-            min_spans = std::strtoll(argv[i], &end, 10);
-            if (end == argv[i] || *end != '\0' || min_spans < 0)
+            if (++i >= argc || !support::parseInt(argv[i], min_spans))
                 return usage();
         } else if (arg == "--help" || arg == "-h") {
             return usage();
@@ -88,8 +95,21 @@ main(int argc, char **argv)
                         " spans, expected at least " +
                         std::to_string(min_spans));
 
-        // First pass: ids + intervals; collect span ids per trace so
-        // parents can be resolved in a second pass.
+        // First pass: ids + intervals; keep a flat record per span so
+        // parents and the sharded-serving structure can be resolved
+        // in later passes.
+        struct SpanRec
+        {
+            std::string name;
+            long long trace = 0;
+            long long query = 0;
+            long long span = 0;
+            long long parent = 0;
+            double start = 0.0;
+            double dur = 0.0;
+        };
+        std::vector<SpanRec> recs;
+        recs.reserve(spans.size());
         std::set<std::pair<long long, long long>> span_ids;
         for (std::size_t i = 0; i < spans.size(); ++i) {
             const JsonValue &span = spans[i];
@@ -113,23 +133,110 @@ main(int argc, char **argv)
             if (sim && sim->find("query_latency_ns") == nullptr)
                 return fail(at + ": \"sim\" block lacks "
                                  "\"query_latency_ns\"");
-            span_ids.emplace(span.getInt("trace", 0),
-                             span.getInt("span", 0));
+            SpanRec rec;
+            rec.name = span.getString("name", "");
+            rec.trace = span.getInt("trace", 0);
+            rec.query = span.getInt("query", 0);
+            rec.span = span.getInt("span", 0);
+            rec.parent = span.getInt("parent", 0);
+            rec.start = start->asNumber();
+            rec.dur = dur->asNumber();
+            span_ids.emplace(rec.trace, rec.span);
+            recs.push_back(std::move(rec));
         }
         // Parent resolution only holds on a complete trace: once the
         // ring overflowed, a surviving child may reference an evicted
         // parent, which is fine.
         if (doc.getInt("dropped", 0) == 0) {
-            for (std::size_t i = 0; i < spans.size(); ++i) {
-                long long parent = spans[i].getInt("parent", 0);
-                if (parent == 0)
+            for (std::size_t i = 0; i < recs.size(); ++i) {
+                if (recs[i].parent == 0)
                     continue; // root
-                if (!span_ids.count(
-                        {spans[i].getInt("trace", 0), parent}))
+                if (!span_ids.count({recs[i].trace, recs[i].parent}))
                     return fail("spans[" + std::to_string(i) +
-                                "]: parent " + std::to_string(parent) +
+                                "]: parent " +
+                                std::to_string(recs[i].parent) +
                                 " does not resolve to a span of the "
                                 "same trace");
+            }
+
+            // Sharded-serving structure. The producer records the
+            // scatter end and the shard-merge start from ONE clock
+            // read, so the pair must tile exactly; the epsilon only
+            // absorbs the double -> JSON -> double round-trip.
+            const double eps = 1e-3; // us
+            std::map<std::pair<long long, long long>, const SpanRec *>
+                by_id;
+            for (const SpanRec &rec : recs)
+                by_id[{rec.trace, rec.span}] = &rec;
+            using QueryKey = std::tuple<long long, long long, long long>;
+            std::map<QueryKey, std::vector<const SpanRec *>> scatters;
+            std::map<QueryKey, std::vector<const SpanRec *>> merges;
+            for (const SpanRec &rec : recs) {
+                QueryKey key{rec.trace, rec.query, rec.parent};
+                if (rec.name == "scatter")
+                    scatters[key].push_back(&rec);
+                else if (rec.name == "shard-merge")
+                    merges[key].push_back(&rec);
+            }
+            for (const auto &[key, ms] : merges)
+                if (!scatters.count(key))
+                    return fail("shard-merge span without a scatter "
+                                "sibling (query " +
+                                std::to_string(std::get<1>(key)) + ")");
+            for (const auto &[key, sc] : scatters) {
+                const std::string at =
+                    "query " + std::to_string(std::get<1>(key));
+                auto it = merges.find(key);
+                if (it == merges.end())
+                    return fail(at + ": scatter span without a "
+                                     "shard-merge sibling");
+                if (sc.size() != 1 || it->second.size() != 1)
+                    return fail(at + ": expected exactly one scatter + "
+                                     "shard-merge pair per dispatch, "
+                                     "got " +
+                                std::to_string(sc.size()) + "+" +
+                                std::to_string(it->second.size()));
+                const SpanRec &scatter = *sc.front();
+                const SpanRec &merge = *it->second.front();
+                double scatter_end = scatter.start + scatter.dur;
+                if (std::abs(merge.start - scatter_end) > eps)
+                    return fail(at + ": shard-merge does not tile with "
+                                     "scatter (scatter ends at " +
+                                std::to_string(scatter_end) +
+                                " us, merge starts at " +
+                                std::to_string(merge.start) + " us)");
+                if (scatter_end > merge.start + eps)
+                    return fail(at + ": scatter overlaps shard-merge");
+                // The shards' execute/merge spans parent under the
+                // scatter span; all shard work must be over before
+                // the host merge starts.
+                for (const SpanRec &child : recs)
+                    if (child.trace == scatter.trace &&
+                        child.parent == scatter.span &&
+                        child.start + child.dur > merge.start + eps)
+                        return fail(at + ": shard span \"" +
+                                    child.name +
+                                    "\" overlaps the shard-merge");
+                auto parent =
+                    by_id.find({scatter.trace, scatter.parent});
+                if (parent != by_id.end()) {
+                    const SpanRec &p = *parent->second;
+                    double merge_end = merge.start + merge.dur;
+                    double p_end = p.start + p.dur;
+                    if (scatter.start < p.start - eps ||
+                        merge_end > p_end + eps)
+                        return fail(at + ": scatter/shard-merge "
+                                         "escape their parent span");
+                    // A root recorded by the sharded engine itself
+                    // shares its end points with the pair: the two
+                    // children tile it completely.
+                    if (p.name == "query" &&
+                        (std::abs(scatter.start - p.start) > eps ||
+                         std::abs(merge_end - p_end) > eps))
+                        return fail(at + ": scatter + shard-merge do "
+                                         "not tile their root query "
+                                         "span");
+                }
             }
         }
 

@@ -1,0 +1,42 @@
+# Test helper: the sharded serving CLI must be bit-identical to the
+# unsharded run. Runs `TOOL ARGS` once without --shards as the
+# reference, then once per entry of SHARDS; every run's printed
+# `output[...]` lines (the first query batch's values and indices)
+# must match the reference exactly. Catches any shard-count-dependent
+# divergence -- merge order, index remapping, k truncation -- at the
+# user-facing surface.
+#
+# Usage:
+#   cmake -DTOOL=<c4cam-run> "-DARGS=<;-separated args>"
+#         "-DSHARDS=1;2;4" -P cli_shard_identity.cmake
+
+function(run_and_extract_outputs result_var)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "'${ARGN}' failed with '${rc}' (stderr: ${err})")
+  endif()
+  string(REGEX MATCHALL "output\\[[^\n]*" lines "${out}")
+  if(lines STREQUAL "")
+    message(FATAL_ERROR
+            "'${ARGN}' printed no output[...] lines to compare "
+            "(stdout: ${out})")
+  endif()
+  set(${result_var} "${lines}" PARENT_SCOPE)
+endfunction()
+
+separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
+run_and_extract_outputs(reference ${TOOL} ${tool_args})
+
+foreach(m IN LISTS SHARDS)
+  run_and_extract_outputs(sharded ${TOOL} ${tool_args} --shards ${m})
+  if(NOT sharded STREQUAL reference)
+    message(FATAL_ERROR
+            "--shards ${m} outputs diverge from the unsharded run:\n"
+            "unsharded: ${reference}\n"
+            "--shards ${m}: ${sharded}")
+  endif()
+endforeach()
