@@ -2,6 +2,7 @@
 
 #include "core/AsyncServingEngine.h"
 #include "core/ExecutionSession.h"
+#include "core/PlanCache.h"
 #include "core/ServingEngine.h"
 #include "dialects/AllDialects.h"
 #include "frontend/TorchScriptFrontend.h"
@@ -39,18 +40,44 @@ CompiledKernel::CompiledKernel(std::shared_ptr<ir::Context> ctx,
 
 std::shared_ptr<const rt::ExecutionPlan>
 tryCompilePlan(const ir::Module &module, const std::string &entry,
-               const CompilerOptions &options)
+               const CompilerOptions &options, std::string *cache_key)
 {
     if (options.treeWalkExecution)
         return nullptr;
-    // A module the plan compiler cannot handle falls back to the tree
-    // walk -- same op vocabulary, so this only happens for ops the
-    // interpreter would reject at runtime too.
-    try {
-        return rt::ExecutionPlan::compile(module, entry);
-    } catch (const CompilerError &) {
-        return nullptr;
+    std::string key = PlanCache::makeKey(module, entry, options);
+    if (cache_key)
+        *cache_key = key;
+    return PlanCache::instance().getOrCompile(key, [&] {
+        // A module the plan compiler cannot handle falls back to the
+        // tree walk -- same op vocabulary, so this only happens for
+        // ops the interpreter would reject at runtime too.
+        try {
+            std::shared_ptr<const rt::ExecutionPlan> plan =
+                rt::ExecutionPlan::compile(module, entry);
+            if (options.optimizePlans && options.planOpt.anyEnabled())
+                plan = rt::PlanOptimizer::optimize(*plan,
+                                                   options.planOpt);
+            return plan;
+        } catch (const CompilerError &) {
+            return std::shared_ptr<const rt::ExecutionPlan>();
+        }
+    });
+}
+
+ir::Module &
+CompiledKernel::module()
+{
+    // The caller may rewrite the IR: drop the kernel's own cached plan
+    // AND the process-wide cache entry, so no future consumer of the
+    // old (module, options) shape can be served a plan that no longer
+    // matches this kernel's IR.
+    if (!planCacheKey_.empty()) {
+        PlanCache::instance().invalidate(planCacheKey_);
+        planCacheKey_.clear();
     }
+    plan_stream_.reset();
+    planCompileFailed_ = false;
+    return module_;
 }
 
 std::shared_ptr<const rt::ExecutionPlan>
@@ -61,7 +88,8 @@ CompiledKernel::executionPlan()
     // run()/sessions/engines.
     if (!plan_stream_ && !planCompileFailed_ &&
         !options_.treeWalkExecution) {
-        plan_stream_ = tryCompilePlan(module_, entry_, options_);
+        plan_stream_ =
+            tryCompilePlan(module_, entry_, options_, &planCacheKey_);
         planCompileFailed_ = plan_stream_ == nullptr;
     }
     return plan_stream_;

@@ -27,6 +27,7 @@
 #include "ir/Pass.h"
 #include "passes/CamMapping.h"
 #include "runtime/Buffer.h"
+#include "runtime/PlanOptimizer.h"
 #include "sim/Timing.h"
 
 namespace c4cam::rt {
@@ -57,6 +58,16 @@ struct CompilerOptions
      * two back ends.
      */
     bool treeWalkExecution = false;
+    /**
+     * Run the rt::PlanOptimizer pass pipeline over compiled plans
+     * (constant folding, subview hoisting, superop fusion, dead-slot
+     * elimination -- see runtime/PlanOptimizer.h). Off = the raw 1:1
+     * transcription of the lowered IR, kept for differential testing
+     * (CLI: c4cam-run --no-plan-opt).
+     */
+    bool optimizePlans = true;
+    /** Per-pass toggles, honored when optimizePlans is set. */
+    rt::PlanOptOptions planOpt;
 };
 
 /** Outcome of executing a compiled kernel. */
@@ -100,11 +111,17 @@ void validateKernelArgs(ir::Block *body, const std::string &entry,
  * ExecutionSession and ServingEngine: compile @p entry of @p module
  * into an ExecutionPlan unless tree-walk execution is forced, falling
  * back to nullptr (= tree walk) when the module is outside the plan
- * compiler's vocabulary.
+ * compiler's vocabulary. Every call goes through the process-wide
+ * PlanCache (see core/PlanCache.h), so sessions, serving replicas,
+ * equal-slice shards and DSE candidates compiling the same (module,
+ * entry, options) shape pay the compile -- and the optimizer pipeline
+ * -- exactly once. @p cache_key, when non-null, receives the cache key
+ * used (for later invalidation).
  */
 std::shared_ptr<const rt::ExecutionPlan>
 tryCompilePlan(const ir::Module &module, const std::string &entry,
-               const CompilerOptions &options);
+               const CompilerOptions &options,
+               std::string *cache_key = nullptr);
 
 /**
  * A compiled kernel: owns the context and the lowered module.
@@ -118,18 +135,14 @@ class CompiledKernel
     /**
      * The lowered module (cam level, or cim level when hostOnly).
      * Handing out the mutable module invalidates the cached execution
-     * plan (callers may rewrite the IR, e.g. retuning passes); the
-     * plan is recompiled from the current module on next use.
-     * Read-only callers should go through the const overload (e.g.
-     * via std::as_const), which keeps the cached plan intact.
+     * plan AND the kernel's process-wide PlanCache entry (callers may
+     * rewrite the IR, e.g. retuning passes), so a rewritten module can
+     * never serve a stale cached plan; the plan is recompiled from the
+     * current module on next use. Read-only callers should go through
+     * the const overload (e.g. via std::as_const), which keeps the
+     * cached plan intact.
      */
-    ir::Module &
-    module()
-    {
-        plan_stream_.reset();
-        planCompileFailed_ = false;
-        return module_;
-    }
+    ir::Module &module();
 
     /** Read-only module access; the cached plan is preserved. */
     const ir::Module &module() const { return module_; }
@@ -217,6 +230,9 @@ class CompiledKernel
     std::string entry_;
     /** Compiled instruction stream (see executionPlan()). */
     std::shared_ptr<const rt::ExecutionPlan> plan_stream_;
+    /** PlanCache key of plan_stream_, for invalidation on mutable
+     *  module() access; empty when no cache entry is held. */
+    std::string planCacheKey_;
     /** Set when plan compilation failed (avoid re-trying per call). */
     bool planCompileFailed_ = false;
     std::vector<std::pair<std::string, std::string>> dumps_;

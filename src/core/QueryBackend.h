@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/ExecutionSession.h"
+#include "core/PlanCache.h"
 #include "runtime/Buffer.h"
 #include "sim/Timing.h"
 #include "support/Trace.h"
@@ -70,6 +71,11 @@ struct ServingStats
     /** Simulated totals: setup once + query windows summed, with
      *  queriesServed set (same accounting as a serial session). */
     sim::PerfReport aggregate;
+
+    /** Process-wide PlanCache counters at stats() time (shared across
+     *  backends -- replicas, shards and sessions all compile through
+     *  the same cache; see core/PlanCache.h). */
+    PlanCacheStats planCache;
 };
 
 /**

@@ -474,6 +474,7 @@ ServingEngine::stats() const
     std::vector<double> sorted = latenciesUs_.sorted();
     stats.p50LatencyUs = support::percentile(sorted, 50.0);
     stats.p95LatencyUs = support::percentile(sorted, 95.0);
+    stats.planCache = PlanCache::instance().stats();
     return stats;
 }
 

@@ -541,6 +541,7 @@ ShardedEngine::stats() const
     std::vector<double> sorted = latenciesUs_.sorted();
     stats.p50LatencyUs = support::percentile(sorted, 50.0);
     stats.p95LatencyUs = support::percentile(sorted, 95.0);
+    stats.planCache = PlanCache::instance().stats();
     return stats;
 }
 

@@ -167,6 +167,31 @@ class RtValue
         return std::get<BufferPtr>(v_);
     }
 
+    /// @name In-place scalar stores
+    /// Replay-loop fast path for the fused superops: a type-stable
+    /// scalar slot (the overwhelmingly common case in a loop) takes a
+    /// predicted branch + direct store instead of the construct /
+    /// move-assign / destroy dance of `slot = RtValue(...)`.
+    /// @{
+    void
+    setInt(std::int64_t i)
+    {
+        if (auto *p = std::get_if<std::int64_t>(&v_))
+            *p = i;
+        else
+            v_.emplace<std::int64_t>(i);
+    }
+
+    void
+    setFloat(double d)
+    {
+        if (auto *p = std::get_if<double>(&v_))
+            *p = d;
+        else
+            v_.emplace<double>(d);
+    }
+    /// @}
+
   private:
     std::variant<std::int64_t, double, BufferPtr> v_;
 };

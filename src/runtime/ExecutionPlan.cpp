@@ -930,7 +930,24 @@ ExecutionPlan::run(PlanFrame &frame, sim::CamDevice *device,
                                     .asInt()
                               : dim.imm);
     };
-
+    auto evalCmpI = [](std::int64_t a, std::int64_t b,
+                       std::int64_t pred) -> bool {
+        switch (static_cast<CmpIPred>(pred)) {
+          case CmpIPred::Eq:
+            return a == b;
+          case CmpIPred::Ne:
+            return a != b;
+          case CmpIPred::Slt:
+            return a < b;
+          case CmpIPred::Sle:
+            return a <= b;
+          case CmpIPred::Sgt:
+            return a > b;
+          case CmpIPred::Sge:
+            return a >= b;
+        }
+        return false;
+    };
     std::size_t pc = 0;
     const std::size_t end = prog.size();
     std::uint64_t executed = 0;
@@ -1008,33 +1025,10 @@ ExecutionPlan::run(PlanFrame &frame, sim::CamDevice *device,
             put(inst.r, s[static_cast<std::size_t>(
                             slotInt(inst.a) != 0 ? inst.b : inst.c)]);
             break;
-          case Opcode::CmpI: {
-            std::int64_t a = slotInt(inst.a);
-            std::int64_t b = slotInt(inst.b);
-            bool r = false;
-            switch (static_cast<CmpIPred>(inst.imm)) {
-              case CmpIPred::Eq:
-                r = a == b;
-                break;
-              case CmpIPred::Ne:
-                r = a != b;
-                break;
-              case CmpIPred::Slt:
-                r = a < b;
-                break;
-              case CmpIPred::Sle:
-                r = a <= b;
-                break;
-              case CmpIPred::Sgt:
-                r = a > b;
-                break;
-              case CmpIPred::Sge:
-                r = a >= b;
-                break;
-            }
-            put(inst.r, RtValue(static_cast<std::int64_t>(r)));
+          case Opcode::CmpI:
+            put(inst.r, RtValue(static_cast<std::int64_t>(evalCmpI(
+                            slotInt(inst.a), slotInt(inst.b), inst.imm))));
             break;
-          }
           case Opcode::CmpF: {
             double a = slotFloat(inst.a);
             double b = slotFloat(inst.b);
@@ -1315,6 +1309,92 @@ ExecutionPlan::run(PlanFrame &frame, sim::CamDevice *device,
             requireDevice()->postMerge(
                 static_cast<int>(acc->numElements()));
             put(inst.r, s[static_cast<std::size_t>(inst.a)]);
+            break;
+          }
+
+          case Opcode::Nop:
+            break;
+          // Fused pairs keep op1's result in a register: chained op2
+          // operands (kFusedChainX/Y) take it directly, and when no
+          // other instruction reads it (r = -1) the slot write is
+          // skipped entirely -- op2's non-chained operands read their
+          // slots exactly as the unfused sequence would.
+          case Opcode::FusedIntPair: {
+            const std::int64_t v1 =
+                evalIntSub(static_cast<std::uint8_t>(inst.imm & 0xff),
+                           slotInt(inst.a), slotInt(inst.b));
+            if (inst.r >= 0)
+                s[static_cast<std::size_t>(inst.r)].setInt(v1);
+            const std::int64_t x2 =
+                (inst.imm & kFusedChainX) ? v1 : slotInt(inst.c);
+            const std::int64_t y2 =
+                (inst.imm & kFusedChainY) ? v1 : slotInt(inst.extra[0]);
+            s[static_cast<std::size_t>(inst.r2)].setInt(evalIntSub(
+                static_cast<std::uint8_t>((inst.imm >> 8) & 0xff), x2,
+                y2));
+            break;
+          }
+          case Opcode::FusedFloatPair: {
+            const double v1 =
+                evalFloatSub(static_cast<std::uint8_t>(inst.imm & 0xff),
+                             slotFloat(inst.a), slotFloat(inst.b));
+            if (inst.r >= 0)
+                s[static_cast<std::size_t>(inst.r)].setFloat(v1);
+            const double x2 =
+                (inst.imm & kFusedChainX) ? v1 : slotFloat(inst.c);
+            const double y2 =
+                (inst.imm & kFusedChainY) ? v1 : slotFloat(inst.extra[0]);
+            s[static_cast<std::size_t>(inst.r2)].setFloat(evalFloatSub(
+                static_cast<std::uint8_t>((inst.imm >> 8) & 0xff), x2,
+                y2));
+            break;
+          }
+          case Opcode::FusedCopyPair:
+            put(inst.r, s[static_cast<std::size_t>(inst.a)]);
+            put(inst.r2, s[static_cast<std::size_t>(inst.c)]);
+            break;
+          case Opcode::FusedCmpBranch: {
+            bool taken = evalCmpI(slotInt(inst.a), slotInt(inst.b),
+                                  inst.imm & 0xff);
+            if (inst.r >= 0)
+                s[static_cast<std::size_t>(inst.r)].setInt(
+                    static_cast<std::int64_t>(taken));
+            if (!taken) {
+                pc = static_cast<std::size_t>(inst.target);
+                continue;
+            }
+            break;
+          }
+          case Opcode::FusedAddJump:
+            s[static_cast<std::size_t>(inst.r)].setInt(slotInt(inst.a) +
+                                                       slotInt(inst.b));
+            pc = static_cast<std::size_t>(inst.target);
+            continue;
+          case Opcode::FusedSubviewSearch: {
+            const SliceSpec &spec =
+                slices_[static_cast<std::size_t>(inst.aux)];
+            resolveSlice(spec.offsets, offsets);
+            resolveSlice(spec.sizes, sizes);
+            const BufferPtr query =
+                slotBuf(inst.b)->subview(offsets, sizes);
+            if (inst.r >= 0)
+                put(inst.r, RtValue(query));
+            const SearchSpec &srch =
+                searches_[static_cast<std::size_t>(inst.imm)];
+            sim::Handle sub = slotInt(inst.a);
+            int row_begin = srch.rowBeginSlot >= 0
+                                ? static_cast<int>(
+                                      slotInt(srch.rowBeginSlot))
+                                : srch.rowBegin;
+            int row_end = srch.rowEndSlot >= 0
+                              ? static_cast<int>(slotInt(srch.rowEndSlot))
+                              : srch.rowEnd;
+            query->readInto(query_stage);
+            query_floats.assign(query_stage.begin(), query_stage.end());
+            requireDevice()->search(
+                sub, query_floats,
+                static_cast<arch::SearchKind>(srch.kind), srch.euclidean,
+                row_begin, row_end, srch.threshold, srch.selective);
             break;
           }
         }

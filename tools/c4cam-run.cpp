@@ -46,6 +46,16 @@
  * host, bit-identical to one big device. --threads sets the replicas
  * per shard; --async serves the sharded backend through the async
  * front-end.
+ *
+ * Plan-pipeline introspection: --dump-plan[=FILE] disassembles the
+ * kernel's compiled (optimized) ExecutionPlan; --plan-opt-debug prints
+ * the per-pass before/after bytecode of the rt::PlanOptimizer pipeline
+ * on this kernel; --no-plan-opt replays the raw 1:1 plan instead of
+ * the optimized one (differential testing, like --tree-walk one level
+ * up). Every run reports the process-wide PlanCache counters (text
+ * line and "plan_cache" object in --json); with --trace-out, compiles
+ * and cache hits additionally appear as plan-compile/plan-cache-hit
+ * spans.
  */
 
 #include <deque>
@@ -62,9 +72,12 @@
 #include "core/AsyncServingEngine.h"
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
+#include "core/PlanCache.h"
 #include "core/ServingEngine.h"
 #include "core/ShardedEngine.h"
 #include "dialects/BuiltinDialect.h"
+#include "runtime/ExecutionPlan.h"
+#include "runtime/PlanOptimizer.h"
 #include "support/CliParse.h"
 #include "support/Error.h"
 #include "support/Json.h"
@@ -84,7 +97,8 @@ usage()
               << " [--tree-walk] [--shards M] [--async]"
               << " [--queue-depth N]"
               << " [--policy block|reject|drop-oldest] [--fuse-k N]"
-              << " [--trace-out FILE]\n";
+              << " [--trace-out FILE] [--dump-plan[=FILE]]"
+              << " [--plan-opt-debug] [--no-plan-opt]\n";
     return 2;
 }
 
@@ -114,6 +128,28 @@ printOutputs(const std::vector<rt::RtValue> &outputs)
     }
 }
 
+/** Process-wide PlanCache counters as a --json sub-object. */
+JsonValue
+planCacheJson()
+{
+    core::PlanCacheStats pc = core::PlanCache::instance().stats();
+    JsonValue o = JsonValue::makeObject();
+    o.set("hits", JsonValue(double(pc.hits)));
+    o.set("misses", JsonValue(double(pc.misses)));
+    o.set("evictions", JsonValue(double(pc.evictions)));
+    o.set("entries", JsonValue(double(pc.entries)));
+    return o;
+}
+
+void
+printPlanCache()
+{
+    core::PlanCacheStats pc = core::PlanCache::instance().stats();
+    std::cout << "plan cache: " << pc.hits << " hits, " << pc.misses
+              << " misses, " << pc.evictions << " evictions, "
+              << pc.entries << " resident\n";
+}
+
 } // namespace
 
 int
@@ -127,6 +163,10 @@ main(int argc, char **argv)
     bool host_only = false;
     bool json = false;
     bool tree_walk = false;
+    bool no_plan_opt = false;
+    bool dump_plan = false;
+    std::string dump_plan_path;
+    bool plan_opt_debug = false;
     bool use_async = false;
     bool async_flags_seen = false; // --queue-depth/--policy/--fuse-k
     long long batch = 0;
@@ -198,6 +238,19 @@ main(int argc, char **argv)
             // tree-walking interpreter instead of the compiled
             // execution plan (results must be bit-identical).
             tree_walk = true;
+        } else if (arg == "--no-plan-opt") {
+            // One level up from --tree-walk: still replay a compiled
+            // plan, but the raw transcription, not the optimized one.
+            no_plan_opt = true;
+        } else if (arg == "--dump-plan") {
+            dump_plan = true;
+        } else if (arg.rfind("--dump-plan=", 0) == 0) {
+            dump_plan = true;
+            dump_plan_path = arg.substr(std::string("--dump-plan=").size());
+            if (dump_plan_path.empty())
+                return usage();
+        } else if (arg == "--plan-opt-debug") {
+            plan_opt_debug = true;
         } else if (arg == "--help" || arg == "-h") {
             return usage();
         } else if (input_path.empty()) {
@@ -257,8 +310,77 @@ main(int argc, char **argv)
             options.spec = arch::ArchSpec::fromFile(arch_path);
         options.hostOnly = host_only;
         options.treeWalkExecution = tree_walk;
+        options.optimizePlans = !no_plan_opt;
+
+        // One collector spans compile AND serving, whichever path
+        // serves it; created before the kernel so the initial
+        // plan-compile (or plan-cache-hit) span lands in the document
+        // alongside the query lifecycle spans. The guard detaches the
+        // process-wide hook on every exit path.
+        std::unique_ptr<support::TraceCollector> collector;
+        if (!trace_path.empty())
+            collector = std::make_unique<support::TraceCollector>();
+        core::PlanCache::instance().setTraceCollector(collector.get());
+        struct PlanCacheTraceDetach
+        {
+            ~PlanCacheTraceDetach()
+            {
+                core::PlanCache::instance().setTraceCollector(nullptr);
+            }
+        } plan_cache_trace_detach;
+        auto write_trace = [&]() -> bool {
+            if (!collector)
+                return true;
+            if (!collector->writeFile(trace_path)) {
+                std::cerr << "c4cam-run: cannot write --trace-out file '"
+                          << trace_path << "'\n";
+                return false;
+            }
+            if (!json)
+                std::cout << "trace: " << collector->size()
+                          << " spans -> " << trace_path << " ("
+                          << collector->dropped() << " dropped)\n";
+            return true;
+        };
+
         core::Compiler compiler(options);
         core::CompiledKernel kernel = compiler.compileTorchScript(source);
+
+        if (dump_plan) {
+            auto plan = kernel.executionPlan();
+            C4CAM_CHECK(plan, "--dump-plan: the kernel has no compiled "
+                        "plan (tree-walk mode, or the module is outside "
+                        "the plan compiler's vocabulary)");
+            std::string text = rt::PlanOptimizer::disassemble(*plan);
+            if (dump_plan_path.empty()) {
+                std::cout << text;
+            } else {
+                std::ofstream out(dump_plan_path);
+                C4CAM_CHECK(out.good(), "cannot write --dump-plan file '"
+                            << dump_plan_path << "'");
+                out << text;
+            }
+        }
+        if (plan_opt_debug) {
+            // Re-derive the raw transcription and re-run the optimizer
+            // with snapshots on, so the printed pipeline matches this
+            // kernel even when the cached plan skipped the passes.
+            auto raw = rt::ExecutionPlan::compile(
+                std::as_const(kernel).module(), kernel.entryPoint());
+            rt::PlanOptOptions dbg = options.planOpt;
+            dbg.collectDumps = true;
+            rt::PlanOptReport report;
+            rt::PlanOptimizer::optimize(*raw, dbg, &report);
+            for (const auto &d : report.passDumps)
+                std::cout << "=== " << d.first << " ===\n" << d.second;
+            std::cout << "plan-opt: folded " << report.foldedInstructions
+                      << ", hoisted " << report.hoistedSubviews
+                      << ", fused " << report.fusedSuperops
+                      << ", collapsed " << report.collapsedWrites
+                      << ", removed " << report.removedInstructions
+                      << "; slots " << report.slotsBefore << " -> "
+                      << report.slotsAfter << "\n";
+        }
 
         if (print_ir)
             std::cout << std::as_const(kernel).module().str() << "\n";
@@ -282,26 +404,6 @@ main(int argc, char **argv)
         }
         if (queries_equal_rows && args.size() >= 2)
             fillQueriesFromStored(args[0], args[1], 0);
-
-        // One collector spans the whole serving run, whichever path
-        // serves it; writeFile renders both export formats at the end.
-        std::unique_ptr<support::TraceCollector> collector;
-        if (!trace_path.empty())
-            collector = std::make_unique<support::TraceCollector>();
-        auto write_trace = [&]() -> bool {
-            if (!collector)
-                return true;
-            if (!collector->writeFile(trace_path)) {
-                std::cerr << "c4cam-run: cannot write --trace-out file '"
-                          << trace_path << "'\n";
-                return false;
-            }
-            if (!json)
-                std::cout << "trace: " << collector->size()
-                          << " spans -> " << trace_path << " ("
-                          << collector->dropped() << " dropped)\n";
-            return true;
-        };
 
         if (batch > 0) {
             // Persistent serving: program the device once, then serve
@@ -473,6 +575,7 @@ main(int argc, char **argv)
                     a.set("p95_execute_us",
                           JsonValue(stats.p95ExecuteUs));
                     j.set("async", std::move(a));
+                    j.set("plan_cache", planCacheJson());
                     std::cout << j.dump(2) << "\n";
                     return write_trace() ? 0 : 1;
                 }
@@ -567,7 +670,9 @@ main(int argc, char **argv)
             if (!write_trace())
                 return 1;
             if (json) {
-                std::cout << total.toJson().dump(2) << "\n";
+                JsonValue j = total.toJson();
+                j.set("plan_cache", planCacheJson());
+                std::cout << j.dump(2) << "\n";
                 return 0;
             }
             std::cout << "batch " << first_index << " outputs:\n";
@@ -577,13 +682,16 @@ main(int argc, char **argv)
                       << " ns/query, " << total.amortizedEnergyPj()
                       << " pJ/query over " << total.queriesServed
                       << " queries\n";
+            printPlanCache();
             return 0;
         }
 
         core::ExecutionResult result = kernel.run(args);
 
         if (json) {
-            std::cout << result.perf.toJson().dump(2) << "\n";
+            JsonValue j = result.perf.toJson();
+            j.set("plan_cache", planCacheJson());
+            std::cout << j.dump(2) << "\n";
             return 0;
         }
         printOutputs(result.outputs);
@@ -596,6 +704,7 @@ main(int argc, char **argv)
                       << plan.batchesPerSubarray
                       << " batches/subarray\n";
         }
+        printPlanCache();
         return 0;
     } catch (const CompilerError &err) {
         std::cerr << "error: " << err.what() << "\n";
