@@ -63,6 +63,19 @@
  * BENCH_replay.json via --json-out. --trace-out FILE re-records the
  * replay itself for trace-diffing runs.
  *
+ * --chaos switches to the availability-under-faults leg: the same
+ * stream is served open-loop through an AsyncServingEngine whose
+ * ServingEngine backend carries a bounded-backoff retry policy
+ * (4 attempts) while a seeded sim::FaultInjector fails a fraction of
+ * searches transiently at entry. Fault rates 0 / 0.1% / 1% are swept
+ * (or {0, R} with --fault-rate R); per rate the bench reports wall
+ * qps, availability (completed / offered), backend retries and
+ * injected faults. Every query that completes must be bit-identical
+ * to the fault-free serial reference -- recovery may cost latency,
+ * never correctness -- and the bench exits non-zero when availability
+ * at rates <= 0.1% drops below 99% (the CI chaos gate). Faults are a
+ * pure function of the spec seed, so a failing leg replays exactly.
+ *
  * --shards M switches to the sharded-serving sweep: the same query
  * stream is served through core::ShardedEngine at 1, 2, 4, ... up to
  * M shards (replicasPerShard = --workers, closed-loop submitters), a
@@ -75,12 +88,13 @@
  * one big one is an accounting statement, not a host-speed contract.
  *
  * All modes accept --json-out FILE for machine-readable results
- * (CI archives BENCH_serving.json, BENCH_async.json, BENCH_replay.json
- * and BENCH_sharded.json from the release perf job).
+ * (CI archives BENCH_serving.json, BENCH_async.json, BENCH_replay.json,
+ * BENCH_sharded.json and BENCH_chaos.json from the release perf job).
  *
  *   bench_serving_throughput [--queries N] [--scaling]
  *                            [--plan-vs-treewalk] [--async]
  *                            [--shards M]
+ *                            [--chaos] [--fault-rate X]
  *                            [--replay TRACE.json] [--time-scale S]
  *                            [--trace-out FILE]
  *                            [--workers W] [--json-out FILE]
@@ -94,6 +108,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -106,6 +121,7 @@
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
 #include "core/ShardedEngine.h"
+#include "sim/FaultInjector.h"
 #include "support/CliParse.h"
 #include "support/Json.h"
 #include "support/Rng.h"
@@ -574,6 +590,142 @@ runAsync(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
 }
 
 /**
+ * Chaos leg: availability and throughput under seeded transient fault
+ * injection. The async front end serves the stream over a
+ * ServingEngine carrying a bounded-backoff retry policy while a
+ * sim::FaultInjector fails a fraction of searches at entry; every
+ * query that completes must stay bit-identical to the fault-free
+ * serial reference (recovery may cost latency, never correctness).
+ * Sweeps @p rates and self-gates availability >= 99% at rates
+ * <= 0.1% -- the bound the CI perf job enforces on BENCH_chaos.json.
+ * @return process exit code.
+ */
+int
+runChaos(core::CompiledKernel &kernel, const rt::BufferPtr &stored_buf,
+         const std::vector<rt::BufferPtr> &queries, int workers,
+         const std::vector<double> &rates, bench::JsonOut &jout)
+{
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(queries.size());
+    for (const rt::BufferPtr &query : queries)
+        batches.push_back({query, stored_buf});
+    const double n = static_cast<double>(queries.size());
+
+    // Fault-free serial reference for the bit-identity contract.
+    core::ExecutionSession session =
+        kernel.createSession({queries[0], stored_buf});
+    std::vector<core::ExecutionResult> serial = session.runBatch(batches);
+
+    constexpr int kAttempts = 4;
+    std::printf("Chaos serving: %zu queries, %d workers/replicas, "
+                "retry budget %d attempts\n",
+                queries.size(), workers, kAttempts);
+    bench::rule();
+    std::printf("%-12s %12s %14s %10s %10s %10s\n", "fault rate",
+                "wall qps", "availability", "injected", "retries",
+                "failed");
+
+    jout.set("mode", std::string("chaos"));
+    jout.set("queries", n);
+    jout.set("workers", double(workers));
+    jout.set("retry_attempts", double(kAttempts));
+
+    bool gate_ok = true;
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+        const double rate = rates[r];
+        // One deterministic injector per leg: seed varies by leg index
+        // so the legs draw independent fault streams, yet a failing
+        // leg replays exactly from its printed rate + position.
+        sim::FaultSpec spec;
+        spec.seed = 0xC4A0500ull + r;
+        spec.transientRate = rate;
+        auto injector = std::make_shared<sim::FaultInjector>(spec);
+
+        core::AsyncServingOptions options;
+        options.queueCapacity = 64;
+        auto engine = kernel.createAsyncServingEngine(
+            {queries[0], stored_buf}, workers, options);
+        auto *serving =
+            dynamic_cast<core::ServingEngine *>(&engine->backend());
+        if (!serving) {
+            std::fprintf(stderr,
+                         "FAIL: async backend is not a ServingEngine\n");
+            return 1;
+        }
+        core::RetryPolicy policy;
+        policy.maxAttempts = kAttempts;
+        policy.backoffUs = 50;
+        serving->setRetryPolicy(policy);
+        if (rate > 0.0)
+            serving->attachFaultInjector(injector);
+
+        std::size_t ok = 0;
+        std::size_t failed = 0;
+        Clock::time_point start = Clock::now();
+        std::vector<std::future<core::ExecutionResult>> futures =
+            engine->submitBatch(batches);
+        for (std::size_t q = 0; q < futures.size(); ++q) {
+            try {
+                core::ExecutionResult result = futures[q].get();
+                if (result.outputs[1].asBuffer()->toVector() !=
+                        serial[q].outputs[1].asBuffer()->toVector() ||
+                    !sameQueryCost(result.perf, serial[q].perf)) {
+                    std::fprintf(stderr,
+                                 "FAIL: recovered result %zu diverges "
+                                 "from the fault-free serial replay at "
+                                 "fault rate %g\n",
+                                 q, rate);
+                    return 1;
+                }
+                ++ok;
+            } catch (const CompilerError &) {
+                ++failed; // retry budget exhausted for this query
+            }
+        }
+        double wall_s = secondsSince(start);
+        double qps = n / wall_s;
+        double availability = static_cast<double>(ok) / n;
+        core::AsyncServingStats stats = engine->stats();
+        std::int64_t injected = injector->stats().transientsFired;
+
+        std::printf("%-12g %12.1f %13.1f%% %10lld %10lld %10zu\n", rate,
+                    qps, availability * 100.0,
+                    static_cast<long long>(injected),
+                    static_cast<long long>(stats.serving.retries),
+                    failed);
+
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "rate_%g_", rate);
+        jout.set(std::string(prefix) + "qps", qps);
+        jout.set(std::string(prefix) + "availability", availability);
+        jout.set(std::string(prefix) + "injected", double(injected));
+        jout.set(std::string(prefix) + "retries",
+                 double(stats.serving.retries));
+        jout.set(std::string(prefix) + "failed", double(failed));
+
+        // The CI chaos gate: at modest fault rates the retry budget
+        // must absorb essentially everything. A serve touches ~128
+        // searches (one per stored row), so at 0.1% per search an
+        // attempt fails with p ~= 0.12 and a query exhausts all 4
+        // attempts with p ~= 2e-4 -- two orders of magnitude inside
+        // the 1% failure allowance, so the gate is not flaky.
+        if (rate <= 0.001 && availability < 0.99) {
+            std::fprintf(stderr,
+                         "FAIL: availability %.2f%% at fault rate %g "
+                         "fell below the 99%% gate\n",
+                         availability * 100.0, rate);
+            gate_ok = false;
+        }
+    }
+    bench::rule();
+    if (!gate_ok)
+        return 1;
+    std::printf("completed results bit-identical to the fault-free "
+                "serial replay (all rates): OK\n");
+    return jout.write() ? 0 : 1;
+}
+
+/**
  * Sharded-serving sweep: the stream served through core::ShardedEngine
  * at 1, 2, 4, ... up to @p max_shards shards, closed-loop at
  * @p workers submitters (replicasPerShard == workers, so offered
@@ -875,6 +1027,9 @@ main(int argc, char **argv)
     bool scaling = false;
     bool plan_vs_treewalk = false;
     bool async = false;
+    bool chaos = false;
+    double fault_rate = 0.0;
+    bool fault_rate_set = false;
     std::string replay_path;
     double time_scale = 1.0;
     bool time_scale_set = false;
@@ -884,16 +1039,16 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: bench_serving_throughput [--queries N] "
                      "[--scaling] [--plan-vs-treewalk] [--async] "
-                     "[--shards M] "
+                     "[--shards M] [--chaos] [--fault-rate X] "
                      "[--replay TRACE.json] [--time-scale S] "
                      "[--trace-out FILE] [--workers W] "
                      "[--json-out FILE]\n");
         return 2;
     };
-    auto bad_flag = [](const char *flag, const char *value) {
+    auto bad_flag = [&usage](const char *flag, const char *value) {
         std::fprintf(stderr, "%s: bad value: %s\n", flag,
                      value ? value : "(missing)");
-        return 2;
+        return usage();
     };
     for (int i = 1; i < argc; ++i) {
         if (jout.tryParseArg(argc, argv, i))
@@ -921,28 +1076,34 @@ main(int argc, char **argv)
                 return bad_flag("--shards",
                                 i < argc ? argv[i] : nullptr);
             shards_set = true;
+        } else if ((fp = support::parseDoubleFlag(argc, argv, i,
+                                                  "--fault-rate",
+                                                  fault_rate, 0.0, 1.0)) !=
+                   support::FlagParse::NoMatch) {
+            if (fp == support::FlagParse::Bad)
+                return bad_flag("--fault-rate",
+                                i < argc ? argv[i] : nullptr);
+            fault_rate_set = true;
+        } else if ((fp = support::parseDoubleFlag(
+                        argc, argv, i, "--time-scale", time_scale,
+                        std::numeric_limits<double>::min())) !=
+                   support::FlagParse::NoMatch) {
+            if (fp == support::FlagParse::Bad)
+                return bad_flag("--time-scale",
+                                i < argc ? argv[i] : nullptr);
+            time_scale_set = true;
         } else if (std::strcmp(argv[i], "--scaling") == 0) {
             scaling = true;
         } else if (std::strcmp(argv[i], "--async") == 0) {
             async = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos = true;
         } else if (std::strcmp(argv[i], "--plan-vs-treewalk") == 0) {
             plan_vs_treewalk = true;
         } else if (std::strcmp(argv[i], "--replay") == 0) {
             if (i + 1 >= argc)
                 return usage();
             replay_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--time-scale") == 0) {
-            if (i + 1 >= argc)
-                return usage();
-            char *end = nullptr;
-            time_scale = std::strtod(argv[++i], &end);
-            if (end == argv[i] || *end != '\0' || !(time_scale > 0.0) ||
-                !std::isfinite(time_scale)) {
-                std::fprintf(stderr, "--time-scale: bad value: %s\n",
-                             argv[i]);
-                return usage();
-            }
-            time_scale_set = true;
         } else if (std::strcmp(argv[i], "--trace-out") == 0) {
             if (i + 1 >= argc)
                 return usage();
@@ -952,16 +1113,26 @@ main(int argc, char **argv)
         }
     }
     if (!replay_path.empty() &&
-        (scaling || plan_vs_treewalk || async || shards_set)) {
+        (scaling || plan_vs_treewalk || async || shards_set || chaos)) {
         std::fprintf(stderr,
                      "--replay is its own mode; drop --scaling/"
-                     "--plan-vs-treewalk/--async/--shards\n");
+                     "--plan-vs-treewalk/--async/--shards/--chaos\n");
         return usage();
     }
-    if (shards_set && (scaling || plan_vs_treewalk || async)) {
+    if (shards_set && (scaling || plan_vs_treewalk || async || chaos)) {
         std::fprintf(stderr,
                      "--shards is its own mode; drop --scaling/"
+                     "--plan-vs-treewalk/--async/--chaos\n");
+        return usage();
+    }
+    if (chaos && (scaling || plan_vs_treewalk || async)) {
+        std::fprintf(stderr,
+                     "--chaos is its own mode; drop --scaling/"
                      "--plan-vs-treewalk/--async\n");
+        return usage();
+    }
+    if (fault_rate_set && !chaos) {
+        std::fprintf(stderr, "--fault-rate requires --chaos\n");
         return usage();
     }
     if (replay_path.empty() && (time_scale_set || !trace_out.empty())) {
@@ -1009,6 +1180,15 @@ main(int argc, char **argv)
         return runSharded(options, source, kernel, stored_buf, queries,
                           static_cast<int>(shards),
                           static_cast<int>(workers), jout);
+    if (chaos) {
+        // 0 is always swept first: the fault-free leg both anchors the
+        // qps column and proves the chaos harness itself is clean.
+        std::vector<double> rates =
+            fault_rate_set ? std::vector<double>{0.0, fault_rate}
+                           : std::vector<double>{0.0, 0.001, 0.01};
+        return runChaos(kernel, stored_buf, queries,
+                        static_cast<int>(workers), rates, jout);
+    }
     if (scaling)
         return runScaling(kernel, stored_buf, queries, jout);
     if (async)

@@ -136,7 +136,8 @@ AsyncServingEngine::enqueue(Pending pending)
 }
 
 std::future<ExecutionResult>
-AsyncServingEngine::submit(std::vector<rt::BufferPtr> args)
+AsyncServingEngine::submit(std::vector<rt::BufferPtr> args,
+                           std::int64_t deadline_us)
 {
     // The admit span opens at submit entry: validation is admission
     // work and belongs to it.
@@ -147,6 +148,8 @@ AsyncServingEngine::submit(std::vector<rt::BufferPtr> args)
     Pending pending;
     pending.admitStart = admit_start;
     pending.args = std::move(args);
+    pending.deadlineUs =
+        deadline_us != 0 ? deadline_us : options_.deadlineUs;
     std::future<ExecutionResult> future = pending.promise.get_future();
     enqueue(std::move(pending));
     return future;
@@ -154,7 +157,8 @@ AsyncServingEngine::submit(std::vector<rt::BufferPtr> args)
 
 bool
 AsyncServingEngine::trySubmit(std::vector<rt::BufferPtr> args,
-                              Completion callback)
+                              Completion callback,
+                              std::int64_t deadline_us)
 {
     Clock::time_point admit_start = Clock::now();
     C4CAM_CHECK(callback, "trySubmit needs a completion callback");
@@ -162,6 +166,8 @@ AsyncServingEngine::trySubmit(std::vector<rt::BufferPtr> args,
     Pending pending;
     pending.admitStart = admit_start;
     pending.args = std::move(args);
+    pending.deadlineUs =
+        deadline_us != 0 ? deadline_us : options_.deadlineUs;
     pending.callback = std::move(callback);
     pending.hasCallback = true;
     if (enqueue(std::move(pending)) == Admission::Rejected)
@@ -329,6 +335,41 @@ AsyncServingEngine::dispatchLoop()
             return; // closed and drained
         Clock::time_point popped = Clock::now();
 
+        // Deadline shedding, decided the moment the group comes off
+        // the queue: a query whose enqueue wait already blew its
+        // deadline is delivered a typed DeadlineExceeded instead of
+        // burning device time. The check sits BEFORE dispatch (never
+        // mid-serve), so a query that starts executing always runs to
+        // completion.
+        {
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                Pending &p = group[i];
+                if (p.deadlineUs > 0 &&
+                    std::chrono::duration<double, std::micro>(
+                        popped - p.enqueued)
+                            .count() >
+                        static_cast<double>(p.deadlineUs)) {
+                    deadlineSheds_.fetch_add(1);
+                    deliverError(
+                        p,
+                        std::make_exception_ptr(DeadlineExceeded(
+                            "query shed: enqueue wait exceeded its "
+                            "deadline of " +
+                            std::to_string(p.deadlineUs) + " us")),
+                        popped);
+                } else {
+                    if (kept != i)
+                        group[kept] = std::move(p);
+                    ++kept;
+                }
+            }
+            group.resize(kept);
+            n = kept;
+        }
+        if (n == 0)
+            continue; // the whole group expired in the queue
+
         if (col) {
             // One dispatch span per query (every fused member
             // experienced the whole window); the engine's execute
@@ -380,6 +421,7 @@ AsyncServingEngine::dispatchLoop()
                 // counts as single dispatches -- that is how it was
                 // ultimately served.
                 singleDispatches_.fetch_add(static_cast<std::int64_t>(n));
+                fallbackRetries_.fetch_add(static_cast<std::int64_t>(n));
                 for (std::size_t i = 0; i < n; ++i) {
                     try {
                         results[i] = backend_->serve(
@@ -489,6 +531,12 @@ AsyncServingEngine::stats() const
     stats.fusedWindows = fusedWindows_.load();
     stats.fusedQueries = fusedQueries_.load();
     stats.singleDispatches = singleDispatches_.load();
+    stats.deadlineSheds = deadlineSheds_.load();
+    stats.fallbackRetries = fallbackRetries_.load();
+    // The backend never sees a shed query; mirror the count into the
+    // serving view so one ServingStats snapshot carries the full
+    // fault-tolerance story (retries/quarantines come from below).
+    stats.serving.deadlineSheds = stats.deadlineSheds;
     stats.accepted = accepted_.load();
     stats.submitted = submitted_.load();
     stats.queueDepth = queue_.size();

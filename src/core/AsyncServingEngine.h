@@ -76,6 +76,20 @@ class AdmissionError : public CompilerError
     using CompilerError::CompilerError;
 };
 
+/**
+ * A query shed because its enqueue wait exceeded the configured
+ * deadline: the dispatcher found it already expired when it came off
+ * the queue and refused to spend device time on an answer nobody is
+ * waiting for. A subtype of AdmissionError (the query never reached a
+ * device; load-shedding callers handle both the same way), but typed
+ * so deadline sheds can be told apart from queue-full rejections.
+ */
+class DeadlineExceeded : public AdmissionError
+{
+  public:
+    using AdmissionError::AdmissionError;
+};
+
 /** Admission / micro-batching knobs of the async front-end. */
 struct AsyncServingOptions
 {
@@ -96,6 +110,16 @@ struct AsyncServingOptions
     /** Dispatcher thread count; 0 means one per backend concurrency
      *  slot (QueryBackend::concurrency()). */
     int dispatchers = 0;
+
+    /**
+     * Default per-query deadline in microseconds on the ENQUEUE WAIT:
+     * a query still queued after this long is shed with a typed
+     * DeadlineExceeded when a dispatcher pops it, before any device
+     * work (admission-time check -- a query that started executing is
+     * never abandoned mid-serve). 0 (the default) disables deadlines;
+     * submit()/trySubmit() can override per query.
+     */
+    std::int64_t deadlineUs = 0;
 
     /**
      * Span collector for per-query lifecycle tracing; nullptr (the
@@ -129,6 +153,20 @@ struct AsyncServingStats
     std::int64_t dropped = 0;   ///< displaced by DropOldest
     std::int64_t completed = 0; ///< completions delivered (ok or error)
     std::int64_t failed = 0;    ///< completions that carried an error
+    /// @}
+
+    /// @name Fault-tolerance counters
+    /// @{
+    /** Queries shed with DeadlineExceeded: their enqueue wait blew
+     *  the deadline before a dispatcher could serve them. Counted in
+     *  failed/completed too (every shed is a delivered error); also
+     *  mirrored into serving.deadlineSheds. */
+    std::int64_t deadlineSheds = 0;
+    /** Per-query re-serves after a fused window aborted: the fallback
+     *  path re-dispatched each member individually. Counts queries,
+     *  not windows; distinct from serving.retries (the backend's
+     *  transient-fault re-attempts). */
+    std::int64_t fallbackRetries = 0;
     /// @}
 
     /// @name Micro-batching counters
@@ -201,18 +239,23 @@ class AsyncServingEngine
      * happens here, synchronously, so malformed submissions fail on
      * the caller's stack, never inside a dispatcher. Under the Block
      * policy this call waits for queue space -- that wait IS the
-     * backpressure.
+     * backpressure. @p deadline_us overrides the engine-wide
+     * AsyncServingOptions::deadlineUs for this query (0 = use the
+     * engine default; negative = explicitly no deadline).
      */
-    std::future<ExecutionResult> submit(std::vector<rt::BufferPtr> args);
+    std::future<ExecutionResult> submit(std::vector<rt::BufferPtr> args,
+                                        std::int64_t deadline_us = 0);
 
     /**
      * Callback-flavored submission. @return false when the queue
      * rejected the query (Reject policy full, or shut down) -- the
      * callback is then never invoked. On true the callback fires
-     * exactly once, including the DropOldest-eviction and
-     * shutdown-drain cases (as errors).
+     * exactly once, including the DropOldest-eviction, deadline-shed
+     * and shutdown-drain cases (as errors). @p deadline_us as in
+     * submit().
      */
-    bool trySubmit(std::vector<rt::BufferPtr> args, Completion callback);
+    bool trySubmit(std::vector<rt::BufferPtr> args, Completion callback,
+                   std::int64_t deadline_us = 0);
 
     /** Future-flavored bulk submission, one future per query in
      *  input order (admission errors surface through the futures). */
@@ -277,6 +320,10 @@ class AsyncServingEngine
         Completion callback; ///< used instead of promise when set
         bool hasCallback = false;
         Clock::time_point enqueued;
+        /** Effective enqueue-wait deadline (us); <= 0 = none.
+         *  Resolved at submission (per-query override or the engine
+         *  default), so the dispatcher just compares. */
+        std::int64_t deadlineUs = 0;
 
         /// @name Tracing (zero / epoch when tracing is off)
         /// @{
@@ -325,6 +372,8 @@ class AsyncServingEngine
     std::atomic<std::int64_t> fusedWindows_{0};
     std::atomic<std::int64_t> fusedQueries_{0};
     std::atomic<std::int64_t> singleDispatches_{0};
+    std::atomic<std::int64_t> deadlineSheds_{0};
+    std::atomic<std::int64_t> fallbackRetries_{0};
     /// @}
 
     /// @name Latency samples (guarded by latencyMutex_)

@@ -75,6 +75,16 @@ struct ExecutionResult
 {
     std::vector<rt::RtValue> outputs;
     sim::PerfReport perf;
+
+    /**
+     * True when the result covers only part of the stored data: a
+     * degraded sharded serve (core::ShardedEngine with allowDegraded)
+     * merged top-k from surviving shards while quarantined shards
+     * were skipped. perf.coverage then holds the covered row
+     * fraction. Never silently partial: every other path leaves this
+     * false.
+     */
+    bool partial = false;
 };
 
 class ExecutionSession;

@@ -68,6 +68,23 @@ struct ServingStats
     double p95LatencyUs = 0.0;
     /// @}
 
+    /// @name Fault-recovery activity (0 on fault-free runs)
+    /// @{
+    /** Transient-fault re-serve attempts (RetryPolicy). Includes the
+     *  async fused-chunk fallback's individual re-serves. */
+    std::int64_t retries = 0;
+    /** Queries shed at dispatch because their deadline had already
+     *  passed while queued (AsyncServingEngine deadlines). */
+    std::int64_t deadlineSheds = 0;
+    /** Shard quarantine transitions (ShardedEngine circuit breaker);
+     *  counts every healthy->quarantined edge including re-trips
+     *  after a failed probe. */
+    std::int64_t quarantines = 0;
+    /** Queries answered from surviving shards only (allowDegraded),
+     *  marked partial with a < 1 coverage fraction. */
+    std::int64_t degradedServes = 0;
+    /// @}
+
     /** Simulated totals: setup once + query windows summed, with
      *  queriesServed set (same accounting as a serial session). */
     sim::PerfReport aggregate;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <thread>
 
+#include "sim/FaultInjector.h"
+#include "support/Backoff.h"
 #include "support/Error.h"
 #include "support/Stats.h"
 
@@ -117,6 +120,17 @@ ServingEngine::releaseReplica(Replica *replica)
 }
 
 void
+ServingEngine::attachFaultInjector(
+    std::shared_ptr<sim::FaultInjector> injector)
+{
+    if (!persistent_)
+        return; // host-only: no devices to fault
+    for (auto &replica : replicas_)
+        if (replica->device)
+            replica->device->attachFaultInjector(injector);
+}
+
+void
 ServingEngine::enableTracing(support::TraceCollector *collector,
                              std::uint64_t trace_id)
 {
@@ -142,28 +156,50 @@ ServingEngine::serveOn(Replica &replica,
     double e0 = col ? col->nowUs() : 0.0;
 
     ExecutionResult result;
-    if (!persistent_) {
-        result = runKernelOnce(*module_, entry_, options_, args,
-                               plan_.get());
-    } else {
-        // Fresh accounting window: this query's report covers exactly
-        // this call on top of the shared setup, bit-identical to a
-        // serial session (and to a single-shot run).
-        replica.device->beginQueryWindow();
-        if (plan_) {
-            if (col)
-                replica.frame.trace = support::SpanContext{
-                    col, ctx->traceId, ctx->queryId, execSpan};
-            result.outputs = plan_->run(
-                replica.frame, replica.device.get(), rt::toRtValues(args),
-                rt::ExecutionPlan::ExecPhase::QueryOnly);
-            if (col)
-                replica.frame.trace = support::SpanContext{};
+    try {
+        if (!persistent_) {
+            result = runKernelOnce(*module_, entry_, options_, args,
+                                   plan_.get());
         } else {
-            result.outputs = interpreter_->callFunction(
-                replica.state, entry_, rt::toRtValues(args),
-                rt::Interpreter::ExecPhase::QueryOnly);
+            // Fresh accounting window: this query's report covers
+            // exactly this call on top of the shared setup,
+            // bit-identical to a serial session (and to a single-shot
+            // run).
+            replica.device->beginQueryWindow();
+            if (plan_) {
+                if (col)
+                    replica.frame.trace = support::SpanContext{
+                        col, ctx->traceId, ctx->queryId, execSpan};
+                result.outputs = plan_->run(
+                    replica.frame, replica.device.get(),
+                    rt::toRtValues(args),
+                    rt::ExecutionPlan::ExecPhase::QueryOnly);
+                if (col)
+                    replica.frame.trace = support::SpanContext{};
+            } else {
+                result.outputs = interpreter_->callFunction(
+                    replica.state, entry_, rt::toRtValues(args),
+                    rt::Interpreter::ExecPhase::QueryOnly);
+            }
         }
+    } catch (...) {
+        if (col) {
+            // A fault mid-replay may already have recorded children
+            // under this execute span (the plan's RAII "plan-replay"
+            // span fires during unwinding); record the execute span
+            // itself so the trace stays parent-resolvable.
+            replica.frame.trace = support::SpanContext{};
+            support::TraceEvent exec;
+            exec.name = "execute";
+            exec.traceId = ctx->traceId;
+            exec.queryId = ctx->queryId;
+            exec.spanId = execSpan;
+            exec.parentSpanId = ctx->parentSpanId;
+            exec.startUs = e0;
+            exec.durUs = col->nowUs() - e0;
+            col->record(exec);
+        }
+        throw;
     }
     double e1 = col ? col->nowUs() : 0.0;
     if (persistent_) {
@@ -214,20 +250,12 @@ ServingEngine::serve(const std::vector<rt::BufferPtr> &args,
         own_root = true;
     }
     Clock::time_point start = Clock::now();
-    Replica *replica = acquireReplica();
-    ExecutionResult result;
-    try {
-        result = serveOn(*replica, args, ctx);
-    } catch (...) {
-        releaseReplica(replica);
-        throw;
-    }
-    releaseReplica(replica);
-    Clock::time_point done = Clock::now();
-    recordServed(result.perf,
-                 std::chrono::duration<double>(done - start).count(),
-                 start, done);
-    if (own_root) {
+    // Record the root span on every exit (the failed attempts may have
+    // recorded execute spans under it; an unresolvable parent would
+    // fail c4cam-trace-check on an otherwise complete trace).
+    auto record_root = [&](Clock::time_point done) {
+        if (!own_root)
+            return;
         support::TraceEvent root;
         root.name = "query";
         root.traceId = local.traceId;
@@ -236,7 +264,63 @@ ServingEngine::serve(const std::vector<rt::BufferPtr> &args,
         root.startUs = trace_->toUs(start);
         root.durUs = trace_->toUs(done) - root.startUs;
         trace_->record(root);
+    };
+
+    ExecutionResult result;
+    const int max_attempts = std::max(1, retryPolicy_.maxAttempts);
+    for (int attempt = 1;; ++attempt) {
+        Replica *replica = acquireReplica();
+        try {
+            result = serveOn(*replica, args, ctx);
+            releaseReplica(replica);
+            break;
+        } catch (const sim::TransientFault &) {
+            // The fault fired before any window state mutated, but the
+            // unwind left timing scopes open; roll the replica back to
+            // a servable between-queries state either way.
+            if (persistent_ && replica->device)
+                replica->device->abortQueryWindow();
+            releaseReplica(replica);
+            if (attempt >= max_attempts) {
+                record_root(Clock::now());
+                throw;
+            }
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            if (ctx && ctx->collector) {
+                support::TraceCollector *col = ctx->collector;
+                double now = col->nowUs();
+                support::TraceEvent retry;
+                retry.name = "retry";
+                retry.traceId = ctx->traceId;
+                retry.queryId = ctx->queryId;
+                retry.spanId = col->newSpanId();
+                retry.parentSpanId = ctx->parentSpanId;
+                retry.startUs = now;
+                retry.durUs = 0.0;
+                col->record(retry);
+            }
+            std::int64_t delay_us = support::backoffDelayUs(
+                retryPolicy_.backoffUs, attempt, retryPolicy_.maxBackoffUs,
+                retryPolicy_.jitterSeed);
+            if (delay_us > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(delay_us));
+        } catch (...) {
+            // Permanent (ExecutionError / PermanentFault) or
+            // programmatic failure: never retried, but the replica
+            // still needs its window rolled back to stay servable.
+            if (persistent_ && replica->device)
+                replica->device->abortQueryWindow();
+            releaseReplica(replica);
+            record_root(Clock::now());
+            throw;
+        }
     }
+    Clock::time_point done = Clock::now();
+    recordServed(result.perf,
+                 std::chrono::duration<double>(done - start).count(),
+                 start, done);
+    record_root(done);
     return result;
 }
 
@@ -340,6 +424,7 @@ ServingEngine::serveFusedChunk(
     };
     std::vector<Served> served;
     served.reserve(end - begin);
+    Clock::time_point chunk_start = Clock::now();
     Replica *replica = acquireReplica();
     try {
         if (persistent_)
@@ -358,14 +443,39 @@ ServingEngine::serveFusedChunk(
             batch.fused = replica->device->endFusedWindow();
     } catch (...) {
         // A failed query leaves the partial fused accounting
-        // meaningless; discard it so the replica stays servable.
-        // Nothing was recorded in the serving stats either, so a
-        // caller that retries the queries individually (the async
-        // front-end's fallback) does not double-count the ones that
-        // succeeded before the failure.
-        if (persistent_ && replica->device->fusedWindowActive())
-            replica->device->abortFusedWindow();
+        // meaningless; discard it -- along with any open timing
+        // scopes the unwind left behind -- so the replica stays
+        // servable. Nothing was recorded in the serving stats either,
+        // so a caller that retries the queries individually (the
+        // async front-end's fallback) does not double-count the ones
+        // that succeeded before the failure.
+        if (persistent_ && replica->device)
+            replica->device->abortQueryWindow();
         releaseReplica(replica);
+        if (own_roots) {
+            // Queries [0, served.size()] already recorded execute
+            // spans under their root ids (the failed query's execute
+            // span is recorded by serveOn's unwind path); record
+            // those roots so the trace stays parent-resolvable.
+            double now_us = trace_->nowUs();
+            for (std::size_t j = 0;
+                 j <= served.size() && j < local_ctxs.size(); ++j) {
+                const support::SpanContext &qctx = local_ctxs[j];
+                support::TraceEvent root;
+                root.name = "query";
+                root.traceId = qctx.traceId;
+                root.queryId = qctx.queryId;
+                root.spanId = qctx.parentSpanId;
+                root.startUs = trace_->toUs(
+                    j < served.size() ? served[j].start : chunk_start);
+                root.durUs =
+                    j < served.size()
+                        ? trace_->toUs(served[j].done) - root.startUs
+                        : now_us - root.startUs;
+                root.fusedK = static_cast<std::int64_t>(end - begin);
+                trace_->record(root);
+            }
+        }
         throw;
     }
     releaseReplica(replica);
@@ -461,6 +571,7 @@ ServingEngine::stats() const
     std::lock_guard<std::mutex> lock(statsMutex_);
     ServingStats stats;
     stats.queriesServed = queriesServed_;
+    stats.retries = retries_.load(std::memory_order_relaxed);
     stats.aggregate = aggregate_;
     stats.aggregate.queriesServed = queriesServed_;
     if (anyServed_) {

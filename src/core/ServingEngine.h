@@ -37,6 +37,7 @@
  * query).
  */
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -48,6 +49,7 @@
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/QueryBackend.h"
+#include "core/RetryPolicy.h"
 #include "runtime/Buffer.h"
 #include "runtime/ExecutionPlan.h"
 #include "runtime/Interpreter.h"
@@ -176,6 +178,37 @@ class ServingEngine : public QueryBackend
     /** The active trace collector (nullptr when tracing is off). */
     support::TraceCollector *traceCollector() const { return trace_; }
 
+    /// @name Fault tolerance
+    /// @{
+    /**
+     * Bounded-retry policy for transient device faults: serve() will
+     * re-attempt a query up to policy.maxAttempts times total when a
+     * sim::TransientFault unwinds out of execution, with deterministic
+     * exponential backoff between attempts. The failed replica's query
+     * window is rolled back before the retry, so a recovered query's
+     * output and PerfReport are bit-identical to a fault-free run.
+     * Permanent c4cam::ExecutionErrors are never retried. Install
+     * before serving starts.
+     */
+    void setRetryPolicy(RetryPolicy policy) { retryPolicy_ = policy; }
+
+    const RetryPolicy &retryPolicy() const { return retryPolicy_; }
+
+    /** Transient-fault re-serve attempts so far (also in
+     *  stats().retries; cheap accessor for aggregating layers). */
+    std::int64_t retriesAttempted() const
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Attach @p injector to every replica device (slot order, so
+     * injector device ids are deterministic). No-op for host-only
+     * engines, which have no devices to fault.
+     */
+    void attachFaultInjector(std::shared_ptr<sim::FaultInjector> injector);
+    /// @}
+
     /** Aggregate metrics over everything served so far. */
     ServingStats stats() const override;
 
@@ -246,6 +279,13 @@ class ServingEngine : public QueryBackend
     mutable std::mutex replicaMutex_;
     std::condition_variable replicaFree_;
     std::vector<Replica *> freeReplicas_;
+    /// @}
+
+    /// @name Fault tolerance
+    /// @{
+    RetryPolicy retryPolicy_;
+    /** Transient-fault re-serve attempts (stats().retries). */
+    std::atomic<std::int64_t> retries_{0};
     /// @}
 
     /// @name Serving statistics (guarded by statsMutex_)

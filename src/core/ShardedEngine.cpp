@@ -73,7 +73,10 @@ ShardedEngine::ShardedEngine(const CompilerOptions &options,
                              const std::vector<rt::BufferPtr> &setup_args,
                              const ShardedEngineOptions &sharding)
     : replicasPerShard_(sharding.replicasPerShard),
-      storedArgIndex_(sharding.storedArgIndex)
+      storedArgIndex_(sharding.storedArgIndex),
+      allowDegraded_(sharding.allowDegraded),
+      quarantineThreshold_(std::max(1, sharding.quarantineThreshold)),
+      cooldownMs_(std::max<std::int64_t>(0, sharding.cooldownMs))
 {
     C4CAM_CHECK(sharding.shards >= 1,
                 "ShardedEngine needs at least 1 shard, got "
@@ -150,6 +153,16 @@ ShardedEngine::ShardedEngine(const CompilerOptions &options,
         shard_setup[storedArgIndex_] = shard.storedSlice;
         shard.engine = shard.kernel->createServingEngine(
             shard_setup, replicasPerShard_);
+        // Shard-level retries: a transient fault is re-attempted
+        // inside the shard (under the query's scatter span) before it
+        // ever counts against the shard's health.
+        shard.engine->setRetryPolicy(sharding.retryPolicy);
+        // Attaching per shard in slice order makes injector device
+        // ids deterministic: shard 0's replicas first, then shard
+        // 1's, ... -- a scripted "kill device D" always hits the same
+        // physical slice.
+        if (sharding.faultInjector)
+            shard.engine->attachFaultInjector(sharding.faultInjector);
         setups.push_back(shard.engine->setupReport());
         shards_.push_back(std::move(shard));
     }
@@ -196,8 +209,12 @@ ShardedEngine::shardArgs(const std::vector<rt::BufferPtr> &args,
 
 ExecutionResult
 ShardedEngine::mergeShardResults(
-    const std::vector<ExecutionResult> &shard_results) const
+    const std::vector<ExecutionResult> &shard_results,
+    const std::vector<std::size_t> &shard_ids) const
 {
+    C4CAM_ASSERT(shard_results.size() == shard_ids.size(),
+                 "mergeShardResults: " << shard_results.size()
+                 << " results for " << shard_ids.size() << " shard ids");
     std::vector<sim::PerfReport> perfs;
     perfs.reserve(shard_results.size());
 
@@ -229,11 +246,11 @@ ShardedEngine::mergeShardResults(
                     << values->shape()[0] << " queries, expected "
                     << num_queries);
         shard_values.push_back(values);
-        // Local row j of shard s is global row j + slice.begin;
-        // contiguous slices make the remap monotone, which the merge
-        // tie-break relies on.
+        // Local row j of shard shard_ids[s] is global row
+        // j + slice.begin; contiguous slices make the remap monotone,
+        // which the merge tie-break relies on.
         shard_indices.push_back(rt::host::offsetIndices(
-            indices, shards_[s].slice.begin));
+            indices, shards_[shard_ids[s]].slice.begin));
         perfs.push_back(r.perf);
     }
 
@@ -268,6 +285,17 @@ ShardedEngine::mergeShardResults(
     out.outputs.emplace_back(out_values);
     out.outputs.emplace_back(out_indices);
     out.perf = sim::aggregateShardReports(perfs);
+    // A merge over fewer shards than the plan is a degraded serve:
+    // mark it, never silently partial.
+    if (shard_ids.size() < shards_.size()) {
+        std::int64_t covered = 0;
+        for (std::size_t s : shard_ids)
+            covered += shards_[s].slice.rows;
+        out.partial = true;
+        out.perf.coverage = plan_.totalRows > 0
+                                ? double(covered) / double(plan_.totalRows)
+                                : 0.0;
+    }
     return out;
 }
 
@@ -289,6 +317,110 @@ ShardedEngine::recordServed(const sim::PerfReport &perf,
     if (!anyServed_ || done > lastDone_)
         lastDone_ = done;
     anyServed_ = true;
+}
+
+ShardedEngine::ShardHealth
+ShardedEngine::shardHealth(std::size_t s) const
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    C4CAM_ASSERT(s < shards_.size(), "shardHealth: shard " << s
+                 << " out of range");
+    ShardHealth health;
+    health.consecutiveFailures = shards_[s].consecutiveFailures;
+    health.quarantined = shards_[s].quarantined;
+    return health;
+}
+
+std::vector<std::size_t>
+ShardedEngine::selectActiveShards()
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    Clock::time_point now = Clock::now();
+    std::vector<std::size_t> active;
+    std::vector<std::size_t> probes_claimed;
+    active.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard &shard = shards_[s];
+        if (!shard.quarantined) {
+            active.push_back(s);
+            continue;
+        }
+        bool cooled =
+            now - shard.quarantinedAt >=
+            std::chrono::milliseconds(cooldownMs_);
+        if (cooled && !shard.probing) {
+            // One probe at a time: this query re-tests the shard; a
+            // herd of probes against still-dead hardware would defeat
+            // the circuit breaker.
+            shard.probing = true;
+            probes_claimed.push_back(s);
+            active.push_back(s);
+            continue;
+        }
+        // Still cooling down (or another probe is in flight).
+        if (!allowDegraded_) {
+            // Release only the probes THIS call claimed before
+            // failing fast (other queries' in-flight probes must
+            // stay claimed).
+            for (std::size_t p : probes_claimed)
+                shards_[p].probing = false;
+            throw ExecutionError(
+                "shard " + std::to_string(s) +
+                " is quarantined (circuit breaker open); enable "
+                "degraded serving to answer from surviving shards");
+        }
+    }
+    return active;
+}
+
+void
+ShardedEngine::recordShardSuccess(std::size_t s)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    Shard &shard = shards_[s];
+    shard.consecutiveFailures = 0;
+    shard.probing = false;
+    shard.quarantined = false; // probe succeeded -> re-admitted
+}
+
+void
+ShardedEngine::recordShardFailure(std::size_t s,
+                                  support::TraceCollector *col,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t query_id)
+{
+    bool tripped = false;
+    {
+        std::lock_guard<std::mutex> lock(healthMutex_);
+        Shard &shard = shards_[s];
+        ++shard.consecutiveFailures;
+        shard.probing = false;
+        if (!shard.quarantined &&
+            shard.consecutiveFailures >= quarantineThreshold_) {
+            shard.quarantined = true;
+            shard.quarantinedAt = Clock::now();
+            ++quarantines_;
+            tripped = true;
+        } else if (shard.quarantined) {
+            // A failed probe re-arms the cooldown without recounting
+            // the quarantine (the breaker never closed).
+            shard.quarantinedAt = Clock::now();
+        }
+    }
+    if (tripped && col) {
+        // Self-rooted marker: quarantine is an engine-level state
+        // transition, not a phase of this query's critical path --
+        // queryId names the query whose failure tripped the breaker.
+        support::TraceEvent ev;
+        ev.name = "shard-quarantine";
+        ev.traceId = trace_id;
+        ev.queryId = query_id;
+        ev.spanId = col->newSpanId();
+        ev.parentSpanId = 0;
+        ev.startUs = col->nowUs();
+        ev.durUs = 0.0;
+        col->record(ev);
+    }
 }
 
 ExecutionResult
@@ -317,35 +449,23 @@ ShardedEngine::serve(const std::vector<rt::BufferPtr> &args,
     std::uint64_t query_id = col ? ctx->queryId : 0;
     std::uint64_t scatter_span = col ? col->newSpanId() : 0;
 
-    Clock::time_point t0 = Clock::now();
-    std::vector<std::future<ExecutionResult>> futures;
-    futures.reserve(shards_.size());
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-        futures.push_back(pool_->submit(
-            [this, s, &args, col, trace_id, query_id, scatter_span] {
-                // Shard execute/merge spans parent under the scatter
-                // span, tying each shard's interval to the fan-out.
-                support::SpanContext sctx{col, trace_id, query_id,
-                                          scatter_span};
-                return shards_[s].engine->serve(shardArgs(args, s),
-                                                col ? &sctx : nullptr);
-            }));
-    }
-    // Wait for EVERY shard before harvesting: a failing shard must
-    // not leave siblings running against stack-borrowed args.
-    for (auto &future : futures)
-        future.wait();
-    std::vector<ExecutionResult> shard_results;
-    shard_results.reserve(futures.size());
-    for (auto &future : futures)
-        shard_results.push_back(future.get());
-    Clock::time_point t1 = Clock::now();
+    // Circuit breaker: healthy shards plus due probes; throws
+    // ExecutionError (fail fast) when a quarantined shard is still
+    // cooling down and degraded serving is off.
+    std::vector<std::size_t> active = selectActiveShards();
+    if (active.empty())
+        throw ExecutionError(
+            "every shard is quarantined and still cooling down; "
+            "no shard can answer this query");
 
-    ExecutionResult merged = mergeShardResults(shard_results);
-    Clock::time_point t2 = Clock::now();
-    recordServed(merged.perf, t0, t2);
-
-    if (col) {
+    // The scatter + shard-merge pair (and the root, when owned) is
+    // recorded on every exit: shard-level spans already landed under
+    // the scatter span even when a shard failed, and an unresolvable
+    // parent would fail c4cam-trace-check on a complete trace.
+    auto record_spans = [&](Clock::time_point t0, Clock::time_point t1,
+                            Clock::time_point t2) {
+        if (!col)
+            return;
         // Shared time points telescope exactly: scatter [t0, t1] and
         // shard-merge [t1, t2] tile the root's [t0, t2] bitwise.
         double u0 = col->toUs(t0);
@@ -381,7 +501,76 @@ ShardedEngine::serve(const std::vector<rt::BufferPtr> &args,
             root.durUs = u2 - u0;
             col->record(root);
         }
+    };
+
+    Clock::time_point t0 = Clock::now();
+    std::vector<std::future<ExecutionResult>> futures;
+    futures.reserve(active.size());
+    for (std::size_t s : active) {
+        futures.push_back(pool_->submit(
+            [this, s, &args, col, trace_id, query_id, scatter_span] {
+                // Shard execute/merge spans parent under the scatter
+                // span, tying each shard's interval to the fan-out.
+                support::SpanContext sctx{col, trace_id, query_id,
+                                          scatter_span};
+                return shards_[s].engine->serve(shardArgs(args, s),
+                                                col ? &sctx : nullptr);
+            }));
     }
+    // Wait for EVERY shard before harvesting: a failing shard must
+    // not leave siblings running against stack-borrowed args.
+    for (auto &future : futures)
+        future.wait();
+    // Harvest with per-shard failure isolation: a shard that failed
+    // (transient retries exhausted, or a permanent fault) counts
+    // against its health; the survivors can still answer when
+    // degraded serving is on.
+    std::vector<ExecutionResult> shard_results;
+    std::vector<std::size_t> surviving;
+    shard_results.reserve(futures.size());
+    surviving.reserve(futures.size());
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            shard_results.push_back(futures[i].get());
+            surviving.push_back(active[i]);
+            recordShardSuccess(active[i]);
+        } catch (...) {
+            recordShardFailure(active[i], col, trace_id, query_id);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    Clock::time_point t1 = Clock::now();
+
+    if (surviving.empty() || (first_error && !allowDegraded_)) {
+        record_spans(t0, t1, t1);
+        std::rethrow_exception(first_error);
+    }
+
+    ExecutionResult merged = mergeShardResults(shard_results, surviving);
+    Clock::time_point t2 = Clock::now();
+    recordServed(merged.perf, t0, t2);
+    if (merged.partial) {
+        {
+            std::lock_guard<std::mutex> lock(healthMutex_);
+            ++degradedServes_;
+        }
+        if (col) {
+            // Zero-duration marker: this query was answered from
+            // surviving shards only (coverage < 1).
+            support::TraceEvent degraded;
+            degraded.name = "degraded";
+            degraded.traceId = trace_id;
+            degraded.queryId = query_id;
+            degraded.spanId = col->newSpanId();
+            degraded.parentSpanId = ctx->parentSpanId;
+            degraded.startUs = col->toUs(t1);
+            degraded.durUs = 0.0;
+            col->record(degraded);
+        }
+    }
+    record_spans(t0, t1, t2);
     return merged;
 }
 
@@ -419,10 +608,18 @@ ShardedEngine::serveFusedChunk(
         for (std::size_t i = 0; i < n; ++i)
             scatter_spans[i] = col->newSpanId();
 
+    // Same circuit-breaker selection as serve(): skip quarantined
+    // shards (degraded) or fail fast, probe after cooldown.
+    std::vector<std::size_t> active = selectActiveShards();
+    if (active.empty())
+        throw ExecutionError(
+            "every shard is quarantined and still cooling down; "
+            "no shard can answer this fused chunk");
+
     Clock::time_point t0 = Clock::now();
     std::vector<std::future<FusedBatchResult>> futures;
-    futures.reserve(shards_.size());
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
+    futures.reserve(active.size());
+    for (std::size_t s : active) {
         futures.push_back(pool_->submit([this, s, &queries, begin, n,
                                          ctxs, col, &scatter_spans] {
             // Each shard folds the chunk into ONE fused device window
@@ -447,11 +644,62 @@ ShardedEngine::serveFusedChunk(
     }
     for (auto &future : futures)
         future.wait();
+    // Harvest with health accounting. Unlike serve(), ANY shard
+    // failure fails the whole chunk (the QueryBackend contract:
+    // nothing half-recorded; the async front-end falls back to
+    // per-query serves, which handle retries and degraded merges).
     std::vector<FusedBatchResult> shard_batches;
     shard_batches.reserve(futures.size());
-    for (auto &future : futures)
-        shard_batches.push_back(future.get());
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            shard_batches.push_back(futures[i].get());
+            recordShardSuccess(active[i]);
+        } catch (...) {
+            recordShardFailure(active[i], col,
+                               col ? (*ctxs)[0].traceId : 0,
+                               col ? (*ctxs)[0].queryId : 0);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
     Clock::time_point t1 = Clock::now();
+    if (first_error) {
+        if (col) {
+            // Sibling shards already recorded per-query spans under
+            // the scatter ids; record those ids under a non-"scatter"
+            // name so the trace stays parent-resolvable without
+            // claiming a scatter/merge pair this aborted chunk never
+            // completed (a later per-query retry records the real
+            // pair under the same parent).
+            double u0 = col->toUs(t0);
+            double u1 = col->toUs(t1);
+            for (std::size_t i = 0; i < n; ++i) {
+                support::TraceEvent abort_span;
+                abort_span.name = "scatter-abort";
+                abort_span.traceId = (*ctxs)[i].traceId;
+                abort_span.queryId = (*ctxs)[i].queryId;
+                abort_span.spanId = scatter_spans[i];
+                abort_span.parentSpanId = (*ctxs)[i].parentSpanId;
+                abort_span.startUs = u0;
+                abort_span.durUs = u1 - u0;
+                abort_span.fusedK = static_cast<std::int64_t>(n);
+                col->record(abort_span);
+                if (own_roots) {
+                    support::TraceEvent root;
+                    root.name = "query";
+                    root.traceId = (*ctxs)[i].traceId;
+                    root.queryId = (*ctxs)[i].queryId;
+                    root.spanId = (*ctxs)[i].parentSpanId;
+                    root.startUs = u0;
+                    root.durUs = u1 - u0;
+                    root.fusedK = static_cast<std::int64_t>(n);
+                    col->record(root);
+                }
+            }
+        }
+        std::rethrow_exception(first_error);
+    }
 
     FusedBatchResult batch;
     batch.results.reserve(n);
@@ -461,9 +709,15 @@ ShardedEngine::serveFusedChunk(
         per_shard.reserve(shard_batches.size());
         for (const FusedBatchResult &sb : shard_batches)
             per_shard.push_back(sb.results[i]);
-        ExecutionResult merged = mergeShardResults(per_shard);
+        ExecutionResult merged = mergeShardResults(per_shard, active);
         batch.fused.addQueryReport(merged.perf);
         batch.results.push_back(std::move(merged));
+    }
+    if (active.size() < shards_.size()) {
+        // The whole chunk was answered without the quarantined
+        // shards: every query of it is a degraded serve.
+        std::lock_guard<std::mutex> lock(healthMutex_);
+        degradedServes_ += static_cast<std::int64_t>(n);
     }
     batch.fusedReport = batch.fused.toReport(
         persistent_ ? setupReport_
@@ -542,6 +796,13 @@ ShardedEngine::stats() const
     stats.p50LatencyUs = support::percentile(sorted, 50.0);
     stats.p95LatencyUs = support::percentile(sorted, 95.0);
     stats.planCache = PlanCache::instance().stats();
+    {
+        std::lock_guard<std::mutex> health(healthMutex_);
+        stats.quarantines = quarantines_;
+        stats.degradedServes = degradedServes_;
+    }
+    for (const Shard &shard : shards_)
+        stats.retries += shard.engine->retriesAttempted();
     return stats;
 }
 

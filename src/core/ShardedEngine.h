@@ -55,6 +55,7 @@
 
 #include "core/Compiler.h"
 #include "core/QueryBackend.h"
+#include "core/RetryPolicy.h"
 #include "core/ServingEngine.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -100,6 +101,37 @@ struct ShardedEngineOptions
     /** Pin the scatter workers to distinct CPUs (best effort; see
      *  support::ThreadPoolOptions::pinThreads). */
     bool pinShardWorkers = false;
+
+    /// @name Fault tolerance
+    /// @{
+    /**
+     * Serve queries from surviving shards when some shards are
+     * quarantined, instead of failing: the merged top-k covers only
+     * the healthy slices and the result is explicitly marked partial
+     * (ExecutionResult::partial, PerfReport::coverage < 1, a
+     * "degraded" trace span). Off = a quarantined shard fails the
+     * query fast (the circuit-breaker benefit: no repeated timeouts
+     * against dead hardware).
+     */
+    bool allowDegraded = false;
+
+    /** Consecutive failures that quarantine a shard. */
+    int quarantineThreshold = 3;
+
+    /** Cooldown before a quarantined shard is probed for
+     *  re-admission (one probe query at a time). */
+    std::int64_t cooldownMs = 100;
+
+    /** Transient-fault retry policy installed on every shard-level
+     *  ServingEngine (retries happen inside the shard, under the
+     *  query's scatter span). */
+    RetryPolicy retryPolicy;
+
+    /** Fault injector attached to every shard device (slice order,
+     *  then replica order within a shard -- deterministic injector
+     *  device ids). Null = no fault injection. */
+    std::shared_ptr<sim::FaultInjector> faultInjector;
+    /// @}
 };
 
 /**
@@ -177,6 +209,14 @@ class ShardedEngine : public QueryBackend
      *  whatever the torch-level annotation said. */
     bool mergeLargest() const { return mergeLargest_; }
 
+    /** Live health snapshot (stats() / tests). */
+    struct ShardHealth
+    {
+        int consecutiveFailures = 0;
+        bool quarantined = false;
+    };
+    ShardHealth shardHealth(std::size_t s) const;
+
   private:
     struct Shard
     {
@@ -189,7 +229,38 @@ class ShardedEngine : public QueryBackend
          *  kernel's module, so it must be destroyed first. */
         std::unique_ptr<CompiledKernel> kernel;
         std::unique_ptr<ServingEngine> engine;
+
+        /// @name Circuit-breaker health (guarded by healthMutex_)
+        /// @{
+        int consecutiveFailures = 0;
+        bool quarantined = false;
+        std::chrono::steady_clock::time_point quarantinedAt{};
+        /** A probe query is in flight; prevents a herd of concurrent
+         *  probes against a possibly-still-dead shard. */
+        bool probing = false;
+        /// @}
     };
+
+    /**
+     * Pick the shards this query scatters to: healthy shards plus at
+     * most one probe per quarantined shard whose cooldown expired.
+     * Throws ExecutionError (fail fast) when a shard is quarantined,
+     * still cooling down, and degraded serving is off.
+     */
+    std::vector<std::size_t> selectActiveShards();
+
+    /** Health bookkeeping after a shard answered. */
+    void recordShardSuccess(std::size_t s);
+
+    /**
+     * Health bookkeeping after a shard failed: counts toward
+     * quarantine, and on a healthy->quarantined transition bumps the
+     * counter and records a self-rooted "shard-quarantine" marker
+     * span (when @p col is tracing).
+     */
+    void recordShardFailure(std::size_t s, support::TraceCollector *col,
+                            std::uint64_t trace_id,
+                            std::uint64_t query_id);
 
     /** @p args with the stored parameter swapped for shard @p s's
      *  programmed slice view. */
@@ -197,11 +268,15 @@ class ShardedEngine : public QueryBackend
     shardArgs(const std::vector<rt::BufferPtr> &args, std::size_t s) const;
 
     /** Merge one query's per-shard (values, indices) outputs into
-     *  global-axis outputs; @p shard_perfs aggregate into the merged
-     *  report. */
+     *  global-axis outputs; the per-shard perfs aggregate into the
+     *  merged report. @p shard_ids names the shard each result came
+     *  from (index remapping needs the slice origin) -- a degraded
+     *  merge passes only the survivors. When the ids cover fewer rows
+     *  than the plan, the result is marked partial with the covered
+     *  row fraction in perf.coverage. */
     ExecutionResult
-    mergeShardResults(const std::vector<ExecutionResult> &shard_results)
-        const;
+    mergeShardResults(const std::vector<ExecutionResult> &shard_results,
+                      const std::vector<std::size_t> &shard_ids) const;
 
     void recordServed(const sim::PerfReport &perf,
                       std::chrono::steady_clock::time_point start,
@@ -209,6 +284,9 @@ class ShardedEngine : public QueryBackend
 
     int replicasPerShard_ = 1;
     std::size_t storedArgIndex_ = 1;
+    bool allowDegraded_ = false;
+    int quarantineThreshold_ = 3;
+    std::int64_t cooldownMs_ = 100;
     ShardPlan plan_;
     std::int64_t topK_ = 0;
     bool mergeLargest_ = false;
@@ -223,6 +301,13 @@ class ShardedEngine : public QueryBackend
 
     std::vector<Shard> shards_;
     sim::PerfReport setupReport_;
+
+    /// @name Fault-recovery accounting
+    /// @{
+    mutable std::mutex healthMutex_;
+    std::int64_t quarantines_ = 0;     ///< guarded by healthMutex_
+    std::int64_t degradedServes_ = 0;  ///< guarded by healthMutex_
+    /// @}
 
     /// @name Tracing (off unless enableTracing() installed a collector)
     /// @{

@@ -1,5 +1,6 @@
 #include "sim/CamDevice.h"
 
+#include "sim/FaultInjector.h"
 #include "support/Error.h"
 
 namespace c4cam::sim {
@@ -23,6 +24,13 @@ CamDevice::CamDevice(const CamDevice &other)
     // window_ stays default-constructed: the replica starts with a
     // fresh query window on top of the copied setup accounting.
     timing_.beginQueryWindow();
+    // Replicas share the original's injector but fault independently:
+    // each registers its own creation-ordered device id, so a scripted
+    // "kill device 2" hits exactly one replica of the fleet.
+    if (other.faults_) {
+        faults_ = other.faults_;
+        faultDevice_ = faults_->registerDevice();
+    }
 }
 
 std::unique_ptr<CamDevice>
@@ -194,6 +202,8 @@ CamDevice::writeValue(Handle subarray_handle,
                       const std::vector<std::vector<float>> &data,
                       int row_offset)
 {
+    if (faults_)
+        faults_->checkAlive(faultDevice_);
     CamSubarray &sub = subarray(subarray_handle);
     bool first_write = sub.writtenRows() == 0;
     sub.write(data, row_offset);
@@ -218,6 +228,8 @@ CamDevice::writeRanges(Handle subarray_handle,
                        const std::vector<std::vector<CamCell>> &cells,
                        int row_offset)
 {
+    if (faults_)
+        faults_->checkAlive(faultDevice_);
     CamSubarray &sub = subarray(subarray_handle);
     bool first_write = sub.writtenRows() == 0;
     sub.writeRanges(cells, row_offset);
@@ -242,6 +254,14 @@ CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
                   arch::SearchKind kind, bool euclidean, int row_begin,
                   int row_end, double threshold, bool selective)
 {
+    // The fault hook fires before ANY window state mutates (result
+    // latch, search counter, posted cost), so a query aborted by a
+    // TransientFault leaves the device exactly as it was -- the
+    // property that makes a retried query bit-identical to a
+    // fault-free run.
+    double fault_latency_factor = 1.0;
+    if (faults_)
+        fault_latency_factor = faults_->onSearch(faultDevice_);
     CamSubarray &sub = subarray(subarray_handle);
     if (row_begin < 0)
         row_begin = 0;
@@ -255,9 +275,10 @@ CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
     // Every ML precharges each cycle; selective search confines the
     // sensing stage (and read-out) to the row window.
     int sensed_rows = selective ? row_end - row_begin : sub.rows();
-    double latency = tech_.queryDriveLatencyNs() +
-                     tech_.searchLatencyNs(sub.cols()) +
-                     tech_.senseLatencyNs(kind);
+    double latency = (tech_.queryDriveLatencyNs() +
+                      tech_.searchLatencyNs(sub.cols()) +
+                      tech_.senseLatencyNs(kind)) *
+                     fault_latency_factor;
     arch::SearchEnergyBreakdown split = tech_.searchEnergyBreakdown(
         sub.rows(), sensed_rows, sub.cols(), kind);
     window_.cellEnergy += split.cellPj;
@@ -343,6 +364,24 @@ CamDevice::beginFusedWindow(int k)
     fused_.k = k;
     fusedActive_ = true;
     windowsSinceFused_ = 0;
+}
+
+void
+CamDevice::attachFaultInjector(std::shared_ptr<FaultInjector> injector)
+{
+    faults_ = std::move(injector);
+    faultDevice_ = faults_ ? faults_->registerDevice() : -1;
+}
+
+void
+CamDevice::abortQueryWindow()
+{
+    timing_.abortOpenScopes();
+    if (fusedActive_)
+        abortFusedWindow();
+    // Fresh window on top of the preserved setup accounting; the
+    // timing engine's window was already reset by abortOpenScopes().
+    window_ = WindowState{};
 }
 
 void

@@ -24,6 +24,8 @@
 
 namespace c4cam::sim {
 
+class FaultInjector;
+
 /** Opaque handle to an allocated hierarchy unit. */
 using Handle = std::int64_t;
 
@@ -123,6 +125,40 @@ class CamDevice
      * shared setup -- matching a single-shot run bit-for-bit.
      */
     void beginQueryWindow();
+
+    /// @name Fault injection (chaos testing)
+    /// @{
+    /**
+     * Attach a shared fault injector: this device registers itself for
+     * a creation-ordered id, and every later cloneProgrammed() replica
+     * registers its own id on the same injector. From then on each
+     * search consults the injector (which may throw TransientFault /
+     * PermanentFault or scale the search's simulated latency), and
+     * writes/reads fail once the device is scripted dead. Pass nullptr
+     * to detach.
+     */
+    void attachFaultInjector(std::shared_ptr<FaultInjector> injector);
+
+    const std::shared_ptr<FaultInjector> &faultInjector() const
+    {
+        return faults_;
+    }
+
+    /** This device's id on the attached injector; -1 when detached. */
+    int faultDevice() const { return faultDevice_; }
+
+    /**
+     * Fault-recovery cleanup: unconditionally return the device to a
+     * servable between-queries state after an exception unwound
+     * mid-execution. Discards open timing scopes, any open fused
+     * window, and the partial query window; keeps all programmed data
+     * and setup accounting. The serving tier calls this on every
+     * failure path before releasing a replica back to the pool, so a
+     * retried query starts from the exact state a fault-free query
+     * would see.
+     */
+    void abortQueryWindow();
+    /// @}
 
     /// @name Fused multi-query windows
     /// @{
@@ -246,6 +282,12 @@ class CamDevice
     std::int64_t writes_ = 0;
 
     WindowState window_;
+
+    /// @name Fault injection state
+    /// @{
+    std::shared_ptr<FaultInjector> faults_;
+    int faultDevice_ = -1;
+    /// @}
 
     /// @name Fused multi-query window state
     /// @{

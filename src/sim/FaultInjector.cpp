@@ -1,0 +1,198 @@
+#include "sim/FaultInjector.h"
+
+#include <cmath>
+
+#include "support/Json.h"
+
+namespace c4cam::sim {
+
+namespace {
+
+FaultRule::Kind
+parseKind(const std::string &kind)
+{
+    if (kind == "transient")
+        return FaultRule::Kind::Transient;
+    if (kind == "kill")
+        return FaultRule::Kind::Kill;
+    if (kind == "latency_spike")
+        return FaultRule::Kind::LatencySpike;
+    C4CAM_USER_ERROR("fault spec: unknown rule kind '"
+                     << kind
+                     << "' (expected transient | kill | latency_spike)");
+}
+
+/** splitmix64: decorrelate the shared seed into per-device streams. */
+std::uint64_t
+mixSeed(std::uint64_t seed, int device)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (std::uint64_t(device) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z = z ^ (z >> 31);
+    return z != 0 ? z : 0x5EED5EEDull; // xorshift state must be non-zero
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::fromJson(const JsonValue &json)
+{
+    C4CAM_CHECK(json.isObject(), "fault spec: top level must be an object");
+    FaultSpec spec;
+    spec.seed = std::uint64_t(json.getInt("seed", 0x5EED5EED));
+    spec.transientRate = json.getNumber("transient_rate", 0.0);
+    C4CAM_CHECK(spec.transientRate >= 0.0 && spec.transientRate <= 1.0,
+                "fault spec: transient_rate must be in [0,1], got "
+                    << spec.transientRate);
+    if (const JsonValue *rules = json.find("rules")) {
+        C4CAM_CHECK(rules->isArray(), "fault spec: rules must be an array");
+        for (const JsonValue &entry : rules->asArray()) {
+            C4CAM_CHECK(entry.isObject(),
+                        "fault spec: each rule must be an object");
+            FaultRule rule;
+            rule.kind = parseKind(entry.getString("kind", "transient"));
+            rule.device = int(entry.getInt("device", -1));
+            rule.atSearch = entry.getInt("at_search", 0);
+            rule.afterSearch = entry.getInt("after_search", 0);
+            rule.count = entry.getInt("count", 1);
+            rule.factor = entry.getNumber("factor", 1.0);
+            rule.rate = entry.getNumber("rate", 0.0);
+            C4CAM_CHECK(rule.rate >= 0.0 && rule.rate <= 1.0,
+                        "fault spec: rule rate must be in [0,1], got "
+                            << rule.rate);
+            C4CAM_CHECK(rule.factor >= 0.0 && std::isfinite(rule.factor),
+                        "fault spec: latency factor must be finite and "
+                        "non-negative, got "
+                            << rule.factor);
+            C4CAM_CHECK(rule.atSearch >= 0 && rule.afterSearch >= 0 &&
+                            rule.count >= 0,
+                        "fault spec: search ordinals and counts must be "
+                        "non-negative");
+            spec.rules.push_back(rule);
+        }
+    }
+    return spec;
+}
+
+FaultSpec
+FaultSpec::fromFile(const std::string &path)
+{
+    return fromJson(parseJsonFile(path));
+}
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(std::move(spec))
+{}
+
+int
+FaultInjector::registerDevice()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int id = int(devices_.size());
+    DeviceState dev;
+    dev.rng = mixSeed(spec_.seed, id);
+    devices_.push_back(dev);
+    return id;
+}
+
+double
+FaultInjector::nextUniform(DeviceState &dev)
+{
+    // xorshift64*: fast, deterministic, good enough for fault draws.
+    std::uint64_t x = dev.rng;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    dev.rng = x;
+    return double((x * 0x2545F4914F6CDD1Dull) >> 11) * 0x1.0p-53;
+}
+
+double
+FaultInjector::onSearch(int device)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    C4CAM_ASSERT(device >= 0 && device < int(devices_.size()),
+                 "fault injector: unregistered device " << device);
+    DeviceState &dev = devices_[device];
+    ++stats_.searchesObserved;
+
+    if (dev.dead)
+        throw PermanentFault("device " + std::to_string(device) +
+                             " is permanently dead (injected fault)");
+
+    // The ordinal of *this* search, 1-based. Advancing before the
+    // fault decision means a retried search gets a fresh ordinal --
+    // the Nth-search rule fires exactly once, and rate draws advance.
+    std::int64_t ordinal = ++dev.searches;
+
+    double factor = 1.0;
+    bool transient = false;
+    for (const FaultRule &rule : spec_.rules) {
+        if (rule.device != -1 && rule.device != device)
+            continue;
+        switch (rule.kind) {
+        case FaultRule::Kind::Transient:
+            if (rule.atSearch > 0 && rule.atSearch == ordinal)
+                transient = true;
+            if (rule.rate > 0.0 && nextUniform(dev) < rule.rate)
+                transient = true;
+            break;
+        case FaultRule::Kind::Kill:
+            if (ordinal > rule.afterSearch)
+                dev.dead = true;
+            break;
+        case FaultRule::Kind::LatencySpike:
+            if (rule.atSearch > 0 && ordinal >= rule.atSearch &&
+                ordinal < rule.atSearch + rule.count)
+                factor *= rule.factor;
+            break;
+        }
+    }
+    if (spec_.transientRate > 0.0 && nextUniform(dev) < spec_.transientRate)
+        transient = true;
+
+    if (dev.dead) {
+        ++stats_.killsFired;
+        throw PermanentFault("device " + std::to_string(device) +
+                             " died at search " + std::to_string(ordinal) +
+                             " (injected fault)");
+    }
+    if (transient) {
+        ++stats_.transientsFired;
+        throw TransientFault("transient fault on device " +
+                             std::to_string(device) + " at search " +
+                             std::to_string(ordinal));
+    }
+    if (factor != 1.0)
+        ++stats_.latencySpikes;
+    return factor;
+}
+
+void
+FaultInjector::checkAlive(int device) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    C4CAM_ASSERT(device >= 0 && device < int(devices_.size()),
+                 "fault injector: unregistered device " << device);
+    if (devices_[device].dead)
+        throw PermanentFault("device " + std::to_string(device) +
+                             " is permanently dead (injected fault)");
+}
+
+bool
+FaultInjector::isDead(int device) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return device >= 0 && device < int(devices_.size()) &&
+           devices_[device].dead;
+}
+
+FaultInjectorStats
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace c4cam::sim

@@ -1,0 +1,224 @@
+#ifndef C4CAM_SIM_FAULTINJECTOR_H
+#define C4CAM_SIM_FAULTINJECTOR_H
+
+/**
+ * @file
+ * Seeded, deterministic fault injection for CamDevice.
+ *
+ * A FaultInjector is attached to a device tree (the original and every
+ * cloneProgrammed() replica share one injector; each device registers
+ * for a creation-ordered id) and fires scripted faults from a
+ * FaultSpec: transient search failures, permanent device death, and
+ * latency-spike windows. Every decision is a pure function of
+ * (spec.seed, device id, that device's search ordinal), so a chaos run
+ * is replayable from the single seed -- the property the chaos
+ * differential tests lock.
+ *
+ * Fault classes map onto the serving tier's recovery taxonomy:
+ *  - TransientFault (CompilerError): one search fails; the device is
+ *    healthy afterwards. core::RetryPolicy retries these with bounded
+ *    backoff, and because the fault fires at search *entry* -- before
+ *    any window accounting or result latches mutate -- a retried query
+ *    is bit-identical to a fault-free run.
+ *  - PermanentFault (ExecutionError): the device is dead; every
+ *    subsequent operation fails. Never retried; core::ShardedEngine
+ *    quarantines the shard instead.
+ *  - Latency spikes perturb the simulated latency multiplicatively
+ *    without failing anything (they model slow cells / retention
+ *    drift); recovery is the per-query deadline path.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/Error.h"
+
+namespace c4cam {
+class JsonValue;
+}
+
+namespace c4cam::sim {
+
+/**
+ * One search on one device failed transiently. Retryable: the device
+ * (and any replica) remains fully usable.
+ */
+class TransientFault : public CompilerError
+{
+  public:
+    explicit TransientFault(const std::string &msg)
+        : CompilerError(msg)
+    {}
+};
+
+/**
+ * The device is permanently dead: every operation after the fault
+ * fires fails with this. Derives from ExecutionError so the serving
+ * tier's retry policy refuses to retry it.
+ */
+class PermanentFault : public ExecutionError
+{
+  public:
+    explicit PermanentFault(const std::string &msg)
+        : ExecutionError(msg)
+    {}
+};
+
+/** One scripted fault. Fields irrelevant to a kind are ignored. */
+struct FaultRule
+{
+    enum class Kind {
+        Transient,    ///< fail search #atSearch (or randomly at `rate`)
+        Kill,         ///< device dies after search #afterSearch succeeds
+        LatencySpike, ///< multiply latency by `factor` for `count` searches
+    };
+
+    Kind kind = Kind::Transient;
+
+    /** Device id the rule targets; -1 = every registered device. */
+    int device = -1;
+
+    /**
+     * 1-based search ordinal (per device) the rule fires at. For
+     * Transient: that exact search throws. For LatencySpike: the spike
+     * window starts there. 0 = not ordinal-triggered (rate-only).
+     */
+    std::int64_t atSearch = 0;
+
+    /**
+     * Kill rules: the device's first `afterSearch` searches succeed,
+     * then every operation fails. 0 = dead from the first search.
+     */
+    std::int64_t afterSearch = 0;
+
+    /** LatencySpike: number of consecutive searches affected. */
+    std::int64_t count = 1;
+
+    /** LatencySpike: multiplicative latency factor (>= 1 sensible). */
+    double factor = 1.0;
+
+    /**
+     * Transient: additional per-search random failure probability in
+     * [0,1], drawn from the injector's per-device deterministic RNG.
+     */
+    double rate = 0.0;
+};
+
+/** A complete scripted fault scenario, parseable from JSON. */
+struct FaultSpec
+{
+    /** Seed for every per-device RNG stream (mixed with device id). */
+    std::uint64_t seed = 0x5EED5EEDull;
+
+    /**
+     * Global transient-failure probability applied to every search on
+     * every device (convenience for `--fault-rate`; equivalent to one
+     * all-device Transient rule with this rate).
+     */
+    double transientRate = 0.0;
+
+    std::vector<FaultRule> rules;
+
+    bool
+    empty() const
+    {
+        return transientRate <= 0.0 && rules.empty();
+    }
+
+    /**
+     * Parse from the chaos-spec JSON object:
+     * {
+     *   "seed": 1234,
+     *   "transient_rate": 0.001,
+     *   "rules": [
+     *     {"kind": "transient", "device": 0, "at_search": 3},
+     *     {"kind": "kill", "device": 1, "after_search": 10},
+     *     {"kind": "latency_spike", "device": -1, "at_search": 5,
+     *      "count": 2, "factor": 8.0},
+     *     {"kind": "transient", "rate": 0.01}
+     *   ]
+     * }
+     * Throws CompilerError on unknown kinds or out-of-range values.
+     */
+    static FaultSpec fromJson(const JsonValue &json);
+
+    /** Parse a spec file (support::parseJsonFile, // comments ok). */
+    static FaultSpec fromFile(const std::string &path);
+};
+
+/** Counters for everything the injector has fired (observability). */
+struct FaultInjectorStats
+{
+    std::int64_t transientsFired = 0;
+    std::int64_t killsFired = 0;
+    std::int64_t latencySpikes = 0;
+    std::int64_t searchesObserved = 0;
+};
+
+/**
+ * The runtime fault engine: devices call in at operation boundaries;
+ * the injector either throws a typed fault or returns a latency
+ * factor. Thread-safe: replicas on serving threads share one injector
+ * (one mutex around the per-device counters and RNG streams -- chaos
+ * tests measure recovery behaviour, not injector throughput).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSpec spec);
+
+    /**
+     * Register one device; returns its creation-ordered id. The
+     * original device registers at attach time; every
+     * cloneProgrammed() replica registers itself in clone order, so
+     * ids are deterministic for a fixed construction sequence
+     * (ServingEngine replicas in slot order, ShardedEngine shards in
+     * slice order).
+     */
+    int registerDevice();
+
+    /**
+     * Search-entry hook: called by CamDevice::search() before any
+     * window state mutates. Advances the device's search ordinal,
+     * throws TransientFault / PermanentFault per the spec, and returns
+     * the multiplicative latency factor for this search (1.0 almost
+     * always).
+     */
+    double onSearch(int device);
+
+    /**
+     * Liveness gate for non-search operations (writes, reads): throws
+     * PermanentFault iff a Kill rule has already fired for @p device.
+     */
+    void checkAlive(int device) const;
+
+    /** True once a Kill rule has fired for @p device. */
+    bool isDead(int device) const;
+
+    FaultInjectorStats stats() const;
+
+    const FaultSpec &spec() const { return spec_; }
+
+  private:
+    struct DeviceState
+    {
+        std::int64_t searches = 0; ///< ordinal of the last search seen
+        bool dead = false;
+        std::uint64_t rng = 0;
+    };
+
+    /** xorshift64* step on the device's stream; uniform in [0,1). */
+    double nextUniform(DeviceState &dev);
+
+    FaultSpec spec_;
+    mutable std::mutex mutex_;
+    std::vector<DeviceState> devices_;
+    FaultInjectorStats stats_;
+};
+
+} // namespace c4cam::sim
+
+#endif // C4CAM_SIM_FAULTINJECTOR_H

@@ -84,6 +84,14 @@ TimingEngine::reset()
     phase_ = Phase::Query;
 }
 
+void
+TimingEngine::abortOpenScopes()
+{
+    scopes_.clear();
+    window_ = QueryWindow{};
+    phase_ = Phase::Query;
+}
+
 QueryWindow
 TimingEngine::beginQueryWindow()
 {
@@ -134,6 +142,9 @@ PerfReport::addQueryWindow(const PerfReport &query)
     driveEnergyPj += query.driveEnergyPj;
     mergeEnergyPj += query.mergeEnergyPj;
     searches += query.searches;
+    // An aggregate covering any partial result is itself partial; min
+    // keeps the default 1.0 untouched on fault-free paths.
+    coverage = std::min(coverage, query.coverage);
 }
 
 void
@@ -203,6 +214,12 @@ PerfReport::toJson() const
         obj.set("fused_setup_energy_per_query_pj",
                 finiteNumber(fusedSetupEnergyPerQueryPj()));
     }
+    // Coverage is only interesting when a degraded serve dropped
+    // shards; omitting the default keeps non-degraded report JSON
+    // byte-identical to earlier builds (the differential tests
+    // compare serialized reports).
+    if (coverage < 1.0)
+        obj.set("coverage", finiteNumber(coverage));
     obj.set("avg_power_mw", finiteNumber(avgPowerMw()));
     obj.set("avg_query_latency_ns", finiteNumber(avgQueryLatencyNs()));
     obj.set("avg_query_energy_pj", finiteNumber(avgQueryEnergyPj()));
@@ -235,6 +252,7 @@ aggregateShardReports(const std::vector<PerfReport> &shards)
         out.senseEnergyPj += shard.senseEnergyPj;
         out.driveEnergyPj += shard.driveEnergyPj;
         out.mergeEnergyPj += shard.mergeEnergyPj;
+        out.coverage = std::min(out.coverage, shard.coverage);
         out.searches += shard.searches;
         out.writes += shard.writes;
         out.subarraysUsed += shard.subarraysUsed;

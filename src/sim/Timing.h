@@ -161,6 +161,19 @@ class TimingEngine
      */
     QueryWindow beginQueryWindow();
 
+    /**
+     * Fault-recovery cleanup: discard every open scope (and the
+     * partial query window accumulated so far) without touching the
+     * device-lifetime setup totals. A fault thrown mid-execution
+     * (sim::FaultInjector) unwinds past the runtime's beginScope/
+     * endScope pairs and would otherwise leave the stack open, making
+     * the next beginQueryWindow() assert. After this call the engine
+     * is ready for a fresh query window, and setup accounting -- which
+     * the replica paid once at programming time -- is preserved so a
+     * retried query's report stays bit-identical to a fault-free run.
+     */
+    void abortOpenScopes();
+
     /** @deprecated Alias of beginQueryWindow() (pre-window API name). */
     void resetQueryTotals() { beginQueryWindow(); }
 
@@ -215,6 +228,17 @@ struct PerfReport
      * per-query figure finite.
      */
     std::int64_t queriesServed = 0;
+
+    /**
+     * Fraction of the stored rows this report's results actually
+     * cover. 1.0 for every ordinary serve. A degraded sharded serve
+     * (core::ShardedEngine with allowDegraded, some shards
+     * quarantined) sets it to survivingRows/totalRows so a partial
+     * top-k is never silently indistinguishable from a full one.
+     * Serialized to JSON only when < 1.0, keeping non-degraded report
+     * JSON byte-identical to pre-fault-tolerance builds.
+     */
+    double coverage = 1.0;
 
     /**
      * Fused-batch width: > 0 when the query-phase figures describe one

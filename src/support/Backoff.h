@@ -1,0 +1,53 @@
+#ifndef C4CAM_SUPPORT_BACKOFF_H
+#define C4CAM_SUPPORT_BACKOFF_H
+
+/**
+ * @file
+ * Deterministic bounded exponential backoff with jitter.
+ *
+ * The serving tier retries transient device faults (sim::TransientFault)
+ * with a bounded delay between attempts. The delay is exponential in the
+ * attempt number, capped, and jittered -- but the jitter is a pure
+ * function of (seed, attempt), not a global RNG, so chaos runs stay
+ * replayable from a single seed like everything else in the fault
+ * model.
+ */
+
+#include <cstdint>
+
+namespace c4cam::support {
+
+/**
+ * Backoff delay in microseconds before retry attempt @p attempt
+ * (1-based: attempt 1 is the first *retry*). Exponential doubling of
+ * @p base_us, capped at @p max_us, with deterministic multiplicative
+ * jitter in [0.5, 1.0) derived from (@p seed, @p attempt). base_us <= 0
+ * means no delay.
+ */
+inline std::int64_t
+backoffDelayUs(std::int64_t base_us, int attempt, std::int64_t max_us,
+               std::uint64_t seed)
+{
+    if (base_us <= 0 || attempt <= 0)
+        return 0;
+    // Saturating exponential: base * 2^(attempt-1), capped.
+    std::int64_t delay = base_us;
+    for (int i = 1; i < attempt && delay < max_us; ++i)
+        delay = delay > max_us / 2 ? max_us : delay * 2;
+    if (max_us > 0 && delay > max_us)
+        delay = max_us;
+    // splitmix64 over (seed, attempt) -> jitter factor in [0.5, 1.0):
+    // decorrelates replicas retrying the same instant (thundering
+    // herd) while keeping every delay reproducible.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * std::uint64_t(attempt);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z = z ^ (z >> 31);
+    double jitter = 0.5 + 0.5 * (double(z >> 11) * 0x1.0p-53);
+    std::int64_t jittered = std::int64_t(double(delay) * jitter);
+    return jittered > 0 ? jittered : 1;
+}
+
+} // namespace c4cam::support
+
+#endif // C4CAM_SUPPORT_BACKOFF_H

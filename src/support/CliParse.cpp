@@ -1,6 +1,7 @@
 #include "support/CliParse.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -34,6 +35,39 @@ parseIntFlag(int argc, char **argv, int &i, const char *name,
     ++i;
     return parseInt(argv[i], out, min_value, max_value) ? FlagParse::Ok
                                                         : FlagParse::Bad;
+}
+
+bool
+parseDouble(const char *text, double &out, double min_value,
+            double max_value)
+{
+    if (!text || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    if (!std::isfinite(value))
+        return false;
+    if (value < min_value || value > max_value)
+        return false;
+    out = value;
+    return true;
+}
+
+FlagParse
+parseDoubleFlag(int argc, char **argv, int &i, const char *name,
+                double &out, double min_value, double max_value)
+{
+    if (std::strcmp(argv[i], name) != 0)
+        return FlagParse::NoMatch;
+    if (i + 1 >= argc)
+        return FlagParse::Bad;
+    ++i;
+    return parseDouble(argv[i], out, min_value, max_value)
+               ? FlagParse::Ok
+               : FlagParse::Bad;
 }
 
 } // namespace c4cam::support

@@ -49,6 +49,23 @@ FlagParse parseIntFlag(int argc, char **argv, int &i, const char *name,
                        long long max_value =
                            std::numeric_limits<long long>::max());
 
+/**
+ * Parse the whole of @p text as a floating-point number into @p out.
+ * Same contract as parseInt(): false (leaving @p out untouched) when
+ * @p text is null, empty, carries trailing garbage, is non-finite
+ * (inf/nan are rejected -- no CLI knob wants them), or falls outside
+ * the inclusive [@p min_value, @p max_value] range.
+ */
+bool parseDouble(const char *text, double &out, double min_value = 0.0,
+                 double max_value =
+                     std::numeric_limits<double>::max());
+
+/** parseIntFlag's counterpart for "--name X.Y" floating-point flags. */
+FlagParse parseDoubleFlag(int argc, char **argv, int &i, const char *name,
+                          double &out, double min_value = 0.0,
+                          double max_value =
+                              std::numeric_limits<double>::max());
+
 } // namespace c4cam::support
 
 #endif // C4CAM_SUPPORT_CLIPARSE_H

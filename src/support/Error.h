@@ -37,6 +37,21 @@ class InternalError : public std::logic_error
     {}
 };
 
+/**
+ * Permanent execution failure: the device (or shard) backing a query
+ * is gone and no amount of retrying on the same hardware can succeed.
+ * The serving tier's RetryPolicy never retries these; the sharded
+ * tier reacts by quarantining the failed shard instead
+ * (sim::PermanentFault derives from this).
+ */
+class ExecutionError : public CompilerError
+{
+  public:
+    explicit ExecutionError(const std::string &msg)
+        : CompilerError(msg)
+    {}
+};
+
 namespace detail {
 
 [[noreturn]] void throwCompilerError(const std::string &msg);

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Seeded fault injection: determinism, per-class semantics, and the
+ * JSON spec parser. The properties locked here are what the serving
+ * tier's recovery paths (retry / quarantine / deadline) build on --
+ * above all that a chaos run is a pure function of the spec seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/FaultInjector.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+using namespace c4cam;
+using sim::FaultInjector;
+using sim::FaultRule;
+using sim::FaultSpec;
+using sim::PermanentFault;
+using sim::TransientFault;
+
+namespace {
+
+/**
+ * Drive @p searches searches on device @p device, recording each
+ * outcome as 'o' (ok), 't' (transient), or 'p' (permanent), so runs
+ * can be compared as strings.
+ */
+std::string
+outcomes(FaultInjector &injector, int device, int searches)
+{
+    std::string trace;
+    for (int i = 0; i < searches; ++i) {
+        try {
+            injector.onSearch(device);
+            trace += 'o';
+        } catch (const PermanentFault &) {
+            trace += 'p';
+        } catch (const TransientFault &) {
+            trace += 't';
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST(FaultInjector, ScriptedTransientFiresExactlyOnce)
+{
+    FaultSpec spec;
+    FaultRule rule;
+    rule.kind = FaultRule::Kind::Transient;
+    rule.device = 0;
+    rule.atSearch = 3;
+    spec.rules.push_back(rule);
+
+    FaultInjector injector(spec);
+    ASSERT_EQ(injector.registerDevice(), 0);
+    // The ordinal advances even on the faulting search, so the retry
+    // (search #4) succeeds: the Nth-search rule fires exactly once.
+    EXPECT_EQ(outcomes(injector, 0, 6), "ootooo");
+    EXPECT_EQ(injector.stats().transientsFired, 1);
+    EXPECT_EQ(injector.stats().searchesObserved, 6);
+    EXPECT_FALSE(injector.isDead(0));
+}
+
+TEST(FaultInjector, TransientRuleTargetsOnlyItsDevice)
+{
+    FaultSpec spec;
+    FaultRule rule;
+    rule.kind = FaultRule::Kind::Transient;
+    rule.device = 1;
+    rule.atSearch = 1;
+    spec.rules.push_back(rule);
+
+    FaultInjector injector(spec);
+    ASSERT_EQ(injector.registerDevice(), 0);
+    ASSERT_EQ(injector.registerDevice(), 1);
+    EXPECT_EQ(outcomes(injector, 0, 3), "ooo");
+    EXPECT_EQ(outcomes(injector, 1, 3), "too");
+}
+
+TEST(FaultInjector, KillIsPermanentFromAfterSearchOn)
+{
+    FaultSpec spec;
+    FaultRule rule;
+    rule.kind = FaultRule::Kind::Kill;
+    rule.device = 0;
+    rule.afterSearch = 2;
+    spec.rules.push_back(rule);
+
+    FaultInjector injector(spec);
+    ASSERT_EQ(injector.registerDevice(), 0);
+    ASSERT_EQ(injector.registerDevice(), 1);
+    // The first two searches succeed, then every operation fails.
+    EXPECT_EQ(outcomes(injector, 0, 5), "ooppp");
+    EXPECT_TRUE(injector.isDead(0));
+    EXPECT_THROW(injector.checkAlive(0), PermanentFault);
+    // PermanentFault must be an ExecutionError so the retry policy
+    // refuses it.
+    try {
+        injector.checkAlive(0);
+        FAIL() << "expected PermanentFault";
+    } catch (const ExecutionError &) {
+    }
+    // Death is per-device: the sibling is untouched.
+    EXPECT_EQ(outcomes(injector, 1, 3), "ooo");
+    EXPECT_FALSE(injector.isDead(1));
+    injector.checkAlive(1);
+}
+
+TEST(FaultInjector, LatencySpikeWindowAndStacking)
+{
+    FaultSpec spec;
+    FaultRule rule;
+    rule.kind = FaultRule::Kind::LatencySpike;
+    rule.device = -1; // every device
+    rule.atSearch = 2;
+    rule.count = 2;
+    rule.factor = 4.0;
+    spec.rules.push_back(rule);
+    FaultRule overlap = rule;
+    overlap.atSearch = 3;
+    overlap.count = 1;
+    overlap.factor = 2.0;
+    spec.rules.push_back(overlap);
+
+    FaultInjector injector(spec);
+    ASSERT_EQ(injector.registerDevice(), 0);
+    EXPECT_EQ(injector.onSearch(0), 1.0); // #1: before the window
+    EXPECT_EQ(injector.onSearch(0), 4.0); // #2: first rule only
+    EXPECT_EQ(injector.onSearch(0), 8.0); // #3: both rules stack
+    EXPECT_EQ(injector.onSearch(0), 1.0); // #4: window closed
+    EXPECT_EQ(injector.stats().latencySpikes, 2);
+    EXPECT_EQ(injector.stats().transientsFired, 0);
+}
+
+TEST(FaultInjector, RateDrawsAreAPureFunctionOfTheSeed)
+{
+    FaultSpec spec;
+    spec.seed = 20240404;
+    spec.transientRate = 0.2;
+
+    const int kDevices = 3;
+    const int kSearches = 200;
+    std::vector<std::string> first;
+    {
+        FaultInjector injector(spec);
+        for (int d = 0; d < kDevices; ++d)
+            injector.registerDevice();
+        for (int d = 0; d < kDevices; ++d)
+            first.push_back(outcomes(injector, d, kSearches));
+    }
+    // Same seed: bit-identical fault schedule, device by device.
+    {
+        FaultInjector injector(spec);
+        for (int d = 0; d < kDevices; ++d)
+            injector.registerDevice();
+        for (int d = 0; d < kDevices; ++d)
+            EXPECT_EQ(outcomes(injector, d, kSearches), first[d])
+                << "device " << d;
+    }
+    // The streams are per-device (splitmix64-mixed), not one shared
+    // sequence: at 20% over 200 draws two identical device streams
+    // would mean the mixing collapsed.
+    EXPECT_NE(first[0], first[1]);
+    EXPECT_NE(first[1], first[2]);
+    // A different seed reshuffles the schedule.
+    spec.seed = 20240405;
+    FaultInjector other(spec);
+    other.registerDevice();
+    EXPECT_NE(outcomes(other, 0, kSearches), first[0]);
+    // Sanity: the empirical rate is in the right ballpark (20% +- 10
+    // points over 600 draws -- far outside what a healthy RNG misses).
+    std::size_t fired = 0;
+    for (const std::string &trace : first)
+        fired += std::size_t(std::count(trace.begin(), trace.end(), 't'));
+    EXPECT_GT(fired, std::size_t(60));
+    EXPECT_LT(fired, std::size_t(180));
+}
+
+TEST(FaultInjector, SpecParsesFromJson)
+{
+    JsonValue doc = parseJson(R"({
+        "seed": 77,
+        "transient_rate": 0.25,
+        "rules": [
+            {"kind": "transient", "device": 0, "at_search": 3},
+            {"kind": "kill", "device": 1, "after_search": 10},
+            {"kind": "latency_spike", "device": -1, "at_search": 5,
+             "count": 2, "factor": 8.0},
+            {"kind": "transient", "rate": 0.01}
+        ]
+    })");
+    FaultSpec spec = FaultSpec::fromJson(doc);
+    EXPECT_EQ(spec.seed, 77u);
+    EXPECT_EQ(spec.transientRate, 0.25);
+    ASSERT_EQ(spec.rules.size(), 4u);
+    EXPECT_EQ(spec.rules[0].kind, FaultRule::Kind::Transient);
+    EXPECT_EQ(spec.rules[0].device, 0);
+    EXPECT_EQ(spec.rules[0].atSearch, 3);
+    EXPECT_EQ(spec.rules[1].kind, FaultRule::Kind::Kill);
+    EXPECT_EQ(spec.rules[1].afterSearch, 10);
+    EXPECT_EQ(spec.rules[2].kind, FaultRule::Kind::LatencySpike);
+    EXPECT_EQ(spec.rules[2].device, -1);
+    EXPECT_EQ(spec.rules[2].count, 2);
+    EXPECT_EQ(spec.rules[2].factor, 8.0);
+    EXPECT_EQ(spec.rules[3].rate, 0.01);
+    EXPECT_FALSE(spec.empty());
+}
+
+TEST(FaultInjector, SpecRejectsMalformedInput)
+{
+    EXPECT_THROW(FaultSpec::fromJson(parseJson("[1, 2]")), CompilerError);
+    EXPECT_THROW(FaultSpec::fromJson(parseJson(
+                     R"({"rules": [{"kind": "meteor-strike"}]})")),
+                 CompilerError);
+    EXPECT_THROW(FaultSpec::fromJson(parseJson(
+                     R"({"transient_rate": 1.5})")),
+                 CompilerError);
+    EXPECT_THROW(FaultSpec::fromJson(parseJson(
+                     R"({"rules": [{"kind": "transient", "rate": -0.1}]})")),
+                 CompilerError);
+    EXPECT_THROW(FaultSpec::fromJson(parseJson(
+                     R"({"rules": [{"kind": "latency_spike",
+                                    "factor": -2.0}]})")),
+                 CompilerError);
+    EXPECT_THROW(FaultSpec::fromJson(parseJson(
+                     R"({"rules": [{"kind": "transient",
+                                    "at_search": -1}]})")),
+                 CompilerError);
+    EXPECT_TRUE(FaultSpec::fromJson(parseJson("{}")).empty());
+}

@@ -1,7 +1,8 @@
 /**
  * @file
- * Shared CLI integer parsing: the one strtoll wrapper every tool and
- * bench routes through (see support/CliParse.h for why it exists).
+ * Shared CLI number parsing: the one strtoll/strtod wrapper pair every
+ * tool and bench routes through (see support/CliParse.h for why it
+ * exists).
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +14,8 @@
 #include "support/CliParse.h"
 
 using c4cam::support::FlagParse;
+using c4cam::support::parseDouble;
+using c4cam::support::parseDoubleFlag;
 using c4cam::support::parseInt;
 using c4cam::support::parseIntFlag;
 
@@ -150,4 +153,94 @@ TEST(CliParse, FlagOutOfRangeValueIsBad)
                            "--workers", out, 1, 256),
               FlagParse::Bad);
     EXPECT_EQ(out, 4);
+}
+
+TEST(CliParse, DoubleParsesDecimalAndScientific)
+{
+    double out = -1.0;
+    EXPECT_TRUE(parseDouble("0", out));
+    EXPECT_EQ(out, 0.0);
+    EXPECT_TRUE(parseDouble("0.001", out));
+    EXPECT_EQ(out, 0.001);
+    EXPECT_TRUE(parseDouble("1e-3", out));
+    EXPECT_EQ(out, 1e-3);
+    EXPECT_TRUE(parseDouble("2.5", out, 0.0, 10.0));
+    EXPECT_EQ(out, 2.5);
+}
+
+TEST(CliParse, DoubleRejectsGarbageAndLeavesOutUntouched)
+{
+    double out = 7.5;
+    EXPECT_FALSE(parseDouble(nullptr, out));
+    EXPECT_FALSE(parseDouble("", out));
+    EXPECT_FALSE(parseDouble("banana", out));
+    EXPECT_FALSE(parseDouble("0.5banana", out)); // trailing garbage
+    EXPECT_FALSE(parseDouble("0. 5", out));
+    EXPECT_EQ(out, 7.5) << "a failed parse must not clobber out";
+}
+
+TEST(CliParse, DoubleRejectsNonFinite)
+{
+    // No CLI knob wants inf/nan; strtod accepts them, the wrapper
+    // must not.
+    double out = 1.0;
+    EXPECT_FALSE(parseDouble("inf", out));
+    EXPECT_FALSE(parseDouble("-inf", out, -1e300));
+    EXPECT_FALSE(parseDouble("nan", out));
+    EXPECT_FALSE(parseDouble("1e9999", out)); // overflows to inf
+    EXPECT_EQ(out, 1.0);
+}
+
+TEST(CliParse, DoubleBoundsAreInclusive)
+{
+    double out = 0.0;
+    EXPECT_TRUE(parseDouble("0", out, 0.0, 1.0));
+    EXPECT_TRUE(parseDouble("1", out, 0.0, 1.0));
+    EXPECT_FALSE(parseDouble("-0.25", out, 0.0, 1.0));
+    EXPECT_FALSE(parseDouble("1.25", out, 0.0, 1.0));
+    // The default minimum is zero, like parseInt: rates and scale
+    // factors are non-negative unless the caller opts in.
+    EXPECT_FALSE(parseDouble("-1", out));
+    EXPECT_TRUE(parseDouble("-1", out, -10.0));
+    EXPECT_EQ(out, -1.0);
+}
+
+TEST(CliParse, DoubleFlagMatchesTheIntFlagContract)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--fault-rate", "0.01", "--tail"}, keep);
+    int i = 1;
+    double out = 0.0;
+    EXPECT_EQ(parseDoubleFlag(static_cast<int>(argv.size()), argv.data(),
+                              i, "--fault-rate", out, 0.0, 1.0),
+              FlagParse::Ok);
+    EXPECT_EQ(out, 0.01);
+    EXPECT_EQ(i, 2) << "the cursor must point at the consumed value";
+
+    i = 1;
+    EXPECT_EQ(parseDoubleFlag(static_cast<int>(argv.size()), argv.data(),
+                              i, "--time-scale", out),
+              FlagParse::NoMatch);
+    EXPECT_EQ(i, 1) << "NoMatch must not advance the cursor";
+}
+
+TEST(CliParse, DoubleFlagBadValues)
+{
+    std::vector<std::string> keep;
+    auto argv = makeArgv({"tool", "--fault-rate", "1.5"}, keep);
+    int i = 1;
+    double out = 0.25;
+    EXPECT_EQ(parseDoubleFlag(static_cast<int>(argv.size()), argv.data(),
+                              i, "--fault-rate", out, 0.0, 1.0),
+              FlagParse::Bad);
+    EXPECT_EQ(i, 2) << "i points at the offending argument";
+    EXPECT_EQ(out, 0.25);
+
+    auto argv2 = makeArgv({"tool", "--fault-rate"}, keep);
+    i = 1;
+    EXPECT_EQ(parseDoubleFlag(static_cast<int>(argv2.size()),
+                              argv2.data(), i, "--fault-rate", out, 0.0,
+                              1.0),
+              FlagParse::Bad);
+    EXPECT_EQ(out, 0.25);
 }

@@ -47,6 +47,18 @@
  * per shard; --async serves the sharded backend through the async
  * front-end.
  *
+ * Fault tolerance: --fault-spec FILE attaches a seeded
+ * sim::FaultInjector (JSON spec: scripted transient faults, permanent
+ * device kills, latency spikes) to every device of the chosen serving
+ * path; --fault-rate X adds a uniform transient rate. --retries N
+ * bounds per-query re-attempts on transient faults (serving paths
+ * only), --deadline-us N sheds queries whose enqueue wait blew the
+ * deadline (--async only), and --allow-degraded lets a sharded run
+ * answer from surviving shards when a shard is quarantined (results
+ * are then marked partial with a coverage fraction). A recovery
+ * counter line (and a "recovery" object under "async" in --json)
+ * reports retries / deadline sheds / quarantines / degraded serves.
+ *
  * Plan-pipeline introspection: --dump-plan[=FILE] disassembles the
  * kernel's compiled (optimized) ExecutionPlan; --plan-opt-debug prints
  * the per-pass before/after bytecode of the rt::PlanOptimizer pipeline
@@ -73,11 +85,13 @@
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/PlanCache.h"
+#include "core/RetryPolicy.h"
 #include "core/ServingEngine.h"
 #include "core/ShardedEngine.h"
 #include "dialects/BuiltinDialect.h"
 #include "runtime/ExecutionPlan.h"
 #include "runtime/PlanOptimizer.h"
+#include "sim/FaultInjector.h"
 #include "support/CliParse.h"
 #include "support/Error.h"
 #include "support/Json.h"
@@ -98,7 +112,9 @@ usage()
               << " [--queue-depth N]"
               << " [--policy block|reject|drop-oldest] [--fuse-k N]"
               << " [--trace-out FILE] [--dump-plan[=FILE]]"
-              << " [--plan-opt-debug] [--no-plan-opt]\n";
+              << " [--plan-opt-debug] [--no-plan-opt]"
+              << " [--fault-spec FILE] [--fault-rate X] [--retries N]"
+              << " [--deadline-us N] [--allow-degraded]\n";
     return 2;
 }
 
@@ -177,6 +193,13 @@ main(int argc, char **argv)
     long long fuse_k = 8;
     std::string trace_path;
     core::AsyncServingOptions async_options;
+    std::string fault_spec_path;
+    double fault_rate = 0.0;
+    bool fault_rate_seen = false;
+    long long retries = 1;
+    bool retries_seen = false;
+    long long deadline_us = 0;
+    bool allow_degraded = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -225,6 +248,26 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage();
             trace_path = argv[i];
+        } else if (arg == "--fault-spec") {
+            if (++i >= argc)
+                return usage();
+            fault_spec_path = argv[i];
+        } else if (arg == "--fault-rate") {
+            fault_rate_seen = true;
+            if (++i >= argc ||
+                !support::parseDouble(argv[i], fault_rate, 0.0, 1.0))
+                return usage();
+        } else if (arg == "--retries") {
+            retries_seen = true;
+            if (++i >= argc ||
+                !support::parseInt(argv[i], retries, 1, 100))
+                return usage();
+        } else if (arg == "--deadline-us") {
+            if (++i >= argc ||
+                !support::parseInt(argv[i], deadline_us, 1))
+                return usage();
+        } else if (arg == "--allow-degraded") {
+            allow_degraded = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--queries-equal-rows") {
@@ -288,6 +331,26 @@ main(int argc, char **argv)
         // draw conclusions about a policy that never ran.
         std::cerr << "c4cam-run: --queue-depth/--policy/--fuse-k "
                      "require --async\n";
+        return usage();
+    }
+    if ((!fault_spec_path.empty() || fault_rate_seen || retries_seen) &&
+        batch <= 0) {
+        // Fault injection hooks the persistent serving paths; the
+        // single-shot path builds its device out of reach.
+        std::cerr << "c4cam-run: --fault-spec/--fault-rate/--retries "
+                     "require --batch\n";
+        return usage();
+    }
+    if (deadline_us > 0 && !use_async) {
+        // Deadlines are an admission-queue feature; a synchronous
+        // serve has no enqueue wait to bound.
+        std::cerr << "c4cam-run: --deadline-us requires --async\n";
+        return usage();
+    }
+    if (allow_degraded && !shards_seen) {
+        // Degraded top-k only means something when there are shards
+        // to survive on.
+        std::cerr << "c4cam-run: --allow-degraded requires --shards\n";
         return usage();
     }
 
@@ -433,6 +496,25 @@ main(int argc, char **argv)
                 return batch_args;
             };
 
+            // Chaos / fault-tolerance knobs, shared by every serving
+            // path. One seeded injector instance is attached to every
+            // device (master + clones, all shards), so a run is
+            // reproducible from the spec's seed alone.
+            std::shared_ptr<sim::FaultInjector> injector;
+            if (!fault_spec_path.empty() || fault_rate_seen) {
+                sim::FaultSpec spec;
+                if (!fault_spec_path.empty())
+                    spec = sim::FaultSpec::fromFile(fault_spec_path);
+                if (fault_rate_seen)
+                    spec.transientRate = fault_rate;
+                injector = std::make_shared<sim::FaultInjector>(spec);
+            }
+            core::RetryPolicy retry_policy;
+            retry_policy.maxAttempts = static_cast<int>(retries);
+            retry_policy.backoffUs = 100;
+            const bool chaos =
+                injector || deadline_us > 0 || allow_degraded;
+
             core::ExecutionResult first;
             long long first_index = 0;
             sim::PerfReport total;
@@ -447,6 +529,7 @@ main(int argc, char **argv)
                     static_cast<std::size_t>(queue_depth);
                 async_options.fuseMaxK = static_cast<int>(fuse_k);
                 async_options.trace = collector.get();
+                async_options.deadlineUs = deadline_us;
                 std::unique_ptr<core::AsyncServingEngine> engine;
                 if (shards_seen) {
                     // Sharded backend behind the async front-end:
@@ -456,6 +539,9 @@ main(int argc, char **argv)
                     sharding.shards = static_cast<int>(shards);
                     sharding.replicasPerShard =
                         static_cast<int>(threads);
+                    sharding.retryPolicy = retry_policy;
+                    sharding.faultInjector = injector;
+                    sharding.allowDegraded = allow_degraded;
                     engine = std::make_unique<core::AsyncServingEngine>(
                         std::make_unique<core::ShardedEngine>(
                             options, source, args, sharding),
@@ -463,6 +549,12 @@ main(int argc, char **argv)
                 } else {
                     engine = kernel.createAsyncServingEngine(
                         args, static_cast<int>(threads), async_options);
+                    if (auto *se = dynamic_cast<core::ServingEngine *>(
+                            &engine->backend())) {
+                        se->setRetryPolicy(retry_policy);
+                        if (injector)
+                            se->attachFaultInjector(injector);
+                    }
                 }
                 std::deque<std::future<core::ExecutionResult>> inflight;
                 long long ok = 0;
@@ -526,6 +618,17 @@ main(int argc, char **argv)
                         << stats.fusedQueries << " queries), "
                         << stats.singleDispatches
                         << " single dispatches\n";
+                    if (chaos)
+                        std::cout << "recovery: "
+                                  << stats.serving.retries
+                                  << " retries, " << stats.deadlineSheds
+                                  << " deadline sheds, "
+                                  << stats.fallbackRetries
+                                  << " fallback re-serves, "
+                                  << stats.serving.quarantines
+                                  << " quarantines, "
+                                  << stats.serving.degradedServes
+                                  << " degraded serves\n";
                     if (persistent)
                         std::cout << "setup: "
                                   << engine->backend().setupReport()
@@ -574,6 +677,22 @@ main(int argc, char **argv)
                           JsonValue(stats.p50ExecuteUs));
                     a.set("p95_execute_us",
                           JsonValue(stats.p95ExecuteUs));
+                    if (chaos) {
+                        JsonValue r = JsonValue::makeObject();
+                        r.set("retries",
+                              JsonValue(double(stats.serving.retries)));
+                        r.set("deadline_sheds",
+                              JsonValue(double(stats.deadlineSheds)));
+                        r.set("fallback_retries",
+                              JsonValue(double(stats.fallbackRetries)));
+                        r.set("quarantines",
+                              JsonValue(
+                                  double(stats.serving.quarantines)));
+                        r.set("degraded_serves",
+                              JsonValue(
+                                  double(stats.serving.degradedServes)));
+                        a.set("recovery", std::move(r));
+                    }
                     j.set("async", std::move(a));
                     j.set("plan_cache", planCacheJson());
                     std::cout << j.dump(2) << "\n";
@@ -587,6 +706,9 @@ main(int argc, char **argv)
                 core::ShardedEngineOptions sharding;
                 sharding.shards = static_cast<int>(shards);
                 sharding.replicasPerShard = static_cast<int>(threads);
+                sharding.retryPolicy = retry_policy;
+                sharding.faultInjector = injector;
+                sharding.allowDegraded = allow_degraded;
                 core::ShardedEngine engine(options, source, args,
                                            sharding);
                 if (collector)
@@ -609,6 +731,12 @@ main(int argc, char **argv)
                               << " queries/sec host throughput, p50 "
                               << stats.p50LatencyUs << " us, p95 "
                               << stats.p95LatencyUs << " us\n";
+                    if (chaos)
+                        std::cout << "recovery: " << stats.retries
+                                  << " retries, " << stats.quarantines
+                                  << " quarantines, "
+                                  << stats.degradedServes
+                                  << " degraded serves\n";
                     if (persistent)
                         std::cout << "setup: "
                                   << engine.setupReport().str() << "\n";
@@ -618,6 +746,9 @@ main(int argc, char **argv)
                 // at most 2x threads submissions stay in flight.
                 auto engine = kernel.createServingEngine(
                     args, static_cast<int>(threads));
+                engine->setRetryPolicy(retry_policy);
+                if (injector)
+                    engine->attachFaultInjector(injector);
                 if (collector)
                     engine->enableTracing(collector.get());
                 std::deque<std::future<core::ExecutionResult>> inflight;
@@ -646,13 +777,21 @@ main(int argc, char **argv)
                               << " queries/sec host throughput, p50 "
                               << stats.p50LatencyUs << " us, p95 "
                               << stats.p95LatencyUs << " us\n";
+                    if (chaos)
+                        std::cout << "recovery: " << stats.retries
+                                  << " retries\n";
                     if (persistent)
                         std::cout << "setup: "
                                   << engine->setupReport().str() << "\n";
                 }
             } else {
                 // Serial path: one reused session, one batch at a time.
+                // Faults fire here too (reproducing an injected fault
+                // serially is the debugging workflow), but there is no
+                // retry layer: the first fault aborts the run.
                 core::ExecutionSession session = kernel.createSession(args);
+                if (injector && session.device())
+                    session.device()->attachFaultInjector(injector);
                 if (collector)
                     session.enableTracing(collector.get());
                 for (long long b = 0; b < batch; ++b) {

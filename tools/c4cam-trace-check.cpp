@@ -23,6 +23,11 @@
  * overlap is a bug, modulo JSON round-trip epsilon), and both stay
  * inside the parent span's interval.
  *
+ * Fault-tolerance spans too: "retry" and "degraded" are zero-duration
+ * markers on a query's critical path and must parent under another
+ * span; "shard-quarantine" is an engine-level state transition and
+ * must be a self-rooted (parent 0) zero-duration marker.
+ *
  * Exit codes: 0 trace is valid, 1 invalid or unreadable, 2 usage.
  */
 
@@ -142,6 +147,25 @@ main(int argc, char **argv)
             rec.start = start->asNumber();
             rec.dur = dur->asNumber();
             span_ids.emplace(rec.trace, rec.span);
+            // Fault-tolerance markers have a fixed shape regardless
+            // of trace completeness: zero duration, and
+            // shard-quarantine self-rooted vs retry/degraded always
+            // parented (parent RESOLUTION is the complete-trace check
+            // below; a non-zero parent id must exist even on an
+            // overflowed ring).
+            if (rec.name == "retry" || rec.name == "degraded" ||
+                rec.name == "shard-quarantine") {
+                if (rec.dur != 0.0)
+                    return fail(at + ": \"" + rec.name +
+                                "\" marker has non-zero duration");
+                if (rec.name == "shard-quarantine" && rec.parent != 0)
+                    return fail(at + ": \"shard-quarantine\" must be "
+                                     "self-rooted (parent 0)");
+                if (rec.name != "shard-quarantine" && rec.parent == 0)
+                    return fail(at + ": \"" + rec.name +
+                                "\" marker must parent under a span "
+                                "of its query");
+            }
             recs.push_back(std::move(rec));
         }
         // Parent resolution only holds on a complete trace: once the
