@@ -76,6 +76,15 @@
  * at rates <= 0.1% drops below 99% (the CI chaos gate). Faults are a
  * pure function of the spec seed, so a failing leg replays exactly.
  *
+ * --fused-model switches to the fused-model gate: the same stream is
+ * served as K=8 fused batches under both sim::FusionModel regimes and
+ * compared against a serial session. ExactSerial fused totals must
+ * equal the serial sum bit for bit; TrueFused totals (drive/precharge
+ * charged once per pass) must come in strictly below it while the
+ * outputs stay bit-identical and the per-search sense/merge
+ * components are unchanged. Energy-per-query for all three paths is
+ * written to BENCH_fused.json (the CI perf gate archives it).
+ *
  * --shards M switches to the sharded-serving sweep: the same query
  * stream is served through core::ShardedEngine at 1, 2, 4, ... up to
  * M shards (replicasPerShard = --workers, closed-loop submitters), a
@@ -89,11 +98,12 @@
  *
  * All modes accept --json-out FILE for machine-readable results
  * (CI archives BENCH_serving.json, BENCH_async.json, BENCH_replay.json,
- * BENCH_sharded.json and BENCH_chaos.json from the release perf job).
+ * BENCH_sharded.json, BENCH_chaos.json and BENCH_fused.json from the
+ * release perf job).
  *
  *   bench_serving_throughput [--queries N] [--scaling]
  *                            [--plan-vs-treewalk] [--async]
- *                            [--shards M]
+ *                            [--fused-model] [--shards M]
  *                            [--chaos] [--fault-rate X]
  *                            [--replay TRACE.json] [--time-scale S]
  *                            [--trace-out FILE]
@@ -322,6 +332,195 @@ runPlanVsTreeWalk(long num_queries, bench::JsonOut &jout)
                      speedup);
         return 1;
     }
+    return jout.write() ? 0 : 1;
+}
+
+/**
+ * Fused-model gate: the same stream served as K=8 fused batches under
+ * both sim::FusionModel regimes against the serial session reference.
+ *
+ * ExactSerial fused windows must match the serial sum bit for bit
+ * (accounting re-attribution, no physics change); TrueFused windows
+ * must come in strictly below it -- the precharge/drive of each
+ * subarray is charged once per pass -- while outputs stay
+ * bit-identical and the per-search sense/merge components are
+ * unchanged. The energy-per-query figures land in BENCH_fused.json;
+ * the CI perf gate archives them. @return process exit code.
+ */
+int
+runFusedModel(const core::CompilerOptions &options,
+              const std::string &source, core::CompiledKernel &kernel,
+              const rt::BufferPtr &stored_buf,
+              const std::vector<rt::BufferPtr> &queries, bench::JsonOut &jout)
+{
+    constexpr std::size_t kFusedK = 8;
+    std::vector<std::vector<rt::BufferPtr>> batches;
+    batches.reserve(queries.size());
+    for (const rt::BufferPtr &query : queries)
+        batches.push_back({query, stored_buf});
+    if (batches.size() < kFusedK) {
+        std::fprintf(stderr,
+                     "FAIL: --fused-model needs at least %zu queries "
+                     "for one K=%zu fused window, got %zu\n",
+                     kFusedK, kFusedK, batches.size());
+        return 1;
+    }
+
+    // Serial reference: one query window per query, full cost each.
+    core::ExecutionSession serial_session = kernel.createSession(batches[0]);
+    std::vector<core::ExecutionResult> serial =
+        serial_session.runBatch(batches);
+
+    core::CompilerOptions true_options = options;
+    true_options.fusionModel = sim::FusionModel::TrueFused;
+    core::Compiler true_compiler(true_options);
+    core::CompiledKernel true_kernel =
+        true_compiler.compileTorchScript(source);
+
+    core::ExecutionSession exact_session =
+        kernel.createSession(batches[0]);
+    core::ExecutionSession true_session =
+        true_kernel.createSession(batches[0]);
+
+    double serial_lat = 0.0, serial_energy = 0.0, serial_drive = 0.0;
+    double exact_lat = 0.0, exact_energy = 0.0;
+    double true_lat = 0.0, true_energy = 0.0, true_drive = 0.0;
+    std::size_t chunks = 0;
+    std::size_t covered = 0;
+    for (std::size_t begin = 0; begin + kFusedK <= batches.size();
+         begin += kFusedK) {
+        ++chunks;
+        covered += kFusedK;
+        std::vector<std::vector<rt::BufferPtr>> chunk(
+            batches.begin() + static_cast<std::ptrdiff_t>(begin),
+            batches.begin() + static_cast<std::ptrdiff_t>(begin + kFusedK));
+
+        // Per-chunk serial sums (the comparison baseline).
+        double lat = 0.0, energy = 0.0, drive = 0.0, cell = 0.0;
+        double sense = 0.0, merge = 0.0;
+        std::int64_t searches = 0;
+        for (std::size_t i = 0; i < kFusedK; ++i) {
+            const sim::PerfReport &q = serial[begin + i].perf;
+            lat += q.queryLatencyNs;
+            energy += q.queryEnergyPj;
+            drive += q.driveEnergyPj;
+            cell += q.cellEnergyPj;
+            sense += q.senseEnergyPj;
+            merge += q.mergeEnergyPj;
+            searches += q.searches;
+        }
+        serial_lat += lat;
+        serial_energy += energy;
+        serial_drive += drive;
+
+        // ExactSerial fused window: bit-identical to the serial sum.
+        core::FusedBatchResult exact = exact_session.runFusedBatch(chunk);
+        if (exact.fused.total.latencyNs != lat ||
+            exact.fused.total.energyPj != energy ||
+            exact.fused.driveEnergyPj != drive ||
+            exact.fused.searches != searches) {
+            std::fprintf(stderr,
+                         "FAIL: exact-serial fused totals != serial sum "
+                         "(chunk at %zu)\n",
+                         begin);
+            return 1;
+        }
+        exact_lat += exact.fused.total.latencyNs;
+        exact_energy += exact.fused.total.energyPj;
+
+        // TrueFused window: outputs identical, totals strictly below,
+        // per-search sense/merge components unchanged.
+        core::FusedBatchResult fused = true_session.runFusedBatch(chunk);
+        for (std::size_t i = 0; i < kFusedK; ++i) {
+            const core::ExecutionResult &ref = serial[begin + i];
+            if (fused.results[i].outputs[1].asBuffer()->toVector() !=
+                    ref.outputs[1].asBuffer()->toVector() ||
+                exact.results[i].outputs[1].asBuffer()->toVector() !=
+                    ref.outputs[1].asBuffer()->toVector()) {
+                std::fprintf(stderr,
+                             "FAIL: fused query %zu output diverges "
+                             "from serial serving\n",
+                             begin + i);
+                return 1;
+            }
+            if (!sameQueryCost(exact.results[i].perf, ref.perf)) {
+                std::fprintf(stderr,
+                             "FAIL: exact-serial fused query %zu report "
+                             "diverges from its serial window\n",
+                             begin + i);
+                return 1;
+            }
+        }
+        if (!(fused.fused.total.energyPj < energy) ||
+            !(fused.fused.total.latencyNs < lat) ||
+            !(fused.fused.driveEnergyPj < drive) ||
+            !(fused.fused.cellEnergyPj < cell)) {
+            std::fprintf(stderr,
+                         "FAIL: true-fused totals are not strictly "
+                         "below the serial sum (chunk at %zu)\n",
+                         begin);
+            return 1;
+        }
+        if (fused.fused.senseEnergyPj != sense ||
+            fused.fused.mergeEnergyPj != merge ||
+            fused.fused.searches != searches) {
+            std::fprintf(stderr,
+                         "FAIL: true-fused sense/merge/search components "
+                         "changed (chunk at %zu); the model may only "
+                         "drop drive/precharge cost\n",
+                         begin);
+            return 1;
+        }
+        if (fused.fusedReport.fusedBatchK !=
+            static_cast<std::int64_t>(kFusedK)) {
+            std::fprintf(stderr,
+                         "FAIL: true-fused report claims K=%lld, served "
+                         "%zu\n",
+                         static_cast<long long>(
+                             fused.fusedReport.fusedBatchK),
+                         kFusedK);
+            return 1;
+        }
+        true_lat += fused.fused.total.latencyNs;
+        true_energy += fused.fused.total.energyPj;
+        true_drive += fused.fused.driveEnergyPj;
+    }
+
+    const double n = static_cast<double>(covered);
+    const double energy_savings = 1.0 - true_energy / serial_energy;
+    const double latency_savings = 1.0 - true_lat / serial_lat;
+    std::printf("Fused-model gate: %zu chunks of K=%zu (%zu of %zu "
+                "queries)\n",
+                chunks, kFusedK, covered, batches.size());
+    bench::rule();
+    std::printf("%-26s %14s %14s %14s\n", "", "serial",
+                "fused (exact)", "fused (true)");
+    std::printf("%-26s %14.3f %14.3f %14.3f\n", "energy/query (pJ)",
+                serial_energy / n, exact_energy / n, true_energy / n);
+    std::printf("%-26s %14.3f %14.3f %14.3f\n", "latency/query (ns)",
+                serial_lat / n, exact_lat / n, true_lat / n);
+    std::printf("%-26s %14.3f %14s %14.3f\n", "drive energy/query (pJ)",
+                serial_drive / n, "=serial", true_drive / n);
+    bench::rule();
+    std::printf("exact-serial fused == serial sum (bit-identical): OK\n");
+    std::printf("true-fused energy %.1f%% below serial, latency %.1f%% "
+                "below (gate: strictly below)\n",
+                energy_savings * 100.0, latency_savings * 100.0);
+    std::printf("outputs bit-identical to serial serving (both "
+                "models): OK\n");
+
+    jout.set("mode", std::string("fused_model"));
+    jout.set("queries", n);
+    jout.set("fused_k", double(kFusedK));
+    jout.set("serial_energy_per_query_pj", serial_energy / n);
+    jout.set("exact_fused_energy_per_query_pj", exact_energy / n);
+    jout.set("true_fused_energy_per_query_pj", true_energy / n);
+    jout.set("serial_latency_per_query_ns", serial_lat / n);
+    jout.set("true_fused_latency_per_query_ns", true_lat / n);
+    jout.set("serial_drive_energy_per_query_pj", serial_drive / n);
+    jout.set("true_fused_drive_energy_per_query_pj", true_drive / n);
+    jout.set("energy_savings", energy_savings);
+    jout.set("latency_savings", latency_savings);
     return jout.write() ? 0 : 1;
 }
 
@@ -1028,6 +1227,7 @@ main(int argc, char **argv)
     bool plan_vs_treewalk = false;
     bool async = false;
     bool chaos = false;
+    bool fused_model = false;
     double fault_rate = 0.0;
     bool fault_rate_set = false;
     std::string replay_path;
@@ -1039,6 +1239,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: bench_serving_throughput [--queries N] "
                      "[--scaling] [--plan-vs-treewalk] [--async] "
+                     "[--fused-model] "
                      "[--shards M] [--chaos] [--fault-rate X] "
                      "[--replay TRACE.json] [--time-scale S] "
                      "[--trace-out FILE] [--workers W] "
@@ -1098,6 +1299,8 @@ main(int argc, char **argv)
             async = true;
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             chaos = true;
+        } else if (std::strcmp(argv[i], "--fused-model") == 0) {
+            fused_model = true;
         } else if (std::strcmp(argv[i], "--plan-vs-treewalk") == 0) {
             plan_vs_treewalk = true;
         } else if (std::strcmp(argv[i], "--replay") == 0) {
@@ -1113,21 +1316,31 @@ main(int argc, char **argv)
         }
     }
     if (!replay_path.empty() &&
-        (scaling || plan_vs_treewalk || async || shards_set || chaos)) {
+        (scaling || plan_vs_treewalk || async || shards_set || chaos ||
+         fused_model)) {
         std::fprintf(stderr,
                      "--replay is its own mode; drop --scaling/"
-                     "--plan-vs-treewalk/--async/--shards/--chaos\n");
+                     "--plan-vs-treewalk/--async/--shards/--chaos/"
+                     "--fused-model\n");
         return usage();
     }
-    if (shards_set && (scaling || plan_vs_treewalk || async || chaos)) {
+    if (shards_set &&
+        (scaling || plan_vs_treewalk || async || chaos || fused_model)) {
         std::fprintf(stderr,
                      "--shards is its own mode; drop --scaling/"
-                     "--plan-vs-treewalk/--async/--chaos\n");
+                     "--plan-vs-treewalk/--async/--chaos/"
+                     "--fused-model\n");
         return usage();
     }
-    if (chaos && (scaling || plan_vs_treewalk || async)) {
+    if (chaos && (scaling || plan_vs_treewalk || async || fused_model)) {
         std::fprintf(stderr,
                      "--chaos is its own mode; drop --scaling/"
+                     "--plan-vs-treewalk/--async/--fused-model\n");
+        return usage();
+    }
+    if (fused_model && (scaling || plan_vs_treewalk || async)) {
+        std::fprintf(stderr,
+                     "--fused-model is its own mode; drop --scaling/"
                      "--plan-vs-treewalk/--async\n");
         return usage();
     }
@@ -1180,6 +1393,9 @@ main(int argc, char **argv)
         return runSharded(options, source, kernel, stored_buf, queries,
                           static_cast<int>(shards),
                           static_cast<int>(workers), jout);
+    if (fused_model)
+        return runFusedModel(options, source, kernel, stored_buf,
+                             queries, jout);
     if (chaos) {
         // 0 is always swept first: the fault-free leg both anchors the
         // qps column and proves the chaos harness itself is clean.

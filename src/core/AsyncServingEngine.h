@@ -33,9 +33,12 @@
  * two or more as one fused window through the backend's
  * serveFusedChunk primitive. Fused amortization therefore kicks
  * in automatically exactly when load builds up, and single-query
- * latency is not taxed when the system is idle. Per-query outputs and
- * PerfReports stay bit-identical to serial ExecutionSession replay in
- * both regimes (the fused-window invariant the sync tests lock).
+ * latency is not taxed when the system is idle. Per-query outputs stay
+ * bit-identical to serial ExecutionSession replay in both regimes, and
+ * under the default sim::FusionModel::ExactSerial so do the per-query
+ * PerfReports (the fused-window invariant the sync tests lock); under
+ * TrueFused, fused groups honestly report their cheaper windows
+ * (drive charged once per pass), so reports depend on group shape.
  *
  * Shutdown semantics: shutdown() (and the destructor) closes the
  * queue -- new submissions fail fast -- then lets the dispatchers

@@ -145,6 +145,7 @@ runKernelOnce(ir::Module &module, const std::string &entry,
     }
 
     sim::CamDevice device(options.spec);
+    device.setFusionModel(options.fusionModel);
     if (plan) {
         rt::PlanFrame frame = plan->makeFrame();
         result.outputs = plan->run(frame, &device, rt_args);

@@ -68,6 +68,16 @@ struct CompilerOptions
     bool optimizePlans = true;
     /** Per-pass toggles, honored when optimizePlans is set. */
     rt::PlanOptOptions planOpt;
+    /**
+     * How fused multi-query windows charge the simulated device (see
+     * sim::FusionModel). ExactSerial (default) keeps fused totals
+     * bit-identical to the serial sum; TrueFused charges the
+     * precharge/drive once per pass so fused batches come in strictly
+     * below it (CLI: c4cam-run --fusion-model). Purely a device-model
+     * knob: plan compilation and outputs are unaffected, so kernels
+     * differing only in this option share PlanCache entries.
+     */
+    sim::FusionModel fusionModel = sim::FusionModel::ExactSerial;
 };
 
 /** Outcome of executing a compiled kernel. */

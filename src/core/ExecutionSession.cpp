@@ -1,5 +1,7 @@
 #include "core/ExecutionSession.h"
 
+#include <algorithm>
+
 #include "support/Error.h"
 
 namespace c4cam::core {
@@ -12,9 +14,14 @@ nonPersistentSetupTotal(const std::vector<ExecutionResult> &results)
         setup.setupLatencyNs += r.perf.setupLatencyNs;
         setup.setupEnergyPj += r.perf.setupEnergyPj;
         setup.writes += r.perf.writes;
-        setup.subarraysUsed = r.perf.subarraysUsed;
-        setup.subarraysAllocated = r.perf.subarraysAllocated;
-        setup.banksUsed = r.perf.banksUsed;
+        // High-water marks, not last-run snapshots (same rule as
+        // PerfReport::addFullRun): a heterogeneous batch must not let
+        // the final run misreport utilization().
+        setup.subarraysUsed =
+            std::max(setup.subarraysUsed, r.perf.subarraysUsed);
+        setup.subarraysAllocated =
+            std::max(setup.subarraysAllocated, r.perf.subarraysAllocated);
+        setup.banksUsed = std::max(setup.banksUsed, r.perf.banksUsed);
     }
     return setup;
 }
@@ -43,6 +50,7 @@ ExecutionSession::ExecutionSession(
         return; // fall back to full re-execution per query
 
     device_ = std::make_unique<sim::CamDevice>(options_.spec);
+    device_->setFusionModel(options_.fusionModel);
     if (plan_) {
         frame_ = plan_->makeFrame();
         plan_->run(frame_, device_.get(), rt::toRtValues(setup_args),

@@ -56,11 +56,15 @@ namespace c4cam::core {
 
 /**
  * Outcome of serving one fused multi-query batch: the per-query
- * results (each bit-identical to serial serving) plus the fused
- * window's accounting. fusedReport renders the window as a
+ * results (outputs always bit-identical to serial serving) plus the
+ * fused window's accounting. fusedReport renders the window as a
  * PerfReport with fusedBatchK set, so the amortized per-query
  * attribution (drive/setup shares) is available alongside the batch
- * totals -- which equal the sum of the per-query windows exactly.
+ * totals. Under sim::FusionModel::ExactSerial (default) the totals
+ * equal the sum of the per-query serial windows exactly and the
+ * per-query reports match serial serving bit for bit; under TrueFused
+ * the totals come in strictly below the serial sum (drive charged
+ * once per pass) and queries 2..K report honestly cheaper windows.
  */
 struct FusedBatchResult
 {
@@ -131,10 +135,15 @@ class ExecutionSession
      * device opens a fused accounting window over the K queries
      * (CamDevice::beginFusedWindow) and amortizes the drive/setup
      * attribution across them. Each query still runs in its own query
-     * window, so the per-query results and reports are bit-identical
-     * to serial runQuery() calls, and the fused totals equal their
-     * sum. Host-only sessions synthesize the fused accounting from
-     * the per-query reports.
+     * window and outputs are always bit-identical to serial runQuery()
+     * calls. What the accounting means depends on
+     * CompilerOptions::fusionModel: under ExactSerial (default) the
+     * per-query reports match serial serving bit for bit and the fused
+     * totals equal their sum; under TrueFused the pass charges each
+     * subarray's precharge/drive once, so the totals come in strictly
+     * below the serial sum. Host-only sessions synthesize the fused
+     * accounting from the per-query reports (no device pass to fuse,
+     * so TrueFused changes nothing there).
      */
     FusedBatchResult
     runFusedBatch(const std::vector<std::vector<rt::BufferPtr>> &queries);

@@ -50,6 +50,9 @@ ServingEngine::ServingEngine(std::shared_ptr<ir::Context> ctx,
         // subarrays.
         auto master = std::make_unique<Replica>();
         master->device = std::make_unique<sim::CamDevice>(options_.spec);
+        // Clones inherit the model via cloneProgrammed's copy, so the
+        // whole replica pool fuses under one accounting regime.
+        master->device->setFusionModel(options_.fusionModel);
         if (plan_) {
             master->frame = plan_->makeFrame();
             plan_->run(master->frame, master->device.get(),

@@ -15,7 +15,8 @@ CamDevice::CamDevice(const CamDevice &other)
     : spec_(other.spec_), tech_(other.tech_), timing_(other.timing_),
       banks_(other.banks_), handles_(other.handles_),
       subarrayCount_(other.subarrayCount_),
-      writtenSubarrays_(other.writtenSubarrays_), writes_(other.writes_)
+      writtenSubarrays_(other.writtenSubarrays_), writes_(other.writes_),
+      fusionModel_(other.fusionModel_)
 {
     // Deep-copy the programmed cell contents; the clone must never
     // alias the original's subarrays.
@@ -273,19 +274,32 @@ CamDevice::search(Handle subarray_handle, const std::vector<float> &query,
     ++window_.searches;
 
     // Every ML precharges each cycle; selective search confines the
-    // sensing stage (and read-out) to the row window.
+    // sensing stage (and read-out) to the row window. Under the
+    // TrueFused model the precharge + data-line drive of a subarray
+    // is paid by the first query of the fused pass only: queries 2..K
+    // against the same programmed subarray re-use the driven lines and
+    // post the sense/match share alone (1x drive, Kx sense; paper
+    // §IV). The breakdown accumulators mirror exactly what is posted
+    // so the window totals always equal their sum.
     int sensed_rows = selective ? row_end - row_begin : sub.rows();
-    double latency = (tech_.queryDriveLatencyNs() +
-                      tech_.searchLatencyNs(sub.cols()) +
-                      tech_.senseLatencyNs(kind)) *
-                     fault_latency_factor;
+    bool pay_drive = true;
+    if (fusedActive_ && fusionModel_ == FusionModel::TrueFused)
+        pay_drive = fusedDriven_.insert(subarray_handle).second;
     arch::SearchEnergyBreakdown split = tech_.searchEnergyBreakdown(
         sub.rows(), sensed_rows, sub.cols(), kind);
-    window_.cellEnergy += split.cellPj;
+    double latency = (tech_.searchLatencyNs(sub.cols()) +
+                      tech_.senseLatencyNs(kind)) *
+                     fault_latency_factor;
+    double energy = split.sensePj;
+    if (pay_drive) {
+        latency += tech_.queryDriveLatencyNs() * fault_latency_factor;
+        energy = split.total();
+        window_.cellEnergy += split.cellPj;
+        window_.driveEnergy += split.driverPj;
+    }
     window_.senseEnergy += split.sensePj;
-    window_.driveEnergy += split.driverPj;
     timing_.setPhase(TimingEngine::Phase::Query);
-    timing_.post(latency, split.total());
+    timing_.post(latency, energy);
 }
 
 const SearchResult &
@@ -364,6 +378,16 @@ CamDevice::beginFusedWindow(int k)
     fused_.k = k;
     fusedActive_ = true;
     windowsSinceFused_ = 0;
+    fusedDriven_.clear();
+}
+
+void
+CamDevice::setFusionModel(FusionModel model)
+{
+    C4CAM_CHECK(!fusedActive_,
+                "setFusionModel while a fused multi-query window is "
+                "open (the model must not change mid-batch)");
+    fusionModel_ = model;
 }
 
 void
@@ -390,6 +414,7 @@ CamDevice::abortFusedWindow()
     fusedActive_ = false;
     windowsSinceFused_ = 0;
     fused_ = FusedWindow{};
+    fusedDriven_.clear();
 }
 
 FusedWindow
@@ -407,6 +432,7 @@ CamDevice::endFusedWindow()
                 << " queries but served " << fused_.queriesFolded);
     fusedActive_ = false;
     windowsSinceFused_ = 0;
+    fusedDriven_.clear();
     return fused_;
 }
 

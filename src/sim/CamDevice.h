@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "arch/ArchSpec.h"
@@ -163,16 +164,33 @@ class CamDevice
     /// @name Fused multi-query windows
     /// @{
     /**
+     * Select how fused windows charge the device (default
+     * FusionModel::ExactSerial; see sim::FusionModel). Must be set
+     * between queries, never while a fused window is open; clones
+     * inherit the model. Under TrueFused the first search a fused pass
+     * performs on each subarray posts the full cost and later searches
+     * on the same subarray skip the drive latency and the cell/driver
+     * energy -- the hardware's one-precharge-serves-K behaviour (paper
+     * §IV). Outside fused windows the model is irrelevant: serial
+     * queries always post full cost.
+     */
+    void setFusionModel(FusionModel model);
+    FusionModel fusionModel() const { return fusionModel_; }
+
+    /**
      * Open a fused accounting window for @p k queries: the caller
      * drives the K query vectors through the programmed device as one
-     * pass -- each query still in its own query window (so per-query
-     * reports stay bit-identical to serial serving) -- and the device
-     * folds every finished window into one FusedWindow. The fused
-     * totals are exactly the sum of the K serial windows; what the
-     * fused pass amortizes is the per-query *attribution* (drive
-     * energy and setup shares, see FusedWindow / PerfReport::fused*).
-     * Fused windows do not nest, and the device cannot be cloned
-     * while one is open.
+     * pass -- each query still in its own query window -- and the
+     * device folds every finished window into one FusedWindow. What
+     * the window's totals mean depends on the FusionModel: under
+     * ExactSerial (default) they are exactly the sum of K serial
+     * windows and every per-query report stays bit-identical to serial
+     * serving (fusion amortizes only the *attribution*: drive energy
+     * and setup shares, see FusedWindow / PerfReport::fused*); under
+     * TrueFused the drive/precharge of each subarray is charged once
+     * per pass, so the totals come in strictly below the serial sum
+     * while outputs stay bit-identical. Fused windows do not nest, and
+     * the device cannot be cloned while one is open.
      */
     void beginFusedWindow(int k);
 
@@ -295,6 +313,10 @@ class CamDevice
     /** Query windows opened since the fused window began. */
     std::int64_t windowsSinceFused_ = 0;
     FusedWindow fused_;
+    FusionModel fusionModel_ = FusionModel::ExactSerial;
+    /** Subarrays already driven in the open fused pass (TrueFused:
+     *  their precharge/drive is paid; later searches sense only). */
+    std::unordered_set<Handle> fusedDriven_;
     /// @}
 };
 

@@ -113,6 +113,9 @@ FusedWindow::addQueryReport(const PerfReport &query)
     driveEnergyPj += query.driveEnergyPj;
     mergeEnergyPj += query.mergeEnergyPj;
     searches += query.searches;
+    // A fused window covering any partial result is itself partial --
+    // the same min-fold PerfReport::addQueryWindow applies.
+    coverage = std::min(coverage, query.coverage);
     ++queriesFolded;
 }
 
@@ -127,8 +130,12 @@ FusedWindow::toReport(const PerfReport &setup) const
     report.driveEnergyPj = driveEnergyPj;
     report.mergeEnergyPj = mergeEnergyPj;
     report.searches = searches;
-    report.queriesServed = k;
-    report.fusedBatchK = k;
+    // Report the queries actually folded, not the declared width: an
+    // under-filled window (aborted mid-batch) claiming k queries would
+    // silently deflate every per-query average.
+    report.queriesServed = queriesFolded;
+    report.fusedBatchK = queriesFolded;
+    report.coverage = std::min(setup.coverage, coverage);
     return report;
 }
 
@@ -154,9 +161,13 @@ PerfReport::addFullRun(const PerfReport &run)
     setupLatencyNs += run.setupLatencyNs;
     setupEnergyPj += run.setupEnergyPj;
     writes += run.writes;
-    subarraysUsed = run.subarraysUsed;
-    subarraysAllocated = run.subarraysAllocated;
-    banksUsed = run.banksUsed;
+    // Resource high-water marks, not last-run snapshots: heterogeneous
+    // runs folded into one aggregate must not let a small final run
+    // misreport utilization().
+    subarraysUsed = std::max(subarraysUsed, run.subarraysUsed);
+    subarraysAllocated = std::max(subarraysAllocated,
+                                  run.subarraysAllocated);
+    banksUsed = std::max(banksUsed, run.banksUsed);
 }
 
 std::string

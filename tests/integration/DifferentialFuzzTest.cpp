@@ -257,3 +257,101 @@ TEST(DifferentialFuzz, PlanAndTreeWalkAgreeOnRandomConfigs)
         EXPECT_GE(collector.size(), 3 * kQueriesPerSession);
     }
 }
+
+TEST(DifferentialFuzz, FusionModelOffBitIdenticalOnPreservesOutputs)
+{
+    // Three-way fused-serving differential over random configurations:
+    //  - an explicit fusionModel = ExactSerial kernel must be
+    //    bit-identical to the default-options kernel in outputs AND
+    //    rendered report JSON (the flag's off position really is the
+    //    pre-flag behavior, byte for byte);
+    //  - a TrueFused kernel must keep outputs bit-identical while its
+    //    fused totals never exceed the exact-serial accounting --
+    //    strictly below it on persistent device sessions (the pass
+    //    drives each subarray once), exactly equal on host-only
+    //    sessions (no device pass to fuse).
+    const int kTrials = 8;
+    const std::size_t kFusedK = 3;
+    Rng rng(0xF05EDFA57ull);
+
+    for (int trial = 0; trial < kTrials; ++trial) {
+        FuzzConfig cfg = drawConfig(rng);
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                     cfg.description);
+
+        core::CompilerOptions off_options = cfg.options;
+        off_options.fusionModel = sim::FusionModel::ExactSerial;
+        core::CompilerOptions on_options = cfg.options;
+        on_options.fusionModel = sim::FusionModel::TrueFused;
+
+        core::Compiler default_compiler(cfg.options);
+        core::CompiledKernel default_kernel =
+            default_compiler.compileTorchScript(cfg.source);
+        core::Compiler off_compiler(off_options);
+        core::CompiledKernel off_kernel =
+            off_compiler.compileTorchScript(cfg.source);
+        core::Compiler on_compiler(on_options);
+        core::CompiledKernel on_kernel =
+            on_compiler.compileTorchScript(cfg.source);
+
+        FuzzData data = drawData(rng, cfg, kFusedK + 1);
+        std::vector<rt::BufferPtr> setup_args{data.queryBatches[0],
+                                              data.stored};
+        std::vector<std::vector<rt::BufferPtr>> queries;
+        for (std::size_t q = 1; q <= kFusedK; ++q)
+            queries.push_back({data.queryBatches[q], data.stored});
+
+        core::ExecutionSession default_session =
+            default_kernel.createSession(setup_args);
+        core::ExecutionSession off_session =
+            off_kernel.createSession(setup_args);
+        core::ExecutionSession on_session =
+            on_kernel.createSession(setup_args);
+
+        core::FusedBatchResult via_default =
+            default_session.runFusedBatch(queries);
+        core::FusedBatchResult via_off =
+            off_session.runFusedBatch(queries);
+        core::FusedBatchResult via_on =
+            on_session.runFusedBatch(queries);
+
+        ASSERT_EQ(via_default.results.size(), kFusedK);
+        ASSERT_EQ(via_off.results.size(), kFusedK);
+        ASSERT_EQ(via_on.results.size(), kFusedK);
+        for (std::size_t i = 0; i < kFusedK; ++i) {
+            SCOPED_TRACE("fused query " + std::to_string(i));
+            expectOutputsBitIdentical(via_default.results[i].outputs,
+                                      via_off.results[i].outputs);
+            expectReportJsonBitIdentical(via_default.results[i].perf,
+                                         via_off.results[i].perf);
+            expectOutputsBitIdentical(via_default.results[i].outputs,
+                                      via_on.results[i].outputs);
+        }
+        expectReportJsonBitIdentical(via_default.fusedReport,
+                                     via_off.fusedReport);
+
+        // TrueFused never invents work: non-amortizable components
+        // match exactly in every phase...
+        EXPECT_EQ(via_on.fused.searches, via_default.fused.searches);
+        EXPECT_EQ(via_on.fused.senseEnergyPj,
+                  via_default.fused.senseEnergyPj);
+        EXPECT_EQ(via_on.fused.mergeEnergyPj,
+                  via_default.fused.mergeEnergyPj);
+        EXPECT_EQ(via_on.fusedReport.fusedBatchK,
+                  static_cast<std::int64_t>(kFusedK));
+        // ...and the amortizable ones only ever shrink.
+        if (on_session.persistent()) {
+            EXPECT_LT(via_on.fused.total.energyPj,
+                      via_default.fused.total.energyPj);
+            EXPECT_LT(via_on.fused.total.latencyNs,
+                      via_default.fused.total.latencyNs);
+            EXPECT_LT(via_on.fused.driveEnergyPj,
+                      via_default.fused.driveEnergyPj);
+        } else {
+            // Host-only: nothing device-side to fuse, the model is
+            // inert by construction.
+            expectReportJsonBitIdentical(via_default.fusedReport,
+                                         via_on.fusedReport);
+        }
+    }
+}

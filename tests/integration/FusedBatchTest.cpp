@@ -2,10 +2,14 @@
  * @file
  * Fused multi-query batching invariants.
  *
- * The fused window's totals must equal the sum of the per-query
- * windows exactly (fusion changes the attribution, never the physics),
- * per-query results must stay bit-identical to serial serving, and
- * the amortized attribution must divide the shared components by K.
+ * Under sim::FusionModel::ExactSerial (the default) the fused window's
+ * totals must equal the sum of the per-query windows exactly (fusion
+ * changes the attribution, never the physics) and per-query reports
+ * stay bit-identical to serial serving. Under TrueFused the pass
+ * charges each subarray's precharge/drive once, so totals come in
+ * strictly below the serial sum. Outputs are bit-identical to serial
+ * serving in both models, and the amortized attribution must divide
+ * the shared components by K.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +18,7 @@
 #include "core/Compiler.h"
 #include "core/ExecutionSession.h"
 #include "core/ServingEngine.h"
+#include "sim/FaultInjector.h"
 #include "support/Error.h"
 #include "support/Rng.h"
 
@@ -37,10 +42,12 @@ randomRows(std::int64_t n, std::int64_t d, std::uint64_t seed)
 }
 
 core::CompiledKernel
-compileDotKernel(std::int64_t rows, std::int64_t dims)
+compileDotKernel(std::int64_t rows, std::int64_t dims,
+                 sim::FusionModel model = sim::FusionModel::ExactSerial)
 {
     core::CompilerOptions options;
     options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    options.fusionModel = model;
     core::Compiler compiler(options);
     return compiler.compileTorchScript(
         apps::dotSimilaritySource(1, rows, dims, 1));
@@ -257,6 +264,148 @@ TEST(FusedBatch, EngineChunksStreamAndMatchesSerial)
         EXPECT_EQ(chunk.fusedReport.fusedBatchK, chunk.fused.k);
     }
     EXPECT_EQ(engine->queriesServed(), 10);
+}
+
+TEST(FusedBatch, TrueFusedK8ComesInStrictlyBelowSerialSum)
+{
+    // The true fused-search device model: a K-wide fused pass charges
+    // each subarray's precharge/data-line drive once, so the fused
+    // totals must land strictly BELOW the serial sum while outputs
+    // stay bit-identical. Sense/merge work and search counts are not
+    // amortizable and must stay exactly equal to serial.
+    auto stored = randomRows(8, 64, 71);
+    core::CompiledKernel serial_kernel = compileDotKernel(8, 64);
+    core::CompiledKernel fused_kernel =
+        compileDotKernel(8, 64, sim::FusionModel::TrueFused);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 8; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(
+                 i)]}),
+             stored_buf});
+
+    core::ExecutionSession serial =
+        serial_kernel.createSession(queries[0]);
+    std::vector<core::ExecutionResult> serial_results =
+        serial.runBatch(queries);
+
+    core::ExecutionSession session =
+        fused_kernel.createSession(queries[0]);
+    core::FusedBatchResult fused = session.runFusedBatch(queries);
+
+    ASSERT_EQ(fused.results.size(), 8u);
+    double lat = 0.0;
+    double energy = 0.0;
+    double cell = 0.0;
+    double sense = 0.0;
+    double drive = 0.0;
+    double merge = 0.0;
+    std::int64_t searches = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const sim::PerfReport &q = serial_results[i].perf;
+        lat += q.queryLatencyNs;
+        energy += q.queryEnergyPj;
+        cell += q.cellEnergyPj;
+        sense += q.senseEnergyPj;
+        drive += q.driveEnergyPj;
+        merge += q.mergeEnergyPj;
+        searches += q.searches;
+        // Outputs are bit-identical in every fusion model.
+        EXPECT_EQ(fused.results[i].outputs[1].asBuffer()->toVector(),
+                  serial_results[i].outputs[1].asBuffer()->toVector());
+    }
+    // The first query of the pass drives every subarray itself, so its
+    // report still matches serial bit for bit...
+    EXPECT_EQ(fused.results[0].perf.queryLatencyNs,
+              serial_results[0].perf.queryLatencyNs);
+    EXPECT_EQ(fused.results[0].perf.queryEnergyPj,
+              serial_results[0].perf.queryEnergyPj);
+    // ...and every later query rides the already-driven lines.
+    for (std::size_t i = 1; i < 8; ++i) {
+        EXPECT_LT(fused.results[i].perf.queryLatencyNs,
+                  serial_results[i].perf.queryLatencyNs);
+        EXPECT_LT(fused.results[i].perf.queryEnergyPj,
+                  serial_results[i].perf.queryEnergyPj);
+    }
+
+    // Amortizable components (drive, cell precharge, latency, total
+    // energy) come in strictly below the serial sum.
+    EXPECT_LT(fused.fused.total.latencyNs, lat);
+    EXPECT_LT(fused.fused.total.energyPj, energy);
+    EXPECT_LT(fused.fused.cellEnergyPj, cell);
+    EXPECT_LT(fused.fused.driveEnergyPj, drive);
+    // Non-amortizable components stay exactly equal.
+    EXPECT_EQ(fused.fused.senseEnergyPj, sense);
+    EXPECT_EQ(fused.fused.mergeEnergyPj, merge);
+    EXPECT_EQ(fused.fused.searches, searches);
+    EXPECT_EQ(fused.fusedReport.fusedBatchK, 8);
+    EXPECT_EQ(fused.fusedReport.queriesServed, 8);
+    EXPECT_LT(fused.fusedReport.queryEnergyPj / 8.0,
+              energy / 8.0);
+}
+
+TEST(FusedBatch, TrueFusedAbortClearsPerPassDriveState)
+{
+    // A fused pass that aborts mid-batch (transient search fault) must
+    // discard its drive bookkeeping: the retried pass pays the full
+    // per-pass drive again, as if the aborted pass never happened.
+    auto stored = randomRows(8, 64, 73);
+    core::CompiledKernel fused_kernel =
+        compileDotKernel(8, 64, sim::FusionModel::TrueFused);
+    core::CompiledKernel serial_kernel = compileDotKernel(8, 64);
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int i = 0; i < 4; ++i)
+        queries.push_back(
+            {rt::Buffer::fromMatrix({stored[static_cast<std::size_t>(
+                 i)]}),
+             stored_buf});
+
+    core::ExecutionSession serial =
+        serial_kernel.createSession(queries[0]);
+    std::vector<core::ExecutionResult> serial_results =
+        serial.runBatch(queries);
+
+    // One replica, one scripted transient at the third device search:
+    // it lands inside the fused chunk, which aborts as a unit.
+    sim::FaultSpec spec;
+    sim::FaultRule rule;
+    rule.kind = sim::FaultRule::Kind::Transient;
+    rule.device = 0;
+    rule.atSearch = 3;
+    spec.rules.push_back(rule);
+    auto injector = std::make_shared<sim::FaultInjector>(spec);
+
+    auto engine = fused_kernel.createServingEngine(queries[0], 1);
+    engine->attachFaultInjector(injector);
+    EXPECT_THROW(engine->runFusedBatch(queries, 4), sim::TransientFault);
+    EXPECT_EQ(injector->stats().transientsFired, 1);
+    EXPECT_EQ(engine->queriesServed(), 0);
+
+    // Fault source removed, the same engine serves the same batch with
+    // clean per-pass accounting: the first query pays full drive again
+    // (bit-identical to serial), later queries amortize it.
+    engine->attachFaultInjector(nullptr);
+    std::vector<core::FusedBatchResult> chunks =
+        engine->runFusedBatch(queries, 4);
+    ASSERT_EQ(chunks.size(), 1u);
+    const core::FusedBatchResult &chunk = chunks[0];
+    ASSERT_EQ(chunk.results.size(), 4u);
+    EXPECT_EQ(chunk.results[0].perf.queryEnergyPj,
+              serial_results[0].perf.queryEnergyPj);
+    double serial_energy = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(chunk.results[i].outputs[1].asBuffer()->toVector(),
+                  serial_results[i].outputs[1].asBuffer()->toVector());
+        serial_energy += serial_results[i].perf.queryEnergyPj;
+    }
+    EXPECT_LT(chunk.fused.total.energyPj, serial_energy);
+    EXPECT_EQ(chunk.fused.queriesFolded, 4);
+    EXPECT_EQ(chunk.fusedReport.fusedBatchK, 4);
+    EXPECT_EQ(engine->queriesServed(), 4);
 }
 
 TEST(FusedBatch, EngineRejectsBadWidth)

@@ -325,5 +325,109 @@ TEST_P(FusedAccountingSweep, FusedTotalsEqualSerialSumForRandomMixes)
               fused_session.setupReport().setupEnergyPj);
 }
 
+TEST_P(FusedAccountingSweep, TrueFusedNeverExceedsSerialAndKeepsOutputs)
+{
+    // The flag-on counterpart: under sim::FusionModel::TrueFused the
+    // fused pass drives each subarray once, so for any K >= 2 the
+    // amortizable totals come in strictly below the serial sum while
+    // sense/merge work, search counts and outputs stay exactly those
+    // of serial serving. A K=1 "pass" has nothing to amortize and must
+    // equal serial exactly.
+    const int trial = GetParam();
+    Rng rng(7000 + static_cast<std::uint64_t>(trial));
+
+    const std::int64_t rows = 4 + static_cast<std::int64_t>(
+                                      rng.nextBelow(9)); // 4..12
+    const std::int64_t dims = 32 * (1 + static_cast<std::int64_t>(
+                                            rng.nextBelow(3))); // 32..96
+    const int k = 1 + static_cast<int>(rng.nextBelow(6));       // 1..6
+
+    auto stored = randomSigns(static_cast<std::size_t>(rows),
+                              static_cast<std::size_t>(dims),
+                              9000 + static_cast<std::uint64_t>(trial));
+    auto stored_buf = rt::Buffer::fromMatrix(stored);
+
+    core::CompilerOptions options;
+    options.spec = ArchSpec::dseSetup(32, OptTarget::Base);
+    core::Compiler serial_compiler(options);
+    core::CompiledKernel serial_kernel = serial_compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, rows, dims, 1));
+    core::CompilerOptions fused_options = options;
+    fused_options.fusionModel = sim::FusionModel::TrueFused;
+    core::Compiler fused_compiler(fused_options);
+    core::CompiledKernel fused_kernel = fused_compiler.compileTorchScript(
+        apps::dotSimilaritySource(1, rows, dims, 1));
+
+    // Same random query mix as the flag-off sweep (same draw order).
+    std::vector<std::vector<rt::BufferPtr>> queries;
+    for (int q = 0; q < k; ++q) {
+        std::vector<float> row;
+        if (rng.nextBool(0.6)) {
+            row = stored[rng.nextBelow(stored.size())];
+        } else {
+            row.resize(static_cast<std::size_t>(dims));
+            for (auto &v : row)
+                v = rng.nextBool() ? 1.0f : -1.0f;
+        }
+        queries.push_back({rt::Buffer::fromMatrix({row}), stored_buf});
+    }
+
+    core::ExecutionSession serial = serial_kernel.createSession(queries[0]);
+    std::vector<core::ExecutionResult> serial_results =
+        serial.runBatch(queries);
+
+    core::ExecutionSession fused_session =
+        fused_kernel.createSession(queries[0]);
+    core::FusedBatchResult fused = fused_session.runFusedBatch(queries);
+
+    ASSERT_EQ(fused.results.size(), static_cast<std::size_t>(k));
+    EXPECT_EQ(fused.fused.queriesFolded, k);
+
+    double lat = 0.0, energy = 0.0, cell = 0.0, sense = 0.0;
+    double drive = 0.0, merge = 0.0;
+    std::int64_t searches = 0;
+    for (int q = 0; q < k; ++q) {
+        const sim::PerfReport &s =
+            serial_results[static_cast<std::size_t>(q)].perf;
+        lat += s.queryLatencyNs;
+        energy += s.queryEnergyPj;
+        cell += s.cellEnergyPj;
+        sense += s.senseEnergyPj;
+        drive += s.driveEnergyPj;
+        merge += s.mergeEnergyPj;
+        searches += s.searches;
+        // Outputs stay bit-identical in every fusion model.
+        EXPECT_EQ(fused.results[static_cast<std::size_t>(q)]
+                      .outputs[1]
+                      .asBuffer()
+                      ->toVector(),
+                  serial_results[static_cast<std::size_t>(q)]
+                      .outputs[1]
+                      .asBuffer()
+                      ->toVector())
+            << "query " << q;
+    }
+
+    // Non-amortizable components match serial exactly.
+    EXPECT_EQ(fused.fused.senseEnergyPj, sense);
+    EXPECT_EQ(fused.fused.mergeEnergyPj, merge);
+    EXPECT_EQ(fused.fused.searches, searches);
+    if (k >= 2) {
+        // Amortizable components shrink -- strictly.
+        EXPECT_LT(fused.fused.total.latencyNs, lat);
+        EXPECT_LT(fused.fused.total.energyPj, energy);
+        EXPECT_LT(fused.fused.cellEnergyPj, cell);
+        EXPECT_LT(fused.fused.driveEnergyPj, drive);
+    } else {
+        // A single-query pass drives everything itself: exact serial.
+        EXPECT_EQ(fused.fused.total.latencyNs, lat);
+        EXPECT_EQ(fused.fused.total.energyPj, energy);
+        EXPECT_EQ(fused.fused.cellEnergyPj, cell);
+        EXPECT_EQ(fused.fused.driveEnergyPj, drive);
+    }
+    EXPECT_EQ(fused.fusedReport.fusedBatchK, k);
+    EXPECT_EQ(fused.fusedReport.queriesServed, k);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomMixes, FusedAccountingSweep,
                          ::testing::Range(0, 8));

@@ -214,3 +214,88 @@ TEST(PerfReport, BatchAggregates)
     // The one-line summary mentions the batch.
     EXPECT_NE(report.str().find("queries: 16"), std::string::npos);
 }
+
+TEST(PerfReport, AddFullRunTakesResourceMaxima)
+{
+    // Heterogeneous runs folded into one aggregate must report the
+    // high-water marks, not the last run's snapshot -- a small final
+    // run overwriting subarraysUsed/Allocated would misreport
+    // utilization().
+    PerfReport big;
+    big.subarraysUsed = 6;
+    big.subarraysAllocated = 8;
+    big.banksUsed = 2;
+    PerfReport small;
+    small.subarraysUsed = 1;
+    small.subarraysAllocated = 2;
+    small.banksUsed = 1;
+
+    PerfReport aggregate;
+    aggregate.addFullRun(big);
+    aggregate.addFullRun(small);
+    EXPECT_EQ(aggregate.subarraysUsed, 6);
+    EXPECT_EQ(aggregate.subarraysAllocated, 8);
+    EXPECT_EQ(aggregate.banksUsed, 2);
+    EXPECT_DOUBLE_EQ(aggregate.utilization(), 6.0 / 8.0);
+    // Order independence: the maxima do not depend on which run came
+    // last.
+    PerfReport reversed;
+    reversed.addFullRun(small);
+    reversed.addFullRun(big);
+    EXPECT_EQ(reversed.subarraysUsed, aggregate.subarraysUsed);
+    EXPECT_EQ(reversed.subarraysAllocated, aggregate.subarraysAllocated);
+    EXPECT_EQ(reversed.banksUsed, aggregate.banksUsed);
+}
+
+TEST(FusedWindow, CoverageMinFoldsIntoReport)
+{
+    // A degraded shard result folded into a fused window must never be
+    // reported as full coverage.
+    FusedWindow window;
+    window.k = 3;
+    PerfReport full;
+    full.queryLatencyNs = 10.0;
+    PerfReport degraded = full;
+    degraded.coverage = 0.5;
+    window.addQueryReport(full);
+    window.addQueryReport(degraded);
+    window.addQueryReport(full);
+    EXPECT_DOUBLE_EQ(window.coverage, 0.5);
+
+    PerfReport setup;
+    PerfReport report = window.toReport(setup);
+    EXPECT_DOUBLE_EQ(report.coverage, 0.5);
+    // The rendered JSON carries it too (only emitted when < 1.0).
+    EXPECT_NE(report.toJson().dump(2).find("coverage"),
+              std::string::npos);
+    // A fully-covered window stays at the default and keeps its JSON
+    // byte-identical to pre-coverage builds.
+    FusedWindow clean;
+    clean.k = 1;
+    clean.addQueryReport(full);
+    PerfReport clean_report = clean.toReport(setup);
+    EXPECT_DOUBLE_EQ(clean_report.coverage, 1.0);
+    EXPECT_EQ(clean_report.toJson().dump(2).find("coverage"),
+              std::string::npos);
+}
+
+TEST(FusedWindow, UnderFilledWindowReportsFoldedCount)
+{
+    // An aborted/under-filled window rendering the declared width k
+    // would silently deflate every per-query average; the report must
+    // describe the queries actually folded.
+    FusedWindow window;
+    window.k = 8;
+    PerfReport query;
+    query.queryLatencyNs = 10.0;
+    query.queryEnergyPj = 4.0;
+    window.addQueryReport(query);
+    window.addQueryReport(query);
+
+    PerfReport setup;
+    PerfReport report = window.toReport(setup);
+    EXPECT_EQ(report.queriesServed, 2);
+    EXPECT_EQ(report.fusedBatchK, 2);
+    EXPECT_DOUBLE_EQ(report.avgQueryLatencyNs(), 10.0);
+    EXPECT_DOUBLE_EQ(report.avgQueryEnergyPj(), 4.0);
+}

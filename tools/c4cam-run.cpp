@@ -113,6 +113,7 @@ usage()
               << " [--policy block|reject|drop-oldest] [--fuse-k N]"
               << " [--trace-out FILE] [--dump-plan[=FILE]]"
               << " [--plan-opt-debug] [--no-plan-opt]"
+              << " [--fusion-model]"
               << " [--fault-spec FILE] [--fault-rate X] [--retries N]"
               << " [--deadline-us N] [--allow-degraded]\n";
     return 2;
@@ -180,6 +181,7 @@ main(int argc, char **argv)
     bool json = false;
     bool tree_walk = false;
     bool no_plan_opt = false;
+    bool true_fused = false;
     bool dump_plan = false;
     std::string dump_plan_path;
     bool plan_opt_debug = false;
@@ -285,6 +287,11 @@ main(int argc, char **argv)
             // One level up from --tree-walk: still replay a compiled
             // plan, but the raw transcription, not the optimized one.
             no_plan_opt = true;
+        } else if (arg == "--fusion-model") {
+            // True fused-search device model: fused windows charge the
+            // precharge/drive once per pass instead of re-attributing
+            // the exact serial sum (sim::FusionModel::TrueFused).
+            true_fused = true;
         } else if (arg == "--dump-plan") {
             dump_plan = true;
         } else if (arg.rfind("--dump-plan=", 0) == 0) {
@@ -374,6 +381,8 @@ main(int argc, char **argv)
         options.hostOnly = host_only;
         options.treeWalkExecution = tree_walk;
         options.optimizePlans = !no_plan_opt;
+        options.fusionModel = true_fused ? sim::FusionModel::TrueFused
+                                         : sim::FusionModel::ExactSerial;
 
         // One collector spans compile AND serving, whichever path
         // serves it; created before the kernel so the initial
